@@ -1,0 +1,103 @@
+// Command brokerd runs the QoS broker of Fig. 6 as an HTTP daemon.
+// Providers publish XML QoS documents to POST /publish, clients
+// discover them via GET /discover?service=S, negotiate SLAs via
+// POST /negotiate and request pipeline compositions via
+// POST /compose.
+//
+// Usage:
+//
+//	brokerd [-addr :8700] [-link-cost 5] [-link-factor 0.96] \
+//	        [-capabilities http-auth,gzip,tls13]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"softsoa/internal/broker"
+	"softsoa/internal/policy"
+)
+
+func main() {
+	addr := flag.String("addr", ":8700", "listen address")
+	linkCost := flag.Float64("link-cost", broker.DefaultLinkPenalty.Cost,
+		"added cost per cross-region pipeline hop")
+	linkFactor := flag.Float64("link-factor", broker.DefaultLinkPenalty.Factor,
+		"reliability factor per cross-region pipeline hop")
+	capabilities := flag.String("capabilities", "",
+		"comma-separated capability vocabulary enabling MUST/MAY policies (e.g. http-auth,gzip)")
+	state := flag.String("state", "",
+		"registry persistence file: loaded on boot, saved on shutdown")
+	flag.Parse()
+
+	var opts []broker.ServerOption
+	if *capabilities != "" {
+		names := strings.Split(*capabilities, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		vocab, err := policy.NewVocabulary(names...)
+		if err != nil {
+			log.Fatalf("brokerd: %v", err)
+		}
+		opts = append(opts, broker.WithServerVocabulary(vocab))
+	}
+	srv := broker.NewServer(broker.LinkPenalty{Cost: *linkCost, Factor: *linkFactor}, opts...)
+	if *state != "" {
+		if err := srv.Registry().LoadFile(*state); err != nil {
+			if os.IsNotExist(errors.Unwrap(err)) {
+				log.Printf("state file %s not found; starting empty", *state)
+			} else {
+				log.Fatalf("brokerd: %v", err)
+			}
+		} else {
+			log.Printf("restored %d registrations from %s", srv.Registry().Len(), *state)
+		}
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(srv.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("brokerd listening on %s (link penalty: cost %+.1f, factor ×%.2f)",
+		*addr, *linkCost, *linkFactor)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("brokerd: %v", err)
+	}
+	if *state != "" {
+		if err := srv.Registry().SaveFile(*state); err != nil {
+			log.Printf("save state: %v", err)
+		} else {
+			log.Printf("saved %d registrations to %s", srv.Registry().Len(), *state)
+		}
+	}
+	log.Print("brokerd stopped")
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,34 @@
+// Command experiments regenerates every experiment recorded in
+// EXPERIMENTS.md: the paper-conformance checks E1–E9 (each worked
+// example and figure of the paper) and the scaling/ablation studies
+// E10–E14. Each experiment prints a table of paper-claimed vs
+// measured values and a PASS/FAIL verdict.
+//
+// Usage:
+//
+//	experiments [-run all|E1|E2|...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softsoa/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "all", "experiment id (E1..E14) or all")
+	flag.Parse()
+
+	failed, matched := experiments.Report(os.Stdout, *runID)
+	if !matched {
+		fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", *runID)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Printf("%d check(s) FAILED\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("all checks passed")
+}

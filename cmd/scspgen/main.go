@@ -1,0 +1,99 @@
+// Command scspgen emits a random Soft Constraint Satisfaction Problem
+// in the scspfile format consumed by scspsolve, drawn from the same
+// seeded generators the benchmark harness uses.
+//
+// Usage:
+//
+//	scspgen [-semiring weighted|fuzzy] [-vars 6] [-domain 3]
+//	        [-density 0.5] [-tightness 0.9] [-seed 1] > problem.scsp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"softsoa/internal/core"
+	"softsoa/internal/workload"
+)
+
+func main() {
+	semiringName := flag.String("semiring", "weighted", "semiring: weighted or fuzzy")
+	vars := flag.Int("vars", 6, "number of variables")
+	domain := flag.Int("domain", 3, "domain size per variable")
+	density := flag.Float64("density", 0.5, "fraction of variable pairs with a binary constraint")
+	tightness := flag.Float64("tightness", 0.9, "fraction of tuples with a non-One value")
+	seed := flag.Int64("seed", 1, "generator seed (same seed, same problem)")
+	flag.Parse()
+
+	params := workload.SCSPParams{
+		Vars: *vars, DomainSize: *domain,
+		Density: *density, Tightness: *tightness, Seed: *seed,
+	}
+	var (
+		p   *core.Problem[float64]
+		err error
+	)
+	switch *semiringName {
+	case "weighted":
+		p, err = workload.RandomWeightedSCSP(params)
+	case "fuzzy":
+		p, err = workload.RandomFuzzySCSP(params)
+	default:
+		log.Fatalf("scspgen: unknown semiring %q (want weighted or fuzzy)", *semiringName)
+	}
+	if err != nil {
+		log.Fatalf("scspgen: %v", err)
+	}
+	if err := write(os.Stdout, *semiringName, params, p); err != nil {
+		log.Fatalf("scspgen: %v", err)
+	}
+}
+
+// write renders the problem in the scspfile format: the variables,
+// the con line, and one tabulated constraint per generated one.
+func write(w *os.File, semiringName string, params workload.SCSPParams, p *core.Problem[float64]) error {
+	sr := p.Space().Semiring()
+	fmt.Fprintf(w, "# random %s SCSP: vars=%d domain=%d density=%g tightness=%g seed=%d\n",
+		semiringName, params.Vars, params.DomainSize, params.Density, params.Tightness, params.Seed)
+	fmt.Fprintf(w, "semiring %s\n", semiringName)
+	for _, v := range p.Space().Variables() {
+		labels := make([]string, 0, params.DomainSize)
+		for _, d := range p.Space().Domain(v) {
+			labels = append(labels, d.Label)
+		}
+		fmt.Fprintf(w, "var %s { %s }\n", v, strings.Join(labels, " "))
+	}
+	conNames := make([]string, 0, len(p.Con()))
+	for _, v := range p.Con() {
+		conNames = append(conNames, string(v))
+	}
+	fmt.Fprintf(w, "con %s\n", strings.Join(conNames, " "))
+
+	for i, c := range p.Constraints() {
+		scope := c.Scope()
+		scopeNames := make([]string, len(scope))
+		for j, v := range scope {
+			scopeNames[j] = string(v)
+		}
+		var entries []string
+		c.ForEach(func(a core.Assignment, val float64) {
+			if sr.Eq(val, sr.One()) {
+				return // omitted tuples default to One in the format
+			}
+			labels := make([]string, len(scope))
+			for j, v := range scope {
+				labels[j] = a.Label(v)
+			}
+			entries = append(entries, fmt.Sprintf("%s=%s",
+				strings.Join(labels, ","), sr.Format(val)))
+		})
+		if len(entries) == 0 {
+			continue // vacuous constraint
+		}
+		fmt.Fprintf(w, "c%d(%s): %s\n", i+1, strings.Join(scopeNames, ","), strings.Join(entries, " "))
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package softsoa is a from-scratch Go reproduction of "Soft
+// Constraints for Dependable Service Oriented Architectures"
+// (Bistarelli & Santini, DSN 2008).
+//
+// The implementation lives under internal/:
+//
+//   - internal/semiring — absorptive c-semirings (Weighted, Fuzzy,
+//     Probabilistic, Classical, Set-based, Cartesian products) with
+//     residuated division;
+//   - internal/core — soft constraints, combination ⊗, division ÷,
+//     projection ⇓, entailment, SCSPs and the nonmonotonic store;
+//   - internal/solver — exhaustive, branch-and-bound, variable
+//     elimination and local-search SCSP solvers;
+//   - internal/sccp — the nmsccp language: checked transitions C1–C4,
+//     transition rules R1–R10, a deterministic interleaving scheduler
+//     and a surface syntax with parser;
+//   - internal/soa, internal/broker — the SOA substrate (XML QoS
+//     documents, UDDI-style registry with persistence, SLAs) and the
+//     QoS broker of Fig. 6 (negotiation with relaxation strategies,
+//     live sessions with retract-based renegotiation, compliance
+//     monitoring, single- and multi-objective composition, HTTP
+//     daemon);
+//   - internal/integrity — dependability as refinement (Fig. 8);
+//   - internal/trust, internal/coalition — trust networks and
+//     trustworthy coalition formation (Fig. 9–10);
+//   - internal/policy — MUST/MAY capability policies over the
+//     set-based semiring;
+//   - internal/workload — seeded workload generators for the
+//     benchmarks.
+//
+// Executables live under cmd/ (brokerd, scspsolve, nmsccp,
+// experiments) and runnable examples under examples/. bench_test.go
+// regenerates every experiment of EXPERIMENTS.md as a testing.B
+// benchmark.
+package softsoa

@@ -1,0 +1,94 @@
+// Negotiation: the paper's Examples 1–3 (Sec. 4.1) run end to end in
+// the nmsccp surface syntax — two providers merging their
+// failure-management policies into an SLA, first failing (Example 1),
+// then succeeding after a retract relaxes the store (Example 2), and
+// finally rewriting a policy with update (Example 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softsoa/internal/core"
+	"softsoa/internal/sccp"
+)
+
+const example1 = `
+# Example 1: P1's policy c4 = x+5, P2's policy c3 = 2x.
+# x counts the failures to manage; preference is hours spent.
+semiring weighted.
+var x in 0..10.
+var spv1 in 0..1.
+var spv2 in 0..1.
+
+p1() :: tell(x + 5) -> tell(spv2 == 1) -> ask(spv1 == 1)->[10,2] success.
+p2() :: tell(2 * x) -> tell(spv1 == 1) -> ask(spv2 == 1)->[4,1] success.
+
+main :: p1() || p2().
+`
+
+const example2 = `
+# Example 2: as Example 1, but P1 then retracts c1 = x+3, relaxing
+# the merged store to 2x+2 — now inside both intervals.
+semiring weighted.
+var x in 0..10.
+var spv1 in 0..1.
+var spv2 in 0..1.
+
+p1() :: tell(x + 5) -> tell(spv2 == 1) ->
+        ask(spv1 == 1)->[10,2] retract(x + 3)->[10,2] success.
+p2() :: tell(2 * x) -> tell(spv1 == 1) -> ask(spv2 == 1)->[4,1] success.
+
+main :: p1() || p2().
+`
+
+const example3 = `
+# Example 3: update{x} refreshes x; the new policy depends only on
+# the number of reboots y. Final store: y + 4.
+semiring weighted.
+var x in 0..10.
+var y in 0..10.
+
+main :: tell(x + 3) -> update{x}(y + 1) -> success.
+`
+
+func run(title, src string, project core.Variable) {
+	fmt.Printf("=== %s ===\n", title)
+	compiled, err := sccp.ParseAndCompile(src)
+	if err != nil {
+		log.Fatalf("negotiation: %v", err)
+	}
+	m := compiled.NewMachine()
+	status, err := m.Run(300)
+	if err != nil {
+		log.Fatalf("negotiation: %v", err)
+	}
+	for _, ev := range m.Trace() {
+		fmt.Printf("  step %-2d %-26s σ⇓∅ = %s\n", ev.Step, ev.Rule,
+			compiled.Semiring.Format(ev.Blevel))
+	}
+	fmt.Printf("  status: %s, final consistency: %s\n",
+		status, compiled.Semiring.Format(m.Store().Blevel()))
+	if status == sccp.Stuck {
+		fmt.Printf("  blocked: %s\n", m.Agent())
+	}
+	if project != "" {
+		proj := core.ProjectTo(m.Store().Constraint(), project)
+		fmt.Printf("  store over %s: ", project)
+		shown := 0
+		proj.ForEach(func(a core.Assignment, v float64) {
+			if shown < 5 {
+				fmt.Printf("%s=%s→%s ", project, a.Label(project), compiled.Semiring.Format(v))
+			}
+			shown++
+		})
+		fmt.Println("…")
+	}
+	fmt.Println()
+}
+
+func main() {
+	run("Example 1: tell + negotiation (fails: blevel 5 ∉ [4,1])", example1, "x")
+	run("Example 2: retract relaxes to 2x+2 (succeeds at blevel 2)", example2, "x")
+	run("Example 3: update{x} rewrites the policy to y+4", example3, "y")
+}

@@ -1,0 +1,76 @@
+// Photoediting: the federated photo-editing pipeline of Fig. 8 —
+// integrity as refinement. The crisp analysis shows the module
+// policies uphold the client's Memory requirement, and that the
+// guarantee collapses when the red filter becomes unreliable; the
+// quantitative analysis measures composed reliability and picks the
+// best implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softsoa/internal/core"
+	"softsoa/internal/integrity"
+)
+
+func main() {
+	iface := []core.Variable{integrity.PhotoVars.Incomp, integrity.PhotoVars.Outcomp}
+
+	// --- Crisp analysis (Classical semiring) ---
+	cs := integrity.NewCrispPhotoSpace()
+	sys := integrity.CrispPhotoSystem(cs)
+	mem := integrity.CrispMemoryRequirement(cs)
+
+	fmt.Println("federated system modules:")
+	for _, m := range sys.Modules() {
+		fmt.Printf("  %-6s over %v\n", m.Name, m.Policy.Scope())
+	}
+	fmt.Printf("\nImp1 ⇓ {incomp,outcomp} ⊑ Memory?  %v  (paper: holds)\n",
+		sys.Upholds(mem, iface...))
+
+	// Inject the paper's failure: REDF "could take on any behaviour".
+	broken := sys.Clone()
+	if err := broken.FailModule("REDF"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after REDF ≡ true: Imp2 ⊑ Memory?   %v  (paper: fails)\n",
+		broken.Upholds(mem, iface...))
+
+	// --- Quantitative analysis (Probabilistic semiring) ---
+	qs := integrity.NewQuantPhotoSpace()
+	qsys := integrity.QuantPhotoSystem(qs)
+	c1 := integrity.BWFReliability(qs)
+	fmt.Printf("\nc1(outcomp=4096KB, bwbyte=1024KB) = %.2f  (paper: 0.96)\n",
+		c1.AtLabels("4096", "1024"))
+	fmt.Printf("best-case composed reliability (blevel of Imp3): %.4f\n", qsys.Reliability())
+
+	for _, min := range []float64{0.5, 0.9, 0.999} {
+		req := integrity.MemoryProbRequirement(qs, min)
+		fmt.Printf("Imp3 meets a %.3f minimum reliability? %v\n",
+			min, qsys.MeetsMin(req, integrity.PhotoVars.Outcomp, integrity.PhotoVars.Incomp))
+	}
+
+	// Choose the most reliable implementation among alternatives.
+	flaky := core.NewConstraint(qs,
+		[]core.Variable{integrity.PhotoVars.Bwbyte, integrity.PhotoVars.Redbyte},
+		func(a core.Assignment) float64 {
+			if a.Num(integrity.PhotoVars.Redbyte) > a.Num(integrity.PhotoVars.Bwbyte) {
+				return 0
+			}
+			return 0.5
+		})
+	choice, level, ok := qsys.BestImplementation(
+		[]integrity.Alternative[float64]{
+			{Module: "REDF", Name: "standard", Policy: integrity.REDFReliability(qs)},
+			{Module: "REDF", Name: "discount", Policy: flaky},
+		},
+		integrity.MemoryProbRequirement(qs, 0.4),
+		integrity.PhotoVars.Outcomp, integrity.PhotoVars.Incomp,
+	)
+	if !ok {
+		log.Fatal("no feasible implementation")
+	}
+	fmt.Printf("\nbest implementation choice: %s/%s at reliability %.4f\n",
+		choice[0].Module, choice[0].Name, level)
+}

@@ -1,0 +1,132 @@
+// Slalifecycle: the nonmonotonic life of a Service Level Agreement.
+// A client negotiates an SLA with the broker under a capability
+// policy (the paper's "MUST use HTTP Authentication, MAY use GZIP"),
+// later relaxes it by renegotiation — which retracts (÷) the old
+// requirement from the live constraint store, Example-2 style — and
+// a deadline-bound nmsccp client shows how the timed extension
+// abandons a negotiation that never converges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"softsoa/internal/broker"
+	"softsoa/internal/core"
+	"softsoa/internal/policy"
+	"softsoa/internal/sccp"
+	"softsoa/internal/semiring"
+	"softsoa/internal/soa"
+)
+
+func main() {
+	vocab, err := policy.NewVocabulary("http-auth", "gzip", "tls13")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := broker.NewServer(broker.DefaultLinkPenalty, broker.WithServerVocabulary(vocab))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := broker.NewClient(ts.URL, ts.Client())
+
+	// Two providers: the cheaper one lacks HTTP authentication.
+	publish := func(name string, base float64, caps ...string) {
+		doc := &soa.Document{
+			Service: "failmgmt", Provider: name, Region: "eu",
+			Capabilities: caps,
+			Attributes: []soa.Attribute{{
+				Name: "hours", Metric: soa.MetricCost,
+				Base: base, PerUnit: 1, Resource: "failures", MaxUnits: 10,
+			}},
+		}
+		if err := client.Publish(doc); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %-8s base cost %.0f, capabilities %v\n", name, base, caps)
+	}
+	publish("budget", 2, "gzip")
+	publish("secure", 5, "http-auth", "gzip")
+
+	// 1. Negotiate under "MUST http-auth; MAY gzip".
+	sla, err := client.Negotiate(broker.NegotiateRequest{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Must: []string{"http-auth"},
+		May:  []string{"gzip"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSLA %s v%d: provider %s at level %.0f (budget was excluded: no http-auth)\n",
+		sla.ID, sla.Version, sla.Providers[0], sla.AgreedLevel)
+
+	// 2. Renegotiate: retract the 2x failure-handling requirement for
+	// a flat one — the broker divides (÷) the old constraint out of
+	// the live store.
+	relaxed, err := client.Renegotiate(broker.RenegotiateRequest{
+		ID: sla.ID,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("renegotiated to v%d at level %.0f (client's 2x policy retracted)\n",
+		relaxed.Version, relaxed.AgreedLevel)
+
+	// 3. A too-demanding renegotiation is rejected; v2 stands.
+	lower := 1.0
+	if _, err := client.Renegotiate(broker.RenegotiateRequest{
+		ID: sla.ID,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: &lower,
+	}); err != nil {
+		fmt.Printf("demanding cost ≤ 1 rejected as expected: %v\n", err)
+	}
+	final, err := client.SLA(sla.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agreement still at v%d, level %.0f\n", final.Version, final.AgreedLevel)
+
+	// 4. The timed extension: a client that waits for a partner token
+	// only so long, then withdraws its policy instead of deadlocking.
+	fmt.Println("\ntimed negotiation (nmsccp timeout):")
+	sr := semiring.Weighted{}
+	space := core.NewSpace[float64](sr)
+	x := space.AddVariable("x", core.IntDomain(0, 10))
+	token := space.AddVariable("token", core.IntDomain(0, 1))
+	policyCon := core.NewConstraint(space, []core.Variable{x}, func(a core.Assignment) float64 {
+		return 2 * a.Num(x)
+	})
+	tokenCon := core.NewConstraint(space, []core.Variable{token}, func(a core.Assignment) float64 {
+		if a.Num(token) == 1 {
+			return sr.One()
+		}
+		return sr.Zero()
+	})
+	agent := sccp.Tell[float64]{C: policyCon, Next: sccp.Timeout[float64]{
+		Budget: 5,
+		Body:   sccp.Ask[float64]{C: tokenCon, Next: sccp.Success[float64]{}},
+		Else:   sccp.Retract[float64]{C: policyCon, Next: sccp.Success[float64]{}},
+	}}
+	m := sccp.NewMachine(space, agent)
+	status, err := m.Run(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ticks := 0
+	for _, ev := range m.Trace() {
+		if ev.Rule == "Tick Timeout" {
+			ticks++
+		}
+	}
+	fmt.Printf("partner never answered: %d ticks elapsed, status %s, policy withdrawn (σ⇓∅ = %s)\n",
+		ticks, status, sr.Format(m.Store().Blevel()))
+}

@@ -1,0 +1,3 @@
+module softsoa
+
+go 1.22

@@ -1,0 +1,480 @@
+package broker
+
+import (
+	"testing"
+
+	"softsoa/internal/sccp"
+	"softsoa/internal/soa"
+)
+
+func costDoc(provider, service string, base, perUnit float64, region string) *soa.Document {
+	return &soa.Document{
+		Service:  service,
+		Provider: provider,
+		Region:   region,
+		Attributes: []soa.Attribute{{
+			Name: "fee", Metric: soa.MetricCost,
+			Base: base, PerUnit: perUnit, Resource: "failures", MaxUnits: 10,
+		}},
+	}
+}
+
+func reliabilityDoc(provider, service string, base, perUnit float64, region string) *soa.Document {
+	return &soa.Document{
+		Service:  service,
+		Provider: provider,
+		Region:   region,
+		Attributes: []soa.Attribute{{
+			Name: "uptime", Metric: soa.MetricReliability,
+			Base: base, PerUnit: perUnit, Resource: "processors", MaxUnits: 4,
+		}},
+	}
+}
+
+func fptr(v float64) *float64 { return &v }
+
+// TestNegotiationExample1Shape mirrors the paper's Example 1 through
+// the broker: provider policy x+5, client policy 2x, acceptance
+// interval [4,1] — the merged blevel 5 falls outside, so no SLA.
+func TestNegotiationExample1Shape(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "failmgmt",
+		Client:  "p2",
+		Metric:  soa.MetricCost,
+		Requirement: soa.Attribute{
+			Name: "hours", Metric: soa.MetricCost,
+			Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4), // at most 4 hours
+		Upper: fptr(1), // at least 1 hour (not "too good")
+	}
+	sla, outcome, err := n.Negotiate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla != nil {
+		t.Fatalf("expected no agreement, got SLA %+v", sla)
+	}
+	if outcome.Best != -1 || len(outcome.PerProvider) != 1 {
+		t.Fatalf("outcome = %+v", outcome)
+	}
+	if outcome.PerProvider[0].Status != sccp.Stuck {
+		t.Errorf("provider status = %v, want stuck", outcome.PerProvider[0].Status)
+	}
+}
+
+// TestNegotiationExample2Shape relaxes the provider policy (base 2
+// instead of 5, as after the paper's retract): blevel 2 lies inside
+// [4,1] and the SLA binds at zero failures.
+func TestNegotiationExample2Shape(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "failmgmt", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "failmgmt",
+		Client:  "p2",
+		Metric:  soa.MetricCost,
+		Requirement: soa.Attribute{
+			Name: "hours", Metric: soa.MetricCost,
+			Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4),
+		Upper: fptr(1),
+	}
+	sla, outcome, err := n.Negotiate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatalf("expected agreement, outcome %+v", outcome)
+	}
+	if sla.AgreedLevel != 2 {
+		t.Errorf("agreed level = %v, want 2", sla.AgreedLevel)
+	}
+	if len(sla.Resources) != 1 || sla.Resources[0].Units != 0 {
+		t.Errorf("resources = %+v, want failures=0", sla.Resources)
+	}
+	if sla.Providers[0] != "p1" {
+		t.Errorf("provider = %v", sla.Providers)
+	}
+}
+
+func TestNegotiationSelectsBestProvider(t *testing.T) {
+	reg := soa.NewRegistry()
+	// dear costs 8 flat; cheap costs 3 flat.
+	if err := reg.Publish(costDoc("dear", "svc", 8, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Publish(costDoc("cheap", "svc", 3, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10},
+	}
+	sla, outcome, err := n.Negotiate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatalf("expected agreement, outcome %+v", outcome)
+	}
+	if sla.Providers[0] != "cheap" || sla.AgreedLevel != 3 {
+		t.Errorf("winner = %s at %v, want cheap at 3", sla.Providers[0], sla.AgreedLevel)
+	}
+	if len(outcome.PerProvider) != 2 {
+		t.Errorf("tried %d providers", len(outcome.PerProvider))
+	}
+}
+
+func TestNegotiationReliabilityMetric(t *testing.T) {
+	reg := soa.NewRegistry()
+	// The paper's 80% + 5%/processor provider.
+	if err := reg.Publish(reliabilityDoc("acme", "svc", 80, 5, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricReliability,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricReliability, Base: 100, PerUnit: 0,
+			Resource: "processors", MaxUnits: 4,
+		},
+		Lower: fptr(0.9), // demand ≥ 90% reliability
+	}
+	sla, outcome, err := n.Negotiate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatalf("expected agreement, outcome %+v", outcome)
+	}
+	if sla.AgreedLevel != 1 {
+		t.Errorf("agreed level = %v, want 1.0 (4 processors)", sla.AgreedLevel)
+	}
+	if sla.Resources[0].Units != 4 {
+		t.Errorf("agreed processors = %d, want 4", sla.Resources[0].Units)
+	}
+}
+
+func TestNegotiationErrors(t *testing.T) {
+	reg := soa.NewRegistry()
+	n := NewNegotiator(reg)
+	if _, _, err := n.Negotiate(Request{}); err == nil {
+		t.Error("empty request should fail")
+	}
+	req := Request{
+		Service: "ghost", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Resource: "x"},
+	}
+	if _, _, err := n.Negotiate(req); err == nil {
+		t.Error("unknown service should fail")
+	}
+	bad := req
+	bad.Requirement.Metric = soa.MetricReliability
+	if _, _, err := n.Negotiate(bad); err == nil {
+		t.Error("metric mismatch should fail")
+	}
+}
+
+func TestNegotiationSkipsProvidersWithoutMetric(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(reliabilityDoc("relonly", "svc", 90, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Publish(costDoc("costly", "svc", 4, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+	}
+	sla, outcome, err := n.Negotiate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil || sla.Providers[0] != "costly" {
+		t.Fatalf("sla = %+v, outcome %+v", sla, outcome)
+	}
+}
+
+func registryForComposition(t *testing.T) *soa.Registry {
+	t.Helper()
+	reg := soa.NewRegistry()
+	docs := []*soa.Document{
+		// Stage "red": eu provider slightly dearer than us provider.
+		costDoc("red-eu", "red", 6, 0, "eu"),
+		costDoc("red-us", "red", 5, 0, "us"),
+		// Stage "bw": only eu.
+		costDoc("bw-eu", "bw", 4, 0, "eu"),
+		// Stage "compress": eu and us equal.
+		costDoc("comp-eu", "compress", 3, 0, "eu"),
+		costDoc("comp-us", "compress", 3, 0, "us"),
+	}
+	for _, d := range docs {
+		if err := reg.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// TestComposeOptimalAvoidsGreedyTrap: greedy picks red-us (5 < 6),
+// then pays the cross-region penalty into bw-eu; the optimal solver
+// keeps the whole pipeline in eu.
+func TestComposeOptimalAvoidsGreedyTrap(t *testing.T) {
+	reg := registryForComposition(t)
+	c := NewComposer(reg, LinkPenalty{Cost: 5, Factor: 0.9})
+	req := PipelineRequest{
+		Client: "shop", Stages: []string{"red", "bw", "compress"}, Metric: soa.MetricCost,
+	}
+	slaOpt, compOpt, err := c.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slaOpt == nil {
+		t.Fatal("optimal composition failed")
+	}
+	// All-eu: 6 + 4 + 3 = 13 with no penalties.
+	if compOpt.Total != 13 {
+		t.Errorf("optimal total = %v, want 13", compOpt.Total)
+	}
+	for _, ch := range compOpt.Choices {
+		if ch.Region != "eu" {
+			t.Errorf("optimal stage %s in region %s, want eu", ch.Service, ch.Region)
+		}
+	}
+
+	slaGreedy, compGreedy, err := c.ComposeGreedy(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slaGreedy == nil {
+		t.Fatal("greedy composition failed")
+	}
+	// Greedy: red-us (5), bw-eu (4+5 penalty), comp-eu (3) = 17.
+	if compGreedy.Total <= compOpt.Total {
+		t.Errorf("greedy total %v should exceed optimal %v on this instance",
+			compGreedy.Total, compOpt.Total)
+	}
+	// Exhaustive agrees with B&B.
+	_, compEx, err := c.ComposeExhaustive(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compEx.Total != compOpt.Total {
+		t.Errorf("exhaustive %v != B&B %v", compEx.Total, compOpt.Total)
+	}
+}
+
+func TestComposeRespectsLowerBound(t *testing.T) {
+	reg := registryForComposition(t)
+	c := NewComposer(reg, DefaultLinkPenalty)
+	req := PipelineRequest{
+		Client: "shop", Stages: []string{"red", "bw"}, Metric: soa.MetricCost,
+		Lower: fptr(8), // max acceptable total cost 8; best is 10
+	}
+	sla, comp, err := c.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla != nil {
+		t.Fatalf("expected rejection, got SLA %+v (total %v)", sla, comp.Total)
+	}
+	req.Lower = fptr(20)
+	sla, _, err = c.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatal("20-cost budget should admit the composition")
+	}
+}
+
+func TestComposeReliabilityPipeline(t *testing.T) {
+	reg := soa.NewRegistry()
+	for _, d := range []*soa.Document{
+		reliabilityDoc("a1", "s1", 90, 0, "eu"),
+		reliabilityDoc("a2", "s1", 95, 0, "us"),
+		reliabilityDoc("b1", "s2", 90, 0, "eu"),
+	} {
+		if err := reg.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewComposer(reg, LinkPenalty{Cost: 5, Factor: 0.9})
+	req := PipelineRequest{Client: "c", Stages: []string{"s1", "s2"}, Metric: soa.MetricReliability}
+	sla, comp, err := c.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatal("expected composition")
+	}
+	// a1,b1 same region: 0.9*0.9 = 0.81; a2,b1: 0.95*0.9*0.9 = 0.7695.
+	if comp.Total != 0.81 {
+		t.Errorf("total = %v, want 0.81 (stay in eu)", comp.Total)
+	}
+	if comp.Choices[0].Provider != "a1" {
+		t.Errorf("stage 1 provider = %s, want a1", comp.Choices[0].Provider)
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	reg := soa.NewRegistry()
+	c := NewComposer(reg, DefaultLinkPenalty)
+	if _, _, err := c.Compose(PipelineRequest{}); err == nil {
+		t.Error("empty request should fail")
+	}
+	req := PipelineRequest{Client: "c", Stages: []string{"ghost"}, Metric: soa.MetricCost}
+	if _, _, err := c.Compose(req); err == nil {
+		t.Error("unknown stage should fail")
+	}
+	if _, _, err := c.ComposeGreedy(req); err == nil {
+		t.Error("greedy with unknown stage should fail")
+	}
+}
+
+func TestErrNoAgreementMessage(t *testing.T) {
+	err := &ErrNoAgreement{Reason: "nobody home"}
+	if got := err.Error(); got != "broker: no agreement: nobody home" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestServerRegistryAccessor(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	if srv.Registry() == nil || srv.Registry().Len() != 0 {
+		t.Error("fresh server registry should be empty and non-nil")
+	}
+}
+
+func TestSessionProviderAccessor(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	_, session, _, err := NewNegotiator(reg).NegotiateSession(Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session.Provider() != "p1" {
+		t.Errorf("Provider() = %q", session.Provider())
+	}
+}
+
+func TestPipelineValidationBranches(t *testing.T) {
+	c := NewComposer(soa.NewRegistry(), DefaultLinkPenalty)
+	cases := []PipelineRequest{
+		{Stages: []string{"s"}, Metric: soa.MetricCost},       // no client
+		{Client: "c", Metric: soa.MetricCost},                 // no stages
+		{Client: "c", Stages: []string{"s"}, Metric: "bogus"}, // bad metric
+	}
+	for i, req := range cases {
+		if _, _, err := c.Compose(req); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	// Request validation branches.
+	n := NewNegotiator(soa.NewRegistry())
+	reqs := []Request{
+		{Client: "c", Metric: soa.MetricCost},        // no service
+		{Service: "s", Metric: soa.MetricCost},       // no client
+		{Service: "s", Client: "c", Metric: "bogus"}, // bad metric
+	}
+	for i, req := range reqs {
+		if _, _, err := n.Negotiate(req); err == nil {
+			t.Errorf("request case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDowntimeNegotiation(t *testing.T) {
+	reg := soa.NewRegistry()
+	doc := &soa.Document{
+		Service: "db", Provider: "ha-sql", Region: "eu",
+		Attributes: []soa.Attribute{{
+			Name: "monthly-downtime", Metric: soa.MetricDowntime,
+			Base: 8, PerUnit: -2, Resource: "replicas", MaxUnits: 3,
+		}},
+	}
+	if err := reg.Publish(doc); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	sla, _, err := n.Negotiate(Request{
+		Service: "db", Client: "c", Metric: soa.MetricDowntime,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricDowntime, Base: 1, PerUnit: 0, Resource: "replicas", MaxUnits: 3,
+		},
+		Lower: fptr(4), // at most 4h total downtime budget
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatal("expected downtime agreement")
+	}
+	// Best: 3 replicas → 8-6=2h provider + 1h client = 3h ≤ 4h.
+	if sla.AgreedLevel != 3 {
+		t.Errorf("agreed downtime = %v, want 3", sla.AgreedLevel)
+	}
+	if sla.Resources[0].Units != 3 {
+		t.Errorf("replicas = %d, want 3", sla.Resources[0].Units)
+	}
+}
+
+func TestDowntimeComposition(t *testing.T) {
+	reg := soa.NewRegistry()
+	mk := func(prov, svc, region string, base float64) *soa.Document {
+		return &soa.Document{
+			Service: svc, Provider: prov, Region: region,
+			Attributes: []soa.Attribute{{
+				Name: "dt", Metric: soa.MetricDowntime,
+				Base: base, Resource: "r", MaxUnits: 1,
+			}},
+		}
+	}
+	for _, d := range []*soa.Document{
+		mk("a-eu", "s1", "eu", 2),
+		mk("a-us", "s1", "us", 1),
+		mk("b-eu", "s2", "eu", 2),
+	} {
+		if err := reg.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewComposer(reg, LinkPenalty{Cost: 3, Factor: 0.9})
+	_, comp, err := c.Compose(PipelineRequest{
+		Client: "c", Stages: []string{"s1", "s2"}, Metric: soa.MetricDowntime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-region downtime penalty is additive: a-us+b-eu = 1+2+3=6;
+	// all-eu = 2+2=4 wins.
+	if comp.Total != 4 {
+		t.Errorf("total downtime = %v, want 4", comp.Total)
+	}
+	_, greedy, err := c.ComposeGreedy(PipelineRequest{
+		Client: "c", Stages: []string{"s1", "s2"}, Metric: soa.MetricDowntime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Total != 6 {
+		t.Errorf("greedy downtime = %v, want 6 (falls into the trap)", greedy.Total)
+	}
+}

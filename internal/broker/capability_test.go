@@ -1,0 +1,247 @@
+package broker
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"softsoa/internal/policy"
+	"softsoa/internal/soa"
+)
+
+func testVocabulary(t *testing.T) *policy.Vocabulary {
+	t.Helper()
+	v, err := policy.NewVocabulary("http-auth", "gzip", "tls13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func capDoc(provider string, base float64, caps ...string) *soa.Document {
+	d := costDoc(provider, "svc", base, 0, "eu")
+	d.Capabilities = caps
+	return d
+}
+
+// TestNegotiationFiltersByMustCapabilities: a provider without the
+// required capability is excluded even when its offer is cheaper —
+// the paper's "you MUST use HTTP Authentication".
+func TestNegotiationFiltersByMustCapabilities(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(capDoc("cheap-insecure", 2, "gzip")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Publish(capDoc("secure", 5, "http-auth", "gzip")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg, WithVocabulary(testVocabulary(t)))
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement:  soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 10},
+		Capabilities: policy.Requirement{Must: []string{"http-auth"}},
+	}
+	sla, outcome, err := n.Negotiate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatalf("expected agreement, outcome %+v", outcome)
+	}
+	if sla.Providers[0] != "secure" || sla.AgreedLevel != 5 {
+		t.Errorf("winner = %s at %v, want secure at 5", sla.Providers[0], sla.AgreedLevel)
+	}
+	var skipped *ProviderOutcome
+	for i := range outcome.PerProvider {
+		if outcome.PerProvider[i].Provider == "cheap-insecure" {
+			skipped = &outcome.PerProvider[i]
+		}
+	}
+	if skipped == nil || !strings.Contains(skipped.Skipped, "http-auth") {
+		t.Errorf("cheap-insecure should be skipped for missing http-auth: %+v", skipped)
+	}
+}
+
+// TestNegotiationMayBreaksTies: two providers with identical offers;
+// the one covering more MAY capabilities wins.
+func TestNegotiationMayBreaksTies(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(capDoc("plain", 3, "http-auth")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Publish(capDoc("zippy", 3, "http-auth", "gzip")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg, WithVocabulary(testVocabulary(t)))
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 10},
+		Capabilities: policy.Requirement{
+			Must: []string{"http-auth"},
+			May:  []string{"gzip"},
+		},
+	}
+	sla, outcome, err := n.Negotiate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatalf("expected agreement, outcome %+v", outcome)
+	}
+	if sla.Providers[0] != "zippy" {
+		t.Errorf("winner = %s, want zippy (MAY gzip covered)", sla.Providers[0])
+	}
+}
+
+func TestNegotiationCapabilityPolicyWithoutVocabulary(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(capDoc("p", 3, "http-auth")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg) // no vocabulary
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement:  soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+		Capabilities: policy.Requirement{Must: []string{"http-auth"}},
+	}
+	if _, _, err := n.Negotiate(req); err == nil {
+		t.Fatal("capability policy without vocabulary must fail")
+	}
+}
+
+func TestNegotiationAllProvidersMissMust(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(capDoc("p", 3, "gzip")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg, WithVocabulary(testVocabulary(t)))
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement:  soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+		Capabilities: policy.Requirement{Must: []string{"tls13"}},
+	}
+	sla, outcome, err := n.Negotiate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla != nil {
+		t.Fatal("no provider satisfies MUST: no SLA")
+	}
+	if outcome.Best != -1 {
+		t.Errorf("outcome.Best = %d", outcome.Best)
+	}
+}
+
+func TestComposeFiltersByCapabilities(t *testing.T) {
+	reg := soa.NewRegistry()
+	d1 := costDoc("stage1-insecure", "s1", 1, 0, "eu")
+	d1.Capabilities = []string{"gzip"}
+	d2 := costDoc("stage1-secure", "s1", 4, 0, "eu")
+	d2.Capabilities = []string{"http-auth"}
+	d3 := costDoc("stage2-secure", "s2", 2, 0, "eu")
+	d3.Capabilities = []string{"http-auth", "gzip"}
+	for _, d := range []*soa.Document{d1, d2, d3} {
+		if err := reg.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewComposer(reg, DefaultLinkPenalty, WithComposerVocabulary(testVocabulary(t)))
+	req := PipelineRequest{
+		Client: "c", Stages: []string{"s1", "s2"}, Metric: soa.MetricCost,
+		Capabilities: policy.Requirement{Must: []string{"http-auth"}},
+	}
+	sla, comp, err := c.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatal("expected composition")
+	}
+	// The cheap insecure stage-1 provider is excluded: 4 + 2 = 6.
+	if comp.Total != 6 {
+		t.Errorf("total = %v, want 6", comp.Total)
+	}
+	if comp.Choices[0].Provider != "stage1-secure" {
+		t.Errorf("stage 1 = %s", comp.Choices[0].Provider)
+	}
+	// Without the policy the insecure provider wins: 1 + 2 = 3.
+	open := PipelineRequest{Client: "c", Stages: []string{"s1", "s2"}, Metric: soa.MetricCost}
+	_, openComp, err := c.Compose(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if openComp.Total != 3 {
+		t.Errorf("unfiltered total = %v, want 3", openComp.Total)
+	}
+}
+
+func TestComposeNoCapableCandidates(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(capDoc("p", 3, "gzip")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewComposer(reg, DefaultLinkPenalty, WithComposerVocabulary(testVocabulary(t)))
+	req := PipelineRequest{
+		Client: "c", Stages: []string{"svc"}, Metric: soa.MetricCost,
+		Capabilities: policy.Requirement{Must: []string{"tls13"}},
+	}
+	if _, _, err := c.Compose(req); err == nil {
+		t.Fatal("no capable candidate should be an error")
+	}
+	if _, _, err := c.ComposeGreedy(req); err == nil {
+		t.Fatal("greedy: no capable candidate should be an error")
+	}
+}
+
+func TestHTTPCapabilityNegotiation(t *testing.T) {
+	v, err := policy.NewVocabulary("http-auth", "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(DefaultLinkPenalty, WithServerVocabulary(v))
+	client, ts := clientFor(t, srv)
+	_ = ts
+	insecure := capDoc("insecure", 1, "gzip")
+	secure := capDoc("secure", 3, "http-auth", "gzip")
+	if err := client.Publish(insecure); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(secure); err != nil {
+		t.Fatal(err)
+	}
+	sla, err := client.Negotiate(NegotiateRequest{
+		Service: "svc", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 10},
+		Must:        []string{"http-auth"},
+		May:         []string{"gzip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla.Providers[0] != "secure" {
+		t.Errorf("winner = %s, want secure", sla.Providers[0])
+	}
+	// Capabilities survive the XML round trip on discovery.
+	docs, err := client.Discover("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range docs {
+		if d.Provider == "secure" && len(d.Capabilities) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("capabilities lost over the wire: %+v", docs)
+	}
+}
+
+// clientFor starts an httptest server around srv and returns a
+// client; the server is closed with the test.
+func clientFor(t *testing.T, srv *Server) (*Client, string) {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client()), ts.URL
+}

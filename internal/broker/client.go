@@ -1,0 +1,193 @@
+package broker
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"softsoa/internal/soa"
+)
+
+// Client is a typed HTTP client for a broker daemon. The zero value
+// is unusable; construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the broker at baseURL (e.g.
+// "http://localhost:8700"). A nil httpClient uses
+// http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, hc: httpClient}
+}
+
+// ErrNoAgreement is returned when the broker found no acceptable
+// agreement or composition (HTTP 409).
+type ErrNoAgreement struct {
+	// Reason is the broker's explanation.
+	Reason string
+	// Tried lists the providers attempted during a negotiation.
+	Tried []ProviderReport
+}
+
+// Error implements error.
+func (e *ErrNoAgreement) Error() string {
+	return fmt.Sprintf("broker: no agreement: %s", e.Reason)
+}
+
+// Publish registers a provider QoS document with the broker.
+func (c *Client) Publish(doc *soa.Document) error {
+	body, err := doc.Render()
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+"/publish", "application/xml", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("broker: publish: %w", err)
+	}
+	defer discard(resp)
+	if resp.StatusCode != http.StatusCreated {
+		return httpError("publish", resp)
+	}
+	return nil
+}
+
+// Discover lists the registered QoS documents for a service.
+func (c *Client) Discover(service string) ([]soa.Document, error) {
+	u := c.base + "/discover?service=" + url.QueryEscape(service)
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("broker: discover: %w", err)
+	}
+	defer discard(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("discover", resp)
+	}
+	var dr DiscoverResponse
+	if err := xml.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return nil, fmt.Errorf("broker: decode discover response: %w", err)
+	}
+	return dr.Documents, nil
+}
+
+// Negotiate runs a QoS negotiation and returns the signed SLA. A
+// *ErrNoAgreement error reports a completed but unsuccessful
+// negotiation.
+func (c *Client) Negotiate(req NegotiateRequest) (*soa.SLA, error) {
+	return c.postForSLA("/negotiate", req)
+}
+
+// Compose asks the broker to bind a pipeline of services.
+func (c *Client) Compose(req ComposeRequest) (*soa.SLA, error) {
+	return c.postForSLA("/compose", req)
+}
+
+// Renegotiate relaxes an existing agreement: the broker retracts the
+// old requirement from the SLA's live store and tells the new one.
+// A *ErrNoAgreement error means the relaxation was rejected and the
+// previous agreement stands.
+func (c *Client) Renegotiate(req RenegotiateRequest) (*soa.SLA, error) {
+	return c.postForSLA("/renegotiate", req)
+}
+
+// Observe reports one measured service level for an agreement and
+// returns whether it violated the SLA with the updated compliance
+// summary.
+func (c *Client) Observe(id string, level float64) (*ObserveResponse, error) {
+	body, err := xml.Marshal(ObserveRequest{ID: id, Level: level})
+	if err != nil {
+		return nil, fmt.Errorf("broker: encode observation: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/observe", "application/xml", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("broker: observe: %w", err)
+	}
+	defer discard(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("observe", resp)
+	}
+	var or ObserveResponse
+	if err := xml.NewDecoder(resp.Body).Decode(&or); err != nil {
+		return nil, fmt.Errorf("broker: decode observation: %w", err)
+	}
+	return &or, nil
+}
+
+// Compliance fetches the compliance summary for an agreement.
+func (c *Client) Compliance(id string) (*MonitorReport, error) {
+	resp, err := c.hc.Get(c.base + "/compliance?id=" + url.QueryEscape(id))
+	if err != nil {
+		return nil, fmt.Errorf("broker: compliance: %w", err)
+	}
+	defer discard(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("compliance", resp)
+	}
+	var mr MonitorReport
+	if err := xml.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, fmt.Errorf("broker: decode compliance: %w", err)
+	}
+	return &mr, nil
+}
+
+// SLA fetches the current agreement by id.
+func (c *Client) SLA(id string) (*soa.SLA, error) {
+	resp, err := c.hc.Get(c.base + "/sla?id=" + url.QueryEscape(id))
+	if err != nil {
+		return nil, fmt.Errorf("broker: sla: %w", err)
+	}
+	defer discard(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("sla", resp)
+	}
+	var sla soa.SLA
+	if err := xml.NewDecoder(resp.Body).Decode(&sla); err != nil {
+		return nil, fmt.Errorf("broker: decode SLA: %w", err)
+	}
+	return &sla, nil
+}
+
+func (c *Client) postForSLA(path string, req any) (*soa.SLA, error) {
+	body, err := xml.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("broker: encode request: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/xml", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("broker: %s: %w", path, err)
+	}
+	defer discard(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sla soa.SLA
+		if err := xml.NewDecoder(resp.Body).Decode(&sla); err != nil {
+			return nil, fmt.Errorf("broker: decode SLA: %w", err)
+		}
+		return &sla, nil
+	case http.StatusConflict:
+		var fr FailureResponse
+		if err := xml.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			return nil, fmt.Errorf("broker: decode failure: %w", err)
+		}
+		return nil, &ErrNoAgreement{Reason: fr.Reason, Tried: fr.Tried}
+	default:
+		return nil, httpError(path, resp)
+	}
+}
+
+func httpError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("broker: %s: HTTP %d: %s", op, resp.StatusCode, bytes.TrimSpace(msg))
+}
+
+func discard(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+}

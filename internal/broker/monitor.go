@@ -1,0 +1,109 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+
+	"softsoa/internal/semiring"
+	"softsoa/internal/soa"
+)
+
+// Monitor tracks observed service levels against a signed agreement —
+// the paper's requirement that "the composition of services can be
+// monitored and checked". An observation violates the SLA when it is
+// strictly worse than the agreed level in the metric's semiring
+// order: a higher cost, or a lower reliability/preference. Monitors
+// are safe for concurrent use.
+type Monitor struct {
+	mu           sync.Mutex
+	metric       soa.Metric
+	sr           semiring.Semiring[float64]
+	agreed       float64
+	observations int64
+	violations   int64
+	worst        float64
+	hasWorst     bool
+}
+
+// NewMonitor returns a monitor for the SLA's agreed level.
+func NewMonitor(sla *soa.SLA) (*Monitor, error) {
+	sr, err := soa.SemiringFor(sla.Metric)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{metric: sla.Metric, sr: sr, agreed: sla.AgreedLevel}, nil
+}
+
+// Rebase updates the agreed level after a renegotiation; history is
+// kept (past violations were violations of the agreement in force at
+// the time).
+func (m *Monitor) Rebase(agreedLevel float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.agreed = agreedLevel
+}
+
+// Observe records one measured service level and reports whether it
+// violates the agreement.
+func (m *Monitor) Observe(level float64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observations++
+	if !m.hasWorst || semiring.Lt(m.sr, level, m.worst) {
+		m.worst = level
+		m.hasWorst = true
+	}
+	if semiring.Lt(m.sr, level, m.agreed) {
+		m.violations++
+		return true
+	}
+	return false
+}
+
+// MonitorReport summarises compliance.
+type MonitorReport struct {
+	// Metric is the monitored QoS metric.
+	Metric soa.Metric `xml:"metric,attr"`
+	// AgreedLevel is the level currently in force.
+	AgreedLevel float64 `xml:"agreedLevel,attr"`
+	// Observations counts reported measurements.
+	Observations int64 `xml:"observations,attr"`
+	// Violations counts measurements strictly worse than agreed.
+	Violations int64 `xml:"violations,attr"`
+	// ViolationRate is Violations/Observations (0 with no data).
+	ViolationRate float64 `xml:"violationRate,attr"`
+	// WorstObserved is the worst level seen (meaningless before the
+	// first observation).
+	WorstObserved float64 `xml:"worstObserved,attr"`
+}
+
+// Report returns the current compliance summary.
+func (m *Monitor) Report() MonitorReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := MonitorReport{
+		Metric:       m.metric,
+		AgreedLevel:  m.agreed,
+		Observations: m.observations,
+		Violations:   m.violations,
+	}
+	if m.observations > 0 {
+		r.ViolationRate = float64(m.violations) / float64(m.observations)
+		r.WorstObserved = m.worst
+	}
+	return r
+}
+
+// Healthy reports whether the violation rate is at most maxRate.
+// With no observations the agreement is vacuously healthy.
+func (m *Monitor) Healthy(maxRate float64) bool {
+	r := m.Report()
+	return r.ViolationRate <= maxRate
+}
+
+// String renders a one-line summary.
+func (m *Monitor) String() string {
+	r := m.Report()
+	return fmt.Sprintf("monitor[%s agreed=%v obs=%d viol=%d rate=%.2f]",
+		r.Metric, r.AgreedLevel, r.Observations, r.Violations, r.ViolationRate)
+}

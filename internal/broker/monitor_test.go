@@ -1,0 +1,154 @@
+package broker
+
+import (
+	"strings"
+	"testing"
+
+	"softsoa/internal/soa"
+)
+
+func TestMonitorCostViolations(t *testing.T) {
+	mon, err := NewMonitor(&soa.SLA{Metric: soa.MetricCost, AgreedLevel: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Observe(4) {
+		t.Error("cost 4 under an agreed 5 is compliant")
+	}
+	if mon.Observe(5) {
+		t.Error("exactly the agreed level is compliant")
+	}
+	if !mon.Observe(7) {
+		t.Error("cost 7 over an agreed 5 is a violation")
+	}
+	r := mon.Report()
+	if r.Observations != 3 || r.Violations != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.WorstObserved != 7 {
+		t.Errorf("worst = %v, want 7", r.WorstObserved)
+	}
+	if !mon.Healthy(0.5) || mon.Healthy(0.2) {
+		t.Errorf("health thresholds wrong: rate %v", r.ViolationRate)
+	}
+	if !strings.Contains(mon.String(), "viol=1") {
+		t.Errorf("String = %q", mon.String())
+	}
+}
+
+func TestMonitorReliabilityDirection(t *testing.T) {
+	mon, err := NewMonitor(&soa.SLA{Metric: soa.MetricReliability, AgreedLevel: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Observe(0.95) {
+		t.Error("reliability above agreed is compliant")
+	}
+	if !mon.Observe(0.5) {
+		t.Error("reliability below agreed is a violation")
+	}
+	if got := mon.Report().WorstObserved; got != 0.5 {
+		t.Errorf("worst = %v", got)
+	}
+}
+
+func TestMonitorRebase(t *testing.T) {
+	mon, err := NewMonitor(&soa.SLA{Metric: soa.MetricCost, AgreedLevel: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mon.Observe(6) {
+		t.Fatal("6 violates agreed 5")
+	}
+	mon.Rebase(10)
+	if mon.Observe(6) {
+		t.Error("6 complies with rebased 10")
+	}
+	r := mon.Report()
+	if r.Violations != 1 || r.AgreedLevel != 10 {
+		t.Errorf("report = %+v", r)
+	}
+}
+
+func TestMonitorUnknownMetric(t *testing.T) {
+	if _, err := NewMonitor(&soa.SLA{Metric: "latency"}); err == nil {
+		t.Error("unknown metric should fail")
+	}
+}
+
+func TestMonitorEmptyIsHealthy(t *testing.T) {
+	mon, err := NewMonitor(&soa.SLA{Metric: soa.MetricCost, AgreedLevel: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mon.Healthy(0) {
+		t.Error("no observations: vacuously healthy")
+	}
+}
+
+// TestHTTPMonitoringLifecycle drives negotiate → observe → compliance
+// → renegotiate (rebase) → observe over the wire.
+func TestHTTPMonitoringLifecycle(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	client, _ := clientFor(t, srv)
+	if err := client.Publish(costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	sla, err := client.Negotiate(NegotiateRequest{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agreed level 5. An observed cost of 6.5 violates.
+	obs, err := client.Observe(sla.ID, 6.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Violated {
+		t.Error("6.5 over agreed 5 must violate")
+	}
+	obs, err = client.Observe(sla.ID, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Violated {
+		t.Error("4 under agreed 5 must comply")
+	}
+	rep, err := client.Compliance(sla.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observations != 2 || rep.Violations != 1 || rep.ViolationRate != 0.5 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	// Renegotiation rebases the monitor (same flat requirement keeps
+	// level 5 here, but the path is exercised).
+	if _, err := client.Renegotiate(RenegotiateRequest{
+		ID: sla.ID,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = client.Compliance(sla.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AgreedLevel != 5 {
+		t.Errorf("rebased agreed level = %v", rep.AgreedLevel)
+	}
+
+	// Unknown id paths.
+	if _, err := client.Observe("sla-999", 1); err == nil {
+		t.Error("unknown SLA should fail")
+	}
+	if _, err := client.Compliance("sla-999"); err == nil {
+		t.Error("unknown SLA should fail")
+	}
+}

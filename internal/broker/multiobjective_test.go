@@ -1,0 +1,138 @@
+package broker
+
+import (
+	"testing"
+
+	"softsoa/internal/policy"
+	"softsoa/internal/soa"
+)
+
+func dualDoc(provider, service, region string, cost, rel float64, caps ...string) *soa.Document {
+	return &soa.Document{
+		Service: service, Provider: provider, Region: region,
+		Capabilities: caps,
+		Attributes: []soa.Attribute{
+			{Name: "fee", Metric: soa.MetricCost, Base: cost, PerUnit: 0, Resource: "load", MaxUnits: 2},
+			{Name: "uptime", Metric: soa.MetricReliability, Base: rel, PerUnit: 0, Resource: "load", MaxUnits: 2},
+		},
+	}
+}
+
+// TestMultiObjectiveParetoFrontier: three single-stage providers —
+// cheap/flaky, dear/solid, and a dominated middle one. The frontier
+// must contain exactly the two non-dominated offers.
+func TestMultiObjectiveParetoFrontier(t *testing.T) {
+	reg := soa.NewRegistry()
+	for _, d := range []*soa.Document{
+		dualDoc("cheap", "svc", "eu", 2, 80),    // cost 2, rel 0.80
+		dualDoc("solid", "svc", "eu", 8, 99),    // cost 8, rel 0.99
+		dualDoc("middling", "svc", "eu", 9, 90), // dominated by solid
+	} {
+		if err := reg.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewComposer(reg, DefaultLinkPenalty)
+	frontier, err := c.ComposeMultiObjective(PipelineRequest{
+		Client: "shop", Stages: []string{"svc"}, Metric: soa.MetricCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) != 2 {
+		t.Fatalf("frontier size = %d, want 2: %+v", len(frontier), frontier)
+	}
+	if frontier[0].Choices[0].Provider != "cheap" || frontier[0].TotalCost != 2 {
+		t.Errorf("first frontier point = %+v, want cheap at cost 2", frontier[0])
+	}
+	if frontier[1].Choices[0].Provider != "solid" || frontier[1].TotalReliability != 0.99 {
+		t.Errorf("second frontier point = %+v, want solid at rel 0.99", frontier[1])
+	}
+	for _, mc := range frontier {
+		if mc.Choices[0].Provider == "middling" {
+			t.Error("dominated provider must not appear on the frontier")
+		}
+	}
+}
+
+// TestMultiObjectivePipelineWithLinkPenalty: staying in one region
+// trades off against a cheaper cross-region pair; both ends of the
+// trade-off appear on the frontier.
+func TestMultiObjectivePipelineWithLinkPenalty(t *testing.T) {
+	reg := soa.NewRegistry()
+	for _, d := range []*soa.Document{
+		dualDoc("a-eu", "s1", "eu", 6, 95),
+		dualDoc("a-us", "s1", "us", 3, 95),
+		dualDoc("b-eu", "s2", "eu", 4, 95),
+	} {
+		if err := reg.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewComposer(reg, LinkPenalty{Cost: 2, Factor: 0.9})
+	frontier, err := c.ComposeMultiObjective(PipelineRequest{
+		Client: "shop", Stages: []string{"s1", "s2"}, Metric: soa.MetricCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// all-eu: cost 10, rel 0.9025; us+eu: cost 3+4+2=9, rel 0.9025·0.9.
+	// Neither dominates: both on the frontier.
+	if len(frontier) != 2 {
+		t.Fatalf("frontier = %+v, want both trade-offs", frontier)
+	}
+	if frontier[0].TotalCost != 9 || frontier[1].TotalCost != 10 {
+		t.Errorf("costs = %v, %v; want 9 and 10", frontier[0].TotalCost, frontier[1].TotalCost)
+	}
+	if !(frontier[1].TotalReliability > frontier[0].TotalReliability) {
+		t.Errorf("the dearer composition must be more reliable: %+v", frontier)
+	}
+}
+
+func TestMultiObjectiveRequiresBothMetrics(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("costonly", "svc", 3, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewComposer(reg, DefaultLinkPenalty)
+	if _, err := c.ComposeMultiObjective(PipelineRequest{
+		Client: "shop", Stages: []string{"svc"}, Metric: soa.MetricCost,
+	}); err == nil {
+		t.Fatal("providers without both metrics must be rejected")
+	}
+}
+
+func TestMultiObjectiveHonoursCapabilities(t *testing.T) {
+	reg := soa.NewRegistry()
+	for _, d := range []*soa.Document{
+		dualDoc("insecure", "svc", "eu", 1, 99, "gzip"),
+		dualDoc("secure", "svc", "eu", 5, 90, "http-auth"),
+	} {
+		if err := reg.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewComposer(reg, DefaultLinkPenalty, WithComposerVocabulary(testVocabulary(t)))
+	frontier, err := c.ComposeMultiObjective(PipelineRequest{
+		Client: "shop", Stages: []string{"svc"}, Metric: soa.MetricCost,
+		Capabilities: policy.Requirement{Must: []string{"http-auth"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) != 1 || frontier[0].Choices[0].Provider != "secure" {
+		t.Fatalf("frontier = %+v, want only the secure provider", frontier)
+	}
+}
+
+func TestMultiObjectiveValidation(t *testing.T) {
+	c := NewComposer(soa.NewRegistry(), DefaultLinkPenalty)
+	if _, err := c.ComposeMultiObjective(PipelineRequest{}); err == nil {
+		t.Error("empty request should fail")
+	}
+	if _, err := c.ComposeMultiObjective(PipelineRequest{
+		Client: "c", Stages: []string{"ghost"}, Metric: soa.MetricCost,
+	}); err == nil {
+		t.Error("unknown stage should fail")
+	}
+}

@@ -1,0 +1,316 @@
+// Package broker implements the QoS broker/orchestrator of Fig. 6:
+// the module between clients and providers that hosts a soft
+// constraint solver and an nmsccp engine to negotiate Service Level
+// Agreements (steps 1–5 of the paper's protocol), to select the best
+// provider among those registered, and to compose pipelines of
+// services optimising end-to-end QoS. The HTTP front-end in server.go
+// exposes the same operations over XML, standing in for the SOAP/UDDI
+// stack the paper assumes.
+package broker
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"softsoa/internal/core"
+	"softsoa/internal/policy"
+	"softsoa/internal/sccp"
+	"softsoa/internal/semiring"
+	"softsoa/internal/soa"
+)
+
+// Request is a client's negotiation request (step 1): the wanted
+// service, the metric to negotiate, the client's own QoS policy, and
+// the acceptance interval for the agreed consistency level.
+type Request struct {
+	// Service is the abstract service to bind.
+	Service string
+	// Client names the requesting party.
+	Client string
+	// Metric selects what is negotiated and hence the semiring.
+	Metric soa.Metric
+	// Requirement is the client's own policy, translated to a soft
+	// constraint and told to the shared store alongside the
+	// provider's offer.
+	Requirement soa.Attribute
+	// Lower (a1) and Upper (a2) bound the acceptable consistency of
+	// the final store, as in the checked transitions of the language;
+	// nil means unbounded. For cost, Lower is the worst (highest)
+	// acceptable total and Upper the "too good to be true" floor.
+	Lower *float64
+	Upper *float64
+	// Capabilities is the client's MUST/MAY capability policy;
+	// providers that miss a MUST capability are excluded before
+	// negotiation, and MAY coverage breaks ties between equally good
+	// agreements. Requires the negotiator to have a vocabulary.
+	Capabilities policy.Requirement
+}
+
+// Validate checks the request.
+func (r *Request) Validate() error {
+	if r.Service == "" {
+		return fmt.Errorf("broker: request without service")
+	}
+	if r.Client == "" {
+		return fmt.Errorf("broker: request without client")
+	}
+	if !r.Metric.Valid() {
+		return fmt.Errorf("broker: unknown metric %q", r.Metric)
+	}
+	if r.Requirement.Metric != r.Metric {
+		return fmt.Errorf("broker: requirement metric %q differs from negotiated %q",
+			r.Requirement.Metric, r.Metric)
+	}
+	return nil
+}
+
+// ProviderOutcome records the result of negotiating with one
+// provider.
+type ProviderOutcome struct {
+	// Provider names the provider.
+	Provider string
+	// Status is the nmsccp machine's final status.
+	Status sccp.Status
+	// Skipped explains why the provider was excluded before
+	// negotiation (missing metric or capabilities); empty otherwise.
+	Skipped string
+	// AgreedLevel is the final store consistency (meaningful when
+	// Status is Succeeded).
+	AgreedLevel float64
+	// Preference is the fuzzy MAY-capability coverage in [0,1]
+	// (1 when the request states no capability policy).
+	Preference float64
+	// Resources is the best resource allocation under the agreement.
+	Resources map[string]int
+}
+
+// Outcome is the full negotiation record across providers.
+type Outcome struct {
+	// PerProvider lists each attempted provider's result, in
+	// registry order.
+	PerProvider []ProviderOutcome
+	// Best indexes the winning provider in PerProvider, or -1.
+	Best int
+}
+
+// Negotiator is the broker's negotiation engine over a registry.
+type Negotiator struct {
+	reg   *soa.Registry
+	vocab *policy.Vocabulary
+}
+
+// NegotiatorOption configures a Negotiator.
+type NegotiatorOption func(*Negotiator)
+
+// WithVocabulary equips the negotiator with a capability vocabulary,
+// enabling MUST/MAY capability policies in requests.
+func WithVocabulary(v *policy.Vocabulary) NegotiatorOption {
+	return func(n *Negotiator) { n.vocab = v }
+}
+
+// NewNegotiator returns a negotiator over the registry.
+func NewNegotiator(reg *soa.Registry, opts ...NegotiatorOption) *Negotiator {
+	n := &Negotiator{reg: reg}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Negotiate runs the paper's protocol: discover the providers
+// (step 2), for each run a provider/client nmsccp agent pair on a
+// shared store (steps 3–4), and bind the best successful agreement
+// into an SLA (step 5). It returns the SLA, the per-provider
+// outcomes, and an error only for invalid requests or an empty
+// registry; "no agreement" is reported via a nil SLA.
+func (n *Negotiator) Negotiate(req Request) (*soa.SLA, *Outcome, error) {
+	sla, _, outcome, err := n.negotiate(req)
+	return sla, outcome, err
+}
+
+// negotiate is the engine behind Negotiate and NegotiateSession.
+func (n *Negotiator) negotiate(req Request) (*soa.SLA, *Session, *Outcome, error) {
+	if err := req.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	docs := n.reg.Discover(req.Service)
+	if len(docs) == 0 {
+		return nil, nil, nil, fmt.Errorf("broker: no providers registered for %q", req.Service)
+	}
+	sr, err := soa.SemiringFor(req.Metric)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	hasPolicy := len(req.Capabilities.Must) > 0 || len(req.Capabilities.May) > 0
+	if hasPolicy && n.vocab == nil {
+		return nil, nil, nil, fmt.Errorf("broker: request states a capability policy but the broker has no vocabulary")
+	}
+
+	out := &Outcome{Best: -1}
+	var bestLevel, bestPref float64
+	var bestSession *Session
+	for _, doc := range docs {
+		attr, ok := doc.Attr(req.Metric)
+		if !ok {
+			out.PerProvider = append(out.PerProvider, ProviderOutcome{
+				Provider: doc.Provider, Status: sccp.Stuck,
+				Skipped: fmt.Sprintf("no %q attribute", req.Metric),
+			})
+			continue
+		}
+		pref := 1.0
+		if hasPolicy {
+			match, err := n.vocab.Evaluate(req.Capabilities, policy.Offer{Supports: doc.Capabilities})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if !match.Satisfied {
+				out.PerProvider = append(out.PerProvider, ProviderOutcome{
+					Provider: doc.Provider, Status: sccp.Stuck,
+					Skipped: fmt.Sprintf("missing MUST capabilities %v", match.MissingMust),
+				})
+				continue
+			}
+			pref = match.Preference
+		}
+		po, sess, err := n.negotiateOne(sr, req, doc.Provider, attr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		po.Preference = pref
+		out.PerProvider = append(out.PerProvider, po)
+		if po.Status != sccp.Succeeded {
+			continue
+		}
+		better := semiring.Gt(sr, po.AgreedLevel, bestLevel) ||
+			(sr.Eq(po.AgreedLevel, bestLevel) && po.Preference > bestPref)
+		if out.Best < 0 || better {
+			out.Best = len(out.PerProvider) - 1
+			bestLevel = po.AgreedLevel
+			bestPref = po.Preference
+			bestSession = sess
+		}
+	}
+	if out.Best < 0 {
+		return nil, nil, out, nil
+	}
+	return bestSession.SLA(), bestSession, out, nil
+}
+
+// negotiateOne runs the two-agent nmsccp negotiation for a single
+// provider: P ≡ tell(offer) → tell(spP) → ask(spC) → success and
+// C ≡ tell(requirement) → tell(spC) → ask(spP)→[a1,a2] success,
+// mirroring Example 1 of the paper with the client carrying the
+// acceptance interval.
+func (n *Negotiator) negotiateOne(
+	sr semiring.Semiring[float64],
+	req Request,
+	provider string,
+	offer soa.Attribute,
+) (ProviderOutcome, *Session, error) {
+	space := core.NewSpace[float64](sr)
+
+	// Resource variables: one per distinct resource name, sized to
+	// cover both parties' declared ranges.
+	maxUnits := map[string]int{offer.Resource: offer.MaxUnits}
+	if cur, ok := maxUnits[req.Requirement.Resource]; !ok || req.Requirement.MaxUnits > cur {
+		maxUnits[req.Requirement.Resource] = req.Requirement.MaxUnits
+	}
+	resourceVars := map[string]core.Variable{}
+	names := make([]string, 0, len(maxUnits))
+	for name := range maxUnits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		resourceVars[name] = space.AddVariable(core.Variable(name), core.IntDomain(0, maxUnits[name]))
+	}
+	spP := space.AddVariable("spP", core.IntDomain(0, 1))
+	spC := space.AddVariable("spC", core.IntDomain(0, 1))
+
+	offerCon, err := offer.ToConstraint(space, resourceVars[offer.Resource])
+	if err != nil {
+		return ProviderOutcome{}, nil, err
+	}
+	reqCon, err := req.Requirement.ToConstraint(space, resourceVars[req.Requirement.Resource])
+	if err != nil {
+		return ProviderOutcome{}, nil, err
+	}
+	flag := func(v core.Variable) *core.Constraint[float64] {
+		return core.NewConstraint(space, []core.Variable{v}, func(a core.Assignment) float64 {
+			if a.Num(v) == 1 {
+				return sr.One()
+			}
+			return sr.Zero()
+		})
+	}
+	spPCon, spCCon := flag(spP), flag(spC)
+
+	check := sccp.Check[float64]{LowerValue: req.Lower, UpperValue: req.Upper}
+	pAgent := sccp.Tell[float64]{C: offerCon, Next: sccp.Tell[float64]{C: spPCon, Next: sccp.Ask[float64]{
+		C: spCCon, Next: sccp.Success[float64]{},
+	}}}
+	cAgent := sccp.Tell[float64]{C: reqCon, Next: sccp.Tell[float64]{C: spCCon, Next: sccp.Ask[float64]{
+		C: spPCon, Check: check, Next: sccp.Success[float64]{},
+	}}}
+
+	m := sccp.NewMachine(space, sccp.Par[float64](pAgent, cAgent))
+	status, err := m.Run(200)
+	if err != nil {
+		return ProviderOutcome{}, nil, fmt.Errorf("broker: negotiation with %q: %w", provider, err)
+	}
+	po := ProviderOutcome{Provider: provider, Status: status}
+	if status != sccp.Succeeded {
+		return po, nil, nil
+	}
+	po.AgreedLevel = m.Store().Blevel()
+	po.Resources = bestResources(sr, m.Store().Constraint(), resourceVars)
+	sess := &Session{
+		provider:     provider,
+		service:      req.Service,
+		client:       req.Client,
+		metric:       req.Metric,
+		sr:           sr,
+		space:        space,
+		store:        m.Store(),
+		reqCon:       reqCon,
+		resourceVars: resourceVars,
+		version:      1,
+	}
+	return po, sess, nil
+}
+
+// bestResources extracts the resource allocation attaining the
+// store's best consistency level.
+func bestResources(
+	sr semiring.Semiring[float64],
+	sigma *core.Constraint[float64],
+	resourceVars map[string]core.Variable,
+) map[string]int {
+	keep := make([]core.Variable, 0, len(resourceVars))
+	for _, v := range resourceVars {
+		keep = append(keep, v)
+	}
+	proj := core.ProjectTo(sigma, keep...)
+	best := sr.Zero()
+	var bestAsst core.Assignment
+	proj.ForEach(func(a core.Assignment, v float64) {
+		if bestAsst == nil || semiring.Gt(sr, v, best) {
+			best = v
+			cp := make(core.Assignment, len(a))
+			for k, dv := range a {
+				cp[k] = dv
+			}
+			bestAsst = cp
+		}
+	})
+	out := make(map[string]int, len(resourceVars))
+	for name, v := range resourceVars {
+		if dv, ok := bestAsst[v]; ok {
+			out[name] = int(math.Round(dv.Num))
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package broker
+
+import (
+	"fmt"
+
+	"softsoa/internal/soa"
+)
+
+// RelaxationStep is one round of an automatic relaxation strategy: a
+// weaker requirement and the acceptance interval under which it may
+// be told.
+type RelaxationStep struct {
+	// Requirement replaces the previous one (retracted first).
+	Requirement soa.Attribute
+	// Lower/Upper bound the acceptable consistency after the step.
+	Lower *float64
+	Upper *float64
+}
+
+// RelaxationOutcome records how a negotiation with fallbacks ended.
+type RelaxationOutcome struct {
+	// Rounds counts the requirements tried (1 = the original).
+	Rounds int
+	// RelaxationsUsed counts the fallback steps applied.
+	RelaxationsUsed int
+	// FinalOutcome is the per-provider record of the last attempt.
+	FinalOutcome *Outcome
+}
+
+// NegotiateWithRelaxation implements the multi-round negotiation the
+// paper's nonmonotonic language is designed for: if the original
+// request finds no agreement, the client's requirement is relaxed
+// through the fallback steps — each applied to the winning provider
+// candidates by retracting (÷) the previous requirement and telling
+// the weaker one, exactly as Example 2 relaxes a merged policy. The
+// first round that produces an agreement wins; if every round fails,
+// a nil SLA is returned with the full outcome trail.
+func (n *Negotiator) NegotiateWithRelaxation(
+	req Request,
+	fallbacks []RelaxationStep,
+) (*soa.SLA, *Session, *RelaxationOutcome, error) {
+	for _, fb := range fallbacks {
+		if fb.Requirement.Metric != req.Metric {
+			return nil, nil, nil, fmt.Errorf(
+				"broker: fallback metric %q differs from negotiated %q",
+				fb.Requirement.Metric, req.Metric)
+		}
+	}
+
+	trail := &RelaxationOutcome{}
+	sla, session, outcome, err := n.NegotiateSession(req)
+	trail.Rounds = 1
+	trail.FinalOutcome = outcome
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if sla != nil {
+		return sla, session, trail, nil
+	}
+
+	// No agreement: relax round by round. Each round renegotiates the
+	// request with the weaker requirement; sessions from failed rounds
+	// are not retained (the failed machines never produced one), so
+	// the relaxation re-enters negotiation with the new requirement —
+	// and, once a session exists, subsequent steps relax it in place.
+	cur := req
+	for _, fb := range fallbacks {
+		trail.Rounds++
+		trail.RelaxationsUsed++
+		if session == nil {
+			cur.Requirement = fb.Requirement
+			cur.Lower = fb.Lower
+			cur.Upper = fb.Upper
+			sla, session, outcome, err = n.NegotiateSession(cur)
+			if err != nil {
+				return nil, nil, trail, err
+			}
+			trail.FinalOutcome = outcome
+			if sla != nil {
+				return sla, session, trail, nil
+			}
+			continue
+		}
+		// A live session exists from an earlier successful round (only
+		// reachable when a later fallback tightens again): relax it
+		// nonmonotonically.
+		relaxed, err := session.Renegotiate(fb.Requirement, fb.Lower, fb.Upper)
+		if err != nil {
+			return nil, nil, trail, err
+		}
+		if relaxed != nil {
+			return relaxed, session, trail, nil
+		}
+	}
+	return nil, nil, trail, nil
+}

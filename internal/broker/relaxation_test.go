@@ -1,0 +1,122 @@
+package broker
+
+import (
+	"testing"
+
+	"softsoa/internal/soa"
+)
+
+// TestRelaxationSucceedsOnSecondRound mirrors the Example 1 → Example
+// 2 arc: the strict interval [4,1] fails against the provider's
+// x+5 ⊗ 2x store, the fallback drops the client policy to 2x-minus —
+// here a flat 0 requirement with a wider interval — and succeeds.
+func TestRelaxationSucceedsOnSecondRound(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	strict := Request{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4), Upper: fptr(1),
+	}
+	fallbacks := []RelaxationStep{{
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(10),
+	}}
+	sla, session, trail, err := n.NegotiateWithRelaxation(strict, fallbacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil {
+		t.Fatalf("expected agreement after relaxation, trail %+v", trail)
+	}
+	if trail.Rounds != 2 || trail.RelaxationsUsed != 1 {
+		t.Errorf("trail = %+v, want 2 rounds / 1 relaxation", trail)
+	}
+	if sla.AgreedLevel != 5 {
+		t.Errorf("agreed level = %v, want 5 (provider base alone)", sla.AgreedLevel)
+	}
+	if session == nil || session.Version() != 1 {
+		t.Errorf("session = %+v", session)
+	}
+}
+
+func TestRelaxationFirstRoundWins(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+	}
+	sla, _, trail, err := n.NegotiateWithRelaxation(req, []RelaxationStep{{
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil || trail.Rounds != 1 || trail.RelaxationsUsed != 0 {
+		t.Fatalf("sla=%v trail=%+v", sla, trail)
+	}
+}
+
+func TestRelaxationAllRoundsFail(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "svc", 9, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+		Lower:       fptr(3), // demand cost ≤ 3; the provider floor is 9
+	}
+	sla, session, trail, err := n.NegotiateWithRelaxation(req, []RelaxationStep{
+		{
+			Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+			Lower:       fptr(5), // still impossible
+		},
+		{
+			Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+			Lower:       fptr(7), // still impossible
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla != nil || session != nil {
+		t.Fatal("no round should succeed")
+	}
+	if trail.Rounds != 3 || trail.RelaxationsUsed != 2 {
+		t.Errorf("trail = %+v", trail)
+	}
+	if trail.FinalOutcome == nil || len(trail.FinalOutcome.PerProvider) != 1 {
+		t.Errorf("final outcome missing: %+v", trail.FinalOutcome)
+	}
+}
+
+func TestRelaxationMetricMismatchRejected(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+	}
+	_, _, _, err := n.NegotiateWithRelaxation(req, []RelaxationStep{{
+		Requirement: soa.Attribute{Metric: soa.MetricReliability, Base: 90, Resource: "failures"},
+	}})
+	if err == nil {
+		t.Fatal("fallback with mismatched metric must fail upfront")
+	}
+}

@@ -1,0 +1,383 @@
+package broker
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"softsoa/internal/policy"
+	"softsoa/internal/soa"
+)
+
+// Wire formats. The paper assumes SOAP messages extended with QoS
+// requirements and a UDDI registry; this HTTP/XML front-end carries
+// the same documents over the same protocol steps.
+
+// NegotiateRequest is the XML body of POST /negotiate.
+type NegotiateRequest struct {
+	XMLName     xml.Name      `xml:"negotiate"`
+	Service     string        `xml:"service,attr"`
+	Client      string        `xml:"client,attr"`
+	Metric      soa.Metric    `xml:"metric,attr"`
+	Requirement soa.Attribute `xml:"requirement"`
+	// Lower/Upper are the client's acceptance interval (a1/a2);
+	// omitted elements mean unbounded.
+	Lower *float64 `xml:"lower,omitempty"`
+	Upper *float64 `xml:"upper,omitempty"`
+	// Must/May carry the client's capability policy.
+	Must []string `xml:"must,omitempty"`
+	May  []string `xml:"may,omitempty"`
+}
+
+// ComposeRequest is the XML body of POST /compose.
+type ComposeRequest struct {
+	XMLName xml.Name   `xml:"compose"`
+	Client  string     `xml:"client,attr"`
+	Metric  soa.Metric `xml:"metric,attr"`
+	// Greedy selects the baseline algorithm instead of the optimal
+	// branch-and-bound composition.
+	Greedy bool     `xml:"greedy,attr,omitempty"`
+	Stages []string `xml:"stage"`
+	Lower  *float64 `xml:"lower,omitempty"`
+	// Must/May carry the client's capability policy.
+	Must []string `xml:"must,omitempty"`
+	May  []string `xml:"may,omitempty"`
+}
+
+// DiscoverResponse is the XML body returned by GET /discover.
+type DiscoverResponse struct {
+	XMLName   xml.Name       `xml:"services"`
+	Service   string         `xml:"service,attr"`
+	Documents []soa.Document `xml:"qos"`
+}
+
+// FailureResponse reports a negotiation that found no agreement.
+type FailureResponse struct {
+	XMLName xml.Name         `xml:"failure"`
+	Reason  string           `xml:"reason,attr"`
+	Tried   []ProviderReport `xml:"provider"`
+}
+
+// ProviderReport is one provider's negotiation status on the wire.
+type ProviderReport struct {
+	Name   string `xml:"name,attr"`
+	Status string `xml:"status,attr"`
+}
+
+// RenegotiateRequest is the XML body of POST /renegotiate: the
+// client's new requirement and acceptance interval for an existing
+// agreement.
+type RenegotiateRequest struct {
+	XMLName     xml.Name      `xml:"renegotiate"`
+	ID          string        `xml:"id,attr"`
+	Requirement soa.Attribute `xml:"requirement"`
+	Lower       *float64      `xml:"lower,omitempty"`
+	Upper       *float64      `xml:"upper,omitempty"`
+}
+
+// ObserveRequest is the XML body of POST /observe: one measured
+// service level for a live agreement.
+type ObserveRequest struct {
+	XMLName xml.Name `xml:"observe"`
+	ID      string   `xml:"id,attr"`
+	Level   float64  `xml:"level,attr"`
+}
+
+// ObserveResponse reports whether the observation violated the SLA,
+// with the updated compliance summary.
+type ObserveResponse struct {
+	XMLName  xml.Name      `xml:"observation"`
+	ID       string        `xml:"id,attr"`
+	Violated bool          `xml:"violated,attr"`
+	Report   MonitorReport `xml:"report"`
+}
+
+// Server is the broker daemon: registry + negotiator + composer
+// behind an HTTP mux, plus the store of live SLA sessions and their
+// compliance monitors.
+type Server struct {
+	reg        *soa.Registry
+	negotiator *Negotiator
+	composer   *Composer
+	mux        *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	monitors map[string]*Monitor
+	nextID   int
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	vocab *policy.Vocabulary
+}
+
+// WithServerVocabulary equips the broker daemon with a capability
+// vocabulary, enabling MUST/MAY capability policies on the wire.
+func WithServerVocabulary(v *policy.Vocabulary) ServerOption {
+	return func(c *serverConfig) { c.vocab = v }
+}
+
+// NewServer returns a broker server over a fresh registry with the
+// given link penalty for compositions.
+func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	reg := soa.NewRegistry()
+	s := &Server{
+		reg:        reg,
+		negotiator: NewNegotiator(reg, WithVocabulary(cfg.vocab)),
+		composer:   NewComposer(reg, penalty, WithComposerVocabulary(cfg.vocab)),
+		sessions:   make(map[string]*Session),
+		monitors:   make(map[string]*Monitor),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /publish", s.handlePublish)
+	mux.HandleFunc("GET /discover", s.handleDiscover)
+	mux.HandleFunc("POST /negotiate", s.handleNegotiate)
+	mux.HandleFunc("POST /renegotiate", s.handleRenegotiate)
+	mux.HandleFunc("GET /sla", s.handleGetSLA)
+	mux.HandleFunc("POST /observe", s.handleObserve)
+	mux.HandleFunc("GET /compliance", s.handleCompliance)
+	mux.HandleFunc("POST /compose", s.handleCompose)
+	s.mux = mux
+	return s
+}
+
+// Registry exposes the server's registry (for tests and local
+// embedding).
+func (s *Server) Registry() *soa.Registry { return s.reg }
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	doc, err := soa.Parse(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.reg.Publish(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	service := r.URL.Query().Get("service")
+	if service == "" {
+		http.Error(w, "missing service parameter", http.StatusBadRequest)
+		return
+	}
+	resp := DiscoverResponse{Service: service}
+	for _, d := range s.reg.Discover(service) {
+		resp.Documents = append(resp.Documents, *d)
+	}
+	writeXML(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
+	var nr NegotiateRequest
+	if !readXML(w, r, &nr) {
+		return
+	}
+	req := Request{
+		Service:      nr.Service,
+		Client:       nr.Client,
+		Metric:       nr.Metric,
+		Requirement:  nr.Requirement,
+		Lower:        nr.Lower,
+		Upper:        nr.Upper,
+		Capabilities: policy.Requirement{Must: nr.Must, May: nr.May},
+	}
+	sla, session, outcome, err := s.negotiator.NegotiateSession(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sla == nil {
+		writeXML(w, http.StatusConflict, failureFromOutcome("no shared agreement", outcome))
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("sla-%d", s.nextID)
+	s.sessions[id] = session
+	if mon, err := NewMonitor(sla); err == nil {
+		s.monitors[id] = mon
+	}
+	s.mu.Unlock()
+	sla.ID = id
+	sla.Version = session.Version()
+	writeXML(w, http.StatusOK, sla)
+}
+
+// handleRenegotiate relaxes an existing agreement nonmonotonically:
+// the session's old requirement is retracted from the shared store
+// and the new one told under the given interval.
+func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
+	var rr RenegotiateRequest
+	if !readXML(w, r, &rr) {
+		return
+	}
+	s.mu.Lock()
+	session, ok := s.sessions[rr.ID]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown SLA %q", rr.ID), http.StatusNotFound)
+		return
+	}
+	// Sessions are single-threaded: serialise renegotiations on one
+	// agreement under the server lock (stores mutate in place).
+	s.mu.Lock()
+	sla, err := session.Renegotiate(rr.Requirement, rr.Lower, rr.Upper)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sla == nil {
+		writeXML(w, http.StatusConflict, FailureResponse{
+			Reason: "renegotiation rejected: the relaxed store violates the interval; previous agreement stands",
+		})
+		return
+	}
+	sla.ID = rr.ID
+	sla.Version = session.Version()
+	s.mu.Lock()
+	if mon, ok := s.monitors[rr.ID]; ok {
+		mon.Rebase(sla.AgreedLevel)
+	}
+	s.mu.Unlock()
+	writeXML(w, http.StatusOK, sla)
+}
+
+// handleObserve records a measured service level against a live SLA.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var or ObserveRequest
+	if !readXML(w, r, &or) {
+		return
+	}
+	s.mu.Lock()
+	mon, ok := s.monitors[or.ID]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown SLA %q", or.ID), http.StatusNotFound)
+		return
+	}
+	violated := mon.Observe(or.Level)
+	writeXML(w, http.StatusOK, ObserveResponse{
+		ID: or.ID, Violated: violated, Report: mon.Report(),
+	})
+}
+
+// handleCompliance returns the compliance summary for a live SLA.
+func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	s.mu.Lock()
+	mon, ok := s.monitors[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown SLA %q", id), http.StatusNotFound)
+		return
+	}
+	writeXML(w, http.StatusOK, mon.Report())
+}
+
+// handleGetSLA returns the current agreement for an SLA id.
+func (s *Server) handleGetSLA(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	s.mu.Lock()
+	session, ok := s.sessions[id]
+	var sla *soa.SLA
+	if ok {
+		sla = session.SLA()
+		sla.ID = id
+		sla.Version = session.Version()
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown SLA %q", id), http.StatusNotFound)
+		return
+	}
+	writeXML(w, http.StatusOK, sla)
+}
+
+func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
+	var cr ComposeRequest
+	if !readXML(w, r, &cr) {
+		return
+	}
+	req := PipelineRequest{
+		Client:       cr.Client,
+		Stages:       cr.Stages,
+		Metric:       cr.Metric,
+		Lower:        cr.Lower,
+		Capabilities: policy.Requirement{Must: cr.Must, May: cr.May},
+	}
+	var (
+		sla *soa.SLA
+		err error
+	)
+	if cr.Greedy {
+		sla, _, err = s.composer.ComposeGreedy(req)
+	} else {
+		sla, _, err = s.composer.Compose(req)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sla == nil {
+		writeXML(w, http.StatusConflict, FailureResponse{Reason: "no composition meets the requirement"})
+		return
+	}
+	writeXML(w, http.StatusOK, sla)
+}
+
+func failureFromOutcome(reason string, out *Outcome) FailureResponse {
+	fr := FailureResponse{Reason: reason}
+	if out != nil {
+		for _, po := range out.PerProvider {
+			fr.Tried = append(fr.Tried, ProviderReport{Name: po.Provider, Status: po.Status.String()})
+		}
+	}
+	return fr
+}
+
+func readXML(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := xml.Unmarshal(body, v); err != nil {
+		http.Error(w, "decode request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeXML(w http.ResponseWriter, status int, v any) {
+	out, err := xml.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("encode response: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	_, _ = w.Write(out)
+	_, _ = w.Write([]byte("\n"))
+}

@@ -1,0 +1,257 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"softsoa/internal/soa"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := NewServer(DefaultLinkPenalty)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL, ts.Client())
+}
+
+// TestHTTPEndToEndNegotiation walks the full Fig. 6 protocol over
+// HTTP: providers publish XML QoS documents, the client discovers
+// them, requests a negotiation, and receives a signed SLA.
+func TestHTTPEndToEndNegotiation(t *testing.T) {
+	_, client := newTestServer(t)
+
+	if err := client.Publish(costDoc("p1", "failmgmt", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(costDoc("p2", "failmgmt", 7, 1, "us")); err != nil {
+		t.Fatal(err)
+	}
+
+	docs, err := client.Discover("failmgmt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("discovered %d docs, want 2", len(docs))
+	}
+
+	sla, err := client.Negotiate(NegotiateRequest{
+		Service: "failmgmt",
+		Client:  "shop",
+		Metric:  soa.MetricCost,
+		Requirement: soa.Attribute{
+			Name: "hours", Metric: soa.MetricCost,
+			Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4),
+		Upper: fptr(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla.Providers[0] != "p1" || sla.AgreedLevel != 2 {
+		t.Errorf("SLA = %+v, want p1 at level 2", sla)
+	}
+}
+
+func TestHTTPNegotiationFailureReportsProviders(t *testing.T) {
+	_, client := newTestServer(t)
+	if err := client.Publish(costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.Negotiate(NegotiateRequest{
+		Service: "failmgmt",
+		Client:  "shop",
+		Metric:  soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4),
+		Upper: fptr(1),
+	})
+	var noAgree *ErrNoAgreement
+	if !errors.As(err, &noAgree) {
+		t.Fatalf("err = %v, want ErrNoAgreement", err)
+	}
+	if len(noAgree.Tried) != 1 || noAgree.Tried[0].Name != "p1" || noAgree.Tried[0].Status != "stuck" {
+		t.Errorf("tried = %+v", noAgree.Tried)
+	}
+}
+
+func TestHTTPComposition(t *testing.T) {
+	_, client := newTestServer(t)
+	for _, d := range []*soa.Document{
+		costDoc("red-eu", "red", 6, 0, "eu"),
+		costDoc("red-us", "red", 5, 0, "us"),
+		costDoc("bw-eu", "bw", 4, 0, "eu"),
+	} {
+		if err := client.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sla, err := client.Compose(ComposeRequest{
+		Client: "shop", Metric: soa.MetricCost, Stages: []string{"red", "bw"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: red-eu + bw-eu = 10 (no cross-region penalty).
+	if sla.AgreedLevel != 10 || len(sla.Providers) != 2 {
+		t.Errorf("SLA = %+v, want total 10 over 2 providers", sla)
+	}
+	greedy, err := client.Compose(ComposeRequest{
+		Client: "shop", Metric: soa.MetricCost, Stages: []string{"red", "bw"}, Greedy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.AgreedLevel != 14 { // red-us 5 + (bw-eu 4 + penalty 5)
+		t.Errorf("greedy level = %v, want 14", greedy.AgreedLevel)
+	}
+	// A budget between the two rejects greedy but admits optimal.
+	if _, err := client.Compose(ComposeRequest{
+		Client: "shop", Metric: soa.MetricCost, Stages: []string{"red", "bw"},
+		Greedy: true, Lower: fptr(12),
+	}); err == nil {
+		t.Error("greedy composition above budget should be rejected")
+	}
+	if _, err := client.Compose(ComposeRequest{
+		Client: "shop", Metric: soa.MetricCost, Stages: []string{"red", "bw"}, Lower: fptr(12),
+	}); err != nil {
+		t.Errorf("optimal composition within budget rejected: %v", err)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	ts, client := newTestServer(t)
+
+	// Invalid QoS document.
+	resp, err := http.Post(ts.URL+"/publish", "application/xml", strings.NewReader("<qos/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("publish invalid: status %d", resp.StatusCode)
+	}
+
+	// Garbage XML.
+	resp, err = http.Post(ts.URL+"/negotiate", "application/xml", strings.NewReader("<negoti"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negotiate garbage: status %d", resp.StatusCode)
+	}
+
+	// Missing service parameter.
+	resp, err = http.Get(ts.URL + "/discover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("discover without service: status %d", resp.StatusCode)
+	}
+
+	// Unknown service negotiation → 400 from the negotiator.
+	_, err = client.Negotiate(NegotiateRequest{
+		Service: "ghost", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Resource: "x"},
+	})
+	if err == nil {
+		t.Error("unknown service should error")
+	}
+
+	// Method not allowed.
+	resp, err = http.Get(ts.URL + "/publish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /publish: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPComposeNoCandidates(t *testing.T) {
+	_, client := newTestServer(t)
+	_, err := client.Compose(ComposeRequest{
+		Client: "shop", Metric: soa.MetricCost, Stages: []string{"ghost"},
+	})
+	if err == nil {
+		t.Error("composition over unknown stage should error")
+	}
+	var noAgree *ErrNoAgreement
+	if errors.As(err, &noAgree) {
+		t.Error("unknown stage is a request error, not a failed agreement")
+	}
+}
+
+func TestClientAgainstDownServer(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1", nil) // nothing listens here
+	if err := client.Publish(costDoc("p", "s", 1, 0, "eu")); err == nil {
+		t.Error("publish to dead server should error")
+	}
+	if _, err := client.Discover("s"); err == nil {
+		t.Error("discover against dead server should error")
+	}
+}
+
+// TestConcurrentNegotiations hammers one broker with parallel
+// negotiate/observe/compose traffic; the server must stay consistent
+// (exercised under -race in CI runs).
+func TestConcurrentNegotiations(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	if err := client.Publish(costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(costDoc("p2", "stage", 3, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				sla, err := client.Negotiate(NegotiateRequest{
+					Service: "svc", Client: fmt.Sprintf("c%d", i), Metric: soa.MetricCost,
+					Requirement: soa.Attribute{
+						Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5,
+					},
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := client.Observe(sla.ID, 1); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := client.Compose(ComposeRequest{
+					Client: "c", Metric: soa.MetricCost, Stages: []string{"stage"},
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+
+	"softsoa/internal/core"
+	"softsoa/internal/sccp"
+	"softsoa/internal/semiring"
+	"softsoa/internal/soa"
+)
+
+// Session is a live negotiation session: the shared constraint store
+// behind a signed SLA. It is what makes renegotiation nonmonotonic —
+// instead of starting over, the client's old requirement is retracted
+// (÷) from the very store the agreement was computed on and the new
+// one told, exactly as the paper's Example 2 relaxes a merged policy.
+// A Session is not safe for concurrent use; the broker server
+// serialises access per SLA.
+type Session struct {
+	provider     string
+	service      string
+	client       string
+	metric       soa.Metric
+	sr           semiring.Semiring[float64]
+	space        *core.Space[float64]
+	store        *core.Store[float64]
+	reqCon       *core.Constraint[float64]
+	resourceVars map[string]core.Variable
+	version      int
+}
+
+// Provider returns the bound provider.
+func (s *Session) Provider() string { return s.provider }
+
+// Version counts the agreements reached on this session (1 after the
+// initial negotiation, +1 per successful renegotiation).
+func (s *Session) Version() int { return s.version }
+
+// AgreedLevel returns the current store consistency.
+func (s *Session) AgreedLevel() float64 { return s.store.Blevel() }
+
+// SLA renders the session's current agreement.
+func (s *Session) SLA() *soa.SLA {
+	sla := &soa.SLA{
+		Service:     s.service,
+		Client:      s.client,
+		Providers:   []string{s.provider},
+		Metric:      s.metric,
+		AgreedLevel: s.store.Blevel(),
+	}
+	res := bestResources(s.sr, s.store.Constraint(), s.resourceVars)
+	names := make([]string, 0, len(res))
+	for name := range res {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sla.Resources = append(sla.Resources, soa.ResourceBinding{Name: name, Units: res[name]})
+	}
+	return sla
+}
+
+// NegotiateSession is Negotiate, but additionally returns the live
+// session of the winning agreement so it can be renegotiated later.
+// The session is nil when no agreement was found.
+func (n *Negotiator) NegotiateSession(req Request) (*soa.SLA, *Session, *Outcome, error) {
+	return n.negotiate(req)
+}
+
+// Renegotiate relaxes the session nonmonotonically: it retracts the
+// client's previous requirement from the store (rule R7) and tells
+// the new one under the [lower, upper] acceptance interval (rule R1).
+// On success the session advances a version and the new SLA is
+// returned; on failure the store is rolled back, the old agreement
+// stands, and a nil SLA is returned.
+func (s *Session) Renegotiate(newReq soa.Attribute, lower, upper *float64) (*soa.SLA, error) {
+	if newReq.Metric != s.metric {
+		return nil, fmt.Errorf("broker: renegotiation metric %q differs from session metric %q",
+			newReq.Metric, s.metric)
+	}
+	resVar, ok := s.resourceVars[newReq.Resource]
+	if !ok {
+		return nil, fmt.Errorf("broker: renegotiation resource %q not part of the session", newReq.Resource)
+	}
+	newCon, err := newReq.ToConstraint(s.space, resVar)
+	if err != nil {
+		return nil, err
+	}
+
+	check := sccp.Check[float64]{LowerValue: lower, UpperValue: upper}
+	agent := sccp.Retract[float64]{
+		C: s.reqCon,
+		Next: sccp.Tell[float64]{
+			C:     newCon,
+			Check: check,
+			Next:  sccp.Success[float64]{},
+		},
+	}
+
+	snapshot := s.store.Snapshot()
+	m := sccp.NewMachine(s.space, agent, sccp.WithStore[float64](s.store))
+	status, err := m.Run(50)
+	if err != nil {
+		s.store.Restore(snapshot)
+		return nil, err
+	}
+	if status != sccp.Succeeded {
+		s.store.Restore(snapshot)
+		return nil, nil
+	}
+	s.reqCon = newCon
+	s.version++
+	return s.SLA(), nil
+}

@@ -1,0 +1,206 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+
+	"softsoa/internal/soa"
+)
+
+// TestSessionRenegotiateRelaxes mirrors Example 2 through the broker
+// API: the initial agreement merges provider x+5 with client 2x
+// (level 5); renegotiating retracts the client's 2x requirement and
+// tells a cheaper x-0 one — the store relaxes on the SAME session via
+// the ÷ operator.
+func TestSessionRenegotiateRelaxes(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+	}
+	sla, session, _, err := n.NegotiateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla == nil || session == nil {
+		t.Fatal("expected initial agreement")
+	}
+	if sla.AgreedLevel != 5 || session.Version() != 1 {
+		t.Fatalf("initial level %v version %d", sla.AgreedLevel, session.Version())
+	}
+
+	// Relax: the client drops its 2x policy for a flat 0 requirement;
+	// the store becomes just the provider's x+5 — still level 5 — but
+	// now check a per-variable consequence: σ(x=3) drops from
+	// (3+5)+(2·3)+... the retract path must divide out 2x exactly.
+	relaxed, err := session.Renegotiate(soa.Attribute{
+		Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed == nil {
+		t.Fatal("relaxation should succeed")
+	}
+	if relaxed.AgreedLevel != 5 {
+		t.Errorf("relaxed level = %v, want 5 (provider base alone)", relaxed.AgreedLevel)
+	}
+	if session.Version() != 2 {
+		t.Errorf("version = %d, want 2", session.Version())
+	}
+}
+
+// TestSessionRenegotiateTightens: renegotiating to a stricter
+// requirement whose interval the store cannot meet is rejected and
+// rolls back.
+func TestSessionRenegotiateRejectedRollsBack(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "failmgmt", 5, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	req := Request{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 1, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+		},
+	}
+	_, session, _, err := n.NegotiateSession(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levelBefore := session.AgreedLevel()
+
+	// Demand the relaxed agreement cost at most 3 (lower threshold in
+	// the weighted order) — the provider's flat 5 makes that
+	// impossible.
+	lower := 3.0
+	sla, err := session.Renegotiate(soa.Attribute{
+		Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+	}, &lower, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla != nil {
+		t.Fatal("renegotiation should be rejected")
+	}
+	if got := session.AgreedLevel(); got != levelBefore {
+		t.Errorf("store changed on rejected renegotiation: %v -> %v", levelBefore, got)
+	}
+	if session.Version() != 1 {
+		t.Errorf("version advanced on rejection: %d", session.Version())
+	}
+}
+
+func TestSessionRenegotiateValidation(t *testing.T) {
+	reg := soa.NewRegistry()
+	if err := reg.Publish(costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNegotiator(reg)
+	_, session, _, err := n.NegotiateSession(Request{
+		Service: "svc", Client: "c", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.Renegotiate(soa.Attribute{
+		Metric: soa.MetricReliability, Base: 90, Resource: "failures",
+	}, nil, nil); err == nil {
+		t.Error("metric mismatch should fail")
+	}
+	if _, err := session.Renegotiate(soa.Attribute{
+		Metric: soa.MetricCost, Base: 0, Resource: "ghost",
+	}, nil, nil); err == nil {
+		t.Error("unknown resource should fail")
+	}
+}
+
+// TestHTTPRenegotiationRoundTrip drives the whole nonmonotonic SLA
+// lifecycle over the wire: negotiate → inspect → renegotiate →
+// rejected renegotiation → inspect again.
+func TestHTTPRenegotiationRoundTrip(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	client, _ := clientFor(t, srv)
+	if err := client.Publish(costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	sla, err := client.Negotiate(NegotiateRequest{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla.ID == "" || sla.Version != 1 {
+		t.Fatalf("SLA missing id/version: %+v", sla)
+	}
+
+	fetched, err := client.SLA(sla.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fetched.AgreedLevel != sla.AgreedLevel {
+		t.Errorf("fetched level %v != negotiated %v", fetched.AgreedLevel, sla.AgreedLevel)
+	}
+
+	relaxed, err := client.Renegotiate(RenegotiateRequest{
+		ID: sla.ID,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Version != 2 {
+		t.Errorf("version = %d, want 2", relaxed.Version)
+	}
+
+	// Impossible tightening is rejected; agreement v2 stands. The
+	// provider's base cost is 5, so demanding at most 1 (lower
+	// threshold) cannot hold.
+	lower := 1.0
+	_, err = client.Renegotiate(RenegotiateRequest{
+		ID: sla.ID,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: &lower,
+	})
+	var noAgree *ErrNoAgreement
+	if !errors.As(err, &noAgree) {
+		t.Fatalf("err = %v, want ErrNoAgreement", err)
+	}
+	final, err := client.SLA(sla.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Version != 2 {
+		t.Errorf("final version = %d, want 2 (rejection must not advance)", final.Version)
+	}
+}
+
+func TestHTTPRenegotiateUnknownID(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	client, _ := clientFor(t, srv)
+	_, err := client.Renegotiate(RenegotiateRequest{
+		ID:          "sla-999",
+		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "x", MaxUnits: 1},
+	})
+	if err == nil {
+		t.Fatal("unknown SLA id should fail")
+	}
+	if _, err := client.SLA("sla-999"); err == nil {
+		t.Fatal("unknown SLA id should fail on GET too")
+	}
+}

@@ -1,0 +1,132 @@
+package coalition
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"softsoa/internal/semiring"
+	"softsoa/internal/trust"
+)
+
+// AnnealParams tunes the simulated-annealing solver.
+type AnnealParams struct {
+	// Seed drives all randomness; runs are deterministic per seed.
+	Seed int64
+	// Steps is the number of proposed moves (default 20·n²).
+	Steps int
+	// StartTemp and EndTemp bound the geometric cooling schedule
+	// (defaults 0.25 → 0.001, matched to objectives in [0,1]).
+	StartTemp float64
+	EndTemp   float64
+}
+
+func (p *AnnealParams) defaults(n int) {
+	if p.Steps <= 0 {
+		p.Steps = 20 * n * n
+	}
+	if p.StartTemp <= 0 {
+		p.StartTemp = 0.25
+	}
+	if p.EndTemp <= 0 || p.EndTemp >= p.StartTemp {
+		p.EndTemp = 0.001
+	}
+}
+
+// Anneal solves coalition formation by simulated annealing over
+// partitions: the move set relocates one member to another coalition
+// (or to a fresh singleton when the cap allows), accepting
+// objective-improving moves always and worsening moves with the
+// Metropolis probability under a geometric cooling schedule. It
+// tracks the best *stable* partition seen; if none is found the
+// grand coalition (always stable) is returned. Incomplete but
+// scales far beyond the Bell-number reach of Exact.
+func Anneal(net *trust.Network, comp trust.Composer, params AnnealParams, opts ...Option) Result {
+	start := time.Now()
+	o := buildOptions(opts)
+	n := net.Size()
+	params.defaults(n)
+	rng := rand.New(rand.NewSource(params.Seed))
+
+	// Start from the grand coalition when capped tightly, otherwise
+	// from a random cap-respecting partition.
+	assign := make([]int, n) // member → coalition id
+	numCoalitions := 1
+	if o.maxCoalitions == 0 || o.maxCoalitions > 1 {
+		limit := n
+		if o.maxCoalitions > 0 {
+			limit = o.maxCoalitions
+		}
+		numCoalitions = 1 + rng.Intn(limit)
+		for i := range assign {
+			assign[i] = rng.Intn(numCoalitions)
+		}
+	}
+
+	toPartition := func() Partition {
+		blocks := map[int]Coalition{}
+		for i, b := range assign {
+			blocks[b] = blocks[b].With(i)
+		}
+		p := make(Partition, 0, len(blocks))
+		for _, c := range blocks {
+			p = append(p, c)
+		}
+		return p
+	}
+
+	cur := toPartition()
+	curObj := Objective(net, cur, comp)
+
+	best := Result{Objective: -1}
+	consider := func(p Partition, obj float64) {
+		if obj <= best.Objective {
+			return
+		}
+		if !Stable(net, p, comp) {
+			return
+		}
+		best.Objective = obj
+		best.Partition = append(Partition(nil), p...)
+		best.Stable = true
+	}
+	consider(cur, curObj)
+
+	cooling := math.Pow(params.EndTemp/params.StartTemp, 1/float64(params.Steps))
+	temp := params.StartTemp
+	for step := 0; step < params.Steps; step++ {
+		best.Explored++
+		k := rng.Intn(n)
+		old := assign[k]
+		// Candidate target: an existing coalition id or a fresh one.
+		limit := n
+		if o.maxCoalitions > 0 {
+			limit = o.maxCoalitions
+		}
+		target := rng.Intn(limit)
+		if target == old {
+			temp *= cooling
+			continue
+		}
+		assign[k] = target
+		cand := toPartition()
+		candObj := Objective(net, cand, comp)
+		delta := candObj - curObj
+		if delta >= 0 || rng.Float64() < math.Exp(delta/temp) {
+			cur, curObj = cand, candObj
+			consider(cur, curObj)
+		} else {
+			assign[k] = old
+		}
+		temp *= cooling
+	}
+
+	if best.Partition == nil {
+		grand := Partition{semiring.Bitset(1)<<uint(n) - 1}
+		best.Partition = grand
+		best.Objective = Objective(net, grand, comp)
+		best.Stable = true
+	}
+	best.Elapsed = time.Since(start)
+	return best
+}

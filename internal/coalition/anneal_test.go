@@ -1,0 +1,78 @@
+package coalition
+
+import (
+	"testing"
+
+	"softsoa/internal/trust"
+)
+
+func TestAnnealFindsFig9Communities(t *testing.T) {
+	net := Fig9Network()
+	res := Anneal(net, trust.Min, AnnealParams{Seed: 1}, WithMaxCoalitions(2))
+	exact := Exact(net, trust.Min, WithMaxCoalitions(2))
+	if !res.Stable {
+		t.Fatal("anneal result must be stable")
+	}
+	if err := Validate(net, res.Partition); err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != exact.Objective {
+		t.Errorf("anneal objective %v != exact %v on the community network",
+			res.Objective, exact.Objective)
+	}
+}
+
+func TestAnnealNeverBeatsExact(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		net := trust.Random(6, 2, seed)
+		exact := Exact(net, trust.Min, WithMaxCoalitions(3))
+		sa := Anneal(net, trust.Min, AnnealParams{Seed: seed}, WithMaxCoalitions(3))
+		if err := Validate(net, sa.Partition); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !sa.Stable {
+			t.Fatalf("seed %d: unstable anneal result", seed)
+		}
+		if sa.Objective > exact.Objective {
+			t.Errorf("seed %d: anneal %v exceeds exact optimum %v",
+				seed, sa.Objective, exact.Objective)
+		}
+	}
+}
+
+func TestAnnealScalesToLargeNetworks(t *testing.T) {
+	// n = 20 is far beyond Bell-number enumeration; annealing must
+	// return a valid stable partition quickly.
+	net := trust.Random(20, 4, 7)
+	res := Anneal(net, trust.Min, AnnealParams{Seed: 7, Steps: 4000}, WithMaxCoalitions(4))
+	if err := Validate(net, res.Partition); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("expected a stable partition (grand coalition fallback at worst)")
+	}
+	if len(res.Partition) > 4 {
+		t.Errorf("cap violated: %d coalitions", len(res.Partition))
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	net := trust.Random(10, 2, 3)
+	a := Anneal(net, trust.Avg, AnnealParams{Seed: 11}, WithMaxCoalitions(3))
+	b := Anneal(net, trust.Avg, AnnealParams{Seed: 11}, WithMaxCoalitions(3))
+	if a.Objective != b.Objective || len(a.Partition) != len(b.Partition) {
+		t.Error("same seed must yield the same result")
+	}
+}
+
+func TestAnnealRespectsUncappedDefault(t *testing.T) {
+	net := trust.Random(8, 2, 5)
+	res := Anneal(net, trust.Min, AnnealParams{Seed: 2})
+	if err := Validate(net, res.Partition); err != nil {
+		t.Fatal(err)
+	}
+	// Uncapped min-composer optimum is all singletons (objective 1).
+	if res.Objective != 1 {
+		t.Errorf("uncapped objective = %v, want 1 (singletons)", res.Objective)
+	}
+}

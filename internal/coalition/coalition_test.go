@@ -1,0 +1,201 @@
+package coalition
+
+import (
+	"testing"
+
+	"softsoa/internal/semiring"
+	"softsoa/internal/trust"
+)
+
+func TestTrustworthinessDef3(t *testing.T) {
+	n := trust.NewNetwork("a", "b")
+	mustSet(t, n, "a", "b", 0.8)
+	mustSet(t, n, "b", "a", 0.6)
+	c := semiring.BitsetOf(0, 1)
+	// Ordered pairs: (a,a)=1, (a,b)=0.8, (b,a)=0.6, (b,b)=1.
+	if got := Trustworthiness(n, c, trust.Min); got != 0.6 {
+		t.Errorf("min T = %v, want 0.6", got)
+	}
+	if got := Trustworthiness(n, c, trust.Avg); got != 0.85 {
+		t.Errorf("avg T = %v, want 0.85", got)
+	}
+	if got := Trustworthiness(n, c, trust.Max); got != 1 {
+		t.Errorf("max T = %v, want 1", got)
+	}
+	// Singleton: only the self-trust pair.
+	if got := Trustworthiness(n, semiring.BitsetOf(0), trust.Min); got != 1 {
+		t.Errorf("singleton T = %v, want 1", got)
+	}
+	if got := Trustworthiness(n, 0, trust.Min); got != 1 {
+		t.Errorf("empty T = %v, want 1", got)
+	}
+}
+
+func mustSet(t *testing.T, n *trust.Network, from, to string, v float64) {
+	t.Helper()
+	if err := n.SetByName(from, to, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10BlockingCoalitions(t *testing.T) {
+	n := Fig10Network()
+	// C1 = {x1,x2,x3} (indices 0..2), C2 = {x4..x7} (indices 3..6).
+	c1 := semiring.BitsetOf(0, 1, 2)
+	c2 := semiring.BitsetOf(3, 4, 5, 6)
+	if !Blocking(n, c1, c2, trust.Avg) {
+		t.Fatal("Fig. 10: (C1, C2) must be blocking — x4 prefers C1 and C1 gains")
+	}
+	if Stable(n, Partition{c1, c2}, trust.Avg) {
+		t.Fatal("Fig. 10 partition must not be stable")
+	}
+	// The repaired partition with x4 moved to C1 is stable.
+	moved := Partition{c1.With(3), c2.Without(3)}
+	if !Stable(n, moved, trust.Avg) {
+		t.Fatal("moving x4 into C1 should stabilise the partition")
+	}
+}
+
+func TestGrandCoalitionAlwaysStable(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		n := trust.Random(6, 1, seed)
+		grand := Partition{semiring.Bitset(1<<6 - 1)}
+		if !Stable(n, grand, trust.Min) || !Stable(n, grand, trust.Avg) {
+			t.Fatalf("seed %d: grand coalition must be stable", seed)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := trust.Random(4, 1, 1)
+	good := Partition{semiring.BitsetOf(0, 1), semiring.BitsetOf(2, 3)}
+	if err := Validate(n, good); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	for name, bad := range map[string]Partition{
+		"overlap": {semiring.BitsetOf(0, 1), semiring.BitsetOf(1, 2, 3)},
+		"gap":     {semiring.BitsetOf(0, 1), semiring.BitsetOf(2)},
+		"empty":   {semiring.BitsetOf(0, 1, 2, 3), 0},
+	} {
+		if err := Validate(n, bad); err == nil {
+			t.Errorf("%s: invalid partition accepted", name)
+		}
+	}
+}
+
+func TestExactFindsCommunitiesInFig9(t *testing.T) {
+	n := Fig9Network()
+	res := Exact(n, trust.Min, WithMaxCoalitions(2))
+	if !res.Stable {
+		t.Fatal("exact result must be stable")
+	}
+	if err := Validate(n, res.Partition); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partition) != 2 {
+		t.Fatalf("expected the two communities, got %d coalitions: %v",
+			len(res.Partition), res)
+	}
+	want := map[Coalition]bool{
+		semiring.BitsetOf(0, 1, 2, 3): true,
+		semiring.BitsetOf(4, 5, 6):    true,
+	}
+	for _, c := range res.Partition {
+		if !want[c] {
+			t.Fatalf("unexpected coalition %v in %v", c.Elems(), res)
+		}
+	}
+	if res.Objective <= 0.7 {
+		t.Errorf("objective = %v, want > 0.7 (intra trust floor is 0.8)", res.Objective)
+	}
+}
+
+func TestExactBeatsOrMatchesBaselines(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		n := trust.Random(6, 2, seed)
+		exact := Exact(n, trust.Min, WithMaxCoalitions(3))
+		greedy := Greedy(n, trust.Min, WithMaxCoalitions(3))
+		random := RandomBaseline(n, trust.Min, 50, seed, WithMaxCoalitions(3))
+		if err := Validate(n, exact.Partition); err != nil {
+			t.Fatalf("seed %d: exact invalid: %v", seed, err)
+		}
+		if err := Validate(n, greedy.Partition); err != nil {
+			t.Fatalf("seed %d: greedy invalid: %v", seed, err)
+		}
+		if err := Validate(n, random.Partition); err != nil {
+			t.Fatalf("seed %d: random invalid: %v", seed, err)
+		}
+		if random.Stable && exact.Objective < random.Objective {
+			t.Errorf("seed %d: exact %v below stable random %v", seed, exact.Objective, random.Objective)
+		}
+		if greedy.Stable && exact.Objective < greedy.Objective {
+			t.Errorf("seed %d: exact %v below stable greedy %v", seed, exact.Objective, greedy.Objective)
+		}
+	}
+}
+
+func TestSCSPEncodingAgreesWithDirect(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		n := trust.Random(4, 2, seed)
+		direct := Exact(n, trust.Min, WithMaxCoalitions(2))
+		encoded, err := SolveViaSCSP(n, trust.Min, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !encoded.Stable {
+			t.Fatalf("seed %d: SCSP result not stable: %v", seed, encoded)
+		}
+		if err := Validate(n, encoded.Partition); err != nil {
+			t.Fatalf("seed %d: SCSP result invalid: %v", seed, err)
+		}
+		if direct.Objective != encoded.Objective {
+			t.Errorf("seed %d: objectives differ: direct %v, SCSP %v",
+				seed, direct.Objective, encoded.Objective)
+		}
+	}
+}
+
+func TestSCSPEncodingRejectsLargeNetworks(t *testing.T) {
+	n := trust.Random(6, 1, 1)
+	if _, _, err := EncodeSCSP(n, trust.Min, 0); err == nil {
+		t.Fatal("encoding must reject networks beyond the powerset cap")
+	}
+	if _, err := SolveViaSCSP(n, trust.Min, 0); err == nil {
+		t.Fatal("SolveViaSCSP must propagate the cap error")
+	}
+}
+
+func TestComposerChoiceChangesPartition(t *testing.T) {
+	// Ablation: under Max the grand coalition looks perfect (some
+	// pair always trusts fully via self-trust), while Min punishes
+	// weak links — the partitions differ on a community network.
+	n := Fig9Network()
+	minRes := Exact(n, trust.Min, WithMaxCoalitions(2))
+	maxRes := Exact(n, trust.Max, WithMaxCoalitions(2))
+	if maxRes.Objective != 1 {
+		t.Errorf("max-composed objective = %v, want 1 (self-trust)", maxRes.Objective)
+	}
+	if minRes.Objective >= maxRes.Objective {
+		t.Errorf("min objective %v should be below max objective %v",
+			minRes.Objective, maxRes.Objective)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	n := trust.Random(3, 1, 1)
+	res := Exact(n, trust.Min)
+	if res.String() == "" {
+		t.Error("empty result string")
+	}
+}
+
+func TestExactSingleMember(t *testing.T) {
+	n := trust.NewNetwork("solo")
+	res := Exact(n, trust.Min)
+	if len(res.Partition) != 1 || res.Partition[0] != semiring.BitsetOf(0) {
+		t.Fatalf("partition = %v", res.Partition)
+	}
+	if res.Objective != 1 {
+		t.Errorf("objective = %v, want 1 (self-trust)", res.Objective)
+	}
+}

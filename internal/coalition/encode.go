@@ -1,0 +1,149 @@
+package coalition
+
+import (
+	"fmt"
+	"strconv"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+	"softsoa/internal/solver"
+	"softsoa/internal/trust"
+)
+
+// maxEncodableMembers caps the §6.1 SCSP encoding: the domain of each
+// coalition variable is the powerset P{1..n} and the covering
+// constraint spans all n variables, so tables grow as (2ⁿ)ⁿ. Beyond
+// n = 4 the encoding is of theoretical interest only — exactly the
+// point experiment E12 makes against the direct partition solver.
+const maxEncodableMembers = 4
+
+// EncodeSCSP builds the paper's §6.1 formalisation as a fuzzy SCSP:
+// one variable coᵢ per potential coalition ("the maximum number of
+// possible coalitions") with powerset domain, unary trust constraints
+// quantifying T(η(coᵢ)), crisp partition constraints (pairwise
+// disjointness plus covering), and crisp stability constraints
+// encoding Def. 4. maxCoalitions ≤ 0 uses one variable per member.
+// The variables of interest are all coᵢ.
+func EncodeSCSP(net *trust.Network, comp trust.Composer, maxCoalitions int) (*core.Problem[float64], []core.Variable, error) {
+	n := net.Size()
+	if n > maxEncodableMembers {
+		return nil, nil, fmt.Errorf(
+			"coalition: SCSP encoding supports at most %d members (powerset domains), got %d",
+			maxEncodableMembers, n)
+	}
+	k := maxCoalitions
+	if k <= 0 || k > n {
+		k = n
+	}
+	s := core.NewSpace[float64](semiring.Fuzzy{})
+	full := 1<<uint(n) - 1
+
+	// Domain: every subset mask 0..2ⁿ-1, the label being the mask.
+	subsets := make([]core.DVal, 0, full+1)
+	for m := 0; m <= full; m++ {
+		subsets = append(subsets, core.DVal{Label: strconv.Itoa(m), Num: float64(m)})
+	}
+	vars := make([]core.Variable, k)
+	for i := range vars {
+		vars[i] = s.AddVariable(core.Variable(fmt.Sprintf("co%d", i+1)), subsets)
+	}
+	p := core.NewProblem(s, vars...)
+
+	crisp := func(ok bool) float64 {
+		if ok {
+			return 1
+		}
+		return 0
+	}
+	maskOf := func(a core.Assignment, v core.Variable) Coalition {
+		return Coalition(uint64(a.Num(v)))
+	}
+
+	// 1. Trust constraints: ct(coᵢ = S) = T(S).
+	for _, v := range vars {
+		v := v
+		p.Add(core.NewConstraint(s, []core.Variable{v}, func(a core.Assignment) float64 {
+			return Trustworthiness(net, maskOf(a, v), comp)
+		}))
+	}
+
+	// 2a. Partition constraints: pairwise disjointness.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			vi, vj := vars[i], vars[j]
+			p.Add(core.NewConstraint(s, []core.Variable{vi, vj}, func(a core.Assignment) float64 {
+				return crisp(maskOf(a, vi)&maskOf(a, vj) == 0)
+			}))
+		}
+	}
+	// 2b. Covering: every element assigned to some coalition.
+	p.Add(core.NewConstraint(s, vars, func(a core.Assignment) float64 {
+		var union Coalition
+		for _, v := range vars {
+			union |= maskOf(a, v)
+		}
+		return crisp(union == Coalition(uint64(full)))
+	}))
+
+	// 3. Stability constraints: for each ordered pair (co_v, co_u)
+	// and each member k, forbid the Def. 4 blocking situation.
+	for vi := 0; vi < k; vi++ {
+		for ui := 0; ui < k; ui++ {
+			if vi == ui {
+				continue
+			}
+			cov, cou := vars[vi], vars[ui]
+			for mem := 0; mem < n; mem++ {
+				mem := mem
+				p.Add(core.NewConstraint(s, []core.Variable{cov, cou}, func(a core.Assignment) float64 {
+					cv, cu := maskOf(a, cov), maskOf(a, cou)
+					if !cv.Contains(mem) || cu == 0 {
+						return 1
+					}
+					if !prefers(net, mem, cu, cv, comp) {
+						return 1
+					}
+					return crisp(!(Trustworthiness(net, cu.With(mem), comp) > Trustworthiness(net, cu, comp)))
+				}))
+			}
+		}
+	}
+	return p, vars, nil
+}
+
+// DecodePartition reads the coalition variables out of a solved
+// assignment, dropping empty coalitions.
+func DecodePartition(a core.Assignment, vars []core.Variable) Partition {
+	var p Partition
+	for _, v := range vars {
+		if m := Coalition(uint64(a.Num(v))); m != 0 {
+			p = append(p, m)
+		}
+	}
+	return p
+}
+
+// SolveViaSCSP solves coalition formation through the §6.1 encoding
+// using branch and bound, returning the decoded best partition. Note
+// the encoding's objective multiplies (fuzzy: min) the per-coalition
+// trust values with the crisp constraints, so its optimum coincides
+// with the direct solver's max-min objective over stable partitions.
+func SolveViaSCSP(net *trust.Network, comp trust.Composer, maxCoalitions int) (Result, error) {
+	p, vars, err := EncodeSCSP(net, comp, maxCoalitions)
+	if err != nil {
+		return Result{}, err
+	}
+	res := solver.BranchAndBound(p)
+	if len(res.Best) == 0 {
+		return Result{}, fmt.Errorf("coalition: SCSP encoding found no stable partition (unexpected: the grand coalition is always stable)")
+	}
+	part := DecodePartition(res.Best[0].Assignment, vars)
+	out := Result{
+		Partition: part,
+		Objective: Objective(net, part, comp),
+		Stable:    Stable(net, part, comp),
+		Explored:  res.Stats.Nodes,
+		Elapsed:   res.Stats.Elapsed,
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package coalition_test
+
+import (
+	"fmt"
+
+	"softsoa/internal/coalition"
+	"softsoa/internal/semiring"
+	"softsoa/internal/trust"
+)
+
+// Forming trustworthy coalitions over the Fig. 9 network: the
+// orchestrator partitions seven components into two pools maximising
+// the minimum coalition trustworthiness under Def. 4 stability.
+func ExampleExact() {
+	net := coalition.Fig9Network()
+	res := coalition.Exact(net, trust.Min, coalition.WithMaxCoalitions(2))
+	for _, c := range res.Partition {
+		names := []string{}
+		for _, i := range c.Elems() {
+			names = append(names, net.Members()[i])
+		}
+		fmt.Printf("%v T=%.2f\n", names, coalition.Trustworthiness(net, c, trust.Min))
+	}
+	fmt.Println("stable:", res.Stable)
+	// Output:
+	// [x1 x2 x3 x4] T=0.80
+	// [x5 x6 x7] T=0.83
+	// stable: true
+}
+
+// Detecting a blocking pair per Def. 4: x4 prefers C1 to its own
+// coalition-mates and C1 gains by admitting it.
+func ExampleBlocking() {
+	net := coalition.Fig10Network()
+	c1 := semiring.BitsetOf(0, 1, 2)
+	c2 := semiring.BitsetOf(3, 4, 5, 6)
+	fmt.Println("blocking:", coalition.Blocking(net, c1, c2, trust.Avg))
+	fmt.Println("stable:", coalition.Stable(net, coalition.Partition{c1, c2}, trust.Avg))
+	// Output:
+	// blocking: true
+	// stable: false
+}

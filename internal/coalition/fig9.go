@@ -1,0 +1,92 @@
+package coalition
+
+import "softsoa/internal/trust"
+
+// Fig9Network builds a concrete instance of the seven-component trust
+// network of Fig. 9. The paper draws the topology but gives no
+// scores; this instance has two natural communities — {x1,x2,x3,x4}
+// and {x5,x6,x7} — with high intra-community and low inter-community
+// trust, so the expected best stable partition under the min and avg
+// composers is exactly the two communities.
+func Fig9Network() *trust.Network {
+	n := trust.NewNetwork("x1", "x2", "x3", "x4", "x5", "x6", "x7")
+	set := func(from, to string, v float64) {
+		if err := n.SetByName(from, to, v); err != nil {
+			panic(err) // unreachable: names are fixed above
+		}
+	}
+	communityA := []string{"x1", "x2", "x3", "x4"}
+	communityB := []string{"x5", "x6", "x7"}
+	// Deterministic, slightly asymmetric intra-community scores.
+	intraScore := func(i, j int) float64 { return 0.80 + 0.03*float64((i+2*j)%5) }
+	interScore := func(i, j int) float64 { return 0.10 + 0.02*float64((i+j)%4) }
+	for i, a := range communityA {
+		for j, b := range communityA {
+			if a != b {
+				set(a, b, intraScore(i, j))
+			}
+		}
+	}
+	for i, a := range communityB {
+		for j, b := range communityB {
+			if a != b {
+				set(a, b, intraScore(i+4, j+4))
+			}
+		}
+	}
+	for i, a := range communityA {
+		for j, b := range communityB {
+			set(a, b, interScore(i, j+4))
+			set(b, a, interScore(j+4, i))
+		}
+	}
+	return n
+}
+
+// Fig10Network builds a blocking-coalition witness in the spirit of
+// Fig. 10: with the partition {x1,x2,x3} / {x4,x5,x6,x7}, member x4
+// trusts C1 = {x1,x2,x3} far more than its own coalition-mates, and
+// C1's (avg-composed) trustworthiness rises by admitting x4 — so the
+// two coalitions block and the partition is not stable.
+func Fig10Network() *trust.Network {
+	n := trust.NewNetwork("x1", "x2", "x3", "x4", "x5", "x6", "x7")
+	set := func(from, to string, v float64) {
+		if err := n.SetByName(from, to, v); err != nil {
+			panic(err) // unreachable: names are fixed above
+		}
+	}
+	c1 := []string{"x1", "x2", "x3"}
+	c2rest := []string{"x5", "x6", "x7"}
+	for _, a := range c1 {
+		for _, b := range c1 {
+			if a != b {
+				set(a, b, 0.85)
+			}
+		}
+	}
+	for _, a := range c2rest {
+		for _, b := range c2rest {
+			if a != b {
+				set(a, b, 0.6)
+			}
+		}
+	}
+	// x4 strongly trusts C1 and is strongly trusted back (so C1 gains
+	// by admitting it), while barely trusting its own coalition.
+	for _, b := range c1 {
+		set("x4", b, 0.95)
+		set(b, "x4", 0.95)
+	}
+	for _, b := range c2rest {
+		set("x4", b, 0.2)
+		set(b, "x4", 0.3)
+	}
+	// Weak cross links between C1 and the rest of C2.
+	for _, a := range c1 {
+		for _, b := range c2rest {
+			set(a, b, 0.15)
+			set(b, a, 0.15)
+		}
+	}
+	return n
+}

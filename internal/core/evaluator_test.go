@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"softsoa/internal/semiring"
+)
+
+func TestEvaluatorAgainstAt(t *testing.T) {
+	s, cs := fig1Space()
+	ev := NewEvaluator(s, cs)
+	if ev.NumConstraints() != 3 {
+		t.Fatalf("constraints = %d", ev.NumConstraints())
+	}
+	sizes := ev.DomainSizes()
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 2 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	labels := []string{"a", "b"}
+	comb := CombineAll(s, cs...)
+	digits := make([]int, 2)
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			digits[0], digits[1] = x, y
+			want := comb.AtLabels(labels[x], labels[y])
+			if got := ev.EvalAll(digits); got != want {
+				t.Errorf("EvalAll(%d,%d) = %v, want %v", x, y, got, want)
+			}
+			for k, c := range cs {
+				wantK := c.At(ev.Assignment(digits))
+				if got := ev.Eval(k, digits); got != wantK {
+					t.Errorf("Eval(%d; %d,%d) = %v, want %v", k, x, y, got, wantK)
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluatorMaxScopeVar(t *testing.T) {
+	s, cs := fig1Space()
+	constant := Constant(s, 3.0)
+	ev := NewEvaluator(s, append(cs, constant))
+	// c1 is unary on X (index 0), c2 binary on X,Y (max index 1),
+	// c3 unary on Y (index 1), the constant has no scope.
+	want := []int{0, 1, 1, -1}
+	for k, w := range want {
+		if got := ev.MaxScopeVar(k); got != w {
+			t.Errorf("MaxScopeVar(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestEvaluatorAssignment(t *testing.T) {
+	s, cs := fig1Space()
+	ev := NewEvaluator(s, cs)
+	a := ev.Assignment([]int{1, 0})
+	if a.Label("X") != "b" || a.Label("Y") != "a" {
+		t.Errorf("assignment = %v", a)
+	}
+}
+
+func TestEvaluatorCrossSpacePanics(t *testing.T) {
+	s1 := NewSpace[float64](semiring.Weighted{})
+	s1.AddVariable("x", IntDomain(0, 1))
+	s2 := NewSpace[float64](semiring.Weighted{})
+	s2.AddVariable("x", IntDomain(0, 1))
+	c := Top(s2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for cross-space evaluator")
+		}
+	}()
+	NewEvaluator(s1, []*Constraint[float64]{c})
+}
+
+func TestConstraintSpaceAccessor(t *testing.T) {
+	s, cs := fig1Space()
+	if cs[0].Space() != s {
+		t.Error("Space() should return the owning space")
+	}
+}

@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"fmt"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// The paper's Fig. 1 problem end to end: declare a space, state the
+// constraints, combine, project, and read the best level.
+func ExampleProblem() {
+	s := core.NewSpace[float64](semiring.Weighted{})
+	x := s.AddVariable("X", core.LabelDomain("a", "b"))
+	y := s.AddVariable("Y", core.LabelDomain("a", "b"))
+	p := core.NewProblem(s, x).Add(
+		core.Unary(s, x, map[string]float64{"a": 1, "b": 9}),
+		core.Binary(s, x, y, map[[2]string]float64{
+			{"a", "a"}: 5, {"a", "b"}: 1, {"b", "a"}: 2, {"b", "b"}: 2,
+		}),
+		core.Unary(s, y, map[string]float64{"a": 5, "b": 5}),
+	)
+	sol := p.Sol()
+	fmt.Println("Sol⟨a⟩ =", sol.AtLabels("a"))
+	fmt.Println("Sol⟨b⟩ =", sol.AtLabels("b"))
+	fmt.Println("blevel =", p.Blevel())
+	// Output:
+	// Sol⟨a⟩ = 7
+	// Sol⟨b⟩ = 16
+	// blevel = 7
+}
+
+// The nonmonotonic store supports tell (⊗), retract (÷) and
+// update — the operations behind SLA negotiation. This is the store
+// algebra of the paper's Example 2.
+func ExampleStore() {
+	s := core.NewSpace[float64](semiring.Weighted{})
+	x := s.AddVariable("x", core.IntDomain(0, 10))
+	poly := func(m, b float64) *core.Constraint[float64] {
+		return core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 {
+			return m*a.Num(x) + b
+		})
+	}
+	st := core.NewStore(s)
+	st.Tell(poly(1, 5)) // provider policy x+5
+	st.Tell(poly(2, 0)) // client policy 2x
+	fmt.Println("merged consistency:", st.Blevel())
+	st.Retract(poly(1, 3)) // relax by x+3: store becomes 2x+2
+	fmt.Println("after retract:", st.Blevel())
+	fmt.Println("σ(x=3) =", core.ProjectTo(st.Constraint(), x).AtLabels("3"))
+	// Output:
+	// merged consistency: 5
+	// after retract: 2
+	// σ(x=3) = 8
+}
+
+// Projection hides internal variables: the paper uses it to expose a
+// service's interface and to check refinement.
+func ExampleProjectTo() {
+	s := core.NewSpace[bool](semiring.Classical{})
+	in := s.AddVariable("in", core.IntDomain(0, 2))
+	mid := s.AddVariable("mid", core.IntDomain(0, 2))
+	out := s.AddVariable("out", core.IntDomain(0, 2))
+	leq := func(a, b core.Variable) *core.Constraint[bool] {
+		return core.NewConstraint(s, []core.Variable{a, b}, func(asst core.Assignment) bool {
+			return asst.Num(a) <= asst.Num(b)
+		})
+	}
+	imp := core.Combine(leq(mid, in), leq(out, mid)) // pipeline policies
+	iface := core.ProjectTo(imp, in, out)            // hide mid
+	requirement := leq(out, in)
+	fmt.Println("interface refines requirement:", core.Leq(iface, requirement))
+	// Output:
+	// interface refines requirement: true
+}

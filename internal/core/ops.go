@@ -1,0 +1,236 @@
+package core
+
+import "sort"
+
+// Combine is the ⊗ operator: the pointwise × of the two constraints
+// over the union of their supports. Combining means building a new
+// constraint whose support involves all variables of the originals.
+func Combine[T any](c1, c2 *Constraint[T]) *Constraint[T] {
+	c1.sameSpace(c2)
+	sr := c1.space.sr
+	return join(c1, c2, sr.Times)
+}
+
+// CombineAll folds ⊗ over the given constraints; the empty
+// combination is 1̄ (the top constraint).
+func CombineAll[T any](s *Space[T], cs ...*Constraint[T]) *Constraint[T] {
+	acc := Top(s)
+	for _, c := range cs {
+		acc = Combine(acc, c)
+	}
+	return acc
+}
+
+// Divide is the ÷ operator: the pointwise residual of the two
+// constraints, used to retract c2 from c1 (Bistarelli & Gadducci,
+// ECAI 2006). The support of the result is the union of the supports.
+func Divide[T any](c1, c2 *Constraint[T]) *Constraint[T] {
+	c1.sameSpace(c2)
+	sr := c1.space.sr
+	return join(c1, c2, sr.Div)
+}
+
+// join builds the pointwise op of two constraints over the union of
+// their scopes using mixed-radix strides.
+func join[T any](c1, c2 *Constraint[T], op func(a, b T) T) *Constraint[T] {
+	s := c1.space
+	union := unionScope(c1.scope, c2.scope)
+	out := newEmptyByIdx(s, union)
+	str1 := alignStrides(s, union, c1.scope)
+	str2 := alignStrides(s, union, c2.scope)
+	digits := make([]int, len(union))
+	for i := range out.table {
+		i1, i2 := 0, 0
+		for k, d := range digits {
+			i1 += d * str1[k]
+			i2 += d * str2[k]
+		}
+		out.table[i] = op(c1.table[i1], c2.table[i2])
+		out.incr(digits)
+	}
+	return out
+}
+
+// ProjectTo is the ⇓ operator: it eliminates from c every support
+// variable not in keep, associating with each remaining tuple the sum
+// (semiring +) of the values of all its extensions. The result's
+// support is the intersection of c's support with keep.
+func ProjectTo[T any](c *Constraint[T], keep ...Variable) *Constraint[T] {
+	s := c.space
+	keepSet := make(map[int]bool, len(keep))
+	for _, v := range keep {
+		keepSet[s.varIndex(v)] = true
+	}
+	kept := make([]int, 0, len(c.scope))
+	for _, vi := range c.scope {
+		if keepSet[vi] {
+			kept = append(kept, vi)
+		}
+	}
+	return projectOnto(c, kept)
+}
+
+// ProjectOut eliminates the given variables from c's support; it is
+// the cylindrification ∃x when called with a single variable.
+func ProjectOut[T any](c *Constraint[T], elim ...Variable) *Constraint[T] {
+	s := c.space
+	elimSet := make(map[int]bool, len(elim))
+	for _, v := range elim {
+		elimSet[s.varIndex(v)] = true
+	}
+	kept := make([]int, 0, len(c.scope))
+	for _, vi := range c.scope {
+		if !elimSet[vi] {
+			kept = append(kept, vi)
+		}
+	}
+	return projectOnto(c, kept)
+}
+
+// Exists is the hiding operator ∃x of the cylindric constraint
+// system: (∃x c)η = Σ_{d∈D} c η[x:=d].
+func Exists[T any](c *Constraint[T], x Variable) *Constraint[T] {
+	return ProjectOut(c, x)
+}
+
+func projectOnto[T any](c *Constraint[T], kept []int) *Constraint[T] {
+	s := c.space
+	out := newEmptyByIdx(s, kept)
+	zero := s.sr.Zero()
+	for i := range out.table {
+		out.table[i] = zero
+	}
+	strOut := alignStrides(s, c.scope, kept)
+	digits := make([]int, len(c.scope))
+	for i := range c.table {
+		oi := 0
+		for k, d := range digits {
+			oi += d * strOut[k]
+		}
+		out.table[oi] = s.sr.Plus(out.table[oi], c.table[i])
+		c.incr(digits)
+	}
+	return out
+}
+
+// Blevel returns c ⇓ ∅: the least upper bound of all tuple values.
+// For a combined problem this is the best level of consistency.
+func Blevel[T any](c *Constraint[T]) T {
+	acc := c.space.sr.Zero()
+	for _, v := range c.table {
+		acc = c.space.sr.Plus(acc, v)
+	}
+	return acc
+}
+
+// Leq reports c1 ⊑ c2: c1η ≤ c2η for every assignment η of the union
+// of the supports. This is the ordering used by entailment.
+func Leq[T any](c1, c2 *Constraint[T]) bool {
+	c1.sameSpace(c2)
+	s := c1.space
+	union := unionScope(c1.scope, c2.scope)
+	str1 := alignStrides(s, union, c1.scope)
+	str2 := alignStrides(s, union, c2.scope)
+	return forAllJoint(s, union, func(digits []int) bool {
+		i1, i2 := 0, 0
+		for k, d := range digits {
+			i1 += d * str1[k]
+			i2 += d * str2[k]
+		}
+		return s.sr.Leq(c1.table[i1], c2.table[i2])
+	})
+}
+
+// Eq reports pointwise equality of the two constraints over the union
+// of their supports.
+func Eq[T any](c1, c2 *Constraint[T]) bool {
+	return Leq(c1, c2) && Leq(c2, c1)
+}
+
+// Lt reports c1 ⊏ c2: c1 ⊑ c2 and not pointwise equal.
+func Lt[T any](c1, c2 *Constraint[T]) bool {
+	return Leq(c1, c2) && !Leq(c2, c1)
+}
+
+// Entails reports whether the set of constraints cs entails c:
+// ⊗cs ⊑ c. It is the relation ⊢ used by ask/nask agents.
+func Entails[T any](s *Space[T], cs []*Constraint[T], c *Constraint[T]) bool {
+	return Leq(CombineAll(s, cs...), c)
+}
+
+func unionScope(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	for _, vi := range b {
+		found := false
+		for _, u := range a {
+			if u == vi {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, vi)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// alignStrides returns, for each position of the outer scope, the
+// stride that the outer digit contributes to the inner constraint's
+// index (0 when the outer variable is not in the inner scope). The
+// inner scope must be a subset of the outer scope.
+func alignStrides[T any](s *Space[T], outer, inner []int) []int {
+	// stride of inner position j = product of domain sizes after j.
+	innerStride := make([]int, len(inner))
+	acc := 1
+	for j := len(inner) - 1; j >= 0; j-- {
+		innerStride[j] = acc
+		acc *= s.domainSize(inner[j])
+	}
+	out := make([]int, len(outer))
+	for k, vi := range outer {
+		for j, wi := range inner {
+			if wi == vi {
+				out[k] = innerStride[j]
+				break
+			}
+		}
+	}
+	return out
+}
+
+func forAllJoint[T any](s *Space[T], scope []int, pred func(digits []int) bool) bool {
+	size := 1
+	for _, vi := range scope {
+		size *= s.domainSize(vi)
+	}
+	digits := make([]int, len(scope))
+	for i := 0; i < size; i++ {
+		if !pred(digits) {
+			return false
+		}
+		for j := len(digits) - 1; j >= 0; j-- {
+			digits[j]++
+			if digits[j] < s.domainSize(scope[j]) {
+				break
+			}
+			digits[j] = 0
+		}
+	}
+	return true
+}
+
+func newEmptyByIdx[T any](s *Space[T], scope []int) *Constraint[T] {
+	sorted := append([]int(nil), scope...)
+	sort.Ints(sorted)
+	size := 1
+	for _, i := range sorted {
+		size *= s.domainSize(i)
+		if size > maxTableSize {
+			panic("core: joined constraint table exceeds size limit")
+		}
+	}
+	return &Constraint[T]{space: s, scope: sorted, table: make([]T, size)}
+}

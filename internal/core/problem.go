@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// Problem is a Soft Constraint Satisfaction Problem P = ⟨C, con⟩: a
+// set of constraints C over a Space and the set con of variables of
+// interest. Its solution Sol(P) = (⊗C)⇓con and its best level of
+// consistency blevel(P) = Sol(P)⇓∅.
+type Problem[T any] struct {
+	space       *Space[T]
+	constraints []*Constraint[T]
+	con         []Variable
+}
+
+// NewProblem returns an SCSP over the given space with the variables
+// of interest con. Panics if any con variable is undeclared.
+func NewProblem[T any](s *Space[T], con ...Variable) *Problem[T] {
+	for _, v := range con {
+		s.varIndex(v) // panics on unknown
+	}
+	return &Problem[T]{space: s, con: append([]Variable(nil), con...)}
+}
+
+// Space returns the problem's space.
+func (p *Problem[T]) Space() *Space[T] { return p.space }
+
+// Con returns the variables of interest.
+func (p *Problem[T]) Con() []Variable { return append([]Variable(nil), p.con...) }
+
+// Add appends constraints to the problem. Constraints may involve
+// variables outside con.
+func (p *Problem[T]) Add(cs ...*Constraint[T]) *Problem[T] {
+	for _, c := range cs {
+		if c.space != p.space {
+			panic("core: constraint from different space added to problem")
+		}
+	}
+	p.constraints = append(p.constraints, cs...)
+	return p
+}
+
+// Constraints returns the problem's constraints.
+func (p *Problem[T]) Constraints() []*Constraint[T] {
+	return append([]*Constraint[T](nil), p.constraints...)
+}
+
+// Combined returns ⊗C, the combination of all constraints.
+func (p *Problem[T]) Combined() *Constraint[T] {
+	return CombineAll(p.space, p.constraints...)
+}
+
+// Sol returns Sol(P) = (⊗C)⇓con.
+func (p *Problem[T]) Sol() *Constraint[T] {
+	return ProjectTo(p.Combined(), p.con...)
+}
+
+// Blevel returns the best level of consistency blevel(P) = Sol(P)⇓∅.
+func (p *Problem[T]) Blevel() T {
+	return Blevel(p.Combined())
+}
+
+// AlphaConsistent reports whether P is α-consistent: blevel(P) = α.
+func (p *Problem[T]) AlphaConsistent(alpha T) bool {
+	return p.space.sr.Eq(p.Blevel(), alpha)
+}
+
+// Consistent reports whether P is consistent: blevel(P) > 0.
+func (p *Problem[T]) Consistent() bool {
+	sr := p.space.sr
+	b := p.Blevel()
+	return !sr.Eq(b, sr.Zero())
+}
+
+// String summarises the problem.
+func (p *Problem[T]) String() string {
+	return fmt.Sprintf("SCSP{%s, %d vars, %d constraints, con=%v}",
+		p.space.sr.Name(), p.space.NumVariables(), len(p.constraints), p.con)
+}

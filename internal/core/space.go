@@ -1,0 +1,161 @@
+// Package core implements semiring-based soft constraints — the
+// primary contribution of Bistarelli & Santini (DSN 2008). A soft
+// constraint is a function from assignments of a finite set of
+// variables to values of a c-semiring; constraints are combined with
+// ⊗ (pointwise ×), removed with ÷ (pointwise residual), and hidden
+// with the projection operator ⇓ (summation with + over eliminated
+// variables). On top of these, the package defines Soft Constraint
+// Satisfaction Problems (SCSPs) with their best level of consistency,
+// the entailment relation used by ask agents, diagonal constraints
+// for parameter passing, and the mutable nonmonotonic Store on which
+// the nmsccp language operates.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"softsoa/internal/semiring"
+)
+
+// Variable is the name of a decision variable.
+type Variable string
+
+// DVal is a single domain value: a label, plus a numeric reading used
+// by arithmetic constraint functions (NaN when the label is not
+// numeric).
+type DVal struct {
+	Label string
+	Num   float64
+}
+
+// IntDomain returns the domain {lo, lo+1, ..., hi} with numeric
+// readings. It panics when hi < lo, which would denote an empty
+// domain (finite-domain SCSPs require non-empty domains).
+func IntDomain(lo, hi int) []DVal {
+	if hi < lo {
+		panic(fmt.Sprintf("core: empty IntDomain [%d,%d]", lo, hi))
+	}
+	out := make([]DVal, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, DVal{Label: strconv.Itoa(v), Num: float64(v)})
+	}
+	return out
+}
+
+// LabelDomain returns a purely symbolic domain from labels.
+func LabelDomain(labels ...string) []DVal {
+	out := make([]DVal, 0, len(labels))
+	for _, l := range labels {
+		n := math.NaN()
+		if f, err := strconv.ParseFloat(l, 64); err == nil {
+			n = f
+		}
+		out = append(out, DVal{Label: l, Num: n})
+	}
+	return out
+}
+
+// NumDomain returns a numeric domain from explicit values.
+func NumDomain(values ...float64) []DVal {
+	out := make([]DVal, 0, len(values))
+	for _, v := range values {
+		out = append(out, DVal{Label: strconv.FormatFloat(v, 'g', -1, 64), Num: v})
+	}
+	return out
+}
+
+// Space is a soft constraint system: a c-semiring S, an ordered set
+// of variables V and their finite domains D. All constraints of a
+// problem share one Space; combining constraints from different
+// spaces is a programming error and panics.
+type Space[T any] struct {
+	sr      semiring.Semiring[T]
+	names   []Variable
+	domains [][]DVal
+	index   map[Variable]int
+}
+
+// NewSpace returns an empty Space over the given semiring. It panics
+// on a nil semiring.
+func NewSpace[T any](sr semiring.Semiring[T]) *Space[T] {
+	if sr == nil {
+		panic("core: NewSpace with nil semiring")
+	}
+	return &Space[T]{sr: sr, index: make(map[Variable]int)}
+}
+
+// Semiring returns the space's c-semiring.
+func (s *Space[T]) Semiring() semiring.Semiring[T] { return s.sr }
+
+// AddVariable declares a variable with the given domain and returns
+// its name for convenience. It panics on duplicate names or empty
+// domains: both would silently corrupt every table built afterwards.
+func (s *Space[T]) AddVariable(name Variable, domain []DVal) Variable {
+	if _, dup := s.index[name]; dup {
+		panic(fmt.Sprintf("core: duplicate variable %q", name))
+	}
+	if len(domain) == 0 {
+		panic(fmt.Sprintf("core: empty domain for variable %q", name))
+	}
+	s.index[name] = len(s.names)
+	s.names = append(s.names, name)
+	s.domains = append(s.domains, append([]DVal(nil), domain...))
+	return name
+}
+
+// Variables returns the declared variables in declaration order.
+func (s *Space[T]) Variables() []Variable {
+	return append([]Variable(nil), s.names...)
+}
+
+// Domain returns the domain of a declared variable. It panics on an
+// unknown variable.
+func (s *Space[T]) Domain(name Variable) []DVal {
+	return append([]DVal(nil), s.domains[s.varIndex(name)]...)
+}
+
+// HasVariable reports whether name has been declared.
+func (s *Space[T]) HasVariable(name Variable) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// NumVariables returns the number of declared variables.
+func (s *Space[T]) NumVariables() int { return len(s.names) }
+
+func (s *Space[T]) varIndex(name Variable) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown variable %q", name))
+	}
+	return i
+}
+
+func (s *Space[T]) domainSize(i int) int { return len(s.domains[i]) }
+
+// FreshVariable declares a new variable, with a name derived from
+// prefix that does not collide with any declared variable, sharing
+// the given domain. It is used by the ∃x (hiding) rule of nmsccp,
+// whose semantics requires a fresh variable per activation.
+func (s *Space[T]) FreshVariable(prefix Variable, domain []DVal) Variable {
+	for i := 0; ; i++ {
+		name := Variable(fmt.Sprintf("%s#%d", prefix, i))
+		if !s.HasVariable(name) {
+			return s.AddVariable(name, domain)
+		}
+	}
+}
+
+// Assignment maps variables to chosen domain values.
+type Assignment map[Variable]DVal
+
+// Get returns the value assigned to v, or a zero DVal if unassigned.
+func (a Assignment) Get(v Variable) DVal { return a[v] }
+
+// Num returns the numeric reading of the value assigned to v.
+func (a Assignment) Num(v Variable) float64 { return a[v].Num }
+
+// Label returns the label of the value assigned to v.
+func (a Assignment) Label(v Variable) string { return a[v].Label }

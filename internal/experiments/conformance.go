@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+
+	"softsoa/internal/broker"
+	"softsoa/internal/coalition"
+	"softsoa/internal/core"
+	"softsoa/internal/integrity"
+	"softsoa/internal/sccp"
+	"softsoa/internal/semiring"
+	"softsoa/internal/soa"
+	"softsoa/internal/solver"
+	"softsoa/internal/trust"
+)
+
+// runE1 reproduces Fig. 1: the weighted CSP whose combined tuples are
+// ⟨a,a⟩→11, ⟨a,b⟩→7, ⟨b,a⟩→16, ⟨b,b⟩→16, solution ⟨a⟩→7, ⟨b⟩→16,
+// blevel 7.
+func runE1() ([]Check, []string) {
+	s := core.NewSpace[float64](semiring.Weighted{})
+	x := s.AddVariable("X", core.LabelDomain("a", "b"))
+	y := s.AddVariable("Y", core.LabelDomain("a", "b"))
+	p := core.NewProblem(s, x)
+	p.Add(
+		core.Unary(s, x, map[string]float64{"a": 1, "b": 9}),
+		core.Binary(s, x, y, map[[2]string]float64{
+			{"a", "a"}: 5, {"a", "b"}: 1, {"b", "a"}: 2, {"b", "b"}: 2,
+		}),
+		core.Unary(s, y, map[string]float64{"a": 5, "b": 5}),
+	)
+	comb := p.Combined()
+	sol := p.Sol()
+	var cs []Check
+	for _, tc := range []struct {
+		labels [2]string
+		want   float64
+	}{
+		{[2]string{"a", "a"}, 11}, {[2]string{"a", "b"}, 7},
+		{[2]string{"b", "a"}, 16}, {[2]string{"b", "b"}, 16},
+	} {
+		got := comb.AtLabels(tc.labels[0], tc.labels[1])
+		cs = append(cs, Check{
+			Name:     fmt.Sprintf("combined ⟨%s,%s⟩", tc.labels[0], tc.labels[1]),
+			Paper:    fmt.Sprint(tc.want),
+			Measured: fmt.Sprint(got),
+			OK:       got == tc.want,
+		})
+	}
+	cs = append(cs,
+		Check{"solution ⟨a⟩", "7", fmt.Sprint(sol.AtLabels("a")), sol.AtLabels("a") == 7},
+		Check{"solution ⟨b⟩", "16", fmt.Sprint(sol.AtLabels("b")), sol.AtLabels("b") == 16},
+		Check{"blevel(P)", "7", fmt.Sprint(p.Blevel()), p.Blevel() == 7},
+	)
+	res := solver.BranchAndBound(p)
+	cs = append(cs, Check{
+		"best assignment", "X=a, Y=b",
+		fmt.Sprintf("X=%s, Y=%s", res.Best[0].Assignment.Label("X"), res.Best[0].Assignment.Label("Y")),
+		res.Best[0].Assignment.Label("X") == "a" && res.Best[0].Assignment.Label("Y") == "b",
+	})
+	return cs, nil
+}
+
+// runE2 reproduces Fig. 5: provider and client fuzzy constraints over
+// x ∈ [1,9] crossing at preference 0.5.
+func runE2() ([]Check, []string) {
+	s := core.NewSpace[float64](semiring.Fuzzy{})
+	x := s.AddVariable("x", core.IntDomain(1, 9))
+	cp := core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 {
+		return math.Max(0, math.Min(1, (a.Num(x)-1)/8))
+	})
+	cc := core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 {
+		return math.Max(0, math.Min(1, (9-a.Num(x))/8))
+	})
+	st := core.NewStore(s)
+	st.Tell(cp)
+	st.Tell(cc)
+	b := st.Blevel()
+	return []Check{
+		{"agreement blevel (max of min(cp,cc))", "0.5", fmt.Sprint(b), b == 0.5},
+	}, nil
+}
+
+// negotiationFixture builds the Fig. 7 constraints and sync tokens
+// shared by E3–E5.
+func negotiationFixture() (*core.Space[float64], map[string]*core.Constraint[float64]) {
+	s := core.NewSpace[float64](semiring.Weighted{})
+	x := s.AddVariable("x", core.IntDomain(0, 10))
+	y := s.AddVariable("y", core.IntDomain(0, 10))
+	sp1v := s.AddVariable("spv1", core.IntDomain(0, 1))
+	sp2v := s.AddVariable("spv2", core.IntDomain(0, 1))
+	sr := semiring.Weighted{}
+	flag := func(v core.Variable) *core.Constraint[float64] {
+		return core.NewConstraint(s, []core.Variable{v}, func(a core.Assignment) float64 {
+			if a.Num(v) == 1 {
+				return sr.One()
+			}
+			return sr.Zero()
+		})
+	}
+	return s, map[string]*core.Constraint[float64]{
+		"c1":  core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 { return a.Num(x) + 3 }),
+		"c2":  core.NewConstraint(s, []core.Variable{y}, func(a core.Assignment) float64 { return a.Num(y) + 1 }),
+		"c3":  core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 { return 2 * a.Num(x) }),
+		"c4":  core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 { return a.Num(x) + 5 }),
+		"sp1": flag(sp1v),
+		"sp2": flag(sp2v),
+	}
+}
+
+// runE3 reproduces Example 1: merged policies have blevel 5, P2's
+// interval [4,1] excludes it, so the negotiation deadlocks.
+func runE3() ([]Check, []string) {
+	s, cs := negotiationFixture()
+	sr := semiring.Weighted{}
+	p1 := sccp.Tell[float64]{C: cs["c4"], Next: sccp.Tell[float64]{C: cs["sp2"], Next: sccp.Ask[float64]{
+		C: cs["sp1"], Check: sccp.Between[float64](sr, 10, 2), Next: sccp.Success[float64]{},
+	}}}
+	p2 := sccp.Tell[float64]{C: cs["c3"], Next: sccp.Tell[float64]{C: cs["sp1"], Next: sccp.Ask[float64]{
+		C: cs["sp2"], Check: sccp.Between[float64](sr, 4, 1), Next: sccp.Success[float64]{},
+	}}}
+	m := sccp.NewMachine(s, sccp.Par[float64](p1, p2))
+	status, err := m.Run(200)
+	if err != nil {
+		return []Check{{"run", "no error", err.Error(), false}}, nil
+	}
+	b := m.Store().Blevel()
+	return []Check{
+		{"final store σ⇓∅ (c4⊗c3 ≡ 3x+5)", "5", fmt.Sprint(b), b == 5},
+		{"P2 succeeds (5 ∈ [4,1]?)", "no — agreement fails", status.String(), status == sccp.Stuck},
+	}, nil
+}
+
+// runE4 reproduces Example 2: retracting c1 leaves σ ≡ 2x+2 with
+// blevel 2 and both agents succeed.
+func runE4() ([]Check, []string) {
+	s, cs := negotiationFixture()
+	sr := semiring.Weighted{}
+	p1 := sccp.Tell[float64]{C: cs["c4"], Next: sccp.Tell[float64]{C: cs["sp2"], Next: sccp.Ask[float64]{
+		C: cs["sp1"], Check: sccp.Between[float64](sr, 10, 2), Next: sccp.Retract[float64]{
+			C: cs["c1"], Check: sccp.Between[float64](sr, 10, 2), Next: sccp.Success[float64]{},
+		},
+	}}}
+	p2 := sccp.Tell[float64]{C: cs["c3"], Next: sccp.Tell[float64]{C: cs["sp1"], Next: sccp.Ask[float64]{
+		C: cs["sp2"], Check: sccp.Between[float64](sr, 4, 1), Next: sccp.Success[float64]{},
+	}}}
+	m := sccp.NewMachine(s, sccp.Par[float64](p1, p2))
+	status, err := m.Run(300)
+	if err != nil {
+		return []Check{{"run", "no error", err.Error(), false}}, nil
+	}
+	b := m.Store().Blevel()
+	sx := core.ProjectTo(m.Store().Constraint(), "x")
+	poly := true
+	for v := 0; v <= 10; v++ {
+		if sx.AtLabels(fmt.Sprint(v)) != 2*float64(v)+2 {
+			poly = false
+		}
+	}
+	return []Check{
+		{"both agents succeed", "yes", status.String(), status == sccp.Succeeded},
+		{"final store polynomial", "2x+2", yes(poly) + " (2x+2)", poly},
+		{"final σ⇓∅", "2", fmt.Sprint(b), b == 2},
+	}, nil
+}
+
+// runE5 reproduces Example 3: tell(c1) then update_{x}(c2) leaves the
+// store y+4.
+func runE5() ([]Check, []string) {
+	s, cs := negotiationFixture()
+	m := sccp.NewMachine(s, sccp.Tell[float64]{C: cs["c1"], Next: sccp.Update[float64]{
+		Vars: []core.Variable{"x"}, C: cs["c2"], Next: sccp.Success[float64]{},
+	}})
+	status, err := m.Run(50)
+	if err != nil {
+		return []Check{{"run", "no error", err.Error(), false}}, nil
+	}
+	sy := core.ProjectTo(m.Store().Constraint(), "y")
+	poly := true
+	for v := 0; v <= 10; v++ {
+		if sy.AtLabels(fmt.Sprint(v)) != float64(v)+4 {
+			poly = false
+		}
+	}
+	b := m.Store().Blevel()
+	return []Check{
+		{"agent succeeds", "yes", status.String(), status == sccp.Succeeded},
+		{"final store polynomial", "y+4", yes(poly) + " (y+4)", poly},
+		{"final σ⇓∅", "4", fmt.Sprint(b), b == 4},
+	}, nil
+}
+
+// runE6 reproduces the crisp Fig. 8 analysis: Imp1 refines Memory,
+// Imp2 (REDF failed to true) does not.
+func runE6() ([]Check, []string) {
+	s := integrity.NewCrispPhotoSpace()
+	sys := integrity.CrispPhotoSystem(s)
+	mem := integrity.CrispMemoryRequirement(s)
+	iface := []core.Variable{integrity.PhotoVars.Incomp, integrity.PhotoVars.Outcomp}
+	imp1 := sys.Upholds(mem, iface...)
+	failed := sys.Clone()
+	if err := failed.FailModule("REDF"); err != nil {
+		return []Check{{"fail REDF", "ok", err.Error(), false}}, nil
+	}
+	imp2 := failed.Upholds(mem, iface...)
+	return []Check{
+		{"Imp1⇓{incomp,outcomp} ⊑ Memory", "holds", yes(imp1), imp1},
+		{"Imp2⇓{incomp,outcomp} ⊑ Memory (REDF ≡ true)", "fails", yes(imp2), !imp2},
+	}, nil
+}
+
+// runE7 reproduces the quantitative Fig. 8 analysis: c1(4096,1024) =
+// 0.96 and Imp3 meets a 0.5 minimum reliability requirement.
+func runE7() ([]Check, []string) {
+	s := integrity.NewQuantPhotoSpace()
+	c1 := integrity.BWFReliability(s)
+	v := c1.AtLabels("4096", "1024")
+	sys := integrity.QuantPhotoSystem(s)
+	meets := sys.MeetsMin(integrity.MemoryProbRequirement(s, 0.5),
+		integrity.PhotoVars.Outcomp, integrity.PhotoVars.Incomp)
+	tooHard := sys.MeetsMin(integrity.MemoryProbRequirement(s, 0.999),
+		integrity.PhotoVars.Outcomp, integrity.PhotoVars.Incomp)
+	rel := sys.Reliability()
+	return []Check{
+		{"c1(outcomp=4096, bwbyte=1024)", "0.96", fmt.Sprint(v), math.Abs(v-0.96) < 1e-12},
+		{"MemoryProb(0.5) ⊑ Imp3", "holds", yes(meets), meets},
+		{"MemoryProb(0.999) ⊑ Imp3", "fails", yes(tooHard), !tooHard},
+	}, []string{fmt.Sprintf("best-case composed reliability (blevel) = %.4f", rel)}
+}
+
+// runE8 reproduces the coalition results: Fig. 9's two communities
+// are the optimal stable 2-partition; Fig. 10's partition blocks.
+func runE8() ([]Check, []string) {
+	fig9 := coalition.Fig9Network()
+	res := coalition.Exact(fig9, trust.Min, coalition.WithMaxCoalitions(2))
+	wantA := semiring.BitsetOf(0, 1, 2, 3)
+	wantB := semiring.BitsetOf(4, 5, 6)
+	communities := len(res.Partition) == 2 &&
+		((res.Partition[0] == wantA && res.Partition[1] == wantB) ||
+			(res.Partition[0] == wantB && res.Partition[1] == wantA))
+
+	fig10 := coalition.Fig10Network()
+	c1 := semiring.BitsetOf(0, 1, 2)
+	c2 := semiring.BitsetOf(3, 4, 5, 6)
+	blocking := coalition.Blocking(fig10, c1, c2, trust.Avg)
+	unstable := !coalition.Stable(fig10, coalition.Partition{c1, c2}, trust.Avg)
+	repaired := coalition.Stable(fig10,
+		coalition.Partition{c1.With(3), c2.Without(3)}, trust.Avg)
+	return []Check{
+		{"Fig. 9 best stable 2-partition", "{x1..x4},{x5..x7}", res.String(), communities && res.Stable},
+		{"Fig. 10 (C1,C2) blocking (Def. 4)", "blocking", yes(blocking), blocking},
+		{"Fig. 10 partition stable?", "no", yes(!unstable), unstable},
+		{"partition with x4 moved to C1 stable?", "yes", yes(repaired), repaired},
+	}, nil
+}
+
+// runE9 walks the Fig. 6 broker protocol over HTTP: publish,
+// discover, negotiate, sign.
+func runE9() ([]Check, []string) {
+	srv := broker.NewServer(broker.DefaultLinkPenalty)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := broker.NewClient(ts.URL, ts.Client())
+
+	pub := func(provider string, base, per float64) error {
+		return client.Publish(&soa.Document{
+			Service: "failmgmt", Provider: provider, Region: "eu",
+			Attributes: []soa.Attribute{{
+				Name: "hours", Metric: soa.MetricCost,
+				Base: base, PerUnit: per, Resource: "failures", MaxUnits: 10,
+			}},
+		})
+	}
+	if err := pub("p1", 2, 0); err != nil {
+		return []Check{{"publish", "ok", err.Error(), false}}, nil
+	}
+	if err := pub("p2", 7, 1); err != nil {
+		return []Check{{"publish", "ok", err.Error(), false}}, nil
+	}
+	docs, err := client.Discover("failmgmt")
+	if err != nil {
+		return []Check{{"discover", "ok", err.Error(), false}}, nil
+	}
+	lower, upper := 4.0, 1.0
+	sla, err := client.Negotiate(broker.NegotiateRequest{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: &lower, Upper: &upper,
+	})
+	if err != nil {
+		return []Check{{"negotiate", "SLA", err.Error(), false}}, nil
+	}
+	return []Check{
+		{"providers discovered", "2", fmt.Sprint(len(docs)), len(docs) == 2},
+		{"SLA provider (best of p1/p2)", "p1", sla.Providers[0], sla.Providers[0] == "p1"},
+		{"agreed level ∈ [4,1]", "2", fmt.Sprint(sla.AgreedLevel), sla.AgreedLevel == 2},
+	}, nil
+}

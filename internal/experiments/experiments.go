@@ -1,0 +1,103 @@
+// Package experiments regenerates every experiment recorded in
+// EXPERIMENTS.md: the paper-conformance checks E1–E9 (each worked
+// example and figure of the DSN 2008 paper) and the scaling/ablation
+// studies E10–E14. cmd/experiments is the CLI front-end; the test
+// suite runs every experiment and asserts all checks pass.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Check is one asserted row of an experiment: a quantity, the paper's
+// claim, the measured value, and whether they agree.
+type Check struct {
+	// Name describes the quantity.
+	Name string
+	// Paper is the paper-claimed (or designed-shape) value.
+	Paper string
+	// Measured is what this implementation produced.
+	Measured string
+	// OK reports agreement.
+	OK bool
+}
+
+// Experiment is one reproducible unit.
+type Experiment struct {
+	// ID is the EXPERIMENTS.md identifier (E1..E14).
+	ID string
+	// Title summarises the experiment.
+	Title string
+	// Run executes it, returning checks and free-form table notes.
+	Run func() ([]Check, []string)
+}
+
+// All returns every experiment in EXPERIMENTS.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Fig. 1 — weighted CSP worked example", runE1},
+		{"E2", "Fig. 5 — fuzzy SLA agreement", runE2},
+		{"E3", "Example 1 — tell and failed negotiation", runE3},
+		{"E4", "Example 2 — retract relaxes the store", runE4},
+		{"E5", "Example 3 — update refreshes a variable", runE5},
+		{"E6", "Fig. 8 — crisp integrity refinement", runE6},
+		{"E7", "Fig. 8 — quantitative reliability analysis", runE7},
+		{"E8", "Fig. 9/10 — trustworthy coalitions", runE8},
+		{"E9", "Fig. 6 — broker protocol over HTTP", runE9},
+		{"E10", "Solver scaling and pruning ablation", runE10},
+		{"E11", "Composition: optimal vs greedy", runE11},
+		{"E12", "Coalition: direct solver vs §6.1 SCSP encoding", runE12},
+		{"E13", "Semiring operation microbenchmarks", runE13},
+		{"E14", "nmsccp interpreter throughput", runE14},
+		{"E15", "Soft arc-consistency propagation ablation", runE15},
+		{"E16", "Coalition annealing vs exact", runE16},
+		{"E17", "Multi-objective (Pareto) composition", runE17},
+	}
+}
+
+// Lookup returns the experiment with the given id (case-insensitive).
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Report runs the selected experiments ("all" or an id) and writes a
+// human-readable report to w. It returns the number of failed checks
+// and whether any experiment matched the selector.
+func Report(w io.Writer, selector string) (failed int, matched bool) {
+	for _, e := range All() {
+		if selector != "all" && !strings.EqualFold(selector, e.ID) {
+			continue
+		}
+		matched = true
+		fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+		checks, notes := e.Run()
+		for _, c := range checks {
+			verdict := "PASS"
+			if !c.OK {
+				verdict = "FAIL"
+				failed++
+			}
+			fmt.Fprintf(w, "  [%s] %-46s paper: %-18s measured: %s\n",
+				verdict, c.Name, c.Paper, c.Measured)
+		}
+		for _, n := range notes {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+		fmt.Fprintln(w)
+	}
+	return failed, matched
+}
+
+func yes(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every experiment in EXPERIMENTS.md and
+// asserts every check agrees with the paper — the repository-level
+// conformance gate.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			checks, _ := e.Run()
+			if len(checks) == 0 {
+				t.Fatalf("%s produced no checks", e.ID)
+			}
+			for _, c := range checks {
+				if !c.OK {
+					t.Errorf("%s: %s — paper %q, measured %q", e.ID, c.Name, c.Paper, c.Measured)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e7"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestReport(t *testing.T) {
+	var sb strings.Builder
+	failed, matched := Report(&sb, "E1")
+	if !matched {
+		t.Fatal("E1 should match")
+	}
+	if failed != 0 {
+		t.Fatalf("E1 reported %d failures:\n%s", failed, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"E1:", "PASS", "blevel(P)", "measured: 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if _, matched := Report(&sb, "nope"); matched {
+		t.Error("unknown selector should not match")
+	}
+}
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete experiment", e.ID)
+		}
+	}
+	if len(seen) != 17 {
+		t.Errorf("expected 17 experiments, got %d", len(seen))
+	}
+}

@@ -1,0 +1,42 @@
+package integrity_test
+
+import (
+	"fmt"
+
+	"softsoa/internal/integrity"
+)
+
+// The Fig. 8 analysis: the module policies uphold the client's
+// Memory requirement until the red filter becomes unreliable.
+func ExampleSystem_Upholds() {
+	s := integrity.NewCrispPhotoSpace()
+	sys := integrity.CrispPhotoSystem(s)
+	mem := integrity.CrispMemoryRequirement(s)
+	fmt.Println("Imp1 upholds Memory:",
+		sys.Upholds(mem, integrity.PhotoVars.Incomp, integrity.PhotoVars.Outcomp))
+	broken := sys.Clone()
+	if err := broken.FailModule("REDF"); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("Imp2 upholds Memory:",
+		broken.Upholds(mem, integrity.PhotoVars.Incomp, integrity.PhotoVars.Outcomp))
+	// Output:
+	// Imp1 upholds Memory: true
+	// Imp2 upholds Memory: false
+}
+
+// The quantitative variant: the paper's c1 reliability value and the
+// minimum-reliability check.
+func ExampleSystem_MeetsMin() {
+	s := integrity.NewQuantPhotoSpace()
+	sys := integrity.QuantPhotoSystem(s)
+	c1 := integrity.BWFReliability(s)
+	fmt.Printf("c1(4096,1024) = %.2f\n", c1.AtLabels("4096", "1024"))
+	req := integrity.MemoryProbRequirement(s, 0.5)
+	fmt.Println("meets 0.5 minimum:",
+		sys.MeetsMin(req, integrity.PhotoVars.Outcomp, integrity.PhotoVars.Incomp))
+	// Output:
+	// c1(4096,1024) = 0.96
+	// meets 0.5 minimum: true
+}

@@ -1,0 +1,224 @@
+// Package integrity implements the quantitative dependability
+// analysis of Sec. 5 of the paper: module policies are soft
+// constraints, a system implementation is their combination ⊗, the
+// service interface is the projection ⇓ onto the externally visible
+// variables, and integrity holds when the implementation locally
+// refines the high-level requirement through that interface
+// (Definitions 1 and 2, after Bistarelli & Foley, SAFECOMP 2003).
+//
+// With the Classical semiring the analysis is the paper's crisp one
+// (the federated photo-editing pipeline of Fig. 8); with the
+// Probabilistic semiring it becomes quantitative, measuring the
+// reliability of the composed service and selecting the best
+// implementation via the best level of consistency.
+package integrity
+
+import (
+	"fmt"
+	"sort"
+
+	"softsoa/internal/core"
+)
+
+// Module is one component of a federated system: a named policy
+// constraint describing its (claimed) behaviour.
+type Module[T any] struct {
+	// Name identifies the module (e.g. "REDF", "BWF", "COMPF").
+	Name string
+	// Policy is the soft constraint compiled from the module's policy
+	// document.
+	Policy *core.Constraint[T]
+}
+
+// System is a federated system: components within different
+// administrative entities cooperating to provide a service, each
+// contributing a policy.
+type System[T any] struct {
+	space   *core.Space[T]
+	modules []Module[T]
+	index   map[string]int
+}
+
+// NewSystem returns an empty federated system over the space.
+func NewSystem[T any](space *core.Space[T]) *System[T] {
+	return &System[T]{space: space, index: make(map[string]int)}
+}
+
+// Space returns the system's constraint space.
+func (s *System[T]) Space() *core.Space[T] { return s.space }
+
+// AddModule registers a module policy. It fails on duplicate names
+// or nil policies.
+func (s *System[T]) AddModule(name string, policy *core.Constraint[T]) error {
+	if policy == nil {
+		return fmt.Errorf("integrity: nil policy for module %q", name)
+	}
+	if _, dup := s.index[name]; dup {
+		return fmt.Errorf("integrity: duplicate module %q", name)
+	}
+	s.index[name] = len(s.modules)
+	s.modules = append(s.modules, Module[T]{Name: name, Policy: policy})
+	return nil
+}
+
+// Modules returns the registered modules in registration order.
+func (s *System[T]) Modules() []Module[T] {
+	return append([]Module[T](nil), s.modules...)
+}
+
+// ReplaceModule swaps a module's policy, e.g. after a re-negotiation.
+func (s *System[T]) ReplaceModule(name string, policy *core.Constraint[T]) error {
+	i, ok := s.index[name]
+	if !ok {
+		return fmt.Errorf("integrity: unknown module %q", name)
+	}
+	if policy == nil {
+		return fmt.Errorf("integrity: nil policy for module %q", name)
+	}
+	s.modules[i].Policy = policy
+	return nil
+}
+
+// FailModule models an unreliable module by replacing its policy with
+// the vacuous constraint true (1̄): the module "could take on any
+// behaviour", as the paper does for REDF. The more realistic system
+// that results is exactly the paper's Imp2.
+func (s *System[T]) FailModule(name string) error {
+	return s.ReplaceModule(name, core.Top(s.space))
+}
+
+// Clone returns an independent copy of the system, so failure
+// injection can be explored without disturbing the original.
+func (s *System[T]) Clone() *System[T] {
+	out := NewSystem(s.space)
+	for _, m := range s.modules {
+		// Policies are immutable; sharing them is safe.
+		if err := out.AddModule(m.Name, m.Policy); err != nil {
+			panic(err) // unreachable: the source system was valid
+		}
+	}
+	return out
+}
+
+// Implementation returns Imp = ⊗ of all module policies.
+func (s *System[T]) Implementation() *core.Constraint[T] {
+	cs := make([]*core.Constraint[T], len(s.modules))
+	for i, m := range s.modules {
+		cs[i] = m.Policy
+	}
+	return core.CombineAll(s.space, cs...)
+}
+
+// Interface returns the service interface Imp ⇓ vars: the external
+// view of the system — "what is visible to the other software
+// components" — hiding the internal variables.
+func (s *System[T]) Interface(vars ...core.Variable) *core.Constraint[T] {
+	return core.ProjectTo(s.Implementation(), vars...)
+}
+
+// Refines implements Definition 1: S locally refines R through the
+// interface described by vars iff S⇓vars ⊑ R⇓vars.
+func Refines[T any](s, r *core.Constraint[T], vars ...core.Variable) bool {
+	return core.Leq(core.ProjectTo(s, vars...), core.ProjectTo(r, vars...))
+}
+
+// Upholds reports whether the system's implementation is as
+// dependably safe as requirement req at the interface vars
+// (Definition 2): Imp⇓vars ⊑ req⇓vars.
+func (s *System[T]) Upholds(req *core.Constraint[T], vars ...core.Variable) bool {
+	return Refines(s.Implementation(), req, vars...)
+}
+
+// Meets is the quantitative reading used for reliability: the
+// implementation meets a minimum requirement when req ⊑ imp at the
+// interface — every tuple is at least as reliable as demanded
+// (Sec. 5, "MemoryProb ⊑ Imp3").
+func Meets[T any](imp, minReq *core.Constraint[T], vars ...core.Variable) bool {
+	return core.Leq(core.ProjectTo(minReq, vars...), core.ProjectTo(imp, vars...))
+}
+
+// MeetsMin reports whether the system's implementation meets the
+// minimum reliability requirement at the interface vars.
+func (s *System[T]) MeetsMin(minReq *core.Constraint[T], vars ...core.Variable) bool {
+	return Meets(s.Implementation(), minReq, vars...)
+}
+
+// Reliability returns the best level of consistency of the
+// implementation: the reliability of the best possible run of the
+// composed service.
+func (s *System[T]) Reliability() T {
+	return core.Blevel(s.Implementation())
+}
+
+// Alternative is a candidate policy for one module.
+type Alternative[T any] struct {
+	// Module is the module whose policy the candidate replaces.
+	Module string
+	// Name labels the candidate implementation.
+	Name string
+	// Policy is the candidate policy.
+	Policy *core.Constraint[T]
+}
+
+// Choice records one selected candidate per module.
+type Choice struct {
+	Module string
+	Name   string
+}
+
+// BestImplementation exhaustively tries every combination of the
+// given per-module alternatives (modules without alternatives keep
+// their current policy), keeps those whose implementation meets
+// minReq at the interface vars, and returns the choice with the best
+// blevel — "the most reliable implementation among those possible".
+// The boolean result reports whether any combination met the
+// requirement.
+func (s *System[T]) BestImplementation(
+	alts []Alternative[T],
+	minReq *core.Constraint[T],
+	vars ...core.Variable,
+) ([]Choice, T, bool) {
+	sr := s.space.Semiring()
+	byModule := make(map[string][]Alternative[T])
+	var moduleOrder []string
+	for _, a := range alts {
+		if _, known := s.index[a.Module]; !known {
+			return nil, sr.Zero(), false
+		}
+		if _, seen := byModule[a.Module]; !seen {
+			moduleOrder = append(moduleOrder, a.Module)
+		}
+		byModule[a.Module] = append(byModule[a.Module], a)
+	}
+	sort.Strings(moduleOrder)
+
+	bestVal := sr.Zero()
+	var bestChoice []Choice
+	found := false
+
+	work := s.Clone()
+	var rec func(i int, picked []Choice)
+	rec = func(i int, picked []Choice) {
+		if i == len(moduleOrder) {
+			if !work.MeetsMin(minReq, vars...) {
+				return
+			}
+			b := work.Reliability()
+			if !found || (sr.Leq(bestVal, b) && !sr.Eq(bestVal, b)) {
+				found = true
+				bestVal = b
+				bestChoice = append([]Choice(nil), picked...)
+			}
+			return
+		}
+		mod := moduleOrder[i]
+		for _, cand := range byModule[mod] {
+			if err := work.ReplaceModule(mod, cand.Policy); err != nil {
+				continue
+			}
+			rec(i+1, append(picked, Choice{Module: mod, Name: cand.Name}))
+		}
+	}
+	rec(0, nil)
+	return bestChoice, bestVal, found
+}

@@ -1,0 +1,242 @@
+package integrity
+
+import (
+	"math"
+	"testing"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// TestFig8CrispIntegrityHolds reproduces the paper's first Fig. 8
+// result: Imp1 = RedFilter ⊗ BWFilter ⊗ Compression ensures the
+// high-level requirement Memory through the interface
+// {incomp, outcomp}.
+func TestFig8CrispIntegrityHolds(t *testing.T) {
+	s := NewCrispPhotoSpace()
+	sys := CrispPhotoSystem(s)
+	mem := CrispMemoryRequirement(s)
+	if !sys.Upholds(mem, PhotoVars.Incomp, PhotoVars.Outcomp) {
+		t.Fatal("Imp1 ⇓{incomp,outcomp} ⊑ Memory should hold")
+	}
+}
+
+// TestFig8CrispIntegrityFailsWithUnreliableREDF reproduces the second
+// Fig. 8 result: when REDF may take on any behaviour (policy true),
+// the implementation Imp2 is no longer sufficiently robust:
+// Imp2 ⇓{incomp,outcomp} ⋢ Memory.
+func TestFig8CrispIntegrityFailsWithUnreliableREDF(t *testing.T) {
+	s := NewCrispPhotoSpace()
+	sys := CrispPhotoSystem(s)
+	if err := sys.FailModule("REDF"); err != nil {
+		t.Fatal(err)
+	}
+	mem := CrispMemoryRequirement(s)
+	if sys.Upholds(mem, PhotoVars.Incomp, PhotoVars.Outcomp) {
+		t.Fatal("Imp2 must NOT refine Memory after REDF failure injection")
+	}
+}
+
+func TestFailureInjectionIsLocalised(t *testing.T) {
+	s := NewCrispPhotoSpace()
+	orig := CrispPhotoSystem(s)
+	failed := orig.Clone()
+	if err := failed.FailModule("BWF"); err != nil {
+		t.Fatal(err)
+	}
+	mem := CrispMemoryRequirement(s)
+	if !orig.Upholds(mem, PhotoVars.Incomp, PhotoVars.Outcomp) {
+		t.Fatal("clone failure injection must not affect the original")
+	}
+	// BWF only bounds bwbyte ≤ outcomp; the chain incomp ≤ redbyte ≤
+	// bwbyte survives, but bwbyte is now unconstrained above outcomp,
+	// so incomp can exceed outcomp: integrity is lost.
+	if failed.Upholds(mem, PhotoVars.Incomp, PhotoVars.Outcomp) {
+		t.Fatal("BWF failure should break integrity")
+	}
+}
+
+// TestFig8QuantC1Value pins the paper's worked number: a 4096 KB
+// input compressed to 1024 KB has reliability 0.96 in c1.
+func TestFig8QuantC1Value(t *testing.T) {
+	s := NewQuantPhotoSpace()
+	c1 := BWFReliability(s)
+	got := c1.AtLabels("4096", "1024")
+	if math.Abs(got-0.96) > 1e-12 {
+		t.Fatalf("c1(4096,1024) = %v, want 0.96", got)
+	}
+	if got := c1.AtLabels("1024", "512"); got != 1 {
+		t.Fatalf("c1(1024,512) = %v, want 1 (≤1MB inputs fully reliable)", got)
+	}
+}
+
+func TestFig8QuantMeetsMinimumReliability(t *testing.T) {
+	s := NewQuantPhotoSpace()
+	sys := QuantPhotoSystem(s)
+	okReq := MemoryProbRequirement(s, 0.5)
+	if !sys.MeetsMin(okReq, PhotoVars.Outcomp, PhotoVars.Incomp) {
+		t.Fatal("Imp3 should meet the 0.5 minimum reliability requirement")
+	}
+	hardReq := MemoryProbRequirement(s, 0.999)
+	if sys.MeetsMin(hardReq, PhotoVars.Outcomp, PhotoVars.Incomp) {
+		t.Fatal("Imp3 should not meet a 0.999 requirement")
+	}
+}
+
+func TestQuantReliabilityBlevel(t *testing.T) {
+	s := NewQuantPhotoSpace()
+	sys := QuantPhotoSystem(s)
+	rel := sys.Reliability()
+	if rel <= 0.9 || rel > 1 {
+		t.Fatalf("best-case composed reliability = %v, want in (0.9, 1]", rel)
+	}
+	// The best run keeps the image at its smallest flow: verify the
+	// blevel is attained by some concrete tuple.
+	imp := sys.Implementation()
+	attained := false
+	imp.ForEach(func(_ core.Assignment, v float64) {
+		if v == rel {
+			attained = true
+		}
+	})
+	if !attained {
+		t.Fatal("blevel should be attained (total order)")
+	}
+}
+
+func TestBestImplementationSelection(t *testing.T) {
+	s := NewQuantPhotoSpace()
+	sys := QuantPhotoSystem(s)
+
+	// A cheaper but flakier red filter vs the standard one.
+	flaky := core.NewConstraint(s,
+		[]core.Variable{PhotoVars.Bwbyte, PhotoVars.Redbyte},
+		func(a core.Assignment) float64 {
+			if a.Num(PhotoVars.Redbyte) > a.Num(PhotoVars.Bwbyte) {
+				return 0
+			}
+			return 0.5
+		})
+	alts := []Alternative[float64]{
+		{Module: "REDF", Name: "standard", Policy: REDFReliability(s)},
+		{Module: "REDF", Name: "flaky", Policy: flaky},
+	}
+	choice, val, ok := sys.BestImplementation(alts,
+		MemoryProbRequirement(s, 0.4), PhotoVars.Outcomp, PhotoVars.Incomp)
+	if !ok {
+		t.Fatal("expected a feasible implementation")
+	}
+	if len(choice) != 1 || choice[0].Name != "standard" {
+		t.Fatalf("choice = %+v, want the standard red filter", choice)
+	}
+	if val <= 0.9 {
+		t.Fatalf("best reliability = %v, want > 0.9", val)
+	}
+}
+
+func TestBestImplementationInfeasible(t *testing.T) {
+	s := NewQuantPhotoSpace()
+	sys := QuantPhotoSystem(s)
+	alts := []Alternative[float64]{
+		{Module: "REDF", Name: "standard", Policy: REDFReliability(s)},
+	}
+	_, _, ok := sys.BestImplementation(alts,
+		MemoryProbRequirement(s, 0.9999), PhotoVars.Outcomp, PhotoVars.Incomp)
+	if ok {
+		t.Fatal("no implementation should meet a 0.9999 requirement")
+	}
+}
+
+func TestBestImplementationUnknownModule(t *testing.T) {
+	s := NewQuantPhotoSpace()
+	sys := QuantPhotoSystem(s)
+	_, _, ok := sys.BestImplementation(
+		[]Alternative[float64]{{Module: "NOPE", Name: "x", Policy: core.Top(s)}},
+		MemoryProbRequirement(s, 0.1), PhotoVars.Outcomp)
+	if ok {
+		t.Fatal("unknown module must not succeed")
+	}
+}
+
+func TestSystemErrors(t *testing.T) {
+	s := NewCrispPhotoSpace()
+	sys := NewSystem(s)
+	if err := sys.AddModule("A", core.Top(s)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddModule("A", core.Top(s)); err == nil {
+		t.Error("duplicate module should fail")
+	}
+	if err := sys.AddModule("B", nil); err == nil {
+		t.Error("nil policy should fail")
+	}
+	if err := sys.ReplaceModule("missing", core.Top(s)); err == nil {
+		t.Error("replacing unknown module should fail")
+	}
+	if err := sys.ReplaceModule("A", nil); err == nil {
+		t.Error("replacing with nil policy should fail")
+	}
+	if err := sys.FailModule("missing"); err == nil {
+		t.Error("failing unknown module should fail")
+	}
+	if got := len(sys.Modules()); got != 1 {
+		t.Errorf("modules = %d, want 1", got)
+	}
+}
+
+func TestRefinesIsReflexiveAndAntitone(t *testing.T) {
+	s := NewCrispPhotoSpace()
+	sys := CrispPhotoSystem(s)
+	imp := sys.Implementation()
+	if !Refines(imp, imp, PhotoVars.Incomp, PhotoVars.Outcomp) {
+		t.Fatal("refinement must be reflexive")
+	}
+	// Adding constraints only strengthens the implementation: still a
+	// refinement of the weaker requirement.
+	stronger := core.Combine(imp, CrispMemoryRequirement(s))
+	if !Refines(stronger, imp, PhotoVars.Incomp, PhotoVars.Outcomp) {
+		t.Fatal("a strengthened implementation must still refine")
+	}
+}
+
+func TestInterfaceHidesInternals(t *testing.T) {
+	s := NewCrispPhotoSpace()
+	sys := CrispPhotoSystem(s)
+	iface := sys.Interface(PhotoVars.Incomp, PhotoVars.Outcomp)
+	sc := iface.Scope()
+	if len(sc) != 2 {
+		t.Fatalf("interface scope = %v, want 2 vars", sc)
+	}
+	for _, v := range sc {
+		if v == PhotoVars.Bwbyte || v == PhotoVars.Redbyte {
+			t.Fatalf("internal variable %q leaked into the interface", v)
+		}
+	}
+}
+
+func TestWeightedIntegrityVariant(t *testing.T) {
+	// The same machinery under a weighted semiring: policies are
+	// processing-time budgets, the requirement caps the end-to-end
+	// latency.
+	sr := semiring.Weighted{}
+	s := core.NewSpace[float64](sr)
+	stage := s.AddVariable("stage", core.IntDomain(0, 3))
+	sys := NewSystem(s)
+	if err := sys.AddModule("svc", core.NewConstraint(s, []core.Variable{stage},
+		func(a core.Assignment) float64 { return 5 * a.Num(stage) })); err != nil {
+		t.Fatal(err)
+	}
+	// In the weighted order lower cost is BETTER (higher in the
+	// lattice), so staying within a budget is the Meets direction:
+	// budget ⊑ implementation.
+	budget := core.NewConstraint(s, []core.Variable{stage},
+		func(a core.Assignment) float64 { return 20 * a.Num(stage) })
+	if !sys.MeetsMin(budget, stage) {
+		t.Fatal("a 5x-cost service should stay within a 20x budget")
+	}
+	over := core.NewConstraint(s, []core.Variable{stage},
+		func(a core.Assignment) float64 { return 2 * a.Num(stage) })
+	if sys.MeetsMin(over, stage) {
+		t.Fatal("a 5x-cost service must exceed a 2x budget")
+	}
+}

@@ -1,0 +1,145 @@
+package integrity
+
+import (
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// This file builds the paper's running scenario (Fig. 8): a federated
+// digital photo-editing service. The client-side COMPF module
+// compresses; the provider-side REDF (red filter) and BWF
+// (black-and-white filter) modules transform the image in a pipeline
+// outcomp → bwbyte → redbyte → incomp, where the four variables are
+// image sizes in KB at the successive stages. The client's high-level
+// requirement Memory is that the returned image is no larger than the
+// original.
+
+// PhotoSizesKB is the domain of image sizes used by the scenario.
+var PhotoSizesKB = []float64{512, 1024, 2048, 4096}
+
+// PhotoVars names the four pipeline size variables.
+var PhotoVars = struct {
+	Outcomp, Bwbyte, Redbyte, Incomp core.Variable
+}{"outcomp", "bwbyte", "redbyte", "incomp"}
+
+// NewCrispPhotoSpace returns a Classical-semiring space with the four
+// size variables declared.
+func NewCrispPhotoSpace() *core.Space[bool] {
+	s := core.NewSpace[bool](semiring.Classical{})
+	addPhotoVars(s)
+	return s
+}
+
+// NewQuantPhotoSpace returns a Probabilistic-semiring space with the
+// four size variables declared.
+func NewQuantPhotoSpace() *core.Space[float64] {
+	s := core.NewSpace[float64](semiring.Probabilistic{})
+	addPhotoVars(s)
+	return s
+}
+
+func addPhotoVars[T any](s *core.Space[T]) {
+	for _, v := range []core.Variable{
+		PhotoVars.Outcomp, PhotoVars.Bwbyte, PhotoVars.Redbyte, PhotoVars.Incomp,
+	} {
+		s.AddVariable(v, core.NumDomain(PhotoSizesKB...))
+	}
+}
+
+// CrispPhotoSystem builds the paper's Imp1: the three module policies
+// BWFilter ≡ bwbyte ≤ outcomp, REDFilter ≡ redbyte ≤ bwbyte and
+// Compression ≡ incomp ≤ redbyte, each claiming its stage does not
+// grow the image.
+func CrispPhotoSystem(s *core.Space[bool]) *System[bool] {
+	sys := NewSystem(s)
+	mustAdd(sys, "BWF", leq(s, PhotoVars.Bwbyte, PhotoVars.Outcomp))
+	mustAdd(sys, "REDF", leq(s, PhotoVars.Redbyte, PhotoVars.Bwbyte))
+	mustAdd(sys, "COMPF", leq(s, PhotoVars.Incomp, PhotoVars.Redbyte))
+	return sys
+}
+
+// CrispMemoryRequirement is the client requirement Memory ≡
+// incomp ≤ outcomp.
+func CrispMemoryRequirement(s *core.Space[bool]) *core.Constraint[bool] {
+	return leq(s, PhotoVars.Incomp, PhotoVars.Outcomp)
+}
+
+func leq(s *core.Space[bool], a, b core.Variable) *core.Constraint[bool] {
+	return core.NewConstraint(s, []core.Variable{a, b}, func(asst core.Assignment) bool {
+		return asst.Num(a) <= asst.Num(b)
+	})
+}
+
+func mustAdd[T any](sys *System[T], name string, c *core.Constraint[T]) {
+	if err := sys.AddModule(name, c); err != nil {
+		panic(err) // unreachable for the fixed scenario names
+	}
+}
+
+// BWFReliability is the paper's probabilistic constraint c1 linking
+// the black-and-white stage's reliability to the input and output
+// sizes: fully reliable up to 1 MB inputs, inoperative above 4 MB,
+// and otherwise 1 − outcomp/(100·bwbyte) — the more the stage shrinks
+// the image, the likelier an error. c1(4096, 1024) = 0.96.
+func BWFReliability(s *core.Space[float64]) *core.Constraint[float64] {
+	o, b := PhotoVars.Outcomp, PhotoVars.Bwbyte
+	return core.NewConstraint(s, []core.Variable{o, b}, func(a core.Assignment) float64 {
+		switch {
+		case a.Num(o) <= 1024:
+			return 1
+		case a.Num(o) > 4096:
+			return 0
+		default:
+			return 1 - a.Num(o)/(100*a.Num(b))
+		}
+	})
+}
+
+// REDFReliability is c2: the red filter never grows the image
+// (reliability 0 otherwise) and degrades gently with the shrink
+// ratio: 1 − bwbyte/(200·redbyte).
+func REDFReliability(s *core.Space[float64]) *core.Constraint[float64] {
+	b, r := PhotoVars.Bwbyte, PhotoVars.Redbyte
+	return core.NewConstraint(s, []core.Variable{b, r}, func(a core.Assignment) float64 {
+		if a.Num(r) > a.Num(b) {
+			return 0
+		}
+		return 1 - a.Num(b)/(200*a.Num(r))
+	})
+}
+
+// COMPFReliability is c3: client-side compression never grows the
+// image and degrades as 1 − redbyte/(150·incomp).
+func COMPFReliability(s *core.Space[float64]) *core.Constraint[float64] {
+	r, i := PhotoVars.Redbyte, PhotoVars.Incomp
+	return core.NewConstraint(s, []core.Variable{r, i}, func(a core.Assignment) float64 {
+		if a.Num(i) > a.Num(r) {
+			return 0
+		}
+		return 1 - a.Num(r)/(150*a.Num(i))
+	})
+}
+
+// QuantPhotoSystem builds Imp3 = c1 ⊗ c2 ⊗ c3: the global reliability
+// of the composed photo-editing service.
+func QuantPhotoSystem(s *core.Space[float64]) *System[float64] {
+	sys := NewSystem(s)
+	mustAdd(sys, "BWF", BWFReliability(s))
+	mustAdd(sys, "REDF", REDFReliability(s))
+	mustAdd(sys, "COMPF", COMPFReliability(s))
+	return sys
+}
+
+// MemoryProbRequirement is the client's minimum-reliability
+// constraint: on memory-safe tuples (incomp ≤ outcomp) the service
+// must be at least minLevel reliable; other tuples are unconstrained
+// (requirement 0).
+func MemoryProbRequirement(s *core.Space[float64], minLevel float64) *core.Constraint[float64] {
+	o, i := PhotoVars.Outcomp, PhotoVars.Incomp
+	return core.NewConstraint(s, []core.Variable{o, i}, func(a core.Assignment) float64 {
+		if a.Num(i) <= a.Num(o) {
+			return minLevel
+		}
+		return 0
+	})
+}

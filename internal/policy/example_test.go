@@ -1,0 +1,54 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"softsoa/internal/policy"
+)
+
+// The paper's conclusions sketch capability policies: "you MUST use
+// HTTP Authentication and MAY use GZIP compression".
+func ExampleVocabulary_Evaluate() {
+	v, err := policy.NewVocabulary("http-auth", "gzip", "tls13")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	req := policy.Requirement{Must: []string{"http-auth"}, May: []string{"gzip", "tls13"}}
+	fmt.Println(req)
+
+	m, err := v.Evaluate(req, policy.Offer{Supports: []string{"http-auth", "gzip"}})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("satisfied:", m.Satisfied)
+	fmt.Println("preference:", m.Preference)
+	fmt.Println("missing MAY:", m.MissingMay)
+	// Output:
+	// MUST http-auth; MAY gzip, tls13
+	// satisfied: true
+	// preference: 0.5
+	// missing MAY: [tls13]
+}
+
+// A composed service only guarantees the capabilities every component
+// offers: offers combine by set intersection (the semiring ×).
+func ExampleVocabulary_CombineOffers() {
+	v, err := policy.NewVocabulary("http-auth", "gzip", "tls13")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	combined, err := v.CombineOffers(
+		policy.Offer{Supports: []string{"http-auth", "gzip"}},
+		policy.Offer{Supports: []string{"http-auth", "tls13"}},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(combined.Supports)
+	// Output:
+	// [http-auth]
+}

@@ -1,0 +1,185 @@
+// Package policy implements the capability policies sketched in the
+// paper's conclusions: "a web service specification could require
+// that, for example, 'you MUST use HTTP Authentication and MAY use
+// GZIP compression'". A requirement lists MUST and MAY capabilities;
+// a provider offer lists the capabilities it supports. Matching is
+// computed with the set-based semiring ⟨P(A),∪,∩,∅,A⟩ of Sec. 4 —
+// MUST satisfaction is a crisp inclusion check, MAY coverage a fuzzy
+// preference degree — so capability policies compose with the other
+// QoS metrics of the framework.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"softsoa/internal/semiring"
+)
+
+// Vocabulary is the closed universe of capability names a deployment
+// recognises (at most 64, the set-semiring carrier limit).
+type Vocabulary struct {
+	set *semiring.Set
+}
+
+// NewVocabulary returns a vocabulary over the given capability names.
+func NewVocabulary(capabilities ...string) (*Vocabulary, error) {
+	if len(capabilities) == 0 {
+		return nil, fmt.Errorf("policy: empty capability vocabulary")
+	}
+	if len(capabilities) > 64 {
+		return nil, fmt.Errorf("policy: vocabulary exceeds 64 capabilities (%d)", len(capabilities))
+	}
+	seen := map[string]bool{}
+	for _, c := range capabilities {
+		if seen[c] {
+			return nil, fmt.Errorf("policy: duplicate capability %q", c)
+		}
+		seen[c] = true
+	}
+	return &Vocabulary{set: semiring.NewSet(capabilities...)}, nil
+}
+
+// Capabilities returns the vocabulary's names.
+func (v *Vocabulary) Capabilities() []string {
+	return append([]string(nil), v.set.Elements...)
+}
+
+// Requirement is a client-side capability policy.
+type Requirement struct {
+	// Must lists capabilities the provider is required to support.
+	Must []string
+	// May lists capabilities the client would like; each supported
+	// MAY capability raises the preference score.
+	May []string
+}
+
+// Offer is a provider-side capability declaration.
+type Offer struct {
+	// Supports lists the provider's capabilities.
+	Supports []string
+}
+
+// Match is the outcome of evaluating a requirement against an offer.
+type Match struct {
+	// Satisfied reports whether every MUST capability is supported —
+	// the classical-semiring component of the policy value.
+	Satisfied bool
+	// Preference is the fuzzy degree in [0,1] to which the MAY list
+	// is covered (1 when the MAY list is empty: nothing to wish for).
+	Preference float64
+	// MissingMust lists unsupported MUST capabilities, sorted.
+	MissingMust []string
+	// MissingMay lists unsupported MAY capabilities, sorted.
+	MissingMay []string
+}
+
+// Value returns the match as a pair in the Classical × Fuzzy product
+// semiring, ready to combine with other policy values: composition of
+// services intersects capabilities, so matching a pipeline is the
+// semiring product of the per-stage values.
+func (m Match) Value() semiring.Pair[bool, float64] {
+	return semiring.P(m.Satisfied, m.Preference)
+}
+
+// Evaluate matches a requirement against an offer over the
+// vocabulary. Unknown capability names are reported as errors —
+// silently ignoring them would make a MUST vacuously satisfiable.
+func (v *Vocabulary) Evaluate(req Requirement, off Offer) (Match, error) {
+	must, err := v.set.Value(req.Must...)
+	if err != nil {
+		return Match{}, fmt.Errorf("policy: requirement MUST: %w", err)
+	}
+	may, err := v.set.Value(req.May...)
+	if err != nil {
+		return Match{}, fmt.Errorf("policy: requirement MAY: %w", err)
+	}
+	caps, err := v.set.Value(off.Supports...)
+	if err != nil {
+		return Match{}, fmt.Errorf("policy: offer: %w", err)
+	}
+
+	// MUST: crisp inclusion, via the set semiring order must ⊑ caps.
+	satisfied := v.set.Leq(must, caps)
+	// MAY: fuzzy coverage |may ∩ caps| / |may|.
+	pref := 1.0
+	if may.Len() > 0 {
+		pref = float64(v.set.Times(may, caps).Len()) / float64(may.Len())
+	}
+	return Match{
+		Satisfied:   satisfied,
+		Preference:  pref,
+		MissingMust: v.names(must &^ caps),
+		MissingMay:  v.names(may &^ caps),
+	}, nil
+}
+
+// CombineOffers intersects several providers' capabilities — the
+// capabilities a composed service can guarantee end-to-end (the set
+// semiring's ×).
+func (v *Vocabulary) CombineOffers(offers ...Offer) (Offer, error) {
+	acc := v.set.One()
+	for _, o := range offers {
+		caps, err := v.set.Value(o.Supports...)
+		if err != nil {
+			return Offer{}, fmt.Errorf("policy: offer: %w", err)
+		}
+		acc = v.set.Times(acc, caps)
+	}
+	return Offer{Supports: v.names(acc)}, nil
+}
+
+// Rank orders offers for a requirement: satisfied offers first,
+// then by descending MAY preference, ties broken by index order.
+// Unsatisfied offers are excluded.
+func (v *Vocabulary) Rank(req Requirement, offers []Offer) ([]Match, []int, error) {
+	type scored struct {
+		m   Match
+		idx int
+	}
+	var ok []scored
+	for i, off := range offers {
+		m, err := v.Evaluate(req, off)
+		if err != nil {
+			return nil, nil, err
+		}
+		if m.Satisfied {
+			ok = append(ok, scored{m: m, idx: i})
+		}
+	}
+	sort.SliceStable(ok, func(a, b int) bool {
+		return ok[a].m.Preference > ok[b].m.Preference
+	})
+	ms := make([]Match, len(ok))
+	idx := make([]int, len(ok))
+	for i, s := range ok {
+		ms[i] = s.m
+		idx[i] = s.idx
+	}
+	return ms, idx, nil
+}
+
+func (v *Vocabulary) names(b semiring.Bitset) []string {
+	out := make([]string, 0, b.Len())
+	for _, i := range b.Elems() {
+		out = append(out, v.set.Elements[i])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a requirement in the paper's MUST/MAY style.
+func (r Requirement) String() string {
+	var parts []string
+	if len(r.Must) > 0 {
+		parts = append(parts, "MUST "+strings.Join(r.Must, ", "))
+	}
+	if len(r.May) > 0 {
+		parts = append(parts, "MAY "+strings.Join(r.May, ", "))
+	}
+	if len(parts) == 0 {
+		return "no capability requirements"
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,238 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"softsoa/internal/semiring"
+)
+
+func vocab(t *testing.T) *Vocabulary {
+	t.Helper()
+	v, err := NewVocabulary("http-auth", "gzip", "tls13", "mtls", "json", "xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestPaperExample pins the conclusions' example: "you MUST use HTTP
+// Authentication and MAY use GZIP compression".
+func TestPaperExample(t *testing.T) {
+	v := vocab(t)
+	req := Requirement{Must: []string{"http-auth"}, May: []string{"gzip"}}
+
+	full, err := v.Evaluate(req, Offer{Supports: []string{"http-auth", "gzip", "xml"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Satisfied || full.Preference != 1 {
+		t.Fatalf("full offer: %+v", full)
+	}
+
+	noGzip, err := v.Evaluate(req, Offer{Supports: []string{"http-auth", "xml"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !noGzip.Satisfied || noGzip.Preference != 0 {
+		t.Fatalf("no-gzip offer: %+v", noGzip)
+	}
+	if len(noGzip.MissingMay) != 1 || noGzip.MissingMay[0] != "gzip" {
+		t.Fatalf("missing may = %v", noGzip.MissingMay)
+	}
+
+	noAuth, err := v.Evaluate(req, Offer{Supports: []string{"gzip"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noAuth.Satisfied {
+		t.Fatal("missing MUST capability must not satisfy")
+	}
+	if len(noAuth.MissingMust) != 1 || noAuth.MissingMust[0] != "http-auth" {
+		t.Fatalf("missing must = %v", noAuth.MissingMust)
+	}
+}
+
+func TestMayCoverageIsFractional(t *testing.T) {
+	v := vocab(t)
+	req := Requirement{May: []string{"gzip", "tls13", "mtls", "json"}}
+	m, err := v.Evaluate(req, Offer{Supports: []string{"gzip", "json"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Satisfied {
+		t.Fatal("no MUSTs: always satisfied")
+	}
+	if m.Preference != 0.5 {
+		t.Fatalf("preference = %v, want 0.5", m.Preference)
+	}
+}
+
+func TestEmptyMayIsFullPreference(t *testing.T) {
+	v := vocab(t)
+	m, err := v.Evaluate(Requirement{Must: []string{"tls13"}}, Offer{Supports: []string{"tls13"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Preference != 1 {
+		t.Fatalf("preference = %v, want 1 (nothing to wish for)", m.Preference)
+	}
+}
+
+func TestUnknownCapabilityErrors(t *testing.T) {
+	v := vocab(t)
+	if _, err := v.Evaluate(Requirement{Must: []string{"quantum"}}, Offer{}); err == nil {
+		t.Error("unknown MUST should error")
+	}
+	if _, err := v.Evaluate(Requirement{May: []string{"quantum"}}, Offer{}); err == nil {
+		t.Error("unknown MAY should error")
+	}
+	if _, err := v.Evaluate(Requirement{}, Offer{Supports: []string{"quantum"}}); err == nil {
+		t.Error("unknown offer capability should error")
+	}
+}
+
+func TestVocabularyValidation(t *testing.T) {
+	if _, err := NewVocabulary(); err == nil {
+		t.Error("empty vocabulary should error")
+	}
+	if _, err := NewVocabulary("a", "a"); err == nil {
+		t.Error("duplicate capability should error")
+	}
+	big := make([]string, 65)
+	for i := range big {
+		big[i] = strings.Repeat("c", i+1)
+	}
+	if _, err := NewVocabulary(big...); err == nil {
+		t.Error("oversized vocabulary should error")
+	}
+	v, err := NewVocabulary("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Capabilities(); len(got) != 2 {
+		t.Errorf("capabilities = %v", got)
+	}
+}
+
+func TestCombineOffersIntersects(t *testing.T) {
+	v := vocab(t)
+	combined, err := v.CombineOffers(
+		Offer{Supports: []string{"http-auth", "gzip", "tls13"}},
+		Offer{Supports: []string{"http-auth", "tls13", "json"}},
+		Offer{Supports: []string{"http-auth", "tls13", "mtls"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http-auth", "tls13"}
+	if len(combined.Supports) != len(want) {
+		t.Fatalf("combined = %v, want %v", combined.Supports, want)
+	}
+	for i := range want {
+		if combined.Supports[i] != want[i] {
+			t.Fatalf("combined = %v, want %v", combined.Supports, want)
+		}
+	}
+	// Empty combination is the full universe (the semiring One).
+	all, err := v.CombineOffers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Supports) != 6 {
+		t.Fatalf("empty combination = %v", all.Supports)
+	}
+}
+
+func TestRank(t *testing.T) {
+	v := vocab(t)
+	req := Requirement{Must: []string{"http-auth"}, May: []string{"gzip", "tls13"}}
+	offers := []Offer{
+		{Supports: []string{"gzip", "tls13"}},              // unsatisfied
+		{Supports: []string{"http-auth"}},                  // pref 0
+		{Supports: []string{"http-auth", "gzip", "tls13"}}, // pref 1
+		{Supports: []string{"http-auth", "gzip"}},          // pref 0.5
+	}
+	ms, idx, err := v.Rank(req, offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("ranked %d offers, want 3", len(ms))
+	}
+	if idx[0] != 2 || idx[1] != 3 || idx[2] != 1 {
+		t.Fatalf("rank order = %v, want [2 3 1]", idx)
+	}
+	if ms[0].Preference != 1 || ms[1].Preference != 0.5 || ms[2].Preference != 0 {
+		t.Fatalf("preferences = %v %v %v", ms[0].Preference, ms[1].Preference, ms[2].Preference)
+	}
+}
+
+func TestMatchValueIsProductSemiringElement(t *testing.T) {
+	v := vocab(t)
+	req := Requirement{Must: []string{"http-auth"}, May: []string{"gzip"}}
+	m1, err := v.Evaluate(req, Offer{Supports: []string{"http-auth", "gzip"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := v.Evaluate(req, Offer{Supports: []string{"http-auth"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := semiring.NewProduct[bool, float64](semiring.Classical{}, semiring.Fuzzy{})
+	comb := sr.Times(m1.Value(), m2.Value())
+	if !comb.First {
+		t.Fatal("both satisfied: combined must be satisfied")
+	}
+	if comb.Second != 0 {
+		t.Fatalf("combined preference = %v, want min = 0", comb.Second)
+	}
+}
+
+func TestQuickMustMonotone(t *testing.T) {
+	// Adding capabilities to an offer never breaks satisfaction and
+	// never lowers preference.
+	v, err := NewVocabulary("c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := v.Capabilities()
+	pick := func(mask uint8) []string {
+		var out []string
+		for i := 0; i < 8; i++ {
+			if mask&(1<<i) != 0 {
+				out = append(out, all[i])
+			}
+		}
+		return out
+	}
+	f := func(mustMask, mayMask, offMask, extraMask uint8) bool {
+		req := Requirement{Must: pick(mustMask), May: pick(mayMask)}
+		base, err := v.Evaluate(req, Offer{Supports: pick(offMask)})
+		if err != nil {
+			return false
+		}
+		bigger, err := v.Evaluate(req, Offer{Supports: pick(offMask | extraMask)})
+		if err != nil {
+			return false
+		}
+		if base.Satisfied && !bigger.Satisfied {
+			return false
+		}
+		return bigger.Preference >= base.Preference
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequirementString(t *testing.T) {
+	r := Requirement{Must: []string{"http-auth"}, May: []string{"gzip"}}
+	if got := r.String(); got != "MUST http-auth; MAY gzip" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Requirement{}).String(); got != "no capability requirements" {
+		t.Errorf("empty String = %q", got)
+	}
+}

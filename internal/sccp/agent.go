@@ -1,0 +1,227 @@
+package sccp
+
+import (
+	"fmt"
+	"strings"
+
+	"softsoa/internal/core"
+)
+
+// Agent is an nmsccp agent (class A of the Fig. 2 syntax). Agents are
+// immutable trees; a Machine rewrites configurations ⟨A, σ⟩ step by
+// step.
+type Agent[T any] interface {
+	fmt.Stringer
+	isAgent()
+}
+
+// Success is the terminal agent.
+type Success[T any] struct{}
+
+func (Success[T]) isAgent()       {}
+func (Success[T]) String() string { return "success" }
+
+// Tell adds constraint C to the store under the checked transition:
+// ⟨tell(c)→A, σ⟩ ⟶ ⟨A, σ⊗c⟩ when check(σ⊗c) holds (rule R1).
+type Tell[T any] struct {
+	C     *core.Constraint[T]
+	Check Check[T]
+	Next  Agent[T]
+}
+
+func (Tell[T]) isAgent() {}
+func (a Tell[T]) String() string {
+	return fmt.Sprintf("tell(c)%s %s", a.Check, a.Next)
+}
+
+// Ask proceeds when the store entails C and the check holds on the
+// current store (rule R2).
+type Ask[T any] struct {
+	C     *core.Constraint[T]
+	Check Check[T]
+	Next  Agent[T]
+}
+
+func (Ask[T]) isAgent() {}
+func (a Ask[T]) String() string {
+	return fmt.Sprintf("ask(c)%s %s", a.Check, a.Next)
+}
+
+// Nask proceeds when the store does NOT entail C and the check holds:
+// it infers the absence of a statement (rule R6).
+type Nask[T any] struct {
+	C     *core.Constraint[T]
+	Check Check[T]
+	Next  Agent[T]
+}
+
+func (Nask[T]) isAgent() {}
+func (a Nask[T]) String() string {
+	return fmt.Sprintf("nask(c)%s %s", a.Check, a.Next)
+}
+
+// Retract divides C out of the store: ⟨retract(c)→A, σ⟩ ⟶ ⟨A, σ÷c⟩
+// when σ ⊑ c and check(σ÷c) holds (rule R7). Retraction is partial
+// removal: C need not have been told verbatim.
+type Retract[T any] struct {
+	C     *core.Constraint[T]
+	Check Check[T]
+	Next  Agent[T]
+}
+
+func (Retract[T]) isAgent() {}
+func (a Retract[T]) String() string {
+	return fmt.Sprintf("retract(c)%s %s", a.Check, a.Next)
+}
+
+// Update implements update_X(c) (rule R8): transactionally removes
+// the influence of all constraints over the variables in Vars by
+// projecting the store onto V\X, then tells C — the soft analogue of
+// imperative assignment.
+type Update[T any] struct {
+	Vars  []core.Variable
+	C     *core.Constraint[T]
+	Check Check[T]
+	Next  Agent[T]
+}
+
+func (Update[T]) isAgent() {}
+func (a Update[T]) String() string {
+	names := make([]string, len(a.Vars))
+	for i, v := range a.Vars {
+		names[i] = string(v)
+	}
+	return fmt.Sprintf("update{%s}(c)%s %s", strings.Join(names, ","), a.Check, a.Next)
+}
+
+// Parallel is A ‖ B: interleaved execution (rules R3/R4); it succeeds
+// when both branches succeed.
+type Parallel[T any] struct {
+	Left, Right Agent[T]
+}
+
+func (Parallel[T]) isAgent() {}
+func (a Parallel[T]) String() string {
+	return fmt.Sprintf("(%s ‖ %s)", a.Left, a.Right)
+}
+
+// Par folds ‖ over the agents; Par() is success.
+func Par[T any](agents ...Agent[T]) Agent[T] {
+	if len(agents) == 0 {
+		return Success[T]{}
+	}
+	acc := agents[len(agents)-1]
+	for i := len(agents) - 2; i >= 0; i-- {
+		acc = Parallel[T]{Left: agents[i], Right: acc}
+	}
+	return acc
+}
+
+// Sum is the guarded choice E + E (rule R5): each branch must be an
+// Ask or Nask (class E of the syntax); the machine commits to one
+// branch whose guard is enabled. Construction via NewSum validates
+// the branches.
+type Sum[T any] struct {
+	branches []Agent[T]
+}
+
+// NewSum builds a guarded choice. Branches must be Ask, Nask or Sum
+// (nested sums are flattened); anything else is rejected, as in the
+// paper's grammar E ::= ask(c)→A | nask(c)→A | E+E.
+func NewSum[T any](branches ...Agent[T]) (Sum[T], error) {
+	var flat []Agent[T]
+	for _, b := range branches {
+		switch g := b.(type) {
+		case Ask[T], Nask[T]:
+			flat = append(flat, b)
+		case Sum[T]:
+			flat = append(flat, g.branches...)
+		default:
+			return Sum[T]{}, fmt.Errorf("sccp: sum branch %T is not ask/nask guarded", b)
+		}
+	}
+	if len(flat) == 0 {
+		return Sum[T]{}, fmt.Errorf("sccp: empty sum")
+	}
+	return Sum[T]{branches: flat}, nil
+}
+
+// MustSum is NewSum panicking on error; for literals in tests and
+// examples.
+func MustSum[T any](branches ...Agent[T]) Sum[T] {
+	s, err := NewSum(branches...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Branches returns the guarded branches.
+func (a Sum[T]) Branches() []Agent[T] { return append([]Agent[T](nil), a.branches...) }
+
+func (Sum[T]) isAgent() {}
+func (a Sum[T]) String() string {
+	parts := make([]string, len(a.branches))
+	for i, b := range a.branches {
+		parts[i] = b.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+// Exists is the hiding operator ∃x.A (rule R9). Body is a template
+// instantiated with a fresh variable when the quantifier is opened,
+// which realises the semantics "A[x/y] with y fresh" without term
+// substitution.
+type Exists[T any] struct {
+	// Prefix names the bound variable; the fresh variable's name is
+	// derived from it.
+	Prefix core.Variable
+	// Domain is the domain of the bound variable.
+	Domain []core.DVal
+	// Body builds the agent once the fresh variable is known.
+	Body func(fresh core.Variable) Agent[T]
+}
+
+func (Exists[T]) isAgent() {}
+func (a Exists[T]) String() string {
+	return fmt.Sprintf("∃%s.(…)", a.Prefix)
+}
+
+// Call invokes a declared procedure p(Y) (rule R10). Args are the
+// actual parameters, passed to the registered clause.
+type Call[T any] struct {
+	Name string
+	Args []core.Variable
+}
+
+func (Call[T]) isAgent() {}
+func (a Call[T]) String() string {
+	names := make([]string, len(a.Args))
+	for i, v := range a.Args {
+		names[i] = string(v)
+	}
+	return fmt.Sprintf("%s(%s)", a.Name, strings.Join(names, ","))
+}
+
+// Clause is a procedure declaration p(Y) :: A. The body builder
+// receives the actual parameters; formal-for-actual substitution is
+// performed by construction. (The paper models parameter passing with
+// diagonal constraints d_xy; building the body over the actuals is
+// the standard executable realisation and is observationally
+// equivalent for entailment — see core.Diagonal for the formal
+// device.)
+type Clause[T any] struct {
+	Name  string
+	Arity int
+	Body  func(args []core.Variable) Agent[T]
+}
+
+// Defs is the class F: a set of procedure declarations indexed by
+// name.
+type Defs[T any] map[string]Clause[T]
+
+// Declare registers a clause, replacing any previous declaration with
+// the same name.
+func (d Defs[T]) Declare(name string, arity int, body func(args []core.Variable) Agent[T]) {
+	d[name] = Clause[T]{Name: name, Arity: arity, Body: body}
+}

@@ -1,0 +1,113 @@
+// Package sccp implements nmsccp, the nonmonotonic soft concurrent
+// constraint programming language of Bistarelli & Santini used to
+// negotiate SLAs (Sec. 2.1 and 4 of the DSN 2008 paper). Agents
+// tell/ask/retract/update soft constraints on a shared store under
+// checked transitions whose thresholds bound how consistent the store
+// must remain; the operational semantics follows Fig. 4 (rules
+// R1–R10) with an interleaving, seeded-deterministic scheduler.
+//
+// The package also provides a surface syntax (lexer.go, parser.go)
+// for writing nmsccp programs as text, used by cmd/nmsccp.
+package sccp
+
+import (
+	"fmt"
+	"strings"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// Check is a checked transition →ᵃ²ₐ₁: an interval of acceptable
+// store consistency. Each bound is either absent, a semiring value
+// (compared against σ⇓∅), or a constraint threshold (compared against
+// σ in the ⊑ order), covering the four instances C1–C4 of Fig. 3.
+// The zero value is the unrestricted transition (always true).
+type Check[T any] struct {
+	// LowerValue is a1: the store must not be strictly worse, i.e.
+	// ¬(σ⇓∅ <S a1). "We need at least a solution as good as a1."
+	LowerValue *T
+	// UpperValue is a2: the store must not be strictly better, i.e.
+	// ¬(σ⇓∅ >S a2). "None of the solutions is too good."
+	UpperValue *T
+	// LowerCon is φ1: the store must not be strictly below it,
+	// ¬(σ ⊏ φ1).
+	LowerCon *core.Constraint[T]
+	// UpperCon is φ2: the store must not be strictly above it,
+	// ¬(σ ⊐ φ2).
+	UpperCon *core.Constraint[T]
+}
+
+// Unrestricted returns the transition with no threshold (interval
+// [0, 1] in semiring terms): check always passes.
+func Unrestricted[T any]() Check[T] { return Check[T]{} }
+
+// Between returns the value-threshold transition →ᵃ²ₐ₁ (instance C1).
+// It panics if a1 >S a2 — the paper's intrinsic-wrongness condition:
+// the lower threshold cannot be better than the upper one.
+func Between[T any](sr semiring.Semiring[T], a1, a2 T) Check[T] {
+	if semiring.Gt(sr, a1, a2) {
+		panic(fmt.Sprintf("sccp: lower threshold %s better than upper %s",
+			sr.Format(a1), sr.Format(a2)))
+	}
+	return Check[T]{LowerValue: &a1, UpperValue: &a2}
+}
+
+// AtLeast returns the transition with only the lower value threshold
+// a1: the store must stay at least a1-consistent.
+func AtLeast[T any](a1 T) Check[T] { return Check[T]{LowerValue: &a1} }
+
+// AtMost returns the transition with only the upper value threshold
+// a2: the store must not become better than a2.
+func AtMost[T any](a2 T) Check[T] { return Check[T]{UpperValue: &a2} }
+
+// BetweenConstraints returns the constraint-threshold transition →ᵠ²ᵩ₁
+// (instance C4). It panics if φ1 ⊐ φ2.
+func BetweenConstraints[T any](phi1, phi2 *core.Constraint[T]) Check[T] {
+	if core.Lt(phi2, phi1) {
+		panic("sccp: lower constraint threshold strictly above upper")
+	}
+	return Check[T]{LowerCon: phi1, UpperCon: phi2}
+}
+
+// Holds evaluates the check function of Fig. 3 against a store
+// constraint σ.
+func (k Check[T]) Holds(sr semiring.Semiring[T], sigma *core.Constraint[T]) bool {
+	if k.LowerValue != nil || k.UpperValue != nil {
+		b := core.Blevel(sigma)
+		if k.LowerValue != nil && semiring.Lt(sr, b, *k.LowerValue) {
+			return false
+		}
+		if k.UpperValue != nil && semiring.Gt(sr, b, *k.UpperValue) {
+			return false
+		}
+	}
+	if k.LowerCon != nil && core.Lt(sigma, k.LowerCon) {
+		return false
+	}
+	if k.UpperCon != nil && core.Lt(k.UpperCon, sigma) {
+		return false
+	}
+	return true
+}
+
+// String renders the transition annotation.
+func (k Check[T]) String() string {
+	var parts []string
+	if k.LowerValue != nil {
+		parts = append(parts, fmt.Sprintf("a1=%v", *k.LowerValue))
+	}
+	if k.UpperValue != nil {
+		parts = append(parts, fmt.Sprintf("a2=%v", *k.UpperValue))
+	}
+	if k.LowerCon != nil {
+		parts = append(parts, "φ1")
+	}
+	if k.UpperCon != nil {
+		parts = append(parts, "φ2")
+	}
+	if len(parts) == 0 {
+		return "→"
+	}
+	return "→[" + strings.Join(parts, ",") + "]"
+}

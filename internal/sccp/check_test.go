@@ -1,0 +1,218 @@
+package sccp
+
+import (
+	"testing"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// storeWith returns a weighted store σ = c over a fresh space, plus
+// the space.
+func storeWith(t *testing.T, level float64) (*core.Space[float64], *core.Constraint[float64]) {
+	t.Helper()
+	s := core.NewSpace[float64](semiring.Weighted{})
+	x := s.AddVariable("x", core.IntDomain(0, 3))
+	c := core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 {
+		return level + a.Num(x)
+	})
+	return s, c
+}
+
+func TestUnrestrictedAlwaysHolds(t *testing.T) {
+	sr := semiring.Weighted{}
+	_, sigma := storeWith(t, 7)
+	if !Unrestricted[float64]().Holds(sr, sigma) {
+		t.Error("unrestricted check must always hold")
+	}
+}
+
+func TestAtLeastThreshold(t *testing.T) {
+	sr := semiring.Weighted{}
+	_, sigma := storeWith(t, 7) // blevel 7
+	if !AtLeast[float64](10).Holds(sr, sigma) {
+		t.Error("blevel 7 satisfies 'at least as good as cost 10'")
+	}
+	if AtLeast[float64](5).Holds(sr, sigma) {
+		t.Error("blevel 7 is strictly worse than cost 5: must fail")
+	}
+	if !AtLeast[float64](7).Holds(sr, sigma) {
+		t.Error("equality at the lower threshold must pass")
+	}
+}
+
+func TestAtMostThreshold(t *testing.T) {
+	sr := semiring.Weighted{}
+	_, sigma := storeWith(t, 7)
+	if !AtMost[float64](5).Holds(sr, sigma) {
+		t.Error("blevel 7 is not better than 5: must pass")
+	}
+	if AtMost[float64](9).Holds(sr, sigma) {
+		t.Error("blevel 7 is strictly better than 9: 'too good' must fail")
+	}
+	if !AtMost[float64](7).Holds(sr, sigma) {
+		t.Error("equality at the upper threshold must pass")
+	}
+}
+
+// TestAllFourCheckedTransitionForms exercises C1–C4 of Fig. 3.
+func TestAllFourCheckedTransitionForms(t *testing.T) {
+	sr := semiring.Weighted{}
+	s, sigma := storeWith(t, 7)
+
+	// C1: both value thresholds.
+	if !Between[float64](sr, 10, 5).Holds(sr, sigma) {
+		t.Error("C1: 7 ∈ [10,5] must hold")
+	}
+	if Between[float64](sr, 6, 5).Holds(sr, sigma) {
+		t.Error("C1: 7 ∉ [6,5] must fail")
+	}
+
+	// φ thresholds: φ1 = a constraint strictly above σ pointwise
+	// (cheaper), φ2 = one strictly below (dearer).
+	x := core.Variable("x")
+	cheaper := core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 {
+		return 1 + a.Num(x)
+	})
+	dearer := core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 {
+		return 20 + a.Num(x)
+	})
+
+	// C2: constraint upper (φ2) + value lower (a1).
+	c2 := Check[float64]{UpperCon: cheaper, LowerValue: fp(10)}
+	if !c2.Holds(sr, sigma) {
+		t.Error("C2: σ not strictly above φ2 and within a1 must hold")
+	}
+	c2bad := Check[float64]{UpperCon: dearer, LowerValue: fp(10)}
+	if c2bad.Holds(sr, sigma) {
+		t.Error("C2: σ strictly above φ2=dearer must fail (too good)")
+	}
+
+	// C3: value upper (a2) + constraint lower (φ1).
+	c3 := Check[float64]{UpperValue: fp(5), LowerCon: dearer}
+	if !c3.Holds(sr, sigma) {
+		t.Error("C3: σ not below φ1=dearer and not better than 5 must hold")
+	}
+	c3bad := Check[float64]{UpperValue: fp(5), LowerCon: cheaper}
+	if c3bad.Holds(sr, sigma) {
+		t.Error("C3: σ strictly below φ1=cheaper must fail (too weak)")
+	}
+
+	// C4: both constraint thresholds.
+	c4 := BetweenConstraints(dearer, cheaper)
+	if !c4.Holds(sr, sigma) {
+		t.Error("C4: dearer ⊑ σ ⊑ cheaper must hold")
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+
+func TestBetweenConstraintsPanicsOnInvertedPair(t *testing.T) {
+	s, _ := storeWith(t, 7)
+	x := core.Variable("x")
+	lo := core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 { return 1 })
+	hi := core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 { return 9 })
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: φ1 strictly above φ2")
+		}
+	}()
+	BetweenConstraints(lo, hi) // lo (cost 1) is strictly better: invalid as lower bound vs hi
+}
+
+func TestCheckString(t *testing.T) {
+	sr := semiring.Weighted{}
+	if got := Unrestricted[float64]().String(); got != "→" {
+		t.Errorf("unrestricted String = %q", got)
+	}
+	if got := Between[float64](sr, 10, 2).String(); got == "→" {
+		t.Errorf("bounded check should render thresholds, got %q", got)
+	}
+	s, _ := storeWith(t, 1)
+	k := BetweenConstraints(core.Bottom(s), core.Top(s))
+	if got := k.String(); got == "→" {
+		t.Errorf("constraint thresholds should render, got %q", got)
+	}
+}
+
+func TestMachineStatusAccessor(t *testing.T) {
+	s, c := storeWith(t, 2)
+	m := NewMachine[float64](s, Tell[float64]{C: c, Next: Success[float64]{}})
+	if m.Status() != Running {
+		t.Errorf("initial status = %v", m.Status())
+	}
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status() != Succeeded {
+		t.Errorf("final status = %v", m.Status())
+	}
+}
+
+// TestNestedComparisonArithmetic exercises comparisons inside
+// arithmetic expressions: they evaluate to 1/0.
+func TestNestedComparisonArithmetic(t *testing.T) {
+	src := `
+semiring weighted.
+var x in 0..3.
+main :: tell(5 * (x >= 2) + 1) -> success.
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	if status, _ := m.Run(10); status != Succeeded {
+		t.Fatal("program should succeed")
+	}
+	sx := core.ProjectTo(m.Store().Constraint(), "x")
+	if got := sx.AtLabels("1"); got != 1 {
+		t.Errorf("σ(x=1) = %v, want 1 (comparison false)", got)
+	}
+	if got := sx.AtLabels("3"); got != 6 {
+		t.Errorf("σ(x=3) = %v, want 6 (comparison true)", got)
+	}
+}
+
+func TestProbabilisticProgram(t *testing.T) {
+	src := `
+semiring probabilistic.
+var x in 0..4.
+main :: tell((80 + 5 * x) / 100) -> tell(0.9) -> success.
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	if status, _ := m.Run(10); status != Succeeded {
+		t.Fatal("program should succeed")
+	}
+	// Best: x=4 → 1.0 × 0.9 = 0.9.
+	if got := m.Store().Blevel(); got != 0.9 {
+		t.Errorf("blevel = %v, want 0.9", got)
+	}
+}
+
+func TestFuzzyValueOverflowClamps(t *testing.T) {
+	src := `
+semiring fuzzy.
+var x in 0..3.
+main :: tell(x * 9) -> success.
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	if status, _ := m.Run(10); status != Succeeded {
+		t.Fatal("program should succeed")
+	}
+	sx := core.ProjectTo(m.Store().Constraint(), "x")
+	if got := sx.AtLabels("2"); got != 1 {
+		t.Errorf("σ(x=2) = %v, want clamped 1", got)
+	}
+	if got := sx.AtLabels("0"); got != 0 {
+		t.Errorf("σ(x=0) = %v, want 0", got)
+	}
+}

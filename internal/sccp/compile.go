@@ -1,0 +1,458 @@
+package sccp
+
+import (
+	"fmt"
+	"math"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+func inf() float64 { return math.Inf(1) }
+
+// Compiled is an executable nmsccp program: a space, procedure
+// definitions and the main agent, ready to run on a Machine.
+type Compiled struct {
+	Space *core.Space[float64]
+	Defs  Defs[float64]
+	Main  Agent[float64]
+	// Semiring is the program's c-semiring.
+	Semiring semiring.Semiring[float64]
+	// ProblemVars are the declared (non-fresh) variables.
+	ProblemVars []core.Variable
+}
+
+// NewMachine returns a machine for the compiled program.
+func (c *Compiled) NewMachine(opts ...MachineOption[float64]) *Machine[float64] {
+	opts = append([]MachineOption[float64]{WithDefs[float64](c.Defs)}, opts...)
+	return NewMachine(c.Space, c.Main, opts...)
+}
+
+// Compile turns a parsed program into an executable one. Constraint
+// expressions compile to soft constraints whose value is the
+// expression's result coerced into the semiring carrier (clamped to
+// ℝ⁺ for weighted, [0,1] for fuzzy/probabilistic); comparison
+// expressions compile to crisp One/Zero constraints. Division by
+// zero yields the semiring Zero (total unacceptability).
+func Compile(prog *Program) (*Compiled, error) {
+	var sr semiring.Semiring[float64]
+	var parser semiring.ValueParser[float64]
+	var coerce func(float64) float64
+	switch prog.SemiringName {
+	case "weighted":
+		w := semiring.Weighted{}
+		sr, parser = w, w
+		coerce = func(v float64) float64 {
+			if math.IsNaN(v) {
+				return math.Inf(1) // the weighted Zero
+			}
+			if v < 0 {
+				return 0
+			}
+			return v
+		}
+	case "fuzzy":
+		f := semiring.Fuzzy{}
+		sr, parser = f, f
+		coerce = clampUnit
+	case "probabilistic":
+		pr := semiring.Probabilistic{}
+		sr, parser = pr, pr
+		coerce = clampUnit
+	default:
+		return nil, fmt.Errorf("nmsccp: unsupported semiring %q", prog.SemiringName)
+	}
+
+	space := core.NewSpace[float64](sr)
+	env := map[string]core.Variable{}
+	var problemVars []core.Variable
+	for _, vd := range prog.Vars {
+		if _, dup := env[vd.Name]; dup {
+			return nil, fmt.Errorf("nmsccp: variable %q declared twice", vd.Name)
+		}
+		v := space.AddVariable(core.Variable(vd.Name), core.IntDomain(vd.Lo, vd.Hi))
+		env[vd.Name] = v
+		problemVars = append(problemVars, v)
+	}
+
+	c := &compiler{space: space, sr: sr, parser: parser, coerce: coerce, prog: prog}
+	defs := Defs[float64]{}
+	for _, cl := range prog.Clauses {
+		cl := cl
+		if _, dup := defs[cl.Name]; dup {
+			return nil, fmt.Errorf("nmsccp: clause %q declared twice", cl.Name)
+		}
+		// Validate the body at compile time against a scratch env.
+		scratch := cloneEnv(env)
+		for _, p := range cl.Params {
+			scratch[p] = core.Variable(p)
+		}
+		if err := c.checkAgent(cl.Body, scratch, map[string]bool{cl.Name: true}); err != nil {
+			return nil, fmt.Errorf("nmsccp: clause %q: %w", cl.Name, err)
+		}
+		defs.Declare(cl.Name, len(cl.Params), func(args []core.Variable) Agent[float64] {
+			callEnv := cloneEnv(env)
+			for i, p := range cl.Params {
+				callEnv[p] = args[i]
+			}
+			return c.agent(cl.Body, callEnv)
+		})
+	}
+	if err := c.checkAgent(prog.Main, cloneEnv(env), nil); err != nil {
+		return nil, fmt.Errorf("nmsccp: main: %w", err)
+	}
+	// Check calls resolve with the right arity.
+	if err := checkCalls(prog, defs); err != nil {
+		return nil, err
+	}
+	main := c.agent(prog.Main, cloneEnv(env))
+	return &Compiled{
+		Space:       space,
+		Defs:        defs,
+		Main:        main,
+		Semiring:    sr,
+		ProblemVars: problemVars,
+	}, nil
+}
+
+// ParseAndCompile parses and compiles a program text.
+func ParseAndCompile(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog)
+}
+
+func clampUnit(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func cloneEnv(env map[string]core.Variable) map[string]core.Variable {
+	out := make(map[string]core.Variable, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+type compiler struct {
+	space  *core.Space[float64]
+	sr     semiring.Semiring[float64]
+	parser semiring.ValueParser[float64]
+	coerce func(float64) float64
+	prog   *Program
+}
+
+// checkAgent validates names, arities and thresholds without building
+// constraints (clause bodies are built lazily per call).
+func (c *compiler) checkAgent(a AstAgent, env map[string]core.Variable, inClause map[string]bool) error {
+	switch ag := a.(type) {
+	case aSuccess:
+		return nil
+	case aAction:
+		for _, name := range freeVars(ag.Expr, nil) {
+			if _, ok := env[name]; !ok {
+				return fmt.Errorf("undeclared variable %q", name)
+			}
+		}
+		for _, v := range ag.UpdateVars {
+			if _, ok := env[v]; !ok {
+				return fmt.Errorf("undeclared update variable %q", v)
+			}
+		}
+		if _, err := c.checkOf(ag); err != nil {
+			return err
+		}
+		return c.checkAgent(ag.Next, env, inClause)
+	case aPar:
+		if err := c.checkAgent(ag.Left, env, inClause); err != nil {
+			return err
+		}
+		return c.checkAgent(ag.Right, env, inClause)
+	case aSum:
+		for _, b := range ag.Branches {
+			if err := c.checkAgent(b, env, inClause); err != nil {
+				return err
+			}
+		}
+		return nil
+	case aExists:
+		if ag.Hi < ag.Lo {
+			return fmt.Errorf("empty domain %d..%d for local %q", ag.Lo, ag.Hi, ag.Var)
+		}
+		inner := cloneEnv(env)
+		inner[ag.Var] = core.Variable(ag.Var)
+		return c.checkAgent(ag.Body, inner, inClause)
+	case aTimeout:
+		if err := c.checkAgent(ag.Body, env, inClause); err != nil {
+			return err
+		}
+		return c.checkAgent(ag.Else, env, inClause)
+	case aCall:
+		for _, arg := range ag.Args {
+			if _, ok := env[arg]; !ok {
+				return fmt.Errorf("undeclared variable %q passed to %q", arg, ag.Name)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown agent node %T", a)
+	}
+}
+
+func checkCalls(prog *Program, defs Defs[float64]) error {
+	var walk func(a AstAgent) error
+	walk = func(a AstAgent) error {
+		switch ag := a.(type) {
+		case aAction:
+			return walk(ag.Next)
+		case aPar:
+			if err := walk(ag.Left); err != nil {
+				return err
+			}
+			return walk(ag.Right)
+		case aSum:
+			for _, b := range ag.Branches {
+				if err := walk(b); err != nil {
+					return err
+				}
+			}
+			return nil
+		case aExists:
+			return walk(ag.Body)
+		case aTimeout:
+			if err := walk(ag.Body); err != nil {
+				return err
+			}
+			return walk(ag.Else)
+		case aCall:
+			cl, ok := defs[ag.Name]
+			if !ok {
+				return fmt.Errorf("nmsccp: call to undeclared clause %q", ag.Name)
+			}
+			if cl.Arity != len(ag.Args) {
+				return fmt.Errorf("nmsccp: %q expects %d args, got %d", ag.Name, cl.Arity, len(ag.Args))
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	for _, cl := range prog.Clauses {
+		if err := walk(cl.Body); err != nil {
+			return err
+		}
+	}
+	return walk(prog.Main)
+}
+
+// checkOf builds the Check for an action's thresholds.
+func (c *compiler) checkOf(ag aAction) (Check[float64], error) {
+	k := Check[float64]{}
+	if ag.Lower != "" {
+		v, err := c.parser.ParseValue(ag.Lower)
+		if err != nil {
+			return k, fmt.Errorf("lower threshold: %w", err)
+		}
+		k.LowerValue = &v
+	}
+	if ag.Upper != "" {
+		v, err := c.parser.ParseValue(ag.Upper)
+		if err != nil {
+			return k, fmt.Errorf("upper threshold: %w", err)
+		}
+		k.UpperValue = &v
+	}
+	if k.LowerValue != nil && k.UpperValue != nil &&
+		semiring.Gt(c.sr, *k.LowerValue, *k.UpperValue) {
+		return k, fmt.Errorf("lower threshold %s better than upper %s",
+			c.sr.Format(*k.LowerValue), c.sr.Format(*k.UpperValue))
+	}
+	return k, nil
+}
+
+// agent compiles a checked AST into an executable agent under env.
+func (c *compiler) agent(a AstAgent, env map[string]core.Variable) Agent[float64] {
+	switch ag := a.(type) {
+	case aSuccess:
+		return Success[float64]{}
+	case aAction:
+		check, err := c.checkOf(ag)
+		if err != nil {
+			panic(fmt.Sprintf("nmsccp: internal: unvalidated threshold: %v", err))
+		}
+		con := c.constraint(ag.Expr, env)
+		next := c.agent(ag.Next, env)
+		switch ag.Kind {
+		case "tell":
+			return Tell[float64]{C: con, Check: check, Next: next}
+		case "ask":
+			return Ask[float64]{C: con, Check: check, Next: next}
+		case "nask":
+			return Nask[float64]{C: con, Check: check, Next: next}
+		case "retract":
+			return Retract[float64]{C: con, Check: check, Next: next}
+		case "update":
+			vars := make([]core.Variable, len(ag.UpdateVars))
+			for i, v := range ag.UpdateVars {
+				vars[i] = env[v]
+			}
+			return Update[float64]{Vars: vars, C: con, Check: check, Next: next}
+		default:
+			panic(fmt.Sprintf("nmsccp: internal: unknown action %q", ag.Kind))
+		}
+	case aPar:
+		return Parallel[float64]{Left: c.agent(ag.Left, env), Right: c.agent(ag.Right, env)}
+	case aSum:
+		branches := make([]Agent[float64], len(ag.Branches))
+		for i, b := range ag.Branches {
+			branches[i] = c.agent(b, env)
+		}
+		return MustSum(branches...)
+	case aExists:
+		outer := cloneEnv(env)
+		return Exists[float64]{
+			Prefix: core.Variable(ag.Var),
+			Domain: core.IntDomain(ag.Lo, ag.Hi),
+			Body: func(fresh core.Variable) Agent[float64] {
+				inner := cloneEnv(outer)
+				inner[ag.Var] = fresh
+				return c.agent(ag.Body, inner)
+			},
+		}
+	case aTimeout:
+		return Timeout[float64]{
+			Budget: ag.Budget,
+			Body:   c.agent(ag.Body, env),
+			Else:   c.agent(ag.Else, env),
+		}
+	case aCall:
+		args := make([]core.Variable, len(ag.Args))
+		for i, name := range ag.Args {
+			args[i] = env[name]
+		}
+		return Call[float64]{Name: ag.Name, Args: args}
+	default:
+		panic(fmt.Sprintf("nmsccp: internal: unknown agent node %T", a))
+	}
+}
+
+// constraint compiles an expression into a soft constraint whose
+// scope is the expression's free variables under env.
+func (c *compiler) constraint(e Expr, env map[string]core.Variable) *core.Constraint[float64] {
+	names := freeVars(e, nil)
+	scope := make([]core.Variable, 0, len(names))
+	seen := map[core.Variable]bool{}
+	for _, n := range names {
+		v := env[n]
+		if !seen[v] {
+			seen[v] = true
+			scope = append(scope, v)
+		}
+	}
+	sr := c.sr
+	return core.NewConstraint(c.space, scope, func(a core.Assignment) float64 {
+		switch ex := e.(type) {
+		case eCmp:
+			l := evalArith(ex.L, a, env)
+			r := evalArith(ex.R, a, env)
+			ok := false
+			switch ex.Op {
+			case "<=":
+				ok = l <= r
+			case "<":
+				ok = l < r
+			case ">=":
+				ok = l >= r
+			case ">":
+				ok = l > r
+			case "==":
+				ok = l == r
+			case "!=":
+				ok = l != r
+			}
+			if ok {
+				return sr.One()
+			}
+			return sr.Zero()
+		default:
+			return c.coerce(evalArith(e, a, env))
+		}
+	})
+}
+
+func evalArith(e Expr, a core.Assignment, env map[string]core.Variable) float64 {
+	switch ex := e.(type) {
+	case eNum:
+		return ex.V
+	case eVar:
+		return a.Num(env[ex.Name])
+	case eBin:
+		l := evalArith(ex.L, a, env)
+		r := evalArith(ex.R, a, env)
+		switch ex.Op {
+		case "+":
+			return l + r
+		case "-":
+			return l - r
+		case "*":
+			return l * r
+		case "/":
+			if r == 0 {
+				return math.NaN() // coerced to the semiring Zero
+			}
+			return l / r
+		}
+	case eCmp:
+		// Nested comparisons evaluate to 1/0 so they can participate
+		// in arithmetic.
+		l := evalArith(ex.L, a, env)
+		r := evalArith(ex.R, a, env)
+		ok := false
+		switch ex.Op {
+		case "<=":
+			ok = l <= r
+		case "<":
+			ok = l < r
+		case ">=":
+			ok = l >= r
+		case ">":
+			ok = l > r
+		case "==":
+			ok = l == r
+		case "!=":
+			ok = l != r
+		}
+		if ok {
+			return 1
+		}
+		return 0
+	}
+	return math.NaN()
+}
+
+// freeVars appends the distinct variable names of e to acc.
+func freeVars(e Expr, acc []string) []string {
+	switch ex := e.(type) {
+	case eVar:
+		for _, n := range acc {
+			if n == ex.Name {
+				return acc
+			}
+		}
+		return append(acc, ex.Name)
+	case eBin:
+		return freeVars(ex.R, freeVars(ex.L, acc))
+	case eCmp:
+		return freeVars(ex.R, freeVars(ex.L, acc))
+	default:
+		return acc
+	}
+}

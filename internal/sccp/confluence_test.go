@@ -1,0 +1,101 @@
+package sccp
+
+import (
+	"math/rand"
+	"testing"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// TestMonotoneFragmentIsConfluent: programs built from tell and ask
+// only (the classical ccp fragment — no retract/update/nask) are
+// confluent: the final store is the same under every interleaving, so
+// sweeping scheduler seeds must not change the outcome. This is the
+// semantic property that makes the monotone fragment declarative; the
+// nonmonotonic operators deliberately give it up.
+func TestMonotoneFragmentIsConfluent(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		s := core.NewSpace[float64](semiring.Weighted{})
+		vars := make([]core.Variable, 3)
+		for i := range vars {
+			vars[i] = s.AddVariable(core.Variable(string(rune('a'+i))), core.IntDomain(0, 4))
+		}
+		mk := func() *core.Constraint[float64] {
+			v := vars[rng.Intn(len(vars))]
+			m := float64(rng.Intn(3))
+			b := float64(rng.Intn(5))
+			return core.NewConstraint(s, []core.Variable{v}, func(a core.Assignment) float64 {
+				return m*a.Num(v) + b
+			})
+		}
+		// Three parallel branches of tell;ask;tell chains. The asks
+		// wait on constraints told by other branches, exercising real
+		// synchronisation.
+		t1 := mk()
+		t2 := mk()
+		t3 := mk()
+		branch := func(first, wait, second *core.Constraint[float64]) Agent[float64] {
+			return Tell[float64]{C: first, Next: Ask[float64]{C: wait, Next: Tell[float64]{
+				C: second, Next: Success[float64]{},
+			}}}
+		}
+		root := Par[float64](
+			branch(t1, t1, mk()),
+			branch(t2, t1, mk()),
+			branch(t3, t2, mk()),
+		)
+
+		var reference *core.Constraint[float64]
+		for seed := int64(1); seed <= 10; seed++ {
+			m := NewMachine(s, root, WithSeed[float64](seed))
+			status, err := m.Run(200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status != Succeeded {
+				t.Fatalf("trial %d seed %d: %v", trial, seed, status)
+			}
+			if reference == nil {
+				reference = m.Store().Constraint()
+				continue
+			}
+			if !core.Eq(reference, m.Store().Constraint()) {
+				t.Fatalf("trial %d: monotone program diverged across schedules at seed %d",
+					trial, seed)
+			}
+		}
+	}
+}
+
+// TestNonmonotonicScheduleSensitivity documents the contrast: with
+// retract in play, different interleavings CAN observe different
+// stores mid-run, but a program whose final actions commute still
+// converges. Here a retract races an ask; both schedules must still
+// terminate successfully (no deadlock from the race).
+func TestNonmonotonicScheduleTermination(t *testing.T) {
+	s := core.NewSpace[float64](semiring.Weighted{})
+	x := s.AddVariable("x", core.IntDomain(0, 5))
+	c := core.NewConstraint(s, []core.Variable{x}, func(a core.Assignment) float64 {
+		return a.Num(x) + 1
+	})
+	root := Par[float64](
+		Tell[float64]{C: c, Next: Retract[float64]{C: c, Next: Success[float64]{}}},
+		Tell[float64]{C: c, Next: Success[float64]{}},
+	)
+	for seed := int64(1); seed <= 12; seed++ {
+		m := NewMachine(s, root, WithSeed[float64](seed))
+		status, err := m.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != Succeeded {
+			t.Fatalf("seed %d: %v", seed, status)
+		}
+		// Net effect: two tells, one retract — exactly one c left.
+		if !core.Eq(m.Store().Constraint(), c) {
+			t.Fatalf("seed %d: unexpected final store", seed)
+		}
+	}
+}

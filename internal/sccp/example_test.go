@@ -1,0 +1,64 @@
+package sccp_test
+
+import (
+	"fmt"
+	"math"
+
+	"softsoa/internal/core"
+	"softsoa/internal/sccp"
+	"softsoa/internal/semiring"
+)
+
+// A complete nmsccp program in the surface syntax: the paper's
+// Example 2 negotiation, where a retract relaxes the merged policy
+// until both providers accept.
+func ExampleParseAndCompile() {
+	src := `
+semiring weighted.
+var x in 0..10.
+var spv1 in 0..1.
+var spv2 in 0..1.
+
+p1() :: tell(x + 5) -> tell(spv2 == 1) ->
+        ask(spv1 == 1)->[10,2] retract(x + 3)->[10,2] success.
+p2() :: tell(2 * x) -> tell(spv1 == 1) -> ask(spv2 == 1)->[4,1] success.
+
+main :: p1() || p2().
+`
+	compiled, err := sccp.ParseAndCompile(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := compiled.NewMachine()
+	status, _ := m.Run(300)
+	fmt.Println("status:", status)
+	fmt.Println("agreement level:", compiled.Semiring.Format(m.Store().Blevel()))
+	// Output:
+	// status: succeeded
+	// agreement level: 2
+}
+
+// Building agents programmatically: a guarded choice commits to
+// whichever branch is enabled.
+func ExampleMachine() {
+	s := core.NewSpace[float64](semiring.Weighted{})
+	flag := s.AddVariable("flag", core.IntDomain(0, 1))
+	raised := core.NewConstraint(s, []core.Variable{flag}, func(a core.Assignment) float64 {
+		if a.Num(flag) == 1 {
+			return 0 // the weighted One
+		}
+		return math.Inf(1)
+	})
+	choice := sccp.MustSum[float64](
+		sccp.Ask[float64]{C: raised, Next: sccp.Success[float64]{}},
+		sccp.Nask[float64]{C: raised, Next: sccp.Tell[float64]{C: raised, Next: sccp.Success[float64]{}}},
+	)
+	m := sccp.NewMachine[float64](s, choice)
+	status, _ := m.Run(10)
+	fmt.Println(status)
+	fmt.Println("transitions:", len(m.Trace()))
+	// Output:
+	// succeeded
+	// transitions: 2
+}

@@ -1,0 +1,128 @@
+package sccp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed program back into canonical surface syntax.
+// The output parses to a semantically identical program (checked by
+// the round-trip tests), so Format∘Parse is a formatter for nmsccp
+// sources: declarations first, one clause per line, normalised
+// spacing and explicit parentheses around composite continuations.
+func Format(prog *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "semiring %s.\n", prog.SemiringName)
+	if len(prog.Vars) > 0 {
+		b.WriteString("\n")
+	}
+	for _, v := range prog.Vars {
+		fmt.Fprintf(&b, "var %s in %d..%d.\n", v.Name, v.Lo, v.Hi)
+	}
+	if len(prog.Clauses) > 0 {
+		b.WriteString("\n")
+	}
+	for _, cl := range prog.Clauses {
+		fmt.Fprintf(&b, "%s(%s) :: %s.\n", cl.Name, strings.Join(cl.Params, ", "),
+			formatAgent(cl.Body))
+	}
+	fmt.Fprintf(&b, "\nmain :: %s.\n", formatAgent(prog.Main))
+	return b.String()
+}
+
+// formatAgent renders an agent with minimal but unambiguous
+// parenthesisation: '||' binds loosest, '+' tighter, prefixes
+// tightest (matching the parser's grammar).
+func formatAgent(a AstAgent) string {
+	switch ag := a.(type) {
+	case aSuccess:
+		return "success"
+	case aAction:
+		head := ag.Kind
+		if ag.Kind == "update" {
+			head = fmt.Sprintf("update{%s}", strings.Join(ag.UpdateVars, ", "))
+		}
+		arrow := "->"
+		if ag.Lower != "" || ag.Upper != "" {
+			arrow = fmt.Sprintf("->[%s,%s]", orUnder(ag.Lower), orUnder(ag.Upper))
+		}
+		return fmt.Sprintf("%s(%s) %s %s",
+			head, formatExpr(ag.Expr), arrow, formatPrefix(ag.Next))
+	case aPar:
+		return fmt.Sprintf("%s || %s", formatSumOperand(ag.Left), formatSumOperand(ag.Right))
+	case aSum:
+		parts := make([]string, len(ag.Branches))
+		for i, br := range ag.Branches {
+			parts[i] = formatAgent(br)
+		}
+		return strings.Join(parts, " + ")
+	case aExists:
+		return fmt.Sprintf("exists %s in %d..%d ( %s )", ag.Var, ag.Lo, ag.Hi, formatAgent(ag.Body))
+	case aTimeout:
+		return fmt.Sprintf("timeout %d ( %s ) else ( %s )",
+			ag.Budget, formatAgent(ag.Body), formatAgent(ag.Else))
+	case aCall:
+		return fmt.Sprintf("%s(%s)", ag.Name, strings.Join(ag.Args, ", "))
+	default:
+		return fmt.Sprintf("/* unknown agent %T */ success", a)
+	}
+}
+
+// formatPrefix renders an action continuation, parenthesising
+// composites so the continuation stays a single prefix.
+func formatPrefix(a AstAgent) string {
+	switch a.(type) {
+	case aPar, aSum:
+		return "( " + formatAgent(a) + " )"
+	default:
+		return formatAgent(a)
+	}
+}
+
+// formatSumOperand parenthesises sums under '||'.
+func formatSumOperand(a AstAgent) string {
+	if _, ok := a.(aSum); ok {
+		return "( " + formatAgent(a) + " )"
+	}
+	return formatAgent(a)
+}
+
+func orUnder(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return s
+}
+
+// formatExpr renders an expression with explicit parentheses around
+// binary subterms, which is always re-parseable.
+func formatExpr(e Expr) string {
+	switch ex := e.(type) {
+	case eNum:
+		if ex.V == inf() {
+			return "inf"
+		}
+		return trimFloat(ex.V)
+	case eVar:
+		return ex.Name
+	case eBin:
+		return fmt.Sprintf("(%s %s %s)", formatExpr(ex.L), ex.Op, formatExpr(ex.R))
+	case eCmp:
+		// Parenthesised so a comparison nested in arithmetic (where it
+		// evaluates to 1/0) re-parses with the same shape.
+		return fmt.Sprintf("(%s %s %s)", formatExpr(ex.L), ex.Op, formatExpr(ex.R))
+	default:
+		return "0"
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	// The lexer has no exponent syntax; fall back to plain decimals.
+	if strings.ContainsAny(s, "eE") {
+		s = fmt.Sprintf("%f", v)
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimSuffix(s, ".")
+	}
+	return s
+}

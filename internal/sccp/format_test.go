@@ -1,0 +1,137 @@
+package sccp
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTripSources are programs whose formatted form must parse back
+// and behave identically.
+var roundTripSources = []string{
+	example1Src,
+	example2Src,
+	example3Src,
+	`
+semiring fuzzy.
+var x in 1..9.
+main :: tell((x - 1) / 8) -> tell((9 - x) / 8) -> success.
+`,
+	`
+semiring weighted.
+var x in 0..5.
+var flag in 0..1.
+main :: ( ask(flag == 1) -> tell(x + 1) -> success
+        + nask(flag == 1) -> tell(x + 2) -> success ).
+`,
+	`
+semiring weighted.
+var x in 0..5.
+main :: exists z in 0..3 ( tell(z + x) -> success ).
+`,
+	`
+semiring weighted.
+var x in 0..3.
+main :: tell(5 * (x >= 2) + 1) -> success.
+`,
+	`
+semiring weighted.
+var f in 0..1.
+main :: timeout 4 ( ask(f == 1) -> success ) else ( tell(f == 1) -> success ).
+`,
+	`
+semiring probabilistic.
+var x in 0..4.
+cost(v) :: tell((80 + 5 * v) / 100) -> success.
+main :: cost(x) || tell(0.9) -> success.
+`,
+	`
+semiring weighted.
+var x in 0..3.
+main :: tell(x + 3) -> update{x}(x * 2)->[10,_] success.
+`,
+}
+
+// TestFormatRoundTrip checks Format∘Parse is semantics-preserving:
+// the formatted program parses, and both versions run to the same
+// status and final consistency level.
+func TestFormatRoundTrip(t *testing.T) {
+	for i, src := range roundTripSources {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("case %d: parse original: %v", i, err)
+		}
+		formatted := Format(prog)
+		prog2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("case %d: parse formatted: %v\n--- formatted ---\n%s", i, err, formatted)
+		}
+
+		c1, err := Compile(prog)
+		if err != nil {
+			t.Fatalf("case %d: compile original: %v", i, err)
+		}
+		c2, err := Compile(prog2)
+		if err != nil {
+			t.Fatalf("case %d: compile formatted: %v\n%s", i, err, formatted)
+		}
+		m1 := c1.NewMachine()
+		m2 := c2.NewMachine()
+		s1, err1 := m1.Run(300)
+		s2, err2 := m2.Run(300)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("case %d: run errors: %v / %v", i, err1, err2)
+		}
+		if s1 != s2 {
+			t.Errorf("case %d: status %v != %v after formatting\n%s", i, s1, s2, formatted)
+		}
+		b1 := c1.Semiring.Format(m1.Store().Blevel())
+		b2 := c2.Semiring.Format(m2.Store().Blevel())
+		if b1 != b2 {
+			t.Errorf("case %d: blevel %s != %s after formatting\n%s", i, b1, b2, formatted)
+		}
+	}
+}
+
+// TestFormatIsIdempotent: formatting a formatted program is a fixed
+// point.
+func TestFormatIsIdempotent(t *testing.T) {
+	for i, src := range roundTripSources {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		once := Format(prog)
+		prog2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		twice := Format(prog2)
+		if once != twice {
+			t.Errorf("case %d: Format not idempotent:\n--- once ---\n%s\n--- twice ---\n%s",
+				i, once, twice)
+		}
+	}
+}
+
+func TestFormatShapes(t *testing.T) {
+	prog, err := Parse(`
+semiring weighted.
+var x in 0..3.
+p(v) :: tell(v)->[inf,_] success.
+main :: p(x) || tell(x) -> ( ask(x >= 0) -> success + nask(x >= 0) -> success ).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(prog)
+	for _, want := range []string{
+		"semiring weighted.",
+		"var x in 0..3.",
+		"p(v) :: tell(v) ->[inf,_] success.",
+		"main :: p(x) || tell(x) -> ( ask((x >= 0)) -> success + nask((x >= 0)) -> success ).",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}

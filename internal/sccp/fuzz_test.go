@@ -1,0 +1,64 @@
+package sccp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAndCompile checks the nmsccp front end never panics and
+// that accepted programs run without interpreter errors (other than
+// controlled divergence detection). Run the corpus as a unit test or
+// explore with `go test -fuzz=FuzzParseAndCompile ./internal/sccp`.
+func FuzzParseAndCompile(f *testing.F) {
+	seeds := []string{
+		example1Src,
+		example2Src,
+		example3Src,
+		"main :: success.",
+		"semiring fuzzy.\nvar x in 1..9.\nmain :: tell((x - 1) / 8) -> success.",
+		"var f in 0..1.\nmain :: timeout 3 ( ask(f == 1) -> success ) else ( success ).",
+		"p(v) :: tell(3 * v) -> success.\nvar a in 0..4.\nmain :: p(a).",
+		"var x in 0..2.\nmain :: exists z in 0..3 ( tell(z + x) -> success ).",
+		"main :: tell(",
+		"semiring weighted var x",
+		"main :: ask(x < ) -> success.",
+		"var x in 0..1.\nmain :: tell(x)->[2,10] success.",
+		"# only a comment",
+		"main :: (ask(1 == 1) -> success + nask(1 == 1) -> success).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Oversized inputs only slow the fuzzer down.
+		if len(src) > 4096 {
+			t.Skip()
+		}
+		compiled, err := ParseAndCompile(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Every accepted program must survive the formatter.
+		if prog, perr := Parse(src); perr == nil {
+			if _, rerr := Parse(Format(prog)); rerr != nil {
+				t.Fatalf("formatted form rejected: %v\n%s", rerr, Format(prog))
+			}
+		}
+		// Keep compiled spaces small enough to execute.
+		if compiled.Space.NumVariables() > 6 {
+			t.Skip()
+		}
+		size := 1
+		for _, v := range compiled.Space.Variables() {
+			size *= len(compiled.Space.Domain(v))
+			if size > 1<<12 {
+				t.Skip()
+			}
+		}
+		m := compiled.NewMachine()
+		if _, err := m.Run(64); err != nil &&
+			!strings.Contains(err.Error(), "diverges") {
+			t.Fatalf("machine error on accepted program %q: %v", src, err)
+		}
+	})
+}

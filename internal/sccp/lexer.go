@@ -1,0 +1,195 @@
+package sccp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens of the nmsccp surface syntax.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen   // (
+	tokRParen   // )
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLBracket // [
+	tokRBracket // ]
+	tokComma    // ,
+	tokDot      // .
+	tokDotDot   // ..
+	tokArrow    // ->
+	tokPar      // ||
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokSlash    // /
+	tokLe       // <=
+	tokLt       // <
+	tokGe       // >=
+	tokGt       // >
+	tokEq       // ==
+	tokNe       // !=
+	tokDefine   // ::
+	tokUnder    // _
+)
+
+func (k tokKind) String() string {
+	names := map[tokKind]string{
+		tokEOF: "end of input", tokIdent: "identifier", tokNumber: "number",
+		tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+		tokLBracket: "'['", tokRBracket: "']'", tokComma: "','", tokDot: "'.'",
+		tokDotDot: "'..'", tokArrow: "'->'", tokPar: "'||'", tokPlus: "'+'",
+		tokMinus: "'-'", tokStar: "'*'", tokSlash: "'/'", tokLe: "'<='",
+		tokLt: "'<'", tokGe: "'>='", tokGt: "'>'", tokEq: "'=='", tokNe: "'!='",
+		tokDefine: "'::'", tokUnder: "'_'",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("tokKind(%d)", int(k))
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+	col  int
+}
+
+// lexError reports a lexical error with position.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.line, e.col, e.msg)
+}
+
+// lex tokenises an nmsccp source text. Comments run from '#' or '//'
+// to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	emit := func(kind tokKind, text string, num float64) {
+		toks = append(toks, token{kind: kind, text: text, num: num, line: line, col: col})
+	}
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)):
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			emit(tokIdent, src[i:j], 0)
+			advance(j - i)
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			// A fractional part, but not the start of a '..' range.
+			if j < n && src[j] == '.' && j+1 < n && unicode.IsDigit(rune(src[j+1])) {
+				j++
+				for j < n && unicode.IsDigit(rune(src[j])) {
+					j++
+				}
+			}
+			text := src[i:j]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, &lexError{line, col, fmt.Sprintf("bad number %q", text)}
+			}
+			emit(tokNumber, text, v)
+			advance(j - i)
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "->":
+				emit(tokArrow, two, 0)
+				advance(2)
+			case two == "||":
+				emit(tokPar, two, 0)
+				advance(2)
+			case two == "..":
+				emit(tokDotDot, two, 0)
+				advance(2)
+			case two == "<=":
+				emit(tokLe, two, 0)
+				advance(2)
+			case two == ">=":
+				emit(tokGe, two, 0)
+				advance(2)
+			case two == "==":
+				emit(tokEq, two, 0)
+				advance(2)
+			case two == "!=":
+				emit(tokNe, two, 0)
+				advance(2)
+			case two == "::":
+				emit(tokDefine, two, 0)
+				advance(2)
+			default:
+				kinds := map[byte]tokKind{
+					'(': tokLParen, ')': tokRParen, '{': tokLBrace, '}': tokRBrace,
+					'[': tokLBracket, ']': tokRBracket, ',': tokComma, '.': tokDot,
+					'+': tokPlus, '-': tokMinus, '*': tokStar, '/': tokSlash,
+					'<': tokLt, '>': tokGt, '_': tokUnder,
+				}
+				k, ok := kinds[c]
+				if !ok {
+					return nil, &lexError{line, col, fmt.Sprintf("unexpected character %q", string(c))}
+				}
+				emit(k, string(c), 0)
+				advance(1)
+			}
+		}
+	}
+	emit(tokEOF, "", 0)
+	return toks, nil
+}
+
+// isKeyword reports whether an identifier is reserved.
+func isKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "semiring", "var", "in", "success", "tell", "ask", "nask",
+		"retract", "update", "exists", "main", "inf", "timeout", "else":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,342 @@
+package sccp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"softsoa/internal/core"
+)
+
+// Status is the outcome of running a machine.
+type Status int
+
+const (
+	// Running means the configuration can still evolve.
+	Running Status = iota
+	// Succeeded means the agent reduced to success.
+	Succeeded
+	// Stuck means no transition rule applies but the agent is not
+	// success: a deadlock (e.g. an ask whose check can never hold).
+	Stuck
+	// OutOfFuel means the step budget was exhausted.
+	OutOfFuel
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Succeeded:
+		return "succeeded"
+	case Stuck:
+		return "stuck"
+	case OutOfFuel:
+		return "out-of-fuel"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Event records one applied transition.
+type Event[T any] struct {
+	// Step is the 1-based index of the transition.
+	Step int
+	// Rule names the applied rule (R1 Tell … R10 P-call).
+	Rule string
+	// Agent describes the acting sub-agent.
+	Agent string
+	// Blevel is σ⇓∅ after the transition.
+	Blevel T
+}
+
+// maxExpansion bounds administrative expansions (procedure calls and
+// quantifier openings) within a single step, catching diverging
+// recursion like p() :: p().
+const maxExpansion = 512
+
+// ErrDiverging is returned when procedure expansion exceeds the
+// administrative budget within one step.
+var ErrDiverging = errors.New("sccp: procedure expansion diverges")
+
+// Machine executes a configuration ⟨A, σ⟩ by the transition system of
+// Fig. 4. Scheduling is an interleaving of enabled actions chosen by
+// a seeded RNG, so runs are reproducible; different seeds explore
+// different interleavings and nondeterministic (sum) commitments.
+type Machine[T any] struct {
+	space *core.Space[T]
+	store *core.Store[T]
+	defs  Defs[T]
+	rng   *rand.Rand
+	root  Agent[T]
+	trace []Event[T]
+	steps int
+}
+
+// MachineOption configures a Machine.
+type MachineOption[T any] func(*Machine[T])
+
+// WithDefs supplies procedure declarations (class F).
+func WithDefs[T any](d Defs[T]) MachineOption[T] {
+	return func(m *Machine[T]) { m.defs = d }
+}
+
+// WithSeed seeds the interleaving scheduler (default 1).
+func WithSeed[T any](seed int64) MachineOption[T] {
+	return func(m *Machine[T]) { m.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithStore starts execution from an existing store instead of the
+// empty store 1̄.
+func WithStore[T any](st *core.Store[T]) MachineOption[T] {
+	return func(m *Machine[T]) { m.store = st }
+}
+
+// NewMachine returns a machine for the initial configuration
+// ⟨root, 1̄⟩ over the given space.
+func NewMachine[T any](space *core.Space[T], root Agent[T], opts ...MachineOption[T]) *Machine[T] {
+	m := &Machine[T]{
+		space: space,
+		store: core.NewStore(space),
+		defs:  Defs[T]{},
+		rng:   rand.New(rand.NewSource(1)),
+		root:  root,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Store returns the machine's store.
+func (m *Machine[T]) Store() *core.Store[T] { return m.store }
+
+// Agent returns the current agent.
+func (m *Machine[T]) Agent() Agent[T] { return m.root }
+
+// Trace returns the applied transitions so far.
+func (m *Machine[T]) Trace() []Event[T] { return append([]Event[T](nil), m.trace...) }
+
+// Status reports the current status without stepping.
+func (m *Machine[T]) Status() Status {
+	if _, ok := m.root.(Success[T]); ok {
+		return Succeeded
+	}
+	return Running
+}
+
+// Step attempts one transition anywhere in the agent tree. It reports
+// whether a transition was applied; administrative rewrites (opening
+// a quantifier, expanding a call) may change the agent without
+// counting as a transition.
+func (m *Machine[T]) Step() (bool, error) {
+	next, applied, err := m.step(m.root, 0)
+	if err != nil {
+		return false, err
+	}
+	m.root = next
+	return applied, nil
+}
+
+// Run steps the machine until success, deadlock, or fuel exhaustion.
+func (m *Machine[T]) Run(fuel int) (Status, error) {
+	for i := 0; i < fuel; i++ {
+		if _, ok := m.root.(Success[T]); ok {
+			return Succeeded, nil
+		}
+		applied, err := m.step1()
+		if err != nil {
+			return Stuck, err
+		}
+		if !applied {
+			if _, ok := m.root.(Success[T]); ok {
+				return Succeeded, nil
+			}
+			return Stuck, nil
+		}
+	}
+	if _, ok := m.root.(Success[T]); ok {
+		return Succeeded, nil
+	}
+	return OutOfFuel, nil
+}
+
+// step1 applies one transition, allowing a bounded number of purely
+// administrative rewrites in between.
+func (m *Machine[T]) step1() (bool, error) {
+	for i := 0; i < maxExpansion; i++ {
+		before := m.root
+		applied, err := m.Step()
+		if err != nil {
+			return false, err
+		}
+		if applied {
+			return true, nil
+		}
+		if agentEq[T](before, m.root) {
+			return false, nil
+		}
+	}
+	return false, ErrDiverging
+}
+
+// agentEq is a cheap identity check used to detect administrative
+// progress; it compares the trees' printed forms.
+func agentEq[T any](a, b Agent[T]) bool { return a.String() == b.String() }
+
+func (m *Machine[T]) record(rule string, ag Agent[T]) {
+	m.steps++
+	m.trace = append(m.trace, Event[T]{
+		Step:   m.steps,
+		Rule:   rule,
+		Agent:  ag.String(),
+		Blevel: m.store.Blevel(),
+	})
+}
+
+// step attempts to find and apply one enabled action in the subtree.
+// It returns the (possibly rewritten) subtree and whether a real
+// transition was applied.
+func (m *Machine[T]) step(a Agent[T], depth int) (Agent[T], bool, error) {
+	if depth > maxExpansion {
+		return a, false, ErrDiverging
+	}
+	sr := m.space.Semiring()
+	switch ag := a.(type) {
+	case Success[T]:
+		return a, false, nil
+
+	case Tell[T]: // R1
+		candidate := core.Combine(m.store.Constraint(), ag.C)
+		if !ag.Check.Holds(sr, candidate) {
+			return a, false, nil
+		}
+		m.store.Tell(ag.C)
+		m.record("R1 Tell", ag)
+		return ag.Next, true, nil
+
+	case Ask[T]: // R2
+		if !m.store.Entails(ag.C) || !ag.Check.Holds(sr, m.store.Constraint()) {
+			return a, false, nil
+		}
+		m.record("R2 Ask", ag)
+		return ag.Next, true, nil
+
+	case Nask[T]: // R6
+		if m.store.Entails(ag.C) || !ag.Check.Holds(sr, m.store.Constraint()) {
+			return a, false, nil
+		}
+		m.record("R6 Nask", ag)
+		return ag.Next, true, nil
+
+	case Retract[T]: // R7
+		if !m.store.Entails(ag.C) {
+			return a, false, nil
+		}
+		candidate := core.Divide(m.store.Constraint(), ag.C)
+		if !ag.Check.Holds(sr, candidate) {
+			return a, false, nil
+		}
+		if !m.store.Retract(ag.C) {
+			return a, false, nil
+		}
+		m.record("R7 Retract", ag)
+		return ag.Next, true, nil
+
+	case Update[T]: // R8
+		candidate := core.Combine(core.ProjectOut(m.store.Constraint(), ag.Vars...), ag.C)
+		if !ag.Check.Holds(sr, candidate) {
+			return a, false, nil
+		}
+		m.store.Update(ag.Vars, ag.C)
+		m.record("R8 Update", ag)
+		return ag.Next, true, nil
+
+	case Parallel[T]: // R3/R4
+		first, second := ag.Left, ag.Right
+		swapped := m.rng.Intn(2) == 1
+		if swapped {
+			first, second = second, first
+		}
+		f2, applied, err := m.step(first, depth+1)
+		if err != nil {
+			return a, false, err
+		}
+		if applied || !agentEq[T](first, f2) {
+			return rebuildPar[T](f2, second, swapped), applied, nil
+		}
+		s2, applied, err := m.step(second, depth+1)
+		if err != nil {
+			return a, false, err
+		}
+		if applied || !agentEq[T](second, s2) {
+			return rebuildPar[T](f2, s2, swapped), applied, nil
+		}
+		return a, false, nil
+
+	case Sum[T]: // R5
+		for _, i := range m.rng.Perm(len(ag.branches)) {
+			b2, applied, err := m.step(ag.branches[i], depth+1)
+			if err != nil {
+				return a, false, err
+			}
+			if applied {
+				return b2, true, nil
+			}
+		}
+		return a, false, nil
+
+	case Exists[T]: // R9 (administrative opening, then the body moves)
+		fresh := m.space.FreshVariable(ag.Prefix, ag.Domain)
+		body := ag.Body(fresh)
+		next, applied, err := m.step(body, depth+1)
+		if err != nil {
+			return a, false, err
+		}
+		if applied {
+			m.trace[len(m.trace)-1].Rule += " (via R9 Hide)"
+		}
+		return next, applied, nil
+
+	case Timeout[T]: // timed extension: body, tick, or expiry
+		return m.stepTimeout(ag, depth)
+
+	case Call[T]: // R10 (administrative expansion, then the body moves)
+		clause, ok := m.defs[ag.Name]
+		if !ok {
+			return a, false, fmt.Errorf("sccp: undeclared procedure %q", ag.Name)
+		}
+		if clause.Arity != len(ag.Args) {
+			return a, false, fmt.Errorf("sccp: %s expects %d args, got %d",
+				ag.Name, clause.Arity, len(ag.Args))
+		}
+		body := clause.Body(append([]core.Variable(nil), ag.Args...))
+		next, applied, err := m.step(body, depth+1)
+		if err != nil {
+			return a, false, err
+		}
+		if applied {
+			m.trace[len(m.trace)-1].Rule += " (via R10 P-call)"
+		}
+		return next, applied, nil
+
+	default:
+		return a, false, fmt.Errorf("sccp: unknown agent type %T", a)
+	}
+}
+
+// rebuildPar reassembles a parallel composition after one branch was
+// rewritten, applying R4: a succeeded branch disappears.
+func rebuildPar[T any](stepped, other Agent[T], swapped bool) Agent[T] {
+	if _, ok := stepped.(Success[T]); ok {
+		return other
+	}
+	if _, ok := other.(Success[T]); ok {
+		return stepped
+	}
+	if swapped {
+		return Parallel[T]{Left: other, Right: stepped}
+	}
+	return Parallel[T]{Left: stepped, Right: other}
+}

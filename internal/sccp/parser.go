@@ -1,0 +1,657 @@
+package sccp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The nmsccp surface syntax (cmd/nmsccp) mirrors Fig. 2 of the paper:
+//
+//	semiring weighted.
+//	var x in 0..10.
+//	var spv in 0..1.
+//
+//	provider() :: tell(x + 5) -> ask(spv == 1)->[10,2] success.
+//
+//	main :: provider() || tell(2*x) -> tell(spv == 1) -> success.
+//
+// Statements end with '.'. An action's checked transition is written
+// '->[a1,a2]' with a1 the lower and a2 the upper threshold; either
+// may be '_' (absent) or 'inf'. A bare '->' is the unrestricted
+// transition. Constraint expressions are arithmetic over declared
+// variables (compiled to soft constraints valued by the expression)
+// or comparisons (crisp One/Zero constraints). 'exists v in lo..hi
+// (A)' hides a local variable; 'p(x,y)' calls a declared clause; '+'
+// between ask/nask-guarded agents is nondeterministic choice; '||' is
+// parallel composition.
+
+// Program is a parsed nmsccp program, ready to Compile.
+type Program struct {
+	// SemiringName is one of "weighted", "fuzzy", "probabilistic".
+	SemiringName string
+	// Vars are the declared problem variables with integer ranges.
+	Vars []VarDecl
+	// Clauses are the procedure declarations.
+	Clauses []ClauseDecl
+	// Main is the initial agent.
+	Main AstAgent
+}
+
+// VarDecl declares a variable with domain {Lo..Hi}.
+type VarDecl struct {
+	Name   string
+	Lo, Hi int
+}
+
+// ClauseDecl is a procedure declaration p(params) :: body.
+type ClauseDecl struct {
+	Name   string
+	Params []string
+	Body   AstAgent
+}
+
+// AstAgent is a parsed (uncompiled) agent.
+type AstAgent interface{ astAgent() }
+
+type aSuccess struct{}
+
+type aAction struct {
+	// Kind is "tell", "ask", "nask", "retract" or "update".
+	Kind string
+	// UpdateVars holds the braced variable list for update.
+	UpdateVars []string
+	Expr       Expr
+	Lower      string // a1 text; "" if absent
+	Upper      string // a2 text; "" if absent
+	Next       AstAgent
+}
+
+type aPar struct{ Left, Right AstAgent }
+
+type aSum struct{ Branches []AstAgent }
+
+type aExists struct {
+	Var    string
+	Lo, Hi int
+	Body   AstAgent
+}
+
+type aCall struct {
+	Name string
+	Args []string
+}
+
+type aTimeout struct {
+	Budget     int
+	Body, Else AstAgent
+}
+
+func (aSuccess) astAgent() {}
+func (aAction) astAgent()  {}
+func (aPar) astAgent()     {}
+func (aSum) astAgent()     {}
+func (aExists) astAgent()  {}
+func (aCall) astAgent()    {}
+func (aTimeout) astAgent() {}
+
+// Expr is a parsed constraint expression.
+type Expr interface{ expr() }
+
+type eNum struct{ V float64 }
+type eVar struct{ Name string }
+type eBin struct {
+	Op   string // + - * /
+	L, R Expr
+}
+type eCmp struct {
+	Op   string // <= < >= > == !=
+	L, R Expr
+}
+
+func (eNum) expr() {}
+func (eVar) expr() {}
+func (eBin) expr() {}
+func (eCmp) expr() {}
+
+type parser struct {
+	toks []token
+	pos  int
+	err  error
+}
+
+// Parse parses an nmsccp program text.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{SemiringName: "weighted"}
+	seenMain := false
+	for p.peek().kind != tokEOF {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected declaration, got %s", t.kind)
+		}
+		switch strings.ToLower(t.text) {
+		case "semiring":
+			p.next()
+			name := p.expectIdent()
+			if name == "" {
+				return nil, p.err
+			}
+			switch strings.ToLower(name) {
+			case "weighted", "fuzzy", "probabilistic":
+				prog.SemiringName = strings.ToLower(name)
+			default:
+				return nil, p.errf("unknown semiring %q (want weighted, fuzzy or probabilistic)", name)
+			}
+			if !p.expect(tokDot) {
+				return nil, p.err
+			}
+		case "var":
+			p.next()
+			name := p.expectIdent()
+			if name == "" {
+				return nil, p.err
+			}
+			if isKeyword(name) {
+				return nil, p.errf("variable name %q is a keyword", name)
+			}
+			if !p.expectKeyword("in") {
+				return nil, p.err
+			}
+			lo, ok := p.expectInt()
+			if !ok {
+				return nil, p.err
+			}
+			if !p.expect(tokDotDot) {
+				return nil, p.err
+			}
+			hi, ok := p.expectInt()
+			if !ok {
+				return nil, p.err
+			}
+			if hi < lo {
+				return nil, p.errf("empty domain %d..%d for %q", lo, hi, name)
+			}
+			if !p.expect(tokDot) {
+				return nil, p.err
+			}
+			prog.Vars = append(prog.Vars, VarDecl{Name: name, Lo: lo, Hi: hi})
+		case "main":
+			p.next()
+			if !p.expect(tokDefine) {
+				return nil, p.err
+			}
+			body, err := p.parseAgent()
+			if err != nil {
+				return nil, err
+			}
+			if !p.expect(tokDot) {
+				return nil, p.err
+			}
+			prog.Main = body
+			seenMain = true
+		default:
+			// Clause: name(params) :: body.
+			name := p.expectIdent()
+			if isKeyword(name) {
+				return nil, p.errf("unexpected keyword %q", name)
+			}
+			if !p.expect(tokLParen) {
+				return nil, p.err
+			}
+			var params []string
+			for p.peek().kind != tokRParen {
+				id := p.expectIdent()
+				if id == "" {
+					return nil, p.err
+				}
+				params = append(params, id)
+				if p.peek().kind == tokComma {
+					p.next()
+				}
+			}
+			p.next() // ')'
+			if !p.expect(tokDefine) {
+				return nil, p.err
+			}
+			body, err := p.parseAgent()
+			if err != nil {
+				return nil, err
+			}
+			if !p.expect(tokDot) {
+				return nil, p.err
+			}
+			prog.Clauses = append(prog.Clauses, ClauseDecl{Name: name, Params: params, Body: body})
+		}
+	}
+	if !seenMain {
+		return nil, fmt.Errorf("nmsccp: program has no main agent")
+	}
+	return prog, nil
+}
+
+// parseAgent := sum { "||" sum }
+func (p *parser) parseAgent() (AstAgent, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokPar {
+		p.next()
+		right, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		left = aPar{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// parseSum := prefix { "+" prefix }
+func (p *parser) parseSum() (AstAgent, error) {
+	first, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokPlus {
+		return first, nil
+	}
+	branches := []AstAgent{first}
+	for p.peek().kind == tokPlus {
+		p.next()
+		b, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, b)
+	}
+	for _, b := range branches {
+		act, ok := b.(aAction)
+		if !ok || (act.Kind != "ask" && act.Kind != "nask") {
+			return nil, fmt.Errorf("nmsccp: '+' branches must be ask/nask guarded")
+		}
+	}
+	return aSum{Branches: branches}, nil
+}
+
+func (p *parser) parsePrefix() (AstAgent, error) {
+	t := p.peek()
+	if t.kind == tokLParen {
+		p.next()
+		a, err := p.parseAgent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.expect(tokRParen) {
+			return nil, p.err
+		}
+		return a, nil
+	}
+	if t.kind != tokIdent {
+		return nil, p.errf("expected agent, got %s", t.kind)
+	}
+	switch strings.ToLower(t.text) {
+	case "success":
+		p.next()
+		return aSuccess{}, nil
+	case "tell", "ask", "nask", "retract":
+		kind := strings.ToLower(t.text)
+		p.next()
+		if !p.expect(tokLParen) {
+			return nil, p.err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.expect(tokRParen) {
+			return nil, p.err
+		}
+		lo, hi, err := p.parseArrow()
+		if err != nil {
+			return nil, err
+		}
+		next, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		return aAction{Kind: kind, Expr: e, Lower: lo, Upper: hi, Next: next}, nil
+	case "update":
+		p.next()
+		if !p.expect(tokLBrace) {
+			return nil, p.err
+		}
+		var vars []string
+		for p.peek().kind != tokRBrace {
+			id := p.expectIdent()
+			if id == "" {
+				return nil, p.err
+			}
+			vars = append(vars, id)
+			if p.peek().kind == tokComma {
+				p.next()
+			}
+		}
+		p.next() // '}'
+		if len(vars) == 0 {
+			return nil, fmt.Errorf("nmsccp: update needs at least one variable")
+		}
+		if !p.expect(tokLParen) {
+			return nil, p.err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.expect(tokRParen) {
+			return nil, p.err
+		}
+		lo, hi, err := p.parseArrow()
+		if err != nil {
+			return nil, err
+		}
+		next, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		return aAction{Kind: "update", UpdateVars: vars, Expr: e, Lower: lo, Upper: hi, Next: next}, nil
+	case "timeout":
+		p.next()
+		budget, ok := p.expectInt()
+		if !ok {
+			return nil, p.err
+		}
+		if budget <= 0 {
+			return nil, p.errf("timeout budget must be positive, got %d", budget)
+		}
+		if !p.expect(tokLParen) {
+			return nil, p.err
+		}
+		body, err := p.parseAgent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.expect(tokRParen) {
+			return nil, p.err
+		}
+		if !p.expectKeyword("else") {
+			return nil, p.err
+		}
+		if !p.expect(tokLParen) {
+			return nil, p.err
+		}
+		alt, err := p.parseAgent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.expect(tokRParen) {
+			return nil, p.err
+		}
+		return aTimeout{Budget: budget, Body: body, Else: alt}, nil
+	case "exists":
+		p.next()
+		name := p.expectIdent()
+		if name == "" {
+			return nil, p.err
+		}
+		if !p.expectKeyword("in") {
+			return nil, p.err
+		}
+		lo, ok := p.expectInt()
+		if !ok {
+			return nil, p.err
+		}
+		if !p.expect(tokDotDot) {
+			return nil, p.err
+		}
+		hi, ok := p.expectInt()
+		if !ok {
+			return nil, p.err
+		}
+		if !p.expect(tokLParen) {
+			return nil, p.err
+		}
+		body, err := p.parseAgent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.expect(tokRParen) {
+			return nil, p.err
+		}
+		return aExists{Var: name, Lo: lo, Hi: hi, Body: body}, nil
+	default:
+		// Procedure call: name(args).
+		name := t.text
+		if isKeyword(name) {
+			return nil, p.errf("unexpected keyword %q", name)
+		}
+		p.next()
+		if !p.expect(tokLParen) {
+			return nil, p.err
+		}
+		var args []string
+		for p.peek().kind != tokRParen {
+			id := p.expectIdent()
+			if id == "" {
+				return nil, p.err
+			}
+			args = append(args, id)
+			if p.peek().kind == tokComma {
+				p.next()
+			}
+		}
+		p.next() // ')'
+		return aCall{Name: name, Args: args}, nil
+	}
+}
+
+// parseArrow parses '->' with optional '[a1,a2]' thresholds, each a
+// number, 'inf', or '_'.
+func (p *parser) parseArrow() (lower, upper string, err error) {
+	if !p.expect(tokArrow) {
+		return "", "", p.err
+	}
+	if p.peek().kind != tokLBracket {
+		return "", "", nil
+	}
+	p.next()
+	lower, err = p.parseBound()
+	if err != nil {
+		return "", "", err
+	}
+	if !p.expect(tokComma) {
+		return "", "", p.err
+	}
+	upper, err = p.parseBound()
+	if err != nil {
+		return "", "", err
+	}
+	if !p.expect(tokRBracket) {
+		return "", "", p.err
+	}
+	return lower, upper, nil
+}
+
+func (p *parser) parseBound() (string, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokUnder:
+		p.next()
+		return "", nil
+	case t.kind == tokNumber:
+		p.next()
+		return t.text, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "inf"):
+		p.next()
+		return "inf", nil
+	default:
+		return "", p.errf("expected threshold (number, inf or _), got %s", t.kind)
+	}
+}
+
+// parseExpr := arith [cmp arith]
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	ops := map[tokKind]string{
+		tokLe: "<=", tokLt: "<", tokGe: ">=", tokGt: ">", tokEq: "==", tokNe: "!=",
+	}
+	if op, ok := ops[p.peek().kind]; ok {
+		p.next()
+		r, err := p.parseArith()
+		if err != nil {
+			return nil, err
+		}
+		return eCmp{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseArith() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = eBin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokStar:
+			op = "*"
+		case tokSlash:
+			op = "/"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = eBin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return eNum{V: t.num}, nil
+	case tokIdent:
+		if isKeyword(t.text) && !strings.EqualFold(t.text, "inf") {
+			return nil, p.errf("unexpected keyword %q in expression", t.text)
+		}
+		p.next()
+		if strings.EqualFold(t.text, "inf") {
+			return eNum{V: inf()}, nil
+		}
+		return eVar{Name: t.text}, nil
+	case tokMinus:
+		p.next()
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return eBin{Op: "-", L: eNum{V: 0}, R: f}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.expect(tokRParen) {
+			return nil, p.err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected expression, got %s", t.kind)
+	}
+}
+
+// --- parser plumbing ---
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("nmsccp: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a token of the given kind, recording an error
+// otherwise.
+func (p *parser) expect(kind tokKind) bool {
+	if p.peek().kind != kind {
+		p.err = p.errf("expected %s, got %s", kind, p.peek().kind)
+		return false
+	}
+	p.next()
+	return true
+}
+
+func (p *parser) expectIdent() string {
+	if p.peek().kind != tokIdent {
+		p.err = p.errf("expected identifier, got %s", p.peek().kind)
+		return ""
+	}
+	return p.next().text
+}
+
+func (p *parser) expectKeyword(kw string) bool {
+	if p.peek().kind != tokIdent || !strings.EqualFold(p.peek().text, kw) {
+		p.err = p.errf("expected %q, got %q", kw, p.peek().text)
+		return false
+	}
+	p.next()
+	return true
+}
+
+func (p *parser) expectInt() (int, bool) {
+	if p.peek().kind != tokNumber {
+		p.err = p.errf("expected integer, got %s", p.peek().kind)
+		return 0, false
+	}
+	t := p.next()
+	v := int(t.num)
+	if float64(v) != t.num {
+		p.err = fmt.Errorf("nmsccp: %d:%d: expected integer, got %s", t.line, t.col, t.text)
+		return 0, false
+	}
+	return v, true
+}

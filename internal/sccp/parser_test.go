@@ -1,0 +1,335 @@
+package sccp
+
+import (
+	"strings"
+	"testing"
+
+	"softsoa/internal/core"
+)
+
+// example1Src is the paper's Example 1 in the surface syntax:
+// P1 tells c4 = x+5, raises sp2 and waits for sp1 within [10,2];
+// P2 tells c3 = 2x, raises sp1 and waits for sp2 within [4,1].
+const example1Src = `
+semiring weighted.
+var x in 0..10.
+var spv1 in 0..1.
+var spv2 in 0..1.
+
+# Provider P1 and provider P2 merge their policies (Fig. 7).
+p1() :: tell(x + 5) -> tell(spv2 == 1) -> ask(spv1 == 1)->[10,2] success.
+p2() :: tell(2 * x) -> tell(spv1 == 1) -> ask(spv2 == 1)->[4,1] success.
+
+main :: p1() || p2().
+`
+
+func TestParseAndRunExample1(t *testing.T) {
+	c, err := ParseAndCompile(example1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	status, err := m.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Stuck {
+		t.Fatalf("status = %v, want stuck (no agreement, as in the paper)", status)
+	}
+	if got := m.Store().Blevel(); got != 5 {
+		t.Fatalf("σ⇓∅ = %v, want 5", got)
+	}
+}
+
+const example2Src = `
+semiring weighted.
+var x in 0..10.
+var spv1 in 0..1.
+var spv2 in 0..1.
+
+p1() :: tell(x + 5) -> tell(spv2 == 1) ->
+        ask(spv1 == 1)->[10,2] retract(x + 3)->[10,2] success.
+p2() :: tell(2 * x) -> tell(spv1 == 1) -> ask(spv2 == 1)->[4,1] success.
+
+main :: p1() || p2().
+`
+
+func TestParseAndRunExample2(t *testing.T) {
+	c, err := ParseAndCompile(example2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	status, err := m.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Succeeded {
+		t.Fatalf("status = %v, want succeeded", status)
+	}
+	if got := m.Store().Blevel(); got != 2 {
+		t.Fatalf("σ⇓∅ = %v, want 2", got)
+	}
+	sx := core.ProjectTo(m.Store().Constraint(), "x")
+	if got := sx.AtLabels("3"); got != 8 {
+		t.Fatalf("σ(x=3) = %v, want 2*3+2 = 8", got)
+	}
+}
+
+const example3Src = `
+semiring weighted.
+var x in 0..10.
+var y in 0..10.
+
+main :: tell(x + 3) -> update{x}(y + 1) -> success.
+`
+
+func TestParseAndRunExample3(t *testing.T) {
+	c, err := ParseAndCompile(example3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	status, err := m.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Succeeded {
+		t.Fatalf("status = %v", status)
+	}
+	sy := core.ProjectTo(m.Store().Constraint(), "y")
+	if got := sy.AtLabels("5"); got != 9 {
+		t.Fatalf("σ(y=5) = %v, want 5+4 = 9", got)
+	}
+	if got := m.Store().Blevel(); got != 4 {
+		t.Fatalf("σ⇓∅ = %v, want 4", got)
+	}
+}
+
+func TestParseFuzzyProgram(t *testing.T) {
+	src := `
+semiring fuzzy.
+var x in 1..9.
+main :: tell((x - 1) / 8) -> tell((9 - x) / 8) -> success.
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	if status, _ := m.Run(20); status != Succeeded {
+		t.Fatal("fuzzy program should succeed")
+	}
+	if got := m.Store().Blevel(); got != 0.5 {
+		t.Fatalf("fuzzy agreement blevel = %v, want 0.5", got)
+	}
+}
+
+func TestParseSumAndNask(t *testing.T) {
+	src := `
+semiring weighted.
+var x in 0..5.
+var flag in 0..1.
+main :: ( ask(flag == 1) -> tell(x + 1) -> success
+        + nask(flag == 1) -> tell(x + 2) -> success ).
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	if status, _ := m.Run(20); status != Succeeded {
+		t.Fatal("sum program should succeed")
+	}
+	// flag is never raised: the nask branch commits; blevel 2.
+	if got := m.Store().Blevel(); got != 2 {
+		t.Fatalf("blevel = %v, want 2", got)
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	src := `
+semiring weighted.
+var x in 0..5.
+main :: exists z in 0..3 ( tell(z + x) -> success ).
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	if status, _ := m.Run(20); status != Succeeded {
+		t.Fatal("exists program should succeed")
+	}
+	if got := m.Store().Blevel(); got != 0 {
+		t.Fatalf("blevel = %v, want 0 (best z=0, x=0)", got)
+	}
+}
+
+func TestParseRecursiveClauseWithProgress(t *testing.T) {
+	src := `
+semiring weighted.
+var flag in 0..1.
+raise() :: nask(flag == 1) -> tell(flag == 1) -> raise()
+         + ask(flag == 1) -> success.
+main :: raise().
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	status, err := m.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Succeeded {
+		t.Fatalf("status = %v", status)
+	}
+}
+
+func TestParseParameterisedClause(t *testing.T) {
+	src := `
+semiring weighted.
+var a in 0..4.
+var b in 0..4.
+cost(v) :: tell(3 * v) -> success.
+main :: cost(a) || cost(b).
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	if status, _ := m.Run(30); status != Succeeded {
+		t.Fatal("parameterised program should succeed")
+	}
+	sa := core.ProjectTo(m.Store().Constraint(), "a")
+	if got := sa.AtLabels("2"); got != 6 {
+		t.Fatalf("σ(a=2) = %v, want 6", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no main", "semiring weighted.\nvar x in 0..1.", "no main"},
+		{"bad semiring", "semiring bogus.\nmain :: success.", "unknown semiring"},
+		{"undeclared var", "main :: tell(x + 1) -> success.", "undeclared variable"},
+		{"empty domain", "var x in 5..2.\nmain :: success.", "empty domain"},
+		{"dup var", "var x in 0..1.\nvar x in 0..1.\nmain :: success.", "declared twice"},
+		{"dup clause", "p() :: success.\np() :: success.\nmain :: success.", "declared twice"},
+		{"unguarded sum", "var x in 0..1.\nmain :: tell(x) -> success + success.", "ask/nask"},
+		{"bad call", "main :: nope().", "undeclared clause"},
+		{"bad arity", "p(v) :: success.\nmain :: p().", "expects 1 args"},
+		{"keyword var", "var tell in 0..1.\nmain :: success.", "keyword"},
+		{"inverted interval", "var x in 0..9.\nmain :: tell(x)->[2,10] success.", "better than upper"},
+		{"update no vars", "var x in 0..1.\nmain :: update{}(x) -> success.", "at least one"},
+		{"undeclared update var", "var x in 0..1.\nmain :: update{q}(x) -> success.", "undeclared update"},
+		{"lex error", "main :: success. @", "unexpected character"},
+		{"call undeclared arg", "p(v) :: success.\nmain :: p(q).", "undeclared variable"},
+		{"missing arrow", "var x in 0..1.\nmain :: tell(x) success.", "expected '->'"},
+	}
+	for _, tc := range cases {
+		_, err := ParseAndCompile(tc.src)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex("p1() :: tell(x+5)->[10,2.5] success. # comment\n// also comment\nvar y in 0..3.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokKind{
+		tokIdent, tokLParen, tokRParen, tokDefine, tokIdent, tokLParen,
+		tokIdent, tokPlus, tokNumber, tokRParen, tokArrow, tokLBracket,
+		tokNumber, tokComma, tokNumber, tokRBracket, tokIdent, tokDot,
+		tokIdent, tokIdent, tokIdent, tokNumber, tokDotDot, tokNumber, tokDot,
+		tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	// Fractional vs range dots.
+	if toks[14].num != 2.5 {
+		t.Errorf("number token = %v, want 2.5", toks[14].num)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := lex("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].line, toks[0].col)
+	}
+	if toks[1].line != 2 || toks[1].col != 3 {
+		t.Errorf("second token at %d:%d, want 2:3", toks[1].line, toks[1].col)
+	}
+}
+
+func TestDivisionByZeroIsZeroElement(t *testing.T) {
+	src := `
+semiring weighted.
+var x in 0..2.
+main :: tell(1 / x) -> success.
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	if status, _ := m.Run(10); status != Succeeded {
+		t.Fatal("program should succeed")
+	}
+	sx := core.ProjectTo(m.Store().Constraint(), "x")
+	if got := sx.AtLabels("0"); got != inf() {
+		t.Errorf("σ(x=0) = %v, want +inf (division by zero is Zero)", got)
+	}
+	if got := sx.AtLabels("2"); got != 0.5 {
+		t.Errorf("σ(x=2) = %v, want 0.5", got)
+	}
+}
+
+func TestNegativeWeightedValuesClampToOne(t *testing.T) {
+	src := `
+semiring weighted.
+var x in 0..3.
+main :: tell(x - 2) -> success.
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	if status, _ := m.Run(10); status != Succeeded {
+		t.Fatal("program should succeed")
+	}
+	sx := core.ProjectTo(m.Store().Constraint(), "x")
+	if got := sx.AtLabels("0"); got != 0 {
+		t.Errorf("σ(x=0) = %v, want 0 (clamped)", got)
+	}
+	if got := sx.AtLabels("3"); got != 1 {
+		t.Errorf("σ(x=3) = %v, want 1", got)
+	}
+}

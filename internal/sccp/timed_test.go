@@ -1,0 +1,160 @@
+package sccp
+
+import (
+	"testing"
+)
+
+func TestTimeoutBodyActsImmediately(t *testing.T) {
+	s, cs := negotiationSpace()
+	agent := Timeout[float64]{
+		Budget: 5,
+		Body:   Tell[float64]{C: cs["c4"], Next: Success[float64]{}},
+		Else:   Tell[float64]{C: cs["c3"], Next: Success[float64]{}},
+	}
+	m := NewMachine[float64](s, agent)
+	status, err := m.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Succeeded {
+		t.Fatalf("status = %v", status)
+	}
+	// The body's c4 (blevel 5) landed, not the else-branch's c3.
+	if got := m.Store().Blevel(); got != 5 {
+		t.Fatalf("blevel = %v, want 5 (body branch)", got)
+	}
+}
+
+func TestTimeoutExpiresToElse(t *testing.T) {
+	s, cs := negotiationSpace()
+	// The body asks for a token nobody ever raises; after 3 ticks the
+	// else-branch runs.
+	agent := Timeout[float64]{
+		Budget: 3,
+		Body:   Ask[float64]{C: cs["sp1"], Next: Success[float64]{}},
+		Else:   Tell[float64]{C: cs["c3"], Next: Success[float64]{}},
+	}
+	m := NewMachine[float64](s, agent)
+	status, err := m.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Succeeded {
+		t.Fatalf("status = %v", status)
+	}
+	if got := m.Store().Blevel(); got != 0 {
+		t.Fatalf("blevel = %v, want 0 (c3 = 2x best at x=0)", got)
+	}
+	// Trace: 3 ticks then the else tell.
+	ticks := 0
+	for _, ev := range m.Trace() {
+		if ev.Rule == "Tick Timeout" {
+			ticks++
+		}
+	}
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+}
+
+func TestTimeoutRacesParallelPartner(t *testing.T) {
+	// A client waits (with deadline) for a provider token; the
+	// provider raises it after one transition — in some interleaving
+	// orders a tick passes first, but the body must win within budget.
+	s, cs := negotiationSpace()
+	client := Timeout[float64]{
+		Budget: 10,
+		Body:   Ask[float64]{C: cs["sp1"], Next: Tell[float64]{C: cs["c4"], Next: Success[float64]{}}},
+		Else:   Success[float64]{},
+	}
+	provider := Tell[float64]{C: cs["sp1"], Next: Success[float64]{}}
+	for seed := int64(1); seed <= 8; seed++ {
+		m := NewMachine(s, Par[float64](client, provider), WithSeed[float64](seed))
+		status, err := m.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != Succeeded {
+			t.Fatalf("seed %d: status = %v", seed, status)
+		}
+		if got := m.Store().Blevel(); got != 5 {
+			t.Fatalf("seed %d: blevel = %v, want 5 (client told c4)", seed, got)
+		}
+	}
+}
+
+func TestTimeoutZeroBudgetIsElse(t *testing.T) {
+	s, cs := negotiationSpace()
+	agent := Timeout[float64]{
+		Budget: 0,
+		Body:   Tell[float64]{C: cs["c4"], Next: Success[float64]{}},
+		Else:   Tell[float64]{C: cs["c1"], Next: Success[float64]{}},
+	}
+	m := NewMachine[float64](s, agent)
+	if status, _ := m.Run(10); status != Succeeded {
+		t.Fatal("expired timeout should run else")
+	}
+	if got := m.Store().Blevel(); got != 3 {
+		t.Fatalf("blevel = %v, want 3 (c1 branch)", got)
+	}
+}
+
+func TestTimeoutString(t *testing.T) {
+	a := Timeout[float64]{Budget: 2, Body: Success[float64]{}, Else: Success[float64]{}}
+	if got := a.String(); got != "timeout(2){success}else{success}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestParseTimeoutProgram exercises the surface syntax: an Example-1
+// style negotiation where the blocked client gives up at its deadline
+// and settles for success without agreement, instead of deadlocking.
+func TestParseTimeoutProgram(t *testing.T) {
+	src := `
+semiring weighted.
+var x in 0..10.
+var spv1 in 0..1.
+var spv2 in 0..1.
+
+p1() :: tell(x + 5) -> tell(spv2 == 1) -> ask(spv1 == 1)->[10,2] success.
+p2() :: tell(2 * x) -> tell(spv1 == 1) ->
+        timeout 4 ( ask(spv2 == 1)->[4,1] success ) else ( retract(2 * x) -> success ).
+
+main :: p1() || p2().
+`
+	c, err := ParseAndCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine()
+	status, err := m.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Succeeded {
+		t.Fatalf("status = %v, want succeeded (deadline fires, p2 withdraws c3)", status)
+	}
+	// p2 retracted its 2x policy: the store is back to x+5, blevel 5.
+	if got := m.Store().Blevel(); got != 5 {
+		t.Fatalf("blevel = %v, want 5", got)
+	}
+}
+
+func TestParseTimeoutErrors(t *testing.T) {
+	cases := map[string]string{
+		"zero budget": `
+var x in 0..1.
+main :: timeout 0 ( success ) else ( success ).`,
+		"missing else": `
+var x in 0..1.
+main :: timeout 3 ( success ) ( success ).`,
+		"undeclared var in else": `
+var x in 0..1.
+main :: timeout 3 ( success ) else ( tell(q) -> success ).`,
+	}
+	for name, src := range cases {
+		if _, err := ParseAndCompile(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

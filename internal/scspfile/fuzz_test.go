@@ -1,0 +1,43 @@
+package scspfile
+
+import "testing"
+
+// FuzzParse checks the SCSP file parser never panics and that
+// accepted problems are well-formed enough to query.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		fig1Src,
+		"semiring fuzzy\nvar X { a }\ncon X\nc(X): a=0.5",
+		"semiring probabilistic\nvar X { a b c }\ncon X",
+		"semiring weighted\nvar X { a b }\ncon X\nc(X): a=inf b=3",
+		"semiring weighted\nvar X{a}\ncon X\nc(X",
+		"# nothing",
+		"semiring weighted\nvar X { a b }\nvar Y { a b }\ncon X Y\nc(X,Y): a,a=1",
+		"semiring weighted\nvar X { a }\ncon X\nc(X): a=-1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip()
+		}
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if p.Scsp == nil || p.SemiringName == "" {
+			t.Fatalf("accepted problem is malformed: %+v", p)
+		}
+		// Querying the blevel must not panic on any accepted problem
+		// (cap the joint size first).
+		size := 1
+		for _, v := range p.Scsp.Space().Variables() {
+			size *= len(p.Scsp.Space().Domain(v))
+			if size > 1<<12 {
+				t.Skip()
+			}
+		}
+		_ = p.Scsp.Blevel()
+	})
+}

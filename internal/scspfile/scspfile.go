@@ -1,0 +1,201 @@
+// Package scspfile parses the textual SCSP format consumed by
+// cmd/scspsolve. A problem file looks like:
+//
+//	semiring weighted
+//	var X { a b }
+//	var Y { a b }
+//	con X
+//	c1(X): a=1 b=9
+//	c2(X,Y): a,a=5 a,b=1 b,a=2 b,b=2
+//	c3(Y): a=5 b=5
+//
+// Lines starting with '#' are comments. Tuples not listed in a
+// constraint get the semiring One (no preference). Supported
+// semirings: weighted, fuzzy, probabilistic.
+package scspfile
+
+import (
+	"fmt"
+	"strings"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// Problem is a parsed SCSP file.
+type Problem struct {
+	// SemiringName is the declared semiring.
+	SemiringName string
+	// Scsp is the constructed problem.
+	Scsp *core.Problem[float64]
+}
+
+// Parse parses the file contents.
+func Parse(src string) (*Problem, error) {
+	var (
+		sr       semiring.Semiring[float64]
+		parser   semiring.ValueParser[float64]
+		srName   string
+		space    *core.Space[float64]
+		conVars  []core.Variable
+		cons     []*core.Constraint[float64]
+		seenCons = map[string]bool{}
+	)
+	pick := func(name string) error {
+		switch strings.ToLower(name) {
+		case "weighted":
+			w := semiring.Weighted{}
+			sr, parser, srName = w, w, "weighted"
+		case "fuzzy":
+			f := semiring.Fuzzy{}
+			sr, parser, srName = f, f, "fuzzy"
+		case "probabilistic":
+			p := semiring.Probabilistic{}
+			sr, parser, srName = p, p, "probabilistic"
+		default:
+			return fmt.Errorf("scspfile: unknown semiring %q", name)
+		}
+		space = core.NewSpace[float64](sr)
+		return nil
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("scspfile: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case fields[0] == "semiring":
+			if len(fields) != 2 {
+				return nil, errf("usage: semiring <name>")
+			}
+			if space != nil {
+				return nil, errf("semiring must be declared once, first")
+			}
+			if err := pick(fields[1]); err != nil {
+				return nil, errf("%v", err)
+			}
+		case fields[0] == "var":
+			if space == nil {
+				return nil, errf("declare the semiring before variables")
+			}
+			// var NAME { v1 v2 ... }
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "var"))
+			open := strings.Index(rest, "{")
+			close := strings.LastIndex(rest, "}")
+			if open < 0 || close < open {
+				return nil, errf("usage: var NAME { v1 v2 ... }")
+			}
+			name := strings.TrimSpace(rest[:open])
+			if name == "" {
+				return nil, errf("variable needs a name")
+			}
+			labels := strings.Fields(rest[open+1 : close])
+			if len(labels) == 0 {
+				return nil, errf("variable %q needs a non-empty domain", name)
+			}
+			if space.HasVariable(core.Variable(name)) {
+				return nil, errf("variable %q declared twice", name)
+			}
+			space.AddVariable(core.Variable(name), core.LabelDomain(labels...))
+		case fields[0] == "con":
+			if space == nil {
+				return nil, errf("declare the semiring before con")
+			}
+			for _, v := range fields[1:] {
+				if !space.HasVariable(core.Variable(v)) {
+					return nil, errf("con variable %q not declared", v)
+				}
+				conVars = append(conVars, core.Variable(v))
+			}
+		default:
+			// Constraint: name(V1,V2): t1=v t2=v ...
+			if space == nil {
+				return nil, errf("declare the semiring before constraints")
+			}
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				return nil, errf("unrecognised line %q", line)
+			}
+			head := strings.TrimSpace(line[:colon])
+			body := strings.TrimSpace(line[colon+1:])
+			op := strings.Index(head, "(")
+			cp := strings.LastIndex(head, ")")
+			if op < 0 || cp < op {
+				return nil, errf("constraint head %q needs (scope)", head)
+			}
+			cname := strings.TrimSpace(head[:op])
+			if seenCons[cname] {
+				return nil, errf("constraint %q declared twice", cname)
+			}
+			seenCons[cname] = true
+			var scope []core.Variable
+			seenScope := map[string]bool{}
+			for _, v := range strings.Split(head[op+1:cp], ",") {
+				v = strings.TrimSpace(v)
+				if v == "" {
+					continue
+				}
+				if !space.HasVariable(core.Variable(v)) {
+					return nil, errf("scope variable %q not declared", v)
+				}
+				if seenScope[v] {
+					return nil, errf("scope variable %q repeated in %q", v, cname)
+				}
+				seenScope[v] = true
+				scope = append(scope, core.Variable(v))
+			}
+			if len(scope) == 0 {
+				return nil, errf("constraint %q has empty scope", cname)
+			}
+			prefs := map[string]float64{}
+			for _, ent := range strings.Fields(body) {
+				eq := strings.LastIndex(ent, "=")
+				if eq < 0 {
+					return nil, errf("entry %q is not tuple=value", ent)
+				}
+				val, err := parser.ParseValue(ent[eq+1:])
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				key := normTuple(ent[:eq])
+				if _, dup := prefs[key]; dup {
+					return nil, errf("tuple %q listed twice", ent[:eq])
+				}
+				prefs[key] = val
+			}
+			sc := append([]core.Variable(nil), scope...)
+			cons = append(cons, core.NewConstraint(space, sc, func(a core.Assignment) float64 {
+				labels := make([]string, len(sc))
+				for i, v := range sc {
+					labels[i] = a.Label(v)
+				}
+				if v, ok := prefs[normTuple(strings.Join(labels, ","))]; ok {
+					return v
+				}
+				return sr.One()
+			}))
+		}
+	}
+	if space == nil {
+		return nil, fmt.Errorf("scspfile: no semiring declared")
+	}
+	if len(conVars) == 0 {
+		return nil, fmt.Errorf("scspfile: no con (variables of interest) declared")
+	}
+	p := core.NewProblem(space, conVars...)
+	p.Add(cons...)
+	return &Problem{SemiringName: srName, Scsp: p}, nil
+}
+
+func normTuple(t string) string {
+	parts := strings.Split(t, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,155 @@
+package scspfile
+
+import (
+	"strings"
+	"testing"
+
+	"softsoa/internal/solver"
+)
+
+// fig1Src is the paper's Fig. 1 problem in the file format.
+const fig1Src = `
+# Fig. 1 of the paper: a weighted CSP.
+semiring weighted
+var X { a b }
+var Y { a b }
+con X
+c1(X): a=1 b=9
+c2(X,Y): a,a=5 a,b=1 b,a=2 b,b=2
+c3(Y): a=5 b=5
+`
+
+func TestParseFig1(t *testing.T) {
+	p, err := Parse(fig1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SemiringName != "weighted" {
+		t.Errorf("semiring = %q", p.SemiringName)
+	}
+	res := solver.Exhaustive(p.Scsp)
+	if res.Blevel != 7 {
+		t.Errorf("blevel = %v, want 7", res.Blevel)
+	}
+	sol := p.Scsp.Sol()
+	if got := sol.AtLabels("a"); got != 7 {
+		t.Errorf("Sol⟨a⟩ = %v, want 7", got)
+	}
+	if got := sol.AtLabels("b"); got != 16 {
+		t.Errorf("Sol⟨b⟩ = %v, want 16", got)
+	}
+}
+
+func TestParseFuzzy(t *testing.T) {
+	src := `
+semiring fuzzy
+var X { lo hi }
+con X
+pref(X): lo=0.3 hi=0.9
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solver.Exhaustive(p.Scsp).Blevel; got != 0.9 {
+		t.Errorf("blevel = %v", got)
+	}
+}
+
+func TestUnlistedTuplesGetOne(t *testing.T) {
+	src := `
+semiring probabilistic
+var X { a b c }
+con X
+p(X): a=0.5
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solver.Exhaustive(p.Scsp).Blevel; got != 1 {
+		t.Errorf("blevel = %v, want 1 (unlisted b/c default to One)", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no semiring":          "var X { a }\ncon X",
+		"unknown semiring":     "semiring lexicographic\nvar X { a }\ncon X",
+		"semiring twice":       "semiring fuzzy\nsemiring fuzzy\nvar X { a }\ncon X",
+		"var before semiring":  "var X { a }\nsemiring fuzzy\ncon X",
+		"bad var line":         "semiring fuzzy\nvar X a b\ncon X",
+		"empty domain":         "semiring fuzzy\nvar X { }\ncon X",
+		"dup var":              "semiring fuzzy\nvar X { a }\nvar X { a }\ncon X",
+		"unknown con":          "semiring fuzzy\nvar X { a }\ncon Y",
+		"no con":               "semiring fuzzy\nvar X { a }",
+		"unknown scope":        "semiring fuzzy\nvar X { a }\ncon X\nc(Y): a=1",
+		"empty scope":          "semiring fuzzy\nvar X { a }\ncon X\nc(): a=1",
+		"bad entry":            "semiring fuzzy\nvar X { a }\ncon X\nc(X): a",
+		"bad value":            "semiring fuzzy\nvar X { a }\ncon X\nc(X): a=9",
+		"dup tuple":            "semiring fuzzy\nvar X { a }\ncon X\nc(X): a=0.5 a=0.6",
+		"dup constraint":       "semiring fuzzy\nvar X { a }\ncon X\nc(X): a=0.5\nc(X): a=0.5",
+		"no colon":             "semiring fuzzy\nvar X { a }\ncon X\nbogus line here",
+		"head without parens":  "semiring fuzzy\nvar X { a }\ncon X\nc: a=1",
+		"nameless var":         "semiring fuzzy\nvar { a }\ncon X",
+		"semiring usage":       "semiring\nvar X { a }\ncon X",
+		"con before semiring":  "con X\nsemiring fuzzy\nvar X { a }",
+		"cons before semiring": "c(X): a=1\nsemiring fuzzy\nvar X { a }\ncon X",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestWeightedInfValue(t *testing.T) {
+	src := `
+semiring weighted
+var X { a b }
+con X
+c(X): a=inf b=3
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := solver.Exhaustive(p.Scsp)
+	if res.Blevel != 3 {
+		t.Errorf("blevel = %v, want 3", res.Blevel)
+	}
+	if len(res.Best) != 1 || res.Best[0].Assignment.Label("X") != "b" {
+		t.Errorf("best = %+v", res.Best)
+	}
+}
+
+func TestTupleWhitespaceNormalisation(t *testing.T) {
+	// Tuples in binary constraints may not contain spaces (fields are
+	// whitespace-split), but labels are trimmed around commas.
+	src := strings.Join([]string{
+		"semiring fuzzy",
+		"var X { a }",
+		"var Y { b }",
+		"con X",
+		"c(X,Y): a,b=0.4",
+	}, "\n")
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solver.Exhaustive(p.Scsp).Blevel; got != 0.4 {
+		t.Errorf("blevel = %v, want 0.4", got)
+	}
+}
+
+func TestDuplicateScopeVariableRejected(t *testing.T) {
+	src := `
+semiring weighted
+var X { a b }
+con X
+c(X,X): a,a=1
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("duplicate scope variable must be a parse error, not a panic")
+	}
+}

@@ -1,0 +1,64 @@
+package semiring_test
+
+import (
+	"fmt"
+
+	"softsoa/internal/semiring"
+)
+
+// The weighted semiring models additive costs: combination adds,
+// optimisation takes the minimum, and division (the residual)
+// subtracts — the engine behind the paper's retract.
+func ExampleWeighted() {
+	w := semiring.Weighted{}
+	merged := w.Times(5, 2)               // combine two policies
+	fmt.Println("combined cost:", merged) // 7
+	fmt.Println("best of 7, 3:", w.Plus(7, 3))
+	fmt.Println("retract 2:", w.Div(merged, 2))
+	fmt.Println("2 better than 7:", w.Leq(7, 2))
+	// Output:
+	// combined cost: 7
+	// best of 7, 3: 3
+	// retract 2: 5
+	// 2 better than 7: true
+}
+
+// The fuzzy semiring models preference levels: a composition is only
+// as acceptable as its worst component.
+func ExampleFuzzy() {
+	f := semiring.Fuzzy{}
+	fmt.Println(f.Times(0.9, 0.4)) // min
+	fmt.Println(f.Plus(0.9, 0.4))  // max
+	// Output:
+	// 0.4
+	// 0.9
+}
+
+// Cartesian products give multi-criteria optimisation: pairs combine
+// componentwise and the order is the Pareto order, under which some
+// values are incomparable.
+func ExampleProduct() {
+	sr := semiring.NewProduct[float64, float64](semiring.Weighted{}, semiring.Probabilistic{})
+	cheapFlaky := semiring.P(2.0, 0.8)
+	dearSolid := semiring.P(8.0, 0.99)
+	fmt.Println("comparable:", semiring.Comparable(sr, cheapFlaky, dearSolid))
+	combined := sr.Times(cheapFlaky, dearSolid)
+	fmt.Println("combined:", sr.Format(combined))
+	// Output:
+	// comparable: false
+	// combined: ⟨10,0.792⟩
+}
+
+// The set-based semiring models capabilities: combination intersects
+// (a composition guarantees only what every component offers) and the
+// order is inclusion.
+func ExampleSet() {
+	s := semiring.NewSet("http-auth", "gzip", "tls13")
+	a := s.MustValue("http-auth", "gzip")
+	b := s.MustValue("http-auth", "tls13")
+	fmt.Println(s.Format(s.Times(a, b)))
+	fmt.Println(s.Leq(s.MustValue("http-auth"), a))
+	// Output:
+	// {http-auth}
+	// true
+}

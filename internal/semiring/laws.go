@@ -1,0 +1,154 @@
+package semiring
+
+// Reporter is the subset of *testing.T used by the law checkers, so
+// that property tests in any package can validate a semiring instance
+// without this package importing testing.
+type Reporter interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckLaws verifies every absorptive-c-semiring axiom on all
+// combinations drawn from samples: commutativity, associativity and
+// idempotence of +, its unit 0 and absorbing element 1; commutativity
+// and associativity of ×, its unit 1 and absorbing element 0;
+// distributivity of × over +; monotonicity of both operations; and
+// the lattice characterisation of Plus as least upper bound. Samples
+// should include Zero and One; CheckLaws adds them if absent.
+func CheckLaws[T any](t Reporter, s Semiring[T], samples []T) {
+	t.Helper()
+	vs := withBounds(s, samples)
+
+	zero, one := s.Zero(), s.One()
+	for _, a := range vs {
+		if !s.Eq(s.Plus(a, zero), a) {
+			t.Errorf("%s: 0 not unit of +: %s + 0 = %s", s.Name(), s.Format(a), s.Format(s.Plus(a, zero)))
+		}
+		if !s.Eq(s.Plus(a, one), one) {
+			t.Errorf("%s: 1 not absorbing for +: %s + 1 = %s", s.Name(), s.Format(a), s.Format(s.Plus(a, one)))
+		}
+		if !s.Eq(s.Times(a, one), a) {
+			t.Errorf("%s: 1 not unit of ×: %s × 1 = %s", s.Name(), s.Format(a), s.Format(s.Times(a, one)))
+		}
+		if !s.Eq(s.Times(a, zero), zero) {
+			t.Errorf("%s: 0 not absorbing for ×: %s × 0 = %s", s.Name(), s.Format(a), s.Format(s.Times(a, zero)))
+		}
+		if !s.Eq(s.Plus(a, a), a) {
+			t.Errorf("%s: + not idempotent at %s", s.Name(), s.Format(a))
+		}
+		if !s.Leq(zero, a) || !s.Leq(a, one) {
+			t.Errorf("%s: %s not between 0 and 1 in the order", s.Name(), s.Format(a))
+		}
+	}
+
+	for _, a := range vs {
+		for _, b := range vs {
+			if !s.Eq(s.Plus(a, b), s.Plus(b, a)) {
+				t.Errorf("%s: + not commutative on (%s,%s)", s.Name(), s.Format(a), s.Format(b))
+			}
+			if !s.Eq(s.Times(a, b), s.Times(b, a)) {
+				t.Errorf("%s: × not commutative on (%s,%s)", s.Name(), s.Format(a), s.Format(b))
+			}
+			// Plus is the lub: a ≤ a+b, b ≤ a+b, and a+b is below any
+			// common upper bound (checked in the triple loop).
+			if !s.Leq(a, s.Plus(a, b)) || !s.Leq(b, s.Plus(a, b)) {
+				t.Errorf("%s: a+b not an upper bound of (%s,%s)", s.Name(), s.Format(a), s.Format(b))
+			}
+			// × is intensive: combining can only worsen.
+			if !s.Leq(s.Times(a, b), a) {
+				t.Errorf("%s: × not intensive: %s × %s = %s ≰ %s",
+					s.Name(), s.Format(a), s.Format(b), s.Format(s.Times(a, b)), s.Format(a))
+			}
+			// Order characterisation: a ≤ b ⇔ a+b = b.
+			if s.Leq(a, b) != s.Eq(s.Plus(a, b), b) {
+				t.Errorf("%s: Leq(%s,%s) inconsistent with a+b=b", s.Name(), s.Format(a), s.Format(b))
+			}
+		}
+	}
+
+	for _, a := range vs {
+		for _, b := range vs {
+			for _, c := range vs {
+				if !s.Eq(s.Plus(s.Plus(a, b), c), s.Plus(a, s.Plus(b, c))) {
+					t.Errorf("%s: + not associative on (%s,%s,%s)", s.Name(), s.Format(a), s.Format(b), s.Format(c))
+				}
+				if !s.Eq(s.Times(s.Times(a, b), c), s.Times(a, s.Times(b, c))) {
+					t.Errorf("%s: × not associative on (%s,%s,%s)", s.Name(), s.Format(a), s.Format(b), s.Format(c))
+				}
+				if !s.Eq(s.Times(a, s.Plus(b, c)), s.Plus(s.Times(a, b), s.Times(a, c))) {
+					t.Errorf("%s: × does not distribute over + on (%s,%s,%s)",
+						s.Name(), s.Format(a), s.Format(b), s.Format(c))
+				}
+				// Monotonicity: b ≤ c ⇒ a+b ≤ a+c and a×b ≤ a×c.
+				if s.Leq(b, c) {
+					if !s.Leq(s.Plus(a, b), s.Plus(a, c)) {
+						t.Errorf("%s: + not monotone on (%s,%s,%s)", s.Name(), s.Format(a), s.Format(b), s.Format(c))
+					}
+					if !s.Leq(s.Times(a, b), s.Times(a, c)) {
+						t.Errorf("%s: × not monotone on (%s,%s,%s)", s.Name(), s.Format(a), s.Format(b), s.Format(c))
+					}
+				}
+				// lub minimality: if a ≤ c and b ≤ c then a+b ≤ c.
+				if s.Leq(a, c) && s.Leq(b, c) && !s.Leq(s.Plus(a, b), c) {
+					t.Errorf("%s: a+b not least upper bound on (%s,%s,%s)",
+						s.Name(), s.Format(a), s.Format(b), s.Format(c))
+				}
+			}
+		}
+	}
+}
+
+// CheckResiduation verifies that Div is the residual of Times on all
+// pairs from samples: (i) b × (a ÷ b) ≤ a, and (ii) for every sample
+// x, b × x ≤ a implies x ≤ a ÷ b (maximality, checked against the
+// sample set). For invertible pairs (b ≥ a) it additionally checks
+// b × (a ÷ b) = a on totally ordered instances where the paper's
+// invertibility property holds.
+func CheckResiduation[T any](t Reporter, s Semiring[T], samples []T, invertible bool) {
+	t.Helper()
+	vs := withBounds(s, samples)
+	for _, a := range vs {
+		for _, b := range vs {
+			d := s.Div(a, b)
+			if !s.Leq(s.Times(b, d), a) {
+				t.Errorf("%s: residual unsound: %s × (%s ÷ %s = %s) = %s ≰ %s",
+					s.Name(), s.Format(b), s.Format(a), s.Format(b), s.Format(d),
+					s.Format(s.Times(b, d)), s.Format(a))
+			}
+			for _, x := range vs {
+				if s.Leq(s.Times(b, x), a) && !s.Leq(x, d) {
+					t.Errorf("%s: residual not maximal: %s × %s ≤ %s but %s ≰ %s ÷ %s = %s",
+						s.Name(), s.Format(b), s.Format(x), s.Format(a),
+						s.Format(x), s.Format(a), s.Format(b), s.Format(d))
+				}
+			}
+			if invertible && s.Leq(a, b) {
+				if !s.Eq(s.Times(b, d), a) {
+					t.Errorf("%s: not invertible by residuation: %s × (%s ÷ %s) = %s, want %s",
+						s.Name(), s.Format(b), s.Format(a), s.Format(b),
+						s.Format(s.Times(b, d)), s.Format(a))
+				}
+			}
+		}
+	}
+}
+
+func withBounds[T any](s Semiring[T], samples []T) []T {
+	vs := append([]T(nil), samples...)
+	hasZero, hasOne := false, false
+	for _, v := range vs {
+		if s.Eq(v, s.Zero()) {
+			hasZero = true
+		}
+		if s.Eq(v, s.One()) {
+			hasOne = true
+		}
+	}
+	if !hasZero {
+		vs = append(vs, s.Zero())
+	}
+	if !hasOne {
+		vs = append(vs, s.One())
+	}
+	return vs
+}

@@ -1,0 +1,330 @@
+package semiring
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Weighted is the weighted semiring ⟨ℝ⁺∪{+∞}, min, +, +∞, 0⟩ of the
+// paper (Sec. 4). Values are costs to be minimised: hours, euros,
+// downtime. The induced order is the reverse of the numeric order —
+// smaller costs are better — so Leq(a, b) holds when b ≤ a
+// numerically.
+type Weighted struct{}
+
+var (
+	_ Semiring[float64]    = Weighted{}
+	_ ValueParser[float64] = Weighted{}
+)
+
+// Name implements Semiring.
+func (Weighted) Name() string { return "weighted" }
+
+// Zero returns +∞, the totally unacceptable (infinite) cost.
+func (Weighted) Zero() float64 { return math.Inf(1) }
+
+// One returns 0, the perfect (free) cost.
+func (Weighted) One() float64 { return 0 }
+
+// Plus returns min(a, b): the better (cheaper) of two costs.
+func (Weighted) Plus(a, b float64) float64 { return math.Min(a, b) }
+
+// Times returns a + b: costs accumulate.
+func (Weighted) Times(a, b float64) float64 {
+	// +∞ must absorb even against a hypothetical -∞; plain addition
+	// already yields +∞ for +∞ + finite.
+	return a + b
+}
+
+// Div returns the residual max{x : b + x ≥ a} in the cost order,
+// which is the truncated difference max(a-b, 0), with ∞ ÷ finite = ∞
+// and a ÷ ∞ = 0 (the One of the semiring).
+func (w Weighted) Div(a, b float64) float64 {
+	switch {
+	case math.IsInf(b, 1):
+		// Any x satisfies ∞ + x ≤ a in the semiring order is false
+		// unless a = ∞; the residual set is {x : ∞ ≤num a+...}; by the
+		// residuation definition the set {x : b×x ≤S a} is all of A
+		// when b = 0S, so its maximum is 1S = 0.
+		return w.One()
+	case math.IsInf(a, 1):
+		return w.Zero()
+	case a > b:
+		return a - b
+	default:
+		return 0
+	}
+}
+
+// Eq implements Semiring.
+func (Weighted) Eq(a, b float64) bool { return a == b }
+
+// Leq reports a ≤S b, i.e. b is a smaller-or-equal cost.
+func (Weighted) Leq(a, b float64) bool { return b <= a }
+
+// Format implements Semiring.
+func (Weighted) Format(v float64) string { return formatFloat(v) }
+
+// ParseValue implements ValueParser. "inf" and "zero" parse to +∞.
+func (w Weighted) ParseValue(text string) (float64, error) {
+	switch strings.ToLower(strings.TrimSpace(text)) {
+	case "inf", "+inf", "infinity", "zero", "bot":
+		return w.Zero(), nil
+	case "one", "top":
+		return w.One(), nil
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+	if err != nil {
+		return 0, fmt.Errorf("weighted: parse %q: %w", text, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("weighted: value %v outside [0, +inf]", v)
+	}
+	return v, nil
+}
+
+// BoundedWeighted is the saturating variant ⟨[0,K], min, +ₖ, K, 0⟩
+// where a +ₖ b = min(a+b, K). It models budgets with a hard cap: any
+// cost at or above K is equally unacceptable. It remains an
+// absorptive semiring because + distributes over min and K absorbs.
+type BoundedWeighted struct {
+	// Bound is the saturation cap K. The zero value of the struct is
+	// not usable; construct with NewBoundedWeighted.
+	Bound float64
+}
+
+// NewBoundedWeighted returns the saturating weighted semiring with cap
+// bound. It panics if bound is not a positive finite number, since a
+// semiring with an empty or degenerate carrier is meaningless.
+func NewBoundedWeighted(bound float64) BoundedWeighted {
+	if !(bound > 0) || math.IsInf(bound, 1) {
+		panic(fmt.Sprintf("semiring: invalid BoundedWeighted bound %v", bound))
+	}
+	return BoundedWeighted{Bound: bound}
+}
+
+var (
+	_ Semiring[float64]    = BoundedWeighted{}
+	_ ValueParser[float64] = BoundedWeighted{}
+)
+
+// Name implements Semiring.
+func (s BoundedWeighted) Name() string {
+	return fmt.Sprintf("weighted[0,%s]", formatFloat(s.Bound))
+}
+
+// Zero returns the cap K.
+func (s BoundedWeighted) Zero() float64 { return s.Bound }
+
+// One returns 0.
+func (BoundedWeighted) One() float64 { return 0 }
+
+// Plus returns min(a, b).
+func (BoundedWeighted) Plus(a, b float64) float64 { return math.Min(a, b) }
+
+// Times returns min(a+b, K).
+func (s BoundedWeighted) Times(a, b float64) float64 { return math.Min(a+b, s.Bound) }
+
+// Div returns the truncated difference max(a-b, 0): the semiring-
+// maximal (numerically minimal) x with min(b+x, K) ≥ a.
+func (s BoundedWeighted) Div(a, b float64) float64 {
+	if a > b {
+		return math.Min(a-b, s.Bound)
+	}
+	return 0
+}
+
+// Eq implements Semiring.
+func (BoundedWeighted) Eq(a, b float64) bool { return a == b }
+
+// Leq reports a ≤S b (b is a smaller cost).
+func (BoundedWeighted) Leq(a, b float64) bool { return b <= a }
+
+// Format implements Semiring.
+func (BoundedWeighted) Format(v float64) string { return formatFloat(v) }
+
+// ParseValue implements ValueParser, clamping to [0, K].
+func (s BoundedWeighted) ParseValue(text string) (float64, error) {
+	v, err := Weighted{}.ParseValue(text)
+	if err != nil {
+		return 0, err
+	}
+	return math.Min(v, s.Bound), nil
+}
+
+// Fuzzy is the fuzzy semiring ⟨[0,1], max, min, 0, 1⟩ (Sec. 4). It
+// models concave metrics where a composition is only as good as its
+// worst component: qualitative reliability levels, preference grades.
+type Fuzzy struct{}
+
+var (
+	_ Semiring[float64]    = Fuzzy{}
+	_ ValueParser[float64] = Fuzzy{}
+)
+
+// Name implements Semiring.
+func (Fuzzy) Name() string { return "fuzzy" }
+
+// Zero implements Semiring.
+func (Fuzzy) Zero() float64 { return 0 }
+
+// One implements Semiring.
+func (Fuzzy) One() float64 { return 1 }
+
+// Plus returns max(a, b).
+func (Fuzzy) Plus(a, b float64) float64 { return math.Max(a, b) }
+
+// Times returns min(a, b).
+func (Fuzzy) Times(a, b float64) float64 { return math.Min(a, b) }
+
+// Div returns 1 when b ≤ a (dividing out something no better than a
+// imposes no limit) and a otherwise.
+func (Fuzzy) Div(a, b float64) float64 {
+	if b <= a {
+		return 1
+	}
+	return a
+}
+
+// Eq implements Semiring.
+func (Fuzzy) Eq(a, b float64) bool { return a == b }
+
+// Leq is the numeric order: higher preference is better.
+func (Fuzzy) Leq(a, b float64) bool { return a <= b }
+
+// Format implements Semiring.
+func (Fuzzy) Format(v float64) string { return formatFloat(v) }
+
+// ParseValue implements ValueParser, requiring values in [0,1].
+func (Fuzzy) ParseValue(text string) (float64, error) {
+	return parseUnit("fuzzy", text)
+}
+
+// Probabilistic is the probabilistic semiring ⟨[0,1], max, ×, 0, 1⟩
+// (Sec. 4). It models multiplicative metrics: the probability that a
+// composed service behaves correctly is the product of its
+// components' success probabilities, and the best composition
+// maximises that product.
+type Probabilistic struct{}
+
+var (
+	_ Semiring[float64]    = Probabilistic{}
+	_ ValueParser[float64] = Probabilistic{}
+)
+
+// Name implements Semiring.
+func (Probabilistic) Name() string { return "probabilistic" }
+
+// Zero implements Semiring.
+func (Probabilistic) Zero() float64 { return 0 }
+
+// One implements Semiring.
+func (Probabilistic) One() float64 { return 1 }
+
+// Plus returns max(a, b).
+func (Probabilistic) Plus(a, b float64) float64 { return math.Max(a, b) }
+
+// Times returns a × b.
+func (Probabilistic) Times(a, b float64) float64 { return a * b }
+
+// Div returns min(1, a/b), with a ÷ 0 = 1 (the residual set is the
+// whole carrier when b = 0).
+func (Probabilistic) Div(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return math.Min(1, a/b)
+}
+
+// Eq implements Semiring.
+func (Probabilistic) Eq(a, b float64) bool { return a == b }
+
+// Leq is the numeric order: higher probability is better.
+func (Probabilistic) Leq(a, b float64) bool { return a <= b }
+
+// Format implements Semiring.
+func (Probabilistic) Format(v float64) string { return formatFloat(v) }
+
+// ParseValue implements ValueParser, requiring values in [0,1].
+func (Probabilistic) ParseValue(text string) (float64, error) {
+	return parseUnit("probabilistic", text)
+}
+
+// Classical is the boolean semiring ⟨{false,true}, ∨, ∧, false, true⟩
+// used to cast crisp constraints into the soft framework (Sec. 4):
+// integrity policies, feature entailment, hard feasibility checks.
+type Classical struct{}
+
+var (
+	_ Semiring[bool]    = Classical{}
+	_ ValueParser[bool] = Classical{}
+)
+
+// Name implements Semiring.
+func (Classical) Name() string { return "classical" }
+
+// Zero implements Semiring.
+func (Classical) Zero() bool { return false }
+
+// One implements Semiring.
+func (Classical) One() bool { return true }
+
+// Plus returns a ∨ b.
+func (Classical) Plus(a, b bool) bool { return a || b }
+
+// Times returns a ∧ b.
+func (Classical) Times(a, b bool) bool { return a && b }
+
+// Div returns a ∨ ¬b, the maximal x with b ∧ x → a.
+func (Classical) Div(a, b bool) bool { return a || !b }
+
+// Eq implements Semiring.
+func (Classical) Eq(a, b bool) bool { return a == b }
+
+// Leq is logical implication: false ≤ true.
+func (Classical) Leq(a, b bool) bool { return !a || b }
+
+// Format implements Semiring.
+func (Classical) Format(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+// ParseValue implements ValueParser.
+func (Classical) ParseValue(text string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(text)) {
+	case "true", "t", "1", "one", "top":
+		return true, nil
+	case "false", "f", "0", "zero", "bot":
+		return false, nil
+	}
+	return false, fmt.Errorf("classical: parse %q: not a boolean", text)
+}
+
+func parseUnit(name, text string) (float64, error) {
+	switch strings.ToLower(strings.TrimSpace(text)) {
+	case "zero", "bot":
+		return 0, nil
+	case "one", "top":
+		return 1, nil
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: parse %q: %w", name, text, err)
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("%s: value %v outside [0,1]", name, v)
+	}
+	return v, nil
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,78 @@
+package semiring
+
+import "fmt"
+
+// Pair is a value of a Cartesian product semiring.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// P is a convenience constructor for Pair literals.
+func P[A, B any](a A, b B) Pair[A, B] { return Pair[A, B]{First: a, Second: b} }
+
+// Product is the Cartesian product of two c-semirings, itself a
+// c-semiring (Sec. 4: "the cartesian product of multiple c-semirings
+// is still a c-semiring"). It supports multi-criteria optimisation —
+// e.g. cost × reliability — under the componentwise partial order, in
+// which incomparable solutions form a Pareto frontier.
+type Product[A, B any] struct {
+	// A and B are the component semirings. The zero value is
+	// unusable; construct with NewProduct.
+	A Semiring[A]
+	B Semiring[B]
+}
+
+// NewProduct returns the Cartesian product of a and b. It panics on a
+// nil component, since every operation would be undefined.
+func NewProduct[A, B any](a Semiring[A], b Semiring[B]) Product[A, B] {
+	if a == nil || b == nil {
+		panic("semiring: NewProduct with nil component")
+	}
+	return Product[A, B]{A: a, B: b}
+}
+
+// Name implements Semiring.
+func (s Product[A, B]) Name() string {
+	return fmt.Sprintf("%s×%s", s.A.Name(), s.B.Name())
+}
+
+// Zero implements Semiring.
+func (s Product[A, B]) Zero() Pair[A, B] { return P(s.A.Zero(), s.B.Zero()) }
+
+// One implements Semiring.
+func (s Product[A, B]) One() Pair[A, B] { return P(s.A.One(), s.B.One()) }
+
+// Plus is componentwise.
+func (s Product[A, B]) Plus(a, b Pair[A, B]) Pair[A, B] {
+	return P(s.A.Plus(a.First, b.First), s.B.Plus(a.Second, b.Second))
+}
+
+// Times is componentwise.
+func (s Product[A, B]) Times(a, b Pair[A, B]) Pair[A, B] {
+	return P(s.A.Times(a.First, b.First), s.B.Times(a.Second, b.Second))
+}
+
+// Div is componentwise; the componentwise residual is the residual of
+// the product order.
+func (s Product[A, B]) Div(a, b Pair[A, B]) Pair[A, B] {
+	return P(s.A.Div(a.First, b.First), s.B.Div(a.Second, b.Second))
+}
+
+// Eq is componentwise.
+func (s Product[A, B]) Eq(a, b Pair[A, B]) bool {
+	return s.A.Eq(a.First, b.First) && s.B.Eq(a.Second, b.Second)
+}
+
+// Leq is the componentwise (Pareto) order: a ≤ b iff both components
+// are ≤. This order is partial even when the components are total.
+func (s Product[A, B]) Leq(a, b Pair[A, B]) bool {
+	return s.A.Leq(a.First, b.First) && s.B.Leq(a.Second, b.Second)
+}
+
+// Format implements Semiring.
+func (s Product[A, B]) Format(v Pair[A, B]) string {
+	return fmt.Sprintf("⟨%s,%s⟩", s.A.Format(v.First), s.B.Format(v.Second))
+}
+
+var _ Semiring[Pair[float64, bool]] = Product[float64, bool]{A: Weighted{}, B: Classical{}}

@@ -1,0 +1,107 @@
+// Package semiring implements absorptive c-semirings, the algebraic
+// structure underlying semiring-based soft constraints (Bistarelli,
+// Montanari, Rossi, J.ACM 1997; Bistarelli & Santini, DSN 2008).
+//
+// An absorptive semiring is a tuple ⟨A, +, ×, 0, 1⟩ where + is
+// commutative, associative, idempotent, with unit 0 and absorbing
+// element 1; × is commutative, associative, distributes over +, has
+// unit 1 and absorbing element 0. The induced relation a ≤ b iff
+// a + b = b is a partial order with minimum 0 and maximum 1; a ≤ b is
+// read "b is better than a". All instances in this package are
+// complete and therefore residuated: the division a ÷ b is the maximal
+// x such that b × x ≤ a (Bistarelli & Gadducci, ECAI 2006), which is
+// the weak inverse of × used to retract constraints from a store.
+//
+// The package provides the instances used in the paper — Weighted,
+// Fuzzy, Probabilistic, Classical (boolean) and Set-based — together
+// with the Cartesian product construction for multi-criteria
+// optimisation and a saturating bounded-weighted instance.
+package semiring
+
+// Semiring is an absorptive, complete (hence residuated) c-semiring
+// over the value type T. Implementations must be stateless value
+// types: all methods must be safe for concurrent use.
+type Semiring[T any] interface {
+	// Name identifies the instance (e.g. "weighted", "fuzzy").
+	Name() string
+
+	// Zero returns the bottom element: the unit of Plus and the
+	// absorbing element of Times. It denotes total unacceptability.
+	Zero() T
+
+	// One returns the top element: the unit of Times and the
+	// absorbing element of Plus. It denotes total acceptability.
+	One() T
+
+	// Plus is the additive operation. It is commutative, associative
+	// and idempotent, and computes the least upper bound of its
+	// arguments in the induced order.
+	Plus(a, b T) T
+
+	// Times is the multiplicative (combination) operation. It is
+	// commutative, associative, distributes over Plus, and is
+	// monotone: combining more constraints can only produce a worse
+	// (lower) value.
+	Times(a, b T) T
+
+	// Div is the residual of Times: Div(a, b) is the maximal x such
+	// that Times(b, x) ≤ a. It is total; when b ≤ a it satisfies
+	// Times(b, Div(a, b)) = a for the invertible instances.
+	Div(a, b T) T
+
+	// Eq reports whether two values are the same semiring element.
+	Eq(a, b T) bool
+
+	// Leq reports a ≤ b in the induced order (b is at least as good
+	// as a). Equivalent to Eq(Plus(a, b), b).
+	Leq(a, b T) bool
+
+	// Format renders a value for human consumption.
+	Format(v T) string
+}
+
+// Lt reports a < b: a ≤ b and a ≠ b.
+func Lt[T any](s Semiring[T], a, b T) bool {
+	return s.Leq(a, b) && !s.Eq(a, b)
+}
+
+// Gt reports a > b: b ≤ a and a ≠ b.
+func Gt[T any](s Semiring[T], a, b T) bool {
+	return s.Leq(b, a) && !s.Eq(a, b)
+}
+
+// Comparable reports whether a and b are ordered either way. In
+// totally ordered instances it is always true; in Cartesian products
+// the order is partial and incomparable pairs exist.
+func Comparable[T any](s Semiring[T], a, b T) bool {
+	return s.Leq(a, b) || s.Leq(b, a)
+}
+
+// Lub folds Plus over vs, returning the least upper bound. The least
+// upper bound of no values is Zero.
+func Lub[T any](s Semiring[T], vs ...T) T {
+	acc := s.Zero()
+	for _, v := range vs {
+		acc = s.Plus(acc, v)
+	}
+	return acc
+}
+
+// Prod folds Times over vs. The product of no values is One.
+func Prod[T any](s Semiring[T], vs ...T) T {
+	acc := s.One()
+	for _, v := range vs {
+		acc = s.Times(acc, v)
+	}
+	return acc
+}
+
+// ValueParser is implemented by semirings whose values have a textual
+// form, enabling the nmsccp surface syntax and the scspsolve file
+// format to parse literals.
+type ValueParser[T any] interface {
+	// ParseValue parses the textual form of a semiring value. The
+	// strings "0"/"zero"/"bot" and "1"/"one"/"top" need not map to the
+	// numerals 0 and 1: each instance maps them to its own Zero/One.
+	ParseValue(text string) (T, error)
+}

@@ -1,0 +1,437 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var weightedSamples = []float64{0, 1, 2, 3, 5, 7.5, 11, 100, math.Inf(1)}
+var unitSamples = []float64{0, 0.1, 0.25, 0.5, 0.5, 0.8, 0.96, 1}
+
+func TestWeightedLaws(t *testing.T) {
+	CheckLaws[float64](t, Weighted{}, weightedSamples)
+	CheckResiduation[float64](t, Weighted{}, weightedSamples, true)
+}
+
+func TestBoundedWeightedLaws(t *testing.T) {
+	s := NewBoundedWeighted(50)
+	samples := []float64{0, 1, 2, 10, 25, 49, 50}
+	CheckLaws[float64](t, s, samples)
+	CheckResiduation[float64](t, s, samples, false)
+}
+
+func TestFuzzyLaws(t *testing.T) {
+	CheckLaws[float64](t, Fuzzy{}, unitSamples)
+	CheckResiduation[float64](t, Fuzzy{}, unitSamples, true)
+}
+
+func TestProbabilisticLaws(t *testing.T) {
+	// Probabilistic × is floating-point multiplication, which is not
+	// exactly associative; use dyadic rationals so products are exact.
+	samples := []float64{0, 0.125, 0.25, 0.5, 0.75, 1}
+	CheckLaws[float64](t, Probabilistic{}, samples)
+	CheckResiduation[float64](t, Probabilistic{}, samples, true)
+}
+
+func TestClassicalLaws(t *testing.T) {
+	CheckLaws[bool](t, Classical{}, []bool{false, true})
+	CheckResiduation[bool](t, Classical{}, []bool{false, true}, true)
+}
+
+func TestSetLaws(t *testing.T) {
+	s := NewSet("read", "write", "exec", "admin")
+	samples := []Bitset{
+		0,
+		s.MustValue("read"),
+		s.MustValue("write", "exec"),
+		s.MustValue("read", "admin"),
+		s.One(),
+	}
+	CheckLaws[Bitset](t, s, samples)
+	CheckResiduation[Bitset](t, s, samples, true)
+}
+
+func TestProductLaws(t *testing.T) {
+	s := NewProduct[float64, float64](Weighted{}, Fuzzy{})
+	var samples []Pair[float64, float64]
+	for _, w := range []float64{0, 2, 5, math.Inf(1)} {
+		for _, f := range []float64{0, 0.5, 1} {
+			samples = append(samples, P(w, f))
+		}
+	}
+	CheckLaws[Pair[float64, float64]](t, s, samples)
+	CheckResiduation[Pair[float64, float64]](t, s, samples, true)
+}
+
+func TestTripleProductLaws(t *testing.T) {
+	// Products nest: (weighted × fuzzy) × classical.
+	inner := NewProduct[float64, float64](Weighted{}, Fuzzy{})
+	s := NewProduct[Pair[float64, float64], bool](inner, Classical{})
+	var samples []Pair[Pair[float64, float64], bool]
+	for _, w := range []float64{0, 3, math.Inf(1)} {
+		for _, f := range []float64{0, 0.5, 1} {
+			for _, b := range []bool{false, true} {
+				samples = append(samples, P(P(w, f), b))
+			}
+		}
+	}
+	CheckLaws(t, s, samples)
+	CheckResiduation(t, s, samples, true)
+}
+
+func TestWeightedOrderIsReversedNumeric(t *testing.T) {
+	s := Weighted{}
+	if !s.Leq(5, 2) {
+		t.Fatal("weighted: 5 ≤S 2 should hold (cost 2 is better)")
+	}
+	if s.Leq(2, 5) {
+		t.Fatal("weighted: 2 ≤S 5 should not hold")
+	}
+	if !Lt[float64](s, 5, 2) || Lt[float64](s, 2, 2) {
+		t.Fatal("weighted: strict order wrong")
+	}
+}
+
+func TestWeightedDiv(t *testing.T) {
+	s := Weighted{}
+	cases := []struct{ a, b, want float64 }{
+		{7, 3, 4},
+		{3, 7, 0},
+		{3, 3, 0},
+		{math.Inf(1), 3, math.Inf(1)},
+		{3, math.Inf(1), 0},
+		{math.Inf(1), math.Inf(1), 0},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := s.Div(c.a, c.b); got != c.want {
+			t.Errorf("weighted: %v ÷ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFuzzyDiv(t *testing.T) {
+	s := Fuzzy{}
+	if got := s.Div(0.3, 0.2); got != 1 {
+		t.Errorf("fuzzy: 0.3 ÷ 0.2 = %v, want 1", got)
+	}
+	if got := s.Div(0.2, 0.7); got != 0.2 {
+		t.Errorf("fuzzy: 0.2 ÷ 0.7 = %v, want 0.2", got)
+	}
+}
+
+func TestProbabilisticDiv(t *testing.T) {
+	s := Probabilistic{}
+	if got := s.Div(0.25, 0.5); got != 0.5 {
+		t.Errorf("probabilistic: 0.25 ÷ 0.5 = %v, want 0.5", got)
+	}
+	if got := s.Div(0.5, 0.25); got != 1 {
+		t.Errorf("probabilistic: 0.5 ÷ 0.25 = %v, want 1", got)
+	}
+	if got := s.Div(0.5, 0); got != 1 {
+		t.Errorf("probabilistic: 0.5 ÷ 0 = %v, want 1", got)
+	}
+}
+
+func TestQuickWeightedResidual(t *testing.T) {
+	s := Weighted{}
+	f := func(ai, bi uint16) bool {
+		a, b := float64(ai), float64(bi)
+		d := s.Div(a, b)
+		// Soundness of the residual on arbitrary non-negative values.
+		return s.Leq(s.Times(b, d), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFuzzyLattice(t *testing.T) {
+	s := Fuzzy{}
+	gen := func(r *rand.Rand) float64 { return float64(r.Intn(1001)) / 1000 }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		lub := s.Plus(a, b)
+		if !s.Leq(a, lub) || !s.Leq(b, lub) {
+			return false
+		}
+		if s.Leq(a, c) && s.Leq(b, c) && !s.Leq(lub, c) {
+			return false
+		}
+		// Distributivity of min over max.
+		return s.Eq(s.Times(c, s.Plus(a, b)), s.Plus(s.Times(c, a), s.Times(c, b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetAlgebra(t *testing.T) {
+	s := NewSet("a", "b", "c", "d", "e", "f", "g", "h")
+	f := func(ar, br, cr uint8) bool {
+		a, b, c := Bitset(ar), Bitset(br), Bitset(cr)
+		if !s.Eq(s.Times(a, s.Plus(b, c)), s.Plus(s.Times(a, b), s.Times(a, c))) {
+			return false
+		}
+		d := s.Div(a, b)
+		if !s.Leq(s.Times(b, d), a) {
+			return false
+		}
+		// De-Morgan-flavoured sanity: dividing by the universe yields a.
+		return s.Eq(s.Div(a, s.One()), a&s.One())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProductPareto(t *testing.T) {
+	s := NewProduct[float64, float64](Weighted{}, Probabilistic{})
+	f := func(w1, w2 uint8, p1, p2 uint8) bool {
+		a := P(float64(w1), float64(p1)/255)
+		b := P(float64(w2), float64(p2)/255)
+		lub := s.Plus(a, b)
+		return s.Leq(a, lub) && s.Leq(b, lub)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProductIncomparable(t *testing.T) {
+	s := NewProduct[float64, float64](Weighted{}, Fuzzy{})
+	a := P(2.0, 0.3) // cheaper, less preferred
+	b := P(5.0, 0.9) // dearer, more preferred
+	if Comparable(s, a, b) {
+		t.Fatal("expected Pareto-incomparable pair")
+	}
+	if !Comparable(s, a, a) {
+		t.Fatal("a value must be comparable with itself")
+	}
+}
+
+func TestLubProdHelpers(t *testing.T) {
+	w := Weighted{}
+	if got := Lub[float64](w, 5, 3, 9); got != 3 {
+		t.Errorf("Lub = %v, want 3 (min cost)", got)
+	}
+	if got := Prod[float64](w, 5, 3, 9); got != 17 {
+		t.Errorf("Prod = %v, want 17", got)
+	}
+	if got := Lub[float64](w); !math.IsInf(got, 1) {
+		t.Errorf("empty Lub = %v, want +inf", got)
+	}
+	if got := Prod[float64](w); got != 0 {
+		t.Errorf("empty Prod = %v, want 0", got)
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := BitsetOf(0, 3, 5)
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if !b.Contains(3) || b.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if got := b.With(2).Without(0); got != BitsetOf(2, 3, 5) {
+		t.Fatalf("With/Without = %v", got.Elems())
+	}
+	want := []int{0, 3, 5}
+	got := b.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+	if !BitsetOf(3).SubsetOf(b) || b.SubsetOf(BitsetOf(3)) {
+		t.Fatal("SubsetOf wrong")
+	}
+}
+
+func TestSetFormatAndParse(t *testing.T) {
+	s := NewSet("read", "write", "exec")
+	v := s.MustValue("exec", "read")
+	if got := s.Format(v); got != "{exec,read}" {
+		t.Errorf("Format = %q", got)
+	}
+	parsed, err := s.ParseValue("{read, exec}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != v {
+		t.Errorf("ParseValue = %v, want %v", parsed.Elems(), v.Elems())
+	}
+	if _, err := s.ParseValue("{bogus}"); err == nil {
+		t.Error("expected error for unknown element")
+	}
+	if top, _ := s.ParseValue("top"); top != s.One() {
+		t.Error("top should parse to universe")
+	}
+	if empty, _ := s.ParseValue("{}"); empty != 0 {
+		t.Error("{} should parse to empty set")
+	}
+}
+
+func TestNumericParsers(t *testing.T) {
+	if v, err := (Weighted{}).ParseValue("inf"); err != nil || !math.IsInf(v, 1) {
+		t.Errorf("weighted inf parse: %v %v", v, err)
+	}
+	if v, err := (Weighted{}).ParseValue("4.5"); err != nil || v != 4.5 {
+		t.Errorf("weighted 4.5 parse: %v %v", v, err)
+	}
+	if _, err := (Weighted{}).ParseValue("-1"); err == nil {
+		t.Error("weighted should reject negatives")
+	}
+	if _, err := (Fuzzy{}).ParseValue("1.5"); err == nil {
+		t.Error("fuzzy should reject >1")
+	}
+	if v, err := (Fuzzy{}).ParseValue("one"); err != nil || v != 1 {
+		t.Errorf("fuzzy one parse: %v %v", v, err)
+	}
+	if v, err := (Classical{}).ParseValue("true"); err != nil || !v {
+		t.Errorf("classical true parse: %v %v", v, err)
+	}
+	if _, err := (Classical{}).ParseValue("maybe"); err == nil {
+		t.Error("classical should reject non-boolean")
+	}
+	if v, err := (Probabilistic{}).ParseValue("0.96"); err != nil || v != 0.96 {
+		t.Errorf("probabilistic parse: %v %v", v, err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	mustPanic(t, "empty set universe", func() { NewSet() })
+	mustPanic(t, "oversized set universe", func() {
+		elems := make([]string, 65)
+		for i := range elems {
+			elems[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		NewSet(elems...)
+	})
+	mustPanic(t, "duplicate set element", func() { NewSet("a", "a") })
+	mustPanic(t, "non-positive bound", func() { NewBoundedWeighted(0) })
+	mustPanic(t, "infinite bound", func() { NewBoundedWeighted(math.Inf(1)) })
+	mustPanic(t, "nil product component", func() { NewProduct[float64, float64](nil, Fuzzy{}) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestFormats(t *testing.T) {
+	if got := (Weighted{}).Format(math.Inf(1)); got != "inf" {
+		t.Errorf("weighted inf format = %q", got)
+	}
+	if got := (Classical{}).Format(true); got != "true" {
+		t.Errorf("classical format = %q", got)
+	}
+	p := NewProduct[float64, bool](Weighted{}, Classical{})
+	if got := p.Format(P(3.0, true)); got != "⟨3,true⟩" {
+		t.Errorf("product format = %q", got)
+	}
+	if p.Name() != "weighted×classical" {
+		t.Errorf("product name = %q", p.Name())
+	}
+}
+
+func TestNamesAndMoreFormats(t *testing.T) {
+	names := map[string]string{
+		(Weighted{}).Name():           "weighted",
+		(Fuzzy{}).Name():              "fuzzy",
+		(Probabilistic{}).Name():      "probabilistic",
+		(Classical{}).Name():          "classical",
+		NewBoundedWeighted(50).Name(): "weighted[0,50]",
+		NewSet("a", "b").Name():       "set[2]",
+	}
+	for got, want := range names {
+		if got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+	if got := (Fuzzy{}).Format(0.25); got != "0.25" {
+		t.Errorf("fuzzy format = %q", got)
+	}
+	if got := (Probabilistic{}).Format(0.5); got != "0.5" {
+		t.Errorf("probabilistic format = %q", got)
+	}
+	if got := (Classical{}).Format(false); got != "false" {
+		t.Errorf("classical format = %q", got)
+	}
+	if got := NewBoundedWeighted(10).Format(3); got != "3" {
+		t.Errorf("bounded format = %q", got)
+	}
+}
+
+func TestBoundedWeightedParseClamps(t *testing.T) {
+	s := NewBoundedWeighted(10)
+	if v, err := s.ParseValue("25"); err != nil || v != 10 {
+		t.Errorf("parse 25 = %v, %v; want clamp to 10", v, err)
+	}
+	if v, err := s.ParseValue("4"); err != nil || v != 4 {
+		t.Errorf("parse 4 = %v, %v", v, err)
+	}
+	if _, err := s.ParseValue("nope"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := (Weighted{}).ParseValue("abc"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := (Fuzzy{}).ParseValue("xyz"); err == nil {
+		t.Error("expected parse error")
+	}
+	if v, err := (Weighted{}).ParseValue("one"); err != nil || v != 0 {
+		t.Errorf("weighted 'one' = %v, %v; want 0", v, err)
+	}
+	if v, err := (Fuzzy{}).ParseValue("zero"); err != nil || v != 0 {
+		t.Errorf("fuzzy 'zero' = %v, %v", v, err)
+	}
+}
+
+func TestLawCheckersCatchBrokenSemiring(t *testing.T) {
+	// A deliberately broken "semiring" whose Div is not the residual:
+	// the law checkers must report failures through the reporter.
+	rep := &recordingReporter{}
+	CheckResiduation[float64](rep, brokenDiv{}, []float64{0, 0.5, 1}, true)
+	if rep.failures == 0 {
+		t.Error("CheckResiduation accepted a broken division")
+	}
+	rep2 := &recordingReporter{}
+	CheckLaws[float64](rep2, brokenPlus{}, []float64{0, 0.5, 1})
+	if rep2.failures == 0 {
+		t.Error("CheckLaws accepted a non-idempotent plus")
+	}
+}
+
+type recordingReporter struct{ failures int }
+
+func (r *recordingReporter) Helper()               {}
+func (r *recordingReporter) Errorf(string, ...any) { r.failures++ }
+
+// brokenDiv is fuzzy with a constant (wrong) division.
+type brokenDiv struct{ Fuzzy }
+
+func (brokenDiv) Div(a, b float64) float64 { return 0 }
+
+// brokenPlus is fuzzy with a non-idempotent plus.
+type brokenPlus struct{ Fuzzy }
+
+func (brokenPlus) Plus(a, b float64) float64 {
+	v := a + b
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,167 @@
+package semiring
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Bitset is a subset of a universe of at most 64 named elements,
+// represented as a bit mask. Bit i set means element i is present.
+type Bitset uint64
+
+// BitsetOf returns the set containing exactly the given elements.
+func BitsetOf(elems ...int) Bitset {
+	var b Bitset
+	for _, e := range elems {
+		b |= 1 << uint(e)
+	}
+	return b
+}
+
+// Contains reports whether element e is in the set.
+func (b Bitset) Contains(e int) bool { return b&(1<<uint(e)) != 0 }
+
+// With returns the set with element e added.
+func (b Bitset) With(e int) Bitset { return b | 1<<uint(e) }
+
+// Without returns the set with element e removed.
+func (b Bitset) Without(e int) Bitset { return b &^ (1 << uint(e)) }
+
+// Len returns the number of elements in the set.
+func (b Bitset) Len() int { return bits.OnesCount64(uint64(b)) }
+
+// Elems returns the elements of the set in increasing order.
+func (b Bitset) Elems() []int {
+	out := make([]int, 0, b.Len())
+	for v := uint64(b); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &^= 1 << uint(i)
+	}
+	return out
+}
+
+// SubsetOf reports whether b ⊆ other.
+func (b Bitset) SubsetOf(other Bitset) bool { return b&^other == 0 }
+
+// Set is the set-based semiring ⟨P(A), ∪, ∩, ∅, A⟩ over a finite
+// universe A of named elements (Sec. 4). It represents feature sets:
+// security rights held, admissible time slots, supported encodings.
+// Combination is intersection (a composition only offers what all
+// components offer) and the order is set inclusion.
+type Set struct {
+	// Elements names the universe; position i names bit i. The zero
+	// value is unusable; construct with NewSet.
+	Elements []string
+
+	index map[string]int
+	mask  Bitset
+}
+
+// NewSet returns the set-based semiring over the given universe. It
+// panics if the universe is empty, exceeds 64 elements, or contains
+// duplicates, since any of those make the carrier ill-defined.
+func NewSet(elements ...string) *Set {
+	if len(elements) == 0 || len(elements) > 64 {
+		panic(fmt.Sprintf("semiring: Set universe must have 1..64 elements, got %d", len(elements)))
+	}
+	idx := make(map[string]int, len(elements))
+	for i, e := range elements {
+		if _, dup := idx[e]; dup {
+			panic(fmt.Sprintf("semiring: duplicate Set element %q", e))
+		}
+		idx[e] = i
+	}
+	return &Set{
+		Elements: append([]string(nil), elements...),
+		index:    idx,
+		mask:     Bitset(1)<<uint(len(elements)) - 1,
+	}
+}
+
+var (
+	_ Semiring[Bitset]    = (*Set)(nil)
+	_ ValueParser[Bitset] = (*Set)(nil)
+)
+
+// Name implements Semiring.
+func (s *Set) Name() string { return fmt.Sprintf("set[%d]", len(s.Elements)) }
+
+// Zero returns the empty set.
+func (s *Set) Zero() Bitset { return 0 }
+
+// One returns the full universe.
+func (s *Set) One() Bitset { return s.mask }
+
+// Plus returns a ∪ b.
+func (s *Set) Plus(a, b Bitset) Bitset { return (a | b) & s.mask }
+
+// Times returns a ∩ b.
+func (s *Set) Times(a, b Bitset) Bitset { return a & b & s.mask }
+
+// Div returns a ∪ (A \ b), the maximal x with b ∩ x ⊆ a.
+func (s *Set) Div(a, b Bitset) Bitset { return (a | (s.mask &^ b)) & s.mask }
+
+// Eq implements Semiring.
+func (s *Set) Eq(a, b Bitset) bool { return a&s.mask == b&s.mask }
+
+// Leq is set inclusion.
+func (s *Set) Leq(a, b Bitset) bool { return (a & s.mask).SubsetOf(b & s.mask) }
+
+// Format renders the set as {e1,e2,...} using the universe's names.
+func (s *Set) Format(v Bitset) string {
+	names := make([]string, 0, v.Len())
+	for _, i := range (v & s.mask).Elems() {
+		names = append(names, s.Elements[i])
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+// Value returns the set containing the named elements. Unknown names
+// are reported as an error rather than silently dropped.
+func (s *Set) Value(names ...string) (Bitset, error) {
+	var b Bitset
+	for _, n := range names {
+		i, ok := s.index[n]
+		if !ok {
+			return 0, fmt.Errorf("set: element %q not in universe", n)
+		}
+		b = b.With(i)
+	}
+	return b, nil
+}
+
+// MustValue is Value but panics on unknown names; intended for
+// literals in tests and examples.
+func (s *Set) MustValue(names ...string) Bitset {
+	b, err := s.Value(names...)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// ParseValue parses "{a,b,c}" (braces optional, empty for ∅, or
+// "top"/"one" for the universe).
+func (s *Set) ParseValue(text string) (Bitset, error) {
+	t := strings.TrimSpace(text)
+	switch strings.ToLower(t) {
+	case "top", "one":
+		return s.One(), nil
+	case "bot", "zero", "{}", "":
+		return 0, nil
+	}
+	t = strings.TrimPrefix(t, "{")
+	t = strings.TrimSuffix(t, "}")
+	if strings.TrimSpace(t) == "" {
+		return 0, nil
+	}
+	parts := strings.Split(t, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return s.Value(parts...)
+}

@@ -1,0 +1,41 @@
+package soa
+
+import "testing"
+
+// FuzzParse checks the QoS XML decoder never panics and that accepted
+// documents survive a render/parse round trip.
+func FuzzParse(f *testing.F) {
+	valid, _ := sampleDoc().Render()
+	seeds := [][]byte{
+		valid,
+		[]byte("<qos/>"),
+		[]byte("<qos service='s' provider='p'><attribute name='a' metric='cost' resource='r'/></qos>"),
+		[]byte("<qos service=\"s\" provider=\"p\" region=\"eu\"><capability>gzip</capability><attribute metric=\"reliability\" base=\"80\" perUnit=\"5\" resource=\"cpus\" maxUnits=\"4\"/></qos>"),
+		[]byte("not xml at all"),
+		[]byte("<qos service=\"s\" provider=\"p\"><attribute metric=\"cost\" resource=\"r\" maxUnits=\"-3\"/></qos>"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		d, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := d.Render()
+		if err != nil {
+			t.Fatalf("accepted document failed to render: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+		if back.Service != d.Service || back.Provider != d.Provider ||
+			len(back.Attributes) != len(d.Attributes) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", back, d)
+		}
+	})
+}

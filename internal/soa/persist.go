@@ -1,0 +1,85 @@
+package soa
+
+import (
+	"encoding/xml"
+	"fmt"
+	"os"
+)
+
+// registryFile is the XML layout persisted by SaveFile.
+type registryFile struct {
+	XMLName   xml.Name   `xml:"registry"`
+	Documents []Document `xml:"qos"`
+}
+
+// Snapshot returns every registered document, across all services, in
+// deterministic (service, provider) order.
+func (r *Registry) Snapshot() []*Document {
+	var out []*Document
+	for _, svc := range r.Services() {
+		out = append(out, r.Discover(svc)...)
+	}
+	return out
+}
+
+// SaveFile persists the registry to an XML file, atomically (write to
+// a temp file in the same directory, then rename).
+func (r *Registry) SaveFile(path string) error {
+	snap := r.Snapshot()
+	rf := registryFile{Documents: make([]Document, 0, len(snap))}
+	for _, d := range snap {
+		rf.Documents = append(rf.Documents, *d)
+	}
+	data, err := xml.MarshalIndent(rf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("soa: encode registry: %w", err)
+	}
+	tmp, err := os.CreateTemp(dirOf(path), ".registry-*")
+	if err != nil {
+		return fmt.Errorf("soa: save registry: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("soa: save registry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("soa: save registry: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("soa: save registry: %w", err)
+	}
+	return nil
+}
+
+// LoadFile merges a persisted registry file into r; every document is
+// validated on the way in. Documents for providers already registered
+// replace the in-memory ones.
+func (r *Registry) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("soa: load registry: %w", err)
+	}
+	var rf registryFile
+	if err := xml.Unmarshal(data, &rf); err != nil {
+		return fmt.Errorf("soa: decode registry: %w", err)
+	}
+	for i := range rf.Documents {
+		if err := r.Publish(&rf.Documents[i]); err != nil {
+			return fmt.Errorf("soa: load registry: document %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

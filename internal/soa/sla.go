@@ -1,0 +1,58 @@
+package soa
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// SLA is a Service Level Agreement: the formal outcome of a
+// successful QoS negotiation (step 5 of the paper's broker protocol),
+// "retranslated into an XML-based answer in order to be signed by all
+// the interested parties".
+type SLA struct {
+	XMLName xml.Name `xml:"sla"`
+	// ID identifies the agreement at the broker; renegotiation and
+	// retrieval address it. Empty for compositions and local use.
+	ID string `xml:"id,attr,omitempty"`
+	// Service is the negotiated abstract service.
+	Service string `xml:"service,attr"`
+	// Client identifies the requesting party.
+	Client string `xml:"client,attr"`
+	// Providers lists the providers bound by the agreement (one for a
+	// simple negotiation, one per stage for a composition).
+	Providers []string `xml:"provider"`
+	// Metric is the negotiated QoS metric.
+	Metric Metric `xml:"metric,attr"`
+	// AgreedLevel is the consistency level of the final store — the
+	// level of service formally agreed.
+	AgreedLevel float64 `xml:"agreedLevel,attr"`
+	// Version counts renegotiations (1 = the initial agreement).
+	Version int `xml:"version,attr,omitempty"`
+	// Resources records the agreed resource allocation: variable name
+	// to chosen units.
+	Resources []ResourceBinding `xml:"resource"`
+}
+
+// ResourceBinding records one agreed resource value.
+type ResourceBinding struct {
+	Name  string `xml:"name,attr"`
+	Units int    `xml:"units,attr"`
+}
+
+// Render encodes the SLA as XML.
+func (s *SLA) Render() ([]byte, error) {
+	out, err := xml.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("soa: encode SLA: %w", err)
+	}
+	return out, nil
+}
+
+// ParseSLA decodes an SLA from XML.
+func ParseSLA(data []byte) (*SLA, error) {
+	var s SLA
+	if err := xml.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("soa: decode SLA: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,145 @@
+package solver
+
+import (
+	"time"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// Eliminate solves the problem by bucket (variable) elimination: it
+// repeatedly picks a variable outside con, combines exactly the
+// constraints mentioning it, projects the variable out, and puts the
+// result back. The time and space cost is exponential only in the
+// induced width of the elimination order (min-degree heuristic here),
+// not in the total number of variables, so it dominates search on
+// low-width problems. It returns the exact blevel and the frontier of
+// Sol(P) = (⊗C)⇓con read off the final table.
+func Eliminate[T any](p *core.Problem[T], opts ...Option) Result[T] {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+	s := p.Space()
+	sr := s.Semiring()
+	res := Result[T]{}
+
+	conSet := make(map[core.Variable]bool)
+	for _, v := range p.Con() {
+		conSet[v] = true
+	}
+	pool := p.Constraints()
+	if len(pool) == 0 {
+		pool = []*core.Constraint[T]{core.Top(s)}
+	}
+
+	// Collect the variables to eliminate: those appearing in some
+	// scope but not in con.
+	elimSet := make(map[core.Variable]bool)
+	for _, c := range pool {
+		for _, v := range c.Scope() {
+			if !conSet[v] {
+				elimSet[v] = true
+			}
+		}
+	}
+
+	for len(elimSet) > 0 {
+		v := pickMinDegree(pool, elimSet)
+		var bucket []*core.Constraint[T]
+		rest := pool[:0]
+		for _, c := range pool {
+			if scopeHas(c, v) {
+				bucket = append(bucket, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		joined := core.CombineAll(s, bucket...)
+		reduced := core.ProjectOut(joined, v)
+		res.Stats.TablesBuilt += int64(len(bucket)) + 1
+		pool = append(rest, reduced)
+		delete(elimSet, v)
+	}
+
+	sol := core.CombineAll(s, pool...)
+	sol = core.ProjectTo(sol, p.Con()...)
+	res.Blevel = core.Blevel(sol)
+
+	fr := newFrontier[T](sr, cfg.maxBest)
+	sol.ForEach(func(a core.Assignment, val T) {
+		res.Stats.Nodes++
+		if fr.dominates(val) {
+			return
+		}
+		fr.offerAssignment(cloneAssignment(a), val)
+	})
+	res.Best = fr.solutions()
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// offerAssignment inserts a pre-built assignment into the frontier,
+// applying the same dominance filtering as offer.
+func (f *frontier[T]) offerAssignment(a core.Assignment, v T) {
+	if f.sr.Eq(v, f.sr.Zero()) {
+		return
+	}
+	keep := f.sol[:0]
+	for _, s := range f.sol {
+		if semiring.Gt(f.sr, s.Value, v) {
+			return
+		}
+		if !semiring.Gt(f.sr, v, s.Value) {
+			keep = append(keep, s)
+		}
+	}
+	f.sol = keep
+	if len(f.sol) < f.max {
+		f.sol = append(f.sol, Solution[T]{Assignment: a, Value: v})
+	}
+}
+
+func cloneAssignment(a core.Assignment) core.Assignment {
+	out := make(core.Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+func scopeHas[T any](c *core.Constraint[T], v core.Variable) bool {
+	for _, u := range c.Scope() {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// pickMinDegree returns the eliminable variable whose bucket join
+// would touch the fewest distinct other variables — the classic
+// min-degree elimination heuristic.
+func pickMinDegree[T any](pool []*core.Constraint[T], elim map[core.Variable]bool) core.Variable {
+	var best core.Variable
+	bestDeg := -1
+	for v := range elim {
+		neighbours := make(map[core.Variable]bool)
+		for _, c := range pool {
+			if !scopeHas(c, v) {
+				continue
+			}
+			for _, u := range c.Scope() {
+				if u != v {
+					neighbours[u] = true
+				}
+			}
+		}
+		if bestDeg == -1 || len(neighbours) < bestDeg ||
+			(len(neighbours) == bestDeg && v < best) {
+			best, bestDeg = v, len(neighbours)
+		}
+	}
+	return best
+}

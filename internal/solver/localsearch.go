@@ -1,0 +1,75 @@
+package solver
+
+import (
+	"math/rand"
+	"time"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// LocalSearch runs random-restart hill climbing: from a random
+// complete assignment it repeatedly applies the best single-variable
+// change until no change improves the combined value, then restarts.
+// It is incomplete — the returned blevel is a lower bound on the true
+// one — but it scales to problems far beyond complete search. Runs
+// are deterministic given WithSeed.
+func LocalSearch[T any](p *core.Problem[T], opts ...Option) Result[T] {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+	s := p.Space()
+	sr := s.Semiring()
+	ev := core.NewEvaluator(s, p.Constraints())
+	sizes := ev.DomainSizes()
+	n := len(sizes)
+	rng := rand.New(rand.NewSource(cfg.seed))
+
+	res := Result[T]{Blevel: sr.Zero()}
+	fr := newFrontier[T](sr, cfg.maxBest)
+	digits := make([]int, n)
+
+	for restart := 0; restart < cfg.restarts; restart++ {
+		for i := range digits {
+			digits[i] = rng.Intn(sizes[i])
+		}
+		cur := ev.EvalAll(digits)
+		res.Stats.Nodes++
+		for step := 0; step < cfg.steps; step++ {
+			improved := false
+			// Best-improvement move over all single-variable changes,
+			// scanned in a random variable order to break ties
+			// differently across restarts.
+			for _, i := range rng.Perm(n) {
+				orig := digits[i]
+				bestD, bestV := orig, cur
+				for d := 0; d < sizes[i]; d++ {
+					if d == orig {
+						continue
+					}
+					digits[i] = d
+					v := ev.EvalAll(digits)
+					res.Stats.Nodes++
+					if semiring.Gt(sr, v, bestV) {
+						bestD, bestV = d, v
+					}
+				}
+				digits[i] = bestD
+				if bestD != orig {
+					cur = bestV
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		res.Blevel = sr.Plus(res.Blevel, cur)
+		fr.offer(digits, cur, ev)
+	}
+	res.Best = fr.solutions()
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,188 @@
+package solver
+
+import (
+	"softsoa/internal/core"
+)
+
+// PropagationStats records the work of a Propagate run.
+type PropagationStats struct {
+	// Rounds is the number of sweeps until fixpoint (or the cap).
+	Rounds int
+	// Shifts counts individual cost moves (arc → unary → zero-arity).
+	Shifts int64
+}
+
+// Propagate enforces soft node and arc consistency on the unary and
+// binary constraints of the problem, in the style of cost-shifting
+// soft-AC algorithms: for every binary constraint and every value of
+// one of its variables, the best (lub) level reachable on the other
+// side is divided out of the binary table (the ÷ residual) and
+// multiplied into the variable's unary level; unary levels in turn
+// shift their lub into a zero-arity level c∅. For invertible
+// semirings — all the classical instances — the transformation is
+// equivalence-preserving: c∅ ⊗ (⊗C') = ⊗C pointwise.
+//
+// The returned problem has the same space and variables of interest;
+// c∅ is returned separately and is a sound bound on the blevel
+// (blevel ≤ c∅): the "necessary cost" every complete assignment pays.
+// Constraints of arity other than 1 or 2 pass through untouched.
+func Propagate[T any](p *core.Problem[T], maxRounds int) (*core.Problem[T], T, PropagationStats) {
+	s := p.Space()
+	sr := s.Semiring()
+	stats := PropagationStats{}
+
+	type unary struct {
+		v      core.Variable
+		dom    []core.DVal
+		levels []T
+	}
+	type binary struct {
+		x, y   core.Variable
+		dx, dy []core.DVal
+		m      [][]T // m[i][j] over dx[i], dy[j]
+	}
+
+	unaries := map[core.Variable]*unary{}
+	getUnary := func(v core.Variable) *unary {
+		if u, ok := unaries[v]; ok {
+			return u
+		}
+		dom := s.Domain(v)
+		levels := make([]T, len(dom))
+		for i := range levels {
+			levels[i] = sr.One()
+		}
+		u := &unary{v: v, dom: dom, levels: levels}
+		unaries[v] = u
+		return u
+	}
+
+	var binaries []*binary
+	var passthrough []*core.Constraint[T]
+	czero := sr.One()
+
+	for _, c := range p.Constraints() {
+		scope := c.Scope()
+		switch len(scope) {
+		case 0:
+			czero = sr.Times(czero, c.AtLabels())
+		case 1:
+			u := getUnary(scope[0])
+			for i, d := range u.dom {
+				u.levels[i] = sr.Times(u.levels[i], c.AtLabels(d.Label))
+			}
+		case 2:
+			x, y := scope[0], scope[1]
+			dx, dy := s.Domain(x), s.Domain(y)
+			m := make([][]T, len(dx))
+			for i, dvx := range dx {
+				m[i] = make([]T, len(dy))
+				for j, dvy := range dy {
+					m[i][j] = c.AtLabels(dvx.Label, dvy.Label)
+				}
+			}
+			binaries = append(binaries, &binary{x: x, y: y, dx: dx, dy: dy, m: m})
+			getUnary(x)
+			getUnary(y)
+		default:
+			passthrough = append(passthrough, c)
+		}
+	}
+
+	if maxRounds <= 0 {
+		maxRounds = 16
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		// Arc consistency: shift row/column lubs into unary levels.
+		for _, b := range binaries {
+			ux, uy := unaries[b.x], unaries[b.y]
+			for i := range b.dx {
+				alpha := sr.Zero()
+				for j := range b.dy {
+					alpha = sr.Plus(alpha, b.m[i][j])
+				}
+				if !sr.Eq(alpha, sr.One()) {
+					changed = true
+					stats.Shifts++
+					ux.levels[i] = sr.Times(ux.levels[i], alpha)
+					for j := range b.dy {
+						b.m[i][j] = sr.Div(b.m[i][j], alpha)
+					}
+				}
+			}
+			for j := range b.dy {
+				alpha := sr.Zero()
+				for i := range b.dx {
+					alpha = sr.Plus(alpha, b.m[i][j])
+				}
+				if !sr.Eq(alpha, sr.One()) {
+					changed = true
+					stats.Shifts++
+					uy.levels[j] = sr.Times(uy.levels[j], alpha)
+					for i := range b.dx {
+						b.m[i][j] = sr.Div(b.m[i][j], alpha)
+					}
+				}
+			}
+		}
+		// Node consistency: shift unary lubs into the zero-arity level.
+		for _, u := range unaries {
+			beta := sr.Zero()
+			for _, lv := range u.levels {
+				beta = sr.Plus(beta, lv)
+			}
+			if !sr.Eq(beta, sr.One()) {
+				changed = true
+				stats.Shifts++
+				czero = sr.Times(czero, beta)
+				for i := range u.levels {
+					u.levels[i] = sr.Div(u.levels[i], beta)
+				}
+			}
+		}
+		stats.Rounds = round + 1
+		if !changed {
+			break
+		}
+	}
+
+	out := core.NewProblem(s, p.Con()...)
+	out.Add(core.Constant(s, czero))
+	for _, u := range unaries {
+		u := u
+		allOne := true
+		for _, lv := range u.levels {
+			if !sr.Eq(lv, sr.One()) {
+				allOne = false
+				break
+			}
+		}
+		if allOne {
+			continue
+		}
+		idx := map[string]int{}
+		for i, d := range u.dom {
+			idx[d.Label] = i
+		}
+		out.Add(core.NewConstraint(s, []core.Variable{u.v}, func(a core.Assignment) T {
+			return u.levels[idx[a.Label(u.v)]]
+		}))
+	}
+	for _, b := range binaries {
+		b := b
+		ix := map[string]int{}
+		for i, d := range b.dx {
+			ix[d.Label] = i
+		}
+		iy := map[string]int{}
+		for j, d := range b.dy {
+			iy[d.Label] = j
+		}
+		out.Add(core.NewConstraint(s, []core.Variable{b.x, b.y}, func(a core.Assignment) T {
+			return b.m[ix[a.Label(b.x)]][iy[a.Label(b.y)]]
+		}))
+	}
+	out.Add(passthrough...)
+	return out, czero, stats
+}

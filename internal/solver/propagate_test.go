@@ -1,0 +1,153 @@
+package solver
+
+import (
+	"testing"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+	"softsoa/internal/workload"
+)
+
+// TestPropagateEquivalence: for invertible semirings, propagation is
+// an equivalence-preserving reformulation: c∅ ⊗ (⊗C') = ⊗C pointwise.
+func TestPropagateEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		make func(seed int64) (*core.Problem[float64], error)
+	}{
+		{"weighted", func(seed int64) (*core.Problem[float64], error) {
+			return workload.RandomWeightedSCSP(workload.SCSPParams{
+				Vars: 5, DomainSize: 3, Density: 0.7, Tightness: 0.9, Seed: seed,
+			})
+		}},
+		{"fuzzy", func(seed int64) (*core.Problem[float64], error) {
+			return workload.RandomFuzzySCSP(workload.SCSPParams{
+				Vars: 5, DomainSize: 3, Density: 0.7, Tightness: 0.8, Seed: seed,
+			})
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				p, err := tc.make(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				q, czero, stats := Propagate(p, 0)
+				// The rebuilt problem already contains Constant(czero), so
+				// the combined tables must be pointwise equal.
+				if !core.Eq(p.Combined(), q.Combined()) {
+					t.Fatalf("seed %d: propagation changed the combined constraint", seed)
+				}
+				sr := p.Space().Semiring()
+				if !sr.Leq(p.Blevel(), czero) {
+					t.Errorf("seed %d: c∅ = %v is not an upper bound on blevel %v",
+						seed, czero, p.Blevel())
+				}
+				if stats.Rounds == 0 {
+					t.Errorf("seed %d: no rounds recorded", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestPropagateReachesFixpoint(t *testing.T) {
+	p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+		Vars: 5, DomainSize: 4, Density: 0.8, Tightness: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, czero1, stats1 := Propagate(p, 0)
+	if stats1.Shifts == 0 {
+		t.Fatal("expected shifts on a tight problem")
+	}
+	// Propagating the already-propagated problem must be a no-op
+	// beyond re-deriving the same c∅ (the constant constraint carries
+	// it; unary/binary tables are already consistent).
+	_, czero2, stats2 := Propagate(q, 0)
+	if czero2 != czero1 {
+		t.Errorf("second propagation changed c∅: %v -> %v", czero1, czero2)
+	}
+	if stats2.Shifts != 0 {
+		t.Errorf("second propagation still shifted %d times", stats2.Shifts)
+	}
+}
+
+func TestPropagateSolversAgree(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+			Vars: 6, DomainSize: 3, Density: 0.6, Tightness: 0.9, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, _, _ := Propagate(p, 0)
+		orig := BranchAndBound(p)
+		prop := BranchAndBound(q)
+		if orig.Blevel != prop.Blevel {
+			t.Errorf("seed %d: propagation changed the optimum: %v vs %v",
+				seed, orig.Blevel, prop.Blevel)
+		}
+	}
+}
+
+func TestPropagateImprovesPruning(t *testing.T) {
+	// With c∅ folded in at the root and unary tables sharpened, plain
+	// B&B prunes at least as well on the propagated problem for these
+	// seeds.
+	improvedSomewhere := false
+	for seed := int64(1); seed <= 8; seed++ {
+		p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+			Vars: 7, DomainSize: 3, Density: 0.7, Tightness: 1, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, _, _ := Propagate(p, 0)
+		orig := BranchAndBound(p)
+		prop := BranchAndBound(q)
+		if prop.Stats.Nodes < orig.Stats.Nodes {
+			improvedSomewhere = true
+		}
+	}
+	if !improvedSomewhere {
+		t.Error("propagation never reduced B&B nodes across 8 seeds")
+	}
+}
+
+func TestPropagatePassesThroughHigherArity(t *testing.T) {
+	s := core.NewSpace[float64](semiring.Weighted{})
+	x := s.AddVariable("x", core.IntDomain(0, 1))
+	y := s.AddVariable("y", core.IntDomain(0, 1))
+	z := s.AddVariable("z", core.IntDomain(0, 1))
+	p := core.NewProblem(s, x)
+	ternary := core.NewConstraint(s, []core.Variable{x, y, z}, func(a core.Assignment) float64 {
+		return a.Num(x) + a.Num(y) + a.Num(z)
+	})
+	p.Add(ternary)
+	p.Add(core.Unary(s, x, map[string]float64{"0": 2, "1": 3}))
+	q, czero, _ := Propagate(p, 0)
+	if !core.Eq(p.Combined(), q.Combined()) {
+		t.Fatal("equivalence broken with ternary passthrough")
+	}
+	// The unary's lub (2) must have moved into c∅.
+	if czero != 2 {
+		t.Errorf("c∅ = %v, want 2", czero)
+	}
+}
+
+func TestPropagateEmptyProblem(t *testing.T) {
+	s := core.NewSpace[float64](semiring.Weighted{})
+	x := s.AddVariable("x", core.IntDomain(0, 1))
+	p := core.NewProblem(s, x)
+	q, czero, _ := Propagate(p, 0)
+	if czero != 0 {
+		t.Errorf("c∅ = %v, want 0 (the One)", czero)
+	}
+	if got := q.Blevel(); got != 0 {
+		t.Errorf("blevel = %v", got)
+	}
+}

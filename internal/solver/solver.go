@@ -1,0 +1,327 @@
+// Package solver implements complete and heuristic solvers for Soft
+// Constraint Satisfaction Problems: an exhaustive reference solver, a
+// depth-first branch and bound with semiring upper-bound pruning, a
+// bucket (variable) elimination solver, and a random-restart local
+// search for problems too large for complete methods. The broker of
+// Sec. 4 of the paper hosts such a solver to negotiate QoS; these are
+// the engines behind it.
+package solver
+
+import (
+	"sort"
+	"time"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// Stats records the work a solver performed.
+type Stats struct {
+	// Nodes is the number of search nodes expanded (assignments tried
+	// for exhaustive/local search; partial assignments for B&B).
+	Nodes int64
+	// Prunes is the number of subtrees cut by the bound (B&B only).
+	Prunes int64
+	// TablesBuilt is the number of intermediate constraint tables
+	// materialised (variable elimination only).
+	TablesBuilt int64
+	// Elapsed is the wall-clock solving time.
+	Elapsed time.Duration
+}
+
+// Solution is one complete assignment with its combined value.
+type Solution[T any] struct {
+	Assignment core.Assignment
+	Value      T
+}
+
+// Result is the outcome of a solve.
+type Result[T any] struct {
+	// Blevel is the best level of consistency: the least upper bound
+	// of the combined value over all complete assignments. For
+	// totally ordered semirings it is attained by Best; for partial
+	// (product) orders it may be an unattained ideal point.
+	Blevel T
+	// Best holds the non-dominated solutions found. Complete solvers
+	// return the full frontier (all optimal assignments for total
+	// orders); local search returns the best incumbents seen.
+	Best []Solution[T]
+	// Stats records the solver's work.
+	Stats Stats
+}
+
+// Option configures a solver run.
+type Option func(*config)
+
+type config struct {
+	prune     bool
+	lookahead bool
+	degree    bool
+	maxBest   int
+	restarts  int
+	steps     int
+	seed      int64
+}
+
+func defaultConfig() config {
+	return config{prune: true, maxBest: 16, restarts: 8, steps: 400, seed: 1}
+}
+
+// WithoutPruning disables the branch-and-bound upper bound test; the
+// search degenerates to exhaustive depth-first enumeration. Used by
+// the pruning ablation (experiment E10).
+func WithoutPruning() Option { return func(c *config) { c.prune = false } }
+
+// WithDegreeOrdering makes branch and bound assign the most
+// constrained variables first: variables are statically ordered by
+// descending constraint degree (ties by smaller domain, then
+// declaration order). Constraints then become fully assigned — and
+// start pruning — as early as possible.
+func WithDegreeOrdering() Option { return func(c *config) { c.degree = true } }
+
+// WithLookahead strengthens the branch-and-bound bound with a static
+// optimistic completion: at each depth the partial product is
+// multiplied by the precomputed least upper bound of every constraint
+// not yet fully assigned. Since each constraint's eventual value is
+// ≤ its lub and × is monotone, the product remains a sound upper
+// bound, so pruning stays exact while firing earlier.
+func WithLookahead() Option { return func(c *config) { c.lookahead = true } }
+
+// WithMaxBest caps how many co-optimal solutions are retained
+// (default 16). The blevel is exact regardless.
+func WithMaxBest(n int) Option { return func(c *config) { c.maxBest = n } }
+
+// WithRestarts sets the number of random restarts for local search.
+func WithRestarts(n int) Option { return func(c *config) { c.restarts = n } }
+
+// WithSteps sets the hill-climbing step budget per restart.
+func WithSteps(n int) Option { return func(c *config) { c.steps = n } }
+
+// WithSeed seeds local search's randomness; runs are deterministic
+// given a seed.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// Exhaustive enumerates every complete assignment and returns the
+// exact blevel and the frontier of non-dominated solutions. It is the
+// reference against which the other solvers are tested.
+func Exhaustive[T any](p *core.Problem[T], opts ...Option) Result[T] {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+	s := p.Space()
+	sr := s.Semiring()
+	ev := core.NewEvaluator(s, p.Constraints())
+	sizes := ev.DomainSizes()
+	digits := make([]int, len(sizes))
+	res := Result[T]{Blevel: sr.Zero()}
+	fr := newFrontier[T](sr, cfg.maxBest)
+	for done := false; !done; {
+		res.Stats.Nodes++
+		v := ev.EvalAll(digits)
+		res.Blevel = sr.Plus(res.Blevel, v)
+		fr.offer(digits, v, ev)
+		done = !next(digits, sizes)
+	}
+	res.Best = fr.solutions()
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// BranchAndBound performs depth-first search over the variables in
+// declaration order, folding in each constraint's value as soon as
+// its scope is fully assigned. Because × is intensive (combining can
+// only worsen), the partial product is a sound upper bound: when it
+// is dominated by an incumbent the subtree is pruned. With partially
+// ordered semirings a node is pruned only when some incumbent
+// strictly dominates its bound, which remains sound for the frontier.
+func BranchAndBound[T any](p *core.Problem[T], opts ...Option) Result[T] {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+	s := p.Space()
+	sr := s.Semiring()
+	cs := p.Constraints()
+	ev := core.NewEvaluator(s, cs)
+	sizes := ev.DomainSizes()
+	n := len(sizes)
+
+	// perm[d] is the space variable assigned at depth d. The default
+	// is declaration order; WithDegreeOrdering sorts by descending
+	// constraint degree (ties by smaller domain, then declaration).
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if cfg.degree {
+		degree := make([]int, n)
+		for _, c := range cs {
+			for _, v := range c.Scope() {
+				for i, name := range s.Variables() {
+					if name == v {
+						degree[i]++
+					}
+				}
+			}
+		}
+		sort.SliceStable(perm, func(a, b int) bool {
+			va, vb := perm[a], perm[b]
+			if degree[va] != degree[vb] {
+				return degree[va] > degree[vb]
+			}
+			return sizes[va] < sizes[vb]
+		})
+	}
+	posOf := make([]int, n)
+	for d, vi := range perm {
+		posOf[vi] = d
+	}
+
+	// byDepth[d] lists the constraints that become fully assigned
+	// when the variable at depth d-1 of the ordering gets a value.
+	byDepth := make([][]int, n+1)
+	for k := 0; k < ev.NumConstraints(); k++ {
+		last := -1
+		for _, v := range cs[k].Scope() {
+			for i, name := range s.Variables() {
+				if name == v && posOf[i] > last {
+					last = posOf[i]
+				}
+			}
+		}
+		if last < 0 {
+			byDepth[0] = append(byDepth[0], k) // constants fold at the root
+		} else {
+			byDepth[last+1] = append(byDepth[last+1], k)
+		}
+	}
+
+	// optimisticRest[d] is the product of the least upper bounds of
+	// every constraint that only becomes fully assigned at depth > d:
+	// an optimistic completion factor for the lookahead bound.
+	optimisticRest := make([]T, n+1)
+	optimisticRest[n] = sr.One()
+	if cfg.lookahead {
+		lubs := make([]T, ev.NumConstraints())
+		for k := range lubs {
+			lub := sr.Zero()
+			cs[k].ForEach(func(_ core.Assignment, v T) { lub = sr.Plus(lub, v) })
+			lubs[k] = lub
+		}
+		for d := n - 1; d >= 0; d-- {
+			acc := optimisticRest[d+1]
+			for _, k := range byDepth[d+1] {
+				acc = sr.Times(acc, lubs[k])
+			}
+			optimisticRest[d] = acc
+		}
+	}
+
+	res := Result[T]{Blevel: sr.Zero()}
+	fr := newFrontier[T](sr, cfg.maxBest)
+	digits := make([]int, n)
+
+	var rec func(depth int, bound T)
+	rec = func(depth int, bound T) {
+		res.Stats.Nodes++
+		if cfg.prune {
+			ub := bound
+			if cfg.lookahead {
+				ub = sr.Times(bound, optimisticRest[depth])
+			}
+			if fr.dominates(ub) {
+				res.Stats.Prunes++
+				return
+			}
+		}
+		if depth == n {
+			res.Blevel = sr.Plus(res.Blevel, bound)
+			fr.offer(digits, bound, ev)
+			return
+		}
+		vi := perm[depth]
+		for d := 0; d < sizes[vi]; d++ {
+			digits[vi] = d
+			b := bound
+			for _, k := range byDepth[depth+1] {
+				b = sr.Times(b, ev.Eval(k, digits))
+			}
+			rec(depth+1, b)
+		}
+	}
+	rootBound := sr.One()
+	for _, k := range byDepth[0] {
+		rootBound = sr.Times(rootBound, ev.Eval(k, digits))
+	}
+	if n == 0 {
+		res.Blevel = rootBound
+		fr.offer(digits, rootBound, ev)
+	} else {
+		rec(0, rootBound)
+	}
+	res.Best = fr.solutions()
+	res.Stats.Elapsed = time.Since(start)
+	return res
+}
+
+// next advances digits as a mixed-radix odometer; it reports false
+// when the odometer wraps (enumeration complete).
+func next(digits, sizes []int) bool {
+	for i := len(digits) - 1; i >= 0; i-- {
+		digits[i]++
+		if digits[i] < sizes[i] {
+			return true
+		}
+		digits[i] = 0
+	}
+	return false
+}
+
+// frontier maintains the non-dominated solutions seen so far.
+type frontier[T any] struct {
+	sr  semiring.Semiring[T]
+	max int
+	sol []Solution[T]
+}
+
+func newFrontier[T any](sr semiring.Semiring[T], max int) *frontier[T] {
+	return &frontier[T]{sr: sr, max: max}
+}
+
+// dominates reports whether some incumbent strictly dominates v, in
+// which case any completion of a node with bound v is itself
+// dominated (× is intensive) and can be pruned.
+func (f *frontier[T]) dominates(v T) bool {
+	for _, s := range f.sol {
+		if semiring.Gt(f.sr, s.Value, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *frontier[T]) offer(digits []int, v T, ev *core.Evaluator[T]) {
+	if f.sr.Eq(v, f.sr.Zero()) {
+		return
+	}
+	keep := f.sol[:0]
+	for _, s := range f.sol {
+		if semiring.Gt(f.sr, s.Value, v) {
+			return // dominated by an incumbent; frontier unchanged
+		}
+		if !semiring.Gt(f.sr, v, s.Value) {
+			keep = append(keep, s) // not displaced
+		}
+	}
+	f.sol = keep
+	if len(f.sol) < f.max {
+		f.sol = append(f.sol, Solution[T]{Assignment: ev.Assignment(digits), Value: v})
+	}
+}
+
+func (f *frontier[T]) solutions() []Solution[T] {
+	return append([]Solution[T](nil), f.sol...)
+}

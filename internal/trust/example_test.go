@@ -1,0 +1,36 @@
+package trust_test
+
+import (
+	"fmt"
+
+	"softsoa/internal/trust"
+)
+
+// Direct trust scores compose into coalition trustworthiness through
+// the ◦ operators; the max-min closure derives indirect trust along
+// recommendation chains.
+func ExampleNetwork_Closure() {
+	n := trust.NewNetwork("alice", "bob", "carol")
+	_ = n.SetByName("alice", "bob", 0.9)
+	_ = n.SetByName("bob", "carol", 0.7)
+	_ = n.SetByName("alice", "carol", 0.2)
+	cl := n.Closure()
+	a, _ := cl.Index("alice")
+	c, _ := cl.Index("carol")
+	fmt.Printf("direct:   %.1f\n", n.Trust(a, c))
+	fmt.Printf("indirect: %.1f (via bob, max-min)\n", cl.Trust(a, c))
+	// Output:
+	// direct:   0.2
+	// indirect: 0.7 (via bob, max-min)
+}
+
+func ExampleComposer() {
+	scores := []float64{0.9, 0.6, 0.8}
+	fmt.Println("min:", trust.Min.Compose(scores))
+	fmt.Println("avg:", trust.Avg.Compose(scores))
+	fmt.Println("max:", trust.Max.Compose(scores))
+	// Output:
+	// min: 0.6
+	// avg: 0.7666666666666666
+	// max: 0.9
+}

@@ -1,0 +1,229 @@
+// Package trust models directed weighted trust networks among
+// service components (Fig. 9 of the paper): t(xi, xj) is the trust
+// score xi has collected on xj from its own direct experiences, in
+// [0,1]. The package provides the ◦ composition operators used to
+// aggregate 1-to-1 relationships into coalition trustworthiness
+// (Def. 3) and a semiring-based transitive closure for indirect
+// trust, after the multitrust propagation the paper cites.
+package trust
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// Network is a complete directed trust network over n members. The
+// zero value is unusable; construct with NewNetwork or Random.
+type Network struct {
+	names []string
+	t     [][]float64
+	index map[string]int
+}
+
+// NewNetwork returns a network over the named members with all trust
+// scores initialised to zero (no experience). Self-trust t(i,i)
+// defaults to 1. It panics on empty or duplicate names, which would
+// make the network meaningless.
+func NewNetwork(names ...string) *Network {
+	if len(names) == 0 {
+		panic("trust: empty network")
+	}
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := idx[n]; dup {
+			panic(fmt.Sprintf("trust: duplicate member %q", n))
+		}
+		idx[n] = i
+	}
+	t := make([][]float64, len(names))
+	for i := range t {
+		t[i] = make([]float64, len(names))
+		t[i][i] = 1
+	}
+	return &Network{names: append([]string(nil), names...), t: t, index: idx}
+}
+
+// Members returns the member names in index order.
+func (n *Network) Members() []string { return append([]string(nil), n.names...) }
+
+// Size returns the number of members.
+func (n *Network) Size() int { return len(n.names) }
+
+// Index returns the index of a named member.
+func (n *Network) Index(name string) (int, error) {
+	i, ok := n.index[name]
+	if !ok {
+		return 0, fmt.Errorf("trust: unknown member %q", name)
+	}
+	return i, nil
+}
+
+// Set records the trust score of i in j. Scores live in [0,1].
+func (n *Network) Set(i, j int, v float64) error {
+	if i < 0 || i >= len(n.names) || j < 0 || j >= len(n.names) {
+		return fmt.Errorf("trust: member index out of range (%d,%d)", i, j)
+	}
+	if v < 0 || v > 1 {
+		return fmt.Errorf("trust: score %v outside [0,1]", v)
+	}
+	n.t[i][j] = v
+	return nil
+}
+
+// SetByName is Set with member names.
+func (n *Network) SetByName(from, to string, v float64) error {
+	i, err := n.Index(from)
+	if err != nil {
+		return err
+	}
+	j, err := n.Index(to)
+	if err != nil {
+		return err
+	}
+	return n.Set(i, j, v)
+}
+
+// Trust returns t(i, j): i's direct trust in j.
+func (n *Network) Trust(i, j int) float64 { return n.t[i][j] }
+
+// Random returns a seeded random network: intra-community trust drawn
+// from [0.6, 1.0), inter-community from [0.0, 0.4), with members
+// split evenly into the given number of communities. communities ≤ 1
+// draws all scores uniformly from [0,1).
+func Random(size int, communities int, seed int64) *Network {
+	if size <= 0 {
+		panic("trust: non-positive network size")
+	}
+	names := make([]string, size)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i+1)
+	}
+	n := NewNetwork(names...)
+	rng := rand.New(rand.NewSource(seed))
+	comm := func(i int) int {
+		if communities <= 1 {
+			return 0
+		}
+		return i * communities / size
+	}
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			if i == j {
+				continue
+			}
+			var v float64
+			switch {
+			case communities <= 1:
+				v = rng.Float64()
+			case comm(i) == comm(j):
+				v = 0.6 + 0.4*rng.Float64()
+			default:
+				v = 0.4 * rng.Float64()
+			}
+			n.t[i][j] = v
+		}
+	}
+	return n
+}
+
+// Composer is the ◦ operator of Def. 3: it aggregates a multiset of
+// 1-to-1 trust scores into one value. The composition of no scores is
+// 0 (no evidence, no trust).
+type Composer struct {
+	// Name identifies the operator ("min", "avg", "max", "product").
+	Name string
+	fn   func(vals []float64) float64
+}
+
+// Compose applies the operator.
+func (c Composer) Compose(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return c.fn(vals)
+}
+
+// Min is the pessimistic ◦: a coalition is only as trustworthy as its
+// weakest relationship.
+var Min = Composer{Name: "min", fn: func(vs []float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}}
+
+// Max is the optimistic ◦ named in the paper.
+var Max = Composer{Name: "max", fn: func(vs []float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}}
+
+// Avg is the arithmetic-mean ◦ named in the paper.
+var Avg = Composer{Name: "avg", fn: func(vs []float64) float64 {
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}}
+
+// Product composes multiplicatively, reading scores as independent
+// success probabilities.
+var Product = Composer{Name: "product", fn: func(vs []float64) float64 {
+	p := 1.0
+	for _, v := range vs {
+		p *= v
+	}
+	return p
+}}
+
+// Closure returns the indirect-trust network: t*(i,j) is the best
+// trust obtainable through any chain of recommendations, computed as
+// the max-min (fuzzy semiring) path closure à la Floyd–Warshall. The
+// direct scores are kept when stronger.
+func (n *Network) Closure() *Network {
+	size := n.Size()
+	out := NewNetwork(n.names...)
+	for i := 0; i < size; i++ {
+		copy(out.t[i], n.t[i])
+	}
+	for k := 0; k < size; k++ {
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				via := out.t[i][k]
+				if out.t[k][j] < via {
+					via = out.t[k][j] // min along the chain
+				}
+				if via > out.t[i][j] {
+					out.t[i][j] = via // max over chains
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ToConstraint renders the network as a fuzzy soft constraint over a
+// pair of member-index variables, so trust can participate directly
+// in SCSPs ("by changing the semiring structure we can represent
+// different trust metrics").
+func (n *Network) ToConstraint(s *core.Space[float64], from, to core.Variable) *core.Constraint[float64] {
+	return core.NewConstraint(s, []core.Variable{from, to}, func(a core.Assignment) float64 {
+		i, j := int(a.Num(from)), int(a.Num(to))
+		if i < 0 || i >= n.Size() || j < 0 || j >= n.Size() {
+			return semiring.Fuzzy{}.Zero()
+		}
+		return n.t[i][j]
+	})
+}

@@ -1,0 +1,194 @@
+package trust
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+func TestNetworkBasics(t *testing.T) {
+	n := NewNetwork("a", "b", "c")
+	if n.Size() != 3 {
+		t.Fatalf("size = %d", n.Size())
+	}
+	if got := n.Trust(0, 0); got != 1 {
+		t.Errorf("self-trust = %v, want 1", got)
+	}
+	if err := n.SetByName("a", "b", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	i, _ := n.Index("a")
+	j, _ := n.Index("b")
+	if got := n.Trust(i, j); got != 0.7 {
+		t.Errorf("t(a,b) = %v", got)
+	}
+	if got := n.Trust(j, i); got != 0 {
+		t.Errorf("t(b,a) = %v, want 0 (asymmetric)", got)
+	}
+	members := n.Members()
+	if len(members) != 3 || members[0] != "a" {
+		t.Errorf("members = %v", members)
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	n := NewNetwork("a", "b")
+	if err := n.Set(0, 5, 0.5); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if err := n.Set(0, 1, 1.5); err == nil {
+		t.Error("score above 1 should fail")
+	}
+	if err := n.Set(0, 1, -0.1); err == nil {
+		t.Error("negative score should fail")
+	}
+	if err := n.SetByName("a", "zz", 0.5); err == nil {
+		t.Error("unknown member should fail")
+	}
+	if err := n.SetByName("zz", "a", 0.5); err == nil {
+		t.Error("unknown member should fail")
+	}
+	if _, err := n.Index("zz"); err == nil {
+		t.Error("unknown index should fail")
+	}
+}
+
+func TestNetworkPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":     func() { NewNetwork() },
+		"duplicate": func() { NewNetwork("a", "a") },
+		"zero size": func() { Random(0, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestComposers(t *testing.T) {
+	vals := []float64{0.2, 0.8, 0.5}
+	if got := Min.Compose(vals); got != 0.2 {
+		t.Errorf("min = %v", got)
+	}
+	if got := Max.Compose(vals); got != 0.8 {
+		t.Errorf("max = %v", got)
+	}
+	if got := Avg.Compose(vals); got != 0.5 {
+		t.Errorf("avg = %v", got)
+	}
+	if got := Product.Compose([]float64{0.5, 0.5}); got != 0.25 {
+		t.Errorf("product = %v", got)
+	}
+	for _, c := range []Composer{Min, Max, Avg, Product} {
+		if got := c.Compose(nil); got != 0 {
+			t.Errorf("%s of nothing = %v, want 0", c.Name, got)
+		}
+	}
+}
+
+func TestRandomCommunitiesStructure(t *testing.T) {
+	n := Random(8, 2, 42)
+	// Members 0..3 and 4..7 are communities: intra ≥ 0.6, inter < 0.4.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i == j {
+				continue
+			}
+			same := (i < 4) == (j < 4)
+			v := n.Trust(i, j)
+			if same && v < 0.6 {
+				t.Errorf("intra t(%d,%d) = %v < 0.6", i, j, v)
+			}
+			if !same && v >= 0.4 {
+				t.Errorf("inter t(%d,%d) = %v ≥ 0.4", i, j, v)
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(6, 1, 7)
+	b := Random(6, 1, 7)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if a.Trust(i, j) != b.Trust(i, j) {
+				t.Fatal("same seed must give same network")
+			}
+		}
+	}
+}
+
+func TestClosureMaxMinPaths(t *testing.T) {
+	n := NewNetwork("a", "b", "c")
+	mustSet := func(f, to string, v float64) {
+		if err := n.SetByName(f, to, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet("a", "b", 0.9)
+	mustSet("b", "c", 0.7)
+	mustSet("a", "c", 0.2)
+	cl := n.Closure()
+	// a→c directly 0.2, via b min(0.9,0.7)=0.7: closure picks 0.7.
+	ai, _ := cl.Index("a")
+	ci, _ := cl.Index("c")
+	if got := cl.Trust(ai, ci); got != 0.7 {
+		t.Errorf("closure t(a,c) = %v, want 0.7", got)
+	}
+	// Original is untouched.
+	if got := n.Trust(ai, ci); got != 0.2 {
+		t.Errorf("original t(a,c) = %v, want 0.2", got)
+	}
+}
+
+func TestQuickClosureProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		n := Random(5, 1, seed)
+		cl := n.Closure()
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				// Closure never decreases trust, stays in [0,1].
+				if cl.Trust(i, j) < n.Trust(i, j) || cl.Trust(i, j) > 1 {
+					return false
+				}
+			}
+		}
+		// Idempotence: closing twice changes nothing.
+		cl2 := cl.Closure()
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if cl2.Trust(i, j) != cl.Trust(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToConstraint(t *testing.T) {
+	n := NewNetwork("a", "b")
+	if err := n.SetByName("a", "b", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSpace[float64](semiring.Fuzzy{})
+	from := s.AddVariable("from", core.IntDomain(0, 1))
+	to := s.AddVariable("to", core.IntDomain(0, 1))
+	c := n.ToConstraint(s, from, to)
+	if got := c.AtLabels("0", "1"); got != 0.4 {
+		t.Errorf("constraint(a,b) = %v, want 0.4", got)
+	}
+	if got := c.AtLabels("1", "1"); got != 1 {
+		t.Errorf("constraint(b,b) = %v, want 1 (self-trust)", got)
+	}
+}

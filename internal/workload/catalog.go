@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softsoa/internal/soa"
+)
+
+// CatalogParams controls random QoS catalogue generation for the
+// composition benchmarks (E11).
+type CatalogParams struct {
+	// Stages is the number of abstract pipeline services.
+	Stages int
+	// ProvidersPerStage is the number of providers registered per
+	// service.
+	ProvidersPerStage int
+	// Regions is the number of deployment regions providers are
+	// spread over.
+	Regions int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (p CatalogParams) validate() error {
+	if p.Stages <= 0 || p.ProvidersPerStage <= 0 {
+		return fmt.Errorf("workload: need positive Stages and ProvidersPerStage, got %d/%d",
+			p.Stages, p.ProvidersPerStage)
+	}
+	if p.Regions <= 0 {
+		return fmt.Errorf("workload: need at least one region, got %d", p.Regions)
+	}
+	return nil
+}
+
+// StageNames returns the abstract service names of the catalogue.
+func (p CatalogParams) StageNames() []string {
+	out := make([]string, p.Stages)
+	for i := range out {
+		out[i] = fmt.Sprintf("stage%d", i)
+	}
+	return out
+}
+
+// CostCatalog populates the registry with cost-metric providers:
+// base fees in [1,20), per-unit fees in [0,3), resource "load" with
+// up to 5 units.
+func CostCatalog(reg *soa.Registry, p CatalogParams) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for s, stage := range p.StageNames() {
+		for j := 0; j < p.ProvidersPerStage; j++ {
+			doc := &soa.Document{
+				Service:  stage,
+				Provider: fmt.Sprintf("prov-%d-%d", s, j),
+				Region:   fmt.Sprintf("region%d", rng.Intn(p.Regions)),
+				Attributes: []soa.Attribute{{
+					Name:     "fee",
+					Metric:   soa.MetricCost,
+					Base:     1 + 19*rng.Float64(),
+					PerUnit:  3 * rng.Float64(),
+					Resource: "load",
+					MaxUnits: 5,
+				}},
+			}
+			if err := reg.Publish(doc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReliabilityCatalog populates the registry with reliability-metric
+// providers: base reliability in [70,95)%, +0–5% per extra processor.
+func ReliabilityCatalog(reg *soa.Registry, p CatalogParams) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for s, stage := range p.StageNames() {
+		for j := 0; j < p.ProvidersPerStage; j++ {
+			doc := &soa.Document{
+				Service:  stage,
+				Provider: fmt.Sprintf("prov-%d-%d", s, j),
+				Region:   fmt.Sprintf("region%d", rng.Intn(p.Regions)),
+				Attributes: []soa.Attribute{{
+					Name:     "uptime",
+					Metric:   soa.MetricReliability,
+					Base:     70 + 25*rng.Float64(),
+					PerUnit:  5 * rng.Float64(),
+					Resource: "processors",
+					MaxUnits: 4,
+				}},
+			}
+			if err := reg.Publish(doc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

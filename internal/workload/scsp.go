@@ -1,0 +1,128 @@
+// Package workload generates deterministic, seeded synthetic
+// workloads for the test and benchmark harnesses: random SCSPs with
+// controlled size/density/tightness, QoS provider catalogues, and
+// negotiation scenarios. The paper evaluates on hand-worked examples
+// only; these generators provide the scaling workloads behind
+// experiments E10–E12 of EXPERIMENTS.md.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softsoa/internal/core"
+	"softsoa/internal/semiring"
+)
+
+// SCSPParams controls random SCSP generation.
+type SCSPParams struct {
+	// Vars is the number of variables.
+	Vars int
+	// DomainSize is the size of every variable's domain.
+	DomainSize int
+	// Density is the fraction of variable pairs carrying a binary
+	// constraint, in [0,1].
+	Density float64
+	// Tightness is the fraction of tuples receiving a non-One value,
+	// in [0,1]. Higher is more constrained.
+	Tightness float64
+	// Seed drives all randomness; equal params yield equal problems.
+	Seed int64
+}
+
+func (p SCSPParams) validate() error {
+	if p.Vars <= 0 || p.DomainSize <= 0 {
+		return fmt.Errorf("workload: need positive Vars and DomainSize, got %d/%d", p.Vars, p.DomainSize)
+	}
+	if p.Density < 0 || p.Density > 1 || p.Tightness < 0 || p.Tightness > 1 {
+		return fmt.Errorf("workload: Density/Tightness must be in [0,1], got %v/%v", p.Density, p.Tightness)
+	}
+	return nil
+}
+
+// RandomFuzzySCSP generates a random fuzzy SCSP: every variable gets
+// a unary preference constraint, and each pair carries a binary
+// constraint with probability Density. Tight tuples get a random
+// preference in [0,1); the rest get 1. The first variable is the
+// variable of interest.
+func RandomFuzzySCSP(p SCSPParams) (*core.Problem[float64], error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	gen := func() float64 { return float64(rng.Intn(100)) / 100 }
+	return randomSCSP[float64](p, rng, semiring.Fuzzy{}, gen)
+}
+
+// RandomWeightedSCSP generates a random weighted SCSP with integer
+// costs in [1,20] on tight tuples and 0 elsewhere.
+func RandomWeightedSCSP(p SCSPParams) (*core.Problem[float64], error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	gen := func() float64 { return float64(1 + rng.Intn(20)) }
+	return randomSCSP[float64](p, rng, semiring.Weighted{}, gen)
+}
+
+func randomSCSP[T any](
+	p SCSPParams,
+	rng *rand.Rand,
+	sr semiring.Semiring[T],
+	tightValue func() T,
+) (*core.Problem[T], error) {
+	s := core.NewSpace[T](sr)
+	vars := make([]core.Variable, p.Vars)
+	for i := range vars {
+		vars[i] = s.AddVariable(core.Variable(fmt.Sprintf("v%d", i)), core.IntDomain(0, p.DomainSize-1))
+	}
+	prob := core.NewProblem(s, vars[0])
+	for _, v := range vars {
+		v := v
+		prob.Add(core.NewConstraint(s, []core.Variable{v}, func(core.Assignment) T {
+			if rng.Float64() < p.Tightness {
+				return tightValue()
+			}
+			return sr.One()
+		}))
+	}
+	for i := 0; i < p.Vars; i++ {
+		for j := i + 1; j < p.Vars; j++ {
+			if rng.Float64() >= p.Density {
+				continue
+			}
+			x, y := vars[i], vars[j]
+			prob.Add(core.NewConstraint(s, []core.Variable{x, y}, func(core.Assignment) T {
+				if rng.Float64() < p.Tightness {
+					return tightValue()
+				}
+				return sr.One()
+			}))
+		}
+	}
+	return prob, nil
+}
+
+// ChainWeightedSCSP generates a path-structured weighted SCSP
+// (v0—v1—…—vn), whose induced width is 1: the showcase for variable
+// elimination in experiment E10.
+func ChainWeightedSCSP(vars, domainSize int, seed int64) (*core.Problem[float64], error) {
+	if vars <= 0 || domainSize <= 0 {
+		return nil, fmt.Errorf("workload: need positive vars/domainSize, got %d/%d", vars, domainSize)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sr := semiring.Weighted{}
+	s := core.NewSpace[float64](sr)
+	names := make([]core.Variable, vars)
+	for i := range names {
+		names[i] = s.AddVariable(core.Variable(fmt.Sprintf("v%d", i)), core.IntDomain(0, domainSize-1))
+	}
+	prob := core.NewProblem(s, names[0])
+	for i := 0; i+1 < vars; i++ {
+		x, y := names[i], names[i+1]
+		prob.Add(core.NewConstraint(s, []core.Variable{x, y}, func(core.Assignment) float64 {
+			return float64(rng.Intn(10))
+		}))
+	}
+	return prob, nil
+}

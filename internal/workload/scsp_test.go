@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+
+	"softsoa/internal/core"
+)
+
+func TestRandomFuzzyStructure(t *testing.T) {
+	p, err := RandomFuzzySCSP(SCSPParams{
+		Vars: 5, DomainSize: 3, Density: 1, Tightness: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Space().NumVariables(); got != 5 {
+		t.Errorf("vars = %d", got)
+	}
+	// Full density: 5 unary + C(5,2)=10 binary constraints.
+	if got := len(p.Constraints()); got != 15 {
+		t.Errorf("constraints = %d, want 15", got)
+	}
+	for _, v := range p.Space().Variables() {
+		if got := len(p.Space().Domain(v)); got != 3 {
+			t.Errorf("domain of %s = %d", v, got)
+		}
+	}
+	if con := p.Con(); len(con) != 1 || con[0] != "v0" {
+		t.Errorf("con = %v", con)
+	}
+}
+
+func TestZeroDensityHasOnlyUnaries(t *testing.T) {
+	p, err := RandomWeightedSCSP(SCSPParams{
+		Vars: 4, DomainSize: 2, Density: 0, Tightness: 0.5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Constraints()); got != 4 {
+		t.Errorf("constraints = %d, want 4 unaries", got)
+	}
+}
+
+func TestZeroTightnessIsFree(t *testing.T) {
+	p, err := RandomWeightedSCSP(SCSPParams{
+		Vars: 4, DomainSize: 3, Density: 1, Tightness: 0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tuple gets the One: the whole problem costs 0.
+	if got := p.Blevel(); got != 0 {
+		t.Errorf("blevel = %v, want 0", got)
+	}
+}
+
+func TestWeightedValuesInRange(t *testing.T) {
+	p, err := RandomWeightedSCSP(SCSPParams{
+		Vars: 3, DomainSize: 3, Density: 1, Tightness: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Constraints() {
+		c.ForEach(func(_ core.Assignment, v float64) {
+			if v < 1 || v > 20 {
+				t.Errorf("cost %v outside [1,20]", v)
+			}
+		})
+	}
+}
+
+func TestFuzzyValuesInRange(t *testing.T) {
+	p, err := RandomFuzzySCSP(SCSPParams{
+		Vars: 3, DomainSize: 3, Density: 1, Tightness: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Constraints() {
+		c.ForEach(func(_ core.Assignment, v float64) {
+			if v < 0 || v >= 1 {
+				t.Errorf("preference %v outside [0,1)", v)
+			}
+		})
+	}
+}
+
+func TestChainStructure(t *testing.T) {
+	p, err := ChainWeightedSCSP(6, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := p.Constraints()
+	if len(cs) != 5 {
+		t.Fatalf("chain constraints = %d, want 5", len(cs))
+	}
+	for i, c := range cs {
+		sc := c.Scope()
+		if len(sc) != 2 {
+			t.Fatalf("constraint %d arity %d", i, len(sc))
+		}
+	}
+}
+
+func TestSCSPValidationErrors(t *testing.T) {
+	bad := []SCSPParams{
+		{Vars: 0, DomainSize: 2},
+		{Vars: 2, DomainSize: 0},
+		{Vars: 2, DomainSize: 2, Density: -0.1},
+		{Vars: 2, DomainSize: 2, Tightness: 1.1},
+	}
+	for i, p := range bad {
+		if _, err := RandomFuzzySCSP(p); err == nil {
+			t.Errorf("case %d: fuzzy accepted invalid params", i)
+		}
+		if _, err := RandomWeightedSCSP(p); err == nil {
+			t.Errorf("case %d: weighted accepted invalid params", i)
+		}
+	}
+	if _, err := ChainWeightedSCSP(3, 0, 1); err == nil {
+		t.Error("chain accepted zero domain")
+	}
+}
+
+func TestSCSPDeterminism(t *testing.T) {
+	params := SCSPParams{Vars: 4, DomainSize: 3, Density: 0.6, Tightness: 0.7, Seed: 9}
+	a, _ := RandomWeightedSCSP(params)
+	b, _ := RandomWeightedSCSP(params)
+	// The problems live in distinct spaces; compare their combined
+	// tables by matching tuples through the second problem's table.
+	ca, cb := a.Combined(), b.Combined()
+	if ca.Size() != cb.Size() {
+		t.Fatalf("table sizes differ: %d vs %d", ca.Size(), cb.Size())
+	}
+	ca.ForEach(func(asst core.Assignment, v float64) {
+		labels := make([]string, 0, len(asst))
+		for _, name := range cb.Scope() {
+			labels = append(labels, asst.Label(name))
+		}
+		if got := cb.AtLabels(labels...); got != v {
+			t.Fatalf("tuple %v: %v vs %v", labels, v, got)
+		}
+	})
+}

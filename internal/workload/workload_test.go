@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"testing"
+
+	"softsoa/internal/soa"
+)
+
+func TestCostCatalog(t *testing.T) {
+	reg := soa.NewRegistry()
+	p := CatalogParams{Stages: 3, ProvidersPerStage: 4, Regions: 2, Seed: 1}
+	if err := CostCatalog(reg, p); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 12 {
+		t.Fatalf("registrations = %d, want 12", reg.Len())
+	}
+	for _, stage := range p.StageNames() {
+		docs := reg.Discover(stage)
+		if len(docs) != 4 {
+			t.Fatalf("stage %s has %d providers", stage, len(docs))
+		}
+		for _, d := range docs {
+			attr, ok := d.Attr(soa.MetricCost)
+			if !ok {
+				t.Fatalf("provider %s lacks cost attribute", d.Provider)
+			}
+			if attr.Base < 1 || attr.Base >= 20 {
+				t.Errorf("base fee %v outside [1,20)", attr.Base)
+			}
+			if d.Region == "" {
+				t.Errorf("provider %s has no region", d.Provider)
+			}
+		}
+	}
+}
+
+func TestReliabilityCatalog(t *testing.T) {
+	reg := soa.NewRegistry()
+	p := CatalogParams{Stages: 2, ProvidersPerStage: 3, Regions: 3, Seed: 2}
+	if err := ReliabilityCatalog(reg, p); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 6 {
+		t.Fatalf("registrations = %d, want 6", reg.Len())
+	}
+	for _, d := range reg.Discover("stage0") {
+		attr, ok := d.Attr(soa.MetricReliability)
+		if !ok {
+			t.Fatalf("provider %s lacks reliability attribute", d.Provider)
+		}
+		if attr.Base < 70 || attr.Base >= 95 {
+			t.Errorf("base reliability %v outside [70,95)", attr.Base)
+		}
+	}
+}
+
+func TestCatalogDeterminism(t *testing.T) {
+	p := CatalogParams{Stages: 2, ProvidersPerStage: 2, Regions: 2, Seed: 9}
+	r1, r2 := soa.NewRegistry(), soa.NewRegistry()
+	if err := CostCatalog(r1, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := CostCatalog(r2, p); err != nil {
+		t.Fatal(err)
+	}
+	d1 := r1.Discover("stage0")
+	d2 := r2.Discover("stage0")
+	for i := range d1 {
+		if d1[i].Attributes[0].Base != d2[i].Attributes[0].Base || d1[i].Region != d2[i].Region {
+			t.Fatal("same seed must generate the same catalogue")
+		}
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	reg := soa.NewRegistry()
+	for name, p := range map[string]CatalogParams{
+		"no stages":    {Stages: 0, ProvidersPerStage: 1, Regions: 1},
+		"no providers": {Stages: 1, ProvidersPerStage: 0, Regions: 1},
+		"no regions":   {Stages: 1, ProvidersPerStage: 1, Regions: 0},
+	} {
+		if err := CostCatalog(reg, p); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+		if err := ReliabilityCatalog(reg, p); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
