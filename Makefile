@@ -1,0 +1,28 @@
+.PHONY: all build test race vet cover bench clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The dependability layer's concurrency guarantees (per-session
+# critical sections, breaker board, retry loop) are only meaningfully
+# tested under the race detector.
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+cover:
+	go test -coverprofile=coverage.out ./...
+	go tool cover -func=coverage.out | tail -1
+
+bench:
+	go test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	rm -f coverage.out

@@ -5,6 +5,7 @@
 package softsoa_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/http/httptest"
@@ -183,7 +184,7 @@ func BenchmarkE9Fig6BrokerNegotiation(b *testing.B) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := broker.NewClient(ts.URL, ts.Client())
-	err := client.Publish(&soa.Document{
+	err := client.Publish(context.Background(), &soa.Document{
 		Service: "failmgmt", Provider: "p1", Region: "eu",
 		Attributes: []soa.Attribute{{
 			Name: "hours", Metric: soa.MetricCost,
@@ -203,7 +204,7 @@ func BenchmarkE9Fig6BrokerNegotiation(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sla, err := client.Negotiate(req)
+		sla, err := client.Negotiate(context.Background(), req)
 		if err != nil {
 			b.Fatal(err)
 		}

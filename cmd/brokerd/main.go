@@ -35,9 +35,34 @@ func main() {
 		"comma-separated capability vocabulary enabling MUST/MAY policies (e.g. http-auth,gzip)")
 	state := flag.String("state", "",
 		"registry persistence file: loaded on boot, saved on shutdown")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second,
+		"per-request handling deadline (0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 3,
+		"consecutive provider failures that open its circuit breaker")
+	breakerOpen := flag.Duration("breaker-open", 30*time.Second,
+		"how long an open breaker rejects a provider before a half-open probe")
+	failover := flag.Bool("failover", false,
+		"renegotiate an SLA against healthy providers when its violation rate crosses -failover-rate")
+	failoverRate := flag.Float64("failover-rate", 0.5,
+		"violation rate (violations/observations) that triggers failover")
+	failoverMinObs := flag.Int64("failover-min-obs", 3,
+		"minimum observations on an agreement before failover can trigger")
 	flag.Parse()
 
-	var opts []broker.ServerOption
+	opts := []broker.ServerOption{
+		broker.WithRequestTimeout(*requestTimeout),
+		broker.WithBreaker(broker.BreakerConfig{
+			FailureThreshold: *breakerThreshold,
+			OpenTimeout:      *breakerOpen,
+		}),
+	}
+	if *failover {
+		opts = append(opts, broker.WithFailover(broker.FailoverPolicy{
+			Enabled:         true,
+			ViolationRate:   *failoverRate,
+			MinObservations: *failoverMinObs,
+		}))
+	}
 	if *capabilities != "" {
 		names := strings.Split(*capabilities, ",")
 		for i := range names {

@@ -19,7 +19,17 @@
 //     QoS broker of Fig. 6 (negotiation with relaxation strategies,
 //     live sessions with retract-based renegotiation, compliance
 //     monitoring, single- and multi-objective composition, HTTP
-//     daemon);
+//     daemon). The daemon carries a dependability layer: per-provider
+//     circuit breakers consulted by negotiator and composer,
+//     violation-driven failover that renegotiates a degraded SLA onto
+//     healthy providers, panic-recovery and timeout middleware, and
+//     structured XML error bodies. The client takes a context on
+//     every method and offers WithRetry (exponential backoff +
+//     jitter; never retries the 409 behind ErrNoAgreement) and
+//     WithClientTimeout options;
+//   - internal/faults — a deterministic seeded fault injector
+//     (http.RoundTripper latency/drops/5xx plus provider-level QoS
+//     degradation) behind the chaos tests;
 //   - internal/integrity — dependability as refinement (Fig. 8);
 //   - internal/trust, internal/coalition — trust networks and
 //     trustworthy coalition formation (Fig. 9–10);

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -33,14 +34,14 @@ func main() {
 		doc("compress", "zipit", "eu", 3, 0.1),
 	}
 	for _, d := range docs {
-		if err := client.Publish(d); err != nil {
+		if err := client.Publish(context.Background(), d); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("published %-14s by %-14s region %s\n", d.Service, d.Provider, d.Region)
 	}
 
 	// Discovery (step: discovery).
-	found, err := client.Discover("red-filter")
+	found, err := client.Discover(context.Background(), "red-filter")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func main() {
 
 	// Single-service negotiation (steps: negotiation + binding).
 	lower := 12.0
-	sla, err := client.Negotiate(broker.NegotiateRequest{
+	sla, err := client.Negotiate(context.Background(), broker.NegotiateRequest{
 		Service: "red-filter",
 		Client:  "photo-shop",
 		Metric:  soa.MetricCost,
@@ -73,12 +74,12 @@ func main() {
 		Metric: soa.MetricCost,
 		Stages: []string{"red-filter", "bw-filter", "compress"},
 	}
-	opt, err := client.Compose(pipeline)
+	opt, err := client.Compose(context.Background(), pipeline)
 	if err != nil {
 		log.Fatal(err)
 	}
 	pipeline.Greedy = true
-	gre, err := client.Compose(pipeline)
+	gre, err := client.Compose(context.Background(), pipeline)
 	if err != nil {
 		log.Fatal(err)
 	}

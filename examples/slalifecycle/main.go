@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -40,7 +41,7 @@ func main() {
 				Base: base, PerUnit: 1, Resource: "failures", MaxUnits: 10,
 			}},
 		}
-		if err := client.Publish(doc); err != nil {
+		if err := client.Publish(context.Background(), doc); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("published %-8s base cost %.0f, capabilities %v\n", name, base, caps)
@@ -49,7 +50,7 @@ func main() {
 	publish("secure", 5, "http-auth", "gzip")
 
 	// 1. Negotiate under "MUST http-auth; MAY gzip".
-	sla, err := client.Negotiate(broker.NegotiateRequest{
+	sla, err := client.Negotiate(context.Background(), broker.NegotiateRequest{
 		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
@@ -66,7 +67,7 @@ func main() {
 	// 2. Renegotiate: retract the 2x failure-handling requirement for
 	// a flat one — the broker divides (÷) the old constraint out of
 	// the live store.
-	relaxed, err := client.Renegotiate(broker.RenegotiateRequest{
+	relaxed, err := client.Renegotiate(context.Background(), broker.RenegotiateRequest{
 		ID: sla.ID,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
@@ -80,7 +81,7 @@ func main() {
 
 	// 3. A too-demanding renegotiation is rejected; v2 stands.
 	lower := 1.0
-	if _, err := client.Renegotiate(broker.RenegotiateRequest{
+	if _, err := client.Renegotiate(context.Background(), broker.RenegotiateRequest{
 		ID: sla.ID,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
@@ -89,7 +90,7 @@ func main() {
 	}); err != nil {
 		fmt.Printf("demanding cost ≤ 1 rejected as expected: %v\n", err)
 	}
-	final, err := client.SLA(sla.ID)
+	final, err := client.SLA(context.Background(), sla.ID)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -203,13 +204,13 @@ func TestHTTPCapabilityNegotiation(t *testing.T) {
 	_ = ts
 	insecure := capDoc("insecure", 1, "gzip")
 	secure := capDoc("secure", 3, "http-auth", "gzip")
-	if err := client.Publish(insecure); err != nil {
+	if err := client.Publish(context.Background(), insecure); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Publish(secure); err != nil {
+	if err := client.Publish(context.Background(), secure); err != nil {
 		t.Fatal(err)
 	}
-	sla, err := client.Negotiate(NegotiateRequest{
+	sla, err := client.Negotiate(context.Background(), NegotiateRequest{
 		Service: "svc", Client: "shop", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 10},
 		Must:        []string{"http-auth"},
@@ -222,7 +223,7 @@ func TestHTTPCapabilityNegotiation(t *testing.T) {
 		t.Errorf("winner = %s, want secure", sla.Providers[0])
 	}
 	// Capabilities survive the XML round trip on discovery.
-	docs, err := client.Discover("svc")
+	docs, err := client.Discover(context.Background(), "svc")
 	if err != nil {
 		t.Fatal(err)
 	}

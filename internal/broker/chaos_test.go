@@ -1,0 +1,358 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"softsoa/internal/faults"
+	"softsoa/internal/soa"
+)
+
+// TestChaosDegradationFailover drives the full dependability loop the
+// paper motivates: a seeded injector degrades one provider's observed
+// QoS, the monitor records violations, the provider's breaker opens
+// within the failure budget, the broker fails the session over to the
+// remaining healthy provider by renegotiating the original request,
+// and compliance recovers below the threshold.
+func TestChaosDegradationFailover(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty,
+		WithBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Hour}),
+		WithFailover(FailoverPolicy{Enabled: true, ViolationRate: 0.5, MinObservations: 3}),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Transport faults ride along (deterministically: every request
+	// pays 1ms), proving the client survives an injected transport.
+	inj := faults.New(faults.Plan{
+		Seed:      42,
+		Providers: []string{"flaky"},
+		Latency:   time.Millisecond, LatencyProb: 1,
+		DegradeProb: 1, DegradeFactor: 3,
+	})
+	hc := &http.Client{Transport: inj.Transport(http.DefaultTransport)}
+	client := NewClient(ts.URL, hc, WithRetry(RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+	}))
+	ctx := context.Background()
+
+	// Two providers for the same service; the cheaper one will rot.
+	trueLevel := map[string]float64{"flaky": 2, "backup": 3}
+	if err := client.Publish(ctx, costDoc("flaky", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(ctx, costDoc("backup", "svc", 3, 0, "us")); err != nil {
+		t.Fatal(err)
+	}
+
+	sla, err := client.Negotiate(ctx, NegotiateRequest{
+		Service: "svc", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4), Upper: fptr(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla.Providers[0] != "flaky" || sla.AgreedLevel != 2 {
+		t.Fatalf("initial SLA = %+v, want flaky at level 2", sla)
+	}
+
+	// The prober measures the bound provider and reports what it saw;
+	// the injector degrades flaky's level 2 → 6, a violation.
+	provider := sla.Providers[0]
+	var failedOverAt int
+	for i := 1; i <= 3; i++ {
+		obs, err := client.Observe(ctx, sla.ID, inj.MeasureProvider(provider, trueLevel[provider]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !obs.Violated {
+			t.Fatalf("observation %d should violate the degraded SLA", i)
+		}
+		if obs.FailedOver {
+			failedOverAt = i
+			provider = obs.Provider
+		}
+	}
+	// Failure budget: threshold 3 consecutive violations == the
+	// failover minimum of 3 observations at rate 1.0.
+	if failedOverAt != 3 {
+		t.Fatalf("failover at observation %d, want 3", failedOverAt)
+	}
+	if provider != "backup" {
+		t.Fatalf("failed over to %q, want backup", provider)
+	}
+
+	// The sick provider's breaker is open; the healthy one is closed.
+	health, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]string{}
+	for _, ph := range health {
+		states[ph.Name] = ph.State
+	}
+	if states["flaky"] != "open" {
+		t.Errorf("flaky breaker = %q, want open", states["flaky"])
+	}
+	if states["backup"] != "closed" {
+		t.Errorf("backup breaker = %q, want closed", states["backup"])
+	}
+
+	// The rebound agreement: same ID, next version, healthy provider.
+	bound, err := client.SLA(ctx, sla.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Providers[0] != "backup" || bound.AgreedLevel != 3 || bound.Version != 2 {
+		t.Fatalf("post-failover SLA = %+v, want backup at level 3, v2", bound)
+	}
+
+	// Compliance recovers: backup is untargeted, so observed levels
+	// match the new agreement and the violation rate stays at zero.
+	for i := 0; i < 5; i++ {
+		obs, err := client.Observe(ctx, sla.ID, inj.MeasureProvider(provider, trueLevel[provider]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Violated || obs.FailedOver {
+			t.Fatalf("post-failover observation %d = %+v, want compliant", i, obs)
+		}
+	}
+	report, err := client.Compliance(ctx, sla.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Observations != 5 || report.ViolationRate > 0.5 {
+		t.Fatalf("post-failover report = %+v, want 5 compliant observations", report)
+	}
+	if s := inj.Stats(); s.Degradations != 3 || s.Latencies == 0 {
+		t.Errorf("injector stats = %+v, want 3 degradations and some latencies", s)
+	}
+}
+
+// TestChaosZeroFaultRunMatchesDirect verifies the injector at rest is
+// invisible: the same negotiation through a zero-fault transport
+// yields a byte-identical SLA to one negotiated directly.
+func TestChaosZeroFaultRunMatchesDirect(t *testing.T) {
+	negotiate := func(hc *http.Client, url string, opts ...ClientOption) []byte {
+		client := NewClient(url, hc, opts...)
+		ctx := context.Background()
+		if err := client.Publish(ctx, costDoc("p1", "failmgmt", 2, 0, "eu")); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Publish(ctx, costDoc("p2", "failmgmt", 7, 1, "us")); err != nil {
+			t.Fatal(err)
+		}
+		sla, err := client.Negotiate(ctx, NegotiateRequest{
+			Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+			Requirement: soa.Attribute{
+				Name: "hours", Metric: soa.MetricCost,
+				Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+			},
+			Lower: fptr(4), Upper: fptr(1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sla.Render()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	direct := httptest.NewServer(NewServer(DefaultLinkPenalty).Handler())
+	t.Cleanup(direct.Close)
+	plain := negotiate(direct.Client(), direct.URL)
+
+	chaos := httptest.NewServer(NewServer(DefaultLinkPenalty,
+		WithBreaker(BreakerConfig{}), WithFailover(FailoverPolicy{Enabled: true}),
+	).Handler())
+	t.Cleanup(chaos.Close)
+	inj := faults.New(faults.Plan{Seed: 42}) // zero probabilities: no faults
+	faulted := negotiate(&http.Client{Transport: inj.Transport(http.DefaultTransport)},
+		chaos.URL, WithRetry(DefaultRetryPolicy))
+
+	if string(plain) != string(faulted) {
+		t.Errorf("zero-fault SLA differs from direct run:\n direct: %s\n chaos:  %s", plain, faulted)
+	}
+	if s := inj.Stats(); s != (faults.Stats{}) {
+		t.Errorf("zero-fault injector produced faults: %+v", s)
+	}
+}
+
+// TestConcurrentSLALifecycle hammers shared SLAs with negotiate,
+// observe, renegotiate, compliance and SLA-fetch traffic from many
+// goroutines; run under -race it checks the per-session critical
+// sections (notably renegotiate + monitor rebase) hold up.
+func TestConcurrentSLALifecycle(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	if err := client.Publish(ctx, costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+
+	newSLA := func() *soa.SLA {
+		sla, err := client.Negotiate(ctx, NegotiateRequest{
+			Service: "svc", Client: "shop", Metric: soa.MetricCost,
+			Requirement: soa.Attribute{
+				Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sla
+	}
+	shared := []*soa.SLA{newSLA(), newSLA(), newSLA()}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sla := shared[i%len(shared)]
+			for j := 0; j < 8; j++ {
+				switch j % 4 {
+				case 0:
+					// Compliant observation (cost 1 beats agreed 2).
+					if _, err := client.Observe(ctx, sla.ID, 1); err != nil {
+						errs <- fmt.Errorf("observe: %w", err)
+					}
+				case 1:
+					// Renegotiations may be rejected under contention;
+					// only transport/5xx failures are bugs.
+					_, err := client.Renegotiate(ctx, RenegotiateRequest{
+						ID: sla.ID,
+						Requirement: soa.Attribute{
+							Metric: soa.MetricCost, Base: 0, PerUnit: float64(1 + j%3),
+							Resource: "failures", MaxUnits: 10,
+						},
+					})
+					var noAgree *ErrNoAgreement
+					if err != nil && !errors.As(err, &noAgree) {
+						errs <- fmt.Errorf("renegotiate: %w", err)
+					}
+				case 2:
+					if _, err := client.Compliance(ctx, sla.ID); err != nil {
+						errs <- fmt.Errorf("compliance: %w", err)
+					}
+				case 3:
+					if _, err := client.SLA(ctx, sla.ID); err != nil {
+						errs <- fmt.Errorf("sla: %w", err)
+					}
+				}
+			}
+			// Fresh negotiations interleave with the shared traffic.
+			if _, err := client.Negotiate(ctx, NegotiateRequest{
+				Service: "svc", Client: fmt.Sprintf("c%d", i), Metric: soa.MetricCost,
+				Requirement: soa.Attribute{
+					Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5,
+				},
+			}); err != nil {
+				errs <- fmt.Errorf("negotiate: %w", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every shared agreement is still coherent: fetchable, monitored,
+	// and at a version no lower than the initial agreement.
+	for _, sla := range shared {
+		got, err := client.SLA(ctx, sla.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Version < 1 {
+			t.Errorf("SLA %s version = %d", sla.ID, got.Version)
+		}
+		report, err := client.Compliance(ctx, sla.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Violations != 0 {
+			t.Errorf("SLA %s recorded %d violations from compliant traffic", sla.ID, report.Violations)
+		}
+	}
+}
+
+// TestRecoveryMiddleware proves a handler panic surfaces as a
+// structured 500 instead of a dropped connection.
+func TestRecoveryMiddleware(t *testing.T) {
+	h := withRecovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := httputil.DumpResponse(resp, true)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500:\n%s", resp.StatusCode, dump)
+	}
+	if !strings.Contains(string(dump), `reason="internal error: boom"`) {
+		t.Errorf("panic reason not in structured body:\n%s", dump)
+	}
+}
+
+// TestBreakerSkipsSickProviderInOutcome checks a provider with an
+// open breaker is reported as skipped, not negotiated with.
+func TestBreakerSkipsSickProviderInOutcome(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty, WithBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour}))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	if err := client.Publish(ctx, costDoc("sick", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Health().Trip("sick")
+	_, err := client.Negotiate(ctx, NegotiateRequest{
+		Service: "svc", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5,
+		},
+	})
+	var noAgree *ErrNoAgreement
+	if !errors.As(err, &noAgree) {
+		t.Fatalf("err = %v, want ErrNoAgreement with the only provider quarantined", err)
+	}
+
+	// Composition skips the sick provider too.
+	if err := client.Publish(ctx, costDoc("well", "svc", 9, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	sla, err := client.Compose(ctx, ComposeRequest{
+		Client: "shop", Metric: soa.MetricCost, Stages: []string{"svc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla.Providers[0] != "well" {
+		t.Errorf("composition bound %q, want the healthy provider", sla.Providers[0])
+	}
+}

@@ -2,30 +2,96 @@ package broker
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"sync"
+	"time"
 
 	"softsoa/internal/soa"
 )
 
+// RetryPolicy configures the client's retry loop for retryable
+// failures: connection errors and 5xx responses. Definitive broker
+// answers — 2xx, 4xx and in particular the 409 behind ErrNoAgreement —
+// are never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Values <= 1 disable retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it (exponential backoff). Zero means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 2s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay drawn uniformly at random
+	// and added to it, in [0,1]; it decorrelates clients hammering a
+	// recovering broker. Zero means no jitter.
+	Jitter float64
+	// Seed makes the jitter sequence deterministic (tests); the zero
+	// seed is used as-is.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// DefaultRetryPolicy is a sensible production policy: 3 attempts, 50ms
+// base delay, 50% jitter.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, Jitter: 0.5}
+
 // Client is a typed HTTP client for a broker daemon. The zero value
-// is unusable; construct with NewClient.
+// is unusable; construct with NewClient. Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	timeout time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetry enables retries with the given policy.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// WithClientTimeout bounds each individual attempt (not the whole
+// retry loop, which the caller bounds via its context). Zero means
+// no per-attempt timeout.
+func WithClientTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
 }
 
 // NewClient returns a client for the broker at baseURL (e.g.
 // "http://localhost:8700"). A nil httpClient uses
-// http.DefaultClient.
-func NewClient(baseURL string, httpClient *http.Client) *Client {
+// http.DefaultClient. Without options the client makes exactly one
+// attempt per call, preserving the behaviour of earlier versions.
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: baseURL, hc: httpClient}
+	c := &Client{base: baseURL, hc: httpClient}
+	for _, o := range opts {
+		o(c)
+	}
+	c.rng = rand.New(rand.NewSource(c.retry.Seed))
+	return c
 }
 
 // ErrNoAgreement is returned when the broker found no acceptable
@@ -42,15 +108,133 @@ func (e *ErrNoAgreement) Error() string {
 	return fmt.Sprintf("broker: no agreement: %s", e.Reason)
 }
 
+// BrokerError is a non-2xx broker response decoded from the
+// structured <error reason="..."/> body.
+type BrokerError struct {
+	// Op is the failing operation (the request path).
+	Op string
+	// Status is the HTTP status code.
+	Status int
+	// Reason is the broker's structured reason, or the raw body when
+	// the broker (or an intermediary) answered with something else.
+	Reason string
+}
+
+// Error implements error.
+func (e *BrokerError) Error() string {
+	return fmt.Sprintf("broker: %s: HTTP %d: %s", e.Op, e.Status, e.Reason)
+}
+
+// Temporary reports whether the failure is server-side and worth
+// retrying (5xx).
+func (e *BrokerError) Temporary() bool { return e.Status >= 500 }
+
+// do runs one HTTP request with the client's retry policy: connection
+// errors and 5xx responses are retried with exponential backoff and
+// jitter until the attempts are exhausted or ctx is cancelled; any
+// other response is returned to the caller immediately.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := c.attempt(ctx, method, path, body)
+		if err == nil && resp.StatusCode < 500 {
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = fmt.Errorf("broker: %s: %w", path, err)
+		} else {
+			lastErr = httpError(path, resp)
+			discard(resp)
+		}
+		// Never keep retrying past the caller's deadline or after the
+		// budget is spent.
+		if attempt >= attempts || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.backoff(attempt)):
+		}
+	}
+}
+
+// attempt runs a single HTTP round trip under the per-attempt
+// timeout.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		// The response body must stay readable after we return, so the
+		// cancel is tied to the body's lifetime below.
+		resp, err := c.roundTrip(ctx, method, path, body)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+		return resp, nil
+	}
+	return c.roundTrip(ctx, method, path, body)
+}
+
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/xml")
+	}
+	return c.hc.Do(req)
+}
+
+// cancelOnClose releases a per-attempt timeout context when the
+// response body is closed.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// backoff computes the delay before retry number attempt (1-based):
+// BaseDelay·2^(attempt-1), capped at MaxDelay, plus uniform jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.retry.BaseDelay << (attempt - 1)
+	if d <= 0 || d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	if c.retry.Jitter > 0 {
+		c.mu.Lock()
+		f := c.rng.Float64()
+		c.mu.Unlock()
+		d += time.Duration(f * c.retry.Jitter * float64(d))
+	}
+	return d
+}
+
 // Publish registers a provider QoS document with the broker.
-func (c *Client) Publish(doc *soa.Document) error {
+func (c *Client) Publish(ctx context.Context, doc *soa.Document) error {
 	body, err := doc.Render()
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+"/publish", "application/xml", bytes.NewReader(body))
+	resp, err := c.do(ctx, http.MethodPost, "/publish", body)
 	if err != nil {
-		return fmt.Errorf("broker: publish: %w", err)
+		return err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusCreated {
@@ -60,11 +244,10 @@ func (c *Client) Publish(doc *soa.Document) error {
 }
 
 // Discover lists the registered QoS documents for a service.
-func (c *Client) Discover(service string) ([]soa.Document, error) {
-	u := c.base + "/discover?service=" + url.QueryEscape(service)
-	resp, err := c.hc.Get(u)
+func (c *Client) Discover(ctx context.Context, service string) ([]soa.Document, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/discover?service="+url.QueryEscape(service), nil)
 	if err != nil {
-		return nil, fmt.Errorf("broker: discover: %w", err)
+		return nil, err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusOK {
@@ -79,35 +262,35 @@ func (c *Client) Discover(service string) ([]soa.Document, error) {
 
 // Negotiate runs a QoS negotiation and returns the signed SLA. A
 // *ErrNoAgreement error reports a completed but unsuccessful
-// negotiation.
-func (c *Client) Negotiate(req NegotiateRequest) (*soa.SLA, error) {
-	return c.postForSLA("/negotiate", req)
+// negotiation and is never retried.
+func (c *Client) Negotiate(ctx context.Context, req NegotiateRequest) (*soa.SLA, error) {
+	return c.postForSLA(ctx, "/negotiate", req)
 }
 
 // Compose asks the broker to bind a pipeline of services.
-func (c *Client) Compose(req ComposeRequest) (*soa.SLA, error) {
-	return c.postForSLA("/compose", req)
+func (c *Client) Compose(ctx context.Context, req ComposeRequest) (*soa.SLA, error) {
+	return c.postForSLA(ctx, "/compose", req)
 }
 
 // Renegotiate relaxes an existing agreement: the broker retracts the
 // old requirement from the SLA's live store and tells the new one.
 // A *ErrNoAgreement error means the relaxation was rejected and the
 // previous agreement stands.
-func (c *Client) Renegotiate(req RenegotiateRequest) (*soa.SLA, error) {
-	return c.postForSLA("/renegotiate", req)
+func (c *Client) Renegotiate(ctx context.Context, req RenegotiateRequest) (*soa.SLA, error) {
+	return c.postForSLA(ctx, "/renegotiate", req)
 }
 
 // Observe reports one measured service level for an agreement and
 // returns whether it violated the SLA with the updated compliance
 // summary.
-func (c *Client) Observe(id string, level float64) (*ObserveResponse, error) {
+func (c *Client) Observe(ctx context.Context, id string, level float64) (*ObserveResponse, error) {
 	body, err := xml.Marshal(ObserveRequest{ID: id, Level: level})
 	if err != nil {
 		return nil, fmt.Errorf("broker: encode observation: %w", err)
 	}
-	resp, err := c.hc.Post(c.base+"/observe", "application/xml", bytes.NewReader(body))
+	resp, err := c.do(ctx, http.MethodPost, "/observe", body)
 	if err != nil {
-		return nil, fmt.Errorf("broker: observe: %w", err)
+		return nil, err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusOK {
@@ -121,10 +304,10 @@ func (c *Client) Observe(id string, level float64) (*ObserveResponse, error) {
 }
 
 // Compliance fetches the compliance summary for an agreement.
-func (c *Client) Compliance(id string) (*MonitorReport, error) {
-	resp, err := c.hc.Get(c.base + "/compliance?id=" + url.QueryEscape(id))
+func (c *Client) Compliance(ctx context.Context, id string) (*MonitorReport, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/compliance?id="+url.QueryEscape(id), nil)
 	if err != nil {
-		return nil, fmt.Errorf("broker: compliance: %w", err)
+		return nil, err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusOK {
@@ -138,10 +321,10 @@ func (c *Client) Compliance(id string) (*MonitorReport, error) {
 }
 
 // SLA fetches the current agreement by id.
-func (c *Client) SLA(id string) (*soa.SLA, error) {
-	resp, err := c.hc.Get(c.base + "/sla?id=" + url.QueryEscape(id))
+func (c *Client) SLA(ctx context.Context, id string) (*soa.SLA, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/sla?id="+url.QueryEscape(id), nil)
 	if err != nil {
-		return nil, fmt.Errorf("broker: sla: %w", err)
+		return nil, err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusOK {
@@ -154,14 +337,31 @@ func (c *Client) SLA(id string) (*soa.SLA, error) {
 	return &sla, nil
 }
 
-func (c *Client) postForSLA(path string, req any) (*soa.SLA, error) {
+// Health fetches the broker's per-provider circuit breaker states.
+func (c *Client) Health(ctx context.Context) ([]ProviderHealth, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/health", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer discard(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("health", resp)
+	}
+	var hr HealthResponse
+	if err := xml.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return nil, fmt.Errorf("broker: decode health: %w", err)
+	}
+	return hr.Providers, nil
+}
+
+func (c *Client) postForSLA(ctx context.Context, path string, req any) (*soa.SLA, error) {
 	body, err := xml.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("broker: encode request: %w", err)
 	}
-	resp, err := c.hc.Post(c.base+path, "application/xml", bytes.NewReader(body))
+	resp, err := c.do(ctx, http.MethodPost, path, body)
 	if err != nil {
-		return nil, fmt.Errorf("broker: %s: %w", path, err)
+		return nil, err
 	}
 	defer discard(resp)
 	switch resp.StatusCode {
@@ -182,9 +382,18 @@ func (c *Client) postForSLA(path string, req any) (*soa.SLA, error) {
 	}
 }
 
+// httpError turns a non-2xx response into a *BrokerError, decoding
+// the broker's structured <error reason="..."/> body when present.
 func httpError(op string, resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return fmt.Errorf("broker: %s: HTTP %d: %s", op, resp.StatusCode, bytes.TrimSpace(msg))
+	be := &BrokerError{Op: op, Status: resp.StatusCode}
+	var xe XMLError
+	if err := xml.Unmarshal(msg, &xe); err == nil && xe.Reason != "" {
+		be.Reason = xe.Reason
+	} else {
+		be.Reason = string(bytes.TrimSpace(msg))
+	}
+	return be
 }
 
 func discard(resp *http.Response) {

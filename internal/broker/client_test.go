@@ -1,0 +1,201 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"softsoa/internal/soa"
+)
+
+// flaky returns a handler failing with 502 for the first n requests,
+// then delegating, plus a counter of requests seen.
+func flaky(n int, next http.Handler) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			writeError(w, http.StatusBadGateway, "transient upstream failure")
+			return
+		}
+		next.ServeHTTP(w, r)
+	}), &calls
+}
+
+func fastRetry(attempts int) ClientOption {
+	return WithRetry(RetryPolicy{
+		MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Jitter: 0.5,
+	})
+}
+
+func TestClientRetriesTransient5xx(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	h, calls := flaky(2, srv.Handler())
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client(), fastRetry(3))
+
+	if err := client.Publish(context.Background(), costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatalf("publish should succeed on the third attempt: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestClientExhaustsRetriesWithTypedError(t *testing.T) {
+	h, calls := flaky(100, http.NotFoundHandler())
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client(), fastRetry(3))
+
+	err := client.Publish(context.Background(), costDoc("p1", "svc", 2, 0, "eu"))
+	var be *BrokerError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BrokerError", err)
+	}
+	if be.Status != http.StatusBadGateway || be.Reason != "transient upstream failure" {
+		t.Errorf("BrokerError = %+v, want decoded structured reason", be)
+	}
+	if !be.Temporary() {
+		t.Error("5xx should be Temporary")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want exactly 3 attempts", got)
+	}
+}
+
+func TestClientNeverRetriesNoAgreement(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	var calls atomic.Int64
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/negotiate" {
+			calls.Add(1)
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counted)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client(), fastRetry(5))
+
+	if err := client.Publish(context.Background(), costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.Negotiate(context.Background(), NegotiateRequest{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4), Upper: fptr(1),
+	})
+	var noAgree *ErrNoAgreement
+	if !errors.As(err, &noAgree) {
+		t.Fatalf("err = %v, want ErrNoAgreement", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("409 no-agreement was retried: %d negotiate requests", got)
+	}
+}
+
+func TestClientStructuredErrorsOn4xx(t *testing.T) {
+	_, client := newTestServer(t)
+	_, err := client.SLA(context.Background(), "sla-404")
+	var be *BrokerError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BrokerError", err)
+	}
+	if be.Status != http.StatusNotFound || be.Reason != `unknown SLA "sla-404"` {
+		t.Errorf("BrokerError = %+v", be)
+	}
+	if be.Temporary() {
+		t.Error("404 must not be Temporary")
+	}
+}
+
+func TestClientRespectsContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	t.Cleanup(func() { close(block); ts.Close() })
+	client := NewClient(ts.URL, ts.Client(), fastRetry(3))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := client.Discover(ctx, "svc"); err == nil {
+		t.Fatal("cancelled request should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled request did not return promptly: %v", elapsed)
+	}
+}
+
+func TestClientCancelledBetweenRetries(t *testing.T) {
+	h, calls := flaky(100, http.NotFoundHandler())
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client(), WithRetry(RetryPolicy{
+		MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second,
+	}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := client.Publish(ctx, costDoc("p1", "svc", 2, 0, "eu"))
+	if err == nil {
+		t.Fatal("publish should fail")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("retry loop ignored context deadline: ran %v", elapsed)
+	}
+	if got := calls.Load(); got >= 10 {
+		t.Errorf("retry loop ran to exhaustion (%d attempts) despite cancellation", got)
+	}
+}
+
+func TestClientPerAttemptTimeout(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	}))
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client(), WithClientTimeout(20*time.Millisecond))
+
+	start := time.Now()
+	_, err := client.Discover(context.Background(), "svc")
+	if err == nil {
+		t.Fatal("timed-out request should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("per-attempt timeout not applied: ran %v", elapsed)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	c := NewClient("http://x", nil, WithRetry(RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond,
+	}))
+	var prev time.Duration
+	for attempt := 1; attempt <= 4; attempt++ {
+		d := c.backoff(attempt)
+		if d < prev {
+			t.Errorf("backoff(%d) = %v, shrank below %v", attempt, d, prev)
+		}
+		if d > 40*time.Millisecond {
+			t.Errorf("backoff(%d) = %v exceeds the cap", attempt, d)
+		}
+		prev = d
+	}
+	if c.backoff(1) != 10*time.Millisecond {
+		t.Errorf("backoff(1) = %v, want the base delay", c.backoff(1))
+	}
+}

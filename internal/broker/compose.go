@@ -91,6 +91,7 @@ type Composer struct {
 	reg     *soa.Registry
 	penalty LinkPenalty
 	vocab   *policy.Vocabulary
+	filter  ProviderFilter
 }
 
 // ComposerOption configures a Composer.
@@ -101,6 +102,13 @@ type ComposerOption func(*Composer)
 // requests.
 func WithComposerVocabulary(v *policy.Vocabulary) ComposerOption {
 	return func(c *Composer) { c.vocab = v }
+}
+
+// WithComposerProviderFilter gates stage candidates on the filter, so
+// providers with an open circuit breaker are never bound into a
+// pipeline. A nil filter admits everyone.
+func WithComposerProviderFilter(f ProviderFilter) ComposerOption {
+	return func(c *Composer) { c.filter = f }
 }
 
 // NewComposer returns a composer with the given link penalty.
@@ -129,6 +137,11 @@ func (c *Composer) candidates(sr semiring.Semiring[float64], req PipelineRequest
 	docs := c.reg.Discover(stage)
 	var out []candidate
 	for _, d := range docs {
+		if c.filter != nil {
+			if ok, _ := c.filter(d.Provider); !ok {
+				continue
+			}
+		}
 		attr, ok := d.Attr(metric)
 		if !ok {
 			continue

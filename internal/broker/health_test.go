@@ -1,0 +1,105 @@
+package broker
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBoard(threshold int, openFor time.Duration) (*HealthBoard, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	return NewHealthBoard(BreakerConfig{
+		FailureThreshold: threshold, OpenTimeout: openFor, Clock: clk.now,
+	}), clk
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	h, _ := testBoard(3, time.Minute)
+	if !h.Allow("p") {
+		t.Fatal("fresh provider should be allowed")
+	}
+	h.RecordFailure("p")
+	h.RecordFailure("p")
+	if h.State("p") != BreakerClosed || !h.Allow("p") {
+		t.Fatal("breaker should stay closed below the threshold")
+	}
+	h.RecordFailure("p")
+	if h.State("p") != BreakerOpen {
+		t.Fatalf("state = %v, want open after 3 failures", h.State("p"))
+	}
+	if h.Allow("p") {
+		t.Error("open breaker should reject traffic")
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	h, _ := testBoard(3, time.Minute)
+	h.RecordFailure("p")
+	h.RecordFailure("p")
+	h.RecordSuccess("p")
+	h.RecordFailure("p")
+	h.RecordFailure("p")
+	if h.State("p") != BreakerClosed {
+		t.Error("non-consecutive failures should not open the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	h, clk := testBoard(1, time.Minute)
+	h.RecordFailure("p")
+	if h.Allow("p") {
+		t.Fatal("open breaker should reject before the timeout")
+	}
+	clk.advance(time.Minute)
+	if !h.Allow("p") {
+		t.Fatal("breaker past its timeout should admit a probe")
+	}
+	if h.State("p") != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", h.State("p"))
+	}
+	if h.Allow("p") {
+		t.Error("half-open breaker should admit only one probe at a time")
+	}
+	// A failed probe re-opens immediately; a successful one closes.
+	h.RecordFailure("p")
+	if h.State("p") != BreakerOpen || h.Allow("p") {
+		t.Error("failed probe should re-open the breaker")
+	}
+	clk.advance(time.Minute)
+	if !h.Allow("p") {
+		t.Fatal("second probe should be admitted")
+	}
+	h.RecordSuccess("p")
+	if h.State("p") != BreakerClosed || !h.Allow("p") {
+		t.Error("successful probe should close the breaker")
+	}
+}
+
+func TestBreakerTrip(t *testing.T) {
+	h, _ := testBoard(5, time.Minute)
+	h.Trip("p")
+	if h.State("p") != BreakerOpen || h.Allow("p") {
+		t.Error("Trip should open the breaker regardless of failures")
+	}
+	if !h.Allow("q") {
+		t.Error("tripping one provider must not affect others")
+	}
+}
+
+func TestBoardSnapshotSorted(t *testing.T) {
+	h, _ := testBoard(1, time.Minute)
+	h.RecordFailure("zeta")
+	h.RecordSuccess("alpha")
+	snap := h.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "alpha" || snap[1].Name != "zeta" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[1].State != "open" {
+		t.Errorf("zeta state = %q, want open", snap[1].State)
+	}
+}

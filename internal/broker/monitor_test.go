@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -91,10 +92,10 @@ func TestMonitorEmptyIsHealthy(t *testing.T) {
 func TestHTTPMonitoringLifecycle(t *testing.T) {
 	srv := NewServer(DefaultLinkPenalty)
 	client, _ := clientFor(t, srv)
-	if err := client.Publish(costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+	if err := client.Publish(context.Background(), costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
 		t.Fatal(err)
 	}
-	sla, err := client.Negotiate(NegotiateRequest{
+	sla, err := client.Negotiate(context.Background(), NegotiateRequest{
 		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
@@ -104,21 +105,21 @@ func TestHTTPMonitoringLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Agreed level 5. An observed cost of 6.5 violates.
-	obs, err := client.Observe(sla.ID, 6.5)
+	obs, err := client.Observe(context.Background(), sla.ID, 6.5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !obs.Violated {
 		t.Error("6.5 over agreed 5 must violate")
 	}
-	obs, err = client.Observe(sla.ID, 4)
+	obs, err = client.Observe(context.Background(), sla.ID, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if obs.Violated {
 		t.Error("4 under agreed 5 must comply")
 	}
-	rep, err := client.Compliance(sla.ID)
+	rep, err := client.Compliance(context.Background(), sla.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestHTTPMonitoringLifecycle(t *testing.T) {
 
 	// Renegotiation rebases the monitor (same flat requirement keeps
 	// level 5 here, but the path is exercised).
-	if _, err := client.Renegotiate(RenegotiateRequest{
+	if _, err := client.Renegotiate(context.Background(), RenegotiateRequest{
 		ID: sla.ID,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
@@ -136,7 +137,7 @@ func TestHTTPMonitoringLifecycle(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err = client.Compliance(sla.ID)
+	rep, err = client.Compliance(context.Background(), sla.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,10 +146,10 @@ func TestHTTPMonitoringLifecycle(t *testing.T) {
 	}
 
 	// Unknown id paths.
-	if _, err := client.Observe("sla-999", 1); err == nil {
+	if _, err := client.Observe(context.Background(), "sla-999", 1); err == nil {
 		t.Error("unknown SLA should fail")
 	}
-	if _, err := client.Compliance("sla-999"); err == nil {
+	if _, err := client.Compliance(context.Background(), "sla-999"); err == nil {
 		t.Error("unknown SLA should fail")
 	}
 }

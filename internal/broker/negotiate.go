@@ -94,10 +94,17 @@ type Outcome struct {
 	Best int
 }
 
+// ProviderFilter gates provider selection: it reports whether the
+// provider may be negotiated with and, when not, why (e.g. "circuit
+// breaker open"). The broker server installs one backed by its
+// HealthBoard so sick providers are skipped.
+type ProviderFilter func(provider string) (ok bool, reason string)
+
 // Negotiator is the broker's negotiation engine over a registry.
 type Negotiator struct {
-	reg   *soa.Registry
-	vocab *policy.Vocabulary
+	reg    *soa.Registry
+	vocab  *policy.Vocabulary
+	filter ProviderFilter
 }
 
 // NegotiatorOption configures a Negotiator.
@@ -107,6 +114,13 @@ type NegotiatorOption func(*Negotiator)
 // enabling MUST/MAY capability policies in requests.
 func WithVocabulary(v *policy.Vocabulary) NegotiatorOption {
 	return func(n *Negotiator) { n.vocab = v }
+}
+
+// WithProviderFilter gates every negotiation on the filter; excluded
+// providers appear in the outcome as skipped with the filter's
+// reason. A nil filter admits everyone.
+func WithProviderFilter(f ProviderFilter) NegotiatorOption {
+	return func(n *Negotiator) { n.filter = f }
 }
 
 // NewNegotiator returns a negotiator over the registry.
@@ -152,6 +166,14 @@ func (n *Negotiator) negotiate(req Request) (*soa.SLA, *Session, *Outcome, error
 	var bestLevel, bestPref float64
 	var bestSession *Session
 	for _, doc := range docs {
+		if n.filter != nil {
+			if ok, reason := n.filter(doc.Provider); !ok {
+				out.PerProvider = append(out.PerProvider, ProviderOutcome{
+					Provider: doc.Provider, Status: sccp.Stuck, Skipped: reason,
+				})
+				continue
+			}
+		}
 		attr, ok := doc.Attr(req.Metric)
 		if !ok {
 			out.PerProvider = append(out.PerProvider, ProviderOutcome{

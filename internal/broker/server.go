@@ -6,8 +6,10 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"softsoa/internal/policy"
+	"softsoa/internal/sccp"
 	"softsoa/internal/soa"
 )
 
@@ -66,6 +68,13 @@ type ProviderReport struct {
 	Status string `xml:"status,attr"`
 }
 
+// XMLError is the structured error body the broker returns for every
+// failed request: <error reason="..."/>.
+type XMLError struct {
+	XMLName xml.Name `xml:"error"`
+	Reason  string   `xml:"reason,attr"`
+}
+
 // RenegotiateRequest is the XML body of POST /renegotiate: the
 // client's new requirement and acceptance interval for an existing
 // agreement.
@@ -86,34 +95,63 @@ type ObserveRequest struct {
 }
 
 // ObserveResponse reports whether the observation violated the SLA,
-// with the updated compliance summary.
+// with the updated compliance summary. When the violation rate
+// crossed the failover threshold, FailedOver is true, Provider names
+// the newly bound provider and Report summarises the fresh agreement.
 type ObserveResponse struct {
-	XMLName  xml.Name      `xml:"observation"`
-	ID       string        `xml:"id,attr"`
-	Violated bool          `xml:"violated,attr"`
-	Report   MonitorReport `xml:"report"`
+	XMLName    xml.Name      `xml:"observation"`
+	ID         string        `xml:"id,attr"`
+	Violated   bool          `xml:"violated,attr"`
+	Provider   string        `xml:"provider,attr,omitempty"`
+	FailedOver bool          `xml:"failedOver,attr,omitempty"`
+	Report     MonitorReport `xml:"report"`
 }
 
+// slaEntry is the server-side record of one live agreement: the
+// session, its compliance monitor, and the original request (kept for
+// violation-driven failover). Each entry carries its own lock so
+// renegotiation and monitor rebasing happen in one critical section
+// per agreement without serialising unrelated SLAs.
+type slaEntry struct {
+	mu sync.Mutex
+	// session is the live constraint store behind the agreement; it
+	// is replaced wholesale on failover.
+	session *Session
+	mon     *Monitor
+	// req is the original negotiation request, replayed against the
+	// remaining healthy providers when the agreement fails over.
+	req Request
+	// versionBase offsets session.Version() so the wire version keeps
+	// increasing monotonically across failovers.
+	versionBase int
+}
+
+func (e *slaEntry) version() int { return e.versionBase + e.session.Version() }
+
 // Server is the broker daemon: registry + negotiator + composer
-// behind an HTTP mux, plus the store of live SLA sessions and their
-// compliance monitors.
+// behind an HTTP mux, plus the store of live SLA sessions, their
+// compliance monitors, and the per-provider circuit breakers.
 type Server struct {
 	reg        *soa.Registry
 	negotiator *Negotiator
 	composer   *Composer
-	mux        *http.ServeMux
+	handler    http.Handler
+	health     *HealthBoard
+	failover   FailoverPolicy
 
-	mu       sync.Mutex
-	sessions map[string]*Session
-	monitors map[string]*Monitor
-	nextID   int
+	mu      sync.Mutex
+	entries map[string]*slaEntry
+	nextID  int
 }
 
 // ServerOption configures a Server.
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	vocab *policy.Vocabulary
+	vocab    *policy.Vocabulary
+	breaker  BreakerConfig
+	failover FailoverPolicy
+	timeout  time.Duration
 }
 
 // WithServerVocabulary equips the broker daemon with a capability
@@ -122,21 +160,50 @@ func WithServerVocabulary(v *policy.Vocabulary) ServerOption {
 	return func(c *serverConfig) { c.vocab = v }
 }
 
+// WithBreaker tunes the per-provider circuit breakers.
+func WithBreaker(cfg BreakerConfig) ServerOption {
+	return func(c *serverConfig) { c.breaker = cfg }
+}
+
+// WithFailover enables violation-driven failover with the given
+// policy.
+func WithFailover(p FailoverPolicy) ServerOption {
+	return func(c *serverConfig) { c.failover = p.withDefaults() }
+}
+
+// WithRequestTimeout bounds each request's total handling time
+// (default 30s; <= 0 disables the timeout middleware).
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.timeout = d }
+}
+
 // NewServer returns a broker server over a fresh registry with the
 // given link penalty for compositions.
 func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
-	var cfg serverConfig
+	cfg := serverConfig{timeout: 30 * time.Second}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	reg := soa.NewRegistry()
 	s := &Server{
-		reg:        reg,
-		negotiator: NewNegotiator(reg, WithVocabulary(cfg.vocab)),
-		composer:   NewComposer(reg, penalty, WithComposerVocabulary(cfg.vocab)),
-		sessions:   make(map[string]*Session),
-		monitors:   make(map[string]*Monitor),
+		reg:      reg,
+		health:   NewHealthBoard(cfg.breaker),
+		failover: cfg.failover,
+		entries:  make(map[string]*slaEntry),
 	}
+	// The breaker board gates provider selection in both the
+	// negotiator and the composer, so a sick provider is skipped
+	// everywhere until a half-open probe shows recovery.
+	filter := func(provider string) (bool, string) {
+		if s.health.Allow(provider) {
+			return true, ""
+		}
+		return false, "circuit breaker open"
+	}
+	s.negotiator = NewNegotiator(reg, WithVocabulary(cfg.vocab), WithProviderFilter(filter))
+	s.composer = NewComposer(reg, penalty,
+		WithComposerVocabulary(cfg.vocab), WithComposerProviderFilter(filter))
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /publish", s.handlePublish)
 	mux.HandleFunc("GET /discover", s.handleDiscover)
@@ -146,7 +213,13 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 	mux.HandleFunc("POST /observe", s.handleObserve)
 	mux.HandleFunc("GET /compliance", s.handleCompliance)
 	mux.HandleFunc("POST /compose", s.handleCompose)
-	s.mux = mux
+	mux.HandleFunc("GET /health", s.handleHealth)
+
+	var h http.Handler = mux
+	if cfg.timeout > 0 {
+		h = http.TimeoutHandler(h, cfg.timeout, `<error reason="request timed out"></error>`)
+	}
+	s.handler = withRecovery(h)
 	return s
 }
 
@@ -154,22 +227,45 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 // embedding).
 func (s *Server) Registry() *soa.Registry { return s.reg }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Health exposes the per-provider breaker board (for tests and local
+// embedding).
+func (s *Server) Health() *HealthBoard { return s.health }
+
+// Handler returns the HTTP handler: the broker mux wrapped in
+// timeout and panic-recovery middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// withRecovery turns a handler panic into a structured 500 instead of
+// killing the connection (and, under http.Serve, leaking a broken
+// keep-alive). http.ErrAbortHandler is re-raised: it is the sanctioned
+// way to abort a response.
+func withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
 		return
 	}
 	doc, err := soa.Parse(body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if err := s.reg.Publish(doc); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
@@ -178,7 +274,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	service := r.URL.Query().Get("service")
 	if service == "" {
-		http.Error(w, "missing service parameter", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "missing service parameter")
 		return
 	}
 	resp := DiscoverResponse{Service: service}
@@ -203,25 +299,57 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 		Capabilities: policy.Requirement{Must: nr.Must, May: nr.May},
 	}
 	sla, session, outcome, err := s.negotiator.NegotiateSession(req)
+	s.recordOutcome(outcome)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if sla == nil {
 		writeXML(w, http.StatusConflict, failureFromOutcome("no shared agreement", outcome))
 		return
 	}
+	// A live agreement without a monitor would 404 on /observe and
+	// /compliance forever; fail the negotiation instead of signing an
+	// unmonitorable SLA.
+	mon, err := NewMonitor(sla)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "monitor: "+err.Error())
+		return
+	}
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("sla-%d", s.nextID)
-	s.sessions[id] = session
-	if mon, err := NewMonitor(sla); err == nil {
-		s.monitors[id] = mon
-	}
+	s.entries[id] = &slaEntry{session: session, mon: mon, req: req}
 	s.mu.Unlock()
 	sla.ID = id
 	sla.Version = session.Version()
 	writeXML(w, http.StatusOK, sla)
+}
+
+// recordOutcome feeds negotiation results into the breaker board:
+// an agreement is a success, a stuck negotiation a failure. Skipped
+// providers (missing metric/capabilities, open breaker) don't count.
+func (s *Server) recordOutcome(out *Outcome) {
+	if out == nil {
+		return
+	}
+	for _, po := range out.PerProvider {
+		if po.Skipped != "" {
+			continue
+		}
+		if po.Status == sccp.Succeeded {
+			s.health.RecordSuccess(po.Provider)
+		} else {
+			s.health.RecordFailure(po.Provider)
+		}
+	}
+}
+
+func (s *Server) entry(id string) (*slaEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	return e, ok
 }
 
 // handleRenegotiate relaxes an existing agreement nonmonotonically:
@@ -232,87 +360,136 @@ func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
 	if !readXML(w, r, &rr) {
 		return
 	}
-	s.mu.Lock()
-	session, ok := s.sessions[rr.ID]
-	s.mu.Unlock()
+	e, ok := s.entry(rr.ID)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown SLA %q", rr.ID), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", rr.ID))
 		return
 	}
-	// Sessions are single-threaded: serialise renegotiations on one
-	// agreement under the server lock (stores mutate in place).
-	s.mu.Lock()
-	sla, err := session.Renegotiate(rr.Requirement, rr.Lower, rr.Upper)
-	s.mu.Unlock()
+	// One critical section per agreement: renegotiating the store and
+	// rebasing the monitor must be atomic, or a concurrent
+	// renegotiation could rebase the monitor to a stale agreed level.
+	e.mu.Lock()
+	sla, err := e.session.Renegotiate(rr.Requirement, rr.Lower, rr.Upper)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		e.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if sla == nil {
+		e.mu.Unlock()
 		writeXML(w, http.StatusConflict, FailureResponse{
 			Reason: "renegotiation rejected: the relaxed store violates the interval; previous agreement stands",
 		})
 		return
 	}
 	sla.ID = rr.ID
-	sla.Version = session.Version()
-	s.mu.Lock()
-	if mon, ok := s.monitors[rr.ID]; ok {
-		mon.Rebase(sla.AgreedLevel)
-	}
-	s.mu.Unlock()
+	sla.Version = e.version()
+	e.mon.Rebase(sla.AgreedLevel)
+	e.mu.Unlock()
 	writeXML(w, http.StatusOK, sla)
 }
 
 // handleObserve records a measured service level against a live SLA.
+// When failover is enabled and the violation rate crosses the policy
+// threshold, the bound provider's breaker is tripped and the original
+// request is renegotiated against the remaining healthy providers —
+// the paper's graceful degradation: the composition is monitored,
+// checked, and rebound when it stops honouring the agreement.
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var or ObserveRequest
 	if !readXML(w, r, &or) {
 		return
 	}
-	s.mu.Lock()
-	mon, ok := s.monitors[or.ID]
-	s.mu.Unlock()
+	e, ok := s.entry(or.ID)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown SLA %q", or.ID), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", or.ID))
 		return
 	}
-	violated := mon.Observe(or.Level)
-	writeXML(w, http.StatusOK, ObserveResponse{
-		ID: or.ID, Violated: violated, Report: mon.Report(),
-	})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	provider := e.session.Provider()
+	violated := e.mon.Observe(or.Level)
+	if violated {
+		s.health.RecordFailure(provider)
+	} else {
+		s.health.RecordSuccess(provider)
+	}
+	resp := ObserveResponse{ID: or.ID, Violated: violated, Provider: provider}
+	if violated && s.shouldFailOver(e.mon) {
+		if s.failOverLocked(e) {
+			resp.FailedOver = true
+			resp.Provider = e.session.Provider()
+		}
+	}
+	resp.Report = e.mon.Report()
+	writeXML(w, http.StatusOK, resp)
+}
+
+func (s *Server) shouldFailOver(mon *Monitor) bool {
+	if !s.failover.Enabled {
+		return false
+	}
+	r := mon.Report()
+	return r.Observations >= s.failover.MinObservations &&
+		r.ViolationRate > s.failover.ViolationRate
+}
+
+// failOverLocked replays the entry's original request against the
+// remaining healthy providers (the sick one's breaker is tripped
+// first, so the negotiator skips it). On success the session is
+// replaced and a fresh monitor tracks the new agreement; on failure
+// the old agreement stands and the next violation retries. The
+// caller holds e.mu.
+func (s *Server) failOverLocked(e *slaEntry) bool {
+	s.health.Trip(e.session.Provider())
+	sla, session, outcome, err := s.negotiator.NegotiateSession(e.req)
+	s.recordOutcome(outcome)
+	if err != nil || sla == nil {
+		return false
+	}
+	mon, err := NewMonitor(sla)
+	if err != nil {
+		return false
+	}
+	e.versionBase += e.session.Version()
+	e.session = session
+	e.mon = mon
+	return true
 }
 
 // handleCompliance returns the compliance summary for a live SLA.
 func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
-	s.mu.Lock()
-	mon, ok := s.monitors[id]
-	s.mu.Unlock()
+	e, ok := s.entry(id)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown SLA %q", id), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", id))
 		return
 	}
-	writeXML(w, http.StatusOK, mon.Report())
+	e.mu.Lock()
+	report := e.mon.Report()
+	e.mu.Unlock()
+	writeXML(w, http.StatusOK, report)
 }
 
 // handleGetSLA returns the current agreement for an SLA id.
 func (s *Server) handleGetSLA(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
-	s.mu.Lock()
-	session, ok := s.sessions[id]
-	var sla *soa.SLA
-	if ok {
-		sla = session.SLA()
-		sla.ID = id
-		sla.Version = session.Version()
-	}
-	s.mu.Unlock()
+	e, ok := s.entry(id)
 	if !ok {
-		http.Error(w, fmt.Sprintf("unknown SLA %q", id), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", id))
 		return
 	}
+	e.mu.Lock()
+	sla := e.session.SLA()
+	sla.ID = id
+	sla.Version = e.version()
+	e.mu.Unlock()
 	writeXML(w, http.StatusOK, sla)
+}
+
+// handleHealth reports every tracked provider's breaker state.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeXML(w, http.StatusOK, HealthResponse{Providers: s.health.Snapshot()})
 }
 
 func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
@@ -337,7 +514,7 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 		sla, _, err = s.composer.Compose(req)
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if sla == nil {
@@ -360,20 +537,30 @@ func failureFromOutcome(reason string, out *Outcome) FailureResponse {
 func readXML(w http.ResponseWriter, r *http.Request, v any) bool {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
 		return false
 	}
 	if err := xml.Unmarshal(body, v); err != nil {
-		http.Error(w, "decode request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
 		return false
 	}
 	return true
 }
 
+// writeError sends a structured XML error body so clients get typed
+// errors instead of free-text ones.
+func writeError(w http.ResponseWriter, status int, reason string) {
+	writeXML(w, status, XMLError{Reason: reason})
+}
+
 func writeXML(w http.ResponseWriter, status int, v any) {
 	out, err := xml.MarshalIndent(v, "", "  ")
 	if err != nil {
-		http.Error(w, fmt.Sprintf("encode response: %v", err), http.StatusInternalServerError)
+		// Marshalling our own wire types cannot fail under normal
+		// operation; fall back to a hand-built error body.
+		w.Header().Set("Content-Type", "application/xml")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "<error reason=%q></error>\n", "encode response: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/xml")

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -26,14 +27,14 @@ func newTestServer(t *testing.T) (*httptest.Server, *Client) {
 func TestHTTPEndToEndNegotiation(t *testing.T) {
 	_, client := newTestServer(t)
 
-	if err := client.Publish(costDoc("p1", "failmgmt", 2, 0, "eu")); err != nil {
+	if err := client.Publish(context.Background(), costDoc("p1", "failmgmt", 2, 0, "eu")); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Publish(costDoc("p2", "failmgmt", 7, 1, "us")); err != nil {
+	if err := client.Publish(context.Background(), costDoc("p2", "failmgmt", 7, 1, "us")); err != nil {
 		t.Fatal(err)
 	}
 
-	docs, err := client.Discover("failmgmt")
+	docs, err := client.Discover(context.Background(), "failmgmt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestHTTPEndToEndNegotiation(t *testing.T) {
 		t.Fatalf("discovered %d docs, want 2", len(docs))
 	}
 
-	sla, err := client.Negotiate(NegotiateRequest{
+	sla, err := client.Negotiate(context.Background(), NegotiateRequest{
 		Service: "failmgmt",
 		Client:  "shop",
 		Metric:  soa.MetricCost,
@@ -62,10 +63,10 @@ func TestHTTPEndToEndNegotiation(t *testing.T) {
 
 func TestHTTPNegotiationFailureReportsProviders(t *testing.T) {
 	_, client := newTestServer(t)
-	if err := client.Publish(costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+	if err := client.Publish(context.Background(), costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
 		t.Fatal(err)
 	}
-	_, err := client.Negotiate(NegotiateRequest{
+	_, err := client.Negotiate(context.Background(), NegotiateRequest{
 		Service: "failmgmt",
 		Client:  "shop",
 		Metric:  soa.MetricCost,
@@ -91,11 +92,11 @@ func TestHTTPComposition(t *testing.T) {
 		costDoc("red-us", "red", 5, 0, "us"),
 		costDoc("bw-eu", "bw", 4, 0, "eu"),
 	} {
-		if err := client.Publish(d); err != nil {
+		if err := client.Publish(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 	}
-	sla, err := client.Compose(ComposeRequest{
+	sla, err := client.Compose(context.Background(), ComposeRequest{
 		Client: "shop", Metric: soa.MetricCost, Stages: []string{"red", "bw"},
 	})
 	if err != nil {
@@ -105,7 +106,7 @@ func TestHTTPComposition(t *testing.T) {
 	if sla.AgreedLevel != 10 || len(sla.Providers) != 2 {
 		t.Errorf("SLA = %+v, want total 10 over 2 providers", sla)
 	}
-	greedy, err := client.Compose(ComposeRequest{
+	greedy, err := client.Compose(context.Background(), ComposeRequest{
 		Client: "shop", Metric: soa.MetricCost, Stages: []string{"red", "bw"}, Greedy: true,
 	})
 	if err != nil {
@@ -115,13 +116,13 @@ func TestHTTPComposition(t *testing.T) {
 		t.Errorf("greedy level = %v, want 14", greedy.AgreedLevel)
 	}
 	// A budget between the two rejects greedy but admits optimal.
-	if _, err := client.Compose(ComposeRequest{
+	if _, err := client.Compose(context.Background(), ComposeRequest{
 		Client: "shop", Metric: soa.MetricCost, Stages: []string{"red", "bw"},
 		Greedy: true, Lower: fptr(12),
 	}); err == nil {
 		t.Error("greedy composition above budget should be rejected")
 	}
-	if _, err := client.Compose(ComposeRequest{
+	if _, err := client.Compose(context.Background(), ComposeRequest{
 		Client: "shop", Metric: soa.MetricCost, Stages: []string{"red", "bw"}, Lower: fptr(12),
 	}); err != nil {
 		t.Errorf("optimal composition within budget rejected: %v", err)
@@ -162,7 +163,7 @@ func TestHTTPBadRequests(t *testing.T) {
 	}
 
 	// Unknown service negotiation → 400 from the negotiator.
-	_, err = client.Negotiate(NegotiateRequest{
+	_, err = client.Negotiate(context.Background(), NegotiateRequest{
 		Service: "ghost", Client: "c", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Resource: "x"},
 	})
@@ -183,7 +184,7 @@ func TestHTTPBadRequests(t *testing.T) {
 
 func TestHTTPComposeNoCandidates(t *testing.T) {
 	_, client := newTestServer(t)
-	_, err := client.Compose(ComposeRequest{
+	_, err := client.Compose(context.Background(), ComposeRequest{
 		Client: "shop", Metric: soa.MetricCost, Stages: []string{"ghost"},
 	})
 	if err == nil {
@@ -197,10 +198,10 @@ func TestHTTPComposeNoCandidates(t *testing.T) {
 
 func TestClientAgainstDownServer(t *testing.T) {
 	client := NewClient("http://127.0.0.1:1", nil) // nothing listens here
-	if err := client.Publish(costDoc("p", "s", 1, 0, "eu")); err == nil {
+	if err := client.Publish(context.Background(), costDoc("p", "s", 1, 0, "eu")); err == nil {
 		t.Error("publish to dead server should error")
 	}
-	if _, err := client.Discover("s"); err == nil {
+	if _, err := client.Discover(context.Background(), "s"); err == nil {
 		t.Error("discover against dead server should error")
 	}
 }
@@ -213,10 +214,10 @@ func TestConcurrentNegotiations(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	client := NewClient(ts.URL, ts.Client())
-	if err := client.Publish(costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+	if err := client.Publish(context.Background(), costDoc("p1", "svc", 2, 0, "eu")); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Publish(costDoc("p2", "stage", 3, 0, "eu")); err != nil {
+	if err := client.Publish(context.Background(), costDoc("p2", "stage", 3, 0, "eu")); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -226,7 +227,7 @@ func TestConcurrentNegotiations(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < 4; j++ {
-				sla, err := client.Negotiate(NegotiateRequest{
+				sla, err := client.Negotiate(context.Background(), NegotiateRequest{
 					Service: "svc", Client: fmt.Sprintf("c%d", i), Metric: soa.MetricCost,
 					Requirement: soa.Attribute{
 						Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5,
@@ -236,11 +237,11 @@ func TestConcurrentNegotiations(t *testing.T) {
 					errs <- err
 					return
 				}
-				if _, err := client.Observe(sla.ID, 1); err != nil {
+				if _, err := client.Observe(context.Background(), sla.ID, 1); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := client.Compose(ComposeRequest{
+				if _, err := client.Compose(context.Background(), ComposeRequest{
 					Client: "c", Metric: soa.MetricCost, Stages: []string{"stage"},
 				}); err != nil {
 					errs <- err

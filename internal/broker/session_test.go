@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -129,10 +130,10 @@ func TestSessionRenegotiateValidation(t *testing.T) {
 func TestHTTPRenegotiationRoundTrip(t *testing.T) {
 	srv := NewServer(DefaultLinkPenalty)
 	client, _ := clientFor(t, srv)
-	if err := client.Publish(costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
+	if err := client.Publish(context.Background(), costDoc("p1", "failmgmt", 5, 1, "eu")); err != nil {
 		t.Fatal(err)
 	}
-	sla, err := client.Negotiate(NegotiateRequest{
+	sla, err := client.Negotiate(context.Background(), NegotiateRequest{
 		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
@@ -145,7 +146,7 @@ func TestHTTPRenegotiationRoundTrip(t *testing.T) {
 		t.Fatalf("SLA missing id/version: %+v", sla)
 	}
 
-	fetched, err := client.SLA(sla.ID)
+	fetched, err := client.SLA(context.Background(), sla.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestHTTPRenegotiationRoundTrip(t *testing.T) {
 		t.Errorf("fetched level %v != negotiated %v", fetched.AgreedLevel, sla.AgreedLevel)
 	}
 
-	relaxed, err := client.Renegotiate(RenegotiateRequest{
+	relaxed, err := client.Renegotiate(context.Background(), RenegotiateRequest{
 		ID: sla.ID,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
@@ -170,7 +171,7 @@ func TestHTTPRenegotiationRoundTrip(t *testing.T) {
 	// provider's base cost is 5, so demanding at most 1 (lower
 	// threshold) cannot hold.
 	lower := 1.0
-	_, err = client.Renegotiate(RenegotiateRequest{
+	_, err = client.Renegotiate(context.Background(), RenegotiateRequest{
 		ID: sla.ID,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
@@ -181,7 +182,7 @@ func TestHTTPRenegotiationRoundTrip(t *testing.T) {
 	if !errors.As(err, &noAgree) {
 		t.Fatalf("err = %v, want ErrNoAgreement", err)
 	}
-	final, err := client.SLA(sla.ID)
+	final, err := client.SLA(context.Background(), sla.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,14 +194,14 @@ func TestHTTPRenegotiationRoundTrip(t *testing.T) {
 func TestHTTPRenegotiateUnknownID(t *testing.T) {
 	srv := NewServer(DefaultLinkPenalty)
 	client, _ := clientFor(t, srv)
-	_, err := client.Renegotiate(RenegotiateRequest{
+	_, err := client.Renegotiate(context.Background(), RenegotiateRequest{
 		ID:          "sla-999",
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "x", MaxUnits: 1},
 	})
 	if err == nil {
 		t.Fatal("unknown SLA id should fail")
 	}
-	if _, err := client.SLA("sla-999"); err == nil {
+	if _, err := client.SLA(context.Background(), "sla-999"); err == nil {
 		t.Fatal("unknown SLA id should fail on GET too")
 	}
 }

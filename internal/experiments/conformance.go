@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/http/httptest"
@@ -265,7 +266,7 @@ func runE9() ([]Check, []string) {
 	client := broker.NewClient(ts.URL, ts.Client())
 
 	pub := func(provider string, base, per float64) error {
-		return client.Publish(&soa.Document{
+		return client.Publish(context.Background(), &soa.Document{
 			Service: "failmgmt", Provider: provider, Region: "eu",
 			Attributes: []soa.Attribute{{
 				Name: "hours", Metric: soa.MetricCost,
@@ -279,12 +280,12 @@ func runE9() ([]Check, []string) {
 	if err := pub("p2", 7, 1); err != nil {
 		return []Check{{"publish", "ok", err.Error(), false}}, nil
 	}
-	docs, err := client.Discover("failmgmt")
+	docs, err := client.Discover(context.Background(), "failmgmt")
 	if err != nil {
 		return []Check{{"discover", "ok", err.Error(), false}}, nil
 	}
 	lower, upper := 4.0, 1.0
-	sla, err := client.Negotiate(broker.NegotiateRequest{
+	sla, err := client.Negotiate(context.Background(), broker.NegotiateRequest{
 		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,

@@ -1,0 +1,198 @@
+// Package faults is a deterministic fault injector for chaos-testing
+// the broker's dependability layer. The paper's premise is that a
+// dependable SOA must survive providers that slow down, drop
+// requests, or degrade below the signed service level; this package
+// manufactures exactly those conditions — reproducibly, from a seed —
+// so the violation/breaker/failover machinery can be exercised
+// end-to-end.
+//
+// An Injector works at two levels:
+//
+//   - as an http.RoundTripper (via Transport) it injects transport
+//     faults between a broker client and daemon: added latency,
+//     dropped connections, and synthesized 5xx responses;
+//   - as a provider-level wrapper (via MeasureProvider) it perturbs
+//     the service levels a prober would observe, simulating a
+//     provider running worse than its agreed QoS.
+//
+// Determinism: all coin flips come from one seeded source guarded by
+// a mutex. Sequential drivers replay exactly; concurrent drivers
+// should use probabilities of 0 or 1 per fault kind if they need
+// bit-exact runs.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan configures which faults an Injector produces and how often.
+// The zero value injects nothing.
+type Plan struct {
+	// Seed initialises the deterministic random source.
+	Seed int64
+
+	// Providers restricts provider-level degradation (MeasureProvider)
+	// to the named providers; empty means every provider is affected.
+	Providers []string
+
+	// Latency is added to a request with probability LatencyProb.
+	Latency     time.Duration
+	LatencyProb float64
+
+	// DropProb is the probability a request fails with a connection
+	// error before reaching the server.
+	DropProb float64
+
+	// ErrorProb is the probability a request is answered with a
+	// synthesized ErrorStatus (default 502) instead of being
+	// forwarded.
+	ErrorProb   float64
+	ErrorStatus int
+
+	// DegradeProb is the probability MeasureProvider perturbs an
+	// observed level; DegradeFactor multiplies the true level when it
+	// does. Use a factor > 1 for cost-like metrics (worse = higher)
+	// and < 1 for preference-like metrics (worse = lower).
+	DegradeProb   float64
+	DegradeFactor float64
+}
+
+// Stats counts the faults an Injector has produced.
+type Stats struct {
+	Latencies    int64
+	Drops        int64
+	Errors       int64
+	Degradations int64
+}
+
+// Injector produces faults according to a Plan. Safe for concurrent
+// use.
+type Injector struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	plan Plan
+
+	latencies    atomic.Int64
+	drops        atomic.Int64
+	errors       atomic.Int64
+	degradations atomic.Int64
+}
+
+// New returns an injector for the plan.
+func New(plan Plan) *Injector {
+	if plan.ErrorStatus == 0 {
+		plan.ErrorStatus = http.StatusBadGateway
+	}
+	return &Injector{rng: rand.New(rand.NewSource(plan.Seed)), plan: plan}
+}
+
+// Stats returns the fault counts so far.
+func (i *Injector) Stats() Stats {
+	return Stats{
+		Latencies:    i.latencies.Load(),
+		Drops:        i.drops.Load(),
+		Errors:       i.errors.Load(),
+		Degradations: i.degradations.Load(),
+	}
+}
+
+// hit flips the seeded coin.
+func (i *Injector) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.rng.Float64() < p
+}
+
+// targets reports whether provider-level faults apply to provider.
+func (i *Injector) targets(provider string) bool {
+	if len(i.plan.Providers) == 0 {
+		return true
+	}
+	for _, p := range i.plan.Providers {
+		if p == provider {
+			return true
+		}
+	}
+	return false
+}
+
+// MeasureProvider returns the service level a monitor probe would
+// observe from the provider: the true level, or a degraded one when
+// the plan's degradation coin hits and the provider is targeted.
+func (i *Injector) MeasureProvider(provider string, trueLevel float64) float64 {
+	if !i.targets(provider) || !i.hit(i.plan.DegradeProb) {
+		return trueLevel
+	}
+	i.degradations.Add(1)
+	return trueLevel * i.plan.DegradeFactor
+}
+
+// DroppedError is the error returned for an injected connection drop.
+type DroppedError struct{ URL string }
+
+// Error implements error.
+func (e *DroppedError) Error() string {
+	return fmt.Sprintf("faults: connection to %s dropped", e.URL)
+}
+
+// Transport wraps base (nil means http.DefaultTransport) with the
+// injector's transport faults. The result is an http.RoundTripper
+// suitable for an *http.Client.
+func (i *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{inj: i, base: base}
+}
+
+type roundTripper struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper: latency, then drop, then
+// synthesized error, then the real request.
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := rt.inj
+	if i.hit(i.plan.LatencyProb) {
+		i.latencies.Add(1)
+		select {
+		case <-time.After(i.plan.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if i.hit(i.plan.DropProb) {
+		i.drops.Add(1)
+		return nil, &DroppedError{URL: req.URL.String()}
+	}
+	if i.hit(i.plan.ErrorProb) {
+		i.errors.Add(1)
+		body := `<error reason="injected fault"></error>`
+		return &http.Response{
+			Status:        http.StatusText(i.plan.ErrorStatus),
+			StatusCode:    i.plan.ErrorStatus,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"application/xml"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	return rt.base.RoundTrip(req)
+}

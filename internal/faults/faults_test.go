@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	inj := New(Plan{})
+	hc := &http.Client{Transport: inj.Transport(nil)}
+	for i := 0; i < 20; i++ {
+		resp, err := hc.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+			t.Fatalf("got %d %q", resp.StatusCode, body)
+		}
+	}
+	if s := inj.Stats(); s != (Stats{}) {
+		t.Errorf("zero plan produced faults: %+v", s)
+	}
+	if got := inj.MeasureProvider("p", 2); got != 2 {
+		t.Errorf("MeasureProvider = %v, want true level 2", got)
+	}
+}
+
+func TestDropAndError(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+	}))
+	defer ts.Close()
+
+	inj := New(Plan{Seed: 1, DropProb: 1})
+	hc := &http.Client{Transport: inj.Transport(nil)}
+	_, err := hc.Get(ts.URL)
+	if err == nil {
+		t.Fatal("drop plan should fail the request")
+	}
+	var dropped *DroppedError
+	if !errors.As(err, &dropped) {
+		t.Errorf("err = %v, want DroppedError", err)
+	}
+
+	inj = New(Plan{Seed: 1, ErrorProb: 1})
+	hc = &http.Client{Transport: inj.Transport(nil)}
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502", resp.StatusCode)
+	}
+	if string(body) != `<error reason="injected fault"></error>` {
+		t.Errorf("body = %q", body)
+	}
+	if calls != 0 {
+		t.Errorf("faulted requests reached the server %d times", calls)
+	}
+	if s := inj.Stats(); s.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 error", s)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	inj := New(Plan{Seed: 1, Latency: 20 * time.Millisecond, LatencyProb: 1})
+	hc := &http.Client{Transport: inj.Transport(nil)}
+	start := time.Now()
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("request took %v, want >= 20ms of injected latency", d)
+	}
+	if s := inj.Stats(); s.Latencies != 1 {
+		t.Errorf("stats = %+v, want 1 latency", s)
+	}
+}
+
+func TestDegradationTargetsProviders(t *testing.T) {
+	inj := New(Plan{Seed: 7, Providers: []string{"flaky"}, DegradeProb: 1, DegradeFactor: 3})
+	if got := inj.MeasureProvider("flaky", 2); got != 6 {
+		t.Errorf("degraded level = %v, want 6", got)
+	}
+	if got := inj.MeasureProvider("healthy", 2); got != 2 {
+		t.Errorf("untargeted provider degraded to %v", got)
+	}
+	if s := inj.Stats(); s.Degradations != 1 {
+		t.Errorf("stats = %+v, want 1 degradation", s)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	run := func() []bool {
+		inj := New(Plan{Seed: 42, DegradeProb: 0.5, DegradeFactor: 2})
+		var hits []bool
+		for i := 0; i < 32; i++ {
+			hits = append(hits, inj.MeasureProvider("p", 1) != 1)
+		}
+		return hits
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at flip %d: %v vs %v", i, a, b)
+		}
+	}
+}
