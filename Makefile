@@ -1,9 +1,19 @@
-.PHONY: all build test race vet cover bench clean
+.PHONY: all build test race vet lint fuzz cover bench clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	go build ./...
+
+# softsoa-lint is the repo's own stdlib-only analyzer suite
+# (internal/analysis): determinism of the pure layers, context-first
+# I/O, lock discipline, error discipline, goroutine hygiene.
+lint:
+	go run ./cmd/softsoa-lint ./...
+
+# Short fuzz pass over the sccp parser/compiler, mirroring CI.
+fuzz:
+	go test ./internal/sccp -run '^$$' -fuzz FuzzParseAndCompile -fuzztime 10s
 
 test:
 	go test ./...

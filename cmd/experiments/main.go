@@ -21,7 +21,11 @@ func main() {
 	runID := flag.String("run", "all", "experiment id (E1..E14) or all")
 	flag.Parse()
 
-	failed, matched := experiments.Report(os.Stdout, *runID)
+	failed, matched, err := experiments.Report(os.Stdout, *runID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", *runID)
 		os.Exit(2)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -56,21 +57,24 @@ func main() {
 // the con line, and one tabulated constraint per generated one.
 func write(w *os.File, semiringName string, params workload.SCSPParams, p *core.Problem[float64]) error {
 	sr := p.Space().Semiring()
-	fmt.Fprintf(w, "# random %s SCSP: vars=%d domain=%d density=%g tightness=%g seed=%d\n",
+	// Write errors (closed pipe, full disk) are sticky in the
+	// buffered writer and surface at the final Flush.
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# random %s SCSP: vars=%d domain=%d density=%g tightness=%g seed=%d\n",
 		semiringName, params.Vars, params.DomainSize, params.Density, params.Tightness, params.Seed)
-	fmt.Fprintf(w, "semiring %s\n", semiringName)
+	fmt.Fprintf(bw, "semiring %s\n", semiringName)
 	for _, v := range p.Space().Variables() {
 		labels := make([]string, 0, params.DomainSize)
 		for _, d := range p.Space().Domain(v) {
 			labels = append(labels, d.Label)
 		}
-		fmt.Fprintf(w, "var %s { %s }\n", v, strings.Join(labels, " "))
+		fmt.Fprintf(bw, "var %s { %s }\n", v, strings.Join(labels, " "))
 	}
 	conNames := make([]string, 0, len(p.Con()))
 	for _, v := range p.Con() {
 		conNames = append(conNames, string(v))
 	}
-	fmt.Fprintf(w, "con %s\n", strings.Join(conNames, " "))
+	fmt.Fprintf(bw, "con %s\n", strings.Join(conNames, " "))
 
 	for i, c := range p.Constraints() {
 		scope := c.Scope()
@@ -93,7 +97,7 @@ func write(w *os.File, semiringName string, params workload.SCSPParams, p *core.
 		if len(entries) == 0 {
 			continue // vacuous constraint
 		}
-		fmt.Fprintf(w, "c%d(%s): %s\n", i+1, strings.Join(scopeNames, ","), strings.Join(entries, " "))
+		fmt.Fprintf(bw, "c%d(%s): %s\n", i+1, strings.Join(scopeNames, ","), strings.Join(entries, " "))
 	}
-	return nil
+	return bw.Flush()
 }

@@ -1,0 +1,144 @@
+// Command softsoa-lint runs the repo's custom static-analysis suite
+// (internal/analysis) over the module: determinism of the pure solver
+// layers, context-first I/O, lock discipline, error discipline and
+// goroutine hygiene. It is built purely on the standard library's
+// go/parser, go/ast and go/types — the module has zero dependencies
+// and the linter keeps it that way.
+//
+// Usage:
+//
+//	softsoa-lint [-json] [-list] [-enable a,b] [-disable c] [patterns...]
+//
+// Patterns default to ./... and follow the go tool's shape. The exit
+// status is 0 when the tree is clean, 1 when any finding is reported
+// and 2 on usage or load errors. Findings are suppressed inline with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"softsoa/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("softsoa-lint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	dir := fs.String("C", ".", "directory inside the module to lint")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected, err := selectAnalyzers(suite, *enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "softsoa-lint:", err)
+		return 2
+	}
+
+	root, err := analysis.ModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "softsoa-lint:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "softsoa-lint:", err)
+		return 2
+	}
+
+	findings := analysis.Run(pkgs, selected)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "softsoa-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "softsoa-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(suite []*analysis.Analyzer, enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	names := func(csv string) ([]string, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		var out []string
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if byName[n] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (use -list)", n)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	on, err := names(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := names(disable)
+	if err != nil {
+		return nil, err
+	}
+	skip := make(map[string]bool, len(off))
+	for _, n := range off {
+		skip[n] = true
+	}
+	var selected []*analysis.Analyzer
+	if len(on) > 0 {
+		for _, n := range on {
+			if !skip[n] {
+				selected = append(selected, byName[n])
+			}
+		}
+	} else {
+		for _, a := range suite {
+			if !skip[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return selected, nil
+}

@@ -59,7 +59,9 @@ func main() {
 
 	// Indirect trust via the fuzzy (max-min) closure.
 	cl := fig10.Closure()
+	//lint:ignore errcheck example code; x4 is a member of the Fig. 10 network by construction
 	i4, _ := cl.Index("x4")
+	//lint:ignore errcheck example code; x7 is a member of the Fig. 10 network by construction
 	i7, _ := cl.Index("x7")
 	fmt.Printf("\nindirect trust x4→x7: direct %.2f, via recommendation chains %.2f\n",
 		fig10.Trust(i4, i7), cl.Trust(i4, i7))

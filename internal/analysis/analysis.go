@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker. Analyzers are pure: they
+// read a type-checked package and report findings, never mutating
+// shared state, so a driver may run them in any order.
+type Analyzer struct {
+	// Name labels findings and is the key used by enable/disable
+	// flags and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path
+	// equals an entry or is under an entry ending in "/...". Empty
+	// means every package.
+	Packages []string
+	// Run inspects one package and reports findings via the pass.
+	Run func(*Pass)
+}
+
+func (a *Analyzer) applies(pkgPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			if pkgPath == rest || strings.HasPrefix(pkgPath, rest+"/") {
+				return true
+			}
+		} else if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Finding)
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ObjectOf resolves an identifier to the object it uses or defines.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// IsFunc reports whether id resolves to the function pkgPath.name
+// (package-level functions only, e.g. time.Now or context.Background).
+func (p *Pass) IsFunc(id *ast.Ident, pkgPath, name string) bool {
+	obj, ok := p.ObjectOf(id).(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// All returns the registered analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		CtxFirst,
+		LockCheck,
+		ErrCheck,
+		GoHygiene,
+	}
+}
+
+// ignoreRe matches suppression directives. The analyzer name "all"
+// silences every analyzer on the target line; the reason is
+// mandatory — an unexplained suppression is itself a finding.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore(?:\s+(\S+))?(?:\s+(.+?))?\s*$`)
+
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// directives collects //lint:ignore comments per file, keyed by the
+// line they apply to: the comment's own line (trailing comments) and
+// the following line (standalone comments above the flagged code).
+func directivesFor(pkg *Package) (map[string]map[int][]directive, []Finding) {
+	byFile := make(map[string]map[int][]directive)
+	var malformed []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:ignore") {
+					continue
+				}
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				pos := pkg.Fset.Position(c.Pos())
+				if m == nil || m[1] == "" || m[2] == "" {
+					malformed = append(malformed, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				d := directive{analyzer: m[1], reason: m[2], pos: c.Pos()}
+				lines := byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]directive)
+					byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
+			}
+		}
+	}
+	return byFile, malformed
+}
+
+func suppressed(dirs map[string]map[int][]directive, f Finding) bool {
+	for _, d := range dirs[f.Pos.Filename][f.Pos.Line] {
+		if d.analyzer == f.Analyzer || d.analyzer == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies each applicable analyzer to each package, filters
+// suppressed findings, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		dirs, malformed := directivesFor(pkg)
+		out = append(out, malformed...)
+		for _, a := range analyzers {
+			if !a.applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report: func(f Finding) {
+					if !suppressed(dirs, f) {
+						out = append(out, f)
+					}
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// Shared across fixtures so stdlib packages (context, sync, net/http)
+// are source-type-checked once per test process.
+var (
+	fixFset = token.NewFileSet()
+	fixImp  = importer.ForCompiler(fixFset, "source", nil)
+)
+
+// loadFixture type-checks one in-memory file as a package with the
+// given import path (the path determines which analyzers apply).
+func loadFixture(t *testing.T, path, src string) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fixFset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	conf := types.Config{Importer: fixImp}
+	info := newInfo()
+	tpkg, err := conf.Check(path, fixFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	return &Package{Path: path, Dir: ".", Fset: fixFset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// analyzerCase is one table entry: a fixture plus the findings it
+// must produce, matched by substring. An empty want list asserts the
+// fixture is clean.
+type analyzerCase struct {
+	name string
+	path string // import path for the fixture package
+	src  string
+	want []string
+}
+
+func runCases(t *testing.T, a *Analyzer, cases []analyzerCase) {
+	t.Helper()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := loadFixture(t, tc.path, tc.src)
+			findings := Run([]*Package{pkg}, []*Analyzer{a})
+			var got []string
+			for _, f := range findings {
+				got = append(got, f.String())
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d finding(s), want %d:\n%s", len(got), len(tc.want), strings.Join(got, "\n"))
+			}
+			for i, w := range tc.want {
+				if !strings.Contains(got[i], w) {
+					t.Errorf("finding %d = %q, want substring %q", i, got[i], w)
+				}
+			}
+		})
+	}
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	src := `package solver
+import "time"
+// A standalone directive above the line suppresses the finding.
+//lint:ignore determinism timing is telemetry only here
+var now = time.Now
+
+var later = time.Now //lint:ignore determinism trailing directive
+
+var naked = time.Now
+`
+	pkg := loadFixture(t, "softsoa/internal/solver", src)
+	findings := Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the unsuppressed finding, got %v", findings)
+	}
+	if findings[0].Pos.Line != 9 {
+		t.Errorf("finding at line %d, want 9 (the naked use)", findings[0].Pos.Line)
+	}
+}
+
+func TestMalformedDirectiveIsAFinding(t *testing.T) {
+	src := `package solver
+//lint:ignore determinism
+var x = 1
+`
+	pkg := loadFixture(t, "softsoa/internal/solver", src)
+	findings := Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "malformed") {
+		t.Fatalf("want a malformed-directive finding, got %v", findings)
+	}
+	if findings[0].Analyzer != "lint" {
+		t.Errorf("malformed directive attributed to %q, want \"lint\"", findings[0].Analyzer)
+	}
+}
+
+func TestIgnoreAllSuppressesEveryAnalyzer(t *testing.T) {
+	src := `package solver
+import "time"
+var now = time.Now //lint:ignore all fixture exercising the wildcard
+`
+	pkg := loadFixture(t, "softsoa/internal/solver", src)
+	if findings := Run([]*Package{pkg}, []*Analyzer{Determinism}); len(findings) != 0 {
+		t.Fatalf("want no findings, got %v", findings)
+	}
+}
+
+func TestPackageFiltering(t *testing.T) {
+	// The same wall-clock use is a finding in a pure package and
+	// silently fine in an unlisted one.
+	src := `package x
+import "time"
+var now = time.Now
+`
+	pure := loadFixture(t, "softsoa/internal/solver", src)
+	impure := loadFixture(t, "softsoa/internal/workload", src)
+	if findings := Run([]*Package{pure}, []*Analyzer{Determinism}); len(findings) != 1 {
+		t.Fatalf("pure package: want 1 finding, got %v", findings)
+	}
+	if findings := Run([]*Package{impure}, []*Analyzer{Determinism}); len(findings) != 0 {
+		t.Fatalf("unlisted package: want no findings, got %v", findings)
+	}
+}
+
+func TestFindingsSortedByPosition(t *testing.T) {
+	src := `package solver
+import "time"
+var b = time.Now
+var a = time.Now
+`
+	pkg := loadFixture(t, "softsoa/internal/solver", src)
+	findings := Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if len(findings) != 2 || findings[0].Pos.Line > findings[1].Pos.Line {
+		t.Fatalf("findings not position-sorted: %v", findings)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "determinism", Message: "m"}
+	f.Pos = token.Position{Filename: "x.go", Line: 3, Column: 7}
+	if got, want := f.String(), "x.go:3:7: [determinism] m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAnalyzerAppliesPrefixes(t *testing.T) {
+	a := &Analyzer{Packages: []string{"softsoa/internal/broker", "softsoa/internal/x/..."}}
+	for path, want := range map[string]bool{
+		"softsoa/internal/broker":     true,
+		"softsoa/internal/brokerette": false,
+		"softsoa/internal/x":          true,
+		"softsoa/internal/x/y":        true,
+		"softsoa/internal/xy":         false,
+	} {
+		if got := a.applies(path); got != want {
+			t.Errorf("applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if all := (&Analyzer{}); !all.applies("anything") {
+		t.Error("empty Packages must apply everywhere")
+	}
+}
+
+func ExampleFinding_String() {
+	f := Finding{Analyzer: "errcheck", Message: "error discarded"}
+	f.Pos = token.Position{Filename: "a.go", Line: 1, Column: 1}
+	fmt.Println(f)
+	// Output: a.go:1:1: [errcheck] error discarded
+}

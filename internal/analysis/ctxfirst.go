@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ioPackages are the layers that talk to the network; their call
+// graphs must be cancellable end to end, which is what PR 1's context
+// plumbing established and this analyzer keeps established.
+var ioPackages = []string{
+	"softsoa/internal/broker",
+	"softsoa/internal/soa",
+}
+
+// CtxFirst enforces the context conventions of the I/O layers: a
+// context.Context parameter comes first, nobody mints a fresh root
+// context with context.Background/TODO (only main and tests may), and
+// exported functions that perform network I/O accept a context at
+// all. HTTP handlers are exempt from the last rule: they inherit the
+// request's context.
+var CtxFirst = &Analyzer{
+	Name:     "ctxfirst",
+	Doc:      "context.Context first, no context.Background outside main/tests, ctx on exported I/O",
+	Packages: ioPackages,
+	Run:      runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok {
+				checkCtxPosition(pass, fd)
+				checkExportedIO(pass, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pass.IsFunc(id, "context", "Background") || pass.IsFunc(id, "context", "TODO") {
+				pass.Reportf(id.Pos(), "context.%s outside main/tests: accept a context.Context from the caller", id.Name)
+			}
+			return true
+		})
+	}
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// paramTypes flattens the parameter list into one type per declared
+// name (or one per anonymous field).
+func paramTypes(pass *Pass, fd *ast.FuncDecl) []types.Type {
+	var out []types.Type
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func checkCtxPosition(pass *Pass, fd *ast.FuncDecl) {
+	params := paramTypes(pass, fd)
+	for i, t := range params {
+		if t != nil && isContextType(t) && i != 0 {
+			pass.Reportf(fd.Name.Pos(), "%s: context.Context must be the first parameter", fd.Name.Name)
+			return
+		}
+	}
+}
+
+// netIOCall reports whether the call performs network I/O directly:
+// an http.Client round trip, a request construction, or a raw dial.
+func netIOCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	switch obj.Pkg().Path() {
+	case "net/http":
+		switch obj.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head", "NewRequest":
+			return "http." + obj.Name(), true
+		}
+	case "net":
+		switch obj.Name() {
+		case "Dial", "DialTimeout", "Listen", "ListenPacket":
+			return "net." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+func checkExportedIO(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !fd.Name.IsExported() {
+		return
+	}
+	params := paramTypes(pass, fd)
+	for _, t := range params {
+		if t == nil {
+			continue
+		}
+		if isContextType(t) {
+			return // has a context
+		}
+		// http.Handler-shaped functions inherit the request context.
+		if p, ok := t.(*types.Pointer); ok {
+			if n, ok := p.Elem().(*types.Named); ok && n.Obj().Pkg() != nil &&
+				n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == "Request" {
+				return
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // goroutines/callbacks judged at their call sites
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, isIO := netIOCall(pass, call); isIO {
+			pass.Reportf(call.Pos(), "%s calls %s but takes no context.Context: thread one through (use NewRequestWithContext for requests)", fd.Name.Name, name)
+		}
+		return true
+	})
+}

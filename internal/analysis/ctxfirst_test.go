@@ -1,0 +1,110 @@
+package analysis
+
+import "testing"
+
+func TestCtxFirst(t *testing.T) {
+	runCases(t, CtxFirst, []analyzerCase{
+		{
+			name: "context not first flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "context"
+func Fetch(name string, ctx context.Context) error { _ = ctx; _ = name; return nil }
+`,
+			want: []string{"context.Context must be the first parameter"},
+		},
+		{
+			name: "context first is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "context"
+func Fetch(ctx context.Context, name string) error { _ = ctx; _ = name; return nil }
+`,
+		},
+		{
+			name: "context.Background flagged",
+			path: "softsoa/internal/soa",
+			src: `package soa
+import "context"
+func Run() { _ = context.Background() }
+`,
+			want: []string{"context.Background outside main/tests"},
+		},
+		{
+			name: "context.TODO flagged",
+			path: "softsoa/internal/soa",
+			src: `package soa
+import "context"
+func Run() { _ = context.TODO() }
+`,
+			want: []string{"context.TODO outside main/tests"},
+		},
+		{
+			name: "exported I/O without context flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "net/http"
+func Ping(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+`,
+			want: []string{"Ping calls http.Get but takes no context.Context"},
+		},
+		{
+			name: "exported I/O with context is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import (
+	"context"
+	"net/http"
+)
+func Ping(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+`,
+		},
+		{
+			name: "http handler inherits request context",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "net/http"
+func Handle(w http.ResponseWriter, r *http.Request) {
+	c := &http.Client{}
+	resp, err := c.Do(r)
+	if err != nil {
+		return
+	}
+	_ = resp.Body.Close() //lint:ignore errcheck fixture
+}
+`,
+		},
+		{
+			name: "unexported I/O without context not flagged by exported rule",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "net"
+func dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+`,
+		},
+		{
+			name: "I/O layers only",
+			path: "softsoa/internal/workload",
+			src: `package workload
+import "context"
+func Run() { _ = context.Background() }
+`,
+		},
+	})
+}

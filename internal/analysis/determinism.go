@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// purePackages are the layers whose outputs back the paper's worked
+// examples (Fig. 1 blevel, Fig. 5 consistency, Examples 1-3) and must
+// therefore be bit-for-bit reproducible across runs.
+var purePackages = []string{
+	"softsoa/internal/semiring",
+	"softsoa/internal/core",
+	"softsoa/internal/solver",
+	"softsoa/internal/sccp",
+	"softsoa/internal/integrity",
+	"softsoa/internal/coalition",
+}
+
+// wallClockFuncs are the time functions that leak wall-clock state
+// into otherwise pure computations. Types (time.Time, time.Duration)
+// remain free to use; only the ambient sources are banned.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true,
+	"NewTimer": true, "Sleep": true,
+}
+
+// randConstructors are the math/rand functions that build an explicit
+// generator and are therefore allowed; every other package-level
+// math/rand function draws from the implicitly seeded global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Determinism forbids ambient nondeterminism in the pure layers:
+// wall-clock reads (inject a clock.Clock), global math/rand draws
+// (thread a *rand.Rand seeded from configuration), and loops whose
+// output order depends on map iteration order.
+var Determinism = &Analyzer{
+	Name:     "determinism",
+	Doc:      "forbid wall clocks, global randomness and map-order-dependent output in the pure layers",
+	Packages: purePackages,
+	Run:      runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj, ok := pass.ObjectOf(n).(*types.Func)
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if wallClockFuncs[obj.Name()] {
+						pass.Reportf(n.Pos(), "time.%s in pure package %s: inject a clock.Clock instead", obj.Name(), pass.Pkg.Types.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[obj.Name()] && obj.Type().(*types.Signature).Recv() == nil {
+						pass.Reportf(n.Pos(), "global rand.%s in pure package %s: thread a seeded *rand.Rand instead", obj.Name(), pass.Pkg.Types.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags range-over-map loops that build ordered output
+// (slice appends, string concatenation, formatted printing): their
+// result depends on Go's randomised map iteration order. Collecting
+// just the keys for later sorting is the sanctioned idiom and is not
+// flagged.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	keyObj := rangeVarObj(pass, rs.Key)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); !isBuiltin {
+					continue
+				}
+				if appendsOnlyKey(pass, call, keyObj) {
+					continue
+				}
+				pass.Reportf(call.Pos(), "append inside range over map: output order depends on map iteration; collect keys and sort first")
+			}
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if bt, ok := pass.TypeOf(n.Lhs[0]).(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+					pass.Reportf(n.Pos(), "string concatenation inside range over map: output depends on map iteration order")
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if obj, ok := pass.ObjectOf(sel.Sel).(*types.Func); ok && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "fmt" && obj.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(n.Pos(), "fmt.%s inside range over map: output order depends on map iteration; sort keys first", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func rangeVarObj(pass *Pass, key ast.Expr) types.Object {
+	id, ok := key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+// appendsOnlyKey reports whether every appended element is exactly
+// the range key variable (the collect-keys-then-sort idiom).
+func appendsOnlyKey(pass *Pass, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		id, ok := a.(*ast.Ident)
+		if !ok || pass.ObjectOf(id) != keyObj {
+			return false
+		}
+	}
+	return true
+}

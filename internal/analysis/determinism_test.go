@@ -1,0 +1,123 @@
+package analysis
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	runCases(t, Determinism, []analyzerCase{
+		{
+			name: "wall clock read flagged",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "time"
+func Elapsed() time.Time { return time.Now() }
+`,
+			want: []string{"time.Now in pure package solver"},
+		},
+		{
+			name: "time.Since and time.Sleep flagged",
+			path: "softsoa/internal/core",
+			src: `package core
+import "time"
+func Wait(t time.Time) time.Duration { time.Sleep(time.Millisecond); return time.Since(t) }
+`,
+			want: []string{"time.Sleep", "time.Since"},
+		},
+		{
+			name: "time.Duration arithmetic is fine",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "time"
+func Budget(d time.Duration) time.Duration { return 2 * d }
+`,
+		},
+		{
+			name: "global rand draw flagged",
+			path: "softsoa/internal/coalition",
+			src: `package coalition
+import "math/rand"
+func Pick(n int) int { return rand.Intn(n) }
+`,
+			want: []string{"global rand.Intn"},
+		},
+		{
+			name: "explicit seeded generator allowed",
+			path: "softsoa/internal/coalition",
+			src: `package coalition
+import "math/rand"
+func Pick(n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+`,
+		},
+		{
+			name: "append of values in map range flagged",
+			path: "softsoa/internal/semiring",
+			src: `package semiring
+func Values(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: []string{"append inside range over map"},
+		},
+		{
+			name: "collect-keys-then-sort idiom allowed",
+			path: "softsoa/internal/semiring",
+			src: `package semiring
+import "sort"
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`,
+		},
+		{
+			name: "string concat in map range flagged",
+			path: "softsoa/internal/sccp",
+			src: `package sccp
+func Join(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`,
+			want: []string{"string concatenation inside range over map"},
+		},
+		{
+			name: "fmt inside map range flagged",
+			path: "softsoa/internal/integrity",
+			src: `package integrity
+import "fmt"
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+			want: []string{"fmt.Println inside range over map"},
+		},
+		{
+			name: "range over slice is fine",
+			path: "softsoa/internal/solver",
+			src: `package solver
+func Sum(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+`,
+		},
+	})
+}

@@ -1,0 +1,53 @@
+// Package analysis is softsoa's in-tree static-analysis suite,
+// built entirely on the standard library's go/parser, go/ast and
+// go/types (loading source through the compiler's source importer, so
+// it works in module mode with zero dependencies). The analyzers
+// encode invariants the reproduction depends on but the compiler
+// cannot check; cmd/softsoa-lint drives them over the whole module
+// and `make lint` keeps the tree at zero findings.
+//
+// The five analyzers and the properties they protect:
+//
+//   - determinism: the pure layers (semiring, core, solver, sccp,
+//     integrity, coalition) compute the paper's worked examples —
+//     Fig. 1 blevel values, Fig. 5 consistency, Examples 1-3 — and
+//     must be bit-for-bit reproducible across runs. Wall-clock reads
+//     (inject a clock.Clock), draws from the global math/rand source
+//     (thread a seeded *rand.Rand) and output built in map iteration
+//     order are all forbidden there.
+//
+//   - ctxfirst: the I/O layers (broker, soa) must stay cancellable
+//     end to end, the property PR 1's failover and timeout machinery
+//     is built on. context.Context comes first, nobody mints a root
+//     context outside main/tests, and exported functions doing
+//     network I/O accept a context (HTTP handlers inherit the
+//     request's).
+//
+//   - lockcheck: Lock/Unlock pair in the same function, and fields
+//     annotated `// guarded by <mu>` are only touched with that
+//     mutex held — either locked in the function or documented as a
+//     caller-holds-the-lock helper. Flow-insensitive by design; it
+//     exists to catch the common regression of a new code path
+//     reading SLA-session or circuit-breaker state lock-free.
+//
+//   - errcheck: no error return is silently discarded (a deliberate
+//     discard carries a //lint:ignore errcheck <reason>), and
+//     fmt.Errorf wrapping an underlying error uses %w so errors.Is
+//     and errors.As keep seeing through broker and solver error
+//     chains.
+//
+//   - gohygiene: goroutines launched in the broker recover panics
+//     themselves or delegate to the recovery middleware; a bare
+//     goroutine panic would kill the whole daemon, bypassing the
+//     protection on the request path.
+//
+// Findings are suppressed inline with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above. The analyzer
+// name may be "all"; the reason is mandatory, and a directive
+// missing it is itself reported (analyzer "lint"). Test files are
+// deliberately not loaded: tests may use wall clocks, global rand
+// and context.Background freely.
+package analysis

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrCheck enforces the error discipline the dependability layer
+// depends on: no error return is silently discarded (a deliberate
+// discard needs a //lint:ignore errcheck <reason>), and fmt.Errorf
+// that carries an underlying error wraps it with %w so errors.Is/As
+// keep seeing through broker and solver error chains.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "no silently discarded errors; fmt.Errorf wraps underlying errors with %w",
+	Run:  runErrCheck,
+}
+
+func errorType() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType())
+}
+
+func runErrCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkDiscards(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call)
+			case *ast.GoStmt:
+				checkDroppedCall(pass, n.Call)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscards flags assignments of an error value to the blank
+// identifier, in both the one-to-one form (`_ = f()`, `a, _ := g()`)
+// and the tuple form (`v, _ := f()` with f returning (T, error)).
+func checkDiscards(pass *Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		switch {
+		case len(as.Rhs) == len(as.Lhs):
+			t = pass.TypeOf(as.Rhs[i])
+		case len(as.Rhs) == 1:
+			// Only calls count: `v, _ := x.(T)` and friends discard a
+			// comma-ok value, not an error return.
+			if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
+				continue
+			}
+			tup, ok := pass.TypeOf(as.Rhs[0]).(*types.Tuple)
+			if !ok || i >= tup.Len() {
+				continue
+			}
+			t = tup.At(i).Type()
+		}
+		if isErrorType(t) {
+			pass.Reportf(id.Pos(), "error discarded with _: handle it or add //lint:ignore errcheck <reason>")
+		}
+	}
+}
+
+// droppedCallExempt lists calls whose error return is ignored by
+// near-universal Go convention: printing to the process's own
+// stdout/stderr, writes to in-memory buffers (infallible), and writes
+// to a *bufio.Writer, whose error is sticky and surfaces at Flush —
+// a dropped Flush error is still flagged.
+func droppedCallExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if obj.Pkg().Path() == "fmt" && sig.Recv() == nil {
+		name := obj.Name()
+		if strings.HasPrefix(name, "Print") {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return stdStream(pass, call.Args[0]) || inMemoryWriter(pass.TypeOf(call.Args[0]))
+		}
+	}
+	if obj.Name() == "Flush" {
+		return false // Flush surfaces the sticky error; never drop it
+	}
+	if recv := sig.Recv(); recv != nil && inMemoryWriter(recv.Type()) {
+		return true
+	}
+	return false
+}
+
+func stdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+func inMemoryWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "bufio.Writer", "tabwriter.Writer":
+		return true
+	}
+	return false
+}
+
+// checkDroppedCall flags statement-position calls that return an
+// error nobody looks at.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr) {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return
+	}
+	returnsError := false
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				returnsError = true
+			}
+		}
+	default:
+		returnsError = isErrorType(t)
+	}
+	if !returnsError || droppedCallExempt(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call drops its error result: handle it or add //lint:ignore errcheck <reason>")
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error-typed
+// argument with %v or %s instead of wrapping it with %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if !pass.IsFunc(sel.Sel, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		if !isErrorType(pass.TypeOf(arg)) {
+			continue
+		}
+		if v := verbs[i]; v == 'v' || v == 's' {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error with %%%c: wrap it with %%w so errors.Is/As can unwrap", v)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a Printf-style format in
+// argument order, skipping %% and flag/width/precision characters.
+// Explicit argument indexes (%[1]s) are rare here and unsupported;
+// formats using them are skipped entirely.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i < len(format) {
+			if format[i] == '[' {
+				return nil
+			}
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import "testing"
+
+func TestErrCheck(t *testing.T) {
+	runCases(t, ErrCheck, []analyzerCase{
+		{
+			name: "blank-discarded error flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "strconv"
+func Atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+`,
+			want: []string{"error discarded with _"},
+		},
+		{
+			name: "direct blank assignment flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "os"
+func Rm(p string) { _ = os.Remove(p) }
+`,
+			want: []string{"error discarded with _"},
+		},
+		{
+			name: "comma-ok type assertion not flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+func Cast(v any) int {
+	n, _ := v.(int)
+	return n
+}
+`,
+		},
+		{
+			name: "statement-position dropped error flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "os"
+func Rm(p string) { os.Remove(p) }
+`,
+			want: []string{"call drops its error result"},
+		},
+		{
+			name: "handled error is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "os"
+func Rm(p string) error { return os.Remove(p) }
+`,
+		},
+		{
+			name: "fmt.Println to stdout exempt",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "fmt"
+func Say() { fmt.Println("hi") }
+`,
+		},
+		{
+			name: "Fprintln to stderr exempt",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import (
+	"fmt"
+	"os"
+)
+func Warn() { fmt.Fprintln(os.Stderr, "uh oh") }
+`,
+		},
+		{
+			name: "Fprintf to arbitrary writer flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import (
+	"fmt"
+	"io"
+)
+func Emit(w io.Writer) { fmt.Fprintf(w, "x") }
+`,
+			want: []string{"call drops its error result"},
+		},
+		{
+			name: "in-memory builder writes exempt but Flush is not",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+func Build(w io.Writer) string {
+	var b strings.Builder
+	b.WriteString("ok")
+	bw := bufio.NewWriter(w)
+	bw.WriteString("buffered")
+	bw.Flush()
+	return b.String()
+}
+`,
+			want: []string{"call drops its error result"},
+		},
+		{
+			name: "Errorf with %v on an error flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "fmt"
+func Wrap(err error) error { return fmt.Errorf("request failed: %v", err) }
+`,
+			want: []string{"wrap it with %w"},
+		},
+		{
+			name: "Errorf with %w is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "fmt"
+func Wrap(err error) error { return fmt.Errorf("request failed: %w", err) }
+`,
+		},
+		{
+			name: "Errorf with %s on a string is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "fmt"
+func Tag(name string) error { return fmt.Errorf("no service %s", name) }
+`,
+		},
+		{
+			name: "suppressed discard with reason is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "os"
+func Rm(p string) {
+	//lint:ignore errcheck best-effort cleanup on the error path
+	_ = os.Remove(p)
+}
+`,
+		},
+	})
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoHygiene keeps goroutines launched inside the broker from taking
+// the daemon down: a panic in a bare goroutine kills the whole
+// process, bypassing the panic-recovery middleware that protects the
+// request path. Every `go` statement in internal/broker must either
+// recover itself (a deferred recover() inside the function literal),
+// call a same-package function that does, or delegate to a recovery
+// wrapper (a function whose name contains "recover" or "safe").
+var GoHygiene = &Analyzer{
+	Name:     "gohygiene",
+	Doc:      "goroutines in the broker must recover panics or delegate to the recovery middleware",
+	Packages: []string{"softsoa/internal/broker"},
+	Run:      runGoHygiene,
+}
+
+func runGoHygiene(pass *Pass) {
+	// Same-package named functions that visibly recover.
+	recovers := make(map[string]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil && containsRecover(fd.Body) {
+				recovers[fd.Name.Name] = true
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineRecovers(pass, gs.Call, recovers) {
+				pass.Reportf(gs.Pos(), "goroutine without panic recovery: add defer recover() or launch via the recovery middleware")
+			}
+			return true
+		})
+	}
+}
+
+func goroutineRecovers(pass *Pass, call *ast.CallExpr, recovers map[string]bool) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return containsRecover(fun.Body)
+	case *ast.Ident:
+		return recovers[fun.Name] || recoveryName(fun.Name)
+	case *ast.SelectorExpr:
+		return recoveryName(fun.Sel.Name)
+	}
+	return false
+}
+
+func recoveryName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "recover") || strings.Contains(lower, "safe")
+}
+
+// containsRecover reports whether the body calls recover(), directly
+// or inside a deferred literal or a same-body helper call named like
+// a recovery wrapper.
+func containsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+				return false
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && recoveryName(id.Name) {
+				found = true
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && recoveryName(sel.Sel.Name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import "testing"
+
+func TestGoHygiene(t *testing.T) {
+	runCases(t, GoHygiene, []analyzerCase{
+		{
+			name: "bare goroutine flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+func Spawn() {
+	go func() {
+		panic("boom")
+	}()
+}
+`,
+			want: []string{"goroutine without panic recovery"},
+		},
+		{
+			name: "deferred recover in literal is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+func Spawn() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+	}()
+}
+`,
+		},
+		{
+			name: "named function that recovers is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+func worker() {
+	defer func() { recover() }() //lint:ignore errcheck fixture
+}
+func Spawn() { go worker() }
+`,
+		},
+		{
+			name: "named function without recovery flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+func worker() {}
+func Spawn() { go worker() }
+`,
+			want: []string{"goroutine without panic recovery"},
+		},
+		{
+			name: "recovery wrapper by name is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+func safeGo(f func()) {
+	go func() {
+		defer func() { _ = recover() }()
+		f()
+	}()
+}
+func Spawn(f func()) { safeGo(f) }
+`,
+		},
+		{
+			name: "goroutine delegating to recovery middleware is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+type mw struct{}
+func (mw) RecoverAndServe() {}
+func Spawn(m mw) { go m.RecoverAndServe() }
+`,
+		},
+		{
+			name: "broker only",
+			path: "softsoa/internal/workload",
+			src: `package workload
+func Spawn() { go func() { panic("boom") }() }
+`,
+		},
+	})
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package of the module under
+// analysis.
+type Package struct {
+	// Path is the import path (e.g. softsoa/internal/broker).
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir string
+	// Fset resolves positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's resolution tables.
+	Info *types.Info
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// ModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// Load discovers, parses and type-checks every package of the module
+// rooted at root whose directory matches one of the patterns.
+// Patterns follow the go tool's shape relative to the module root:
+// "./..." (everything), "./dir/..." (a subtree) or "./dir" (one
+// package). Test files are not loaded — the invariants the suite
+// checks are production-code invariants, and tests are free to use
+// wall clocks, context.Background and global randomness.
+func Load(root string, patterns []string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := matchDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	// The stdlib "source" importer type-checks dependencies (both
+	// stdlib and module-internal) from source via go/build, keeping
+	// the tool free of golang.org/x/tools.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		bp, err := build.ImportDir(dir, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+		}
+		if len(bp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range bp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		conf := types.Config{Importer: imp}
+		info := newInfo()
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  path,
+			Dir:   dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// matchDirs expands the patterns into the sorted set of candidate
+// package directories under root.
+func matchDirs(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	set := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" {
+			pat = "."
+		}
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(root, strings.TrimSuffix(rest, "/"))
+			err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				set[p] = true
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			set[filepath.Join(root, pat)] = true
+		}
+	}
+	dirs := make([]string, 0, len(set))
+	for d := range set {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCheck enforces the locking discipline PR 1 introduced around
+// per-session SLA state: every mu.Lock() has a matching Unlock in the
+// same function, and struct fields annotated "// guarded by <mu>" are
+// only touched by functions that lock a mutex of that name (or are
+// documented "<mu> held" helpers called under the lock). The check is
+// flow-insensitive and name-based by design: it cannot prove critical
+// sections correct, but it catches the common regression of a new
+// code path reading guarded state lock-free.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "match Lock/Unlock pairs and keep `// guarded by <mu>` fields behind their mutex",
+	Run:  runLockCheck,
+}
+
+var guardedRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// lockCall classifies a call as <path>.Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex and returns the receiver path rendered
+// as source text (e.g. "s.mu") plus the mutex field name.
+func lockCall(pass *Pass, call *ast.CallExpr) (path, mu, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	obj, isFn := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	switch obj.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	recv := types.ExprString(sel.X)
+	muName := recv
+	if i := strings.LastIndex(recv, "."); i >= 0 {
+		muName = recv[i+1:]
+	}
+	return recv, muName, obj.Name(), true
+}
+
+func runLockCheck(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFuncLocks(pass, fd, guarded)
+			}
+		}
+	}
+}
+
+// collectGuardedFields maps each field object annotated
+// "// guarded by <mu>" to its mutex name.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// heldRe recognises the two doc-comment shapes that mark a function
+// as running under a caller's lock: "... mu held" and "... holds
+// e.mu" (with any receiver prefix).
+var heldRe = regexp.MustCompile(`(?i)holds?\s+(?:\w+\.)*(\w+)|(\w+)\s+held`)
+
+func checkFuncLocks(pass *Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	type lockSite struct {
+		path, method string
+		call         *ast.CallExpr
+	}
+	var locks []lockSite
+	unlocked := make(map[string]bool) // path+"."+method
+	heldMus := make(map[string]bool)  // mutex names locked anywhere in fd
+
+	// Helpers documented as running under a caller's lock (a doc
+	// comment saying e.g. "called with mu held") are exempt from the
+	// guarded-field check for that mutex.
+	if fd.Doc != nil {
+		for _, m := range heldRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+			for _, name := range m[1:] {
+				if name != "" {
+					heldMus[name] = true
+				}
+			}
+		}
+	}
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, mu, method, ok := lockCall(pass, call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Lock", "RLock":
+			locks = append(locks, lockSite{path, method, call})
+			heldMus[mu] = true
+		case "Unlock", "RUnlock":
+			unlocked[path+"."+method] = true
+		}
+		return true
+	})
+
+	for _, l := range locks {
+		want := "Unlock"
+		if l.method == "RLock" {
+			want = "RUnlock"
+		}
+		if !unlocked[l.path+"."+want] {
+			pass.Reportf(l.call.Pos(), "%s.%s has no matching %s.%s in %s", l.path, l.method, l.path, want, fd.Name.Name)
+		}
+	}
+
+	// Constructors are exempt: the value under construction has not
+	// escaped yet, so its fields cannot be contended.
+	if strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "new") {
+		return
+	}
+
+	for _, sel := range guardedSelections(pass, fd, guarded) {
+		mu := guarded[pass.Pkg.Info.Selections[sel].Obj()]
+		if !heldMus[mu] {
+			pass.Reportf(sel.Sel.Pos(), "%s accesses %s (guarded by %s) without locking %s",
+				fd.Name.Name, sel.Sel.Name, mu, mu)
+		}
+	}
+}
+
+func guardedSelections(pass *Pass, fd *ast.FuncDecl, guarded map[types.Object]string) []*ast.SelectorExpr {
+	var out []*ast.SelectorExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Pkg.Info.Selections[sel]
+		if s == nil {
+			return true
+		}
+		if _, isGuarded := guarded[s.Obj()]; isGuarded {
+			out = append(out, sel)
+		}
+		return true
+	})
+	return out
+}

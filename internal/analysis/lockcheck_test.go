@@ -1,0 +1,110 @@
+package analysis
+
+import "testing"
+
+func TestLockCheck(t *testing.T) {
+	runCases(t, LockCheck, []analyzerCase{
+		{
+			name: "lock without unlock flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "sync"
+type S struct{ mu sync.Mutex }
+func (s *S) Leak() { s.mu.Lock() }
+`,
+			want: []string{"s.mu.Lock has no matching s.mu.Unlock in Leak"},
+		},
+		{
+			name: "deferred unlock pairs",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "sync"
+type S struct{ mu sync.Mutex; n int }
+func (s *S) Inc() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+`,
+		},
+		{
+			name: "rlock needs runlock not unlock",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "sync"
+type S struct{ mu sync.RWMutex }
+func (s *S) Peek() {
+	s.mu.RLock()
+	s.mu.Unlock()
+}
+`,
+			want: []string{"s.mu.RLock has no matching s.mu.RUnlock in Peek"},
+		},
+		{
+			name: "guarded field access without lock flagged",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+func (s *S) Read() int { return s.n }
+`,
+			want: []string{"Read accesses n (guarded by mu) without locking mu"},
+		},
+		{
+			name: "guarded field access under lock is fine",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+func (s *S) Read() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+`,
+		},
+		{
+			name: "documented under-lock helper is exempt",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+// bump increments the counter. Callers hold s.mu.
+func (s *S) bump() { s.n++ }
+`,
+		},
+		{
+			name: "constructor is exempt",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+func NewS() *S { return &S{n: 1} }
+`,
+		},
+		{
+			name: "unguarded field is free",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+func (s *S) Read() int { return s.n }
+`,
+		},
+	})
+}

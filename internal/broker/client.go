@@ -60,7 +60,7 @@ type Client struct {
 	timeout time.Duration
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu (jitter draws race across retry loops)
 }
 
 // ClientOption configures a Client.
@@ -385,6 +385,7 @@ func (c *Client) postForSLA(ctx context.Context, path string, req any) (*soa.SLA
 // httpError turns a non-2xx response into a *BrokerError, decoding
 // the broker's structured <error reason="..."/> body when present.
 func httpError(op string, resp *http.Response) error {
+	//lint:ignore errcheck best-effort read of the error body; a partial body still yields a useful BrokerError
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	be := &BrokerError{Op: op, Status: resp.StatusCode}
 	var xe XMLError
@@ -397,6 +398,8 @@ func httpError(op string, resp *http.Response) error {
 }
 
 func discard(resp *http.Response) {
+	//lint:ignore errcheck draining a doomed response body to enable connection reuse; nothing to do on failure
 	_, _ = io.Copy(io.Discard, resp.Body)
+	//lint:ignore errcheck closing a response body cannot be meaningfully handled here
 	_ = resp.Body.Close()
 }

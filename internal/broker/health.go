@@ -60,12 +60,14 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	return c
 }
 
-// breaker is one provider's state. Guarded by HealthBoard.mu.
+// breaker is one provider's state. Every field is guarded by mu —
+// the owning HealthBoard's mutex, since breakers are only reachable
+// through its map.
 type breaker struct {
-	state    BreakerState
-	failures int       // consecutive failures while closed
-	openedAt time.Time // when the breaker last opened
-	probing  bool      // a half-open probe is in flight
+	state    BreakerState // guarded by mu
+	failures int          // consecutive failures while closed; guarded by mu
+	openedAt time.Time    // when the breaker last opened; guarded by mu
+	probing  bool         // a half-open probe is in flight; guarded by mu
 }
 
 // ProviderHealth is one provider's breaker status on the wire
@@ -88,8 +90,8 @@ type HealthResponse struct {
 // for concurrent use.
 type HealthBoard struct {
 	mu       sync.Mutex
-	cfg      BreakerConfig
-	breakers map[string]*breaker
+	cfg      BreakerConfig       // immutable after construction
+	breakers map[string]*breaker // guarded by mu
 }
 
 // NewHealthBoard returns a board with the given breaker config.
@@ -97,6 +99,8 @@ func NewHealthBoard(cfg BreakerConfig) *HealthBoard {
 	return &HealthBoard{cfg: cfg.withDefaults(), breakers: make(map[string]*breaker)}
 }
 
+// get returns (creating if needed) the provider's breaker. Callers
+// hold h.mu.
 func (h *HealthBoard) get(provider string) *breaker {
 	b, ok := h.breakers[provider]
 	if !ok {
@@ -167,6 +171,7 @@ func (h *HealthBoard) Trip(provider string) {
 	h.open(h.get(provider))
 }
 
+// open trips the breaker. Callers hold h.mu.
 func (h *HealthBoard) open(b *breaker) {
 	b.state = BreakerOpen
 	b.openedAt = h.cfg.Clock()

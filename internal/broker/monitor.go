@@ -15,14 +15,15 @@ import (
 // order: a higher cost, or a lower reliability/preference. Monitors
 // are safe for concurrent use.
 type Monitor struct {
-	mu           sync.Mutex
+	mu sync.Mutex
+	// metric and sr are immutable after construction.
 	metric       soa.Metric
 	sr           semiring.Semiring[float64]
-	agreed       float64
-	observations int64
-	violations   int64
-	worst        float64
-	hasWorst     bool
+	agreed       float64 // guarded by mu
+	observations int64   // guarded by mu
+	violations   int64   // guarded by mu
+	worst        float64 // guarded by mu
+	hasWorst     bool    // guarded by mu
 }
 
 // NewMonitor returns a monitor for the SLA's agreed level.

@@ -115,17 +115,19 @@ type ObserveResponse struct {
 type slaEntry struct {
 	mu sync.Mutex
 	// session is the live constraint store behind the agreement; it
-	// is replaced wholesale on failover.
+	// is replaced wholesale on failover. guarded by mu
 	session *Session
-	mon     *Monitor
+	mon     *Monitor // guarded by mu
 	// req is the original negotiation request, replayed against the
 	// remaining healthy providers when the agreement fails over.
+	// Immutable after construction.
 	req Request
 	// versionBase offsets session.Version() so the wire version keeps
-	// increasing monotonically across failovers.
+	// increasing monotonically across failovers. guarded by mu
 	versionBase int
 }
 
+// version is the wire version of the agreement. Callers hold e.mu.
 func (e *slaEntry) version() int { return e.versionBase + e.session.Version() }
 
 // Server is the broker daemon: registry + negotiator + composer
@@ -140,8 +142,8 @@ type Server struct {
 	failover   FailoverPolicy
 
 	mu      sync.Mutex
-	entries map[string]*slaEntry
-	nextID  int
+	entries map[string]*slaEntry // guarded by mu
+	nextID  int                  // guarded by mu
 }
 
 // ServerOption configures a Server.
@@ -560,11 +562,14 @@ func writeXML(w http.ResponseWriter, status int, v any) {
 		// operation; fall back to a hand-built error body.
 		w.Header().Set("Content-Type", "application/xml")
 		w.WriteHeader(http.StatusInternalServerError)
+		//lint:ignore errcheck the response write is best-effort; a failed write means the client is gone
 		fmt.Fprintf(w, "<error reason=%q></error>\n", "encode response: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/xml")
 	w.WriteHeader(status)
+	//lint:ignore errcheck the response write is best-effort; a failed write means the client is gone
 	_, _ = w.Write(out)
+	//lint:ignore errcheck the response write is best-effort; a failed write means the client is gone
 	_, _ = w.Write([]byte("\n"))
 }

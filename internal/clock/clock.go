@@ -1,0 +1,51 @@
+// Package clock provides an injectable time source so that the pure
+// solver layers (semiring, core, solver, sccp, integrity, coalition)
+// never read the wall clock directly. The determinism analyzer in
+// internal/analysis forbids time.Now/time.Since in those packages;
+// code that wants elapsed-time telemetry accepts a Clock instead and
+// callers inject Wall (production) or Fixed/Stepped (tests).
+package clock
+
+import "time"
+
+// Clock is a time source: a function returning the current instant.
+// The zero (nil) Clock is valid and permanently reports the zero
+// time, which makes timing a strict no-op for callers that do not
+// care about telemetry.
+type Clock func() time.Time
+
+// Wall is the real wall clock.
+var Wall Clock = time.Now
+
+// Now returns the current instant, or the zero time for a nil Clock.
+func (c Clock) Now() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return c()
+}
+
+// Since returns the duration elapsed since start, or zero for a nil
+// Clock. Mirrors time.Since for injected clocks.
+func (c Clock) Since(start time.Time) time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c().Sub(start)
+}
+
+// Fixed returns a Clock frozen at t.
+func Fixed(t time.Time) Clock {
+	return func() time.Time { return t }
+}
+
+// Stepped returns a Clock that starts at t and advances by step on
+// every reading, giving tests deterministic non-zero durations.
+func Stepped(t time.Time, step time.Duration) Clock {
+	cur := t
+	return func() time.Time {
+		now := cur
+		cur = cur.Add(step)
+		return now
+	}
+}

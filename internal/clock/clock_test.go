@@ -1,0 +1,53 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilClockIsANoOp(t *testing.T) {
+	var c Clock
+	if !c.Now().IsZero() {
+		t.Error("nil clock Now() should be the zero time")
+	}
+	if d := c.Since(time.Unix(100, 0)); d != 0 {
+		t.Errorf("nil clock Since = %v, want 0", d)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	at := time.Unix(1000, 0)
+	c := Fixed(at)
+	if !c.Now().Equal(at) || !c.Now().Equal(at) {
+		t.Error("Fixed clock must always report the same instant")
+	}
+	if d := c.Since(at.Add(-3 * time.Second)); d != 3*time.Second {
+		t.Errorf("Since = %v, want 3s", d)
+	}
+}
+
+func TestStepped(t *testing.T) {
+	start := time.Unix(0, 0)
+	c := Stepped(start, time.Second)
+	first := c.Now()
+	second := c.Now()
+	if !first.Equal(start) {
+		t.Errorf("first reading = %v, want %v", first, start)
+	}
+	if got := second.Sub(first); got != time.Second {
+		t.Errorf("step = %v, want 1s", got)
+	}
+	// Since reads the clock once more, advancing it again.
+	if d := c.Since(start); d != 2*time.Second {
+		t.Errorf("Since = %v, want 2s", d)
+	}
+}
+
+func TestWallIsRealTime(t *testing.T) {
+	before := time.Now()
+	got := Wall.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Wall.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

@@ -3,7 +3,7 @@ package coalition
 import (
 	"math"
 	"math/rand"
-	"time"
+	"sort"
 
 	"softsoa/internal/semiring"
 	"softsoa/internal/trust"
@@ -42,8 +42,8 @@ func (p *AnnealParams) defaults(n int) {
 // grand coalition (always stable) is returned. Incomplete but
 // scales far beyond the Bell-number reach of Exact.
 func Anneal(net *trust.Network, comp trust.Composer, params AnnealParams, opts ...Option) Result {
-	start := time.Now()
 	o := buildOptions(opts)
+	start := o.clock.Now()
 	n := net.Size()
 	params.defaults(n)
 	rng := rand.New(rand.NewSource(params.Seed))
@@ -68,9 +68,17 @@ func Anneal(net *trust.Network, comp trust.Composer, params AnnealParams, opts .
 		for i, b := range assign {
 			blocks[b] = blocks[b].With(i)
 		}
-		p := make(Partition, 0, len(blocks))
-		for _, c := range blocks {
-			p = append(p, c)
+		// Emit blocks in sorted-id order: ranging over the map directly
+		// would make the partition's block order depend on map
+		// iteration order across runs with the same seed.
+		ids := make([]int, 0, len(blocks))
+		for id := range blocks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		p := make(Partition, 0, len(ids))
+		for _, id := range ids {
+			p = append(p, blocks[id])
 		}
 		return p
 	}
@@ -127,6 +135,6 @@ func Anneal(net *trust.Network, comp trust.Composer, params AnnealParams, opts .
 		best.Objective = Objective(net, grand, comp)
 		best.Stable = true
 	}
-	best.Elapsed = time.Since(start)
+	best.Elapsed = o.clock.Since(start)
 	return best
 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"softsoa/internal/clock"
 	"softsoa/internal/semiring"
 	"softsoa/internal/trust"
 )
@@ -141,6 +142,7 @@ type Option func(*options)
 
 type options struct {
 	maxCoalitions int // 0 = unrestricted
+	clock         clock.Clock
 }
 
 // WithMaxCoalitions caps the number of coalitions the orchestrator
@@ -154,8 +156,15 @@ func WithMaxCoalitions(k int) Option {
 	return func(o *options) { o.maxCoalitions = k }
 }
 
+// WithClock injects the time source behind Result.Elapsed (default
+// the wall clock). No solver in this package reads any other clock,
+// so runs are deterministic given their seeds.
+func WithClock(c clock.Clock) Option {
+	return func(o *options) { o.clock = c }
+}
+
 func buildOptions(opts []Option) options {
-	var o options
+	o := options{clock: clock.Wall}
 	for _, f := range opts {
 		f(&o)
 	}
@@ -186,8 +195,8 @@ type Result struct {
 // coalition is always stable, so a solution always exists. Feasible
 // up to n ≈ 12 (Bell numbers grow super-exponentially).
 func Exact(net *trust.Network, comp trust.Composer, opts ...Option) Result {
-	start := time.Now()
 	o := buildOptions(opts)
+	start := o.clock.Now()
 	n := net.Size()
 	best := Result{Objective: -1}
 	rgs := make([]int, n) // restricted growth string
@@ -231,7 +240,7 @@ func Exact(net *trust.Network, comp trust.Composer, opts ...Option) Result {
 	} else {
 		rec(1, 0)
 	}
-	best.Elapsed = time.Since(start)
+	best.Elapsed = o.clock.Since(start)
 	return best
 }
 
@@ -255,8 +264,8 @@ func decodeRGS(rgs []int, blocks int) Partition {
 // improve the objective — stopping when neither applies. Fast but
 // neither optimal nor guaranteed stable.
 func Greedy(net *trust.Network, comp trust.Composer, opts ...Option) Result {
-	start := time.Now()
 	o := buildOptions(opts)
+	start := o.clock.Now()
 	var p Partition
 	for i := 0; i < net.Size(); i++ {
 		p = append(p, semiring.BitsetOf(i))
@@ -287,7 +296,7 @@ func Greedy(net *trust.Network, comp trust.Composer, opts ...Option) Result {
 	res.Partition = p
 	res.Objective = Objective(net, p, comp)
 	res.Stable = Stable(net, p, comp)
-	res.Elapsed = time.Since(start)
+	res.Elapsed = o.clock.Since(start)
 	return res
 }
 
@@ -303,8 +312,8 @@ func mergeAt(p Partition, i, j int) Partition {
 // cap) and keeps the best stable one found; the floor any serious
 // method must beat.
 func RandomBaseline(net *trust.Network, comp trust.Composer, draws int, seed int64, opts ...Option) Result {
-	start := time.Now()
 	o := buildOptions(opts)
+	start := o.clock.Now()
 	rng := rand.New(rand.NewSource(seed))
 	n := net.Size()
 	best := Result{Objective: -1}
@@ -340,7 +349,7 @@ func RandomBaseline(net *trust.Network, comp trust.Composer, draws int, seed int
 		best.Objective = Objective(net, grand, comp)
 		best.Stable = true
 	}
-	best.Elapsed = time.Since(start)
+	best.Elapsed = o.clock.Since(start)
 	return best
 }
 

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"strings"
@@ -68,15 +69,17 @@ func Lookup(id string) (Experiment, bool) {
 }
 
 // Report runs the selected experiments ("all" or an id) and writes a
-// human-readable report to w. It returns the number of failed checks
-// and whether any experiment matched the selector.
-func Report(w io.Writer, selector string) (failed int, matched bool) {
+// human-readable report to w. It returns the number of failed checks,
+// whether any experiment matched the selector, and any write error
+// (sticky in the buffered writer, surfaced by the final Flush).
+func Report(w io.Writer, selector string) (failed int, matched bool, err error) {
+	bw := bufio.NewWriter(w)
 	for _, e := range All() {
 		if selector != "all" && !strings.EqualFold(selector, e.ID) {
 			continue
 		}
 		matched = true
-		fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+		fmt.Fprintf(bw, "== %s: %s ==\n", e.ID, e.Title)
 		checks, notes := e.Run()
 		for _, c := range checks {
 			verdict := "PASS"
@@ -84,15 +87,15 @@ func Report(w io.Writer, selector string) (failed int, matched bool) {
 				verdict = "FAIL"
 				failed++
 			}
-			fmt.Fprintf(w, "  [%s] %-46s paper: %-18s measured: %s\n",
+			fmt.Fprintf(bw, "  [%s] %-46s paper: %-18s measured: %s\n",
 				verdict, c.Name, c.Paper, c.Measured)
 		}
 		for _, n := range notes {
-			fmt.Fprintf(w, "  %s\n", n)
+			fmt.Fprintf(bw, "  %s\n", n)
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(bw)
 	}
-	return failed, matched
+	return failed, matched, bw.Flush()
 }
 
 func yes(ok bool) string {

@@ -36,7 +36,10 @@ func TestLookup(t *testing.T) {
 
 func TestReport(t *testing.T) {
 	var sb strings.Builder
-	failed, matched := Report(&sb, "E1")
+	failed, matched, err := Report(&sb, "E1")
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
 	if !matched {
 		t.Fatal("E1 should match")
 	}
@@ -49,7 +52,7 @@ func TestReport(t *testing.T) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
 	}
-	if _, matched := Report(&sb, "nope"); matched {
+	if _, matched, _ := Report(&sb, "nope"); matched {
 		t.Error("unknown selector should not match")
 	}
 }

@@ -76,8 +76,8 @@ type Stats struct {
 // use.
 type Injector struct {
 	mu   sync.Mutex
-	rng  *rand.Rand
-	plan Plan
+	rng  *rand.Rand // guarded by mu
+	plan Plan       // immutable after construction
 
 	latencies    atomic.Int64
 	drops        atomic.Int64

@@ -133,6 +133,73 @@ func CheckResiduation[T any](t Reporter, s Semiring[T], samples []T, invertible 
 	}
 }
 
+// CheckAbsorption verifies the lattice absorption law that gives
+// absorptive semirings their name: a + (a × b) = a. Combining a with
+// anything can only worsen it, so joining the combination back in
+// changes nothing.
+func CheckAbsorption[T any](t Reporter, s Semiring[T], samples []T) {
+	t.Helper()
+	vs := withBounds(s, samples)
+	for _, a := range vs {
+		for _, b := range vs {
+			if !s.Eq(s.Plus(a, s.Times(a, b)), a) {
+				t.Errorf("%s: absorption fails: %s + (%s × %s) = %s, want %s",
+					s.Name(), s.Format(a), s.Format(a), s.Format(b),
+					s.Format(s.Plus(a, s.Times(a, b))), s.Format(a))
+			}
+		}
+	}
+}
+
+// CheckTotalOrder verifies that every pair of samples is comparable
+// under ⊑. Only the scalar instances are totally ordered; product
+// semirings are Pareto-ordered and must not be passed here.
+func CheckTotalOrder[T any](t Reporter, s Semiring[T], samples []T) {
+	t.Helper()
+	vs := withBounds(s, samples)
+	for _, a := range vs {
+		for _, b := range vs {
+			if !s.Leq(a, b) && !s.Leq(b, a) {
+				t.Errorf("%s: order not total: %s and %s incomparable",
+					s.Name(), s.Format(a), s.Format(b))
+			}
+		}
+	}
+}
+
+// Checker is a type-erased semiring instance under test, so that
+// instances over different carrier types can share one table.
+type Checker interface {
+	Name() string
+	Check(t Reporter)
+}
+
+// Instance bundles a semiring with its sample values and the optional
+// properties it claims, so a test table can run the full law suite
+// over every shipped instance uniformly.
+type Instance[T any] struct {
+	S          Semiring[T]
+	Samples    []T
+	Invertible bool // residuation restores: b × (a ÷ b) = a whenever a ⊑ b
+	Total      bool // ⊑ is a total order (scalar instances, not products)
+}
+
+// Name reports the instance's semiring name.
+func (i Instance[T]) Name() string { return i.S.Name() }
+
+// Check runs every applicable law checker on the instance: the
+// c-semiring axioms, absorption, residuation of Div, and (when
+// claimed) totality of the induced order.
+func (i Instance[T]) Check(t Reporter) {
+	t.Helper()
+	CheckLaws(t, i.S, i.Samples)
+	CheckAbsorption(t, i.S, i.Samples)
+	CheckResiduation(t, i.S, i.Samples, i.Invertible)
+	if i.Total {
+		CheckTotalOrder(t, i.S, i.Samples)
+	}
+}
+
 func withBounds[T any](s Semiring[T], samples []T) []T {
 	vs := append([]T(nil), samples...)
 	hasZero, hasOne := false, false

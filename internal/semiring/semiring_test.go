@@ -10,75 +10,61 @@ import (
 var weightedSamples = []float64{0, 1, 2, 3, 5, 7.5, 11, 100, math.Inf(1)}
 var unitSamples = []float64{0, 0.1, 0.25, 0.5, 0.5, 0.8, 0.96, 1}
 
-func TestWeightedLaws(t *testing.T) {
-	CheckLaws[float64](t, Weighted{}, weightedSamples)
-	CheckResiduation[float64](t, Weighted{}, weightedSamples, true)
-}
-
-func TestBoundedWeightedLaws(t *testing.T) {
-	s := NewBoundedWeighted(50)
-	samples := []float64{0, 1, 2, 10, 25, 49, 50}
-	CheckLaws[float64](t, s, samples)
-	CheckResiduation[float64](t, s, samples, false)
-}
-
-func TestFuzzyLaws(t *testing.T) {
-	CheckLaws[float64](t, Fuzzy{}, unitSamples)
-	CheckResiduation[float64](t, Fuzzy{}, unitSamples, true)
-}
-
-func TestProbabilisticLaws(t *testing.T) {
-	// Probabilistic × is floating-point multiplication, which is not
-	// exactly associative; use dyadic rationals so products are exact.
-	samples := []float64{0, 0.125, 0.25, 0.5, 0.75, 1}
-	CheckLaws[float64](t, Probabilistic{}, samples)
-	CheckResiduation[float64](t, Probabilistic{}, samples, true)
-}
-
-func TestClassicalLaws(t *testing.T) {
-	CheckLaws[bool](t, Classical{}, []bool{false, true})
-	CheckResiduation[bool](t, Classical{}, []bool{false, true}, true)
-}
-
-func TestSetLaws(t *testing.T) {
-	s := NewSet("read", "write", "exec", "admin")
-	samples := []Bitset{
-		0,
-		s.MustValue("read"),
-		s.MustValue("write", "exec"),
-		s.MustValue("read", "admin"),
-		s.One(),
-	}
-	CheckLaws[Bitset](t, s, samples)
-	CheckResiduation[Bitset](t, s, samples, true)
-}
-
-func TestProductLaws(t *testing.T) {
-	s := NewProduct[float64, float64](Weighted{}, Fuzzy{})
-	var samples []Pair[float64, float64]
+// shippedInstances is every semiring the package ships, each with
+// samples chosen so the law checks are exact (dyadic rationals for
+// probabilistic, whose × is floating-point multiplication).
+func shippedInstances() []Checker {
+	perms := NewSet("read", "write", "exec", "admin")
+	pareto := NewProduct[float64, float64](Weighted{}, Fuzzy{})
+	var paretoSamples []Pair[float64, float64]
 	for _, w := range []float64{0, 2, 5, math.Inf(1)} {
 		for _, f := range []float64{0, 0.5, 1} {
-			samples = append(samples, P(w, f))
+			paretoSamples = append(paretoSamples, P(w, f))
 		}
 	}
-	CheckLaws[Pair[float64, float64]](t, s, samples)
-	CheckResiduation[Pair[float64, float64]](t, s, samples, true)
-}
-
-func TestTripleProductLaws(t *testing.T) {
 	// Products nest: (weighted × fuzzy) × classical.
-	inner := NewProduct[float64, float64](Weighted{}, Fuzzy{})
-	s := NewProduct[Pair[float64, float64], bool](inner, Classical{})
-	var samples []Pair[Pair[float64, float64], bool]
+	triple := NewProduct[Pair[float64, float64], bool](pareto, Classical{})
+	var tripleSamples []Pair[Pair[float64, float64], bool]
 	for _, w := range []float64{0, 3, math.Inf(1)} {
 		for _, f := range []float64{0, 0.5, 1} {
 			for _, b := range []bool{false, true} {
-				samples = append(samples, P(P(w, f), b))
+				tripleSamples = append(tripleSamples, P(P(w, f), b))
 			}
 		}
 	}
-	CheckLaws(t, s, samples)
-	CheckResiduation(t, s, samples, true)
+	return []Checker{
+		Instance[float64]{S: Weighted{}, Samples: weightedSamples, Invertible: true, Total: true},
+		Instance[float64]{S: NewBoundedWeighted(50), Samples: []float64{0, 1, 2, 10, 25, 49, 50}, Total: true},
+		Instance[float64]{S: Fuzzy{}, Samples: unitSamples, Invertible: true, Total: true},
+		Instance[float64]{S: Probabilistic{}, Samples: []float64{0, 0.125, 0.25, 0.5, 0.75, 1}, Invertible: true, Total: true},
+		Instance[bool]{S: Classical{}, Samples: []bool{false, true}, Invertible: true, Total: true},
+		Instance[Bitset]{S: perms, Samples: []Bitset{
+			0,
+			perms.MustValue("read"),
+			perms.MustValue("write", "exec"),
+			perms.MustValue("read", "admin"),
+			perms.One(),
+		}, Invertible: true},
+		Instance[Pair[float64, float64]]{S: pareto, Samples: paretoSamples, Invertible: true},
+		Instance[Pair[Pair[float64, float64], bool]]{S: triple, Samples: tripleSamples, Invertible: true},
+	}
+}
+
+func TestShippedSemiringLaws(t *testing.T) {
+	for _, inst := range shippedInstances() {
+		t.Run(inst.Name(), func(t *testing.T) { inst.Check(t) })
+	}
+}
+
+func TestProductOrderIsNotTotal(t *testing.T) {
+	// Sanity-check CheckTotalOrder itself: the Pareto order on a
+	// product has incomparable pairs, so the checker must object.
+	s := NewProduct[float64, float64](Weighted{}, Fuzzy{})
+	rep := &recordingReporter{}
+	CheckTotalOrder[Pair[float64, float64]](rep, s, []Pair[float64, float64]{P(2.0, 0.3), P(5.0, 0.9)})
+	if rep.failures == 0 {
+		t.Error("CheckTotalOrder accepted the Pareto order as total")
+	}
 }
 
 func TestWeightedOrderIsReversedNumeric(t *testing.T) {

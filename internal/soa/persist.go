@@ -40,15 +40,19 @@ func (r *Registry) SaveFile(path string) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		//lint:ignore errcheck best-effort cleanup on the write-failure path; the write error is what matters
 		tmp.Close()
+		//lint:ignore errcheck best-effort temp-file cleanup; the write error is what matters
 		os.Remove(tmpName)
 		return fmt.Errorf("soa: save registry: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		//lint:ignore errcheck best-effort temp-file cleanup; the close error is what matters
 		os.Remove(tmpName)
 		return fmt.Errorf("soa: save registry: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
+		//lint:ignore errcheck best-effort temp-file cleanup; the rename error is what matters
 		os.Remove(tmpName)
 		return fmt.Errorf("soa: save registry: %w", err)
 	}

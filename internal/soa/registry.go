@@ -12,7 +12,7 @@ import (
 // request. It is safe for concurrent use.
 type Registry struct {
 	mu        sync.RWMutex
-	byService map[string]map[string]*Document // service → provider → doc
+	byService map[string]map[string]*Document // service → provider → doc; guarded by mu
 }
 
 // NewRegistry returns an empty registry.

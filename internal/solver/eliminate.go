@@ -1,8 +1,6 @@
 package solver
 
 import (
-	"time"
-
 	"softsoa/internal/core"
 	"softsoa/internal/semiring"
 )
@@ -20,7 +18,7 @@ func Eliminate[T any](p *core.Problem[T], opts ...Option) Result[T] {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	start := time.Now()
+	start := cfg.clock.Now()
 	s := p.Space()
 	sr := s.Semiring()
 	res := Result[T]{}
@@ -76,7 +74,7 @@ func Eliminate[T any](p *core.Problem[T], opts ...Option) Result[T] {
 		fr.offerAssignment(cloneAssignment(a), val)
 	})
 	res.Best = fr.solutions()
-	res.Stats.Elapsed = time.Since(start)
+	res.Stats.Elapsed = cfg.clock.Since(start)
 	return res
 }
 

@@ -2,7 +2,6 @@ package solver
 
 import (
 	"math/rand"
-	"time"
 
 	"softsoa/internal/core"
 	"softsoa/internal/semiring"
@@ -19,7 +18,7 @@ func LocalSearch[T any](p *core.Problem[T], opts ...Option) Result[T] {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	start := time.Now()
+	start := cfg.clock.Now()
 	s := p.Space()
 	sr := s.Semiring()
 	ev := core.NewEvaluator(s, p.Constraints())
@@ -70,6 +69,6 @@ func LocalSearch[T any](p *core.Problem[T], opts ...Option) Result[T] {
 		fr.offer(digits, cur, ev)
 	}
 	res.Best = fr.solutions()
-	res.Stats.Elapsed = time.Since(start)
+	res.Stats.Elapsed = cfg.clock.Since(start)
 	return res
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"softsoa/internal/clock"
 	"softsoa/internal/core"
 	"softsoa/internal/semiring"
 )
@@ -61,10 +62,11 @@ type config struct {
 	restarts  int
 	steps     int
 	seed      int64
+	clock     clock.Clock
 }
 
 func defaultConfig() config {
-	return config{prune: true, maxBest: 16, restarts: 8, steps: 400, seed: 1}
+	return config{prune: true, maxBest: 16, restarts: 8, steps: 400, seed: 1, clock: clock.Wall}
 }
 
 // WithoutPruning disables the branch-and-bound upper bound test; the
@@ -101,6 +103,12 @@ func WithSteps(n int) Option { return func(c *config) { c.steps = n } }
 // given a seed.
 func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 
+// WithClock injects the time source behind Stats.Elapsed (default the
+// wall clock). Solvers read no other clock: given the same seed the
+// search itself is deterministic, and with a nil Clock the timing is
+// a strict no-op.
+func WithClock(c clock.Clock) Option { return func(cf *config) { cf.clock = c } }
+
 // Exhaustive enumerates every complete assignment and returns the
 // exact blevel and the frontier of non-dominated solutions. It is the
 // reference against which the other solvers are tested.
@@ -109,7 +117,7 @@ func Exhaustive[T any](p *core.Problem[T], opts ...Option) Result[T] {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	start := time.Now()
+	start := cfg.clock.Now()
 	s := p.Space()
 	sr := s.Semiring()
 	ev := core.NewEvaluator(s, p.Constraints())
@@ -125,7 +133,7 @@ func Exhaustive[T any](p *core.Problem[T], opts ...Option) Result[T] {
 		done = !next(digits, sizes)
 	}
 	res.Best = fr.solutions()
-	res.Stats.Elapsed = time.Since(start)
+	res.Stats.Elapsed = cfg.clock.Since(start)
 	return res
 }
 
@@ -141,7 +149,7 @@ func BranchAndBound[T any](p *core.Problem[T], opts ...Option) Result[T] {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	start := time.Now()
+	start := cfg.clock.Now()
 	s := p.Space()
 	sr := s.Semiring()
 	cs := p.Constraints()
@@ -263,7 +271,7 @@ func BranchAndBound[T any](p *core.Problem[T], opts ...Option) Result[T] {
 		rec(0, rootBound)
 	}
 	res.Best = fr.solutions()
-	res.Stats.Elapsed = time.Since(start)
+	res.Stats.Elapsed = cfg.clock.Since(start)
 	return res
 }
 
