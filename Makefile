@@ -1,4 +1,4 @@
-.PHONY: all build test race vet lint fuzz cover bench clean
+.PHONY: all build test race vet lint fuzz cover bench bench-go clean
 
 all: build vet lint test
 
@@ -31,7 +31,14 @@ cover:
 	go test -coverprofile=coverage.out ./...
 	go tool cover -func=coverage.out | tail -1
 
+# Reproducible benchmark report: E-series anchors, the indexed-eval
+# ablation, and the workload grid sequential vs parallel. Writes
+# BENCH_pr3.json (no timestamps, so reruns diff cleanly).
 bench:
+	go run ./cmd/softsoa-bench -out BENCH_pr3.json
+
+# One-shot smoke pass over the go-test E-series benchmarks.
+bench-go:
 	go test -bench . -benchtime 1x -run '^$$' .
 
 clean:

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"softsoa/internal/broker"
@@ -39,6 +40,7 @@ func fig1Problem() *core.Problem[float64] {
 // BenchmarkE1Fig1WeightedCSP solves the Fig. 1 worked example.
 func BenchmarkE1Fig1WeightedCSP(b *testing.B) {
 	p := fig1Problem()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := solver.BranchAndBound(p)
@@ -49,7 +51,9 @@ func BenchmarkE1Fig1WeightedCSP(b *testing.B) {
 }
 
 // BenchmarkE2Fig5FuzzyAgreement rebuilds and combines the Fig. 5
-// provider/client constraints.
+// provider/client constraints. The store construction inside the loop
+// is the measured operation — the experiment times an agreement round
+// from empty store to blevel, not just the two Tells.
 func BenchmarkE2Fig5FuzzyAgreement(b *testing.B) {
 	s := core.NewSpace[float64](semiring.Fuzzy{})
 	x := s.AddVariable("x", core.IntDomain(1, 9))
@@ -230,8 +234,15 @@ func BenchmarkE10SolverScaling(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("n=%d/bb", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				solver.BranchAndBound(p)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/bb-par", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				solver.BranchAndBound(p, solver.WithParallel(benchWorkers()))
 			}
 		})
 		b.Run(fmt.Sprintf("n=%d/bb-lookahead", n), func(b *testing.B) {
@@ -355,7 +366,9 @@ func BenchmarkE13SemiringOps(b *testing.B) {
 }
 
 // BenchmarkE14InterpreterThroughput measures nmsccp transitions per
-// second on a tell/retract ping-pong.
+// second on a tell/retract ping-pong. The machine built per iteration
+// is intentional: a run consumes the machine, so construction belongs
+// to the measured cost of executing 100 transitions.
 func BenchmarkE14InterpreterThroughput(b *testing.B) {
 	s := core.NewSpace[float64](semiring.Weighted{})
 	x := s.AddVariable("x", core.IntDomain(0, 10))
@@ -398,6 +411,21 @@ func BenchmarkE15Propagation(b *testing.B) {
 			solver.BranchAndBound(q)
 		}
 	})
+	b.Run("bb-with-propagation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver.BranchAndBound(p, solver.WithPropagation(0))
+		}
+	})
+}
+
+// benchWorkers picks the worker count for parallel solver benchmarks:
+// every hardware thread, but at least two so the parallel code path is
+// exercised even on a single-core runner.
+func benchWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		return n
+	}
+	return 2
 }
 
 // BenchmarkE16CoalitionAnneal compares exact and annealed coalition

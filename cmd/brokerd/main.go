@@ -7,7 +7,7 @@
 // Usage:
 //
 //	brokerd [-addr :8700] [-link-cost 5] [-link-factor 0.96] \
-//	        [-capabilities http-auth,gzip,tls13]
+//	        [-capabilities http-auth,gzip,tls13] [-solver-parallel N]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -47,6 +48,8 @@ func main() {
 		"violation rate (violations/observations) that triggers failover")
 	failoverMinObs := flag.Int64("failover-min-obs", 3,
 		"minimum observations on an agreement before failover can trigger")
+	solverParallel := flag.Int("solver-parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for composition branch-and-bound (1 = sequential)")
 	flag.Parse()
 
 	opts := []broker.ServerOption{
@@ -55,6 +58,7 @@ func main() {
 			FailureThreshold: *breakerThreshold,
 			OpenTimeout:      *breakerOpen,
 		}),
+		broker.WithSolverParallelism(*solverParallel),
 	}
 	if *failover {
 		opts = append(opts, broker.WithFailover(broker.FailoverPolicy{

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	scspsolve [-solver bb|exhaustive|ve|ls] [-seed N] problem.scsp
+//	scspsolve [-solver bb|exhaustive|ve|ls] [-seed N] [-parallel N] problem.scsp
 package main
 
 import (
@@ -27,6 +27,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for local search")
 	propagate := flag.Bool("propagate", false,
 		"preprocess with soft arc/node-consistency propagation (equivalence-preserving)")
+	parallel := flag.Int("parallel", 1,
+		"worker goroutines for branch and bound (1 = sequential reference)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: scspsolve [-solver bb|exhaustive|ve|ls] [-seed N] problem.scsp")
@@ -52,7 +54,7 @@ func main() {
 	var res solver.Result[float64]
 	switch *solverName {
 	case "bb":
-		res = solver.BranchAndBound(target)
+		res = solver.BranchAndBound(target, solver.WithParallel(*parallel))
 	case "exhaustive":
 		res = solver.Exhaustive(target)
 	case "ve":

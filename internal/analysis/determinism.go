@@ -36,11 +36,18 @@ var randConstructors = map[string]bool{
 
 // Determinism forbids ambient nondeterminism in the pure layers:
 // wall-clock reads (inject a clock.Clock), global math/rand draws
-// (thread a *rand.Rand seeded from configuration), and loops whose
-// output order depends on map iteration order.
+// (thread a *rand.Rand seeded from configuration), loops whose output
+// order depends on map iteration order, and concurrency whose output
+// order depends on scheduling. Worker-pool goroutines and sync/atomic
+// incumbents are explicitly allowed — the parallel solver relies on
+// them — iff each goroutine publishes into its own index-addressed
+// slot (results[i] = …) and the merge happens after the pool drains;
+// goroutines that append to (or concatenate into) captured variables,
+// and collectors that append while ranging over a channel, publish in
+// completion order and are flagged.
 var Determinism = &Analyzer{
 	Name:     "determinism",
-	Doc:      "forbid wall clocks, global randomness and map-order-dependent output in the pure layers",
+	Doc:      "forbid wall clocks, global randomness, and map-order- or scheduling-order-dependent output in the pure layers",
 	Packages: purePackages,
 	Run:      runDeterminism,
 }
@@ -66,10 +73,100 @@ func runDeterminism(pass *Pass) {
 				}
 			case *ast.RangeStmt:
 				checkMapRange(pass, n)
+				checkChanRange(pass, n)
+			case *ast.GoStmt:
+				checkGoroutineMerge(pass, n)
 			}
 			return true
 		})
 	}
+}
+
+// checkGoroutineMerge enforces the deterministic-merge contract for
+// goroutines in the pure layers. A worker that writes results[i] into
+// a slot indexed by a claimed task (or only touches sync/atomic
+// state) passes: the merge order is fixed by the index, not the
+// scheduler. A worker that appends to a variable captured from the
+// enclosing function — even under a mutex — publishes results in
+// completion order, which varies run to run, and is flagged; so is
+// string concatenation into a captured variable.
+func checkGoroutineMerge(pass *Pass, gs *ast.GoStmt) {
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	capturedByLit := func(id *ast.Ident) bool {
+		obj := pass.ObjectOf(id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return false
+		}
+		return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		an, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range an.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fid, ok := call.Fun.(*ast.Ident)
+			if !ok || fid.Name != "append" || len(call.Args) < 2 {
+				continue
+			}
+			if _, isBuiltin := pass.ObjectOf(fid).(*types.Builtin); !isBuiltin {
+				continue
+			}
+			if id, ok := call.Args[0].(*ast.Ident); ok && capturedByLit(id) {
+				pass.Reportf(call.Pos(), "goroutine appends to captured %s: results land in completion order; write an index-addressed slot (results[i] = …) and merge after the pool drains", id.Name)
+			}
+		}
+		if an.Tok == token.ADD_ASSIGN && len(an.Lhs) == 1 {
+			if id, ok := an.Lhs[0].(*ast.Ident); ok && capturedByLit(id) {
+				if bt, ok := pass.TypeOf(id).(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+					pass.Reportf(an.Pos(), "goroutine concatenates into captured %s: output depends on scheduling order", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkChanRange flags collectors that append while ranging over a
+// channel: values arrive in the senders' completion order, so the
+// collected slice ordering depends on scheduling even when every
+// element is eventually received.
+func checkChanRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		an, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range an.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fid, ok := call.Fun.(*ast.Ident)
+			if !ok || fid.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := pass.ObjectOf(fid).(*types.Builtin); !isBuiltin {
+				continue
+			}
+			pass.Reportf(call.Pos(), "append inside range over channel: results arrive in completion order; collect per-task results in index-addressed slots and merge in task order")
+		}
+		return true
+	})
 }
 
 // checkMapRange flags range-over-map loops that build ordered output

@@ -119,5 +119,116 @@ func Sum(xs []int) []int {
 }
 `,
 		},
+		{
+			name: "worker pool with index-addressed merge allowed",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import (
+	"sync"
+	"sync/atomic"
+)
+func Fan(tasks []int) []int {
+	results := make([]int, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1) - 1)
+				if t >= len(tasks) {
+					return
+				}
+				results[t] = tasks[t] * 2
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+`,
+		},
+		{
+			name: "goroutine appending to captured slice flagged",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "sync"
+func Fan(tasks []int) []int {
+	var out []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, t*2)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+`,
+			want: []string{"goroutine appends to captured out"},
+		},
+		{
+			name: "goroutine-local append allowed",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "sync"
+func Fan(tasks []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var local []int
+		for _, t := range tasks {
+			local = append(local, t*2)
+		}
+		_ = local
+	}()
+	wg.Wait()
+}
+`,
+		},
+		{
+			name: "goroutine string concat into captured var flagged",
+			path: "softsoa/internal/core",
+			src: `package core
+import "sync"
+func Join(parts []string) string {
+	s := ""
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s += p
+		}()
+	}
+	wg.Wait()
+	return s
+}
+`,
+			want: []string{"goroutine concatenates into captured s"},
+		},
+		{
+			name: "append inside range over channel flagged",
+			path: "softsoa/internal/solver",
+			src: `package solver
+func Collect(ch chan int) []int {
+	var out []int
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: []string{"append inside range over channel"},
+		},
 	})
 }

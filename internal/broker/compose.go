@@ -88,10 +88,11 @@ var DefaultLinkPenalty = LinkPenalty{Cost: 5, Factor: 0.96}
 
 // Composer solves pipeline compositions over a registry.
 type Composer struct {
-	reg     *soa.Registry
-	penalty LinkPenalty
-	vocab   *policy.Vocabulary
-	filter  ProviderFilter
+	reg        *soa.Registry
+	penalty    LinkPenalty
+	vocab      *policy.Vocabulary
+	filter     ProviderFilter
+	solverOpts []solver.Option
 }
 
 // ComposerOption configures a Composer.
@@ -109,6 +110,14 @@ func WithComposerVocabulary(v *policy.Vocabulary) ComposerOption {
 // pipeline. A nil filter admits everyone.
 func WithComposerProviderFilter(f ProviderFilter) ComposerOption {
 	return func(c *Composer) { c.filter = f }
+}
+
+// WithComposerSolver threads extra solver options (typically
+// solver.WithParallel) into every branch-and-bound composition. The
+// options apply to Compose and ComposeMultiObjective; the greedy and
+// exhaustive baselines ignore them.
+func WithComposerSolver(opts ...solver.Option) ComposerOption {
+	return func(c *Composer) { c.solverOpts = append(c.solverOpts, opts...) }
 }
 
 // NewComposer returns a composer with the given link penalty.
@@ -221,8 +230,26 @@ func (c *Composer) encode(
 // composition meets the requested lower bound.
 func (c *Composer) Compose(req PipelineRequest) (*soa.SLA, *Composition, error) {
 	return c.compose(req, func(p *core.Problem[float64]) solver.Result[float64] {
-		return solver.BranchAndBound(p)
+		return solver.BranchAndBound(p, c.solveOpts(req.Metric)...)
 	})
+}
+
+// solveOpts assembles the branch-and-bound options for a composition:
+// the configured extras (parallelism) plus soft-AC propagation to
+// tighten the unaries and seed the root bound with c∅ before the
+// search starts. Propagation is enabled only for the metrics whose
+// carrier operations are floating-point-exact — cost and downtime
+// (weighted min/+ with ÷ = −, exact on the registry's magnitudes) and
+// preference (fuzzy max/min, always exact) — so the reported Total is
+// bitwise identical to the unpropagated search. Reliability rides on
+// the probabilistic semiring, whose ×/÷ cost shifts round, so it
+// searches unseeded rather than risk an ulp-different agreement level.
+func (c *Composer) solveOpts(m soa.Metric) []solver.Option {
+	opts := append([]solver.Option(nil), c.solverOpts...)
+	if m != soa.MetricReliability {
+		opts = append(opts, solver.WithPropagation(0))
+	}
+	return opts
 }
 
 // ComposeExhaustive solves by full enumeration (the reference).

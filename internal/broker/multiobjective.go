@@ -127,7 +127,14 @@ func (c *Composer) ComposeMultiObjective(req PipelineRequest) ([]MultiCompositio
 		}))
 	}
 
-	res := solver.BranchAndBound(p, solver.WithMaxBest(64))
+	// Parallelism from WithComposerSolver is honoured; propagation is
+	// not added here because the probabilistic component of the product
+	// carrier makes cost shifting inexact. Note the Pareto cap: with
+	// more than 64 pairwise-incomparable compositions the parallel
+	// merge may keep a different (equally nondominated) subset than the
+	// sequential search — see solver.WithParallel.
+	res := solver.BranchAndBound(p,
+		append([]solver.Option{solver.WithMaxBest(64)}, c.solverOpts...)...)
 	out := make([]MultiComposition, 0, len(res.Best))
 	for _, sol := range res.Best {
 		mc := MultiComposition{

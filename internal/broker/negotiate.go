@@ -18,6 +18,7 @@ import (
 	"softsoa/internal/sccp"
 	"softsoa/internal/semiring"
 	"softsoa/internal/soa"
+	"softsoa/internal/solver"
 )
 
 // Request is a client's negotiation request (step 1): the wanted
@@ -269,6 +270,22 @@ func (n *Negotiator) negotiateOne(
 		})
 	}
 	spPCon, spCCon := flag(spP), flag(spC)
+
+	// Propagation precheck: node consistency over the two constraints
+	// about to be told yields c∅, and for a store of unaries c∅ equals
+	// the eventual blevel exactly — the same floating-point Times
+	// applications in the same order, and the sync flags contribute the
+	// exact identity One at the success labels. So when the client
+	// states a lower bound a1 and already c∅ < a1, the checked ask can
+	// never fire: skip the machine run and report the Stuck outcome it
+	// would have reached.
+	if req.Lower != nil {
+		pre := core.NewProblem(space)
+		pre.Add(offerCon, reqCon)
+		if _, czero, _ := solver.Propagate(pre, 1); semiring.Lt(sr, czero, *req.Lower) {
+			return ProviderOutcome{Provider: provider, Status: sccp.Stuck}, nil, nil
+		}
+	}
 
 	check := sccp.Check[float64]{LowerValue: req.Lower, UpperValue: req.Upper}
 	pAgent := sccp.Tell[float64]{C: offerCon, Next: sccp.Tell[float64]{C: spPCon, Next: sccp.Ask[float64]{

@@ -11,6 +11,7 @@ import (
 	"softsoa/internal/policy"
 	"softsoa/internal/sccp"
 	"softsoa/internal/soa"
+	"softsoa/internal/solver"
 )
 
 // Wire formats. The paper assumes SOAP messages extended with QoS
@@ -150,10 +151,11 @@ type Server struct {
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	vocab    *policy.Vocabulary
-	breaker  BreakerConfig
-	failover FailoverPolicy
-	timeout  time.Duration
+	vocab         *policy.Vocabulary
+	breaker       BreakerConfig
+	failover      FailoverPolicy
+	timeout       time.Duration
+	solverWorkers int
 }
 
 // WithServerVocabulary equips the broker daemon with a capability
@@ -177,6 +179,14 @@ func WithFailover(p FailoverPolicy) ServerOption {
 // (default 30s; <= 0 disables the timeout middleware).
 func WithRequestTimeout(d time.Duration) ServerOption {
 	return func(c *serverConfig) { c.timeout = d }
+}
+
+// WithSolverParallelism runs the composer's branch-and-bound searches
+// on n workers (default 1, the sequential reference). Results are
+// unchanged — see solver.WithParallel for the determinism guarantee —
+// only the wall-clock of /compose requests.
+func WithSolverParallelism(n int) ServerOption {
+	return func(c *serverConfig) { c.solverWorkers = n }
 }
 
 // NewServer returns a broker server over a fresh registry with the
@@ -203,8 +213,13 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 		return false, "circuit breaker open"
 	}
 	s.negotiator = NewNegotiator(reg, WithVocabulary(cfg.vocab), WithProviderFilter(filter))
-	s.composer = NewComposer(reg, penalty,
-		WithComposerVocabulary(cfg.vocab), WithComposerProviderFilter(filter))
+	composerOpts := []ComposerOption{
+		WithComposerVocabulary(cfg.vocab), WithComposerProviderFilter(filter),
+	}
+	if cfg.solverWorkers > 1 {
+		composerOpts = append(composerOpts, WithComposerSolver(solver.WithParallel(cfg.solverWorkers)))
+	}
+	s.composer = NewComposer(reg, penalty, composerOpts...)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /publish", s.handlePublish)

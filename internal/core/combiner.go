@@ -1,0 +1,188 @@
+package core
+
+import "sort"
+
+// Combiner performs repeated ⊗ and ⇓ operations while reusing
+// internal scratch buffers (odometers, aligned stride rows, scope
+// membership marks), so algorithms that materialise many tables in a
+// loop — bucket elimination, propagation — do not re-allocate the
+// same bookkeeping per table. Output constraints are freshly
+// allocated and immutable as usual; only the scratch is recycled.
+// A Combiner is not safe for concurrent use.
+type Combiner[T any] struct {
+	space  *Space[T]
+	digits []int   // shared odometer, grown on demand
+	rows   [][]int // aligned stride rows, one per input constraint
+	mark   []bool  // space-sized scope membership scratch
+	union  []int   // union-scope scratch
+	kept   []int   // projection kept-scope scratch
+}
+
+// NewCombiner returns a Combiner over space s.
+func NewCombiner[T any](s *Space[T]) *Combiner[T] {
+	return &Combiner[T]{space: s}
+}
+
+func (cb *Combiner[T]) scratchDigits(n int) []int {
+	if cap(cb.digits) < n {
+		cb.digits = make([]int, n)
+	}
+	d := cb.digits[:n]
+	for i := range d {
+		d[i] = 0
+	}
+	return d
+}
+
+func (cb *Combiner[T]) row(i, n int) []int {
+	for len(cb.rows) <= i {
+		cb.rows = append(cb.rows, nil)
+	}
+	if cap(cb.rows[i]) < n {
+		cb.rows[i] = make([]int, n)
+	}
+	cb.rows[i] = cb.rows[i][:n]
+	return cb.rows[i]
+}
+
+func (cb *Combiner[T]) marks() []bool {
+	if n := len(cb.space.names); len(cb.mark) < n {
+		cb.mark = make([]bool, n)
+	}
+	return cb.mark
+}
+
+// unionScopes computes the sorted union of the inputs' scopes into the
+// reusable union scratch slice.
+func (cb *Combiner[T]) unionScopes(cs []*Constraint[T]) []int {
+	mark := cb.marks()
+	cb.union = cb.union[:0]
+	for _, c := range cs {
+		for _, vi := range c.scope {
+			if !mark[vi] {
+				mark[vi] = true
+				cb.union = append(cb.union, vi)
+			}
+		}
+	}
+	for _, vi := range cb.union {
+		mark[vi] = false
+	}
+	sort.Ints(cb.union)
+	return cb.union
+}
+
+// CombineAll is the multi-way ⊗: a single pass over the output table
+// with one aligned stride row per input, never materialising the k-1
+// intermediate tables a pairwise fold would build. Values are folded
+// left to right, matching the pairwise fold pointwise (so results are
+// bit-identical even for non-associative floating-point carriers).
+func (cb *Combiner[T]) CombineAll(cs ...*Constraint[T]) *Constraint[T] {
+	s := cb.space
+	if len(cs) == 0 {
+		return Top(s)
+	}
+	for _, c := range cs {
+		if c.space != s {
+			panic("core: combiner constraint from different space")
+		}
+	}
+	if len(cs) == 1 {
+		out := newEmptyByIdx(s, cs[0].scope)
+		copy(out.table, cs[0].table)
+		return out
+	}
+	union := cb.unionScopes(cs)
+	out := newEmptyByIdx(s, union)
+	sr := s.sr
+	for j, c := range cs {
+		alignStridesInto(cb.row(j, len(out.scope)), s, out.scope, c.scope)
+	}
+	digits := cb.scratchDigits(len(out.scope))
+	for i := range out.table {
+		r0 := cb.rows[0]
+		i0 := 0
+		for k, d := range digits {
+			i0 += d * r0[k]
+		}
+		acc := cs[0].table[i0]
+		for j := 1; j < len(cs); j++ {
+			rj := cb.rows[j]
+			ij := 0
+			for k, d := range digits {
+				ij += d * rj[k]
+			}
+			acc = sr.Times(acc, cs[j].table[ij])
+		}
+		out.table[i] = acc
+		out.incr(digits)
+	}
+	return out
+}
+
+// ProjectOut is ops.ProjectOut with scratch reuse: it eliminates the
+// given variables from c's support.
+func (cb *Combiner[T]) ProjectOut(c *Constraint[T], elim ...Variable) *Constraint[T] {
+	s := cb.space
+	if c.space != s {
+		panic("core: combiner constraint from different space")
+	}
+	mark := cb.marks()
+	for _, v := range elim {
+		mark[s.varIndex(v)] = true
+	}
+	cb.kept = cb.kept[:0]
+	for _, vi := range c.scope {
+		if !mark[vi] {
+			cb.kept = append(cb.kept, vi)
+		}
+	}
+	for _, v := range elim {
+		mark[s.varIndex(v)] = false
+	}
+	return cb.projectOnto(c, cb.kept)
+}
+
+// ProjectTo is ops.ProjectTo with scratch reuse: it keeps only the
+// given variables in c's support.
+func (cb *Combiner[T]) ProjectTo(c *Constraint[T], keep ...Variable) *Constraint[T] {
+	s := cb.space
+	if c.space != s {
+		panic("core: combiner constraint from different space")
+	}
+	mark := cb.marks()
+	for _, v := range keep {
+		mark[s.varIndex(v)] = true
+	}
+	cb.kept = cb.kept[:0]
+	for _, vi := range c.scope {
+		if mark[vi] {
+			cb.kept = append(cb.kept, vi)
+		}
+	}
+	for _, v := range keep {
+		mark[s.varIndex(v)] = false
+	}
+	return cb.projectOnto(c, cb.kept)
+}
+
+func (cb *Combiner[T]) projectOnto(c *Constraint[T], kept []int) *Constraint[T] {
+	s := cb.space
+	out := newEmptyByIdx(s, kept)
+	zero := s.sr.Zero()
+	for i := range out.table {
+		out.table[i] = zero
+	}
+	strOut := cb.row(0, len(c.scope))
+	alignStridesInto(strOut, s, c.scope, out.scope)
+	digits := cb.scratchDigits(len(c.scope))
+	for i := range c.table {
+		oi := 0
+		for k, d := range digits {
+			oi += d * strOut[k]
+		}
+		out.table[oi] = s.sr.Plus(out.table[oi], c.table[i])
+		c.incr(digits)
+	}
+	return out
+}

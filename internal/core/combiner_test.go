@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"softsoa/internal/semiring"
+)
+
+// randomConstraints builds nc random weighted constraints with scopes
+// of 1-3 variables over an nv-variable space with domain size dom.
+func randomConstraints(rng *rand.Rand, nv, dom, nc int) (*Space[float64], []*Constraint[float64]) {
+	s := NewSpace[float64](semiring.Weighted{})
+	vars := make([]Variable, nv)
+	for i := range vars {
+		vars[i] = s.AddVariable(Variable(string(rune('A'+i))), IntDomain(0, dom-1))
+	}
+	cs := make([]*Constraint[float64], nc)
+	for k := range cs {
+		arity := 1 + rng.Intn(3)
+		perm := rng.Perm(nv)
+		scope := make([]Variable, 0, arity)
+		for _, vi := range perm[:arity] {
+			scope = append(scope, vars[vi])
+		}
+		cs[k] = NewConstraint(s, scope, func(Assignment) float64 {
+			return float64(rng.Intn(10))
+		})
+	}
+	return s, cs
+}
+
+// TestAtIndexAgreesWithAt checks the dense stride-addressed path
+// against the label-checked Assignment path on every tuple.
+func TestAtIndexAgreesWithAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s, cs := randomConstraints(rng, 5, 3, 8)
+	digits := make([]int, 5)
+	sizes := make([]int, 5)
+	for i := range sizes {
+		sizes[i] = s.domainSize(i)
+	}
+	for {
+		a := make(Assignment, len(digits))
+		for i, d := range digits {
+			a[s.names[i]] = s.domains[i][d]
+		}
+		for k, c := range cs {
+			if got, want := c.AtIndex(digits), c.At(a); got != want {
+				t.Fatalf("constraint %d: AtIndex(%v) = %v, At = %v", k, digits, got, want)
+			}
+		}
+		j := len(digits) - 1
+		for ; j >= 0; j-- {
+			digits[j]++
+			if digits[j] < sizes[j] {
+				break
+			}
+			digits[j] = 0
+		}
+		if j < 0 {
+			return
+		}
+	}
+}
+
+// TestCombinerAgreesWithPairwise checks that the multi-way single-pass
+// CombineAll and the scratch-reusing projections are pointwise equal
+// to a pairwise Combine fold and the allocating projections.
+func TestCombinerAgreesWithPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		s, cs := randomConstraints(rng, 4, 3, 1+rng.Intn(5))
+		pairwise := Top(s)
+		for _, c := range cs {
+			pairwise = Combine(pairwise, c)
+		}
+		cb := NewCombiner(s)
+		multi := cb.CombineAll(cs...)
+		if !Eq(pairwise, multi) {
+			t.Fatalf("trial %d: multi-way CombineAll differs from pairwise fold", trial)
+		}
+		// Reuse the same Combiner across trials' projections to
+		// exercise scratch recycling.
+		for _, v := range multi.Scope() {
+			if !Eq(ProjectOut(multi, v), cb.ProjectOut(multi, v)) {
+				t.Fatalf("trial %d: Combiner.ProjectOut(%s) differs", trial, v)
+			}
+			if !Eq(ProjectTo(multi, v), cb.ProjectTo(multi, v)) {
+				t.Fatalf("trial %d: Combiner.ProjectTo(%s) differs", trial, v)
+			}
+		}
+	}
+}
+
+// TestCombinerSingleInputCopies ensures the arity-1 shortcut returns
+// an independent table, like Combine(Top, c) used to.
+func TestCombinerSingleInputCopies(t *testing.T) {
+	s := NewSpace[float64](semiring.Weighted{})
+	x := s.AddVariable("x", IntDomain(0, 2))
+	c := Unary(s, x, map[string]float64{"0": 1, "1": 2, "2": 3})
+	out := CombineAll(s, c)
+	if out == c {
+		t.Fatal("CombineAll with one input must not alias its argument")
+	}
+	if !Eq(out, c) {
+		t.Fatal("CombineAll with one input must be pointwise equal to it")
+	}
+}

@@ -21,7 +21,12 @@ const maxTableSize = 1 << 26
 type Constraint[T any] struct {
 	space *Space[T]
 	scope []int // sorted variable indices into space
-	table []T
+	// stride[j] is the table stride of the j-th scope variable: the
+	// product of the domain sizes of the scope variables after it.
+	// Precomputed at construction so AtIndex is pure integer
+	// multiply-adds with no per-call allocation.
+	stride []int
+	table  []T
 }
 
 // NewConstraint builds a constraint over the given scope, calling fn
@@ -119,7 +124,34 @@ func newEmpty[T any](s *Space[T], scope []Variable) *Constraint[T] {
 			panic(fmt.Sprintf("core: constraint table over %v exceeds %d entries", scope, maxTableSize))
 		}
 	}
-	return &Constraint[T]{space: s, scope: idx, table: make([]T, size)}
+	c := &Constraint[T]{space: s, scope: idx, table: make([]T, size)}
+	c.computeStride()
+	return c
+}
+
+// computeStride fills c.stride for the (sorted) scope: mixed-radix
+// positional strides, first scope variable most significant.
+func (c *Constraint[T]) computeStride() {
+	c.stride = make([]int, len(c.scope))
+	acc := 1
+	for j := len(c.scope) - 1; j >= 0; j-- {
+		c.stride[j] = acc
+		acc *= c.space.domainSize(c.scope[j])
+	}
+}
+
+// AtIndex returns the value under a space-wide digit vector: digits[i]
+// is the chosen domain index for the i-th declared variable. Only the
+// digits of the scope variables are read, so the vector may describe a
+// partial assignment as long as the scope is covered. This is the
+// allocation-free fast path used by search solvers; At remains the
+// label-checked Assignment path.
+func (c *Constraint[T]) AtIndex(digits []int) T {
+	idx := 0
+	for j, vi := range c.scope {
+		idx += digits[vi] * c.stride[j]
+	}
+	return c.table[idx]
 }
 
 // incr advances digits as a mixed-radix odometer over the scope.
@@ -147,6 +179,17 @@ func (c *Constraint[T]) Scope() []Variable {
 
 // Size returns the number of tuples in the materialised table.
 func (c *Constraint[T]) Size() int { return len(c.table) }
+
+// HasVar reports whether v is in the constraint's support, without
+// materialising the scope the way Scope() does.
+func (c *Constraint[T]) HasVar(v Variable) bool {
+	for _, vi := range c.scope {
+		if c.space.names[vi] == v {
+			return true
+		}
+	}
+	return false
+}
 
 // At returns the semiring value for the given assignment, which must
 // cover the constraint's scope; extra variables are ignored (a

@@ -28,14 +28,10 @@ func NewEvaluator[T any](s *Space[T], cs []*Constraint[T]) *Evaluator[T] {
 		if c.space != s {
 			panic("core: evaluator constraint from different space")
 		}
-		e.scopeVars[k] = append([]int(nil), c.scope...)
-		str := make([]int, len(c.scope))
-		acc := 1
-		for j := len(c.scope) - 1; j >= 0; j-- {
-			str[j] = acc
-			acc *= s.domainSize(c.scope[j])
-		}
-		e.strides[k] = str
+		// Constraints precompute their strides at construction; share
+		// them (both sides treat scope and stride as immutable).
+		e.scopeVars[k] = c.scope
+		e.strides[k] = c.stride
 	}
 	return e
 }

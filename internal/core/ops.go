@@ -11,14 +11,12 @@ func Combine[T any](c1, c2 *Constraint[T]) *Constraint[T] {
 	return join(c1, c2, sr.Times)
 }
 
-// CombineAll folds ⊗ over the given constraints; the empty
-// combination is 1̄ (the top constraint).
+// CombineAll is the multi-way ⊗ over the given constraints; the empty
+// combination is 1̄ (the top constraint). Unlike a pairwise fold it
+// materialises a single output table, indexing each input through
+// aligned strides, so no intermediate joins are built.
 func CombineAll[T any](s *Space[T], cs ...*Constraint[T]) *Constraint[T] {
-	acc := Top(s)
-	for _, c := range cs {
-		acc = Combine(acc, c)
-	}
-	return acc
+	return NewCombiner(s).CombineAll(cs...)
 }
 
 // Divide is the ÷ operator: the pointwise residual of the two
@@ -182,23 +180,28 @@ func unionScope(a, b []int) []int {
 // index (0 when the outer variable is not in the inner scope). The
 // inner scope must be a subset of the outer scope.
 func alignStrides[T any](s *Space[T], outer, inner []int) []int {
+	out := make([]int, len(outer))
+	alignStridesInto(out, s, outer, inner)
+	return out
+}
+
+// alignStridesInto is alignStrides writing into a caller-owned buffer
+// of len(outer), allocating nothing.
+func alignStridesInto[T any](dst []int, s *Space[T], outer, inner []int) {
+	for k := range dst {
+		dst[k] = 0
+	}
 	// stride of inner position j = product of domain sizes after j.
-	innerStride := make([]int, len(inner))
 	acc := 1
 	for j := len(inner) - 1; j >= 0; j-- {
-		innerStride[j] = acc
-		acc *= s.domainSize(inner[j])
-	}
-	out := make([]int, len(outer))
-	for k, vi := range outer {
-		for j, wi := range inner {
-			if wi == vi {
-				out[k] = innerStride[j]
+		for k, vi := range outer {
+			if vi == inner[j] {
+				dst[k] = acc
 				break
 			}
 		}
+		acc *= s.domainSize(inner[j])
 	}
-	return out
 }
 
 func forAllJoint[T any](s *Space[T], scope []int, pred func(digits []int) bool) bool {
@@ -232,5 +235,7 @@ func newEmptyByIdx[T any](s *Space[T], scope []int) *Constraint[T] {
 			panic("core: joined constraint table exceeds size limit")
 		}
 	}
-	return &Constraint[T]{space: s, scope: sorted, table: make([]T, size)}
+	c := &Constraint[T]{space: s, scope: sorted, table: make([]T, size)}
+	c.computeStride()
+	return c
 }

@@ -43,26 +43,33 @@ func Eliminate[T any](p *core.Problem[T], opts ...Option) Result[T] {
 		}
 	}
 
+	// One Combiner and one bucket slice for the whole run: each round
+	// materialises exactly two tables (the multi-way bucket join and
+	// its projection) and reuses the odometer/stride scratch instead
+	// of reallocating it per table.
+	cb := core.NewCombiner(s)
+	bucket := make([]*core.Constraint[T], 0, len(pool))
+	neighbours := make(map[core.Variable]bool, len(elimSet))
 	for len(elimSet) > 0 {
-		v := pickMinDegree(pool, elimSet)
-		var bucket []*core.Constraint[T]
+		v := pickMinDegree(pool, elimSet, neighbours)
+		bucket = bucket[:0]
 		rest := pool[:0]
 		for _, c := range pool {
-			if scopeHas(c, v) {
+			if c.HasVar(v) {
 				bucket = append(bucket, c)
 			} else {
 				rest = append(rest, c)
 			}
 		}
-		joined := core.CombineAll(s, bucket...)
-		reduced := core.ProjectOut(joined, v)
-		res.Stats.TablesBuilt += int64(len(bucket)) + 1
+		joined := cb.CombineAll(bucket...)
+		reduced := cb.ProjectOut(joined, v)
+		res.Stats.TablesBuilt += 2
 		pool = append(rest, reduced)
 		delete(elimSet, v)
 	}
 
-	sol := core.CombineAll(s, pool...)
-	sol = core.ProjectTo(sol, p.Con()...)
+	sol := cb.CombineAll(pool...)
+	sol = cb.ProjectTo(sol, p.Con()...)
 	res.Blevel = core.Blevel(sol)
 
 	fr := newFrontier[T](sr, cfg.maxBest)
@@ -76,6 +83,33 @@ func Eliminate[T any](p *core.Problem[T], opts ...Option) Result[T] {
 	res.Best = fr.solutions()
 	res.Stats.Elapsed = cfg.clock.Since(start)
 	return res
+}
+
+// frontier is the Assignment-keyed analogue of digitFrontier, used by
+// the table-reading elimination solver where tuples arrive as
+// Assignments rather than digit vectors.
+type frontier[T any] struct {
+	sr  semiring.Semiring[T]
+	max int
+	sol []Solution[T]
+}
+
+func newFrontier[T any](sr semiring.Semiring[T], max int) *frontier[T] {
+	return &frontier[T]{sr: sr, max: max}
+}
+
+// dominates reports whether some incumbent strictly dominates v.
+func (f *frontier[T]) dominates(v T) bool {
+	for _, s := range f.sol {
+		if semiring.Gt(f.sr, s.Value, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *frontier[T]) solutions() []Solution[T] {
+	return append([]Solution[T](nil), f.sol...)
 }
 
 // offerAssignment inserts a pre-built assignment into the frontier,
@@ -107,25 +141,19 @@ func cloneAssignment(a core.Assignment) core.Assignment {
 	return out
 }
 
-func scopeHas[T any](c *core.Constraint[T], v core.Variable) bool {
-	for _, u := range c.Scope() {
-		if u == v {
-			return true
-		}
-	}
-	return false
-}
-
 // pickMinDegree returns the eliminable variable whose bucket join
 // would touch the fewest distinct other variables — the classic
-// min-degree elimination heuristic.
-func pickMinDegree[T any](pool []*core.Constraint[T], elim map[core.Variable]bool) core.Variable {
+// min-degree elimination heuristic. neighbours is caller-owned
+// scratch, cleared per candidate. The result is order-independent
+// (strict comparisons with a name tie-break), so iterating the elim
+// map is deterministic.
+func pickMinDegree[T any](pool []*core.Constraint[T], elim, neighbours map[core.Variable]bool) core.Variable {
 	var best core.Variable
 	bestDeg := -1
 	for v := range elim {
-		neighbours := make(map[core.Variable]bool)
+		clear(neighbours)
 		for _, c := range pool {
-			if !scopeHas(c, v) {
+			if !c.HasVar(v) {
 				continue
 			}
 			for _, u := range c.Scope() {

@@ -27,7 +27,7 @@ func LocalSearch[T any](p *core.Problem[T], opts ...Option) Result[T] {
 	rng := rand.New(rand.NewSource(cfg.seed))
 
 	res := Result[T]{Blevel: sr.Zero()}
-	fr := newFrontier[T](sr, cfg.maxBest)
+	fr := newDigitFrontier[T](sr, cfg.maxBest)
 	digits := make([]int, n)
 
 	for restart := 0; restart < cfg.restarts; restart++ {
@@ -66,9 +66,9 @@ func LocalSearch[T any](p *core.Problem[T], opts ...Option) Result[T] {
 			}
 		}
 		res.Blevel = sr.Plus(res.Blevel, cur)
-		fr.offer(digits, cur, ev)
+		fr.offer(digits, cur)
 	}
-	res.Best = fr.solutions()
+	res.Best = fr.solutions(ev)
 	res.Stats.Elapsed = cfg.clock.Since(start)
 	return res
 }

@@ -1,0 +1,189 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"softsoa/internal/semiring"
+)
+
+// maxIncumbents caps the shared bound's antichain. Dropping an
+// incomparable value only weakens pruning — never soundness, since a
+// prune requires strict dominance by a member — and keeps the
+// copy-on-write snapshots small.
+const maxIncumbents = 64
+
+// tasksPerWorker is the target task surplus: enough subtree tasks per
+// worker that the pool stays busy despite uneven subtree sizes.
+const tasksPerWorker = 4
+
+// maxTasks bounds the frontier fan-out so the per-task bookkeeping
+// stays negligible next to the subtrees themselves.
+const maxTasks = 1 << 14
+
+// taskResult collects one subtree task's outputs. Workers write only
+// their claimed task's slot (index-addressed, no shared append), and
+// the driver merges slots in task order after the pool drains, so the
+// merged result is independent of scheduling.
+type taskResult[T any] struct {
+	sol    []digitSol[T]
+	blevel T
+	nodes  int64
+	prunes int64
+}
+
+// solveParallel fans the depth-first search out at a fixed frontier
+// depth: the first frontierDepth variables of the ordering are
+// enumerated into lexicographically numbered subtree tasks, claimed
+// by workers from an atomic counter and solved with per-worker search
+// state against a shared incumbent bound.
+//
+// Determinism: leaf bounds are folded along the same constraint
+// schedule as the sequential solver, so leaf values are bit-identical;
+// Blevel is a Plus-fold of leaf values and Plus is an exact lattice
+// join (min/max/or/union — no rounding), so any fold order gives the
+// same result, with pruned leaves covered by absorption (each is
+// strictly dominated by an incumbent that is folded in). The frontier
+// is rebuilt by replaying the UNCAPPED per-task frontiers in task
+// order through the same capped filter the sequential solver uses,
+// which replays the sequential offer stream; see WithParallel for the
+// partial-order cap caveat. Nodes/Prunes depend on bound visibility
+// and are deterministic only modulo scheduling.
+func solveParallel[T any](pl *plan[T], workers int) Result[T] {
+	frontierDepth, tasks := 0, 1
+	for frontierDepth < pl.n && tasks < tasksPerWorker*workers {
+		size := pl.sizes[pl.perm[frontierDepth]]
+		if tasks*size > maxTasks {
+			break
+		}
+		tasks *= size
+		frontierDepth++
+	}
+	if frontierDepth == 0 {
+		return solveSequential(pl)
+	}
+
+	results := make([]taskResult[T], tasks)
+	shared := newSharedBound[T](pl.sr)
+	var nextTask atomic.Int64
+	var wg sync.WaitGroup
+	nw := workers
+	if nw > tasks {
+		nw = tasks
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newSearch(pl, newDigitFrontier[T](pl.sr, 0), shared)
+			for {
+				t := int(nextTask.Add(1) - 1)
+				if t >= tasks {
+					return
+				}
+				results[t] = s.runTask(t, frontierDepth)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := Result[T]{Blevel: pl.sr.Zero()}
+	fr := newDigitFrontier[T](pl.sr, pl.maxBest)
+	for t := range results {
+		r := &results[t]
+		res.Stats.Nodes += r.nodes
+		res.Stats.Prunes += r.prunes
+		res.Blevel = pl.sr.Plus(res.Blevel, r.blevel)
+		for _, ds := range r.sol {
+			fr.offer(ds.digits, ds.value)
+		}
+	}
+	// Account for the internal nodes above the task frontier, which
+	// the fan-out enumerates instead of the search.
+	width := int64(1)
+	for d := 0; d < frontierDepth; d++ {
+		res.Stats.Nodes += width
+		width *= int64(pl.sizes[pl.perm[d]])
+	}
+	res.Best = fr.solutions(pl.ev)
+	return res
+}
+
+// runTask solves subtree task t: the t-th prefix, in lexicographic
+// order of the variable ordering, of the first frontierDepth
+// variables. The search state is reset so one worker can run many
+// tasks without reallocating its digit vector or frontier scratch.
+func (s *bbSearch[T]) runTask(t, frontierDepth int) taskResult[T] {
+	pl := s.pl
+	s.blevel = pl.sr.Zero()
+	s.nodes, s.prunes = 0, 0
+	rem := t
+	for d := frontierDepth - 1; d >= 0; d-- {
+		vi := pl.perm[d]
+		s.digits[vi] = rem % pl.sizes[vi]
+		rem /= pl.sizes[vi]
+	}
+	// Fold the constraints decided by the prefix in the same schedule
+	// (and therefore the same floating-point order) as the sequential
+	// recursion, so the bound entering the subtree is bit-identical.
+	bound := pl.rootBound
+	for d := 1; d <= frontierDepth; d++ {
+		for _, k := range pl.byDepth[d] {
+			bound = pl.sr.Times(bound, pl.ev.Eval(k, s.digits))
+		}
+	}
+	s.run(frontierDepth, bound)
+	return taskResult[T]{sol: s.fr.take(), blevel: s.blevel, nodes: s.nodes, prunes: s.prunes}
+}
+
+// sharedBound is the cross-worker incumbent set: a copy-on-write
+// antichain of admitted leaf values published through an atomic
+// pointer. Readers prune against a consistent snapshot without locks;
+// writers CAS-install a merged copy and retry on contention. Every
+// member is a real leaf value, so pruning against it is exactly the
+// sequential incumbent argument.
+type sharedBound[T any] struct {
+	sr  semiring.Semiring[T]
+	cur atomic.Pointer[[]T]
+}
+
+func newSharedBound[T any](sr semiring.Semiring[T]) *sharedBound[T] {
+	b := &sharedBound[T]{sr: sr}
+	empty := make([]T, 0)
+	b.cur.Store(&empty)
+	return b
+}
+
+// dominates reports whether some shared incumbent strictly dominates v.
+func (b *sharedBound[T]) dominates(v T) bool {
+	for _, w := range *b.cur.Load() {
+		if semiring.Gt(b.sr, w, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// offer merges a locally admitted leaf value into the shared set.
+func (b *sharedBound[T]) offer(v T) {
+	for {
+		old := b.cur.Load()
+		vals := *old
+		merged := make([]T, 0, len(vals)+1)
+		for _, w := range vals {
+			if semiring.Gt(b.sr, w, v) || b.sr.Eq(w, v) {
+				return // nothing new to learn
+			}
+			if !semiring.Gt(b.sr, v, w) {
+				merged = append(merged, w)
+			}
+		}
+		if len(merged) >= maxIncumbents {
+			return // incomparable to a full set; skip (pruning-only loss)
+		}
+		merged = append(merged, v)
+		if b.cur.CompareAndSwap(old, &merged) {
+			return
+		}
+	}
+}

@@ -42,7 +42,13 @@ func Propagate[T any](p *core.Problem[T], maxRounds int) (*core.Problem[T], T, P
 		m      [][]T // m[i][j] over dx[i], dy[j]
 	}
 
+	// unaryOrder mirrors the map in first-creation order (a function
+	// of the deterministic constraint order): all sweeps and the
+	// output rebuild iterate the slice, never the map, so the c∅
+	// accumulation order — and with it every floating-point fold —
+	// is identical across runs.
 	unaries := map[core.Variable]*unary{}
+	var unaryOrder []*unary
 	getUnary := func(v core.Variable) *unary {
 		if u, ok := unaries[v]; ok {
 			return u
@@ -54,6 +60,7 @@ func Propagate[T any](p *core.Problem[T], maxRounds int) (*core.Problem[T], T, P
 		}
 		u := &unary{v: v, dom: dom, levels: levels}
 		unaries[v] = u
+		unaryOrder = append(unaryOrder, u)
 		return u
 	}
 
@@ -127,7 +134,7 @@ func Propagate[T any](p *core.Problem[T], maxRounds int) (*core.Problem[T], T, P
 			}
 		}
 		// Node consistency: shift unary lubs into the zero-arity level.
-		for _, u := range unaries {
+		for _, u := range unaryOrder {
 			beta := sr.Zero()
 			for _, lv := range u.levels {
 				beta = sr.Plus(beta, lv)
@@ -149,7 +156,7 @@ func Propagate[T any](p *core.Problem[T], maxRounds int) (*core.Problem[T], T, P
 
 	out := core.NewProblem(s, p.Con()...)
 	out.Add(core.Constant(s, czero))
-	for _, u := range unaries {
+	for _, u := range unaryOrder {
 		u := u
 		allOne := true
 		for _, lv := range u.levels {

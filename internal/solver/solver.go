@@ -1,10 +1,11 @@
 // Package solver implements complete and heuristic solvers for Soft
 // Constraint Satisfaction Problems: an exhaustive reference solver, a
-// depth-first branch and bound with semiring upper-bound pruning, a
-// bucket (variable) elimination solver, and a random-restart local
-// search for problems too large for complete methods. The broker of
-// Sec. 4 of the paper hosts such a solver to negotiate QoS; these are
-// the engines behind it.
+// depth-first branch and bound with semiring upper-bound pruning
+// (sequential or fanned out over a worker pool), a bucket (variable)
+// elimination solver, and a random-restart local search for problems
+// too large for complete methods. The broker of Sec. 4 of the paper
+// hosts such a solver to negotiate QoS; these are the engines behind
+// it.
 package solver
 
 import (
@@ -19,9 +20,12 @@ import (
 // Stats records the work a solver performed.
 type Stats struct {
 	// Nodes is the number of search nodes expanded (assignments tried
-	// for exhaustive/local search; partial assignments for B&B).
+	// for exhaustive/local search; partial assignments for B&B). With
+	// WithParallel the count depends on which bounds each worker saw
+	// when, so it is comparable to sequential only modulo scheduling.
 	Nodes int64
-	// Prunes is the number of subtrees cut by the bound (B&B only).
+	// Prunes is the number of subtrees cut by the bound (B&B only;
+	// modulo scheduling under WithParallel, like Nodes).
 	Prunes int64
 	// TablesBuilt is the number of intermediate constraint tables
 	// materialised (variable elimination only).
@@ -55,18 +59,21 @@ type Result[T any] struct {
 type Option func(*config)
 
 type config struct {
-	prune     bool
-	lookahead bool
-	degree    bool
-	maxBest   int
-	restarts  int
-	steps     int
-	seed      int64
-	clock     clock.Clock
+	prune      bool
+	lookahead  bool
+	degree     bool
+	maxBest    int
+	workers    int
+	propagate  bool
+	propRounds int
+	restarts   int
+	steps      int
+	seed       int64
+	clock      clock.Clock
 }
 
 func defaultConfig() config {
-	return config{prune: true, maxBest: 16, restarts: 8, steps: 400, seed: 1, clock: clock.Wall}
+	return config{prune: true, maxBest: 16, workers: 1, restarts: 8, steps: 400, seed: 1, clock: clock.Wall}
 }
 
 // WithoutPruning disables the branch-and-bound upper bound test; the
@@ -92,6 +99,44 @@ func WithLookahead() Option { return func(c *config) { c.lookahead = true } }
 // WithMaxBest caps how many co-optimal solutions are retained
 // (default 16). The blevel is exact regardless.
 func WithMaxBest(n int) Option { return func(c *config) { c.maxBest = n } }
+
+// WithParallel fans branch and bound out across n workers (n ≤ 1 is
+// the sequential reference path; other solvers ignore the option).
+// The first few depths of the variable ordering are enumerated into
+// subtree tasks claimed from an atomic counter; workers prune against
+// a shared lock-free incumbent bound and their per-task frontiers are
+// merged in lexicographic task order, replaying the sequential offer
+// stream. Blevel and Best are therefore identical to the sequential
+// solver — bit-identical for totally ordered semirings, and for
+// partially ordered ones whenever the WithMaxBest cap does not bind
+// (an antichain wider than the cap can resolve ties differently).
+// Nodes and Prunes depend on bound propagation timing and are
+// comparable only modulo scheduling.
+func WithParallel(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.workers = n
+	}
+}
+
+// WithPropagation runs Propagate for up to maxRounds sweeps (0 means
+// the default cap) before branch and bound: the zero-arity c∅ bound
+// folds into the root and the tightened unary tables fold in at their
+// variable's depth, seeding pruning before the first incumbent is
+// found. For invertible semirings the rewrite is equivalence-
+// preserving, so results are unchanged; with floating-point carriers
+// whose × rounds (e.g. probabilistic) the propagated leaf values can
+// drift from the originals by ulps — callers needing bit-exact scores
+// should leave it off. Weighted and fuzzy carriers are exact: their
+// Plus/Times/Div are min/max or integer-valued sums in practice.
+func WithPropagation(maxRounds int) Option {
+	return func(c *config) {
+		c.propagate = true
+		c.propRounds = maxRounds
+	}
+}
 
 // WithRestarts sets the number of random restarts for local search.
 func WithRestarts(n int) Option { return func(c *config) { c.restarts = n } }
@@ -124,15 +169,15 @@ func Exhaustive[T any](p *core.Problem[T], opts ...Option) Result[T] {
 	sizes := ev.DomainSizes()
 	digits := make([]int, len(sizes))
 	res := Result[T]{Blevel: sr.Zero()}
-	fr := newFrontier[T](sr, cfg.maxBest)
+	fr := newDigitFrontier[T](sr, cfg.maxBest)
 	for done := false; !done; {
 		res.Stats.Nodes++
 		v := ev.EvalAll(digits)
 		res.Blevel = sr.Plus(res.Blevel, v)
-		fr.offer(digits, v, ev)
+		fr.offer(digits, v)
 		done = !next(digits, sizes)
 	}
-	res.Best = fr.solutions()
+	res.Best = fr.solutions(ev)
 	res.Stats.Elapsed = cfg.clock.Since(start)
 	return res
 }
@@ -144,25 +189,70 @@ func Exhaustive[T any](p *core.Problem[T], opts ...Option) Result[T] {
 // is dominated by an incumbent the subtree is pruned. With partially
 // ordered semirings a node is pruned only when some incumbent
 // strictly dominates its bound, which remains sound for the frontier.
+// The inner loop works on digit vectors through the evaluator's
+// stride-indexed tables and allocates nothing per node.
 func BranchAndBound[T any](p *core.Problem[T], opts ...Option) Result[T] {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
 	start := cfg.clock.Now()
+	prob := p
+	if cfg.propagate {
+		prob, _, _ = Propagate(p, cfg.propRounds)
+	}
+	pl := newPlan(prob, &cfg)
+	var res Result[T]
+	if cfg.workers > 1 && pl.n > 0 {
+		res = solveParallel(pl, cfg.workers)
+	} else {
+		res = solveSequential(pl)
+	}
+	res.Stats.Elapsed = cfg.clock.Since(start)
+	return res
+}
+
+// plan holds the static artifacts of a branch-and-bound run — the
+// variable ordering, the constraint folding schedule, the lookahead
+// products and the root bound — shared read-only by every worker.
+type plan[T any] struct {
+	sr    semiring.Semiring[T]
+	ev    *core.Evaluator[T]
+	sizes []int
+	n     int
+	// perm[d] is the space variable assigned at depth d; the default
+	// is declaration order, WithDegreeOrdering sorts by descending
+	// constraint degree (ties by smaller domain, then declaration).
+	perm []int
+	// byDepth[d] lists the constraints that become fully assigned
+	// when the variable at depth d-1 of the ordering gets a value;
+	// byDepth[0] holds the constants, folded into the root bound.
+	byDepth [][]int
+	// optimisticRest[d] is the product of the least upper bounds of
+	// every constraint that only becomes fully assigned at depth > d:
+	// an optimistic completion factor for the lookahead bound.
+	optimisticRest []T
+	rootBound      T
+	prune          bool
+	lookahead      bool
+	maxBest        int
+}
+
+func newPlan[T any](p *core.Problem[T], cfg *config) *plan[T] {
 	s := p.Space()
 	sr := s.Semiring()
 	cs := p.Constraints()
 	ev := core.NewEvaluator(s, cs)
 	sizes := ev.DomainSizes()
 	n := len(sizes)
+	pl := &plan[T]{
+		sr: sr, ev: ev, sizes: sizes, n: n,
+		prune: cfg.prune, lookahead: cfg.lookahead, maxBest: cfg.maxBest,
+	}
 
-	// perm[d] is the space variable assigned at depth d. The default
-	// is declaration order; WithDegreeOrdering sorts by descending
-	// constraint degree (ties by smaller domain, then declaration).
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
+	pl.perm = make([]int, n)
+	for i := range pl.perm {
+		pl.perm[i] = i
 	}
 	if cfg.degree {
 		degree := make([]int, n)
@@ -175,8 +265,8 @@ func BranchAndBound[T any](p *core.Problem[T], opts ...Option) Result[T] {
 				}
 			}
 		}
-		sort.SliceStable(perm, func(a, b int) bool {
-			va, vb := perm[a], perm[b]
+		sort.SliceStable(pl.perm, func(a, b int) bool {
+			va, vb := pl.perm[a], pl.perm[b]
 			if degree[va] != degree[vb] {
 				return degree[va] > degree[vb]
 			}
@@ -184,13 +274,11 @@ func BranchAndBound[T any](p *core.Problem[T], opts ...Option) Result[T] {
 		})
 	}
 	posOf := make([]int, n)
-	for d, vi := range perm {
+	for d, vi := range pl.perm {
 		posOf[vi] = d
 	}
 
-	// byDepth[d] lists the constraints that become fully assigned
-	// when the variable at depth d-1 of the ordering gets a value.
-	byDepth := make([][]int, n+1)
+	pl.byDepth = make([][]int, n+1)
 	for k := 0; k < ev.NumConstraints(); k++ {
 		last := -1
 		for _, v := range cs[k].Scope() {
@@ -201,17 +289,14 @@ func BranchAndBound[T any](p *core.Problem[T], opts ...Option) Result[T] {
 			}
 		}
 		if last < 0 {
-			byDepth[0] = append(byDepth[0], k) // constants fold at the root
+			pl.byDepth[0] = append(pl.byDepth[0], k) // constants fold at the root
 		} else {
-			byDepth[last+1] = append(byDepth[last+1], k)
+			pl.byDepth[last+1] = append(pl.byDepth[last+1], k)
 		}
 	}
 
-	// optimisticRest[d] is the product of the least upper bounds of
-	// every constraint that only becomes fully assigned at depth > d:
-	// an optimistic completion factor for the lookahead bound.
-	optimisticRest := make([]T, n+1)
-	optimisticRest[n] = sr.One()
+	pl.optimisticRest = make([]T, n+1)
+	pl.optimisticRest[n] = sr.One()
 	if cfg.lookahead {
 		lubs := make([]T, ev.NumConstraints())
 		for k := range lubs {
@@ -220,58 +305,97 @@ func BranchAndBound[T any](p *core.Problem[T], opts ...Option) Result[T] {
 			lubs[k] = lub
 		}
 		for d := n - 1; d >= 0; d-- {
-			acc := optimisticRest[d+1]
-			for _, k := range byDepth[d+1] {
+			acc := pl.optimisticRest[d+1]
+			for _, k := range pl.byDepth[d+1] {
 				acc = sr.Times(acc, lubs[k])
 			}
-			optimisticRest[d] = acc
+			pl.optimisticRest[d] = acc
 		}
 	}
 
-	res := Result[T]{Blevel: sr.Zero()}
-	fr := newFrontier[T](sr, cfg.maxBest)
-	digits := make([]int, n)
+	pl.rootBound = sr.One()
+	for _, k := range pl.byDepth[0] {
+		pl.rootBound = sr.Times(pl.rootBound, ev.Eval(k, nil))
+	}
+	return pl
+}
 
-	var rec func(depth int, bound T)
-	rec = func(depth int, bound T) {
-		res.Stats.Nodes++
-		if cfg.prune {
-			ub := bound
-			if cfg.lookahead {
-				ub = sr.Times(bound, optimisticRest[depth])
-			}
-			if fr.dominates(ub) {
-				res.Stats.Prunes++
-				return
-			}
+// bbSearch is one depth-first searcher: its digit vector, frontier
+// and counters. The sequential solver owns a single capped instance;
+// each parallel worker owns an uncapped one reset between tasks.
+type bbSearch[T any] struct {
+	pl     *plan[T]
+	digits []int
+	fr     *digitFrontier[T]
+	shared *sharedBound[T] // nil in the sequential path
+	blevel T
+	nodes  int64
+	prunes int64
+}
+
+func newSearch[T any](pl *plan[T], fr *digitFrontier[T], shared *sharedBound[T]) *bbSearch[T] {
+	return &bbSearch[T]{pl: pl, digits: make([]int, pl.n), fr: fr, shared: shared, blevel: pl.sr.Zero()}
+}
+
+// run explores the subtree rooted at depth under the given sound
+// upper bound. The steady-state path allocates nothing: the digit
+// vector is in place, constraint values come from stride-indexed
+// tables, and the frontier recycles displaced snapshot buffers.
+func (s *bbSearch[T]) run(depth int, bound T) {
+	pl := s.pl
+	s.nodes++
+	if pl.prune {
+		ub := bound
+		if pl.lookahead {
+			ub = pl.sr.Times(bound, pl.optimisticRest[depth])
 		}
-		if depth == n {
-			res.Blevel = sr.Plus(res.Blevel, bound)
-			fr.offer(digits, bound, ev)
+		if s.dominated(ub) {
+			s.prunes++
 			return
 		}
-		vi := perm[depth]
-		for d := 0; d < sizes[vi]; d++ {
-			digits[vi] = d
-			b := bound
-			for _, k := range byDepth[depth+1] {
-				b = sr.Times(b, ev.Eval(k, digits))
-			}
-			rec(depth+1, b)
+	}
+	if depth == pl.n {
+		s.blevel = pl.sr.Plus(s.blevel, bound)
+		if s.fr.offer(s.digits, bound) && s.shared != nil {
+			s.shared.offer(bound)
 		}
+		return
 	}
-	rootBound := sr.One()
-	for _, k := range byDepth[0] {
-		rootBound = sr.Times(rootBound, ev.Eval(k, digits))
+	vi := pl.perm[depth]
+	for d := 0; d < pl.sizes[vi]; d++ {
+		s.digits[vi] = d
+		b := bound
+		for _, k := range pl.byDepth[depth+1] {
+			b = pl.sr.Times(b, pl.ev.Eval(k, s.digits))
+		}
+		s.run(depth+1, b)
 	}
-	if n == 0 {
-		res.Blevel = rootBound
-		fr.offer(digits, rootBound, ev)
-	} else {
-		rec(0, rootBound)
+}
+
+// dominated prunes against the shared incumbent bound when one exists
+// (parallel), else against the local frontier (sequential).
+func (s *bbSearch[T]) dominated(v T) bool {
+	if s.shared != nil {
+		return s.shared.dominates(v)
 	}
-	res.Best = fr.solutions()
-	res.Stats.Elapsed = cfg.clock.Since(start)
+	return s.fr.dominates(v)
+}
+
+func solveSequential[T any](pl *plan[T]) Result[T] {
+	res := Result[T]{Blevel: pl.sr.Zero()}
+	fr := newDigitFrontier[T](pl.sr, pl.maxBest)
+	if pl.n == 0 {
+		res.Blevel = pl.rootBound
+		fr.offer(nil, pl.rootBound)
+		res.Best = fr.solutions(pl.ev)
+		return res
+	}
+	s := newSearch(pl, fr, nil)
+	s.run(0, pl.rootBound)
+	res.Blevel = s.blevel
+	res.Stats.Nodes = s.nodes
+	res.Stats.Prunes = s.prunes
+	res.Best = fr.solutions(pl.ev)
 	return res
 }
 
@@ -286,50 +410,4 @@ func next(digits, sizes []int) bool {
 		digits[i] = 0
 	}
 	return false
-}
-
-// frontier maintains the non-dominated solutions seen so far.
-type frontier[T any] struct {
-	sr  semiring.Semiring[T]
-	max int
-	sol []Solution[T]
-}
-
-func newFrontier[T any](sr semiring.Semiring[T], max int) *frontier[T] {
-	return &frontier[T]{sr: sr, max: max}
-}
-
-// dominates reports whether some incumbent strictly dominates v, in
-// which case any completion of a node with bound v is itself
-// dominated (× is intensive) and can be pruned.
-func (f *frontier[T]) dominates(v T) bool {
-	for _, s := range f.sol {
-		if semiring.Gt(f.sr, s.Value, v) {
-			return true
-		}
-	}
-	return false
-}
-
-func (f *frontier[T]) offer(digits []int, v T, ev *core.Evaluator[T]) {
-	if f.sr.Eq(v, f.sr.Zero()) {
-		return
-	}
-	keep := f.sol[:0]
-	for _, s := range f.sol {
-		if semiring.Gt(f.sr, s.Value, v) {
-			return // dominated by an incumbent; frontier unchanged
-		}
-		if !semiring.Gt(f.sr, v, s.Value) {
-			keep = append(keep, s) // not displaced
-		}
-	}
-	f.sol = keep
-	if len(f.sol) < f.max {
-		f.sol = append(f.sol, Solution[T]{Assignment: ev.Assignment(digits), Value: v})
-	}
-}
-
-func (f *frontier[T]) solutions() []Solution[T] {
-	return append([]Solution[T](nil), f.sol...)
 }

@@ -65,6 +65,25 @@ func RandomWeightedSCSP(p SCSPParams) (*core.Problem[float64], error) {
 	return randomSCSP[float64](p, rng, semiring.Weighted{}, gen)
 }
 
+// RandomSCSP generates a random SCSP over an arbitrary semiring:
+// every variable gets a unary constraint, each variable pair carries
+// a binary constraint with probability Density, and tight tuples draw
+// their value from tightValue (the rest get One). It is the generic
+// constructor behind RandomFuzzySCSP/RandomWeightedSCSP, exported so
+// property suites can sweep every shipped semiring with one
+// generator. The first variable is the variable of interest.
+func RandomSCSP[T any](
+	p SCSPParams,
+	sr semiring.Semiring[T],
+	tightValue func(rng *rand.Rand) T,
+) (*core.Problem[T], error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	return randomSCSP[T](p, rng, sr, func() T { return tightValue(rng) })
+}
+
 func randomSCSP[T any](
 	p SCSPParams,
 	rng *rand.Rand,
