@@ -1,4 +1,4 @@
-.PHONY: all build test race vet lint fuzz cover bench bench-go clean
+.PHONY: all build test race vet lint fuzz cover bench bench-go obs-smoke clean
 
 all: build vet lint test
 
@@ -40,6 +40,11 @@ bench:
 # One-shot smoke pass over the go-test E-series benchmarks.
 bench-go:
 	go test -bench . -benchtime 1x -run '^$$' .
+
+# End-to-end observability smoke: boot brokerd with the ops listener,
+# scrape /v1/metrics, and check three metric families are served.
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 clean:
 	rm -f coverage.out

@@ -1,21 +1,25 @@
 // Command brokerd runs the QoS broker of Fig. 6 as an HTTP daemon.
-// Providers publish XML QoS documents to POST /publish, clients
-// discover them via GET /discover?service=S, negotiate SLAs via
-// POST /negotiate and request pipeline compositions via
-// POST /compose.
+// Providers publish XML QoS documents to POST /v1/providers, clients
+// discover them via GET /v1/providers?query=S, negotiate SLAs via
+// POST /v1/negotiations and request pipeline compositions via
+// POST /v1/compositions; the pre-v1 paths remain as deprecated
+// aliases. With -ops-addr a second, operator-only listener serves
+// pprof, expvar, the Prometheus metrics and the trace dump.
 //
 // Usage:
 //
-//	brokerd [-addr :8700] [-link-cost 5] [-link-factor 0.96] \
+//	brokerd [-addr :8700] [-ops-addr :8701] [-link-cost 5] [-link-factor 0.96] \
 //	        [-capabilities http-auth,gzip,tls13] [-solver-parallel N]
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -28,6 +32,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8700", "listen address")
+	opsAddr := flag.String("ops-addr", "",
+		"operator listener serving /debug/pprof, /debug/vars, /metrics and /debug/traces (empty disables)")
 	linkCost := flag.Float64("link-cost", broker.DefaultLinkPenalty.Cost,
 		"added cost per cross-region pipeline hop")
 	linkFactor := flag.Float64("link-factor", broker.DefaultLinkPenalty.Factor,
@@ -99,12 +105,32 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsSrv = &http.Server{
+			Addr:              *opsAddr,
+			Handler:           opsMux(srv),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("ops listener on %s (pprof, expvar, metrics, traces)", *opsAddr)
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ops listener: %v", err)
+			}
+		}()
+	}
+
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if opsSrv != nil {
+			if err := opsSrv.Shutdown(shutdownCtx); err != nil {
+				log.Printf("ops shutdown: %v", err)
+			}
 		}
 	}()
 
@@ -121,6 +147,28 @@ func main() {
 		}
 	}
 	log.Print("brokerd stopped")
+}
+
+// opsMux builds the operator-only surface: the stdlib profilers, the
+// expvar dump, the broker's Prometheus metrics and its trace ring.
+// It is kept off the public listener so profiling endpoints are never
+// internet-reachable by accident.
+func opsMux(srv *broker.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", srv.Metrics().Handler())
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := srv.Traces().WriteJSON(w); err != nil {
+			log.Printf("trace dump: %v", err)
+		}
+	})
+	return mux
 }
 
 func logRequests(next http.Handler) http.Handler {

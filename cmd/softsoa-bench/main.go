@@ -38,6 +38,9 @@ type Entry struct {
 	// the instance (identical every run: the search is deterministic).
 	Nodes  int64 `json:"nodes,omitempty"`
 	Prunes int64 `json:"prunes,omitempty"`
+	// Tasks is the parallel fan-out width (0 for sequential rows);
+	// deterministic like Nodes/Prunes.
+	Tasks int64 `json:"tasks,omitempty"`
 	// Speedup is the ratio of the matching baseline entry's ns/op to
 	// this entry's: the sequential solve for parallel rows, the
 	// assignment-path evaluation for the indexed ablation row.
@@ -171,6 +174,7 @@ func main() {
 func stamp[T any](e *Entry, res solver.Result[T]) {
 	e.Nodes = res.Stats.Nodes
 	e.Prunes = res.Stats.Prunes
+	e.Tasks = res.Stats.Tasks
 }
 
 // ablation benches EvalAll over digit vectors against At over

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
+	"strings"
 )
 
 // purePackages are the layers whose outputs back the paper's worked
@@ -16,6 +18,7 @@ var purePackages = []string{
 	"softsoa/internal/sccp",
 	"softsoa/internal/integrity",
 	"softsoa/internal/coalition",
+	"softsoa/internal/trust",
 }
 
 // wallClockFuncs are the time functions that leak wall-clock state
@@ -32,6 +35,16 @@ var wallClockFuncs = map[string]bool{
 // math/rand function draws from the implicitly seeded global source.
 var randConstructors = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// importAllowlist names the softsoa packages a pure layer may import
+// beyond the pure layers themselves: clock, because the time source
+// is injected rather than ambient, and obs, because its instruments
+// are write-only from the pure layer's perspective — counter adds
+// commute, so recording them cannot change a computed result.
+var importAllowlist = map[string]bool{
+	"softsoa/internal/clock": true,
+	"softsoa/internal/obs":   true,
 }
 
 // Determinism forbids ambient nondeterminism in the pure layers:
@@ -54,6 +67,7 @@ var Determinism = &Analyzer{
 
 func runDeterminism(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
+		checkPureImports(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.Ident:
@@ -79,6 +93,32 @@ func runDeterminism(pass *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// checkPureImports keeps the pure layers' softsoa import graph closed
+// over {pure layers} ∪ importAllowlist, so effectful packages (soa,
+// broker, faults, …) cannot leak ambient state into them through a
+// transitive dependency.
+func checkPureImports(pass *Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !strings.HasPrefix(path, "softsoa/") {
+			continue
+		}
+		if importAllowlist[path] {
+			continue
+		}
+		pure := false
+		for _, p := range purePackages {
+			if path == p {
+				pure = true
+				break
+			}
+		}
+		if !pure {
+			pass.Reportf(imp.Pos(), "pure package %s imports effectful %s: only the pure layers, clock and obs are allowed", pass.Pkg.Types.Name(), path)
+		}
 	}
 }
 

@@ -230,5 +230,24 @@ func Collect(ch chan int) []int {
 `,
 			want: []string{"append inside range over channel"},
 		},
+		{
+			name: "effectful softsoa import flagged",
+			path: "softsoa/internal/semiring",
+			src: `package semiring
+import _ "softsoa/internal/faults"
+`,
+			want: []string{"imports effectful softsoa/internal/faults"},
+		},
+		{
+			name: "pure, clock and obs imports allowed",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import (
+	_ "softsoa/internal/clock"
+	_ "softsoa/internal/obs"
+	_ "softsoa/internal/semiring"
+)
+`,
+		},
 	})
 }

@@ -1,6 +1,8 @@
 package broker
 
 import (
+	"context"
+
 	"testing"
 
 	"softsoa/internal/sccp"
@@ -53,7 +55,7 @@ func TestNegotiationExample1Shape(t *testing.T) {
 		Lower: fptr(4), // at most 4 hours
 		Upper: fptr(1), // at least 1 hour (not "too good")
 	}
-	sla, outcome, err := n.Negotiate(req)
+	sla, outcome, err := n.Negotiate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +90,7 @@ func TestNegotiationExample2Shape(t *testing.T) {
 		Lower: fptr(4),
 		Upper: fptr(1),
 	}
-	sla, outcome, err := n.Negotiate(req)
+	sla, outcome, err := n.Negotiate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestNegotiationSelectsBestProvider(t *testing.T) {
 		Service: "svc", Client: "c", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10},
 	}
-	sla, outcome, err := n.Negotiate(req)
+	sla, outcome, err := n.Negotiate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +152,7 @@ func TestNegotiationReliabilityMetric(t *testing.T) {
 		},
 		Lower: fptr(0.9), // demand ≥ 90% reliability
 	}
-	sla, outcome, err := n.Negotiate(req)
+	sla, outcome, err := n.Negotiate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,19 +170,19 @@ func TestNegotiationReliabilityMetric(t *testing.T) {
 func TestNegotiationErrors(t *testing.T) {
 	reg := soa.NewRegistry()
 	n := NewNegotiator(reg)
-	if _, _, err := n.Negotiate(Request{}); err == nil {
+	if _, _, err := n.Negotiate(context.Background(), Request{}); err == nil {
 		t.Error("empty request should fail")
 	}
 	req := Request{
 		Service: "ghost", Client: "c", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Resource: "x"},
 	}
-	if _, _, err := n.Negotiate(req); err == nil {
+	if _, _, err := n.Negotiate(context.Background(), req); err == nil {
 		t.Error("unknown service should fail")
 	}
 	bad := req
 	bad.Requirement.Metric = soa.MetricReliability
-	if _, _, err := n.Negotiate(bad); err == nil {
+	if _, _, err := n.Negotiate(context.Background(), bad); err == nil {
 		t.Error("metric mismatch should fail")
 	}
 }
@@ -198,7 +200,7 @@ func TestNegotiationSkipsProvidersWithoutMetric(t *testing.T) {
 		Service: "svc", Client: "c", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
 	}
-	sla, outcome, err := n.Negotiate(req)
+	sla, outcome, err := n.Negotiate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +365,7 @@ func TestSessionProviderAccessor(t *testing.T) {
 	if err := reg.Publish(costDoc("p1", "svc", 2, 0, "eu")); err != nil {
 		t.Fatal(err)
 	}
-	_, session, _, err := NewNegotiator(reg).NegotiateSession(Request{
+	_, session, _, err := NewNegotiator(reg).NegotiateSession(context.Background(), Request{
 		Service: "svc", Client: "c", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 3},
 	})
@@ -395,7 +397,7 @@ func TestPipelineValidationBranches(t *testing.T) {
 		{Service: "s", Client: "c", Metric: "bogus"}, // bad metric
 	}
 	for i, req := range reqs {
-		if _, _, err := n.Negotiate(req); err == nil {
+		if _, _, err := n.Negotiate(context.Background(), req); err == nil {
 			t.Errorf("request case %d: expected validation error", i)
 		}
 	}
@@ -414,7 +416,7 @@ func TestDowntimeNegotiation(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := NewNegotiator(reg)
-	sla, _, err := n.Negotiate(Request{
+	sla, _, err := n.Negotiate(context.Background(), Request{
 		Service: "db", Client: "c", Metric: soa.MetricDowntime,
 		Requirement: soa.Attribute{
 			Metric: soa.MetricDowntime, Base: 1, PerUnit: 0, Resource: "replicas", MaxUnits: 3,

@@ -42,7 +42,7 @@ func TestNegotiationFiltersByMustCapabilities(t *testing.T) {
 		Requirement:  soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 10},
 		Capabilities: policy.Requirement{Must: []string{"http-auth"}},
 	}
-	sla, outcome, err := n.Negotiate(req)
+	sla, outcome, err := n.Negotiate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestNegotiationMayBreaksTies(t *testing.T) {
 			May:  []string{"gzip"},
 		},
 	}
-	sla, outcome, err := n.Negotiate(req)
+	sla, outcome, err := n.Negotiate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestNegotiationCapabilityPolicyWithoutVocabulary(t *testing.T) {
 		Requirement:  soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
 		Capabilities: policy.Requirement{Must: []string{"http-auth"}},
 	}
-	if _, _, err := n.Negotiate(req); err == nil {
+	if _, _, err := n.Negotiate(context.Background(), req); err == nil {
 		t.Fatal("capability policy without vocabulary must fail")
 	}
 }
@@ -121,7 +121,7 @@ func TestNegotiationAllProvidersMissMust(t *testing.T) {
 		Requirement:  soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
 		Capabilities: policy.Requirement{Must: []string{"tls13"}},
 	}
-	sla, outcome, err := n.Negotiate(req)
+	sla, outcome, err := n.Negotiate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"softsoa/internal/obs"
 	"softsoa/internal/soa"
 )
 
@@ -194,6 +195,11 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	if body != nil {
 		req.Header.Set("Content-Type", "application/xml")
 	}
+	// Propagate the caller's trace so the broker's spans land under
+	// the same trace ID.
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.ID())
+	}
 	return c.hc.Do(req)
 }
 
@@ -232,26 +238,28 @@ func (c *Client) Publish(ctx context.Context, doc *soa.Document) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/publish", body)
+	const path = "/v1/providers"
+	resp, err := c.do(ctx, http.MethodPost, path, body)
 	if err != nil {
 		return err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusCreated {
-		return httpError("publish", resp)
+		return httpError(path, resp)
 	}
 	return nil
 }
 
 // Discover lists the registered QoS documents for a service.
 func (c *Client) Discover(ctx context.Context, service string) ([]soa.Document, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/discover?service="+url.QueryEscape(service), nil)
+	path := "/v1/providers?query=" + url.QueryEscape(service)
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("discover", resp)
+		return nil, httpError(path, resp)
 	}
 	var dr DiscoverResponse
 	if err := xml.NewDecoder(resp.Body).Decode(&dr); err != nil {
@@ -264,12 +272,12 @@ func (c *Client) Discover(ctx context.Context, service string) ([]soa.Document, 
 // *ErrNoAgreement error reports a completed but unsuccessful
 // negotiation and is never retried.
 func (c *Client) Negotiate(ctx context.Context, req NegotiateRequest) (*soa.SLA, error) {
-	return c.postForSLA(ctx, "/negotiate", req)
+	return c.postForSLA(ctx, "/v1/negotiations", req)
 }
 
 // Compose asks the broker to bind a pipeline of services.
 func (c *Client) Compose(ctx context.Context, req ComposeRequest) (*soa.SLA, error) {
-	return c.postForSLA(ctx, "/compose", req)
+	return c.postForSLA(ctx, "/v1/compositions", req)
 }
 
 // Renegotiate relaxes an existing agreement: the broker retracts the
@@ -277,7 +285,7 @@ func (c *Client) Compose(ctx context.Context, req ComposeRequest) (*soa.SLA, err
 // A *ErrNoAgreement error means the relaxation was rejected and the
 // previous agreement stands.
 func (c *Client) Renegotiate(ctx context.Context, req RenegotiateRequest) (*soa.SLA, error) {
-	return c.postForSLA(ctx, "/renegotiate", req)
+	return c.postForSLA(ctx, "/v1/negotiations/"+url.PathEscape(req.ID)+"/renegotiate", req)
 }
 
 // Observe reports one measured service level for an agreement and
@@ -288,13 +296,14 @@ func (c *Client) Observe(ctx context.Context, id string, level float64) (*Observ
 	if err != nil {
 		return nil, fmt.Errorf("broker: encode observation: %w", err)
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/observe", body)
+	const path = "/v1/observations"
+	resp, err := c.do(ctx, http.MethodPost, path, body)
 	if err != nil {
 		return nil, err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("observe", resp)
+		return nil, httpError(path, resp)
 	}
 	var or ObserveResponse
 	if err := xml.NewDecoder(resp.Body).Decode(&or); err != nil {
@@ -305,13 +314,14 @@ func (c *Client) Observe(ctx context.Context, id string, level float64) (*Observ
 
 // Compliance fetches the compliance summary for an agreement.
 func (c *Client) Compliance(ctx context.Context, id string) (*MonitorReport, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/compliance?id="+url.QueryEscape(id), nil)
+	path := "/v1/slas/" + url.PathEscape(id) + "/compliance"
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("compliance", resp)
+		return nil, httpError(path, resp)
 	}
 	var mr MonitorReport
 	if err := xml.NewDecoder(resp.Body).Decode(&mr); err != nil {
@@ -322,13 +332,14 @@ func (c *Client) Compliance(ctx context.Context, id string) (*MonitorReport, err
 
 // SLA fetches the current agreement by id.
 func (c *Client) SLA(ctx context.Context, id string) (*soa.SLA, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/sla?id="+url.QueryEscape(id), nil)
+	path := "/v1/slas/" + url.PathEscape(id)
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("sla", resp)
+		return nil, httpError(path, resp)
 	}
 	var sla soa.SLA
 	if err := xml.NewDecoder(resp.Body).Decode(&sla); err != nil {
@@ -339,19 +350,36 @@ func (c *Client) SLA(ctx context.Context, id string) (*soa.SLA, error) {
 
 // Health fetches the broker's per-provider circuit breaker states.
 func (c *Client) Health(ctx context.Context) ([]ProviderHealth, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/health", nil)
+	const path = "/v1/health"
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err
 	}
 	defer discard(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("health", resp)
+		return nil, httpError(path, resp)
 	}
 	var hr HealthResponse
 	if err := xml.NewDecoder(resp.Body).Decode(&hr); err != nil {
 		return nil, fmt.Errorf("broker: decode health: %w", err)
 	}
 	return hr.Providers, nil
+}
+
+// Ping checks that the broker is reachable and answering /v1/health,
+// without decoding the body. It returns nil on success and a
+// *BrokerError (or transport error) otherwise.
+func (c *Client) Ping(ctx context.Context) error {
+	const path = "/v1/health"
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer discard(resp)
+	if resp.StatusCode != http.StatusOK {
+		return httpError(path, resp)
+	}
+	return nil
 }
 
 func (c *Client) postForSLA(ctx context.Context, path string, req any) (*soa.SLA, error) {

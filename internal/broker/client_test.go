@@ -72,7 +72,7 @@ func TestClientNeverRetriesNoAgreement(t *testing.T) {
 	srv := NewServer(DefaultLinkPenalty)
 	var calls atomic.Int64
 	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/negotiate" {
+		if r.URL.Path == "/v1/negotiations" {
 			calls.Add(1)
 		}
 		srv.Handler().ServeHTTP(w, r)

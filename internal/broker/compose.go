@@ -68,6 +68,12 @@ type Composition struct {
 	Total float64
 	// Nodes counts search nodes explored.
 	Nodes int64
+	// Prunes counts subtrees cut by the branch-and-bound bound
+	// (0 for the greedy and exhaustive baselines).
+	Prunes int64
+	// Tasks counts the subtree tasks the parallel driver enumerated
+	// (0 for sequential solves and the baselines).
+	Tasks int64
 	// Elapsed is the solve time.
 	Elapsed time.Duration
 }
@@ -112,12 +118,21 @@ func WithComposerProviderFilter(f ProviderFilter) ComposerOption {
 	return func(c *Composer) { c.filter = f }
 }
 
-// WithComposerSolver threads extra solver options (typically
+// WithSolverOptions threads extra solver options (typically
 // solver.WithParallel) into every branch-and-bound composition. The
 // options apply to Compose and ComposeMultiObjective; the greedy and
 // exhaustive baselines ignore them.
-func WithComposerSolver(opts ...solver.Option) ComposerOption {
+func WithSolverOptions(opts ...solver.Option) ComposerOption {
 	return func(c *Composer) { c.solverOpts = append(c.solverOpts, opts...) }
+}
+
+// WithComposerSolver threads extra solver options into every
+// branch-and-bound composition.
+//
+// Deprecated: use WithSolverOptions, which follows the package's
+// option naming convention (see doc.go).
+func WithComposerSolver(opts ...solver.Option) ComposerOption {
+	return WithSolverOptions(opts...)
 }
 
 // NewComposer returns a composer with the given link penalty.
@@ -280,7 +295,12 @@ func (c *Composer) compose(
 	}
 	p, vars := c.encode(sr, req, cands)
 	res := solve(p)
-	comp := &Composition{Nodes: res.Stats.Nodes, Elapsed: res.Stats.Elapsed}
+	comp := &Composition{
+		Nodes:   res.Stats.Nodes,
+		Prunes:  res.Stats.Prunes,
+		Tasks:   res.Stats.Tasks,
+		Elapsed: res.Stats.Elapsed,
+	}
 	if len(res.Best) == 0 {
 		return nil, comp, nil
 	}

@@ -1,0 +1,63 @@
+// Package broker implements the QoS broker/orchestrator of Fig. 6:
+// the module between clients and providers that hosts a soft
+// constraint solver and an nmsccp engine to negotiate Service Level
+// Agreements (steps 1–5 of the paper's protocol), to select the best
+// provider among those registered, and to compose pipelines of
+// services optimising end-to-end QoS. The HTTP front-end in server.go
+// exposes the same operations over XML, standing in for the SOAP/UDDI
+// stack the paper assumes.
+//
+// # The v1 HTTP API
+//
+// The broker's surface is versioned under /v1. Resources are nouns;
+// identifiers live in the path:
+//
+//	POST /v1/providers                        publish a QoS document (201)
+//	GET  /v1/providers?query=<service>        discover providers for a service
+//	POST /v1/negotiations                     negotiate an SLA (or 409 + failure report)
+//	POST /v1/negotiations/{id}/renegotiate    relax a live agreement nonmonotonically
+//	GET  /v1/slas/{id}                        current agreement for an SLA
+//	GET  /v1/slas/{id}/compliance             compliance summary for an SLA
+//	POST /v1/observations                     record a measured service level
+//	POST /v1/compositions                     solve a pipeline composition
+//	GET  /v1/health                           per-provider circuit-breaker states
+//	GET  /v1/metrics                          Prometheus text-format metrics
+//	GET  /v1/debug/traces                     recent request traces (JSON)
+//
+// The pre-v1 routes (/publish, /discover?service=, /negotiate,
+// /renegotiate, /sla?id=, /observe, /compliance?id=, /compose,
+// /health) remain as deprecated aliases: each rewrites the request to
+// its /v1 equivalent — bodies and query parameters preserved verbatim
+// — re-enters the mux, and increments the
+// broker_http_legacy_requests_total metric so operators can watch
+// residual legacy traffic drain before removing the aliases.
+//
+// Every request is traced: the server adopts the client's
+// X-Softsoa-Trace header (minting an ID when absent), echoes it on
+// the response, and records the pipeline stages — parse, per-provider
+// c∅ precheck, nmsccp run, SLA commit — as spans in a ring buffer
+// served by GET /v1/debug/traces. Metrics cover per-route HTTP
+// traffic, negotiation outcomes and agreed levels, solver search
+// statistics, breaker transitions, live SLAs, observations and
+// failovers; see the README's Observability section for the
+// catalogue.
+//
+// # Options convention
+//
+// Constructors take variadic functional options, one option type per
+// constructed value, named With<Thing> on the type they configure:
+//
+//   - NewServer:     ServerOption     (WithServerVocabulary, WithBreaker,
+//     WithFailover, WithRequestTimeout, WithSolverParallelism,
+//     WithMetricsRegistry, WithTraceCapacity)
+//   - NewNegotiator: NegotiatorOption (WithVocabulary, WithProviderFilter)
+//   - NewComposer:   ComposerOption   (WithComposerVocabulary,
+//     WithComposerProviderFilter, WithSolverOptions)
+//   - NewClient:     ClientOption     (WithRetry, WithClientTimeout)
+//
+// Options are applied in order, later options overriding earlier
+// ones; the zero configuration is always valid. Options that forward
+// a whole option set to a subordinate component are named
+// With<Component>Options (WithSolverOptions); WithComposerSolver is
+// the deprecated spelling of that one.
+package broker

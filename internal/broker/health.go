@@ -45,6 +45,11 @@ type BreakerConfig struct {
 	OpenTimeout time.Duration
 	// Clock overrides the time source (tests). Nil means time.Now.
 	Clock func() time.Time
+	// OnTransition, when non-nil, is called on every genuine breaker
+	// state change (not on same-state resets). It runs synchronously
+	// under the board's lock, so it must be cheap — atomics, metric
+	// updates — and must not call back into the board.
+	OnTransition func(provider string, from, to BreakerState)
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -125,7 +130,7 @@ func (h *HealthBoard) Allow(provider string) bool {
 		if h.cfg.Clock().Sub(b.openedAt) < h.cfg.OpenTimeout {
 			return false
 		}
-		b.state = BreakerHalfOpen
+		h.transition(provider, b, BreakerHalfOpen)
 		b.probing = true
 		return true
 	case BreakerHalfOpen:
@@ -146,7 +151,7 @@ func (h *HealthBoard) RecordSuccess(provider string) {
 	b := h.get(provider)
 	b.failures = 0
 	b.probing = false
-	b.state = BreakerClosed
+	h.transition(provider, b, BreakerClosed)
 }
 
 // RecordFailure reports a failed interaction: a run of
@@ -158,7 +163,7 @@ func (h *HealthBoard) RecordFailure(provider string) {
 	b := h.get(provider)
 	b.failures++
 	if b.state == BreakerHalfOpen || b.failures >= h.cfg.FailureThreshold {
-		h.open(b)
+		h.open(provider, b)
 	}
 }
 
@@ -168,15 +173,26 @@ func (h *HealthBoard) RecordFailure(provider string) {
 func (h *HealthBoard) Trip(provider string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.open(h.get(provider))
+	h.open(provider, h.get(provider))
 }
 
 // open trips the breaker. Callers hold h.mu.
-func (h *HealthBoard) open(b *breaker) {
-	b.state = BreakerOpen
+func (h *HealthBoard) open(provider string, b *breaker) {
+	h.transition(provider, b, BreakerOpen)
 	b.openedAt = h.cfg.Clock()
 	b.probing = false
 	b.failures = 0
+}
+
+// transition moves the breaker to the target state, firing the
+// OnTransition hook only when the state actually changes. Callers
+// hold h.mu, so the hook runs under the board lock.
+func (h *HealthBoard) transition(provider string, b *breaker, to BreakerState) {
+	from := b.state
+	b.state = to
+	if from != to && h.cfg.OnTransition != nil {
+		h.cfg.OnTransition(provider, from, to)
+	}
 }
 
 // State returns the provider's current breaker state (an open breaker

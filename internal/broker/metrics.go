@@ -1,0 +1,167 @@
+package broker
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"softsoa/internal/obs"
+)
+
+// blevelBuckets cover agreed levels across the metrics the broker
+// negotiates: [0,1] carriers (reliability, preference) land in the
+// low buckets, cost/downtime totals in the high ones.
+var blevelBuckets = []float64{0.5, 0.9, 0.99, 1, 2.5, 5, 10, 25, 50, 100, 250}
+
+// brokerMetrics holds the server's instruments, resolved once at
+// construction so the hot paths never touch the registry's lock.
+type brokerMetrics struct {
+	requests *obs.CounterVec   // by route, method, status
+	latency  *obs.HistogramVec // by route
+	inFlight *obs.Gauge
+	legacy   *obs.CounterVec // by legacy route
+
+	negStarted    *obs.Counter
+	negOutcomes   *obs.CounterVec // by outcome: agreed / no_agreement / error
+	negPrechecked *obs.Counter
+	negBlevel     *obs.Histogram
+
+	solves        *obs.CounterVec // by mode: optimal / greedy
+	solverNodes   *obs.Counter
+	solverPrunes  *obs.Counter
+	solverTasks   *obs.Counter
+	solverSeconds *obs.Histogram
+
+	breakerState       *obs.GaugeVec   // by provider
+	breakerTransitions *obs.CounterVec // by provider, to-state
+
+	slasActive   *obs.Gauge
+	observations *obs.CounterVec // by result: ok / violation
+	failovers    *obs.CounterVec // by result: rebound / stuck
+}
+
+// newBrokerMetrics registers the broker's metric families on reg. All
+// families are registered up front — even those whose series only
+// appear under traffic — so one scrape of a fresh broker already
+// documents the full catalogue.
+func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
+	return &brokerMetrics{
+		requests: reg.CounterVec("broker_http_requests_total",
+			"HTTP requests served, by v1 route, method and status.",
+			"route", "method", "status"),
+		latency: reg.HistogramVec("broker_http_request_seconds",
+			"HTTP request handling latency in seconds, by v1 route.",
+			nil, "route"),
+		inFlight: reg.Gauge("broker_http_in_flight",
+			"HTTP requests currently being handled."),
+		legacy: reg.CounterVec("broker_http_legacy_requests_total",
+			"Requests arriving on deprecated pre-v1 routes, by legacy path.",
+			"route"),
+		negStarted: reg.Counter("broker_negotiations_started_total",
+			"Negotiations started (initial requests and failover replays)."),
+		negOutcomes: reg.CounterVec("broker_negotiations_total",
+			"Completed negotiations, by outcome.",
+			"outcome"),
+		negPrechecked: reg.Counter("broker_negotiation_prechecks_doomed_total",
+			"Provider negotiations skipped because the c-zero precheck proved them doomed."),
+		negBlevel: reg.Histogram("broker_negotiation_blevel",
+			"Agreed consistency level (blevel) of successful negotiations.",
+			blevelBuckets),
+		solves: reg.CounterVec("broker_solver_solves_total",
+			"Composition solves, by algorithm.",
+			"mode"),
+		solverNodes: reg.Counter("broker_solver_nodes_total",
+			"Search nodes expanded by composition solves."),
+		solverPrunes: reg.Counter("broker_solver_prunes_total",
+			"Subtrees pruned by the branch-and-bound bound in composition solves."),
+		solverTasks: reg.Counter("broker_solver_tasks_total",
+			"Parallel subtree tasks executed by composition solves."),
+		solverSeconds: reg.Histogram("broker_solver_seconds",
+			"Wall-clock composition solve time in seconds.", nil),
+		breakerState: reg.GaugeVec("broker_breaker_state",
+			"Circuit breaker state per provider (0 closed, 1 open, 2 half-open).",
+			"provider"),
+		breakerTransitions: reg.CounterVec("broker_breaker_transitions_total",
+			"Circuit breaker state transitions, by provider and new state.",
+			"provider", "to"),
+		slasActive: reg.Gauge("broker_slas_active",
+			"Live SLA sessions held by the broker."),
+		observations: reg.CounterVec("broker_observations_total",
+			"Service-level observations recorded against live SLAs, by result.",
+			"result"),
+		failovers: reg.CounterVec("broker_failovers_total",
+			"Violation-driven failover attempts, by result.",
+			"result"),
+	}
+}
+
+// observeSolve records one composition solve's search statistics.
+func (m *brokerMetrics) observeSolve(mode string, comp *Composition) {
+	m.solves.With(mode).Inc()
+	if comp == nil {
+		return
+	}
+	m.solverNodes.Add(comp.Nodes)
+	m.solverPrunes.Add(comp.Prunes)
+	m.solverTasks.Add(comp.Tasks)
+	m.solverSeconds.Observe(comp.Elapsed.Seconds())
+}
+
+// statusRecorder captures the status code a handler writes so the
+// request counter can label it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route's handler with the per-route
+// count/latency/status instruments. The route label is the registered
+// pattern — bounded cardinality, unlike raw request paths.
+func (s *Server) instrument(pattern string, next http.HandlerFunc) http.Handler {
+	method, route, ok := strings.Cut(pattern, " ")
+	if !ok {
+		method, route = "", pattern
+	}
+	lat := s.bm.latency.With(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.bm.inFlight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next(rec, r)
+		lat.Observe(time.Since(start).Seconds())
+		s.bm.inFlight.Dec()
+		s.bm.requests.With(route, method, strconv.Itoa(rec.status)).Inc()
+	})
+}
+
+// withTracing opens a trace for every request — adopting the
+// client's ID from the X-Softsoa-Trace header when present, minting
+// one otherwise — echoes the ID on the response, and records the
+// completed trace in the server's ring buffer (traces without spans,
+// e.g. scrapes, are dropped there).
+func (s *Server) withTracing(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
+		w.Header().Set(obs.TraceHeader, tr.ID())
+		next.ServeHTTP(w, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
+		s.traces.Record(tr)
+	})
+}
+
+// handleMetrics serves the Prometheus text-format exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Handler().ServeHTTP(w, r)
+}
+
+// handleTraces dumps the trace ring buffer as JSON, oldest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errcheck a failed debug-dump write means the client is gone; nothing to do
+	_ = s.traces.WriteJSON(w)
+}

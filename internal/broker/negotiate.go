@@ -1,19 +1,13 @@
-// Package broker implements the QoS broker/orchestrator of Fig. 6:
-// the module between clients and providers that hosts a soft
-// constraint solver and an nmsccp engine to negotiate Service Level
-// Agreements (steps 1–5 of the paper's protocol), to select the best
-// provider among those registered, and to compose pipelines of
-// services optimising end-to-end QoS. The HTTP front-end in server.go
-// exposes the same operations over XML, standing in for the SOAP/UDDI
-// stack the paper assumes.
 package broker
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"softsoa/internal/core"
+	"softsoa/internal/obs"
 	"softsoa/internal/policy"
 	"softsoa/internal/sccp"
 	"softsoa/internal/semiring"
@@ -76,6 +70,10 @@ type ProviderOutcome struct {
 	// Skipped explains why the provider was excluded before
 	// negotiation (missing metric or capabilities); empty otherwise.
 	Skipped string
+	// Prechecked is true when the c∅ propagation precheck proved the
+	// negotiation doomed and the machine run was skipped; the Status
+	// is the Stuck outcome the run would have reached.
+	Prechecked bool
 	// AgreedLevel is the final store consistency (meaningful when
 	// Status is Succeeded).
 	AgreedLevel float64
@@ -138,14 +136,16 @@ func NewNegotiator(reg *soa.Registry, opts ...NegotiatorOption) *Negotiator {
 // shared store (steps 3–4), and bind the best successful agreement
 // into an SLA (step 5). It returns the SLA, the per-provider
 // outcomes, and an error only for invalid requests or an empty
-// registry; "no agreement" is reported via a nil SLA.
-func (n *Negotiator) Negotiate(req Request) (*soa.SLA, *Outcome, error) {
-	sla, _, outcome, err := n.negotiate(req)
+// registry; "no agreement" is reported via a nil SLA. The context
+// carries the request's trace (if any); each provider's precheck and
+// machine run is recorded as a span on it.
+func (n *Negotiator) Negotiate(ctx context.Context, req Request) (*soa.SLA, *Outcome, error) {
+	sla, _, outcome, err := n.negotiate(ctx, req)
 	return sla, outcome, err
 }
 
 // negotiate is the engine behind Negotiate and NegotiateSession.
-func (n *Negotiator) negotiate(req Request) (*soa.SLA, *Session, *Outcome, error) {
+func (n *Negotiator) negotiate(ctx context.Context, req Request) (*soa.SLA, *Session, *Outcome, error) {
 	if err := req.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -198,7 +198,7 @@ func (n *Negotiator) negotiate(req Request) (*soa.SLA, *Session, *Outcome, error
 			}
 			pref = match.Preference
 		}
-		po, sess, err := n.negotiateOne(sr, req, doc.Provider, attr)
+		po, sess, err := n.negotiateOne(ctx, sr, req, doc.Provider, attr)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -228,6 +228,7 @@ func (n *Negotiator) negotiate(req Request) (*soa.SLA, *Session, *Outcome, error
 // mirroring Example 1 of the paper with the client carrying the
 // acceptance interval.
 func (n *Negotiator) negotiateOne(
+	ctx context.Context,
 	sr semiring.Semiring[float64],
 	req Request,
 	provider string,
@@ -280,10 +281,13 @@ func (n *Negotiator) negotiateOne(
 	// never fire: skip the machine run and report the Stuck outcome it
 	// would have reached.
 	if req.Lower != nil {
+		sp := obs.StartSpan(ctx, "precheck:"+provider)
 		pre := core.NewProblem(space)
 		pre.Add(offerCon, reqCon)
-		if _, czero, _ := solver.Propagate(pre, 1); semiring.Lt(sr, czero, *req.Lower) {
-			return ProviderOutcome{Provider: provider, Status: sccp.Stuck}, nil, nil
+		_, czero, _ := solver.Propagate(pre, 1)
+		sp.End()
+		if semiring.Lt(sr, czero, *req.Lower) {
+			return ProviderOutcome{Provider: provider, Status: sccp.Stuck, Prechecked: true}, nil, nil
 		}
 	}
 
@@ -296,7 +300,9 @@ func (n *Negotiator) negotiateOne(
 	}}}
 
 	m := sccp.NewMachine(space, sccp.Par[float64](pAgent, cAgent))
+	sp := obs.StartSpan(ctx, "nmsccp:"+provider)
 	status, err := m.Run(200)
+	sp.End()
 	if err != nil {
 		return ProviderOutcome{}, nil, fmt.Errorf("broker: negotiation with %q: %w", provider, err)
 	}

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 
 	"softsoa/internal/soa"
@@ -36,6 +37,7 @@ type RelaxationOutcome struct {
 // first round that produces an agreement wins; if every round fails,
 // a nil SLA is returned with the full outcome trail.
 func (n *Negotiator) NegotiateWithRelaxation(
+	ctx context.Context,
 	req Request,
 	fallbacks []RelaxationStep,
 ) (*soa.SLA, *Session, *RelaxationOutcome, error) {
@@ -48,7 +50,7 @@ func (n *Negotiator) NegotiateWithRelaxation(
 	}
 
 	trail := &RelaxationOutcome{}
-	sla, session, outcome, err := n.NegotiateSession(req)
+	sla, session, outcome, err := n.NegotiateSession(ctx, req)
 	trail.Rounds = 1
 	trail.FinalOutcome = outcome
 	if err != nil {
@@ -71,7 +73,7 @@ func (n *Negotiator) NegotiateWithRelaxation(
 			cur.Requirement = fb.Requirement
 			cur.Lower = fb.Lower
 			cur.Upper = fb.Upper
-			sla, session, outcome, err = n.NegotiateSession(cur)
+			sla, session, outcome, err = n.NegotiateSession(ctx, cur)
 			if err != nil {
 				return nil, nil, trail, err
 			}

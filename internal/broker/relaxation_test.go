@@ -1,6 +1,8 @@
 package broker
 
 import (
+	"context"
+
 	"testing"
 
 	"softsoa/internal/soa"
@@ -29,7 +31,7 @@ func TestRelaxationSucceedsOnSecondRound(t *testing.T) {
 		},
 		Lower: fptr(10),
 	}}
-	sla, session, trail, err := n.NegotiateWithRelaxation(strict, fallbacks)
+	sla, session, trail, err := n.NegotiateWithRelaxation(context.Background(), strict, fallbacks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func TestRelaxationFirstRoundWins(t *testing.T) {
 		Service: "svc", Client: "c", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
 	}
-	sla, _, trail, err := n.NegotiateWithRelaxation(req, []RelaxationStep{{
+	sla, _, trail, err := n.NegotiateWithRelaxation(context.Background(), req, []RelaxationStep{{
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
 	}})
 	if err != nil {
@@ -79,7 +81,7 @@ func TestRelaxationAllRoundsFail(t *testing.T) {
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
 		Lower:       fptr(3), // demand cost ≤ 3; the provider floor is 9
 	}
-	sla, session, trail, err := n.NegotiateWithRelaxation(req, []RelaxationStep{
+	sla, session, trail, err := n.NegotiateWithRelaxation(context.Background(), req, []RelaxationStep{
 		{
 			Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
 			Lower:       fptr(5), // still impossible
@@ -113,7 +115,7 @@ func TestRelaxationMetricMismatchRejected(t *testing.T) {
 		Service: "svc", Client: "c", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
 	}
-	_, _, _, err := n.NegotiateWithRelaxation(req, []RelaxationStep{{
+	_, _, _, err := n.NegotiateWithRelaxation(context.Background(), req, []RelaxationStep{{
 		Requirement: soa.Attribute{Metric: soa.MetricReliability, Base: 90, Resource: "failures"},
 	}})
 	if err == nil {

@@ -1,13 +1,17 @@
 package broker
 
 import (
+	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sync"
 	"time"
 
+	"softsoa/internal/obs"
 	"softsoa/internal/policy"
 	"softsoa/internal/sccp"
 	"softsoa/internal/soa"
@@ -133,7 +137,8 @@ func (e *slaEntry) version() int { return e.versionBase + e.session.Version() }
 
 // Server is the broker daemon: registry + negotiator + composer
 // behind an HTTP mux, plus the store of live SLA sessions, their
-// compliance monitors, and the per-provider circuit breakers.
+// compliance monitors, the per-provider circuit breakers, and the
+// observability layer (metrics registry and trace ring buffer).
 type Server struct {
 	reg        *soa.Registry
 	negotiator *Negotiator
@@ -141,6 +146,9 @@ type Server struct {
 	handler    http.Handler
 	health     *HealthBoard
 	failover   FailoverPolicy
+	metrics    *obs.Registry
+	bm         *brokerMetrics
+	traces     *obs.TraceLog
 
 	mu      sync.Mutex
 	entries map[string]*slaEntry // guarded by mu
@@ -156,6 +164,8 @@ type serverConfig struct {
 	failover      FailoverPolicy
 	timeout       time.Duration
 	solverWorkers int
+	metrics       *obs.Registry
+	traceCap      int
 }
 
 // WithServerVocabulary equips the broker daemon with a capability
@@ -189,20 +199,52 @@ func WithSolverParallelism(n int) ServerOption {
 	return func(c *serverConfig) { c.solverWorkers = n }
 }
 
+// WithMetricsRegistry shares an existing metrics registry with the
+// server instead of the private one it creates by default — so an
+// ops listener, a fault injector, or several embedded brokers can
+// expose one merged scrape.
+func WithMetricsRegistry(reg *obs.Registry) ServerOption {
+	return func(c *serverConfig) { c.metrics = reg }
+}
+
+// WithTraceCapacity sets how many completed traces the debug ring
+// buffer retains (default 256).
+func WithTraceCapacity(n int) ServerOption {
+	return func(c *serverConfig) { c.traceCap = n }
+}
+
 // NewServer returns a broker server over a fresh registry with the
 // given link penalty for compositions.
 func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
-	cfg := serverConfig{timeout: 30 * time.Second}
+	cfg := serverConfig{timeout: 30 * time.Second, traceCap: 256}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.metrics == nil {
+		cfg.metrics = obs.NewRegistry()
 	}
 	reg := soa.NewRegistry()
 	s := &Server{
 		reg:      reg,
-		health:   NewHealthBoard(cfg.breaker),
 		failover: cfg.failover,
 		entries:  make(map[string]*slaEntry),
+		metrics:  cfg.metrics,
+		traces:   obs.NewTraceLog(cfg.traceCap),
 	}
+	s.bm = newBrokerMetrics(cfg.metrics)
+	// Breaker transitions feed the state gauge and transition counter.
+	// The hook runs under the board lock, so it stays atomic-only; a
+	// user-supplied hook is chained after.
+	breaker := cfg.breaker
+	userHook := breaker.OnTransition
+	breaker.OnTransition = func(provider string, from, to BreakerState) {
+		s.bm.breakerState.With(provider).Set(float64(to))
+		s.bm.breakerTransitions.With(provider, to.String()).Inc()
+		if userHook != nil {
+			userHook(provider, from, to)
+		}
+	}
+	s.health = NewHealthBoard(breaker)
 	// The breaker board gates provider selection in both the
 	// negotiator and the composer, so a sick provider is skipped
 	// everywhere until a half-open probe shows recovery.
@@ -217,27 +259,122 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 		WithComposerVocabulary(cfg.vocab), WithComposerProviderFilter(filter),
 	}
 	if cfg.solverWorkers > 1 {
-		composerOpts = append(composerOpts, WithComposerSolver(solver.WithParallel(cfg.solverWorkers)))
+		composerOpts = append(composerOpts, WithSolverOptions(solver.WithParallel(cfg.solverWorkers)))
 	}
 	s.composer = NewComposer(reg, penalty, composerOpts...)
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /publish", s.handlePublish)
-	mux.HandleFunc("GET /discover", s.handleDiscover)
-	mux.HandleFunc("POST /negotiate", s.handleNegotiate)
-	mux.HandleFunc("POST /renegotiate", s.handleRenegotiate)
-	mux.HandleFunc("GET /sla", s.handleGetSLA)
-	mux.HandleFunc("POST /observe", s.handleObserve)
-	mux.HandleFunc("GET /compliance", s.handleCompliance)
-	mux.HandleFunc("POST /compose", s.handleCompose)
-	mux.HandleFunc("GET /health", s.handleHealth)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	route("POST /v1/providers", s.handlePublish)
+	route("GET /v1/providers", s.handleDiscover)
+	route("POST /v1/negotiations", s.handleNegotiate)
+	route("POST /v1/negotiations/{id}/renegotiate", s.handleRenegotiate)
+	route("GET /v1/slas/{id}", s.handleGetSLA)
+	route("GET /v1/slas/{id}/compliance", s.handleCompliance)
+	route("POST /v1/observations", s.handleObserve)
+	route("POST /v1/compositions", s.handleCompose)
+	route("GET /v1/health", s.handleHealth)
+	route("GET /v1/metrics", s.handleMetrics)
+	route("GET /v1/debug/traces", s.handleTraces)
+	s.registerLegacyAliases(mux)
 
 	var h http.Handler = mux
 	if cfg.timeout > 0 {
 		h = http.TimeoutHandler(h, cfg.timeout, `<error reason="request timed out"></error>`)
 	}
-	s.handler = withRecovery(h)
+	s.handler = withRecovery(s.withTracing(h))
 	return s
+}
+
+// registerLegacyAliases installs the deprecated pre-v1 routes as thin
+// aliases: each counts the hit under the legacy-requests metric,
+// rewrites the request to its /v1 equivalent — preserving method,
+// query parameters and body verbatim, modulo the documented
+// service→query rename and the id-to-path moves — and re-enters the
+// mux, so the request is served and instrumented by the v1 handler.
+func (s *Server) registerLegacyAliases(mux *http.ServeMux) {
+	reenter := func(w http.ResponseWriter, r *http.Request, legacy, path string) {
+		s.bm.legacy.With(legacy).Inc()
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = path
+		mux.ServeHTTP(w, r2)
+	}
+	mux.HandleFunc("POST /publish", func(w http.ResponseWriter, r *http.Request) {
+		reenter(w, r, "/publish", "/v1/providers")
+	})
+	mux.HandleFunc("POST /negotiate", func(w http.ResponseWriter, r *http.Request) {
+		reenter(w, r, "/negotiate", "/v1/negotiations")
+	})
+	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+		reenter(w, r, "/observe", "/v1/observations")
+	})
+	mux.HandleFunc("POST /compose", func(w http.ResponseWriter, r *http.Request) {
+		reenter(w, r, "/compose", "/v1/compositions")
+	})
+	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
+		reenter(w, r, "/health", "/v1/health")
+	})
+	mux.HandleFunc("GET /discover", func(w http.ResponseWriter, r *http.Request) {
+		s.bm.legacy.With("/discover").Inc()
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = "/v1/providers"
+		q := r2.URL.Query()
+		if q.Has("service") { // v1 renames the parameter to "query"
+			q.Set("query", q.Get("service"))
+			q.Del("service")
+			r2.URL.RawQuery = q.Encode()
+		}
+		mux.ServeHTTP(w, r2)
+	})
+	mux.HandleFunc("GET /sla", func(w http.ResponseWriter, r *http.Request) {
+		s.bm.legacy.With("/sla").Inc()
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			writeError(w, http.StatusNotFound, `unknown SLA ""`)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = "/v1/slas/" + url.PathEscape(id)
+		mux.ServeHTTP(w, r2)
+	})
+	mux.HandleFunc("GET /compliance", func(w http.ResponseWriter, r *http.Request) {
+		s.bm.legacy.With("/compliance").Inc()
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			writeError(w, http.StatusNotFound, `unknown SLA ""`)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = "/v1/slas/" + url.PathEscape(id) + "/compliance"
+		mux.ServeHTTP(w, r2)
+	})
+	mux.HandleFunc("POST /renegotiate", func(w http.ResponseWriter, r *http.Request) {
+		s.bm.legacy.With("/renegotiate").Inc()
+		// The v1 route carries the SLA id in the path; pull it from the
+		// legacy body, then restore the body so the v1 handler re-reads
+		// it verbatim.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+			return
+		}
+		var rr RenegotiateRequest
+		if err := xml.Unmarshal(body, &rr); err != nil {
+			writeError(w, http.StatusBadRequest, "decode request: "+err.Error())
+			return
+		}
+		if rr.ID == "" {
+			writeError(w, http.StatusNotFound, `unknown SLA ""`)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = "/v1/negotiations/" + url.PathEscape(rr.ID) + "/renegotiate"
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		mux.ServeHTTP(w, r2)
+	})
 }
 
 // Registry exposes the server's registry (for tests and local
@@ -249,8 +386,16 @@ func (s *Server) Registry() *soa.Registry { return s.reg }
 func (s *Server) Health() *HealthBoard { return s.health }
 
 // Handler returns the HTTP handler: the broker mux wrapped in
-// timeout and panic-recovery middleware.
+// timeout, tracing and panic-recovery middleware.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the server's metrics registry, so an ops listener
+// (brokerd -ops-addr) or a test can scrape it without going through
+// the public mux.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Traces exposes the server's trace ring buffer.
+func (s *Server) Traces() *obs.TraceLog { return s.traces }
 
 // withRecovery turns a handler panic into a structured 500 instead of
 // killing the connection (and, under http.Serve, leaking a broken
@@ -289,9 +434,9 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
-	service := r.URL.Query().Get("service")
+	service := r.URL.Query().Get("query")
 	if service == "" {
-		writeError(w, http.StatusBadRequest, "missing service parameter")
+		writeError(w, http.StatusBadRequest, "missing query parameter")
 		return
 	}
 	resp := DiscoverResponse{Service: service}
@@ -302,8 +447,12 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	parse := obs.StartSpan(ctx, "parse")
 	var nr NegotiateRequest
-	if !readXML(w, r, &nr) {
+	ok := readXML(w, r, &nr)
+	parse.End()
+	if !ok {
 		return
 	}
 	req := Request{
@@ -315,13 +464,16 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 		Upper:        nr.Upper,
 		Capabilities: policy.Requirement{Must: nr.Must, May: nr.May},
 	}
-	sla, session, outcome, err := s.negotiator.NegotiateSession(req)
+	s.bm.negStarted.Inc()
+	sla, session, outcome, err := s.negotiator.NegotiateSession(ctx, req)
 	s.recordOutcome(outcome)
 	if err != nil {
+		s.bm.negOutcomes.With("error").Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if sla == nil {
+		s.bm.negOutcomes.With("no_agreement").Inc()
 		writeXML(w, http.StatusConflict, failureFromOutcome("no shared agreement", outcome))
 		return
 	}
@@ -330,14 +482,21 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 	// unmonitorable SLA.
 	mon, err := NewMonitor(sla)
 	if err != nil {
+		s.bm.negOutcomes.With("error").Inc()
 		writeError(w, http.StatusInternalServerError, "monitor: "+err.Error())
 		return
 	}
+	commit := obs.StartSpan(ctx, "sla-commit")
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("sla-%d", s.nextID)
 	s.entries[id] = &slaEntry{session: session, mon: mon, req: req}
+	live := len(s.entries)
 	s.mu.Unlock()
+	commit.End()
+	s.bm.negOutcomes.With("agreed").Inc()
+	s.bm.negBlevel.Observe(sla.AgreedLevel)
+	s.bm.slasActive.Set(float64(live))
 	sla.ID = id
 	sla.Version = session.Version()
 	writeXML(w, http.StatusOK, sla)
@@ -346,11 +505,16 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 // recordOutcome feeds negotiation results into the breaker board:
 // an agreement is a success, a stuck negotiation a failure. Skipped
 // providers (missing metric/capabilities, open breaker) don't count.
+// Precheck-doomed providers count as failures — the precheck proves
+// the run would have ended stuck — and are tallied separately.
 func (s *Server) recordOutcome(out *Outcome) {
 	if out == nil {
 		return
 	}
 	for _, po := range out.PerProvider {
+		if po.Prechecked {
+			s.bm.negPrechecked.Inc()
+		}
 		if po.Skipped != "" {
 			continue
 		}
@@ -373,13 +537,14 @@ func (s *Server) entry(id string) (*slaEntry, bool) {
 // the session's old requirement is retracted from the shared store
 // and the new one told under the given interval.
 func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
 	var rr RenegotiateRequest
 	if !readXML(w, r, &rr) {
 		return
 	}
-	e, ok := s.entry(rr.ID)
+	e, ok := s.entry(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", rr.ID))
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", id))
 		return
 	}
 	// One critical section per agreement: renegotiating the store and
@@ -399,7 +564,7 @@ func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	sla.ID = rr.ID
+	sla.ID = id
 	sla.Version = e.version()
 	e.mon.Rebase(sla.AgreedLevel)
 	e.mu.Unlock()
@@ -427,15 +592,20 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	provider := e.session.Provider()
 	violated := e.mon.Observe(or.Level)
 	if violated {
+		s.bm.observations.With("violation").Inc()
 		s.health.RecordFailure(provider)
 	} else {
+		s.bm.observations.With("ok").Inc()
 		s.health.RecordSuccess(provider)
 	}
 	resp := ObserveResponse{ID: or.ID, Violated: violated, Provider: provider}
 	if violated && s.shouldFailOver(e.mon) {
-		if s.failOverLocked(e) {
+		if s.failOverLocked(r.Context(), e) {
+			s.bm.failovers.With("rebound").Inc()
 			resp.FailedOver = true
 			resp.Provider = e.session.Provider()
+		} else {
+			s.bm.failovers.With("stuck").Inc()
 		}
 	}
 	resp.Report = e.mon.Report()
@@ -457,9 +627,10 @@ func (s *Server) shouldFailOver(mon *Monitor) bool {
 // replaced and a fresh monitor tracks the new agreement; on failure
 // the old agreement stands and the next violation retries. The
 // caller holds e.mu.
-func (s *Server) failOverLocked(e *slaEntry) bool {
+func (s *Server) failOverLocked(ctx context.Context, e *slaEntry) bool {
 	s.health.Trip(e.session.Provider())
-	sla, session, outcome, err := s.negotiator.NegotiateSession(e.req)
+	s.bm.negStarted.Inc()
+	sla, session, outcome, err := s.negotiator.NegotiateSession(ctx, e.req)
 	s.recordOutcome(outcome)
 	if err != nil || sla == nil {
 		return false
@@ -476,7 +647,7 @@ func (s *Server) failOverLocked(e *slaEntry) bool {
 
 // handleCompliance returns the compliance summary for a live SLA.
 func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("id")
+	id := r.PathValue("id")
 	e, ok := s.entry(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", id))
@@ -490,7 +661,7 @@ func (s *Server) handleCompliance(w http.ResponseWriter, r *http.Request) {
 
 // handleGetSLA returns the current agreement for an SLA id.
 func (s *Server) handleGetSLA(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("id")
+	id := r.PathValue("id")
 	e, ok := s.entry(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", id))
@@ -510,8 +681,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	parse := obs.StartSpan(ctx, "parse")
 	var cr ComposeRequest
-	if !readXML(w, r, &cr) {
+	ok := readXML(w, r, &cr)
+	parse.End()
+	if !ok {
 		return
 	}
 	req := PipelineRequest{
@@ -522,18 +697,24 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 		Capabilities: policy.Requirement{Must: cr.Must, May: cr.May},
 	}
 	var (
-		sla *soa.SLA
-		err error
+		sla  *soa.SLA
+		comp *Composition
+		err  error
 	)
+	mode := "optimal"
+	solve := obs.StartSpan(ctx, "solve")
 	if cr.Greedy {
-		sla, _, err = s.composer.ComposeGreedy(req)
+		mode = "greedy"
+		sla, comp, err = s.composer.ComposeGreedy(req)
 	} else {
-		sla, _, err = s.composer.Compose(req)
+		sla, comp, err = s.composer.Compose(req)
 	}
+	solve.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.bm.observeSolve(mode, comp)
 	if sla == nil {
 		writeXML(w, http.StatusConflict, FailureResponse{Reason: "no composition meets the requirement"})
 		return

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -64,8 +65,8 @@ func (s *Session) SLA() *soa.SLA {
 // NegotiateSession is Negotiate, but additionally returns the live
 // session of the winning agreement so it can be renegotiated later.
 // The session is nil when no agreement was found.
-func (n *Negotiator) NegotiateSession(req Request) (*soa.SLA, *Session, *Outcome, error) {
-	return n.negotiate(req)
+func (n *Negotiator) NegotiateSession(ctx context.Context, req Request) (*soa.SLA, *Session, *Outcome, error) {
+	return n.negotiate(ctx, req)
 }
 
 // Renegotiate relaxes the session nonmonotonically: it retracts the

@@ -25,7 +25,7 @@ func TestSessionRenegotiateRelaxes(t *testing.T) {
 			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
 		},
 	}
-	sla, session, _, err := n.NegotiateSession(req)
+	sla, session, _, err := n.NegotiateSession(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestSessionRenegotiateRejectedRollsBack(t *testing.T) {
 			Metric: soa.MetricCost, Base: 1, PerUnit: 0, Resource: "failures", MaxUnits: 10,
 		},
 	}
-	_, session, _, err := n.NegotiateSession(req)
+	_, session, _, err := n.NegotiateSession(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestSessionRenegotiateValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := NewNegotiator(reg)
-	_, session, _, err := n.NegotiateSession(Request{
+	_, session, _, err := n.NegotiateSession(context.Background(), Request{
 		Service: "svc", Client: "c", Metric: soa.MetricCost,
 		Requirement: soa.Attribute{Metric: soa.MetricCost, Base: 0, Resource: "failures", MaxUnits: 5},
 	})

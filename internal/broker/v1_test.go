@@ -1,0 +1,263 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"softsoa/internal/obs"
+	"softsoa/internal/soa"
+)
+
+// get fetches a path from the test server and returns status + body.
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// post sends an XML body to a path and returns status + body.
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+// TestLegacyDiscoverAliasEquivalence is the alias regression test: a
+// legacy GET /discover?service=S must return byte-for-byte the same
+// body as GET /v1/providers?query=S, with the service parameter
+// renamed — query strings and bodies travel through the alias
+// verbatim.
+func TestLegacyDiscoverAliasEquivalence(t *testing.T) {
+	ts, client := newTestServer(t)
+	for _, d := range []*soa.Document{
+		costDoc("p1", "failmgmt", 2, 0, "eu"),
+		costDoc("p2", "failmgmt", 7, 1, "us"),
+	} {
+		if err := client.Publish(context.Background(), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legacyStatus, legacyBody := get(t, ts, "/discover?service=failmgmt")
+	v1Status, v1Body := get(t, ts, "/v1/providers?query=failmgmt")
+	if legacyStatus != http.StatusOK || v1Status != http.StatusOK {
+		t.Fatalf("status legacy=%d v1=%d, want 200/200", legacyStatus, v1Status)
+	}
+	if legacyBody != v1Body {
+		t.Errorf("alias body mismatch\n--- legacy ---\n%s\n--- v1 ---\n%s", legacyBody, v1Body)
+	}
+	// Legacy traffic is observable: the alias counts the hit.
+	_, metrics := get(t, ts, "/v1/metrics")
+	if !strings.Contains(metrics, `broker_http_legacy_requests_total{route="/discover"} 1`) {
+		t.Errorf("legacy /discover hit not counted:\n%s", metrics)
+	}
+	// The missing-parameter contract survives the rename.
+	if status, _ := get(t, ts, "/discover"); status != http.StatusBadRequest {
+		t.Errorf("legacy /discover without service = %d, want 400", status)
+	}
+}
+
+// TestLegacyRenegotiateAliasPreservesBody exercises the one alias
+// that must read the body (to lift the SLA id into the v1 path) and
+// then restore it verbatim for the handler.
+func TestLegacyRenegotiateAliasPreservesBody(t *testing.T) {
+	ts, client := newTestServer(t)
+	if err := client.Publish(context.Background(), costDoc("p1", "failmgmt", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	negotiate := `<negotiate service="failmgmt" client="shop" metric="cost">` +
+		`<requirement metric="cost" base="0" perUnit="2" resource="failures" maxUnits="10"></requirement>` +
+		`<lower>4</lower><upper>1</upper></negotiate>`
+	status, body := post(t, ts, "/negotiate", negotiate)
+	if status != http.StatusOK {
+		t.Fatalf("legacy negotiate = %d: %s", status, body)
+	}
+	var sla soa.SLA
+	if err := xml.Unmarshal([]byte(body), &sla); err != nil {
+		t.Fatalf("decode SLA: %v", err)
+	}
+	reneg := fmt.Sprintf(`<renegotiate id=%q>`+
+		`<requirement metric="cost" base="0" perUnit="2" resource="failures" maxUnits="10"></requirement>`+
+		`<lower>4</lower><upper>1</upper></renegotiate>`, sla.ID)
+	status, body = post(t, ts, "/renegotiate", reneg)
+	if status != http.StatusOK {
+		t.Fatalf("legacy renegotiate = %d: %s", status, body)
+	}
+	if !strings.Contains(body, sla.ID) {
+		t.Errorf("renegotiated SLA does not carry id %s: %s", sla.ID, body)
+	}
+	// Unknown and missing ids keep the structured 404.
+	if status, _ = post(t, ts, "/renegotiate", `<renegotiate id="sla-999"></renegotiate>`); status != http.StatusNotFound {
+		t.Errorf("unknown id = %d, want 404", status)
+	}
+	if status, _ = post(t, ts, "/renegotiate", `<renegotiate></renegotiate>`); status != http.StatusNotFound {
+		t.Errorf("missing id = %d, want 404", status)
+	}
+}
+
+// TestTracePropagationEndToEnd drives a traced negotiation through
+// the real client and server: the client's trace ID travels in
+// X-Softsoa-Trace, the server adopts it, and the recorded trace
+// carries the pipeline spans — parse, the negotiator's nmsccp run,
+// and the SLA commit — under the client's ID.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	ts, client := newTestServer(t)
+	if err := client.Publish(context.Background(), costDoc("p1", "failmgmt", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("cli-trace-1")
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	if _, err := client.Negotiate(ctx, NegotiateRequest{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4), Upper: fptr(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server records the trace after the response is written, so
+	// poll briefly instead of racing it.
+	var spans []string
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, body := get(t, ts, "/v1/debug/traces")
+		var dump struct {
+			Traces []struct {
+				ID    string `json:"id"`
+				Spans []struct {
+					Name string `json:"name"`
+				} `json:"spans"`
+			} `json:"traces"`
+		}
+		if err := json.Unmarshal([]byte(body), &dump); err != nil {
+			t.Fatalf("decode traces: %v\n%s", err, body)
+		}
+		for _, rec := range dump.Traces {
+			if rec.ID == "cli-trace-1" {
+				for _, sp := range rec.Spans {
+					spans = append(spans, sp.Name)
+				}
+			}
+		}
+		if spans != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(spans) < 3 {
+		t.Fatalf("traced negotiation recorded %d spans %v, want >= 3", len(spans), spans)
+	}
+	for _, want := range []string{"parse", "nmsccp:p1", "sla-commit"} {
+		found := false
+		for _, s := range spans {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("spans %v missing %q", spans, want)
+		}
+	}
+}
+
+// TestMetricsExposition drives one of everything through the v1 API
+// and checks the Prometheus endpoint serves the full catalogue.
+func TestMetricsExposition(t *testing.T) {
+	ts, client := newTestServer(t)
+	ctx := context.Background()
+	for _, d := range []*soa.Document{
+		costDoc("p1", "stage-a", 2, 0, "eu"),
+		costDoc("p2", "stage-b", 3, 0, "eu"),
+	} {
+		if err := client.Publish(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sla, err := client.Negotiate(ctx, NegotiateRequest{
+		Service: "stage-a", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Observe(ctx, sla.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Compose(ctx, ComposeRequest{
+		Client: "shop", Metric: soa.MetricCost, Stages: []string{"stage-a", "stage-b"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := get(t, ts, "/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", status)
+	}
+	families := strings.Count(body, "# TYPE ")
+	if families < 12 {
+		t.Errorf("exposition serves %d families, want >= 12:\n%s", families, body)
+	}
+	for _, want := range []string{
+		`broker_http_requests_total{route="/v1/negotiations",method="POST",status="200"} 1`,
+		`broker_negotiations_total{outcome="agreed"} 1`,
+		`broker_negotiation_blevel_count 1`,
+		`broker_solver_solves_total{mode="optimal"} 1`,
+		`broker_observations_total{result="ok"} 1`,
+		`broker_slas_active 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestClientPing covers the health probe: success against a live
+// broker, a typed *BrokerError against a broken one.
+func TestClientPing(t *testing.T) {
+	_, client := newTestServer(t)
+	if err := client.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusInternalServerError, "down for maintenance")
+	}))
+	t.Cleanup(broken.Close)
+	err := NewClient(broken.URL, broken.Client()).Ping(context.Background())
+	var be *BrokerError
+	if !errors.As(err, &be) {
+		t.Fatalf("Ping err = %v, want *BrokerError", err)
+	}
+	if be.Status != http.StatusInternalServerError || be.Reason != "down for maintenance" {
+		t.Errorf("BrokerError = %+v", be)
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"softsoa/internal/obs"
 )
 
 // Plan configures which faults an Injector produces and how often.
@@ -101,6 +103,19 @@ func (i *Injector) Stats() Stats {
 		Errors:       i.errors.Load(),
 		Degradations: i.degradations.Load(),
 	}
+}
+
+// Register exposes the injector's fault counts on the metrics
+// registry as the faults_injected_total family, one series per fault
+// kind, read live from the counters at scrape time.
+func (i *Injector) Register(reg *obs.Registry) {
+	reg.CounterFuncs("faults_injected_total", "Faults injected so far, by kind.", "kind",
+		map[string]func() float64{
+			"latency":     func() float64 { return float64(i.latencies.Load()) },
+			"drop":        func() float64 { return float64(i.drops.Load()) },
+			"error":       func() float64 { return float64(i.errors.Load()) },
+			"degradation": func() float64 { return float64(i.degradations.Load()) },
+		})
 }
 
 // hit flips the seeded coin.

@@ -1,0 +1,415 @@
+// Package obs is the broker's observability layer: a stdlib-only
+// metrics registry (counters, gauges, fixed-bucket histograms with
+// Prometheus text-format exposition), lightweight request tracing
+// carried on context.Context and propagated over the X-Softsoa-Trace
+// header, and an in-memory ring buffer of completed traces served as
+// JSON from the broker's debug endpoint.
+//
+// Design constraints, in order: the hot paths the instruments sit on
+// (per-request middleware, per-negotiation recording) must stay
+// lock-cheap — every instrument update is one or two atomic
+// operations, with locks confined to series creation and scrape time —
+// and the exposition must be deterministic (families and series are
+// rendered in sorted order) so it can be golden-file tested.
+//
+// The instruments are sanctioned telemetry sinks for the pure layers:
+// counter adds commute, so recording into them from worker goroutines
+// cannot make a solver's *output* scheduling-dependent, and the
+// determinism analyzer's import allowlist admits this package (alone
+// among the impure ones) into the pure layers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bounds for request latencies,
+// in seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Counter is a monotonically increasing count. All methods are safe
+// for concurrent use; updates are single atomic adds.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n panics (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, stored as float64 bits in
+// one atomic word.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Bounds are immutable after
+// construction; Observe is two atomic adds plus one CAS loop for the
+// float sum.
+type Histogram struct {
+	bounds []float64 // immutable after construction
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// series is one labelled instrument inside a family.
+type series struct {
+	labels []string // label values, parallel to family.labels
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // func-backed counter/gauge
+}
+
+// family is one named metric family: a HELP/TYPE pair and its series,
+// keyed by joined label values.
+type family struct {
+	name   string
+	help   string
+	typ    string   // "counter", "gauge" or "histogram"
+	labels []string // label names; empty for unlabelled families
+	bounds []float64
+
+	mu     sync.Mutex
+	series map[string]*series // guarded by mu
+}
+
+// Registry is a set of metric families with deterministic text-format
+// exposition. Instrument lookups lock only the owning family and are
+// cached by the callers (the broker resolves its instruments once at
+// construction), so steady-state updates never contend on the
+// registry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register creates the named family or returns it when already
+// present with the same shape. A name reused with a different type or
+// label set is a programming error and panics.
+func (r *Registry) register(name, help, typ string, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || strings.Join(f.labels, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+				name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...),
+		bounds: append([]float64(nil), bounds...),
+		series: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+const keySep = "\x1f"
+
+// get returns (creating if needed) the family's series for the label
+// values.
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants labels %v, got %d values", f.name, f.labels, len(values)))
+	}
+	key := strings.Join(values, keySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: append([]string(nil), values...)}
+		switch f.typ {
+		case "counter":
+			s.c = &Counter{}
+		case "gauge":
+			s.g = &Gauge{}
+		case "histogram":
+			s.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter registers (or returns) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "counter", nil, nil).get(nil).c
+}
+
+// Gauge registers (or returns) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, "gauge", nil, nil).get(nil).g
+}
+
+// Histogram registers (or returns) an unlabelled histogram with the
+// given bucket upper bounds (nil means DefBuckets). Bounds must be
+// sorted ascending; a +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return r.register(name, help, "histogram", nil, bounds).get(nil).h
+}
+
+// CounterVec is a counter family with fixed label names.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, "counter", labels, nil)}
+}
+
+// With returns the counter for the label values (created on first
+// use).
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).c }
+
+// GaugeVec is a gauge family with fixed label names.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, "gauge", labels, nil)}
+}
+
+// With returns the gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).g }
+
+// HistogramVec is a histogram family with fixed label names and
+// shared bucket bounds.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labelled histogram family
+// (nil bounds means DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, "histogram", labels, bounds)}
+}
+
+// With returns the histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).h }
+
+// CounterFunc registers a counter family whose single series is read
+// from fn at scrape time — the bridge for components that already
+// keep their own atomic counts (e.g. the fault injector).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "counter", nil, nil)
+	s := f.get(nil)
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// CounterFuncs registers a counter family with one label and one
+// callback-backed series per label value. The callbacks are read at
+// scrape time.
+func (r *Registry) CounterFuncs(name, help, label string, fns map[string]func() float64) {
+	f := r.register(name, help, "counter", []string{label}, nil)
+	keys := make([]string, 0, len(fns))
+	for k := range fns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := f.get([]string{k})
+		f.mu.Lock()
+		s.fn = fns[k]
+		f.mu.Unlock()
+	}
+}
+
+// GaugeFunc registers a gauge family whose single series is read from
+// fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge", nil, nil)
+	s := f.get(nil)
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// Families returns the number of registered metric families.
+func (r *Registry) Families() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.families)
+}
+
+// snapshotFamilies returns the families sorted by name.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// snapshotSeries returns the family's series sorted by label values.
+func (f *family) snapshotSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].labels, keySep) < strings.Join(out[j].labels, keySep)
+	})
+	return out
+}
+
+// WritePrometheus renders every family in the Prometheus text format
+// (v0.0.4), deterministically: families sorted by name, series by
+// label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.snapshotFamilies() {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, s := range f.snapshotSeries() {
+			switch {
+			case f.typ == "histogram":
+				writeHistogram(&b, f, s)
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, s.labels, ""), formatFloat(s.fn()))
+			case f.typ == "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labels, s.labels, ""), s.c.Value())
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, s.labels, ""), formatFloat(s.g.Value()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets,
+// sum and count.
+func writeHistogram(b *strings.Builder, f *family, s *series) {
+	cum := int64(0)
+	for i, bound := range s.h.bounds {
+		cum += s.h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n",
+			f.name, labelString(f.labels, s.labels, formatFloat(bound)), cum)
+	}
+	cum += s.h.counts[len(s.h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labels, ""), formatFloat(s.h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, s.labels, ""), s.h.Count())
+}
+
+// labelString renders {k="v",…}, appending le when non-empty; it
+// returns "" for a label-free series.
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslash, double quote and newline exactly as
+		// the text format requires.
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients do: integral
+// values without a decimal point.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler returns an http.Handler serving the text-format exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:ignore errcheck a failed scrape write means the scraper is gone; nothing to do
+		_ = r.WritePrometheus(w)
+	})
+}

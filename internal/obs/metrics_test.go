@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every instrument kind
+// with fixed values, so the exposition is byte-stable.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("broker_requests_total", "Total requests.").Add(42)
+	r.Gauge("broker_in_flight", "Requests currently in flight.").Set(3)
+	r.Gauge("broker_load", "Synthetic load factor.").Set(0.25)
+
+	rv := r.CounterVec("broker_route_total", "Requests by route and status.", "route", "status")
+	rv.With("/v1/negotiations", "200").Add(7)
+	rv.With("/v1/negotiations", "409").Add(2)
+	rv.With("/v1/providers", "200").Add(11)
+
+	gv := r.GaugeVec("broker_breaker_state", "Breaker state by provider.", "provider")
+	gv.With("alpha").Set(0)
+	gv.With("beta").Set(2)
+
+	h := r.Histogram("broker_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 3} {
+		h.Observe(v)
+	}
+	hv := r.HistogramVec("broker_blevel", "Negotiated blevel.", []float64{1, 5, 10}, "mode")
+	hv.With("single").Observe(7)
+	hv.With("single").Observe(0.5)
+
+	r.CounterFunc("broker_faults_total", "Injected faults.", func() float64 { return 9 })
+	r.CounterFuncs("broker_faults_by_kind_total", "Injected faults by kind.", "kind",
+		map[string]func() float64{
+			"latency": func() float64 { return 4 },
+			"drop":    func() float64 { return 5 },
+		})
+	r.GaugeFunc("broker_uptime_ratio", "Synthetic uptime ratio.", func() float64 { return 0.999 })
+
+	ev := r.CounterVec("broker_escapes_total", "Label escaping fixture.", "path")
+	ev.With(`C:\tmp "x"`).Inc()
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var first strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != first.String() {
+			t.Fatalf("exposition changed between identical scrapes (iteration %d)", i)
+		}
+	}
+}
+
+func TestCounterAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	new(Counter).Add(-1)
+}
+
+func TestReregisterMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "a counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "now a gauge")
+}
+
+func TestVecLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("y_total", "labelled", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With with one value for two labels did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestVecReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("z_total", "labelled", "route")
+	a := v.With("/v1/health")
+	b := v.With("/v1/health")
+	if a != b {
+		t.Fatal("With returned distinct counters for identical labels")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("shared series value = %d, want 1", b.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1) // on the bound: counts in le="1"
+	h.Observe(1.5)
+	h.Observe(9) // overflow bucket
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 12 {
+		t.Fatalf("Sum = %g, want 12", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="2"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_sum 12`,
+		`lat_seconds_count 4`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestRegistryRaceStress hammers one registry from many goroutines —
+// concurrent series creation, updates of every instrument kind, and
+// scrapes — and then checks the totals. Run under -race this is the
+// registry's thread-safety proof.
+func TestRegistryRaceStress(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stress_total", "stress counter")
+	g := r.Gauge("stress_gauge", "stress gauge")
+	h := r.Histogram("stress_seconds", "stress histogram", nil)
+	v := r.CounterVec("stress_by_worker_total", "stress labelled", "worker")
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%10) / 100)
+				v.With(label).Inc()
+				if i%500 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Errorf("scrape: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Errorf("gauge = %g, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		if got := v.With(string(rune('a' + w))).Value(); got != iters {
+			t.Errorf("worker %d counter = %d, want %d", w, got, iters)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {1, "1"}, {-3, "-3"}, {42, "42"},
+		{0.25, "0.25"}, {0.999, "0.999"}, {1e16, "1e+16"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// The instrument benchmarks back the EXPERIMENTS E19 entry: the hot
+// request-path operations must stay a handful of nanoseconds and
+// allocation-free, so observing the broker cannot perturb what it
+// measures.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "bench",
+		[]float64{0.001, 0.01, 0.1, 1, 10})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}
+
+// BenchmarkCounterVecWith measures the labelled path including the
+// series lookup, the cost a handler pays when it cannot pre-resolve
+// its series (the broker pre-resolves where the labels are static).
+func BenchmarkCounterVecWith(b *testing.B) {
+	v := NewRegistry().CounterVec("bench_labelled_total", "bench", "route", "status")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("/v1/negotiations", "200").Inc()
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying a trace ID from a broker
+// client to the daemon (and echoed back on the response), so one
+// negotiation's spans line up across processes.
+const TraceHeader = "X-Softsoa-Trace"
+
+// traceSeq numbers the traces minted by this process; combined with a
+// per-process start stamp it yields IDs unique across restarts without
+// a randomness dependency.
+var traceSeq atomic.Uint64
+
+var processStamp = struct {
+	once sync.Once
+	v    uint64
+}{}
+
+func stamp() uint64 {
+	processStamp.once.Do(func() {
+		processStamp.v = uint64(time.Now().UnixNano())
+	})
+	return processStamp.v
+}
+
+// Trace is one request's span collection. The zero value is unusable;
+// construct with NewTrace. A nil *Trace is a valid no-op receiver for
+// every method, so instrumented code paths need no nil checks.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord // guarded by mu
+}
+
+// NewTrace returns a trace with the given ID; an empty ID mints a
+// process-unique one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = fmt.Sprintf("%016x-%08x", stamp(), traceSeq.Add(1))
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SpanRecord is one completed (or still-open) pipeline stage.
+type SpanRecord struct {
+	// Name is the stage, e.g. "parse" or "nmsccp:providerX".
+	Name string `json:"name"`
+	// StartMicros is the stage's start offset from the trace start.
+	StartMicros int64 `json:"start_us"`
+	// DurationMicros is the stage's duration (0 until End).
+	DurationMicros int64 `json:"duration_us"`
+}
+
+// Span is a live handle on one recorded stage.
+type Span struct {
+	tr    *Trace
+	idx   int
+	start time.Time
+}
+
+// StartSpan opens a named span on the trace. On a nil trace it
+// returns a no-op span.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.spans = append(t.spans, SpanRecord{Name: name, StartMicros: now.Sub(t.start).Microseconds()})
+	idx := len(t.spans) - 1
+	t.mu.Unlock()
+	return &Span{tr: t, idx: idx, start: now}
+}
+
+// End closes the span, recording its duration. Safe on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start).Microseconds()
+	s.tr.mu.Lock()
+	s.tr.spans[s.idx].DurationMicros = d
+	s.tr.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, in start order.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+type traceKey struct{}
+
+// ContextWithTrace attaches the trace to the context.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the context's trace; nil when none is attached
+// (or ctx itself is nil), so the result chains safely into StartSpan.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a span on the context's trace; a no-op span when
+// the request is untraced.
+func StartSpan(ctx context.Context, name string) *Span {
+	return TraceFrom(ctx).StartSpan(name)
+}
+
+// TraceRecord is one trace in the debug dump.
+type TraceRecord struct {
+	ID string `json:"id"`
+	// Start is the trace's wall-clock start.
+	Start time.Time    `json:"start"`
+	Spans []SpanRecord `json:"spans"`
+}
+
+// record snapshots the trace.
+func (t *Trace) record() TraceRecord {
+	return TraceRecord{ID: t.id, Start: t.start, Spans: t.Spans()}
+}
+
+// TraceLog is a fixed-capacity ring buffer of completed traces,
+// newest overwriting oldest. Safe for concurrent use.
+type TraceLog struct {
+	mu    sync.Mutex
+	buf   []TraceRecord // guarded by mu
+	next  int           // guarded by mu; ring write cursor
+	total int64         // guarded by mu; traces ever recorded
+}
+
+// NewTraceLog returns a ring holding up to capacity traces (minimum
+// 1).
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceLog{buf: make([]TraceRecord, 0, capacity)}
+}
+
+// Record appends the trace's snapshot to the ring. Nil traces and
+// traces without spans are skipped — scrape and health traffic would
+// otherwise wash the interesting negotiations out of the buffer.
+func (l *TraceLog) Record(t *Trace) {
+	if t == nil {
+		return
+	}
+	rec := t.record()
+	if len(rec.Spans) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, rec)
+		return
+	}
+	l.buf[l.next] = rec
+	l.next = (l.next + 1) % cap(l.buf)
+}
+
+// Snapshot returns the retained traces, oldest first.
+func (l *TraceLog) Snapshot() []TraceRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TraceRecord, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Total returns how many traces have ever been recorded (retained or
+// evicted).
+func (l *TraceLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// traceDump is the JSON document served by the debug endpoint.
+type traceDump struct {
+	Total  int64         `json:"total"`
+	Traces []TraceRecord `json:"traces"`
+}
+
+// WriteJSON renders the retained traces (oldest first) as one JSON
+// document.
+func (l *TraceLog) WriteJSON(w io.Writer) error {
+	l.mu.Lock()
+	dump := traceDump{Total: l.total}
+	dump.Traces = append(dump.Traces, l.buf[l.next:]...)
+	dump.Traces = append(dump.Traces, l.buf[:l.next]...)
+	l.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("abc")
+	if tr.ID() != "abc" {
+		t.Fatalf("ID = %q, want abc", tr.ID())
+	}
+	s1 := tr.StartSpan("parse")
+	s1.End()
+	s2 := tr.StartSpan("precheck")
+	s2.End()
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "parse" || spans[1].Name != "precheck" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestNewTraceMintsUniqueIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTrace("").ID()
+		if id == "" || seen[id] {
+			t.Fatalf("duplicate or empty minted ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil trace has an ID")
+	}
+	sp := tr.StartSpan("x") // must not panic
+	sp.End()
+	if tr.Spans() != nil {
+		t.Fatal("nil trace has spans")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context produced a trace")
+	}
+	tr := NewTrace("ctx-test")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatalf("TraceFrom = %v, want %v", got, tr)
+	}
+	sp := StartSpan(ctx, "stage")
+	sp.End()
+	if spans := tr.Spans(); len(spans) != 1 || spans[0].Name != "stage" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	// Untraced context: convenience helpers are no-ops, not panics.
+	StartSpan(context.Background(), "orphan").End()
+}
+
+func TestTraceLogRing(t *testing.T) {
+	l := NewTraceLog(3)
+	for i := 0; i < 5; i++ {
+		tr := NewTrace(string(rune('a' + i)))
+		tr.StartSpan("s").End()
+		l.Record(tr)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(snap))
+	}
+	// Oldest first: c, d, e survive after a and b are evicted.
+	for i, want := range []string{"c", "d", "e"} {
+		if snap[i].ID != want {
+			t.Errorf("snap[%d].ID = %q, want %q", i, snap[i].ID, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("Total = %d, want 5", l.Total())
+	}
+}
+
+func TestTraceLogSkipsEmptyAndNil(t *testing.T) {
+	l := NewTraceLog(4)
+	l.Record(nil)
+	l.Record(NewTrace("no-spans"))
+	if got := len(l.Snapshot()); got != 0 {
+		t.Fatalf("retained %d traces, want 0", got)
+	}
+}
+
+func TestTraceLogWriteJSON(t *testing.T) {
+	l := NewTraceLog(2)
+	tr := NewTrace("json-1")
+	tr.StartSpan("parse").End()
+	l.Record(tr)
+	var b strings.Builder
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var dump struct {
+		Total  int64 `json:"total"`
+		Traces []struct {
+			ID    string `json:"id"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &dump); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if dump.Total != 1 || len(dump.Traces) != 1 || dump.Traces[0].ID != "json-1" ||
+		len(dump.Traces[0].Spans) != 1 || dump.Traces[0].Spans[0].Name != "parse" {
+		t.Fatalf("dump = %+v", dump)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("race")
+	l := NewTraceLog(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.StartSpan("s").End()
+				l.Record(tr)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 8*200 {
+		t.Fatalf("spans = %d, want %d", got, 8*200)
+	}
+}

@@ -88,6 +88,7 @@ func solveParallel[T any](pl *plan[T], workers int) Result[T] {
 	wg.Wait()
 
 	res := Result[T]{Blevel: pl.sr.Zero()}
+	res.Stats.Tasks = int64(tasks)
 	fr := newDigitFrontier[T](pl.sr, pl.maxBest)
 	for t := range results {
 		r := &results[t]

@@ -27,6 +27,11 @@ type Stats struct {
 	// Prunes is the number of subtrees cut by the bound (B&B only;
 	// modulo scheduling under WithParallel, like Nodes).
 	Prunes int64
+	// Tasks is the number of subtree tasks the parallel driver
+	// enumerated at the fan-out frontier (0 for sequential solves).
+	// Unlike Nodes/Prunes it is fully deterministic: it depends only
+	// on the problem shape and the worker count.
+	Tasks int64
 	// TablesBuilt is the number of intermediate constraint tables
 	// materialised (variable elimination only).
 	TablesBuilt int64

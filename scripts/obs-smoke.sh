@@ -1,0 +1,54 @@
+#!/bin/sh
+# obs-smoke boots brokerd with both listeners, drives one publish +
+# negotiate through the v1 API, scrapes /v1/metrics, and asserts three
+# metric families are present. Exits non-zero on any miss.
+set -eu
+
+ADDR=127.0.0.1:18700
+OPS=127.0.0.1:18701
+BIN=$(mktemp -d)/brokerd
+METRICS=$(mktemp)
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")" "$METRICS"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN" ./cmd/brokerd
+"$BIN" -addr "$ADDR" -ops-addr "$OPS" &
+PID=$!
+
+# Wait for the health endpoint (up to ~5s).
+i=0
+until curl -fsS "http://$ADDR/v1/health" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "obs-smoke: brokerd did not come up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+curl -fsS -X POST "http://$ADDR/v1/providers" -d \
+    '<qos service="failmgmt" provider="p1" region="eu"><attribute name="fee" metric="cost" base="2" perUnit="0" resource="failures" maxUnits="10"></attribute></qos>' \
+    >/dev/null
+curl -fsS -X POST "http://$ADDR/v1/negotiations" -d \
+    '<negotiate service="failmgmt" client="shop" metric="cost"><requirement metric="cost" base="0" perUnit="2" resource="failures" maxUnits="10"></requirement><lower>4</lower><upper>1</upper></negotiate>' \
+    >/dev/null
+
+curl -fsS "http://$ADDR/v1/metrics" >"$METRICS"
+for family in broker_http_requests_total broker_negotiations_total broker_slas_active; do
+    if ! grep -q "^$family" "$METRICS"; then
+        echo "obs-smoke: family $family missing from /v1/metrics" >&2
+        exit 1
+    fi
+done
+
+# The ops listener must serve the same exposition plus pprof. grep
+# without -q drains the whole pipe so curl never sees a closed sink.
+curl -fsS "http://$OPS/metrics" | grep '^broker_http_requests_total' >/dev/null
+curl -fsS "http://$OPS/debug/pprof/cmdline" >/dev/null
+curl -fsS "http://$OPS/debug/traces" | grep '"traces"' >/dev/null
+
+echo "obs-smoke: ok ($(grep -c '^# TYPE' "$METRICS") metric families)"
