@@ -1,4 +1,4 @@
-.PHONY: all build test race vet lint fuzz cover bench bench-go obs-smoke clean
+.PHONY: all build test race vet lint fuzz cover bench bench-go obs-smoke replay-check clean
 
 all: build vet lint test
 
@@ -41,10 +41,19 @@ bench:
 bench-go:
 	go test -bench . -benchtime 1x -run '^$$' .
 
-# End-to-end observability smoke: boot brokerd with the ops listener,
-# scrape /v1/metrics, and check three metric families are served.
+# End-to-end observability smoke: boot brokerd with the ops listener
+# and a journal directory, scrape /v1/metrics, fetch the negotiation's
+# flight-recorder journal, and replay it with softsoa-replay.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# Replay every golden journal fixture against the current engine; any
+# semantic drift in the nmsccp transition system shows up as a
+# rule-by-rule mismatch.
+replay-check:
+	@for j in testdata/journals/*.jsonl; do \
+		go run ./cmd/softsoa-replay $$j || exit 1; \
+	done
 
 clean:
 	rm -f coverage.out

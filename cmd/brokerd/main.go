@@ -6,10 +6,18 @@
 // aliases. With -ops-addr a second, operator-only listener serves
 // pprof, expvar, the Prometheus metrics and the trace dump.
 //
+// Every negotiation, renegotiation and composition is captured in a
+// flight-recorder journal served at GET /v1/negotiations/{id}/journal;
+// with -journal-dir each finished journal is also dumped as
+// <id>.jsonl, replayable offline with softsoa-replay. Logs are
+// structured (log/slog): human-readable text by default, JSON lines
+// under -log-json, each line carrying the request's trace id.
+//
 // Usage:
 //
 //	brokerd [-addr :8700] [-ops-addr :8701] [-link-cost 5] [-link-factor 0.96] \
-//	        [-capabilities http-auth,gzip,tls13] [-solver-parallel N]
+//	        [-capabilities http-auth,gzip,tls13] [-solver-parallel N] \
+//	        [-log-json] [-log-level info] [-journal-dir journals/]
 package main
 
 import (
@@ -17,16 +25,20 @@ import (
 	"errors"
 	"expvar"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"softsoa/internal/broker"
+	"softsoa/internal/obs"
+	"softsoa/internal/obs/journal"
 	"softsoa/internal/policy"
 )
 
@@ -56,7 +68,24 @@ func main() {
 		"minimum observations on an agreement before failover can trigger")
 	solverParallel := flag.Int("solver-parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for composition branch-and-bound (1 = sequential)")
+	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	journalDir := flag.String("journal-dir", "",
+		"dump each finished flight-recorder journal as <id>.jsonl in this directory (empty disables)")
+	journalRetention := flag.Int("journal-retention", 256,
+		"how many journals GET /v1/negotiations/{id}/journal retains (FIFO eviction)")
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "brokerd: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logJSON, level)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	opts := []broker.ServerOption{
 		broker.WithRequestTimeout(*requestTimeout),
@@ -65,6 +94,8 @@ func main() {
 			OpenTimeout:      *breakerOpen,
 		}),
 		broker.WithSolverParallelism(*solverParallel),
+		broker.WithLogger(logger),
+		broker.WithJournalRetention(*journalRetention),
 	}
 	if *failover {
 		opts = append(opts, broker.WithFailover(broker.FailoverPolicy{
@@ -80,25 +111,31 @@ func main() {
 		}
 		vocab, err := policy.NewVocabulary(names...)
 		if err != nil {
-			log.Fatalf("brokerd: %v", err)
+			fatal("invalid capability vocabulary", "err", err)
 		}
 		opts = append(opts, broker.WithServerVocabulary(vocab))
+	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			fatal("create journal dir", "err", err)
+		}
+		opts = append(opts, broker.WithJournalSink(journalDumper(*journalDir, logger)))
 	}
 	srv := broker.NewServer(broker.LinkPenalty{Cost: *linkCost, Factor: *linkFactor}, opts...)
 	if *state != "" {
 		if err := srv.Registry().LoadFile(*state); err != nil {
 			if os.IsNotExist(errors.Unwrap(err)) {
-				log.Printf("state file %s not found; starting empty", *state)
+				logger.Info("state file not found; starting empty", "path", *state)
 			} else {
-				log.Fatalf("brokerd: %v", err)
+				fatal("load state", "err", err)
 			}
 		} else {
-			log.Printf("restored %d registrations from %s", srv.Registry().Len(), *state)
+			logger.Info("restored registrations", "count", srv.Registry().Len(), "path", *state)
 		}
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(srv.Handler()),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -109,13 +146,13 @@ func main() {
 	if *opsAddr != "" {
 		opsSrv = &http.Server{
 			Addr:              *opsAddr,
-			Handler:           opsMux(srv),
+			Handler:           opsMux(srv, logger),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("ops listener on %s (pprof, expvar, metrics, traces)", *opsAddr)
+			logger.Info("ops listener up (pprof, expvar, metrics, traces)", "addr", *opsAddr)
 			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("ops listener: %v", err)
+				logger.Error("ops listener", "err", err)
 			}
 		}()
 	}
@@ -125,35 +162,83 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 		if opsSrv != nil {
 			if err := opsSrv.Shutdown(shutdownCtx); err != nil {
-				log.Printf("ops shutdown: %v", err)
+				logger.Error("ops shutdown", "err", err)
 			}
 		}
 	}()
 
-	log.Printf("brokerd listening on %s (link penalty: cost %+.1f, factor ×%.2f)",
-		*addr, *linkCost, *linkFactor)
+	logger.Info("brokerd listening",
+		"addr", *addr, "link_cost", *linkCost, "link_factor", *linkFactor)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("brokerd: %v", err)
+		fatal("listen", "err", err)
 	}
 	if *state != "" {
 		if err := srv.Registry().SaveFile(*state); err != nil {
-			log.Printf("save state: %v", err)
+			logger.Error("save state", "err", err)
 		} else {
-			log.Printf("saved %d registrations to %s", srv.Registry().Len(), *state)
+			logger.Info("saved registrations", "count", srv.Registry().Len(), "path", *state)
 		}
 	}
-	log.Print("brokerd stopped")
+	logger.Info("brokerd stopped")
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q", s)
+}
+
+// journalDumper writes each finished journal as <id>.jsonl under dir.
+// Renegotiations re-finish the same journal, atomically replacing the
+// file with the extended recording (write-then-rename, so a reader
+// never sees a torn journal).
+func journalDumper(dir string, logger *slog.Logger) func(*journal.Journal) {
+	return func(j *journal.Journal) {
+		id := j.Meta().ID
+		if id == "" {
+			return
+		}
+		path := filepath.Join(dir, id+".jsonl")
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			logger.Warn("journal dump", "journal", id, "err", err)
+			return
+		}
+		err = j.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, path)
+		}
+		if err != nil {
+			//lint:ignore errcheck best-effort cleanup of the temp file
+			_ = os.Remove(tmp)
+			logger.Warn("journal dump", "journal", id, "err", err)
+			return
+		}
+		logger.Debug("journal dumped", "journal", id, "path", path)
+	}
 }
 
 // opsMux builds the operator-only surface: the stdlib profilers, the
 // expvar dump, the broker's Prometheus metrics and its trace ring.
 // It is kept off the public listener so profiling endpoints are never
 // internet-reachable by accident.
-func opsMux(srv *broker.Server) *http.ServeMux {
+func opsMux(srv *broker.Server, logger *slog.Logger) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -165,16 +250,8 @@ func opsMux(srv *broker.Server) *http.ServeMux {
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := srv.Traces().WriteJSON(w); err != nil {
-			log.Printf("trace dump: %v", err)
+			logger.Error("trace dump", "err", err)
 		}
 	})
 	return mux
-}
-
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
-	})
 }

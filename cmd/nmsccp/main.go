@@ -56,7 +56,13 @@ func main() {
 		return
 	}
 
-	m := compiled.NewMachine(sccp.WithSeed[float64](*seed))
+	opts := []sccp.MachineOption[float64]{sccp.WithSeed[float64](*seed)}
+	if *trace {
+		// -trace prints the complete history, so opt out of the
+		// bounded ring for this one finite run.
+		opts = append(opts, sccp.WithUnboundedTrace[float64]())
+	}
+	m := compiled.NewMachine(opts...)
 	status, err := m.Run(*fuel)
 	if err != nil {
 		log.Fatalf("nmsccp: %v", err)
@@ -68,7 +74,7 @@ func main() {
 				ev.Step, ev.Rule, compiled.Semiring.Format(ev.Blevel), ev.Agent)
 		}
 	}
-	fmt.Printf("status: %s after %d transitions\n", status, len(m.Trace()))
+	fmt.Printf("status: %s after %d transitions\n", status, m.Steps())
 	fmt.Printf("store consistency (σ⇓∅): %s\n", compiled.Semiring.Format(m.Store().Blevel()))
 	if status == sccp.Stuck {
 		fmt.Printf("blocked agent: %s\n", m.Agent())

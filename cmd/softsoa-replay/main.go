@@ -1,0 +1,149 @@
+// Command softsoa-replay records and verifies flight-recorder
+// journals (internal/obs/journal). A journal captures an nmsccp
+// execution — every applied transition with its rule, store delta and
+// blevel — plus enough context (program source, scheduler seed, fuel)
+// to re-execute it deterministically. Verification replays each
+// replayable segment and compares rule by rule, then the final store
+// and blevel; any disagreement means the engine's semantics drifted
+// since the recording.
+//
+// Verify a journal (the default mode; exit status 1 on mismatch):
+//
+//	softsoa-replay journal.jsonl
+//	curl -s broker:8080/v1/negotiations/sla-1/journal?format=jsonl | softsoa-replay -
+//
+// Record a program into a journal:
+//
+//	softsoa-replay -record program.sccp -o journal.jsonl [-seed 1] [-fuel 10000] [-label run] [-id my-journal]
+//
+// Journals contain no timestamps: recording the same program twice
+// produces byte-identical output, which is what makes the golden
+// fixtures under testdata/journals byte-for-byte stable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"softsoa/internal/obs/journal"
+	"softsoa/internal/replay"
+)
+
+func main() {
+	record := flag.String("record", "", "record this nmsccp program instead of verifying a journal")
+	out := flag.String("o", "", "output path for -record (default stdout)")
+	seed := flag.Int64("seed", 1, "scheduler seed for -record")
+	fuel := flag.Int("fuel", 10000, "transition budget for -record")
+	label := flag.String("label", "run", "segment label for -record")
+	id := flag.String("id", "", "journal id for -record")
+	capacity := flag.Int("capacity", 0, "journal event capacity for -record (0 = default)")
+	quiet := flag.Bool("q", false, "verify silently; only the exit status reports the outcome")
+	flag.Parse()
+
+	if *record != "" {
+		if err := recordProgram(*record, *out, *id, *label, *seed, *fuel, *capacity); err != nil {
+			fmt.Fprintf(os.Stderr, "softsoa-replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: softsoa-replay [-q] journal.jsonl | softsoa-replay -record prog.sccp -o journal.jsonl")
+		os.Exit(2)
+	}
+	ok, err := verifyJournal(flag.Arg(0), *quiet)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "softsoa-replay: %v\n", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func recordProgram(progPath, outPath, id, label string, seed int64, fuel, capacity int) error {
+	src, err := os.ReadFile(progPath)
+	if err != nil {
+		return err
+	}
+	run, err := replay.Record(journal.Meta{ID: id, Kind: "recording"}, label, string(src), seed, fuel, capacity)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if outPath != "" && outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	return run.Journal.WriteJSONL(w)
+}
+
+func verifyJournal(path string, quiet bool) (bool, error) {
+	r := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return false, err
+		}
+		defer func() {
+			//lint:ignore errcheck read-only file, close cannot lose data
+			_ = f.Close()
+		}()
+		r = f
+	}
+	j, err := journal.ReadJSONL(r)
+	if err != nil {
+		return false, err
+	}
+	rep, err := replay.Verify(j)
+	if err != nil {
+		return false, err
+	}
+	if !quiet {
+		printReport(j, rep)
+	}
+	return rep.OK(), nil
+}
+
+func printReport(j *journal.Journal, rep *replay.Report) {
+	meta := j.Meta()
+	fmt.Printf("journal %s kind=%s semiring=%s segments=%d events=%d dropped=%d\n",
+		orDash(meta.ID), orDash(meta.Kind), orDash(meta.Semiring),
+		len(rep.Segments), len(j.Events()), rep.Dropped)
+	for _, s := range rep.Segments {
+		switch {
+		case !s.Replayable:
+			fmt.Printf("  %-24s evidence only (no program), %d events\n", s.Label, s.Events)
+		case s.OK():
+			fmt.Printf("  %-24s OK: %d transitions replayed exactly\n", s.Label, s.Events)
+		default:
+			fmt.Printf("  %-24s MISMATCH (%d disagreements)\n", s.Label, len(s.Mismatches))
+			for _, m := range s.Mismatches {
+				fmt.Printf("    - %s\n", m)
+			}
+		}
+	}
+	if rep.OK() {
+		fmt.Println("replay: VERIFIED")
+	} else {
+		fmt.Println("replay: FAILED")
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

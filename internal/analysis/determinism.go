@@ -39,12 +39,16 @@ var randConstructors = map[string]bool{
 
 // importAllowlist names the softsoa packages a pure layer may import
 // beyond the pure layers themselves: clock, because the time source
-// is injected rather than ambient, and obs, because its instruments
+// is injected rather than ambient, obs, because its instruments
 // are write-only from the pure layer's perspective — counter adds
-// commute, so recording them cannot change a computed result.
+// commute, so recording them cannot change a computed result — and
+// obs/journal for the same reason: a machine or solver streams
+// transition and search records into an injected recorder but never
+// reads them back.
 var importAllowlist = map[string]bool{
-	"softsoa/internal/clock": true,
-	"softsoa/internal/obs":   true,
+	"softsoa/internal/clock":       true,
+	"softsoa/internal/obs":         true,
+	"softsoa/internal/obs/journal": true,
 }
 
 // Determinism forbids ambient nondeterminism in the pure layers:
@@ -103,7 +107,18 @@ func runDeterminism(pass *Pass) {
 func checkPureImports(pass *Pass, f *ast.File) {
 	for _, imp := range f.Imports {
 		path, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || !strings.HasPrefix(path, "softsoa/") {
+		if err != nil {
+			continue
+		}
+		// Logging is an ambient effect: a pure layer that wants to
+		// narrate its execution streams records into an injected
+		// journal recorder; the caller decides what (if anything)
+		// gets logged.
+		if path == "log" || path == "log/slog" {
+			pass.Reportf(imp.Pos(), "pure package %s imports %s: stream events through an injected journal recorder instead of logging", pass.Pkg.Types.Name(), path)
+			continue
+		}
+		if !strings.HasPrefix(path, "softsoa/") {
 			continue
 		}
 		if importAllowlist[path] {

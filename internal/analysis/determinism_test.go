@@ -249,5 +249,30 @@ import (
 )
 `,
 		},
+		{
+			name: "journal recorder import allowed",
+			path: "softsoa/internal/sccp",
+			src: `package sccp
+import _ "softsoa/internal/obs/journal"
+`,
+		},
+		{
+			name: "slog in pure layer flagged",
+			path: "softsoa/internal/sccp",
+			src: `package sccp
+import "log/slog"
+func Step() { slog.Info("stepped") }
+`,
+			want: []string{"imports log/slog"},
+		},
+		{
+			name: "stdlib log in pure layer flagged",
+			path: "softsoa/internal/core",
+			src: `package core
+import "log"
+func Combine() { log.Print("combined") }
+`,
+			want: []string{"imports log"},
+		},
 	})
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"softsoa/internal/obs"
+	"softsoa/internal/obs/journal"
 	"softsoa/internal/soa"
 )
 
@@ -286,6 +287,22 @@ func (c *Client) Compose(ctx context.Context, req ComposeRequest) (*soa.SLA, err
 // previous agreement stands.
 func (c *Client) Renegotiate(ctx context.Context, req RenegotiateRequest) (*soa.SLA, error) {
 	return c.postForSLA(ctx, "/v1/negotiations/"+url.PathEscape(req.ID)+"/renegotiate", req)
+}
+
+// Journal fetches the flight-recorder journal retained for a
+// negotiation, renegotiation or composition id, in the canonical
+// JSONL dump format (the bytes softsoa-replay verifies).
+func (c *Client) Journal(ctx context.Context, id string) (*journal.Journal, error) {
+	path := "/v1/negotiations/" + url.PathEscape(id) + "/journal?format=jsonl"
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer discard(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(path, resp)
+	}
+	return journal.ReadJSONL(resp.Body)
 }
 
 // Observe reports one measured service level for an agreement and

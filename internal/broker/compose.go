@@ -242,10 +242,13 @@ func (c *Composer) encode(
 
 // Compose solves the pipeline optimally with branch and bound and
 // returns the SLA binding every stage, or a nil SLA when no
-// composition meets the requested lower bound.
-func (c *Composer) Compose(req PipelineRequest) (*soa.SLA, *Composition, error) {
+// composition meets the requested lower bound. Extra solver options
+// (e.g. solver.WithTelemetry for journaling the search) are appended
+// to the composer's own.
+func (c *Composer) Compose(req PipelineRequest, extra ...solver.Option) (*soa.SLA, *Composition, error) {
 	return c.compose(req, func(p *core.Problem[float64]) solver.Result[float64] {
-		return solver.BranchAndBound(p, c.solveOpts(req.Metric)...)
+		opts := append(c.solveOpts(req.Metric), extra...)
+		return solver.BranchAndBound(p, opts...)
 	})
 }
 

@@ -16,6 +16,7 @@
 //	GET  /v1/providers?query=<service>        discover providers for a service
 //	POST /v1/negotiations                     negotiate an SLA (or 409 + failure report)
 //	POST /v1/negotiations/{id}/renegotiate    relax a live agreement nonmonotonically
+//	GET  /v1/negotiations/{id}/journal        flight-recorder journal (JSON; ?format=jsonl)
 //	GET  /v1/slas/{id}                        current agreement for an SLA
 //	GET  /v1/slas/{id}/compliance             compliance summary for an SLA
 //	POST /v1/observations                     record a measured service level

@@ -1,0 +1,283 @@
+package broker
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"softsoa/internal/obs/journal"
+	"softsoa/internal/replay"
+	"softsoa/internal/soa"
+)
+
+// serveForTest serves a pre-built Server (so tests can reach into it)
+// and returns a client against it.
+func serveForTest(t *testing.T, srv *Server) (*httptest.Server, *Client) {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL, ts.Client())
+}
+
+// TestJournalReplayExample2 is the acceptance scenario: a live broker
+// negotiation and renegotiation shaped like the paper's Example 2
+// (offer x+2, requirement x+3 agreed at blevel 5, relaxed to x for
+// final store 2x+2 at blevel 2), fetched as a JSONL journal over HTTP
+// and verified by deterministic replay.
+func TestJournalReplayExample2(t *testing.T) {
+	_, client := newTestServer(t)
+	ctx := context.Background()
+
+	if err := client.Publish(ctx, &soa.Document{
+		Service: "failmgmt", Provider: "p1", Region: "eu",
+		Attributes: []soa.Attribute{{
+			Name: "fee", Metric: soa.MetricCost,
+			Base: 2, PerUnit: 1, Resource: "x", MaxUnits: 10,
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sla, err := client.Negotiate(ctx, NegotiateRequest{
+		Service: "failmgmt",
+		Client:  "shop",
+		Metric:  soa.MetricCost,
+		Requirement: soa.Attribute{
+			Name: "budget", Metric: soa.MetricCost,
+			Base: 3, PerUnit: 1, Resource: "x", MaxUnits: 10,
+		},
+		Lower: fptr(10),
+		Upper: fptr(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla.AgreedLevel != 5 {
+		t.Fatalf("negotiated blevel = %g, want 5", sla.AgreedLevel)
+	}
+
+	relaxed, err := client.Renegotiate(ctx, RenegotiateRequest{
+		ID: sla.ID,
+		Requirement: soa.Attribute{
+			Name: "budget", Metric: soa.MetricCost,
+			Base: 0, PerUnit: 1, Resource: "x", MaxUnits: 10,
+		},
+		Lower: fptr(4),
+		Upper: fptr(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.AgreedLevel != 2 {
+		t.Fatalf("renegotiated blevel = %g, want 2", relaxed.AgreedLevel)
+	}
+
+	j, err := client.Journal(ctx, sla.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta := j.Meta(); meta.ID != sla.ID || meta.Kind != "negotiation" {
+		t.Errorf("journal meta = %+v, want id %s kind negotiation", meta, sla.ID)
+	}
+
+	segs := j.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("journal has %d segments, want 2 (negotiate + renegotiate)", len(segs))
+	}
+	if segs[0].Label != "negotiate:p1" || segs[1].Label != "renegotiate:p1" {
+		t.Errorf("segment labels = %q, %q", segs[0].Label, segs[1].Label)
+	}
+	if segs[0].Program == "" || segs[1].Program == "" {
+		t.Fatalf("segments must be replayable; programs = %q / %q", segs[0].Program, segs[1].Program)
+	}
+	if segs[1].FinalBlevel != "2" {
+		t.Errorf("renegotiation FinalBlevel = %q, want 2", segs[1].FinalBlevel)
+	}
+
+	// The recorded rule sequence must show the nonmonotonic pair.
+	var rules []string
+	for _, ev := range j.Events() {
+		if ev.Kind == "transition" && ev.Seg == 1 {
+			rules = append(rules, ev.Transition.Rule)
+		}
+	}
+	if len(rules) != 2 || rules[0] != "R7 Retract" || rules[1] != "R1 Tell" {
+		t.Errorf("renegotiation rules = %v, want [R7 Retract, R1 Tell]", rules)
+	}
+
+	rep, err := replay.Verify(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range rep.Segments {
+		if !sr.Replayable {
+			t.Errorf("segment %q not replayable", sr.Label)
+		}
+		for _, m := range sr.Mismatches {
+			t.Errorf("segment %q: %s", sr.Label, m)
+		}
+	}
+
+	// The JSONL dump round-trips byte for byte.
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := journal.ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := j2.WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("JSONL dump does not round-trip byte for byte")
+	}
+}
+
+// TestJournalNoAgreement: failed negotiations surface a neg-N journal
+// whose doomed providers appear as non-replayable segments.
+func TestJournalNoAgreement(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	ts, client := serveForTest(t, srv)
+	_ = ts
+	ctx := context.Background()
+
+	if err := client.Publish(ctx, costDoc("pricey", "failmgmt", 50, 5, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.Negotiate(ctx, NegotiateRequest{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Name: "budget", Metric: soa.MetricCost,
+			Base: 0, PerUnit: 1, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(10), // even the best total (50) exceeds the bound
+	})
+	if err == nil {
+		t.Fatal("want no-agreement error")
+	}
+
+	j, ok := srv.journalByID("neg-1")
+	if !ok {
+		t.Fatal("no journal retained for the failed negotiation")
+	}
+	segs := j.Segments()
+	if len(segs) != 1 || segs[0].Program != "" {
+		t.Fatalf("want one non-replayable (prechecked) segment, got %+v", segs)
+	}
+	if !strings.Contains(segs[0].Note, "prechecked") {
+		t.Errorf("segment note = %q, want precheck explanation", segs[0].Note)
+	}
+}
+
+// TestJournalRetention: the FIFO bound evicts the oldest journal.
+func TestJournalRetention(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty, WithJournalRetention(2))
+	_, client := serveForTest(t, srv)
+	ctx := context.Background()
+
+	if err := client.Publish(ctx, costDoc("p1", "failmgmt", 2, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sla, err := client.Negotiate(ctx, NegotiateRequest{
+			Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+			Requirement: soa.Attribute{
+				Name: "budget", Metric: soa.MetricCost,
+				Base: 3, PerUnit: 1, Resource: "failures", MaxUnits: 10,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sla.ID)
+	}
+	if _, ok := srv.journalByID(ids[0]); ok {
+		t.Errorf("journal %s should have been evicted", ids[0])
+	}
+	for _, id := range ids[1:] {
+		if _, ok := srv.journalByID(id); !ok {
+			t.Errorf("journal %s missing", id)
+		}
+	}
+}
+
+// TestJournalParallelNegotiations stresses concurrent journaled
+// negotiations and renegotiations; run with -race. Every journal must
+// verify independently.
+func TestJournalParallelNegotiations(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	_, client := serveForTest(t, srv)
+	ctx := context.Background()
+
+	if err := client.Publish(ctx, costDoc("p1", "failmgmt", 2, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(ctx, costDoc("p2", "failmgmt", 4, 2, "us")); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sla, err := client.Negotiate(ctx, NegotiateRequest{
+				Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+				Requirement: soa.Attribute{
+					Name: "budget", Metric: soa.MetricCost,
+					Base: 3, PerUnit: 1, Resource: "failures", MaxUnits: 10,
+				},
+				Lower: fptr(20),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := client.Renegotiate(ctx, RenegotiateRequest{
+				ID: sla.ID,
+				Requirement: soa.Attribute{
+					Name: "budget", Metric: soa.MetricCost,
+					Base: 0, PerUnit: 1, Resource: "failures", MaxUnits: 10,
+				},
+				Lower: fptr(20),
+			}); err != nil {
+				errs <- err
+				return
+			}
+			j, err := client.Journal(ctx, sla.ID)
+			if err != nil {
+				errs <- err
+				return
+			}
+			rep, err := replay.Verify(j)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !rep.OK() {
+				for _, sr := range rep.Segments {
+					for _, m := range sr.Mismatches {
+						t.Errorf("journal %s segment %q: %s", sla.ID, sr.Label, m)
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

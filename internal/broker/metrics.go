@@ -39,6 +39,8 @@ type brokerMetrics struct {
 	slasActive   *obs.Gauge
 	observations *obs.CounterVec // by result: ok / violation
 	failovers    *obs.CounterVec // by result: rebound / stuck
+
+	journalDropped *obs.Counter
 }
 
 // newBrokerMetrics registers the broker's metric families on reg. All
@@ -79,6 +81,8 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 			"Parallel subtree tasks executed by composition solves."),
 		solverSeconds: reg.Histogram("broker_solver_seconds",
 			"Wall-clock composition solve time in seconds.", nil),
+		journalDropped: reg.Counter("journal_events_dropped_total",
+			"Flight-recorder journal events dropped by the bounded event ring."),
 		breakerState: reg.GaugeVec("broker_breaker_state",
 			"Circuit breaker state per provider (0 closed, 1 open, 2 half-open).",
 			"provider"),
@@ -134,9 +138,13 @@ func (s *Server) instrument(pattern string, next http.HandlerFunc) http.Handler 
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next(rec, r)
-		lat.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		lat.Observe(elapsed.Seconds())
 		s.bm.inFlight.Dec()
 		s.bm.requests.With(route, method, strconv.Itoa(rec.status)).Inc()
+		s.logger.InfoContext(r.Context(), "request",
+			"method", method, "route", route, "status", rec.status,
+			"elapsed", elapsed.Round(time.Microsecond).String())
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"softsoa/internal/core"
 	"softsoa/internal/obs"
+	"softsoa/internal/obs/journal"
 	"softsoa/internal/policy"
 	"softsoa/internal/sccp"
 	"softsoa/internal/semiring"
@@ -163,6 +164,24 @@ func (n *Negotiator) negotiate(ctx context.Context, req Request) (*soa.SLA, *Ses
 		return nil, nil, nil, fmt.Errorf("broker: request states a capability policy but the broker has no vocabulary")
 	}
 
+	// The flight recorder, when the caller attached one: every
+	// provider attempt becomes a journal segment, replayable when the
+	// negotiation program could be synthesised.
+	j := journal.FromContext(ctx)
+	if j != nil {
+		j.SetSemiring(sr.Name())
+	}
+	skip := func(provider, reason string) {
+		if j == nil {
+			return
+		}
+		j.BeginSegment(journal.Segment{
+			Label: "negotiate:" + provider,
+			Note:  "skipped: " + reason,
+		})
+		j.EndSegment(sccp.Stuck.String(), "", "")
+	}
+
 	out := &Outcome{Best: -1}
 	var bestLevel, bestPref float64
 	var bestSession *Session
@@ -172,15 +191,17 @@ func (n *Negotiator) negotiate(ctx context.Context, req Request) (*soa.SLA, *Ses
 				out.PerProvider = append(out.PerProvider, ProviderOutcome{
 					Provider: doc.Provider, Status: sccp.Stuck, Skipped: reason,
 				})
+				skip(doc.Provider, reason)
 				continue
 			}
 		}
 		attr, ok := doc.Attr(req.Metric)
 		if !ok {
+			reason := fmt.Sprintf("no %q attribute", req.Metric)
 			out.PerProvider = append(out.PerProvider, ProviderOutcome{
-				Provider: doc.Provider, Status: sccp.Stuck,
-				Skipped: fmt.Sprintf("no %q attribute", req.Metric),
+				Provider: doc.Provider, Status: sccp.Stuck, Skipped: reason,
 			})
+			skip(doc.Provider, reason)
 			continue
 		}
 		pref := 1.0
@@ -190,10 +211,11 @@ func (n *Negotiator) negotiate(ctx context.Context, req Request) (*soa.SLA, *Ses
 				return nil, nil, nil, err
 			}
 			if !match.Satisfied {
+				reason := fmt.Sprintf("missing MUST capabilities %v", match.MissingMust)
 				out.PerProvider = append(out.PerProvider, ProviderOutcome{
-					Provider: doc.Provider, Status: sccp.Stuck,
-					Skipped: fmt.Sprintf("missing MUST capabilities %v", match.MissingMust),
+					Provider: doc.Provider, Status: sccp.Stuck, Skipped: reason,
 				})
+				skip(doc.Provider, reason)
 				continue
 			}
 			pref = match.Preference
@@ -280,6 +302,8 @@ func (n *Negotiator) negotiateOne(
 	// states a lower bound a1 and already c∅ < a1, the checked ask can
 	// never fire: skip the machine run and report the Stuck outcome it
 	// would have reached.
+	j := journal.FromContext(ctx)
+	var czeroNote string
 	if req.Lower != nil {
 		sp := obs.StartSpan(ctx, "precheck:"+provider)
 		pre := core.NewProblem(space)
@@ -287,8 +311,20 @@ func (n *Negotiator) negotiateOne(
 		_, czero, _ := solver.Propagate(pre, 1)
 		sp.End()
 		if semiring.Lt(sr, czero, *req.Lower) {
+			if j != nil {
+				// No program: the live run was skipped, so there is
+				// nothing to replay — the segment is evidence only.
+				j.BeginSegment(journal.Segment{
+					Label: "negotiate:" + provider,
+					Note: fmt.Sprintf("prechecked: c∅ = %s below lower threshold %s, machine run skipped",
+						sr.Format(czero), sr.Format(*req.Lower)),
+				})
+				j.RecordSearch(journal.SearchRecord{Kind: "propagate", Value: sr.Format(czero), Reason: "doomed"})
+				j.EndSegment(sccp.Stuck.String(), "", "")
+			}
 			return ProviderOutcome{Provider: provider, Status: sccp.Stuck, Prechecked: true}, nil, nil
 		}
+		czeroNote = sr.Format(czero)
 	}
 
 	check := sccp.Check[float64]{LowerValue: req.Lower, UpperValue: req.Upper}
@@ -299,12 +335,34 @@ func (n *Negotiator) negotiateOne(
 		C: spPCon, Check: check, Next: sccp.Success[float64]{},
 	}}}
 
-	m := sccp.NewMachine(space, sccp.Par[float64](pAgent, cAgent))
+	const negotiationFuel = 200
+	var machineOpts []sccp.MachineOption[float64]
+	if j != nil {
+		j.BeginSegment(journal.Segment{
+			Label: "negotiate:" + provider,
+			Program: negotiationJournalProgram(
+				sr.Name(), offer, req.Requirement, names, maxUnits, req.Lower, req.Upper),
+			Seed: 1,
+			Fuel: negotiationFuel,
+		})
+		if czeroNote != "" {
+			j.RecordSearch(journal.SearchRecord{Kind: "propagate", Value: czeroNote, Reason: "viable"})
+		}
+		machineOpts = append(machineOpts, sccp.WithRecorder[float64](j))
+	}
+
+	m := sccp.NewMachine(space, sccp.Par[float64](pAgent, cAgent), machineOpts...)
 	sp := obs.StartSpan(ctx, "nmsccp:"+provider)
-	status, err := m.Run(200)
+	status, err := m.Run(negotiationFuel)
 	sp.End()
 	if err != nil {
+		if j != nil {
+			j.EndSegment("error", "", "")
+		}
 		return ProviderOutcome{}, nil, fmt.Errorf("broker: negotiation with %q: %w", provider, err)
+	}
+	if j != nil {
+		j.EndSegment(status.String(), m.Store().Constraint().String(), sr.Format(m.Store().Blevel()))
 	}
 	po := ProviderOutcome{Provider: provider, Status: status}
 	if status != sccp.Succeeded {
@@ -321,6 +379,9 @@ func (n *Negotiator) negotiateOne(
 		space:        space,
 		store:        m.Store(),
 		reqCon:       reqCon,
+		offerAttr:    offer,
+		reqAttr:      req.Requirement,
+		maxUnits:     maxUnits,
 		resourceVars: resourceVars,
 		version:      1,
 	}

@@ -86,7 +86,7 @@ func (n *Negotiator) NegotiateWithRelaxation(
 		// A live session exists from an earlier successful round (only
 		// reachable when a later fallback tightens again): relax it
 		// nonmonotonically.
-		relaxed, err := session.Renegotiate(fb.Requirement, fb.Lower, fb.Upper)
+		relaxed, err := session.Renegotiate(ctx, fb.Requirement, fb.Lower, fb.Upper)
 		if err != nil {
 			return nil, nil, trail, err
 		}

@@ -6,12 +6,14 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sync"
 	"time"
 
 	"softsoa/internal/obs"
+	"softsoa/internal/obs/journal"
 	"softsoa/internal/policy"
 	"softsoa/internal/sccp"
 	"softsoa/internal/soa"
@@ -149,23 +151,37 @@ type Server struct {
 	metrics    *obs.Registry
 	bm         *brokerMetrics
 	traces     *obs.TraceLog
+	logger     *slog.Logger
 
-	mu      sync.Mutex
-	entries map[string]*slaEntry // guarded by mu
-	nextID  int                  // guarded by mu
+	// Flight-recorder configuration (immutable after construction).
+	journalCap       int
+	journalRetention int
+	journalStride    int
+	journalSink      func(*journal.Journal)
+
+	mu         sync.Mutex
+	entries    map[string]*slaEntry        // guarded by mu
+	nextID     int                         // guarded by mu
+	journals   map[string]*journal.Journal // guarded by mu
+	journalIDs []string                    // guarded by mu, FIFO retention order
 }
 
 // ServerOption configures a Server.
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	vocab         *policy.Vocabulary
-	breaker       BreakerConfig
-	failover      FailoverPolicy
-	timeout       time.Duration
-	solverWorkers int
-	metrics       *obs.Registry
-	traceCap      int
+	vocab            *policy.Vocabulary
+	breaker          BreakerConfig
+	failover         FailoverPolicy
+	timeout          time.Duration
+	solverWorkers    int
+	metrics          *obs.Registry
+	traceCap         int
+	logger           *slog.Logger
+	journalCap       int
+	journalRetention int
+	journalStride    int
+	journalSink      func(*journal.Journal)
 }
 
 // WithServerVocabulary equips the broker daemon with a capability
@@ -213,23 +229,77 @@ func WithTraceCapacity(n int) ServerOption {
 	return func(c *serverConfig) { c.traceCap = n }
 }
 
+// WithLogger installs a structured logger (obs.NewLogger) for request
+// outcomes, breaker transitions, failover decisions and journal
+// warnings. The default discards everything.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(c *serverConfig) { c.logger = l }
+}
+
+// WithJournalCapacity bounds each flight-recorder journal's event ring
+// (default journal.DefaultCapacity); events beyond it are dropped
+// oldest-first and counted by journal_events_dropped_total.
+func WithJournalCapacity(n int) ServerOption {
+	return func(c *serverConfig) { c.journalCap = n }
+}
+
+// WithJournalRetention sets how many journals the server retains for
+// GET /v1/negotiations/{id}/journal (default 256, FIFO eviction).
+func WithJournalRetention(n int) ServerOption {
+	return func(c *serverConfig) { c.journalRetention = n }
+}
+
+// WithJournalSink installs a callback invoked with each finished
+// journal — brokerd -journal-dir uses it to dump JSONL files. The
+// sink runs on the request goroutine; keep it quick.
+func WithJournalSink(fn func(*journal.Journal)) ServerOption {
+	return func(c *serverConfig) { c.journalSink = fn }
+}
+
+// WithSolverTelemetryStride samples every n-th solver search event
+// into composition journals (default 64; higher is cheaper).
+func WithSolverTelemetryStride(n int) ServerOption {
+	return func(c *serverConfig) { c.journalStride = n }
+}
+
 // NewServer returns a broker server over a fresh registry with the
 // given link penalty for compositions.
 func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
-	cfg := serverConfig{timeout: 30 * time.Second, traceCap: 256}
+	cfg := serverConfig{
+		timeout:          30 * time.Second,
+		traceCap:         256,
+		journalCap:       journal.DefaultCapacity,
+		journalRetention: 256,
+		journalStride:    64,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.metrics == nil {
 		cfg.metrics = obs.NewRegistry()
 	}
+	if cfg.logger == nil {
+		cfg.logger = obs.NopLogger()
+	}
+	if cfg.journalRetention < 1 {
+		cfg.journalRetention = 1
+	}
+	if cfg.journalStride < 1 {
+		cfg.journalStride = 1
+	}
 	reg := soa.NewRegistry()
 	s := &Server{
-		reg:      reg,
-		failover: cfg.failover,
-		entries:  make(map[string]*slaEntry),
-		metrics:  cfg.metrics,
-		traces:   obs.NewTraceLog(cfg.traceCap),
+		reg:              reg,
+		failover:         cfg.failover,
+		entries:          make(map[string]*slaEntry),
+		metrics:          cfg.metrics,
+		traces:           obs.NewTraceLog(cfg.traceCap),
+		logger:           cfg.logger,
+		journalCap:       cfg.journalCap,
+		journalRetention: cfg.journalRetention,
+		journalStride:    cfg.journalStride,
+		journalSink:      cfg.journalSink,
+		journals:         make(map[string]*journal.Journal),
 	}
 	s.bm = newBrokerMetrics(cfg.metrics)
 	// Breaker transitions feed the state gauge and transition counter.
@@ -240,6 +310,8 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 	breaker.OnTransition = func(provider string, from, to BreakerState) {
 		s.bm.breakerState.With(provider).Set(float64(to))
 		s.bm.breakerTransitions.With(provider, to.String()).Inc()
+		s.logger.Info("breaker transition",
+			"provider", provider, "from", from.String(), "to", to.String())
 		if userHook != nil {
 			userHook(provider, from, to)
 		}
@@ -271,6 +343,7 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 	route("GET /v1/providers", s.handleDiscover)
 	route("POST /v1/negotiations", s.handleNegotiate)
 	route("POST /v1/negotiations/{id}/renegotiate", s.handleRenegotiate)
+	route("GET /v1/negotiations/{id}/journal", s.handleJournal)
 	route("GET /v1/slas/{id}", s.handleGetSLA)
 	route("GET /v1/slas/{id}/compliance", s.handleCompliance)
 	route("POST /v1/observations", s.handleObserve)
@@ -465,15 +538,23 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 		Capabilities: policy.Requirement{Must: nr.Must, May: nr.May},
 	}
 	s.bm.negStarted.Inc()
+	j := s.newJournal(ctx, "negotiation")
+	ctx = journal.ContextWith(ctx, j)
 	sla, session, outcome, err := s.negotiator.NegotiateSession(ctx, req)
 	s.recordOutcome(outcome)
 	if err != nil {
 		s.bm.negOutcomes.With("error").Inc()
+		s.logger.ErrorContext(ctx, "negotiation failed",
+			"service", req.Service, "client", req.Client, "error", err)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if sla == nil {
 		s.bm.negOutcomes.With("no_agreement").Inc()
+		id := s.nextJournalID("neg")
+		s.keepJournal(w, id, j)
+		s.logger.InfoContext(ctx, "negotiation found no agreement",
+			"service", req.Service, "client", req.Client, "journal", id)
 		writeXML(w, http.StatusConflict, failureFromOutcome("no shared agreement", outcome))
 		return
 	}
@@ -499,6 +580,10 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 	s.bm.slasActive.Set(float64(live))
 	sla.ID = id
 	sla.Version = session.Version()
+	s.keepJournal(w, id, j)
+	s.logger.InfoContext(ctx, "negotiation agreed",
+		"service", req.Service, "client", req.Client, "sla", id,
+		"provider", session.Provider(), "blevel", sla.AgreedLevel)
 	writeXML(w, http.StatusOK, sla)
 }
 
@@ -547,11 +632,21 @@ func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", id))
 		return
 	}
+	// The renegotiation appends segments to the SLA's retained journal
+	// so a negotiation and its later relaxations replay as one
+	// artifact; a fresh journal takes over when the original was
+	// evicted.
+	ctx := r.Context()
+	j, ok := s.journalByID(id)
+	if !ok {
+		j = s.newJournal(ctx, "renegotiation")
+	}
+	ctx = journal.ContextWith(ctx, j)
 	// One critical section per agreement: renegotiating the store and
 	// rebasing the monitor must be atomic, or a concurrent
 	// renegotiation could rebase the monitor to a stale agreed level.
 	e.mu.Lock()
-	sla, err := e.session.Renegotiate(rr.Requirement, rr.Lower, rr.Upper)
+	sla, err := e.session.Renegotiate(ctx, rr.Requirement, rr.Lower, rr.Upper)
 	if err != nil {
 		e.mu.Unlock()
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -559,6 +654,8 @@ func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
 	}
 	if sla == nil {
 		e.mu.Unlock()
+		s.keepJournal(w, id, j)
+		s.logger.InfoContext(ctx, "renegotiation rejected", "sla", id)
 		writeXML(w, http.StatusConflict, FailureResponse{
 			Reason: "renegotiation rejected: the relaxed store violates the interval; previous agreement stands",
 		})
@@ -568,6 +665,9 @@ func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
 	sla.Version = e.version()
 	e.mon.Rebase(sla.AgreedLevel)
 	e.mu.Unlock()
+	s.keepJournal(w, id, j)
+	s.logger.InfoContext(ctx, "renegotiation agreed",
+		"sla", id, "version", sla.Version, "blevel", sla.AgreedLevel)
 	writeXML(w, http.StatusOK, sla)
 }
 
@@ -628,11 +728,14 @@ func (s *Server) shouldFailOver(mon *Monitor) bool {
 // the old agreement stands and the next violation retries. The
 // caller holds e.mu.
 func (s *Server) failOverLocked(ctx context.Context, e *slaEntry) bool {
-	s.health.Trip(e.session.Provider())
+	sick := e.session.Provider()
+	s.health.Trip(sick)
 	s.bm.negStarted.Inc()
 	sla, session, outcome, err := s.negotiator.NegotiateSession(ctx, e.req)
 	s.recordOutcome(outcome)
 	if err != nil || sla == nil {
+		s.logger.WarnContext(ctx, "failover found no replacement",
+			"service", e.req.Service, "provider", sick)
 		return false
 	}
 	mon, err := NewMonitor(sla)
@@ -642,6 +745,9 @@ func (s *Server) failOverLocked(ctx context.Context, e *slaEntry) bool {
 	e.versionBase += e.session.Version()
 	e.session = session
 	e.mon = mon
+	s.logger.InfoContext(ctx, "failover rebound agreement",
+		"service", e.req.Service, "from", sick, "to", session.Provider(),
+		"blevel", sla.AgreedLevel)
 	return true
 }
 
@@ -701,13 +807,21 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 		comp *Composition
 		err  error
 	)
+	// Compositions journal the solver's search telemetry (sampled
+	// node expansions, incumbents, prunes) rather than machine
+	// transitions; the segment is evidence, not a replayable program.
+	j := s.newJournal(ctx, "composition")
+	j.BeginSegment(journal.Segment{
+		Label: "compose",
+		Note:  fmt.Sprintf("stages=%d metric=%s", len(req.Stages), req.Metric),
+	})
 	mode := "optimal"
 	solve := obs.StartSpan(ctx, "solve")
 	if cr.Greedy {
 		mode = "greedy"
 		sla, comp, err = s.composer.ComposeGreedy(req)
 	} else {
-		sla, comp, err = s.composer.Compose(req)
+		sla, comp, err = s.composer.Compose(req, solver.WithTelemetry(j, s.journalStride))
 	}
 	solve.End()
 	if err != nil {
@@ -715,10 +829,20 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.bm.observeSolve(mode, comp)
+	id := s.nextJournalID("comp")
 	if sla == nil {
+		j.EndSegment("no_composition", "", "")
+		s.keepJournal(w, id, j)
+		s.logger.InfoContext(ctx, "composition found no pipeline",
+			"client", req.Client, "stages", len(req.Stages), "journal", id)
 		writeXML(w, http.StatusConflict, FailureResponse{Reason: "no composition meets the requirement"})
 		return
 	}
+	j.EndSegment("composed", "", fmt.Sprintf("%g", comp.Total))
+	s.keepJournal(w, id, j)
+	s.logger.InfoContext(ctx, "composition solved",
+		"client", req.Client, "mode", mode, "stages", len(req.Stages),
+		"total", comp.Total, "journal", id)
 	writeXML(w, http.StatusOK, sla)
 }
 

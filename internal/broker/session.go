@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"softsoa/internal/core"
+	"softsoa/internal/obs/journal"
 	"softsoa/internal/sccp"
 	"softsoa/internal/semiring"
 	"softsoa/internal/soa"
@@ -29,6 +30,15 @@ type Session struct {
 	reqCon       *core.Constraint[float64]
 	resourceVars map[string]core.Variable
 	version      int
+
+	// offerAttr, reqAttr and maxUnits remember the QoS policies and
+	// variable ranges the session was negotiated under, so a
+	// renegotiation journal segment can synthesise a replayable
+	// program (journalprog.go). reqAttr tracks the current
+	// requirement across renegotiations.
+	offerAttr soa.Attribute
+	reqAttr   soa.Attribute
+	maxUnits  map[string]int
 }
 
 // Provider returns the bound provider.
@@ -74,8 +84,10 @@ func (n *Negotiator) NegotiateSession(ctx context.Context, req Request) (*soa.SL
 // the new one under the [lower, upper] acceptance interval (rule R1).
 // On success the session advances a version and the new SLA is
 // returned; on failure the store is rolled back, the old agreement
-// stands, and a nil SLA is returned.
-func (s *Session) Renegotiate(newReq soa.Attribute, lower, upper *float64) (*soa.SLA, error) {
+// stands, and a nil SLA is returned. When the context carries a
+// flight-recorder journal, the retract/tell pair is recorded as a
+// replayable segment whose setup prefix rebuilds the session store.
+func (s *Session) Renegotiate(ctx context.Context, newReq soa.Attribute, lower, upper *float64) (*soa.SLA, error) {
 	if newReq.Metric != s.metric {
 		return nil, fmt.Errorf("broker: renegotiation metric %q differs from session metric %q",
 			newReq.Metric, s.metric)
@@ -99,18 +111,46 @@ func (s *Session) Renegotiate(newReq soa.Attribute, lower, upper *float64) (*soa
 		},
 	}
 
+	const renegotiationFuel = 50
+	j := journal.FromContext(ctx)
+	var machineOpts []sccp.MachineOption[float64]
+	if j != nil {
+		j.SetSemiring(s.sr.Name())
+		prog, setup := renegotiationJournalProgram(s, newReq, lower, upper)
+		j.BeginSegment(journal.Segment{
+			Label:   "renegotiate:" + s.provider,
+			Program: prog,
+			Seed:    1,
+			Fuel:    renegotiationFuel + setup,
+			Setup:   setup,
+			Note:    fmt.Sprintf("session version %d", s.version),
+		})
+		machineOpts = append(machineOpts, sccp.WithStore[float64](s.store), sccp.WithRecorder[float64](j))
+	} else {
+		machineOpts = append(machineOpts, sccp.WithStore[float64](s.store))
+	}
+
 	snapshot := s.store.Snapshot()
-	m := sccp.NewMachine(s.space, agent, sccp.WithStore[float64](s.store))
-	status, err := m.Run(50)
+	m := sccp.NewMachine(s.space, agent, machineOpts...)
+	status, err := m.Run(renegotiationFuel)
 	if err != nil {
+		if j != nil {
+			j.EndSegment("error", "", "")
+		}
 		s.store.Restore(snapshot)
 		return nil, err
+	}
+	// Record the machine's view of the store before any rollback: the
+	// replay re-executes the run itself, not the rollback.
+	if j != nil {
+		j.EndSegment(status.String(), s.store.Constraint().String(), s.sr.Format(s.store.Blevel()))
 	}
 	if status != sccp.Succeeded {
 		s.store.Restore(snapshot)
 		return nil, nil
 	}
 	s.reqCon = newCon
+	s.reqAttr = newReq
 	s.version++
 	return s.SLA(), nil
 }

@@ -40,7 +40,7 @@ func TestSessionRenegotiateRelaxes(t *testing.T) {
 	// the store becomes just the provider's x+5 — still level 5 — but
 	// now check a per-variable consequence: σ(x=3) drops from
 	// (3+5)+(2·3)+... the retract path must divide out 2x exactly.
-	relaxed, err := session.Renegotiate(soa.Attribute{
+	relaxed, err := session.Renegotiate(context.Background(), soa.Attribute{
 		Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
 	}, nil, nil)
 	if err != nil {
@@ -82,7 +82,7 @@ func TestSessionRenegotiateRejectedRollsBack(t *testing.T) {
 	// the weighted order) — the provider's flat 5 makes that
 	// impossible.
 	lower := 3.0
-	sla, err := session.Renegotiate(soa.Attribute{
+	sla, err := session.Renegotiate(context.Background(), soa.Attribute{
 		Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
 	}, &lower, nil)
 	if err != nil {
@@ -112,12 +112,12 @@ func TestSessionRenegotiateValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := session.Renegotiate(soa.Attribute{
+	if _, err := session.Renegotiate(context.Background(), soa.Attribute{
 		Metric: soa.MetricReliability, Base: 90, Resource: "failures",
 	}, nil, nil); err == nil {
 		t.Error("metric mismatch should fail")
 	}
-	if _, err := session.Renegotiate(soa.Attribute{
+	if _, err := session.Renegotiate(context.Background(), soa.Attribute{
 		Metric: soa.MetricCost, Base: 0, Resource: "ghost",
 	}, nil, nil); err == nil {
 		t.Error("unknown resource should fail")

@@ -195,11 +195,11 @@ func runE14() ([]Check, []string) {
 	if err != nil {
 		return []Check{{"run", "ok", err.Error(), false}}, nil
 	}
-	rate := float64(len(m.Trace())) / elapsed.Seconds()
+	rate := float64(m.Steps()) / elapsed.Seconds()
 	return []Check{
 			{"interpreter sustains the step budget", "out-of-fuel", status.String(), status.String() == "out-of-fuel"},
 		}, []string{
 			fmt.Sprintf("%d transitions in %s (%.0f transitions/s)",
-				len(m.Trace()), elapsed.Round(time.Millisecond), rate),
+				m.Steps(), elapsed.Round(time.Millisecond), rate),
 		}
 }

@@ -1,0 +1,33 @@
+// Package journal is the semantic flight recorder: a bounded,
+// structured event stream capturing what the nmsccp machine and the
+// solver actually did — not how long it took (that is internal/obs's
+// job), but which transition rules fired, on which agents, with which
+// store deltas and consistency levels, and how the branch-and-bound
+// search moved its incumbent.
+//
+// The paper's evaluation is entirely semantic: Examples 1-3 of Fig. 7
+// are exact rule sequences with exact blevels. A journal makes the
+// same evidence available for production negotiations: every
+// transition carries the rule id (R1 Tell … R10 P-call, plus the
+// timed tick), the acting sub-agent, the told/retracted constraint in
+// canonical form, the blevel before and after, and a consistency
+// flag. Journals contain no timestamps, so recording the same program
+// with the same seed yields byte-identical JSONL — which is what
+// makes cmd/softsoa-replay's golden-fixture verification possible.
+//
+// The package sits below the pure layers on purpose: it defines only
+// plain record types and the Recorder/SearchRecorder interfaces, and
+// imports no other softsoa package, so internal/sccp and
+// internal/solver can emit events without the journal pulling
+// effectful dependencies into the pure import closure (the
+// determinism analyzer admits exactly this package there).
+//
+// A Journal is an append-only ring: when the configured capacity is
+// reached the oldest events are dropped and accounted for in
+// Dropped(), optionally reported through an OnDrop hook (the broker
+// feeds it into the journal_events_dropped_total counter). Segments
+// subdivide a journal into independently replayable machine runs —
+// one per provider negotiation, renegotiation, or recorded program —
+// each carrying the nmsccp source, seed and fuel needed to re-execute
+// it deterministically.
+package journal

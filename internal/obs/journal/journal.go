@@ -1,0 +1,474 @@
+package journal
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TransitionRecord is one applied nmsccp transition as the machine
+// saw it. All fields are plain strings/ints so the pure layers can
+// emit records without this package knowing their types.
+type TransitionRecord struct {
+	// Step is the 1-based transition index within the emitting
+	// machine run (not the journal: a journal may hold several runs).
+	Step int `json:"step"`
+	// Rule names the applied rule, e.g. "R1 Tell" or
+	// "R7 Retract (via R10 P-call)".
+	Rule string `json:"rule"`
+	// Agent is the acting sub-agent's printed form.
+	Agent string `json:"agent"`
+	// Delta is the canonical form of the constraint the action told,
+	// retracted or updated with; empty for actions that only observe
+	// the store (ask/nask) or for timed ticks.
+	Delta string `json:"delta,omitempty"`
+	// Check is the transition's threshold annotation (e.g.
+	// "→[a1=4,a2=1]"); empty for unrestricted transitions.
+	Check string `json:"check,omitempty"`
+	// BlevelBefore and BlevelAfter are σ⇓∅ around the transition,
+	// rendered by the machine's semiring.
+	BlevelBefore string `json:"blevel_before"`
+	BlevelAfter  string `json:"blevel_after"`
+	// Consistent reports whether the store stayed above the semiring
+	// Zero after the transition (a Zero store satisfies nothing).
+	Consistent bool `json:"consistent"`
+	// Cut marks a transition that committed a nondeterministic sum
+	// (rule R5 discarded the remaining branches).
+	Cut bool `json:"cut,omitempty"`
+}
+
+// Recorder receives machine transitions. Implementations must be
+// safe for use from a single machine goroutine; *Journal is safe for
+// concurrent use across machines.
+type Recorder interface {
+	RecordTransition(TransitionRecord)
+}
+
+// SearchRecord is one sampled solver search event.
+type SearchRecord struct {
+	// Kind is "expand", "incumbent", "prune" or "propagate".
+	Kind string `json:"kind"`
+	// Node is the emitting searcher's node counter (per worker under
+	// solver.WithParallel, so numbers restart per task there).
+	Node int64 `json:"node,omitempty"`
+	// Depth is the search depth at the event.
+	Depth int `json:"depth,omitempty"`
+	// Value carries the event's semiring value (the bound at an
+	// expansion, the incumbent's level, a propagated c∅), formatted
+	// by the solver's semiring.
+	Value string `json:"value,omitempty"`
+	// Reason qualifies prunes ("bound", "lookahead-bound") and
+	// propagate verdicts ("viable", "doomed").
+	Reason string `json:"reason,omitempty"`
+}
+
+// SearchRecorder receives solver search telemetry.
+type SearchRecorder interface {
+	RecordSearch(SearchRecord)
+}
+
+// Meta identifies a journal.
+type Meta struct {
+	// ID is the broker's journal key (sla-N, neg-N, comp-N) or a
+	// caller-chosen name for recorded programs.
+	ID string `json:"id,omitempty"`
+	// Trace is the obs trace id of the request that produced the
+	// journal, correlating it with the span ring and request logs.
+	Trace string `json:"trace,omitempty"`
+	// Kind is "negotiation", "renegotiation", "composition" or "run".
+	Kind string `json:"kind,omitempty"`
+	// Semiring names the carrier ("weighted", "fuzzy", …).
+	Semiring string `json:"semiring,omitempty"`
+}
+
+// Segment is one independently replayable unit inside a journal:
+// a single machine run (one provider negotiation, one renegotiation,
+// one recorded program) or one solver phase.
+type Segment struct {
+	// Label names the segment, e.g. "negotiate:providerX".
+	Label string `json:"label"`
+	// Program is the nmsccp surface syntax whose execution the
+	// segment's transition events record; empty when the segment is
+	// not replayable (e.g. a precheck that skipped the machine).
+	Program string `json:"program,omitempty"`
+	// Seed is the machine's scheduler seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Fuel is the machine's step budget.
+	Fuel int `json:"fuel,omitempty"`
+	// Setup counts leading transitions of Program that reconstruct
+	// pre-existing store state (renegotiations replay onto a store
+	// built by earlier segments); a verifier executes them but only
+	// compares events after them.
+	Setup int `json:"setup,omitempty"`
+	// Note carries free-form context (precheck verdicts, skip
+	// reasons).
+	Note string `json:"note,omitempty"`
+	// Status is the machine's final status ("succeeded", "stuck", …).
+	Status string `json:"status,omitempty"`
+	// FinalStore is the canonical form of σ after the run.
+	FinalStore string `json:"final_store,omitempty"`
+	// FinalBlevel is σ⇓∅ after the run.
+	FinalBlevel string `json:"final_blevel,omitempty"`
+}
+
+// Event is one journal line: a transition or a solver record, tagged
+// with the segment it belongs to and a journal-wide sequence number.
+type Event struct {
+	// Kind is "transition" or "solver".
+	Kind string `json:"t"`
+	// Seg indexes the segment the event belongs to.
+	Seg int `json:"i"`
+	// Seq is the 1-based journal-wide sequence number; it keeps
+	// counting across drops, so gaps reveal where the ring wrapped.
+	Seq int `json:"seq"`
+
+	Transition *TransitionRecord `json:"tr,omitempty"`
+	Search     *SearchRecord     `json:"solver,omitempty"`
+}
+
+// DefaultCapacity bounds a journal's event ring when the caller does
+// not choose one.
+const DefaultCapacity = 2048
+
+// Journal is a bounded, concurrency-safe flight-recorder stream. It
+// implements both Recorder and SearchRecorder so one journal can
+// capture a negotiation's machine runs and its solver phases.
+type Journal struct {
+	mu       sync.Mutex
+	meta     Meta      // guarded by mu
+	segments []Segment // guarded by mu
+	current  int       // index of the open segment; guarded by mu
+
+	capacity int
+	events   []Event // ring storage; guarded by mu
+	head     int     // next overwrite position once full; guarded by mu
+	seq      int     // events ever recorded; guarded by mu
+	dropped  int64   // events overwritten by the ring; guarded by mu
+
+	onDrop func(int64) // called outside hot paths but under mu
+}
+
+// New returns a journal with the given event capacity (values < 1
+// select DefaultCapacity).
+func New(capacity int, meta Meta) *Journal {
+	if capacity < 1 {
+		capacity = DefaultCapacity
+	}
+	return &Journal{meta: meta, capacity: capacity, current: -1}
+}
+
+// Meta returns the journal's identity.
+func (j *Journal) Meta() Meta {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.meta
+}
+
+// SetID names the journal after its identity is known (the broker
+// only mints sla-N once a negotiation succeeds).
+func (j *Journal) SetID(id string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.meta.ID = id
+}
+
+// SetSemiring records the journal's carrier name.
+func (j *Journal) SetSemiring(name string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.meta.Semiring = name
+}
+
+// SetOnDrop installs a hook invoked with the number of events dropped
+// whenever the ring overwrites or AddDropped reports machine-side
+// drops. Used by the broker to feed journal_events_dropped_total.
+func (j *Journal) SetOnDrop(fn func(int64)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.onDrop = fn
+}
+
+// BeginSegment opens a new segment and returns its index. Events
+// recorded afterwards belong to it.
+func (j *Journal) BeginSegment(seg Segment) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.segments = append(j.segments, seg)
+	j.current = len(j.segments) - 1
+	return j.current
+}
+
+// NoteSegment annotates the open segment.
+func (j *Journal) NoteSegment(note string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.current >= 0 {
+		j.segments[j.current].Note = note
+	}
+}
+
+// EndSegment closes the open segment with its outcome.
+func (j *Journal) EndSegment(status, finalStore, finalBlevel string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.current < 0 {
+		return
+	}
+	s := &j.segments[j.current]
+	s.Status, s.FinalStore, s.FinalBlevel = status, finalStore, finalBlevel
+}
+
+// Segments returns a copy of the segments recorded so far.
+func (j *Journal) Segments() []Segment {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Segment(nil), j.segments...)
+}
+
+// RecordTransition implements Recorder.
+func (j *Journal) RecordTransition(r TransitionRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.push(Event{Kind: "transition", Transition: &r})
+}
+
+// RecordSearch implements SearchRecorder.
+func (j *Journal) RecordSearch(r SearchRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.push(Event{Kind: "solver", Search: &r})
+}
+
+// push appends an event to the ring. Callers hold j.mu.
+func (j *Journal) push(ev Event) {
+	j.seq++
+	ev.Seq = j.seq
+	ev.Seg = j.current
+	if len(j.events) < j.capacity {
+		j.events = append(j.events, ev)
+		return
+	}
+	j.events[j.head] = ev
+	j.head = (j.head + 1) % j.capacity
+	j.dropped++
+	if j.onDrop != nil {
+		j.onDrop(1)
+	}
+}
+
+// AddDropped accounts for events dropped before they reached the
+// journal (e.g. a machine's own trace ring wrapping).
+func (j *Journal) AddDropped(n int64) {
+	if n <= 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.dropped += n
+	if j.onDrop != nil {
+		j.onDrop(n)
+	}
+}
+
+// Capacity returns the event ring's bound.
+func (j *Journal) Capacity() int {
+	return j.capacity
+}
+
+// Dropped returns how many events were lost to capacity bounds.
+func (j *Journal) Dropped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.events))
+	if len(j.events) == j.capacity {
+		out = append(out, j.events[j.head:]...)
+		out = append(out, j.events[:j.head]...)
+		return out
+	}
+	return append(out, j.events...)
+}
+
+// JSONL line wrappers. Every line is a JSON object whose "t" field
+// discriminates: "journal" (header), "segment", "transition"/"solver"
+// (events), "end" (trailer with drop accounting). The stream contains
+// no timestamps, so identical runs serialise to identical bytes.
+
+type headerLine struct {
+	T string `json:"t"`
+	V int    `json:"v"`
+	Meta
+	Capacity int `json:"capacity"`
+}
+
+type segmentLine struct {
+	T string `json:"t"`
+	I int    `json:"i"`
+	Segment
+}
+
+type endLine struct {
+	T       string `json:"t"`
+	Events  int    `json:"events"`
+	Dropped int64  `json:"dropped"`
+}
+
+// WriteJSONL serialises the journal: header, then each segment line
+// followed by its events, then the trailer.
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	j.mu.Lock()
+	meta := j.meta
+	segments := append([]Segment(nil), j.segments...)
+	dropped := j.dropped
+	capacity := j.capacity
+	j.mu.Unlock()
+	events := j.Events()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(headerLine{T: "journal", V: 1, Meta: meta, Capacity: capacity}); err != nil {
+		return err
+	}
+	for i, seg := range segments {
+		if err := enc.Encode(segmentLine{T: "segment", I: i, Segment: seg}); err != nil {
+			return err
+		}
+		for _, ev := range events {
+			if ev.Seg != i {
+				continue
+			}
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if err := enc.Encode(endLine{T: "end", Events: len(events), Dropped: dropped}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reconstructs a journal from its JSONL serialisation.
+func ReadJSONL(r io.Reader) (*Journal, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var j *Journal
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("journal: line %d: %w", lineNo, err)
+		}
+		if probe.T == "journal" {
+			var h headerLine
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", lineNo, err)
+			}
+			j = New(h.Capacity, h.Meta)
+			continue
+		}
+		if j == nil {
+			return nil, fmt.Errorf("journal: line %d: %q before journal header", lineNo, probe.T)
+		}
+		switch probe.T {
+		case "segment":
+			var s segmentLine
+			if err := json.Unmarshal(raw, &s); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", lineNo, err)
+			}
+			j.BeginSegment(s.Segment)
+		case "transition", "solver":
+			var ev Event
+			if err := json.Unmarshal(raw, &ev); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", lineNo, err)
+			}
+			j.mu.Lock()
+			// Replay the recorded seq/seg verbatim instead of reassigning.
+			if len(j.events) < j.capacity {
+				j.events = append(j.events, ev)
+			} else {
+				j.events[j.head] = ev
+				j.head = (j.head + 1) % j.capacity
+			}
+			if ev.Seq > j.seq {
+				j.seq = ev.Seq
+			}
+			j.mu.Unlock()
+		case "end":
+			var e endLine
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", lineNo, err)
+			}
+			j.mu.Lock()
+			j.dropped = e.Dropped
+			j.mu.Unlock()
+		default:
+			return nil, fmt.Errorf("journal: line %d: unknown line type %q", lineNo, probe.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if j == nil {
+		return nil, fmt.Errorf("journal: no header line")
+	}
+	return j, nil
+}
+
+// Document is the journal's single-object JSON form, served by the
+// broker's GET /v1/negotiations/{id}/journal endpoint.
+type Document struct {
+	Journal  Meta      `json:"journal"`
+	Segments []Segment `json:"segments"`
+	Events   []Event   `json:"events"`
+	Dropped  int64     `json:"dropped"`
+}
+
+// WriteJSON serialises the journal as one JSON document.
+func (j *Journal) WriteJSON(w io.Writer) error {
+	j.mu.Lock()
+	doc := Document{Journal: j.meta, Segments: append([]Segment(nil), j.segments...), Dropped: j.dropped}
+	j.mu.Unlock()
+	doc.Events = j.Events()
+	if doc.Segments == nil {
+		doc.Segments = []Segment{}
+	}
+	if doc.Events == nil {
+		doc.Events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ctxKey keys the journal in a context.
+type ctxKey struct{}
+
+// ContextWith attaches the journal to the context.
+func ContextWith(ctx context.Context, j *Journal) context.Context {
+	return context.WithValue(ctx, ctxKey{}, j)
+}
+
+// FromContext returns the context's journal, or nil when the request
+// is not being recorded. A nil *Journal is not a usable recorder;
+// callers gate on the nil check.
+func FromContext(ctx context.Context) *Journal {
+	j, _ := ctx.Value(ctxKey{}).(*Journal)
+	return j
+}

@@ -1,0 +1,227 @@
+package journal
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func tr(step int, rule string) TransitionRecord {
+	return TransitionRecord{Step: step, Rule: rule, BlevelAfter: "0", Consistent: true}
+}
+
+// TestRingDropAccounting: a full ring overwrites oldest-first, counts
+// every loss, keeps Seq continuous, and reports through onDrop.
+func TestRingDropAccounting(t *testing.T) {
+	j := New(3, Meta{ID: "ring"})
+	var notified int64
+	j.SetOnDrop(func(n int64) { notified += n })
+	j.BeginSegment(Segment{Label: "s"})
+
+	for i := 1; i <= 5; i++ {
+		j.RecordTransition(tr(i, "R1 Tell"))
+	}
+
+	if got := j.Dropped(); got != 2 {
+		t.Errorf("Dropped() = %d, want 2", got)
+	}
+	if notified != 2 {
+		t.Errorf("onDrop saw %d, want 2", notified)
+	}
+	evs := j.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring retained %d events, want 3", len(evs))
+	}
+	// Oldest first, with journal-wide sequence numbers surviving the wrap.
+	for k, ev := range evs {
+		if want := k + 3; ev.Seq != want || ev.Transition.Step != want {
+			t.Errorf("event %d: seq=%d step=%d, want %d", k, ev.Seq, ev.Transition.Step, want)
+		}
+	}
+}
+
+// TestAddDropped: machine-side losses reach both the counter and the
+// hook without touching the ring.
+func TestAddDropped(t *testing.T) {
+	j := New(4, Meta{})
+	var notified int64
+	j.SetOnDrop(func(n int64) { notified += n })
+	j.AddDropped(0)
+	j.AddDropped(-3)
+	j.AddDropped(7)
+	if got := j.Dropped(); got != 7 {
+		t.Errorf("Dropped() = %d, want 7", got)
+	}
+	if notified != 7 {
+		t.Errorf("onDrop saw %d, want 7", notified)
+	}
+	if len(j.Events()) != 0 {
+		t.Error("AddDropped must not synthesise events")
+	}
+}
+
+// TestSegments: events are tagged with the open segment, and
+// EndSegment records the outcome on the right one.
+func TestSegments(t *testing.T) {
+	j := New(0, Meta{ID: "segs", Kind: "test"})
+	if j.Capacity() != DefaultCapacity {
+		t.Errorf("Capacity() = %d, want DefaultCapacity", j.Capacity())
+	}
+
+	a := j.BeginSegment(Segment{Label: "a"})
+	j.RecordTransition(tr(1, "R1 Tell"))
+	j.EndSegment("succeeded", "c", "2")
+
+	b := j.BeginSegment(Segment{Label: "b"})
+	j.NoteSegment("second run")
+	j.RecordSearch(SearchRecord{Kind: "expand", Node: 10})
+	j.EndSegment("stuck", "", "")
+
+	if a != 0 || b != 1 {
+		t.Fatalf("segment indices = %d, %d", a, b)
+	}
+	segs := j.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	if segs[0].Status != "succeeded" || segs[0].FinalBlevel != "2" {
+		t.Errorf("segment a = %+v", segs[0])
+	}
+	if segs[1].Note != "second run" || segs[1].Status != "stuck" {
+		t.Errorf("segment b = %+v", segs[1])
+	}
+	evs := j.Events()
+	if len(evs) != 2 || evs[0].Seg != 0 || evs[1].Seg != 1 {
+		t.Errorf("event segment tags wrong: %+v", evs)
+	}
+	if evs[0].Kind != "transition" || evs[1].Kind != "solver" {
+		t.Errorf("event kinds = %q, %q", evs[0].Kind, evs[1].Kind)
+	}
+}
+
+// TestJSONLRoundTrip: write → read → write is byte-identical, and the
+// reconstruction preserves meta, segments, events and drop counts.
+func TestJSONLRoundTrip(t *testing.T) {
+	j := New(8, Meta{ID: "rt", Kind: "negotiation", Semiring: "weighted", Trace: "abc123"})
+	j.BeginSegment(Segment{Label: "negotiate:p1", Program: "main :: success.", Seed: 1, Fuel: 200})
+	j.RecordTransition(TransitionRecord{
+		Step: 1, Rule: "R1 Tell", Agent: "tell(c)→ success",
+		Delta: "c(x){⟨0⟩→0}", BlevelBefore: "0", BlevelAfter: "2", Consistent: true,
+	})
+	j.RecordSearch(SearchRecord{Kind: "incumbent", Node: 4, Value: "2.5", Reason: "improved"})
+	j.EndSegment("succeeded", "c(x){⟨0⟩→0}", "2")
+	j.AddDropped(3)
+
+	var out bytes.Buffer
+	if err := j.WriteJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := ReadJSONL(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Meta() != j.Meta() {
+		t.Errorf("meta = %+v, want %+v", j2.Meta(), j.Meta())
+	}
+	if j2.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", j2.Dropped())
+	}
+	if len(j2.Events()) != 2 || len(j2.Segments()) != 1 {
+		t.Fatalf("reconstructed %d events / %d segments", len(j2.Events()), len(j2.Segments()))
+	}
+	var out2 bytes.Buffer
+	if err := j2.WriteJSONL(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Error("JSONL round trip is not byte-identical")
+	}
+}
+
+// TestReadJSONLErrors: malformed streams fail with positioned errors
+// instead of yielding half-built journals.
+func TestReadJSONLErrors(t *testing.T) {
+	cases := []struct {
+		name, input, want string
+	}{
+		{"empty", "", "no header line"},
+		{"event before header", `{"t":"transition","i":0,"seq":1}`, "before journal header"},
+		{"unknown type", "{\"t\":\"journal\",\"v\":1}\n{\"t\":\"bogus\"}", "unknown line type"},
+		{"bad json", "{\"t\":\"journal\",\"v\":1}\nnot json", "line 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadJSONL(strings.NewReader(c.input))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestWriteJSONDocument: the single-object form carries the same data
+// and never emits null arrays.
+func TestWriteJSONDocument(t *testing.T) {
+	j := New(4, Meta{ID: "doc"})
+	var out bytes.Buffer
+	if err := j.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "null") {
+		t.Errorf("empty journal document contains null arrays:\n%s", s)
+	}
+	if !strings.Contains(s, `"id": "doc"`) {
+		t.Errorf("document missing meta:\n%s", s)
+	}
+}
+
+// TestContext: ContextWith/FromContext round-trip, and an untouched
+// context yields nil (recording disabled).
+func TestContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("background context should carry no journal")
+	}
+	j := New(1, Meta{})
+	ctx := ContextWith(context.Background(), j)
+	if FromContext(ctx) != j {
+		t.Error("FromContext did not return the attached journal")
+	}
+}
+
+// TestConcurrentRecording exercises the ring under parallel writers;
+// meaningful with -race. Sequence numbers must be unique and the drop
+// arithmetic must balance.
+func TestConcurrentRecording(t *testing.T) {
+	j := New(16, Meta{})
+	j.BeginSegment(Segment{Label: "par"})
+	done := make(chan struct{})
+	const writers, per = 8, 100
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				j.RecordTransition(tr(i, fmt.Sprintf("w%d", w)))
+			}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	evs := j.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	if got := j.Dropped(); got != writers*per-16 {
+		t.Errorf("Dropped() = %d, want %d", got, writers*per-16)
+	}
+	seen := map[int]bool{}
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Errorf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the repo's shared structured logger: a log/slog
+// logger whose handler decorates every record with the context's trace
+// id, so broker request logs, breaker transitions, failover decisions
+// and journal warnings all correlate with /v1/debug/traces. The text
+// handler is the human default; jsonFormat selects JSON lines
+// (brokerd -log-json).
+func NewLogger(w io.Writer, jsonFormat bool, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(traceHandler{h})
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for embedded servers that did not opt into logging.
+func NopLogger() *slog.Logger {
+	return slog.New(traceHandler{slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)})})
+}
+
+// traceHandler decorates records with the trace id carried by the
+// context (ContextWithTrace), preserving its own type across
+// WithAttrs/WithGroup so the decoration survives logger.With chains.
+type traceHandler struct{ slog.Handler }
+
+func (t traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if tr := TraceFrom(ctx); tr != nil {
+		r.AddAttrs(slog.String("trace", tr.ID()))
+	}
+	return t.Handler.Handle(ctx, r)
+}
+
+func (t traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{t.Handler.WithAttrs(attrs)}
+}
+
+func (t traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{t.Handler.WithGroup(name)}
+}

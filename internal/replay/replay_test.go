@@ -1,0 +1,135 @@
+package replay
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"softsoa/internal/obs/journal"
+)
+
+// goldens maps each golden journal under testdata/journals to the
+// paper scenario it captures and the expected final state.
+var goldens = []struct {
+	name        string
+	finalBlevel string
+	status      string
+	events      int
+}{
+	// Fig. 7 Example 1: merged store at blevel 5 blocks both [4,1]
+	// checked asks — the negotiation sticks.
+	{"example1", "5", "stuck", 4},
+	// Fig. 7 Example 2: offer x+2 and requirement x meet at 2x+2,
+	// blevel 2, and the checked ask fires.
+	{"example2", "2", "succeeded", 7},
+	// Fig. 7 Example 3: update{x}(4) retracts the x-constraints and
+	// leaves y+4 at blevel 4.
+	{"example3", "4", "succeeded", 2},
+	// Fig. 5: intersecting fuzzy preferences agree at 0.5.
+	{"fuzzy-agreement", "0.5", "succeeded", 2},
+}
+
+func goldenPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("..", "..", "testdata", "journals", name+".jsonl")
+}
+
+// TestGoldenJournalsVerify replays every golden journal and requires
+// exact rule-by-rule agreement plus the paper's final blevel.
+func TestGoldenJournalsVerify(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			f, err := os.Open(goldenPath(t, g.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			j, err := journal.ReadJSONL(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Verify(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Segments) != 1 {
+				t.Fatalf("golden has %d segments, want 1", len(rep.Segments))
+			}
+			sr := rep.Segments[0]
+			if !sr.Replayable {
+				t.Fatal("golden segment is not replayable")
+			}
+			for _, m := range sr.Mismatches {
+				t.Errorf("mismatch: %s", m)
+			}
+			if sr.Events != g.events {
+				t.Errorf("replayed %d transitions, want %d", sr.Events, g.events)
+			}
+			seg := j.Segments()[0]
+			if seg.FinalBlevel != g.finalBlevel {
+				t.Errorf("final blevel %q, want %q", seg.FinalBlevel, g.finalBlevel)
+			}
+			if seg.Status != g.status {
+				t.Errorf("status %q, want %q", seg.Status, g.status)
+			}
+		})
+	}
+}
+
+// TestGoldenJournalsByteStable re-records each golden's own program
+// with its recorded seed, fuel and capacity and requires the JSONL
+// output to match the checked-in fixture byte for byte. Any change to
+// the engine, the recorder or the wire format that alters the bytes
+// must regenerate the fixtures deliberately:
+//
+//	go run ./cmd/softsoa-replay -record testdata/<name>.sccp \
+//	    -o testdata/journals/<name>.jsonl -id <name> -label <name>
+func TestGoldenJournalsByteStable(t *testing.T) {
+	for _, g := range goldens {
+		t.Run(g.name, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(t, g.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := journal.ReadJSONL(bytes.NewReader(want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg := j.Segments()[0]
+			run, err := Record(j.Meta(), seg.Label, seg.Program, seg.Seed, seg.Fuel, j.Capacity())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := run.Journal.WriteJSONL(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("re-recording %s does not reproduce the golden bytes\ngot:  %d bytes\nwant: %d bytes", g.name, got.Len(), len(want))
+			}
+		})
+	}
+}
+
+// TestVerifyDetectsDrift corrupts a recorded rule and final blevel and
+// requires Verify to flag both.
+func TestVerifyDetectsDrift(t *testing.T) {
+	data, err := os.ReadFile(goldenPath(t, "example3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := journal.ReadJSONL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := j.Events()
+	evs[0].Transition.Rule = "R2 Ask"
+	rep, err := Verify(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("Verify accepted a corrupted recording")
+	}
+}

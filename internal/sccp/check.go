@@ -70,6 +70,12 @@ func BetweenConstraints[T any](phi1, phi2 *core.Constraint[T]) Check[T] {
 	return Check[T]{LowerCon: phi1, UpperCon: phi2}
 }
 
+// unrestricted reports whether the check carries no threshold at all
+// (the zero value), so recorders can omit the annotation.
+func (k Check[T]) unrestricted() bool {
+	return k.LowerValue == nil && k.UpperValue == nil && k.LowerCon == nil && k.UpperCon == nil
+}
+
 // Holds evaluates the check function of Fig. 3 against a store
 // constraint σ.
 func (k Check[T]) Holds(sr semiring.Semiring[T], sigma *core.Constraint[T]) bool {

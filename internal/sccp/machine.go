@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"softsoa/internal/core"
+	"softsoa/internal/obs/journal"
 )
 
 // Status is the outcome of running a machine.
@@ -49,7 +50,17 @@ type Event[T any] struct {
 	Agent string
 	// Blevel is σ⇓∅ after the transition.
 	Blevel T
+	// Cut marks a transition that committed a nondeterministic sum:
+	// rule R5 discarded the remaining branches.
+	Cut bool
 }
+
+// DefaultTraceCapacity bounds the machine's transition trace: the
+// trace is a ring that keeps the most recent transitions and counts
+// the overwritten ones (TraceDropped). WithTraceCapacity resizes it;
+// WithUnboundedTrace restores the grow-forever behaviour for callers
+// that replay or assert on complete histories.
+const DefaultTraceCapacity = 4096
 
 // maxExpansion bounds administrative expansions (procedure calls and
 // quantifier openings) within a single step, catching diverging
@@ -70,8 +81,26 @@ type Machine[T any] struct {
 	defs  Defs[T]
 	rng   *rand.Rand
 	root  Agent[T]
-	trace []Event[T]
-	steps int
+
+	// trace is a ring of the most recent transitions: traceCap is its
+	// capacity (0 = unbounded), head the next overwrite position once
+	// full, dropped the number of overwritten events.
+	trace    []Event[T]
+	traceCap int
+	head     int
+	dropped  int64
+	steps    int
+
+	// rec, when set, receives one TransitionRecord per applied
+	// transition, flushed at the end of Step so administrative
+	// via-suffixes (R9/R10/Timeout) are already folded into the rule
+	// name. lastC/lastCheck stage the acting constraint and threshold
+	// between record and flush; prevBlevel is σ⇓∅ before the pending
+	// transition.
+	rec        journal.Recorder
+	prevBlevel T
+	lastC      *core.Constraint[T]
+	lastCheck  Check[T]
 }
 
 // MachineOption configures a Machine.
@@ -93,18 +122,54 @@ func WithStore[T any](st *core.Store[T]) MachineOption[T] {
 	return func(m *Machine[T]) { m.store = st }
 }
 
+// WithTraceCapacity bounds the transition trace ring to the n most
+// recent events (n < 1 is clamped to 1). The default is
+// DefaultTraceCapacity; overwritten events are counted by
+// TraceDropped.
+func WithTraceCapacity[T any](n int) MachineOption[T] {
+	return func(m *Machine[T]) {
+		if n < 1 {
+			n = 1
+		}
+		m.traceCap = n
+	}
+}
+
+// WithUnboundedTrace lets the trace grow without bound — the
+// pre-ring behaviour. Only use it for bounded runs whose complete
+// history is asserted on or replayed; a long-lived machine with an
+// unbounded trace is a memory leak.
+func WithUnboundedTrace[T any]() MachineOption[T] {
+	return func(m *Machine[T]) { m.traceCap = 0 }
+}
+
+// WithRecorder streams every applied transition into rec as a
+// journal.TransitionRecord: rule name (with via-suffixes), acting
+// agent, the told/retracted constraint in canonical form, the
+// threshold annotation, and σ⇓∅ before/after. With a nil recorder
+// the machine formats nothing.
+func WithRecorder[T any](rec journal.Recorder) MachineOption[T] {
+	return func(m *Machine[T]) { m.rec = rec }
+}
+
 // NewMachine returns a machine for the initial configuration
 // ⟨root, 1̄⟩ over the given space.
 func NewMachine[T any](space *core.Space[T], root Agent[T], opts ...MachineOption[T]) *Machine[T] {
 	m := &Machine[T]{
-		space: space,
-		store: core.NewStore(space),
-		defs:  Defs[T]{},
-		rng:   rand.New(rand.NewSource(1)),
-		root:  root,
+		space:    space,
+		store:    core.NewStore(space),
+		defs:     Defs[T]{},
+		rng:      rand.New(rand.NewSource(1)),
+		root:     root,
+		traceCap: DefaultTraceCapacity,
 	}
 	for _, o := range opts {
 		o(m)
+	}
+	if m.rec != nil {
+		// Baseline for the first record's BlevelBefore; with WithStore
+		// the machine may start from a non-trivial σ.
+		m.prevBlevel = m.store.Blevel()
 	}
 	return m
 }
@@ -115,8 +180,27 @@ func (m *Machine[T]) Store() *core.Store[T] { return m.store }
 // Agent returns the current agent.
 func (m *Machine[T]) Agent() Agent[T] { return m.root }
 
-// Trace returns the applied transitions so far.
-func (m *Machine[T]) Trace() []Event[T] { return append([]Event[T](nil), m.trace...) }
+// Trace returns the retained transitions, oldest first. Under the
+// default bounded ring this is the most recent DefaultTraceCapacity
+// transitions; Steps counts all of them and TraceDropped the
+// overwritten ones.
+func (m *Machine[T]) Trace() []Event[T] {
+	out := make([]Event[T], 0, len(m.trace))
+	if m.traceCap > 0 && len(m.trace) == m.traceCap {
+		out = append(out, m.trace[m.head:]...)
+		out = append(out, m.trace[:m.head]...)
+		return out
+	}
+	return append(out, m.trace...)
+}
+
+// Steps returns the number of transitions applied so far, counting
+// those the bounded trace ring has already dropped.
+func (m *Machine[T]) Steps() int { return m.steps }
+
+// TraceDropped returns how many transitions the bounded trace ring
+// overwrote.
+func (m *Machine[T]) TraceDropped() int64 { return m.dropped }
 
 // Status reports the current status without stepping.
 func (m *Machine[T]) Status() Status {
@@ -136,6 +220,9 @@ func (m *Machine[T]) Step() (bool, error) {
 		return false, err
 	}
 	m.root = next
+	if applied {
+		m.flush()
+	}
 	return applied, nil
 }
 
@@ -185,14 +272,65 @@ func (m *Machine[T]) step1() (bool, error) {
 // progress; it compares the trees' printed forms.
 func agentEq[T any](a, b Agent[T]) bool { return a.String() == b.String() }
 
-func (m *Machine[T]) record(rule string, ag Agent[T]) {
+func (m *Machine[T]) record(rule string, ag Agent[T], c *core.Constraint[T], check Check[T]) {
 	m.steps++
-	m.trace = append(m.trace, Event[T]{
+	ev := Event[T]{
 		Step:   m.steps,
 		Rule:   rule,
 		Agent:  ag.String(),
 		Blevel: m.store.Blevel(),
-	})
+	}
+	if m.traceCap > 0 && len(m.trace) == m.traceCap {
+		m.trace[m.head] = ev
+		m.head = (m.head + 1) % m.traceCap
+		m.dropped++
+	} else {
+		m.trace = append(m.trace, ev)
+	}
+	m.lastC, m.lastCheck = c, check
+}
+
+// lastEvent returns the most recently recorded transition, which the
+// administrative wrappers (R9/R10/Timeout) annotate in place.
+func (m *Machine[T]) lastEvent() *Event[T] {
+	if len(m.trace) == 0 {
+		return nil
+	}
+	if m.traceCap > 0 && len(m.trace) == m.traceCap {
+		return &m.trace[(m.head+m.traceCap-1)%m.traceCap]
+	}
+	return &m.trace[len(m.trace)-1]
+}
+
+// flush emits the pending transition to the recorder. It runs at the
+// end of Step — after the administrative via-suffixes were applied —
+// so the recorded rule name matches Trace exactly.
+func (m *Machine[T]) flush() {
+	ev := m.lastEvent()
+	if ev == nil {
+		return
+	}
+	if m.rec != nil {
+		sr := m.space.Semiring()
+		tr := journal.TransitionRecord{
+			Step:         ev.Step,
+			Rule:         ev.Rule,
+			Agent:        ev.Agent,
+			BlevelBefore: sr.Format(m.prevBlevel),
+			BlevelAfter:  sr.Format(ev.Blevel),
+			Consistent:   !sr.Eq(ev.Blevel, sr.Zero()),
+			Cut:          ev.Cut,
+		}
+		if m.lastC != nil {
+			tr.Delta = m.lastC.String()
+		}
+		if !m.lastCheck.unrestricted() {
+			tr.Check = m.lastCheck.String()
+		}
+		m.rec.RecordTransition(tr)
+		m.prevBlevel = ev.Blevel
+	}
+	m.lastC, m.lastCheck = nil, Check[T]{}
 }
 
 // step attempts to find and apply one enabled action in the subtree.
@@ -213,21 +351,21 @@ func (m *Machine[T]) step(a Agent[T], depth int) (Agent[T], bool, error) {
 			return a, false, nil
 		}
 		m.store.Tell(ag.C)
-		m.record("R1 Tell", ag)
+		m.record("R1 Tell", ag, ag.C, ag.Check)
 		return ag.Next, true, nil
 
 	case Ask[T]: // R2
 		if !m.store.Entails(ag.C) || !ag.Check.Holds(sr, m.store.Constraint()) {
 			return a, false, nil
 		}
-		m.record("R2 Ask", ag)
+		m.record("R2 Ask", ag, nil, ag.Check)
 		return ag.Next, true, nil
 
 	case Nask[T]: // R6
 		if m.store.Entails(ag.C) || !ag.Check.Holds(sr, m.store.Constraint()) {
 			return a, false, nil
 		}
-		m.record("R6 Nask", ag)
+		m.record("R6 Nask", ag, nil, ag.Check)
 		return ag.Next, true, nil
 
 	case Retract[T]: // R7
@@ -241,7 +379,7 @@ func (m *Machine[T]) step(a Agent[T], depth int) (Agent[T], bool, error) {
 		if !m.store.Retract(ag.C) {
 			return a, false, nil
 		}
-		m.record("R7 Retract", ag)
+		m.record("R7 Retract", ag, ag.C, ag.Check)
 		return ag.Next, true, nil
 
 	case Update[T]: // R8
@@ -250,7 +388,7 @@ func (m *Machine[T]) step(a Agent[T], depth int) (Agent[T], bool, error) {
 			return a, false, nil
 		}
 		m.store.Update(ag.Vars, ag.C)
-		m.record("R8 Update", ag)
+		m.record("R8 Update", ag, ag.C, ag.Check)
 		return ag.Next, true, nil
 
 	case Parallel[T]: // R3/R4
@@ -282,6 +420,11 @@ func (m *Machine[T]) step(a Agent[T], depth int) (Agent[T], bool, error) {
 				return a, false, err
 			}
 			if applied {
+				if len(ag.branches) > 1 {
+					// The transition committed the sum: the other
+					// branches are discarded (the "cut").
+					m.lastEvent().Cut = true
+				}
 				return b2, true, nil
 			}
 		}
@@ -295,7 +438,7 @@ func (m *Machine[T]) step(a Agent[T], depth int) (Agent[T], bool, error) {
 			return a, false, err
 		}
 		if applied {
-			m.trace[len(m.trace)-1].Rule += " (via R9 Hide)"
+			m.lastEvent().Rule += " (via R9 Hide)"
 		}
 		return next, applied, nil
 
@@ -317,7 +460,7 @@ func (m *Machine[T]) step(a Agent[T], depth int) (Agent[T], bool, error) {
 			return a, false, err
 		}
 		if applied {
-			m.trace[len(m.trace)-1].Rule += " (via R10 P-call)"
+			m.lastEvent().Rule += " (via R10 P-call)"
 		}
 		return next, applied, nil
 

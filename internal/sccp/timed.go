@@ -47,7 +47,7 @@ func (m *Machine[T]) stepTimeout(ag Timeout[T], depth int) (Agent[T], bool, erro
 		return ag, false, err
 	}
 	if applied {
-		m.trace[len(m.trace)-1].Rule += " (via Timeout)"
+		m.lastEvent().Rule += " (via Timeout)"
 		return next, true, nil
 	}
 	if !agentEq[T](ag.Body, next) {
@@ -58,6 +58,6 @@ func (m *Machine[T]) stepTimeout(ag Timeout[T], depth int) (Agent[T], bool, erro
 	// transitions — time is observable — so a lone timer runs the
 	// fuel down rather than deadlocking the machine.
 	out := Timeout[T]{Budget: ag.Budget - 1, Body: ag.Body, Else: ag.Else}
-	m.record("Tick Timeout", out)
+	m.record("Tick Timeout", out, nil, Check[T]{})
 	return out, true, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"softsoa/internal/clock"
 	"softsoa/internal/core"
+	"softsoa/internal/obs/journal"
 	"softsoa/internal/semiring"
 )
 
@@ -75,6 +76,8 @@ type config struct {
 	steps      int
 	seed       int64
 	clock      clock.Clock
+	tel        journal.SearchRecorder
+	telStride  int64
 }
 
 func defaultConfig() config {
@@ -159,6 +162,24 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // a strict no-op.
 func WithClock(c clock.Clock) Option { return func(cf *config) { cf.clock = c } }
 
+// WithTelemetry streams sampled branch-and-bound search events into
+// rec: every stride-th node expansion and prune (stride < 1 is
+// clamped to 1), and every incumbent improvement. With a nil recorder
+// — the default — the inner loop performs only nil checks and keeps
+// its zero-allocation guarantee. Under WithParallel each worker
+// carries its own node/prune counters, so sampled node numbers
+// restart per subtree task and event order follows scheduling; the
+// search result itself stays deterministic either way.
+func WithTelemetry(rec journal.SearchRecorder, stride int) Option {
+	return func(c *config) {
+		c.tel = rec
+		if stride < 1 {
+			stride = 1
+		}
+		c.telStride = int64(stride)
+	}
+}
+
 // Exhaustive enumerates every complete assignment and returns the
 // exact blevel and the frontier of non-dominated solutions. It is the
 // reference against which the other solvers are tested.
@@ -241,6 +262,10 @@ type plan[T any] struct {
 	prune          bool
 	lookahead      bool
 	maxBest        int
+	// tel/telStride sample search telemetry; a nil tel keeps the
+	// inner loop allocation-free.
+	tel       journal.SearchRecorder
+	telStride int64
 }
 
 func newPlan[T any](p *core.Problem[T], cfg *config) *plan[T] {
@@ -253,6 +278,7 @@ func newPlan[T any](p *core.Problem[T], cfg *config) *plan[T] {
 	pl := &plan[T]{
 		sr: sr, ev: ev, sizes: sizes, n: n,
 		prune: cfg.prune, lookahead: cfg.lookahead, maxBest: cfg.maxBest,
+		tel: cfg.tel, telStride: cfg.telStride,
 	}
 
 	pl.perm = make([]int, n)
@@ -349,6 +375,11 @@ func newSearch[T any](pl *plan[T], fr *digitFrontier[T], shared *sharedBound[T])
 func (s *bbSearch[T]) run(depth int, bound T) {
 	pl := s.pl
 	s.nodes++
+	if pl.tel != nil && s.nodes%pl.telStride == 0 {
+		pl.tel.RecordSearch(journal.SearchRecord{
+			Kind: "expand", Node: s.nodes, Depth: depth, Value: pl.sr.Format(bound),
+		})
+	}
 	if pl.prune {
 		ub := bound
 		if pl.lookahead {
@@ -356,13 +387,30 @@ func (s *bbSearch[T]) run(depth int, bound T) {
 		}
 		if s.dominated(ub) {
 			s.prunes++
+			if pl.tel != nil && s.prunes%pl.telStride == 0 {
+				reason := "bound"
+				if pl.lookahead {
+					reason = "lookahead-bound"
+				}
+				pl.tel.RecordSearch(journal.SearchRecord{
+					Kind: "prune", Node: s.nodes, Depth: depth,
+					Value: pl.sr.Format(ub), Reason: reason,
+				})
+			}
 			return
 		}
 	}
 	if depth == pl.n {
 		s.blevel = pl.sr.Plus(s.blevel, bound)
-		if s.fr.offer(s.digits, bound) && s.shared != nil {
-			s.shared.offer(bound)
+		if s.fr.offer(s.digits, bound) {
+			if pl.tel != nil {
+				pl.tel.RecordSearch(journal.SearchRecord{
+					Kind: "incumbent", Node: s.nodes, Depth: depth, Value: pl.sr.Format(bound),
+				})
+			}
+			if s.shared != nil {
+				s.shared.offer(bound)
+			}
 		}
 		return
 	}

@@ -1,0 +1,89 @@
+package solver
+
+import (
+	"testing"
+
+	"softsoa/internal/obs/journal"
+	"softsoa/internal/workload"
+)
+
+// searchSink collects solver telemetry for assertions.
+type searchSink struct{ recs []journal.SearchRecord }
+
+func (s *searchSink) RecordSearch(r journal.SearchRecord) { s.recs = append(s.recs, r) }
+
+func (s *searchSink) count(kind string) int {
+	n := 0
+	for _, r := range s.recs {
+		if r.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTelemetryStride: with stride 1 every node expansion is
+// recorded; with stride k exactly every k-th one is, and incumbent
+// improvements are never sampled away.
+func TestTelemetryStride(t *testing.T) {
+	p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+		Vars: 6, DomainSize: 3, Density: 0.5, Tightness: 0.8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := &searchSink{}
+	res := BranchAndBound(p, WithTelemetry(full, 1))
+	if got := int64(full.count("expand")); got != res.Stats.Nodes {
+		t.Errorf("stride 1 recorded %d expansions, search visited %d nodes", got, res.Stats.Nodes)
+	}
+	if full.count("incumbent") == 0 {
+		t.Error("no incumbent improvements recorded")
+	}
+
+	sampled := &searchSink{}
+	res4 := BranchAndBound(p, WithTelemetry(sampled, 4))
+	if got, want := int64(sampled.count("expand")), res4.Stats.Nodes/4; got != want {
+		t.Errorf("stride 4 recorded %d expansions, want %d", got, want)
+	}
+	if got, want := sampled.count("incumbent"), full.count("incumbent"); got != want {
+		t.Errorf("stride 4 recorded %d incumbents, stride 1 recorded %d — improvements must not be sampled", got, want)
+	}
+}
+
+// TestTelemetryDoesNotChangeSearch: recording is observational — the
+// result with telemetry on equals the result with it off.
+func TestTelemetryDoesNotChangeSearch(t *testing.T) {
+	p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+		Vars: 7, DomainSize: 3, Density: 0.6, Tightness: 0.9, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BranchAndBound(p)
+	sink := &searchSink{}
+	got := BranchAndBound(p, WithTelemetry(sink, 2))
+	assertSameResult(t, p.Space().Semiring(), "telemetry", want, got)
+	if got.Stats.Nodes != want.Stats.Nodes || got.Stats.Prunes != want.Stats.Prunes {
+		t.Errorf("telemetry changed the search: nodes %d/%d prunes %d/%d",
+			got.Stats.Nodes, want.Stats.Nodes, got.Stats.Prunes, want.Stats.Prunes)
+	}
+	if len(sink.recs) == 0 {
+		t.Error("telemetry recorded nothing")
+	}
+}
+
+// TestTelemetryClampsStride: a stride below 1 behaves as 1 instead of
+// dividing by zero.
+func TestTelemetryClampsStride(t *testing.T) {
+	p, err := workload.ChainWeightedSCSP(5, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &searchSink{}
+	res := BranchAndBound(p, WithTelemetry(sink, 0))
+	if got := int64(sink.count("expand")); got != res.Stats.Nodes {
+		t.Errorf("clamped stride recorded %d expansions, want %d", got, res.Stats.Nodes)
+	}
+}

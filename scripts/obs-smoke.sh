@@ -1,22 +1,29 @@
 #!/bin/sh
-# obs-smoke boots brokerd with both listeners, drives one publish +
-# negotiate through the v1 API, scrapes /v1/metrics, and asserts three
-# metric families are present. Exits non-zero on any miss.
+# obs-smoke boots brokerd with both listeners and a journal directory,
+# drives one publish + negotiate through the v1 API, scrapes
+# /v1/metrics, asserts three metric families are present, then fetches
+# the negotiation's flight-recorder journal and verifies it with
+# softsoa-replay — both the HTTP copy and the -journal-dir dump.
+# Exits non-zero on any miss.
 set -eu
 
 ADDR=127.0.0.1:18700
 OPS=127.0.0.1:18701
-BIN=$(mktemp -d)/brokerd
+WORK=$(mktemp -d)
+BIN=$WORK/brokerd
+REPLAY=$WORK/softsoa-replay
+JOURNALS=$WORK/journals
 METRICS=$(mktemp)
 
 cleanup() {
     [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
-    rm -rf "$(dirname "$BIN")" "$METRICS"
+    rm -rf "$WORK" "$METRICS"
 }
 trap cleanup EXIT INT TERM
 
 go build -o "$BIN" ./cmd/brokerd
-"$BIN" -addr "$ADDR" -ops-addr "$OPS" &
+go build -o "$REPLAY" ./cmd/softsoa-replay
+"$BIN" -addr "$ADDR" -ops-addr "$OPS" -journal-dir "$JOURNALS" &
 PID=$!
 
 # Wait for the health endpoint (up to ~5s).
@@ -33,12 +40,16 @@ done
 curl -fsS -X POST "http://$ADDR/v1/providers" -d \
     '<qos service="failmgmt" provider="p1" region="eu"><attribute name="fee" metric="cost" base="2" perUnit="0" resource="failures" maxUnits="10"></attribute></qos>' \
     >/dev/null
-curl -fsS -X POST "http://$ADDR/v1/negotiations" -d \
-    '<negotiate service="failmgmt" client="shop" metric="cost"><requirement metric="cost" base="0" perUnit="2" resource="failures" maxUnits="10"></requirement><lower>4</lower><upper>1</upper></negotiate>' \
-    >/dev/null
+SLA=$(curl -fsS -X POST "http://$ADDR/v1/negotiations" -d \
+    '<negotiate service="failmgmt" client="shop" metric="cost"><requirement metric="cost" base="0" perUnit="2" resource="failures" maxUnits="10"></requirement><lower>4</lower><upper>1</upper></negotiate>')
+SLA_ID=$(printf '%s' "$SLA" | sed -n 's/.*sla id="\([^"]*\)".*/\1/p')
+if [ -z "$SLA_ID" ]; then
+    echo "obs-smoke: negotiation returned no SLA id" >&2
+    exit 1
+fi
 
 curl -fsS "http://$ADDR/v1/metrics" >"$METRICS"
-for family in broker_http_requests_total broker_negotiations_total broker_slas_active; do
+for family in broker_http_requests_total broker_negotiations_total broker_slas_active journal_events_dropped_total; do
     if ! grep -q "^$family" "$METRICS"; then
         echo "obs-smoke: family $family missing from /v1/metrics" >&2
         exit 1
@@ -51,4 +62,22 @@ curl -fsS "http://$OPS/metrics" | grep '^broker_http_requests_total' >/dev/null
 curl -fsS "http://$OPS/debug/pprof/cmdline" >/dev/null
 curl -fsS "http://$OPS/debug/traces" | grep '"traces"' >/dev/null
 
-echo "obs-smoke: ok ($(grep -c '^# TYPE' "$METRICS") metric families)"
+# The negotiation's journal must be served as JSONL and replay exactly.
+curl -fsS "http://$ADDR/v1/negotiations/$SLA_ID/journal?format=jsonl" | "$REPLAY" -
+# The JSON document form must be served too.
+curl -fsS "http://$ADDR/v1/negotiations/$SLA_ID/journal" | grep -q '"segments"'
+# -journal-dir must have dumped the same journal; replay that copy.
+if [ ! -f "$JOURNALS/$SLA_ID.jsonl" ]; then
+    echo "obs-smoke: journal dir is missing $SLA_ID.jsonl" >&2
+    exit 1
+fi
+"$REPLAY" -q "$JOURNALS/$SLA_ID.jsonl"
+
+# With OBS_SMOKE_ARTIFACTS set, keep the dumped journals (CI uploads
+# them as build artifacts).
+if [ -n "${OBS_SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$OBS_SMOKE_ARTIFACTS"
+    cp "$JOURNALS"/*.jsonl "$OBS_SMOKE_ARTIFACTS"/
+fi
+
+echo "obs-smoke: ok ($(grep -c '^# TYPE' "$METRICS") metric families, journal $SLA_ID replayed)"
