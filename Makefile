@@ -1,4 +1,4 @@
-.PHONY: all build test race vet lint fuzz cover bench bench-go obs-smoke replay-check clean
+.PHONY: all build test race vet lint fuzz cover bench bench-go obs-smoke replay-check crash-recovery clean
 
 all: build vet lint test
 
@@ -46,6 +46,13 @@ bench-go:
 # flight-recorder journal, and replay it with softsoa-replay.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# E21 durability check: SIGKILL a brokerd mid-traffic (plus a torn
+# WAL frame) and a SIGTERM drain, then compare the recovered state
+# byte-exact against a never-crashed control. CRASH_DIFF_DIR collects
+# a diff artifact on failure.
+crash-recovery:
+	go test -race -run 'TestBrokerdCrashRecovery|TestBrokerdGracefulDrain' -v .
 
 # Replay every golden journal fixture against the current engine; any
 # semantic drift in the nmsccp transition system shows up as a

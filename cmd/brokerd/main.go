@@ -17,7 +17,18 @@
 //
 //	brokerd [-addr :8700] [-ops-addr :8701] [-link-cost 5] [-link-factor 0.96] \
 //	        [-capabilities http-auth,gzip,tls13] [-solver-parallel N] \
-//	        [-log-json] [-log-level info] [-journal-dir journals/]
+//	        [-log-json] [-log-level info] [-journal-dir journals/] \
+//	        [-state-dir state/] [-snapshot-every 256] \
+//	        [-max-inflight 64] [-admission-queue 128] [-drain-deadline 10s]
+//
+// With -state-dir every state mutation is appended to a checksummed
+// write-ahead log and periodically compacted into an atomic snapshot;
+// a restarted brokerd replays both and resumes with identical SLAs,
+// sessions, compliance counters and breaker states. SIGTERM drains
+// gracefully: new hot-route work is refused (503), in-flight requests
+// finish under -drain-deadline, and a final snapshot is flushed.
+// With -max-inflight the hot routes shed overload with 429 and a
+// Retry-After hint instead of queueing unboundedly.
 package main
 
 import (
@@ -34,9 +45,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"softsoa/internal/broker"
+	"softsoa/internal/broker/store"
 	"softsoa/internal/obs"
 	"softsoa/internal/obs/journal"
 	"softsoa/internal/policy"
@@ -74,6 +87,16 @@ func main() {
 		"dump each finished flight-recorder journal as <id>.jsonl in this directory (empty disables)")
 	journalRetention := flag.Int("journal-retention", 256,
 		"how many journals GET /v1/negotiations/{id}/journal retains (FIFO eviction)")
+	stateDir := flag.String("state-dir", "",
+		"durable state directory (snapshot + WAL): broker state survives crashes and restarts (empty disables)")
+	snapshotEvery := flag.Int("snapshot-every", 256,
+		"WAL records between snapshots compacting the log (0 disables periodic snapshots)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"concurrent requests admitted on the hot routes; excess is queued then shed with 429 (0 disables admission control)")
+	admissionQueue := flag.Int("admission-queue", 0,
+		"requests allowed to wait for a hot-route slot beyond -max-inflight")
+	drainDeadline := flag.Duration("drain-deadline", 10*time.Second,
+		"how long a SIGTERM/SIGINT drain waits for in-flight requests before exiting")
 	flag.Parse()
 
 	level, err := parseLevel(*logLevel)
@@ -87,7 +110,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The registry is created here rather than inside the server so
+	// daemon-level series (the journal sink's error counter) land on
+	// the same /metrics surface.
+	reg := obs.NewRegistry()
 	opts := []broker.ServerOption{
+		broker.WithMetricsRegistry(reg),
 		broker.WithRequestTimeout(*requestTimeout),
 		broker.WithBreaker(broker.BreakerConfig{
 			FailureThreshold: *breakerThreshold,
@@ -119,9 +147,37 @@ func main() {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
 			fatal("create journal dir", "err", err)
 		}
-		opts = append(opts, broker.WithJournalSink(journalDumper(*journalDir, logger)))
+		sinkErrors := reg.Counter("journal_sink_errors_total",
+			"Journal dumps that failed to reach -journal-dir.")
+		opts = append(opts, broker.WithJournalSink(journalDumper(*journalDir, logger, sinkErrors)))
+	}
+	var st store.Store
+	if *stateDir != "" {
+		var err error
+		st, err = store.Open(*stateDir)
+		if err != nil {
+			fatal("open state dir", "err", err)
+		}
+		opts = append(opts,
+			broker.WithStateStore(st),
+			broker.WithSnapshotEvery(*snapshotEvery))
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, broker.WithAdmission(broker.AdmissionConfig{
+			MaxInFlight: *maxInflight,
+			MaxQueue:    *admissionQueue,
+		}))
 	}
 	srv := broker.NewServer(broker.LinkPenalty{Cost: *linkCost, Factor: *linkFactor}, opts...)
+	if st != nil {
+		stats, err := srv.Recover(context.Background())
+		if err != nil {
+			fatal("recover state", "err", err)
+		}
+		logger.Info("durable state recovered", "dir", *stateDir,
+			"slas", stats.SLAs, "providers", stats.Providers,
+			"replayed", stats.Replayed, "truncated", stats.Truncated)
+	}
 	if *state != "" {
 		if err := srv.Registry().LoadFile(*state); err != nil {
 			if os.IsNotExist(errors.Unwrap(err)) {
@@ -139,7 +195,7 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var opsSrv *http.Server
@@ -159,7 +215,12 @@ func main() {
 
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: refuse new hot-route work, then wait (under
+		// the deadline) for in-flight requests to finish. The final
+		// snapshot and store close happen in main, after
+		// ListenAndServe returns — no handler can race them.
+		srv.BeginDrain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainDeadline)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("shutdown", "err", err)
@@ -183,6 +244,15 @@ func main() {
 			logger.Info("saved registrations", "count", srv.Registry().Len(), "path", *state)
 		}
 	}
+	if st != nil {
+		if err := srv.Flush(); err != nil {
+			logger.Error("final snapshot", "err", err)
+		}
+		if err := st.Close(); err != nil {
+			logger.Error("close state store", "err", err)
+		}
+		logger.Info("durable state flushed", "dir", *stateDir)
+	}
 	logger.Info("brokerd stopped")
 }
 
@@ -203,8 +273,15 @@ func parseLevel(s string) (slog.Level, error) {
 // journalDumper writes each finished journal as <id>.jsonl under dir.
 // Renegotiations re-finish the same journal, atomically replacing the
 // file with the extended recording (write-then-rename, so a reader
-// never sees a torn journal).
-func journalDumper(dir string, logger *slog.Logger) func(*journal.Journal) {
+// never sees a torn journal). Failed dumps are logged and counted on
+// journal_sink_errors_total — a rising counter means the journal
+// directory is losing recordings (full disk, bad permissions) even
+// though the broker itself keeps serving.
+func journalDumper(dir string, logger *slog.Logger, errCount *obs.Counter) func(*journal.Journal) {
+	fail := func(id string, err error) {
+		errCount.Inc()
+		logger.Warn("journal dump", "journal", id, "err", err)
+	}
 	return func(j *journal.Journal) {
 		id := j.Meta().ID
 		if id == "" {
@@ -214,7 +291,7 @@ func journalDumper(dir string, logger *slog.Logger) func(*journal.Journal) {
 		tmp := path + ".tmp"
 		f, err := os.Create(tmp)
 		if err != nil {
-			logger.Warn("journal dump", "journal", id, "err", err)
+			fail(id, err)
 			return
 		}
 		err = j.WriteJSONL(f)
@@ -227,7 +304,7 @@ func journalDumper(dir string, logger *slog.Logger) func(*journal.Journal) {
 		if err != nil {
 			//lint:ignore errcheck best-effort cleanup of the temp file
 			_ = os.Remove(tmp)
-			logger.Warn("journal dump", "journal", id, "err", err)
+			fail(id, err)
 			return
 		}
 		logger.Debug("journal dumped", "journal", id, "path", path)

@@ -101,6 +101,7 @@ func All() []*Analyzer {
 		LockCheck,
 		ErrCheck,
 		GoHygiene,
+		WriteCheck,
 	}
 }
 

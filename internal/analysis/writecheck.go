@@ -1,0 +1,61 @@
+package analysis
+
+import "go/ast"
+
+// WriteCheck enforces the durable-store write discipline: inside
+// softsoa/internal/broker/store, state files may only be created or
+// replaced through the atomic write helper (temp file in the same
+// directory, fsync, rename, directory fsync). A bare os.WriteFile or
+// os.Rename anywhere else in the package can leave a half-written
+// snapshot or WAL visible after a crash, which is exactly the failure
+// class the store exists to rule out. Append-mode os.OpenFile handles
+// and os.Truncate (tail repair in place) remain allowed: neither
+// creates a file another process could observe half-written under the
+// store's recovery protocol.
+var WriteCheck = &Analyzer{
+	Name:     "writecheck",
+	Doc:      "broker/store creates and replaces state files only via the atomic write helper",
+	Packages: []string{"softsoa/internal/broker/store"},
+	Run:      runWriteCheck,
+}
+
+// atomicHelper is the one function allowed to call the raw
+// file-creation and rename primitives.
+const atomicHelper = "atomicWriteFile"
+
+// rawWriteFuncs are the os functions that create or replace a file
+// non-atomically with respect to a crash.
+var rawWriteFuncs = []string{"WriteFile", "Rename", "Create", "CreateTemp"}
+
+func runWriteCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == atomicHelper {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				for _, name := range rawWriteFuncs {
+					if pass.IsFunc(sel.Sel, "os", name) {
+						pass.Reportf(call.Pos(),
+							"%s: os.%s outside %s: write state files via the atomic helper (temp + fsync + rename)",
+							fd.Name.Name, name, atomicHelper)
+						return true
+					}
+				}
+				return true
+			})
+		}
+	}
+}

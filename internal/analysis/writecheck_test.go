@@ -1,0 +1,95 @@
+package analysis
+
+import "testing"
+
+func TestWriteCheck(t *testing.T) {
+	runCases(t, WriteCheck, []analyzerCase{
+		{
+			name: "bare WriteFile flagged",
+			path: "softsoa/internal/broker/store",
+			src: `package store
+import "os"
+func save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+`,
+			want: []string{"os.WriteFile outside atomicWriteFile"},
+		},
+		{
+			name: "bare Rename flagged",
+			path: "softsoa/internal/broker/store",
+			src: `package store
+import "os"
+func swap(old, new string) error {
+	return os.Rename(old, new)
+}
+`,
+			want: []string{"os.Rename outside atomicWriteFile"},
+		},
+		{
+			name: "bare Create and CreateTemp flagged",
+			path: "softsoa/internal/broker/store",
+			src: `package store
+import "os"
+func open(dir string) error {
+	if _, err := os.Create(dir + "/state"); err != nil {
+		return err
+	}
+	_, err := os.CreateTemp(dir, "tmp-*")
+	return err
+}
+`,
+			want: []string{
+				"os.Create outside atomicWriteFile",
+				"os.CreateTemp outside atomicWriteFile",
+			},
+		},
+		{
+			name: "the atomic helper itself is allowed",
+			path: "softsoa/internal/broker/store",
+			src: `package store
+import "os"
+func atomicWriteFile(path string, data []byte) error {
+	f, err := os.CreateTemp(".", "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+`,
+		},
+		{
+			name: "append-mode OpenFile and Truncate are allowed",
+			path: "softsoa/internal/broker/store",
+			src: `package store
+import "os"
+func appendTo(path string, n int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Truncate(path, n)
+}
+`,
+		},
+		{
+			name: "store package only",
+			path: "softsoa/internal/workload",
+			src: `package workload
+import "os"
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+`,
+		},
+	})
+}

@@ -1,0 +1,105 @@
+package broker
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// AdmissionConfig bounds concurrent work on the broker's hot routes
+// (negotiations, renegotiations, observations, compositions) so a
+// burst degrades into fast 429s instead of a pile-up of slow solver
+// runs.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of requests handled concurrently.
+	// Zero disables admission control entirely.
+	MaxInFlight int
+	// MaxQueue is the number of requests allowed to wait for a slot
+	// beyond MaxInFlight; arrivals past both bounds are shed with 429.
+	// Zero means no queue: the semaphore alone gates admission.
+	MaxQueue int
+	// RetryAfter is the hint sent in the Retry-After header of shed
+	// responses. Zero means the default of 1 second.
+	RetryAfter time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// admission is the gate: a semaphore of in-flight slots plus a
+// bounded wait queue, both plain buffered channels.
+type admission struct {
+	sem        chan struct{}
+	queue      chan struct{}
+	retryAfter string // Retry-After header value, in whole seconds
+	bm         *brokerMetrics
+}
+
+func newAdmission(cfg AdmissionConfig, bm *brokerMetrics) *admission {
+	cfg = cfg.withDefaults()
+	secs := int(cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return &admission{
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		queue:      make(chan struct{}, cfg.MaxQueue),
+		retryAfter: fmt.Sprintf("%d", secs),
+		bm:         bm,
+	}
+}
+
+// admit wraps a hot route. The draining check runs even when
+// admission control is disabled, so a draining broker refuses new
+// work on these routes while in-flight requests finish.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "broker is draining")
+			return
+		}
+		if s.gate == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		s.gate.serve(w, r, next)
+	})
+}
+
+func (a *admission) serve(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		// No free slot: try to wait in the bounded queue.
+		select {
+		case a.queue <- struct{}{}:
+			a.bm.admissionQueued.Inc()
+			select {
+			case a.sem <- struct{}{}:
+				<-a.queue
+				a.bm.admissionQueued.Dec()
+			case <-r.Context().Done():
+				<-a.queue
+				a.bm.admissionQueued.Dec()
+				// The client is gone; any status is a courtesy.
+				writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+				return
+			}
+		default:
+			a.bm.admissionShed.Inc()
+			w.Header().Set("Retry-After", a.retryAfter)
+			writeError(w, http.StatusTooManyRequests, "broker overloaded; retry later")
+			return
+		}
+	}
+	a.bm.admissionInflight.Inc()
+	defer func() {
+		a.bm.admissionInflight.Dec()
+		<-a.sem
+	}()
+	next.ServeHTTP(w, r)
+}

@@ -1,0 +1,234 @@
+package broker
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"softsoa/internal/broker/store"
+	"softsoa/internal/soa"
+)
+
+func negotiateBody() string {
+	return `<negotiate service="svc" client="shop" metric="cost">` +
+		`<requirement metric="cost" base="0" perUnit="2" resource="failures" maxUnits="10"></requirement>` +
+		`</negotiate>`
+}
+
+// TestAdmissionShedsWith429 fills the single admission slot, then
+// checks an arriving negotiation is shed with 429 and a Retry-After
+// hint — and that the shed request left no half-committed state: no
+// WAL record, no SLA entry.
+func TestAdmissionShedsWith429(t *testing.T) {
+	mem := store.NewMemory()
+	srv := NewServer(DefaultLinkPenalty,
+		WithStateStore(mem),
+		WithAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 0, RetryAfter: 2 * time.Second}),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	if err := client.Publish(context.Background(), costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the only slot directly — the gate is a plain semaphore.
+	srv.gate.sem <- struct{}{}
+	resp, err := http.Post(ts.URL+"/v1/negotiations", "application/xml",
+		strings.NewReader(negotiateBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore errcheck test response body close
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if n := srv.bm.admissionShed.Value(); n != 1 {
+		t.Errorf("shed counter = %d, want 1", n)
+	}
+	if n := len(mem.Records()); n != 1 {
+		// Only the publish was journaled; the shed negotiation must
+		// not have committed anything.
+		t.Errorf("WAL has %d records, want 1 (the publish)", n)
+	}
+	srv.mu.Lock()
+	live := len(srv.entries)
+	srv.mu.Unlock()
+	if live != 0 {
+		t.Errorf("%d SLA entries after a shed negotiation, want 0", live)
+	}
+
+	// Freeing the slot restores service.
+	<-srv.gate.sem
+	sla, err := client.Negotiate(context.Background(), NegotiateRequest{
+		Service: "svc", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla.ID == "" {
+		t.Error("negotiation after release returned no id")
+	}
+}
+
+// TestAdmissionQueueAdmitsWhenSlotFrees parks a request in the accept
+// queue and checks it completes once the in-flight slot frees, while
+// a second arrival overflowing the queue is shed immediately.
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty,
+		WithAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1}),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	if err := client.Publish(context.Background(), costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.gate.sem <- struct{}{} // occupy the slot
+	queued := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/negotiations", "application/xml",
+			strings.NewReader(negotiateBody()))
+		if err != nil {
+			queued <- -1
+			return
+		}
+		//lint:ignore errcheck test response body close
+		_ = resp.Body.Close()
+		queued <- resp.StatusCode
+	}()
+	// Wait until the goroutine's request is parked in the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.bm.admissionQueued.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The queue is full now: the next arrival is shed.
+	resp, err := http.Post(ts.URL+"/v1/negotiations", "application/xml",
+		strings.NewReader(negotiateBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore errcheck test response body close
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429", resp.StatusCode)
+	}
+
+	<-srv.gate.sem // free the slot; the queued request proceeds
+	if status := <-queued; status != http.StatusOK {
+		t.Fatalf("queued request finished with %d, want 200", status)
+	}
+	if n := srv.bm.admissionQueued.Value(); n != 0 {
+		t.Errorf("queued gauge = %v after drain, want 0", n)
+	}
+}
+
+// TestDrainRefusesHotRoutes checks BeginDrain: hot routes answer 503,
+// read-only routes keep serving.
+func TestDrainRefusesHotRoutes(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+	if err := client.Publish(ctx, costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	sla, err := client.Negotiate(ctx, NegotiateRequest{
+		Service: "svc", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv.BeginDrain()
+	resp, err := http.Post(ts.URL+"/v1/negotiations", "application/xml",
+		strings.NewReader(negotiateBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore errcheck test response body close
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("negotiation during drain = %d, want 503", resp.StatusCode)
+	}
+	if _, err := client.Observe(ctx, sla.ID, 2); err == nil {
+		t.Error("observations should be refused during drain")
+	}
+	// Read paths still answer while in-flight work finishes.
+	if _, err := client.SLA(ctx, sla.ID); err != nil {
+		t.Errorf("GET sla during drain: %v", err)
+	}
+	if _, err := client.Health(ctx); err != nil {
+		t.Errorf("GET health during drain: %v", err)
+	}
+}
+
+// TestAdmissionQueuedClientGone covers the cancellation branch: a
+// queued request whose context dies releases its queue slot and gets
+// 503 without the handler ever running. The gate is driven directly —
+// an HTTP/1.1 server with an unread body does not propagate client
+// disconnects into the request context, so the branch is not
+// reachable deterministically over a real connection.
+func TestAdmissionQueuedClientGone(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty,
+		WithAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1}),
+	)
+	handlerRan := make(chan struct{}, 1)
+	h := srv.admit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handlerRan <- struct{}{}
+	}))
+
+	srv.gate.sem <- struct{}{}
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/negotiations",
+		strings.NewReader(negotiateBody())).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.bm.admissionQueued.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never unblocked after cancellation")
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("cancelled-while-queued status = %d, want 503", rec.Code)
+	}
+	select {
+	case <-handlerRan:
+		t.Error("handler ran for a cancelled queued request")
+	default:
+	}
+	if n := srv.bm.admissionQueued.Value(); n != 0 {
+		t.Errorf("queued gauge = %v after cancellation, want 0", n)
+	}
+	<-srv.gate.sem
+}

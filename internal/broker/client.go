@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
@@ -18,9 +19,10 @@ import (
 )
 
 // RetryPolicy configures the client's retry loop for retryable
-// failures: connection errors and 5xx responses. Definitive broker
-// answers — 2xx, 4xx and in particular the 409 behind ErrNoAgreement —
-// are never retried.
+// failures: connection errors, 5xx responses, and 429 overload sheds
+// (which additionally honour the broker's Retry-After hint).
+// Definitive broker answers — 2xx, other 4xx and in particular the
+// 409 behind ErrNoAgreement — are never retried.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first.
 	// Values <= 1 disable retries.
@@ -127,14 +129,24 @@ func (e *BrokerError) Error() string {
 	return fmt.Sprintf("broker: %s: HTTP %d: %s", e.Op, e.Status, e.Reason)
 }
 
-// Temporary reports whether the failure is server-side and worth
-// retrying (5xx).
-func (e *BrokerError) Temporary() bool { return e.Status >= 500 }
+// Temporary reports whether the failure is transient and worth
+// retrying: a server-side 5xx, or a 429 shed by the broker's
+// admission gate.
+func (e *BrokerError) Temporary() bool {
+	return e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+// maxRetryAfter caps how long a Retry-After hint can stretch one
+// backoff sleep, so a misbehaving server cannot stall a deadline-less
+// caller indefinitely.
+const maxRetryAfter = 30 * time.Second
 
 // do runs one HTTP request with the client's retry policy: connection
-// errors and 5xx responses are retried with exponential backoff and
-// jitter until the attempts are exhausted or ctx is cancelled; any
-// other response is returned to the caller immediately.
+// errors, 5xx responses and 429 sheds are retried with exponential
+// backoff and jitter until the attempts are exhausted or ctx is
+// cancelled; any other response is returned to the caller
+// immediately. A Retry-After header on a shed response raises the
+// backoff to at least the broker's hint.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
 	attempts := c.retry.MaxAttempts
 	if attempts < 1 {
@@ -143,12 +155,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		resp, err := c.attempt(ctx, method, path, body)
-		if err == nil && resp.StatusCode < 500 {
+		if err == nil && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
 			return resp, nil
 		}
+		var retryAfter time.Duration
 		if err != nil {
 			lastErr = fmt.Errorf("broker: %s: %w", path, err)
 		} else {
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			lastErr = httpError(path, resp)
 			discard(resp)
 		}
@@ -157,12 +171,34 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 		if attempt >= attempts || ctx.Err() != nil {
 			return nil, lastErr
 		}
+		delay := c.backoff(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(c.backoff(attempt)):
+		case <-time.After(delay):
 		}
 	}
+}
+
+// parseRetryAfter reads a Retry-After header in its delay-seconds
+// form (the only form the broker emits), capped at maxRetryAfter.
+// Malformed or absent values mean no hint.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 // attempt runs a single HTTP round trip under the per-attempt

@@ -199,3 +199,98 @@ func TestBackoffGrowsAndCaps(t *testing.T) {
 		t.Errorf("backoff(1) = %v, want the base delay", c.backoff(1))
 	}
 }
+
+// shedding returns a handler answering 429 with a Retry-After hint
+// for the first n requests, then delegating.
+func shedding(n int, retryAfter string, next http.Handler) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			w.Header().Set("Retry-After", retryAfter)
+			writeError(w, http.StatusTooManyRequests, "broker overloaded; retry later")
+			return
+		}
+		next.ServeHTTP(w, r)
+	}), &calls
+}
+
+func TestClientRetries429HonoringRetryAfter(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	h, calls := shedding(2, "1", srv.Handler())
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	// BaseDelay of 1ms: any wait near a second proves the Retry-After
+	// hint — not the exponential backoff — set the pace.
+	client := NewClient(ts.URL, ts.Client(), fastRetry(3))
+
+	start := time.Now()
+	if err := client.Publish(context.Background(), costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatalf("publish should succeed once the shedding stops: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Errorf("two shed retries took %v, want >= 2s (Retry-After: 1 twice)", elapsed)
+	}
+}
+
+func TestClient429ExhaustionIsTemporary(t *testing.T) {
+	h, calls := shedding(100, "1", http.NotFoundHandler())
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client(), fastRetry(2))
+
+	err := client.Publish(context.Background(), costDoc("p1", "svc", 2, 0, "eu"))
+	var be *BrokerError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BrokerError", err)
+	}
+	if be.Status != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", be.Status)
+	}
+	if !be.Temporary() {
+		t.Error("a 429 shed should be Temporary")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want exactly 2 attempts", got)
+	}
+}
+
+func TestClientIgnoresMalformedRetryAfter(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	h, calls := shedding(1, "soon", srv.Handler())
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client(), fastRetry(2))
+
+	start := time.Now()
+	if err := client.Publish(context.Background(), costDoc("p1", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2", got)
+	}
+	// A malformed hint falls back to the millisecond-scale backoff.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("retry after malformed hint took %v, want fast backoff", elapsed)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"999999", maxRetryAfter},
+	} {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

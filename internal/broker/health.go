@@ -195,6 +195,46 @@ func (h *HealthBoard) transition(provider string, b *breaker, to BreakerState) {
 	}
 }
 
+// BreakerStatus is one provider's persistable breaker state — the
+// structured complement of Snapshot's wire form.
+type BreakerStatus struct {
+	Provider string
+	State    BreakerState
+	Failures int
+}
+
+// States returns every tracked provider's breaker state and
+// consecutive-failure count, sorted by provider name, for the
+// broker's durable snapshots.
+func (h *HealthBoard) States() []BreakerStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(h.breakers))
+	for name, b := range h.breakers {
+		out = append(out, BreakerStatus{Provider: name, State: b.state, Failures: b.failures})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Provider < out[j].Provider })
+	return out
+}
+
+// RestoreBreaker forces a provider's breaker to the given state and
+// failure count during crash recovery, firing the usual transition
+// hook so gauges and logs reflect the restored state. The opening
+// instant of an Open breaker is not persisted, so its timeout restarts
+// at the restore time: a recovered broker waits a full OpenTimeout
+// before probing the provider again.
+func (h *HealthBoard) RestoreBreaker(provider string, state BreakerState, failures int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.get(provider)
+	h.transition(provider, b, state)
+	b.failures = failures
+	b.probing = false
+	if state == BreakerOpen {
+		b.openedAt = h.cfg.Clock()
+	}
+}
+
 // State returns the provider's current breaker state (an open breaker
 // past its timeout still reads as open until a probe is admitted).
 func (h *HealthBoard) State(provider string) BreakerState {

@@ -281,3 +281,85 @@ func TestJournalParallelNegotiations(t *testing.T) {
 		}
 	}
 }
+
+// TestJournalRetentionVsLiveRenegotiation: an SLA can outlive its
+// journal. When the FIFO bound has evicted sla-1's journal and the
+// client renegotiates sla-1, the broker must start a fresh journal —
+// never resurrect the evicted one with a partial segment list — and
+// the fresh journal must still verify by replay.
+func TestJournalRetentionVsLiveRenegotiation(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty, WithJournalRetention(2))
+	_, client := serveForTest(t, srv)
+	ctx := context.Background()
+
+	if err := client.Publish(ctx, costDoc("p1", "failmgmt", 2, 1, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	req := NegotiateRequest{
+		Service: "failmgmt", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Name: "budget", Metric: soa.MetricCost,
+			Base: 3, PerUnit: 1, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(20),
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sla, err := client.Negotiate(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sla.ID)
+	}
+	if _, ok := srv.journalByID(ids[0]); ok {
+		t.Fatalf("precondition: journal %s should have been evicted", ids[0])
+	}
+
+	// The SLA is still live; relaxing it must succeed and produce a
+	// journal that starts from the renegotiation, not from a
+	// partially-resurrected negotiation history.
+	if _, err := client.Renegotiate(ctx, RenegotiateRequest{
+		ID: ids[0],
+		Requirement: soa.Attribute{
+			Name: "budget", Metric: soa.MetricCost,
+			Base: 0, PerUnit: 1, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(20),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := client.Journal(ctx, ids[0])
+	if err != nil {
+		t.Fatalf("journal after renegotiating an evicted id: %v", err)
+	}
+	if meta := j.Meta(); meta.Kind != "renegotiation" {
+		t.Errorf("journal kind = %q, want renegotiation (a fresh journal)", meta.Kind)
+	}
+	segs := j.Segments()
+	if len(segs) != 1 {
+		t.Fatalf("fresh journal has %d segments, want 1 (the renegotiation only)", len(segs))
+	}
+	if segs[0].Label != "renegotiate:p1" {
+		t.Errorf("segment label = %q, want renegotiate:p1", segs[0].Label)
+	}
+	rep, err := replay.Verify(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		for _, sr := range rep.Segments {
+			for _, m := range sr.Mismatches {
+				t.Errorf("segment %q: %s", sr.Label, m)
+			}
+		}
+	}
+
+	// Re-storing under an evicted id consumes a retention slot again:
+	// the FIFO moves on to evict the next-oldest journal.
+	if _, ok := srv.journalByID(ids[1]); ok {
+		t.Errorf("journal %s should have been evicted by the re-stored %s", ids[1], ids[0])
+	}
+	if _, ok := srv.journalByID(ids[2]); !ok {
+		t.Errorf("journal %s missing", ids[2])
+	}
+}

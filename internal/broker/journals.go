@@ -34,6 +34,17 @@ func (s *Server) newJournal(ctx context.Context, kind string) *journal.Journal {
 // under the same id, which refreshes nothing: the id keeps its
 // original retention slot.
 func (s *Server) keepJournal(w http.ResponseWriter, id string, j *journal.Journal) {
+	s.storeJournal(id, j)
+	w.Header().Set(JournalHeader, id)
+	if s.journalSink != nil {
+		s.journalSink(j)
+	}
+}
+
+// storeJournal retains the journal under id (FIFO eviction), without
+// the response header or sink side effects — crash recovery uses it
+// directly when re-attaching replayed journals.
+func (s *Server) storeJournal(id string, j *journal.Journal) {
 	j.SetID(id)
 	var evicted []string
 	s.mu.Lock()
@@ -50,10 +61,6 @@ func (s *Server) keepJournal(w http.ResponseWriter, id string, j *journal.Journa
 	s.mu.Unlock()
 	for _, old := range evicted {
 		s.logger.Debug("journal evicted", "journal", old)
-	}
-	w.Header().Set(JournalHeader, id)
-	if s.journalSink != nil {
-		s.journalSink(j)
 	}
 }
 

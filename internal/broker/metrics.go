@@ -41,6 +41,15 @@ type brokerMetrics struct {
 	failovers    *obs.CounterVec // by result: rebound / stuck
 
 	journalDropped *obs.Counter
+
+	walRecords      *obs.Counter
+	walAppendErrors *obs.Counter
+	walTruncated    *obs.Counter
+	snapshots       *obs.Counter
+
+	admissionInflight *obs.Gauge
+	admissionQueued   *obs.Gauge
+	admissionShed     *obs.Counter
 }
 
 // newBrokerMetrics registers the broker's metric families on reg. All
@@ -97,6 +106,20 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 		failovers: reg.CounterVec("broker_failovers_total",
 			"Violation-driven failover attempts, by result.",
 			"result"),
+		walRecords: reg.Counter("broker_wal_records_total",
+			"State mutation records appended to the durability WAL."),
+		walAppendErrors: reg.Counter("broker_wal_append_errors_total",
+			"WAL appends that failed; the in-memory state is served but may not survive a restart."),
+		walTruncated: reg.Counter("broker_wal_truncated_records_total",
+			"Torn or corrupt WAL tail records discarded during crash recovery."),
+		snapshots: reg.Counter("broker_snapshots_total",
+			"State snapshots written (periodic and final-drain)."),
+		admissionInflight: reg.Gauge("broker_admission_inflight",
+			"Requests currently holding an admission slot on overload-protected routes."),
+		admissionQueued: reg.Gauge("broker_admission_queued",
+			"Requests waiting in the bounded admission queue."),
+		admissionShed: reg.Counter("broker_admission_shed_total",
+			"Requests shed with 429 because the admission semaphore and queue were full."),
 	}
 }
 

@@ -44,6 +44,26 @@ func (m *Monitor) Rebase(agreedLevel float64) {
 	m.agreed = agreedLevel
 }
 
+// counts returns the accumulated counters, for the broker's durable
+// snapshots.
+func (m *Monitor) counts() (observations, violations int64, worst float64, hasWorst bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observations, m.violations, m.worst, m.hasWorst
+}
+
+// restoreCounts reinstates persisted counters on a freshly rebuilt
+// monitor during crash recovery. The agreed level is untouched — it
+// comes from replaying the negotiation history through the engine.
+func (m *Monitor) restoreCounts(observations, violations int64, worst float64, hasWorst bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observations = observations
+	m.violations = violations
+	m.worst = worst
+	m.hasWorst = hasWorst
+}
+
 // Observe records one measured service level and reports whether it
 // violates the agreement.
 func (m *Monitor) Observe(level float64) bool {

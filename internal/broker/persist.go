@@ -1,0 +1,601 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"softsoa/internal/broker/store"
+	"softsoa/internal/obs/journal"
+	"softsoa/internal/sccp"
+	"softsoa/internal/soa"
+)
+
+// Durability layer: every state mutation the broker acknowledges is
+// appended to the configured store.Store as one typed JSON record, and
+// every snapshotEvery records the full state is compacted into a
+// snapshot. Recovery replays snapshot + WAL tail *through the engine*:
+// a negotiation record re-runs negotiateOne with the recorded winner
+// and offer, a renegotiation record re-runs Session.Renegotiate on the
+// live store — the same deterministic machinery the flight recorder
+// relies on, so recovered sessions are bit-exact, not approximations.
+//
+// Breaker effects are not re-derived: each record carries the breaker
+// feedback the live request generated (success / failure / trip per
+// provider), applied verbatim on replay. That keeps recovery
+// independent of the breakers' wall-clock open-timeout behaviour.
+
+// WAL record types.
+const (
+	recRegister    = "register"
+	recNegotiate   = "negotiate"
+	recNegFail     = "negfail"
+	recRenegotiate = "renegotiate"
+	recObserve     = "observe"
+	recCompose     = "compose"
+)
+
+// feedbackRecord is one breaker effect a request produced.
+type feedbackRecord struct {
+	Provider string `json:"provider"`
+	// Kind is "success", "failure" or "trip".
+	Kind string `json:"kind"`
+}
+
+// registerRecord journals POST /v1/providers.
+type registerRecord struct {
+	Doc soa.Document `json:"doc"`
+}
+
+// negotiateRecord journals a successful negotiation: the minted SLA
+// id, the client request, and the winning provider with the offer it
+// negotiated under (captured at negotiation time — the registry may be
+// republished later).
+type negotiateRecord struct {
+	ID       string           `json:"id"`
+	Req      Request          `json:"req"`
+	Provider string           `json:"provider"`
+	Offer    soa.Attribute    `json:"offer"`
+	Feedback []feedbackRecord `json:"feedback,omitempty"`
+}
+
+// negFailRecord journals a negotiation that found no agreement: it
+// still minted a journal id (consuming the shared counter) and fed
+// the breakers.
+type negFailRecord struct {
+	ID       string           `json:"id"`
+	Feedback []feedbackRecord `json:"feedback,omitempty"`
+}
+
+// renegotiateRecord journals an *accepted* renegotiation; rejected
+// ones leave no durable state behind.
+type renegotiateRecord struct {
+	ID          string        `json:"id"`
+	Requirement soa.Attribute `json:"requirement"`
+	Lower       *float64      `json:"lower,omitempty"`
+	Upper       *float64      `json:"upper,omitempty"`
+}
+
+// observeRecord journals one observation; when it triggered a
+// failover, the new binding is recorded the same way a negotiation is.
+type observeRecord struct {
+	ID         string           `json:"id"`
+	Level      float64          `json:"level"`
+	Violated   bool             `json:"violated"`
+	FailedOver bool             `json:"failedOver,omitempty"`
+	Provider   string           `json:"provider,omitempty"`
+	Offer      *soa.Attribute   `json:"offer,omitempty"`
+	Feedback   []feedbackRecord `json:"feedback,omitempty"`
+}
+
+// composeRecord journals a composition's minted journal id, keeping
+// the shared id counter in sync across a restart.
+type composeRecord struct {
+	ID string `json:"id"`
+}
+
+// histOp is one step of an SLA entry's binding history, enough to
+// rebuild its session deterministically: the initial negotiation, each
+// accepted renegotiation, each failover. Kept on the live entry and
+// serialised into snapshots.
+type histOp struct {
+	// Kind is "negotiate", "renegotiate" or "failover".
+	Kind        string         `json:"kind"`
+	Provider    string         `json:"provider,omitempty"`
+	Offer       *soa.Attribute `json:"offer,omitempty"`
+	Requirement *soa.Attribute `json:"requirement,omitempty"`
+	Lower       *float64       `json:"lower,omitempty"`
+	Upper       *float64       `json:"upper,omitempty"`
+}
+
+// monitorSnap persists a monitor's counters.
+type monitorSnap struct {
+	Observations int64   `json:"observations"`
+	Violations   int64   `json:"violations"`
+	Worst        float64 `json:"worst"`
+	HasWorst     bool    `json:"hasWorst"`
+}
+
+// breakerSnap persists one provider's breaker.
+type breakerSnap struct {
+	Provider string `json:"provider"`
+	State    int    `json:"state"`
+	Failures int    `json:"failures"`
+}
+
+// entrySnap persists one live SLA entry.
+type entrySnap struct {
+	ID      string      `json:"id"`
+	Req     Request     `json:"req"`
+	History []histOp    `json:"history"`
+	Monitor monitorSnap `json:"monitor"`
+}
+
+// snapshotDoc is the broker's full compacted state.
+type snapshotDoc struct {
+	V        int            `json:"v"`
+	NextID   int            `json:"nextId"`
+	Registry []soa.Document `json:"registry"`
+	Breakers []breakerSnap  `json:"breakers,omitempty"`
+	Entries  []entrySnap    `json:"entries"`
+}
+
+// RecoveryStats summarises a completed crash recovery.
+type RecoveryStats struct {
+	// SnapshotSeq is the WAL sequence the recovered snapshot covered
+	// (0 when the broker started from the WAL alone).
+	SnapshotSeq uint64
+	// Replayed counts WAL tail records replayed through the engine.
+	Replayed int
+	// Truncated counts torn or corrupt records cut from the WAL tail.
+	Truncated int
+	// SLAs and Providers count the recovered live agreements and
+	// registry documents.
+	SLAs      int
+	Providers int
+}
+
+// appendRecord serialises one mutation into the WAL. Callers hold
+// s.persistMu.RLock() across the in-memory commit and this append, so
+// a snapshot (which takes the write lock) never captures a commit
+// whose record would land after the snapshot's sequence. A failed
+// append is logged and counted, not propagated: the in-memory state
+// is already committed and serving, it just may not survive a restart.
+func (s *Server) appendRecord(typ string, v any) {
+	if s.st == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		// The record types marshal by construction; reaching this is a
+		// programming error worth surfacing loudly in logs.
+		s.logger.Error("WAL record encode failed", "type", typ, "error", err)
+		s.bm.walAppendErrors.Inc()
+		return
+	}
+	seq, err := s.st.Append(typ, data)
+	if err != nil {
+		s.logger.Error("WAL append failed", "type", typ, "error", err)
+		s.bm.walAppendErrors.Inc()
+		return
+	}
+	s.lastSeq.Store(seq)
+	s.bm.walRecords.Inc()
+	s.persistCount.Add(1)
+}
+
+// maybeSnapshot compacts the WAL into a snapshot once enough records
+// have accumulated. It runs on the request goroutine that crossed the
+// threshold; the write lock quiesces concurrent mutations for the
+// duration.
+func (s *Server) maybeSnapshot() {
+	if s.st == nil || s.snapshotEvery <= 0 || s.persistCount.Load() < int64(s.snapshotEvery) {
+		return
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.persistCount.Load() < int64(s.snapshotEvery) {
+		return // another request snapshotted while we waited
+	}
+	//lint:ignore errcheck snapshot failures are logged and counted inside snapshotLocked; the periodic path simply retries at the next threshold
+	_ = s.snapshotLocked()
+}
+
+// Flush writes a final snapshot — the drain path calls it after the
+// HTTP server has stopped, so the state directory is current before
+// exit. It is also safe to call at any quiescent point.
+func (s *Server) Flush() error {
+	if s.st == nil {
+		return nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked captures and writes the snapshot. Callers hold the
+// persistMu write lock, so no commit+append is in flight and lastSeq
+// is exactly the newest durable record.
+func (s *Server) snapshotLocked() error {
+	state, err := json.Marshal(s.snapshotState())
+	if err != nil {
+		s.logger.Error("snapshot encode failed", "error", err)
+		return err
+	}
+	if err := s.st.WriteSnapshot(state, s.lastSeq.Load()); err != nil {
+		s.logger.Error("snapshot write failed", "error", err)
+		s.bm.walAppendErrors.Inc()
+		return err
+	}
+	s.persistCount.Store(0)
+	s.bm.snapshots.Inc()
+	s.logger.Info("state snapshot written", "seq", s.lastSeq.Load())
+	return nil
+}
+
+// snapshotState assembles the full broker state. Callers hold the
+// persistMu write lock.
+func (s *Server) snapshotState() snapshotDoc {
+	doc := snapshotDoc{V: 1}
+	for _, d := range s.reg.Snapshot() {
+		doc.Registry = append(doc.Registry, *d)
+	}
+	for _, b := range s.health.States() {
+		doc.Breakers = append(doc.Breakers, breakerSnap{
+			Provider: b.Provider, State: int(b.State), Failures: b.Failures,
+		})
+	}
+	s.mu.Lock()
+	doc.NextID = s.nextID
+	ids := make([]string, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	entries := make(map[string]*slaEntry, len(s.entries))
+	for id, e := range s.entries {
+		entries[id] = e
+	}
+	s.mu.Unlock()
+	sortByIDNumber(ids)
+	for _, id := range ids {
+		e := entries[id]
+		e.mu.Lock()
+		snap := entrySnap{
+			ID:      id,
+			Req:     e.req,
+			History: append([]histOp(nil), e.history...),
+		}
+		snap.Monitor.Observations, snap.Monitor.Violations, snap.Monitor.Worst, snap.Monitor.HasWorst = e.mon.counts()
+		e.mu.Unlock()
+		doc.Entries = append(doc.Entries, snap)
+	}
+	return doc
+}
+
+// Recover loads the configured store's snapshot and WAL tail and
+// replays them into a freshly constructed server. It must be called
+// once, before the handler serves traffic. A nil store makes it a
+// no-op. Replay is strict: a record that does not reproduce its
+// recorded outcome is a determinism bug and fails recovery rather
+// than silently serving a diverged state.
+func (s *Server) Recover(ctx context.Context) (*RecoveryStats, error) {
+	if s.st == nil {
+		return nil, nil
+	}
+	rec, err := s.st.Recover()
+	if err != nil {
+		return nil, err
+	}
+	stats := &RecoveryStats{SnapshotSeq: rec.SnapshotSeq, Truncated: rec.Truncated}
+	if rec.Truncated > 0 {
+		s.bm.walTruncated.Add(int64(rec.Truncated))
+		s.logger.Warn("truncated torn WAL tail", "records", rec.Truncated)
+	}
+	s.lastSeq.Store(rec.SnapshotSeq)
+	if rec.Snapshot != nil {
+		if err := s.restoreSnapshot(ctx, rec.Snapshot); err != nil {
+			return nil, fmt.Errorf("broker: restore snapshot: %w", err)
+		}
+	}
+	for _, r := range rec.Tail {
+		if err := s.replayRecord(ctx, r); err != nil {
+			return nil, fmt.Errorf("broker: replay WAL record %d (%s): %w", r.Seq, r.Type, err)
+		}
+		s.lastSeq.Store(r.Seq)
+		stats.Replayed++
+	}
+	s.mu.Lock()
+	stats.SLAs = len(s.entries)
+	s.mu.Unlock()
+	stats.Providers = s.reg.Len()
+	s.bm.slasActive.Set(float64(stats.SLAs))
+	s.logger.Info("state recovered",
+		"snapshotSeq", stats.SnapshotSeq, "replayed", stats.Replayed,
+		"truncated", stats.Truncated, "slas", stats.SLAs, "providers", stats.Providers)
+	return stats, nil
+}
+
+// restoreSnapshot rebuilds registry, breakers and every SLA entry
+// from the compacted state.
+func (s *Server) restoreSnapshot(ctx context.Context, state []byte) error {
+	var doc snapshotDoc
+	if err := json.Unmarshal(state, &doc); err != nil {
+		return err
+	}
+	for i := range doc.Registry {
+		if err := s.reg.Publish(&doc.Registry[i]); err != nil {
+			return fmt.Errorf("republish %s/%s: %w", doc.Registry[i].Service, doc.Registry[i].Provider, err)
+		}
+	}
+	for _, b := range doc.Breakers {
+		s.health.RestoreBreaker(b.Provider, BreakerState(b.State), b.Failures)
+	}
+	for _, snap := range doc.Entries {
+		e, j, err := s.rebuildEntry(ctx, snap)
+		if err != nil {
+			return fmt.Errorf("rebuild %s: %w", snap.ID, err)
+		}
+		s.mu.Lock()
+		s.entries[snap.ID] = e
+		s.mu.Unlock()
+		s.storeJournal(snap.ID, j)
+	}
+	s.bumpNextID(doc.NextID)
+	return nil
+}
+
+// rebuildEntry replays one entry's binding history through the
+// engine: negotiateOne for the initial binding and each failover,
+// Session.Renegotiate for each accepted relaxation — the identical
+// floating-point operations in the identical order, so the recovered
+// store is bit-exact. Monitor counters are then restored directly.
+// The returned journal holds the replayed runs, so the SLA's journal
+// route keeps working after a restart (with only the winning runs:
+// losing providers of the original negotiation are not replayed).
+func (s *Server) rebuildEntry(ctx context.Context, snap entrySnap) (*slaEntry, *journal.Journal, error) {
+	if len(snap.History) == 0 || snap.History[0].Kind != "negotiate" {
+		return nil, nil, fmt.Errorf("history must start with a negotiation")
+	}
+	j := s.newJournal(ctx, "recovery")
+	jctx := journal.ContextWith(ctx, j)
+	e := &slaEntry{req: snap.Req, history: snap.History}
+	// The entry is unpublished until restoreSnapshot links it into
+	// s.entries, so the lock is uncontended; holding it keeps the
+	// guarded-field discipline uniform.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, op := range snap.History {
+		switch op.Kind {
+		case "negotiate", "failover":
+			if op.Offer == nil {
+				return nil, nil, fmt.Errorf("history op %d (%s) without offer", i, op.Kind)
+			}
+			if op.Kind == "failover" {
+				e.versionBase += e.session.Version()
+			}
+			sess, err := s.replaySession(jctx, snap.Req, op.Provider, *op.Offer)
+			if err != nil {
+				return nil, nil, err
+			}
+			mon, err := NewMonitor(sess.SLA())
+			if err != nil {
+				return nil, nil, err
+			}
+			e.session, e.mon = sess, mon
+		case "renegotiate":
+			if op.Requirement == nil {
+				return nil, nil, fmt.Errorf("history op %d (renegotiate) without requirement", i)
+			}
+			sla, err := e.session.Renegotiate(jctx, *op.Requirement, op.Lower, op.Upper)
+			if err != nil {
+				return nil, nil, err
+			}
+			if sla == nil {
+				return nil, nil, fmt.Errorf("history op %d: renegotiation accepted live but rejected on replay", i)
+			}
+			e.mon.Rebase(sla.AgreedLevel)
+		default:
+			return nil, nil, fmt.Errorf("history op %d has unknown kind %q", i, op.Kind)
+		}
+	}
+	e.mon.restoreCounts(snap.Monitor.Observations, snap.Monitor.Violations,
+		snap.Monitor.Worst, snap.Monitor.HasWorst)
+	return e, j, nil
+}
+
+// replaySession re-runs the two-agent negotiation with the recorded
+// winner and offer. The live run already proved it succeeds; a replay
+// that does not is a determinism bug.
+func (s *Server) replaySession(ctx context.Context, req Request, provider string, offer soa.Attribute) (*Session, error) {
+	sr, err := soa.SemiringFor(req.Metric)
+	if err != nil {
+		return nil, err
+	}
+	po, sess, err := s.negotiator.negotiateOne(ctx, sr, req, provider, offer)
+	if err != nil {
+		return nil, err
+	}
+	if sess == nil || po.Status != sccp.Succeeded {
+		return nil, fmt.Errorf("negotiation with %q succeeded live but ended %s on replay", provider, po.Status)
+	}
+	return sess, nil
+}
+
+// replayRecord applies one WAL tail record.
+func (s *Server) replayRecord(ctx context.Context, r store.Record) error {
+	switch r.Type {
+	case recRegister:
+		var rr registerRecord
+		if err := json.Unmarshal(r.Data, &rr); err != nil {
+			return err
+		}
+		return s.reg.Publish(&rr.Doc)
+	case recNegotiate:
+		var nr negotiateRecord
+		if err := json.Unmarshal(r.Data, &nr); err != nil {
+			return err
+		}
+		s.applyFeedback(nr.Feedback)
+		offer := nr.Offer
+		e, j, err := s.rebuildEntry(ctx, entrySnap{
+			ID:  nr.ID,
+			Req: nr.Req,
+			History: []histOp{{
+				Kind: "negotiate", Provider: nr.Provider, Offer: &offer,
+			}},
+		})
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.entries[nr.ID] = e
+		s.mu.Unlock()
+		s.storeJournal(nr.ID, j)
+		s.bumpNextID(idNumber(nr.ID))
+		return nil
+	case recNegFail:
+		var fr negFailRecord
+		if err := json.Unmarshal(r.Data, &fr); err != nil {
+			return err
+		}
+		s.applyFeedback(fr.Feedback)
+		s.bumpNextID(idNumber(fr.ID))
+		return nil
+	case recRenegotiate:
+		var rr renegotiateRecord
+		if err := json.Unmarshal(r.Data, &rr); err != nil {
+			return err
+		}
+		e, ok := s.entry(rr.ID)
+		if !ok {
+			return fmt.Errorf("renegotiation of unknown SLA %q", rr.ID)
+		}
+		j, ok := s.journalByID(rr.ID)
+		if !ok {
+			j = s.newJournal(ctx, "recovery")
+		}
+		jctx := journal.ContextWith(ctx, j)
+		sla, err := e.session.Renegotiate(jctx, rr.Requirement, rr.Lower, rr.Upper)
+		if err != nil {
+			return err
+		}
+		if sla == nil {
+			return fmt.Errorf("renegotiation of %q accepted live but rejected on replay", rr.ID)
+		}
+		e.mon.Rebase(sla.AgreedLevel)
+		req := rr.Requirement
+		e.history = append(e.history, histOp{
+			Kind: "renegotiate", Requirement: &req, Lower: rr.Lower, Upper: rr.Upper,
+		})
+		s.storeJournal(rr.ID, j)
+		return nil
+	case recObserve:
+		var or observeRecord
+		if err := json.Unmarshal(r.Data, &or); err != nil {
+			return err
+		}
+		e, ok := s.entry(or.ID)
+		if !ok {
+			return fmt.Errorf("observation of unknown SLA %q", or.ID)
+		}
+		violated := e.mon.Observe(or.Level)
+		if violated != or.Violated {
+			return fmt.Errorf("observation of %q was violated=%t live but %t on replay", or.ID, or.Violated, violated)
+		}
+		s.applyFeedback(or.Feedback)
+		if or.FailedOver {
+			if or.Offer == nil {
+				return fmt.Errorf("failover record for %q without offer", or.ID)
+			}
+			sess, err := s.replaySession(ctx, e.req, or.Provider, *or.Offer)
+			if err != nil {
+				return err
+			}
+			mon, err := NewMonitor(sess.SLA())
+			if err != nil {
+				return err
+			}
+			e.versionBase += e.session.Version()
+			e.session, e.mon = sess, mon
+			e.history = append(e.history, histOp{
+				Kind: "failover", Provider: or.Provider, Offer: or.Offer,
+			})
+		}
+		return nil
+	case recCompose:
+		var cr composeRecord
+		if err := json.Unmarshal(r.Data, &cr); err != nil {
+			return err
+		}
+		s.bumpNextID(idNumber(cr.ID))
+		return nil
+	default:
+		return fmt.Errorf("unknown record type %q", r.Type)
+	}
+}
+
+// applyFeedback replays recorded breaker effects verbatim.
+func (s *Server) applyFeedback(fb []feedbackRecord) {
+	for _, f := range fb {
+		switch f.Kind {
+		case "success":
+			s.health.RecordSuccess(f.Provider)
+		case "failure":
+			s.health.RecordFailure(f.Provider)
+		case "trip":
+			s.health.Trip(f.Provider)
+		}
+	}
+}
+
+// feedbackFromOutcome mirrors recordOutcome: the breaker effects a
+// negotiation outcome produces, in provider order.
+func feedbackFromOutcome(out *Outcome) []feedbackRecord {
+	if out == nil {
+		return nil
+	}
+	var fb []feedbackRecord
+	for _, po := range out.PerProvider {
+		if po.Skipped != "" {
+			continue
+		}
+		kind := "failure"
+		if po.Status == sccp.Succeeded {
+			kind = "success"
+		}
+		fb = append(fb, feedbackRecord{Provider: po.Provider, Kind: kind})
+	}
+	return fb
+}
+
+// bumpNextID raises the shared id counter to at least n, keeping
+// minted ids unique across a restart.
+func (s *Server) bumpNextID(n int) {
+	s.mu.Lock()
+	if n > s.nextID {
+		s.nextID = n
+	}
+	s.mu.Unlock()
+}
+
+// idNumber extracts the numeric suffix of a minted id ("sla-7" → 7).
+func idNumber(id string) int {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// sortByIDNumber orders minted ids by their numeric suffix, so
+// snapshot entries replay in mint order ("sla-2" before "sla-10").
+func sortByIDNumber(ids []string) {
+	sort.Slice(ids, func(i, j int) bool { return idNumber(ids[i]) < idNumber(ids[j]) })
+}

@@ -1,0 +1,320 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"softsoa/internal/broker/store"
+	"softsoa/internal/soa"
+)
+
+// durableServer builds a broker over the given store with failover
+// enabled, mirroring the brokerd production wiring.
+func durableServer(st store.Store, snapshotEvery int) *Server {
+	return NewServer(DefaultLinkPenalty,
+		WithStateStore(st),
+		WithSnapshotEvery(snapshotEvery),
+		WithBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Hour}),
+		WithFailover(FailoverPolicy{Enabled: true, ViolationRate: 0.5, MinObservations: 3}),
+	)
+}
+
+// driveLifecycle exercises every persisted mutation kind against the
+// server: publish, negotiate, renegotiate, observe-to-failover, a
+// failed negotiation and a composition (both of which consume ids).
+// It returns the two live SLA ids.
+func driveLifecycle(t *testing.T, client *Client) []string {
+	t.Helper()
+	ctx := context.Background()
+	if err := client.Publish(ctx, costDoc("flaky", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(ctx, costDoc("backup", "svc", 3, 0, "us")); err != nil {
+		t.Fatal(err)
+	}
+	req := NegotiateRequest{
+		Service: "svc", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4), Upper: fptr(1),
+	}
+	sla1, err := client.Negotiate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla1.Providers[0] != "flaky" {
+		t.Fatalf("sla1 bound %s, want flaky", sla1.Providers[0])
+	}
+	// Accepted renegotiation: drop the per-unit demand entirely.
+	if _, err := client.Renegotiate(ctx, RenegotiateRequest{
+		ID: sla1.ID,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 0, Resource: "failures", MaxUnits: 10,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Second agreement, degraded until it fails over to backup.
+	sla2, err := client.Negotiate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failedOver bool
+	for i := 0; i < 3; i++ {
+		obs, err := client.Observe(ctx, sla2.ID, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failedOver = failedOver || obs.FailedOver
+	}
+	if !failedOver {
+		t.Fatal("three violations should have failed sla2 over")
+	}
+	// A compliant observation against the fresh backup agreement.
+	if _, err := client.Observe(ctx, sla2.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	// A doomed negotiation and a composition both mint ids the
+	// recovered broker must not reuse.
+	impossible := req
+	impossible.Lower = fptr(0.5)
+	var noAgree *ErrNoAgreement
+	if _, err := client.Negotiate(ctx, impossible); !errors.As(err, &noAgree) {
+		t.Fatalf("impossible negotiation: err = %v, want ErrNoAgreement", err)
+	}
+	if _, err := client.Compose(ctx, ComposeRequest{
+		Client: "shop", Metric: soa.MetricCost, Stages: []string{"svc"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return []string{sla1.ID, sla2.ID}
+}
+
+// stateBodies captures the wire representation of the recovered
+// surface: each SLA document, its compliance report, and the breaker
+// board.
+func stateBodies(t *testing.T, baseURL string, ids []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	paths := []string{"/v1/health"}
+	for _, id := range ids {
+		paths = append(paths, "/v1/slas/"+id, "/v1/slas/"+id+"/compliance")
+	}
+	for _, p := range paths {
+		resp, err := http.Get(baseURL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		//lint:ignore errcheck test response body close
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d\n%s", p, resp.StatusCode, body)
+		}
+		out[p] = string(body)
+	}
+	return out
+}
+
+// TestRecoveryBitExact kills a broker (by abandoning it without any
+// drain or flush) and recovers a fresh one from the same store: every
+// SLA, session version, compliance counter and breaker state must
+// come back byte-identical on the wire. Runs once with the WAL alone
+// and once with snapshots compacting mid-stream.
+func TestRecoveryBitExact(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		snapshotEvery int
+	}{
+		{"wal-only", 0},
+		{"snapshot-every-2", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := store.NewMemory()
+			srv := durableServer(mem, tc.snapshotEvery)
+			ts := httptest.NewServer(srv.Handler())
+			client := NewClient(ts.URL, ts.Client())
+			ids := driveLifecycle(t, client)
+			before := stateBodies(t, ts.URL, ids)
+			ts.Close() // crash: no drain, no final snapshot
+
+			srv2 := durableServer(mem, tc.snapshotEvery)
+			stats, err := srv2.Recover(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.SLAs != 2 {
+				t.Errorf("recovered %d SLAs, want 2", stats.SLAs)
+			}
+			if stats.Providers != 2 {
+				t.Errorf("recovered %d registry docs, want 2", stats.Providers)
+			}
+			if tc.snapshotEvery > 0 && stats.SnapshotSeq == 0 {
+				t.Error("expected a snapshot to have been taken mid-stream")
+			}
+			ts2 := httptest.NewServer(srv2.Handler())
+			t.Cleanup(ts2.Close)
+			after := stateBodies(t, ts2.URL, ids)
+			for p, want := range before {
+				if after[p] != want {
+					t.Errorf("GET %s diverged after recovery:\nbefore: %s\nafter:  %s", p, want, after[p])
+				}
+			}
+
+			// The id counter resumes past everything minted before the
+			// crash (sla-1, sla-2, neg-3, comp-4).
+			sla, err := NewClient(ts2.URL, ts2.Client()).Negotiate(context.Background(), NegotiateRequest{
+				Service: "svc", Client: "shop", Metric: soa.MetricCost,
+				Requirement: soa.Attribute{
+					Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+				},
+				Lower: fptr(4), Upper: fptr(1),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sla.ID != "sla-5" {
+				t.Errorf("post-recovery id = %s, want sla-5", sla.ID)
+			}
+		})
+	}
+}
+
+// TestRecoveryRestoresJournals checks that replayed negotiations and
+// renegotiations re-attach flight-recorder journals, so the journal
+// route keeps answering after a restart.
+func TestRecoveryRestoresJournals(t *testing.T) {
+	mem := store.NewMemory()
+	srv := durableServer(mem, 0)
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClient(ts.URL, ts.Client())
+	ids := driveLifecycle(t, client)
+	ts.Close()
+
+	srv2 := durableServer(mem, 0)
+	if _, err := srv2.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	j, err := NewClient(ts2.URL, ts2.Client()).Journal(context.Background(), ids[0])
+	if err != nil {
+		t.Fatalf("journal for %s after recovery: %v", ids[0], err)
+	}
+	// The recovered journal holds the replayed winning run plus the
+	// accepted renegotiation.
+	if len(j.Segments()) < 2 {
+		t.Errorf("recovered journal has %d segments, want >= 2", len(j.Segments()))
+	}
+}
+
+// TestRecoverNilStore keeps Recover a no-op on a store-less broker.
+func TestRecoverNilStore(t *testing.T) {
+	srv := NewServer(DefaultLinkPenalty)
+	stats, err := srv.Recover(context.Background())
+	if err != nil || stats != nil {
+		t.Fatalf("Recover without a store = (%+v, %v), want (nil, nil)", stats, err)
+	}
+}
+
+// TestFlushWritesFinalSnapshot covers the drain path: after Flush, a
+// recovery needs no WAL tail at all.
+func TestFlushWritesFinalSnapshot(t *testing.T) {
+	mem := store.NewMemory()
+	srv := durableServer(mem, 0)
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClient(ts.URL, ts.Client())
+	ids := driveLifecycle(t, client)
+	before := stateBodies(t, ts.URL, ids)
+	srv.BeginDrain()
+	if err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if n := len(mem.Records()); n != 0 {
+		t.Errorf("WAL retains %d records after Flush, want 0 (all covered by the snapshot)", n)
+	}
+
+	srv2 := durableServer(mem, 0)
+	stats, err := srv2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replayed != 0 {
+		t.Errorf("replayed %d tail records, want 0 after a clean flush", stats.Replayed)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	after := stateBodies(t, ts2.URL, ids)
+	for p, want := range before {
+		if after[p] != want {
+			t.Errorf("GET %s diverged after flush+recover:\nbefore: %s\nafter:  %s", p, want, after[p])
+		}
+	}
+}
+
+// TestFileStoreRecoveryAcrossProcessBoundary runs the same lifecycle
+// against the disk-backed store, reopening the state directory the
+// way a restarted brokerd would, including a torn WAL tail appended
+// by the "crash".
+func TestFileStoreRecoveryAcrossProcessBoundary(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := durableServer(st, 0)
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClient(ts.URL, ts.Client())
+	ids := driveLifecycle(t, client)
+	before := stateBodies(t, ts.URL, ids)
+	ts.Close()
+	// Crash mid-append: a torn frame lands after the acknowledged
+	// records.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, store.WALName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`0bad0bad {"seq":99,"type":"negoti`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	srv2 := durableServer(st2, 0)
+	stats, err := srv2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated != 1 {
+		t.Errorf("truncated = %d, want 1 (the torn frame)", stats.Truncated)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	after := stateBodies(t, ts2.URL, ids)
+	for p, want := range before {
+		if after[p] != want {
+			t.Errorf("GET %s diverged after disk recovery:\nbefore: %s\nafter:  %s", p, want, after[p])
+		}
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"softsoa/internal/broker/store"
 	"softsoa/internal/obs"
 	"softsoa/internal/obs/journal"
 	"softsoa/internal/policy"
@@ -132,6 +134,10 @@ type slaEntry struct {
 	// versionBase offsets session.Version() so the wire version keeps
 	// increasing monotonically across failovers. guarded by mu
 	versionBase int
+	// history is the entry's binding history (initial negotiation,
+	// accepted renegotiations, failovers), enough to rebuild the
+	// session deterministically from a snapshot. guarded by mu
+	history []histOp
 }
 
 // version is the wire version of the agreement. Callers hold e.mu.
@@ -159,6 +165,20 @@ type Server struct {
 	journalStride    int
 	journalSink      func(*journal.Journal)
 
+	// Durability (immutable after construction; nil st disables it).
+	st            store.Store
+	snapshotEvery int
+	// persistMu orders commits against snapshots: every handler holds
+	// the read side across its in-memory commit and WAL append, a
+	// snapshot holds the write side, so no snapshot ever captures a
+	// commit whose record lands after the snapshot's sequence. Lock
+	// order is persistMu → s.mu → e.mu, never the reverse.
+	persistMu    sync.RWMutex
+	persistCount atomic.Int64  // records since the last snapshot
+	lastSeq      atomic.Uint64 // newest appended WAL sequence
+	draining     atomic.Bool   // drain started; hot routes refuse work
+	gate         *admission    // nil when admission control is off
+
 	mu         sync.Mutex
 	entries    map[string]*slaEntry        // guarded by mu
 	nextID     int                         // guarded by mu
@@ -182,6 +202,9 @@ type serverConfig struct {
 	journalRetention int
 	journalStride    int
 	journalSink      func(*journal.Journal)
+	st               store.Store
+	snapshotEvery    int
+	admission        AdmissionConfig
 }
 
 // WithServerVocabulary equips the broker daemon with a capability
@@ -262,6 +285,29 @@ func WithSolverTelemetryStride(n int) ServerOption {
 	return func(c *serverConfig) { c.journalStride = n }
 }
 
+// WithStateStore makes the broker durable: every acknowledged state
+// mutation is appended to st's WAL, and Recover rebuilds the full
+// state — SLAs, sessions, compliance counters, breakers, registry —
+// from st's snapshot and WAL tail after a crash or restart. The
+// caller owns st's lifecycle (open it before NewServer, close it
+// after the final Flush).
+func WithStateStore(st store.Store) ServerOption {
+	return func(c *serverConfig) { c.st = st }
+}
+
+// WithSnapshotEvery compacts the WAL into a snapshot every n appended
+// records (default 256; <= 0 disables periodic snapshots — only
+// Flush writes one).
+func WithSnapshotEvery(n int) ServerOption {
+	return func(c *serverConfig) { c.snapshotEvery = n }
+}
+
+// WithAdmission bounds concurrent work on the hot routes; see
+// AdmissionConfig. A zero MaxInFlight leaves admission control off.
+func WithAdmission(cfg AdmissionConfig) ServerOption {
+	return func(c *serverConfig) { c.admission = cfg }
+}
+
 // NewServer returns a broker server over a fresh registry with the
 // given link penalty for compositions.
 func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
@@ -271,6 +317,7 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 		journalCap:       journal.DefaultCapacity,
 		journalRetention: 256,
 		journalStride:    64,
+		snapshotEvery:    256,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -300,8 +347,13 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 		journalStride:    cfg.journalStride,
 		journalSink:      cfg.journalSink,
 		journals:         make(map[string]*journal.Journal),
+		st:               cfg.st,
+		snapshotEvery:    cfg.snapshotEvery,
 	}
 	s.bm = newBrokerMetrics(cfg.metrics)
+	if cfg.admission.MaxInFlight > 0 {
+		s.gate = newAdmission(cfg.admission, s.bm)
+	}
 	// Breaker transitions feed the state gauge and transition counter.
 	// The hook runs under the board lock, so it stays atomic-only; a
 	// user-supplied hook is chained after.
@@ -339,15 +391,21 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(pattern, h))
 	}
+	// Hot routes sit behind the admission gate (and the drain check),
+	// inside the instrumentation so shed 429s appear in the per-route
+	// request counters.
+	hot := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, s.admit(h).ServeHTTP))
+	}
 	route("POST /v1/providers", s.handlePublish)
 	route("GET /v1/providers", s.handleDiscover)
-	route("POST /v1/negotiations", s.handleNegotiate)
-	route("POST /v1/negotiations/{id}/renegotiate", s.handleRenegotiate)
+	hot("POST /v1/negotiations", s.handleNegotiate)
+	hot("POST /v1/negotiations/{id}/renegotiate", s.handleRenegotiate)
 	route("GET /v1/negotiations/{id}/journal", s.handleJournal)
 	route("GET /v1/slas/{id}", s.handleGetSLA)
 	route("GET /v1/slas/{id}/compliance", s.handleCompliance)
-	route("POST /v1/observations", s.handleObserve)
-	route("POST /v1/compositions", s.handleCompose)
+	hot("POST /v1/observations", s.handleObserve)
+	hot("POST /v1/compositions", s.handleCompose)
 	route("GET /v1/health", s.handleHealth)
 	route("GET /v1/metrics", s.handleMetrics)
 	route("GET /v1/debug/traces", s.handleTraces)
@@ -470,6 +528,16 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 // Traces exposes the server's trace ring buffer.
 func (s *Server) Traces() *obs.TraceLog { return s.traces }
 
+// BeginDrain puts the broker into drain mode: the hot routes refuse
+// new work with 503 while requests already admitted run to
+// completion. The caller then shuts the HTTP server down and calls
+// Flush for the final snapshot.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.logger.Info("drain started")
+	}
+}
+
 // withRecovery turns a handler panic into a structured 500 instead of
 // killing the connection (and, under http.Serve, leaking a broken
 // keep-alive). http.ErrAbortHandler is re-raised: it is the sanctioned
@@ -499,10 +567,15 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.persistMu.RLock()
 	if err := s.reg.Publish(doc); err != nil {
+		s.persistMu.RUnlock()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.appendRecord(recRegister, registerRecord{Doc: *doc})
+	s.persistMu.RUnlock()
+	s.maybeSnapshot()
 	w.WriteHeader(http.StatusCreated)
 }
 
@@ -551,7 +624,11 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 	}
 	if sla == nil {
 		s.bm.negOutcomes.With("no_agreement").Inc()
+		s.persistMu.RLock()
 		id := s.nextJournalID("neg")
+		s.appendRecord(recNegFail, negFailRecord{ID: id, Feedback: feedbackFromOutcome(outcome)})
+		s.persistMu.RUnlock()
+		s.maybeSnapshot()
 		s.keepJournal(w, id, j)
 		s.logger.InfoContext(ctx, "negotiation found no agreement",
 			"service", req.Service, "client", req.Client, "journal", id)
@@ -568,13 +645,22 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	commit := obs.StartSpan(ctx, "sla-commit")
+	offer := session.offerAttr
+	s.persistMu.RLock()
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("sla-%d", s.nextID)
-	s.entries[id] = &slaEntry{session: session, mon: mon, req: req}
+	s.entries[id] = &slaEntry{session: session, mon: mon, req: req,
+		history: []histOp{{Kind: "negotiate", Provider: session.Provider(), Offer: &offer}}}
 	live := len(s.entries)
 	s.mu.Unlock()
+	s.appendRecord(recNegotiate, negotiateRecord{
+		ID: id, Req: req, Provider: session.Provider(), Offer: offer,
+		Feedback: feedbackFromOutcome(outcome),
+	})
+	s.persistMu.RUnlock()
 	commit.End()
+	s.maybeSnapshot()
 	s.bm.negOutcomes.With("agreed").Inc()
 	s.bm.negBlevel.Observe(sla.AgreedLevel)
 	s.bm.slasActive.Set(float64(live))
@@ -645,15 +731,21 @@ func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
 	// One critical section per agreement: renegotiating the store and
 	// rebasing the monitor must be atomic, or a concurrent
 	// renegotiation could rebase the monitor to a stale agreed level.
+	// The persist read lock is taken outside e.mu (lock order
+	// persistMu → e.mu) so the WAL append lands inside the same
+	// critical section: per-entry WAL order matches commit order.
+	s.persistMu.RLock()
 	e.mu.Lock()
 	sla, err := e.session.Renegotiate(ctx, rr.Requirement, rr.Lower, rr.Upper)
 	if err != nil {
 		e.mu.Unlock()
+		s.persistMu.RUnlock()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if sla == nil {
 		e.mu.Unlock()
+		s.persistMu.RUnlock()
 		s.keepJournal(w, id, j)
 		s.logger.InfoContext(ctx, "renegotiation rejected", "sla", id)
 		writeXML(w, http.StatusConflict, FailureResponse{
@@ -664,7 +756,16 @@ func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
 	sla.ID = id
 	sla.Version = e.version()
 	e.mon.Rebase(sla.AgreedLevel)
+	newReq := rr.Requirement
+	e.history = append(e.history, histOp{
+		Kind: "renegotiate", Requirement: &newReq, Lower: rr.Lower, Upper: rr.Upper,
+	})
+	s.appendRecord(recRenegotiate, renegotiateRecord{
+		ID: id, Requirement: rr.Requirement, Lower: rr.Lower, Upper: rr.Upper,
+	})
 	e.mu.Unlock()
+	s.persistMu.RUnlock()
+	s.maybeSnapshot()
 	s.keepJournal(w, id, j)
 	s.logger.InfoContext(ctx, "renegotiation agreed",
 		"sla", id, "version", sla.Version, "blevel", sla.AgreedLevel)
@@ -687,27 +788,45 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown SLA %q", or.ID))
 		return
 	}
+	// Defers run LIFO: e.mu, then the persist read lock, then the
+	// snapshot check (which needs the write lock free).
+	defer s.maybeSnapshot()
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	provider := e.session.Provider()
 	violated := e.mon.Observe(or.Level)
+	rec := observeRecord{ID: or.ID, Level: or.Level, Violated: violated}
 	if violated {
 		s.bm.observations.With("violation").Inc()
 		s.health.RecordFailure(provider)
+		rec.Feedback = append(rec.Feedback, feedbackRecord{Provider: provider, Kind: "failure"})
 	} else {
 		s.bm.observations.With("ok").Inc()
 		s.health.RecordSuccess(provider)
+		rec.Feedback = append(rec.Feedback, feedbackRecord{Provider: provider, Kind: "success"})
 	}
 	resp := ObserveResponse{ID: or.ID, Violated: violated, Provider: provider}
 	if violated && s.shouldFailOver(e.mon) {
-		if s.failOverLocked(r.Context(), e) {
+		rebound, fb := s.failOverLocked(r.Context(), e)
+		rec.Feedback = append(rec.Feedback, fb...)
+		if rebound {
 			s.bm.failovers.With("rebound").Inc()
 			resp.FailedOver = true
 			resp.Provider = e.session.Provider()
+			offer := e.session.offerAttr
+			rec.FailedOver = true
+			rec.Provider = resp.Provider
+			rec.Offer = &offer
+			e.history = append(e.history, histOp{
+				Kind: "failover", Provider: resp.Provider, Offer: &offer,
+			})
 		} else {
 			s.bm.failovers.With("stuck").Inc()
 		}
 	}
+	s.appendRecord(recObserve, rec)
 	resp.Report = e.mon.Report()
 	writeXML(w, http.StatusOK, resp)
 }
@@ -726,21 +845,24 @@ func (s *Server) shouldFailOver(mon *Monitor) bool {
 // first, so the negotiator skips it). On success the session is
 // replaced and a fresh monitor tracks the new agreement; on failure
 // the old agreement stands and the next violation retries. The
-// caller holds e.mu.
-func (s *Server) failOverLocked(ctx context.Context, e *slaEntry) bool {
+// breaker effects the attempt produced are returned so the caller can
+// journal them for replay. The caller holds e.mu.
+func (s *Server) failOverLocked(ctx context.Context, e *slaEntry) (bool, []feedbackRecord) {
 	sick := e.session.Provider()
 	s.health.Trip(sick)
+	fb := []feedbackRecord{{Provider: sick, Kind: "trip"}}
 	s.bm.negStarted.Inc()
 	sla, session, outcome, err := s.negotiator.NegotiateSession(ctx, e.req)
 	s.recordOutcome(outcome)
+	fb = append(fb, feedbackFromOutcome(outcome)...)
 	if err != nil || sla == nil {
 		s.logger.WarnContext(ctx, "failover found no replacement",
 			"service", e.req.Service, "provider", sick)
-		return false
+		return false, fb
 	}
 	mon, err := NewMonitor(sla)
 	if err != nil {
-		return false
+		return false, fb
 	}
 	e.versionBase += e.session.Version()
 	e.session = session
@@ -748,7 +870,7 @@ func (s *Server) failOverLocked(ctx context.Context, e *slaEntry) bool {
 	s.logger.InfoContext(ctx, "failover rebound agreement",
 		"service", e.req.Service, "from", sick, "to", session.Provider(),
 		"blevel", sla.AgreedLevel)
-	return true
+	return true, fb
 }
 
 // handleCompliance returns the compliance summary for a live SLA.
@@ -829,7 +951,11 @@ func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.bm.observeSolve(mode, comp)
+	s.persistMu.RLock()
 	id := s.nextJournalID("comp")
+	s.appendRecord(recCompose, composeRecord{ID: id})
+	s.persistMu.RUnlock()
+	s.maybeSnapshot()
 	if sla == nil {
 		j.EndSegment("no_composition", "", "")
 		s.keepJournal(w, id, j)

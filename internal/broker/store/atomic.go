@@ -1,0 +1,74 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// atomicWriteFile replaces path with data so that a reader — or a
+// recovery after a crash at any instant — sees either the old
+// complete file or the new complete file, never a mixture: the data
+// is written to a temp file in the same directory, fsync'd, renamed
+// over path, and the directory is fsync'd so the rename itself is
+// durable.
+//
+// This is the only function in this package allowed to create or
+// rename state files; softsoa-lint's writecheck analyzer flags any
+// other os.WriteFile / os.Rename / os.Create / os.CreateTemp call
+// here.
+func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		//lint:ignore errcheck best-effort cleanup of the temp file after a failed atomic write
+		_ = os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		//lint:ignore errcheck the write error is what matters; close is cleanup
+		_ = tmp.Close()
+		cleanup()
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		//lint:ignore errcheck the chmod error is what matters; close is cleanup
+		_ = tmp.Close()
+		cleanup()
+		return fmt.Errorf("store: chmod %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		//lint:ignore errcheck the sync error is what matters; close is cleanup
+		_ = tmp.Close()
+		cleanup()
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		cleanup()
+		return fmt.Errorf("store: rename %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

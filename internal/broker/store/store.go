@@ -1,0 +1,134 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+)
+
+// errClosed reports an operation on a closed store.
+var errClosed = errors.New("store: closed")
+
+// Record is one durable state mutation. Data is an opaque JSON
+// payload owned by the caller; Type discriminates it on replay.
+type Record struct {
+	// Seq is the record's sequence number, assigned by Append,
+	// strictly increasing across the store's lifetime (snapshots do
+	// not reset it).
+	Seq uint64 `json:"seq"`
+	// Type names the mutation ("register", "negotiate", …).
+	Type string `json:"type"`
+	// Data is the mutation payload.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Recovery is what a Store hands back on startup: the newest
+// snapshot (nil when none was ever written), and the WAL tail — every
+// durable record the snapshot does not already cover, in append
+// order.
+type Recovery struct {
+	// Snapshot is the last snapshot's state blob, nil if none.
+	Snapshot []byte
+	// SnapshotSeq is the sequence number the snapshot covers: every
+	// record with Seq <= SnapshotSeq is already folded into it.
+	SnapshotSeq uint64
+	// Tail lists the records to replay on top of the snapshot.
+	Tail []Record
+	// Truncated counts torn or corrupt trailing records that were
+	// detected by checksum and cut from the WAL. Always the tail of
+	// the log — a valid record never follows a corrupt one.
+	Truncated int
+}
+
+// Store is the broker's durability interface. Implementations must be
+// safe for concurrent Append calls; Recover and WriteSnapshot are
+// called with mutations quiesced (the broker serialises them).
+type Store interface {
+	// Append durably records one mutation and returns its assigned
+	// sequence number. When Append returns an error the record must
+	// be treated as not persisted.
+	Append(typ string, data []byte) (uint64, error)
+	// WriteSnapshot atomically replaces the snapshot with state,
+	// covering every record up to and including upToSeq.
+	WriteSnapshot(state []byte, upToSeq uint64) error
+	// Recover loads the snapshot and WAL tail. It must be called
+	// before the first Append so the sequence counter resumes past
+	// recovered records.
+	Recover() (*Recovery, error)
+	// Close releases the store's resources.
+	Close() error
+}
+
+// Memory is an in-process Store: records and snapshots live on the
+// heap, so recovery works across broker instances within one process
+// (tests, embedded brokers) and nothing survives it. Close is a
+// no-op — the value keeps its state so a later broker over the same
+// Memory can Recover it, mirroring a file store's directory
+// surviving the process.
+type Memory struct {
+	mu       sync.Mutex
+	seq      uint64   // guarded by mu
+	records  []Record // guarded by mu
+	snapshot []byte   // guarded by mu
+	snapSeq  uint64   // guarded by mu
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory { return &Memory{} }
+
+// Append implements Store.
+func (m *Memory) Append(typ string, data []byte) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	m.records = append(m.records, Record{
+		Seq:  m.seq,
+		Type: typ,
+		Data: append(json.RawMessage(nil), data...),
+	})
+	return m.seq, nil
+}
+
+// WriteSnapshot implements Store: records covered by the snapshot are
+// dropped, mirroring the file store's WAL reset.
+func (m *Memory) WriteSnapshot(state []byte, upToSeq uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapshot = append([]byte(nil), state...)
+	m.snapSeq = upToSeq
+	kept := m.records[:0]
+	for _, r := range m.records {
+		if r.Seq > upToSeq {
+			kept = append(kept, r)
+		}
+	}
+	m.records = kept
+	return nil
+}
+
+// Recover implements Store.
+func (m *Memory) Recover() (*Recovery, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec := &Recovery{SnapshotSeq: m.snapSeq}
+	if m.snapshot != nil {
+		rec.Snapshot = append([]byte(nil), m.snapshot...)
+	}
+	for _, r := range m.records {
+		if r.Seq > m.snapSeq {
+			rec.Tail = append(rec.Tail, r)
+		}
+	}
+	return rec, nil
+}
+
+// Close implements Store (no-op for Memory, see type comment).
+func (m *Memory) Close() error { return nil }
+
+// Records returns a copy of the retained (post-snapshot) records, for
+// tests asserting what was and was not committed.
+func (m *Memory) Records() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Record(nil), m.records...)
+}

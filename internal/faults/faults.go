@@ -6,14 +6,17 @@
 // so the violation/breaker/failover machinery can be exercised
 // end-to-end.
 //
-// An Injector works at two levels:
+// An Injector works at three levels:
 //
 //   - as an http.RoundTripper (via Transport) it injects transport
 //     faults between a broker client and daemon: added latency,
 //     dropped connections, and synthesized 5xx responses;
 //   - as a provider-level wrapper (via MeasureProvider) it perturbs
 //     the service levels a prober would observe, simulating a
-//     provider running worse than its agreed QoS.
+//     provider running worse than its agreed QoS;
+//   - as a disk-write hook (via WALFault) it stalls, tears, or
+//     rejects the broker's WAL appends, exercising the durable-state
+//     recovery path.
 //
 // Determinism: all coin flips come from one seeded source guarded by
 // a mutex. Sequential drivers replay exactly; concurrent drivers
@@ -22,6 +25,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -64,14 +68,28 @@ type Plan struct {
 	// and < 1 for preference-like metrics (worse = lower).
 	DegradeProb   float64
 	DegradeFactor float64
+
+	// Disk faults target the broker's durable-state writes via
+	// WALFault. DiskLatency stalls a WAL append with probability
+	// DiskLatencyProb; TornWriteProb cuts an append partway so only a
+	// prefix of the frame reaches disk (recovery must truncate it);
+	// ENOSPCProb fails an append before any byte lands, as a full
+	// disk would.
+	DiskLatency     time.Duration
+	DiskLatencyProb float64
+	TornWriteProb   float64
+	ENOSPCProb      float64
 }
 
 // Stats counts the faults an Injector has produced.
 type Stats struct {
-	Latencies    int64
-	Drops        int64
-	Errors       int64
-	Degradations int64
+	Latencies     int64
+	Drops         int64
+	Errors        int64
+	Degradations  int64
+	DiskLatencies int64
+	TornWrites    int64
+	ENOSPC        int64
 }
 
 // Injector produces faults according to a Plan. Safe for concurrent
@@ -81,10 +99,13 @@ type Injector struct {
 	rng  *rand.Rand // guarded by mu
 	plan Plan       // immutable after construction
 
-	latencies    atomic.Int64
-	drops        atomic.Int64
-	errors       atomic.Int64
-	degradations atomic.Int64
+	latencies     atomic.Int64
+	drops         atomic.Int64
+	errors        atomic.Int64
+	degradations  atomic.Int64
+	diskLatencies atomic.Int64
+	tornWrites    atomic.Int64
+	enospc        atomic.Int64
 }
 
 // New returns an injector for the plan.
@@ -98,10 +119,13 @@ func New(plan Plan) *Injector {
 // Stats returns the fault counts so far.
 func (i *Injector) Stats() Stats {
 	return Stats{
-		Latencies:    i.latencies.Load(),
-		Drops:        i.drops.Load(),
-		Errors:       i.errors.Load(),
-		Degradations: i.degradations.Load(),
+		Latencies:     i.latencies.Load(),
+		Drops:         i.drops.Load(),
+		Errors:        i.errors.Load(),
+		Degradations:  i.degradations.Load(),
+		DiskLatencies: i.diskLatencies.Load(),
+		TornWrites:    i.tornWrites.Load(),
+		ENOSPC:        i.enospc.Load(),
 	}
 }
 
@@ -111,10 +135,13 @@ func (i *Injector) Stats() Stats {
 func (i *Injector) Register(reg *obs.Registry) {
 	reg.CounterFuncs("faults_injected_total", "Faults injected so far, by kind.", "kind",
 		map[string]func() float64{
-			"latency":     func() float64 { return float64(i.latencies.Load()) },
-			"drop":        func() float64 { return float64(i.drops.Load()) },
-			"error":       func() float64 { return float64(i.errors.Load()) },
-			"degradation": func() float64 { return float64(i.degradations.Load()) },
+			"latency":      func() float64 { return float64(i.latencies.Load()) },
+			"drop":         func() float64 { return float64(i.drops.Load()) },
+			"error":        func() float64 { return float64(i.errors.Load()) },
+			"degradation":  func() float64 { return float64(i.degradations.Load()) },
+			"disk_latency": func() float64 { return float64(i.diskLatencies.Load()) },
+			"torn_write":   func() float64 { return float64(i.tornWrites.Load()) },
+			"enospc":       func() float64 { return float64(i.enospc.Load()) },
 		})
 }
 
@@ -153,6 +180,40 @@ func (i *Injector) MeasureProvider(provider string, trueLevel float64) float64 {
 	}
 	i.degradations.Add(1)
 	return trueLevel * i.plan.DegradeFactor
+}
+
+// ErrENOSPC is the error an injected full-disk WAL append fails with,
+// before any byte reaches the file.
+var ErrENOSPC = errors.New("faults: injected write failure: no space left on device")
+
+// ErrTornWrite is the error an injected torn WAL append fails with; a
+// prefix of the frame still lands on disk.
+var ErrTornWrite = errors.New("faults: injected torn write")
+
+// WALFault returns a write-fault hook for the broker's file store
+// (store.WithWriteFault): it stalls, tears, or rejects WAL appends
+// according to the plan's disk fields. A torn write cuts the frame at
+// a seeded-random offset strictly inside it, so recovery always has a
+// damaged tail to truncate.
+func (i *Injector) WALFault() func(frame []byte) (int, error) {
+	return func(frame []byte) (int, error) {
+		if i.hit(i.plan.DiskLatencyProb) {
+			i.diskLatencies.Add(1)
+			time.Sleep(i.plan.DiskLatency)
+		}
+		if i.hit(i.plan.ENOSPCProb) {
+			i.enospc.Add(1)
+			return 0, ErrENOSPC
+		}
+		if i.hit(i.plan.TornWriteProb) {
+			i.tornWrites.Add(1)
+			i.mu.Lock()
+			n := i.rng.Intn(len(frame))
+			i.mu.Unlock()
+			return n, ErrTornWrite
+		}
+		return len(frame), nil
+	}
 }
 
 // DroppedError is the error returned for an injected connection drop.

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"softsoa/internal/broker/store"
 )
 
 func TestZeroPlanInjectsNothing(t *testing.T) {
@@ -121,5 +123,84 @@ func TestSeededDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("runs diverge at flip %d: %v vs %v", i, a, b)
 		}
+	}
+}
+
+func TestWALFaultDiskLatency(t *testing.T) {
+	inj := New(Plan{DiskLatency: 20 * time.Millisecond, DiskLatencyProb: 1})
+	hook := inj.WALFault()
+	frame := []byte("00000000 {}\n")
+	start := time.Now()
+	n, err := hook(frame)
+	if err != nil || n != len(frame) {
+		t.Fatalf("latency-only fault = (%d, %v), want full frame and no error", n, err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("write returned after %v, want >= 20ms stall", elapsed)
+	}
+	if s := inj.Stats(); s.DiskLatencies != 1 {
+		t.Errorf("DiskLatencies = %d, want 1", s.DiskLatencies)
+	}
+}
+
+func TestWALFaultENOSPC(t *testing.T) {
+	inj := New(Plan{ENOSPCProb: 1})
+	hook := inj.WALFault()
+	n, err := hook([]byte("00000000 {}\n"))
+	if n != 0 || !errors.Is(err, ErrENOSPC) {
+		t.Fatalf("full-disk fault = (%d, %v), want (0, ErrENOSPC)", n, err)
+	}
+	if s := inj.Stats(); s.ENOSPC != 1 {
+		t.Errorf("ENOSPC = %d, want 1", s.ENOSPC)
+	}
+}
+
+// TestWALFaultTornWriteAgainstStore runs the hook against the real
+// file store: an injected torn append leaves a damaged tail that the
+// next open truncates back to the acknowledged records.
+func TestWALFaultTornWriteAgainstStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := st.Append("op", []byte(`{"n":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := New(Plan{Seed: 7, TornWriteProb: 1})
+	st2, err := store.Open(dir, store.WithWriteFault(inj.WALFault()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Append("op", []byte(`{"n":2}`)); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("append under torn-write fault: err = %v, want ErrTornWrite", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s := inj.Stats(); s.TornWrites != 1 {
+		t.Errorf("TornWrites = %d, want 1", s.TornWrites)
+	}
+
+	st3, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	rec, err := st3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 2 {
+		t.Errorf("recovered %d records, want the 2 acknowledged ones", len(rec.Tail))
+	}
+	if rec.Truncated < 1 {
+		t.Errorf("Truncated = %d, want >= 1 (the torn frame)", rec.Truncated)
 	}
 }
