@@ -1,4 +1,4 @@
-.PHONY: all build test race vet lint fuzz cover bench bench-go obs-smoke replay-check crash-recovery clean
+.PHONY: all build test race vet lint lint-sarif lint-debt fuzz cover bench bench-go obs-smoke replay-check crash-recovery clean
 
 all: build vet lint test
 
@@ -6,10 +6,22 @@ build:
 	go build ./...
 
 # softsoa-lint is the repo's own stdlib-only analyzer suite
-# (internal/analysis): determinism of the pure layers, context-first
-# I/O, lock discipline, error discipline, goroutine hygiene.
+# (internal/analysis): six intraprocedural analyzers (determinism,
+# ctxfirst, lockcheck, errcheck, gohygiene, writecheck) plus four
+# interprocedural ones over the module call graph (atomiccheck,
+# lockorder, leakcheck, hotpath). Exits 0 clean, 1 with findings,
+# 2 on usage/load errors.
 lint:
 	go run ./cmd/softsoa-lint ./...
+
+# Same findings as a SARIF 2.1.0 log, for code-scanning upload.
+lint-sarif:
+	go run ./cmd/softsoa-lint -sarif lint.sarif ./...
+
+# Suppression-debt report: every //lint:ignore with its age; stale
+# directives (no longer firing) are marked ! and should be deleted.
+lint-debt:
+	go run ./cmd/softsoa-lint -debt ./...
 
 # Short fuzz pass over the sccp parser/compiler, mirroring CI.
 fuzz:

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"softsoa/internal/analysis"
+)
+
+// A baseline records the accepted debt of a tree: fingerprint → count.
+// A later run fails only on findings beyond the recorded counts, so a
+// new analyzer can land (with its pre-existing findings baselined)
+// without blocking CI, while any *new* violation still fails. The
+// fingerprint is position-free (analyzer, relative file, message) so
+// unrelated edits shifting line numbers do not churn the file.
+type baseline struct {
+	Version      int            `json:"version"`
+	Fingerprints map[string]int `json:"fingerprints"`
+}
+
+func fingerprint(root string, f analysis.Finding) string {
+	return f.Analyzer + "|" + relURI(root, f.Pos.Filename) + "|" + f.Message
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported baseline version %d", path, b.Version)
+	}
+	if b.Fingerprints == nil {
+		b.Fingerprints = make(map[string]int)
+	}
+	return &b, nil
+}
+
+func writeBaseline(path, root string, findings []analysis.Finding) error {
+	b := baseline{Version: 1, Fingerprints: make(map[string]int)}
+	for _, f := range findings {
+		b.Fingerprints[fingerprint(root, f)]++
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// filter splits findings into those covered by the baseline and those
+// that are new. Counts matter: a baseline entry of 2 absorbs at most
+// two identical findings (earliest positions first, findings arrive
+// position-sorted), so duplicating a baselined violation still fails.
+func (b *baseline) filter(root string, findings []analysis.Finding) (newFindings []analysis.Finding, absorbed int) {
+	budget := make(map[string]int, len(b.Fingerprints))
+	for k, v := range b.Fingerprints {
+		budget[k] = v
+	}
+	for _, f := range findings {
+		fp := fingerprint(root, f)
+		if budget[fp] > 0 {
+			budget[fp]--
+			absorbed++
+			continue
+		}
+		newFindings = append(newFindings, f)
+	}
+	return newFindings, absorbed
+}
+
+// stale returns the baseline fingerprints no current finding consumed
+// — fixed debt whose entries should be dropped from the file.
+func (b *baseline) stale(root string, findings []analysis.Finding) []string {
+	budget := make(map[string]int, len(b.Fingerprints))
+	for k, v := range b.Fingerprints {
+		budget[k] = v
+	}
+	for _, f := range findings {
+		if fp := fingerprint(root, f); budget[fp] > 0 {
+			budget[fp]--
+		}
+	}
+	var out []string
+	for k, v := range budget {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

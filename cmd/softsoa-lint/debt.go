@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"softsoa/internal/analysis"
+)
+
+// debtEntry is one row of the suppression-debt report.
+type debtEntry struct {
+	analysis.Suppression
+	AgeDays int `json:"age_days"`
+}
+
+// fileAgeDays reports how many days ago the file holding the directive
+// was last modified — old suppressions in untouched files are the ones
+// most likely to have outlived their reason.
+func fileAgeDays(filename string, now time.Time) int {
+	st, err := os.Stat(filename)
+	if err != nil {
+		return -1
+	}
+	return int(now.Sub(st.ModTime()).Hours() / 24)
+}
+
+// debtReport renders the //lint:ignore inventory: every directive with
+// its analyzer, reason, position, file age, and whether the run it
+// rode along with actually used it. Stale directives (unused under the
+// selected analyzers) are counted separately — they are deletion
+// candidates, not accepted debt.
+func debtReport(w io.Writer, sups []analysis.Suppression, jsonOut bool) error {
+	now := time.Now()
+	entries := make([]debtEntry, len(sups))
+	stale := 0
+	for i, s := range sups {
+		entries[i] = debtEntry{Suppression: s, AgeDays: fileAgeDays(s.Pos.Filename, now)}
+		if !s.Used {
+			stale++
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entries)
+	}
+	for _, e := range entries {
+		mark := " "
+		if !e.Used {
+			mark = "!"
+		}
+		age := "?"
+		if e.AgeDays >= 0 {
+			age = fmt.Sprintf("%dd", e.AgeDays)
+		}
+		if _, err := fmt.Fprintf(w, "%s %s:%d\t%-12s %5s\t%s\n", mark, e.Pos.Filename, e.Pos.Line, e.Analyzer, age, e.Reason); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d suppression(s), %d stale (marked !)\n", len(entries), stale)
+	return err
+}

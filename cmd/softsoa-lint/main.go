@@ -1,17 +1,26 @@
 // Command softsoa-lint runs the repo's custom static-analysis suite
 // (internal/analysis) over the module: determinism of the pure solver
-// layers, context-first I/O, lock discipline, error discipline and
-// goroutine hygiene. It is built purely on the standard library's
-// go/parser, go/ast and go/types — the module has zero dependencies
-// and the linter keeps it that way.
+// layers, context-first I/O, lock discipline, error discipline,
+// goroutine hygiene, WAL write discipline, and the interprocedural
+// quartet — atomic-access consistency, lock-order acyclicity,
+// goroutine quit paths and hot-path allocation freedom. It is built
+// purely on the standard library's go/parser, go/ast and go/types —
+// the module has zero dependencies and the linter keeps it that way.
 //
 // Usage:
 //
-//	softsoa-lint [-json] [-list] [-enable a,b] [-disable c] [patterns...]
+//	softsoa-lint [-json] [-list] [-enable a,b] [-disable c]
+//	             [-sarif out.sarif] [-baseline lint-baseline.json]
+//	             [-write-baseline] [-debt] [patterns...]
 //
 // Patterns default to ./... and follow the go tool's shape. The exit
 // status is 0 when the tree is clean, 1 when any finding is reported
-// and 2 on usage or load errors. Findings are suppressed inline with
+// and 2 on usage or load errors. -sarif additionally writes the
+// findings as SARIF 2.1.0 ("-" for stdout). -baseline filters the
+// findings through an accepted-debt file so only new violations fail;
+// -write-baseline records the current findings into that file. -debt
+// reports the //lint:ignore inventory (analyzer, reason, file age,
+// staleness) instead of findings. Findings are suppressed inline with
 //
 //	//lint:ignore <analyzer> <reason>
 //
@@ -40,6 +49,10 @@ func run(args []string) int {
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	dir := fs.String("C", ".", "directory inside the module to lint")
+	sarifPath := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	baselinePath := fs.String("baseline", "", "accepted-debt file; only findings beyond it fail")
+	writeBL := fs.Bool("write-baseline", false, "record the current findings into the -baseline file and exit")
+	debt := fs.Bool("debt", false, "report suppression debt (//lint:ignore inventory) instead of findings")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,7 +82,63 @@ func run(args []string) int {
 		return 2
 	}
 
-	findings := analysis.Run(pkgs, selected)
+	findings, sups := analysis.RunWithSuppressions(pkgs, selected)
+
+	if *debt {
+		if err := debtReport(os.Stdout, sups, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "softsoa-lint:", err)
+			return 2
+		}
+		return 0
+	}
+
+	if *writeBL {
+		path := *baselinePath
+		if path == "" {
+			path = "lint-baseline.json"
+		}
+		if err := writeBaseline(path, root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "softsoa-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "softsoa-lint: recorded %d finding(s) in %s\n", len(findings), path)
+		return 0
+	}
+
+	absorbed := 0
+	if *baselinePath != "" {
+		bl, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "softsoa-lint:", err)
+			return 2
+		}
+		if fixed := bl.stale(root, findings); len(fixed) > 0 {
+			fmt.Fprintf(os.Stderr, "softsoa-lint: %d baseline entr(ies) no longer match — debt was paid down, refresh with -write-baseline\n", len(fixed))
+		}
+		findings, absorbed = bl.filter(root, findings)
+	}
+
+	if *sarifPath != "" {
+		var werr error
+		if *sarifPath == "-" {
+			werr = writeSARIF(os.Stdout, root, selected, findings)
+		} else {
+			f, err := os.Create(*sarifPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "softsoa-lint:", err)
+				return 2
+			}
+			werr = writeSARIF(f, root, selected, findings)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "softsoa-lint:", werr)
+			return 2
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -88,6 +157,9 @@ func run(args []string) int {
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "softsoa-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		return 1
+	}
+	if absorbed > 0 {
+		fmt.Fprintf(os.Stderr, "softsoa-lint: clean beyond baseline (%d absorbed)\n", absorbed)
 	}
 	return 0
 }

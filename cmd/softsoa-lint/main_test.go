@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTinyModule lays down a throwaway module with one planted
+// atomiccheck finding (module analyzers run regardless of import
+// path, so the driver's whole pipeline is exercised without loading
+// the real tree).
+func writeTinyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tinymod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "x", "x.go"), `package x
+
+import "sync/atomic"
+
+type C struct{ n int64 }
+
+func inc(c *C) { atomic.AddInt64(&c.n, 1) }
+
+func read(c *C) int64 { return c.n }
+`)
+	return dir
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runCapture invokes the driver and captures its stdout.
+func runCapture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(args)
+	w.Close()
+	os.Stdout = old
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return code, b.String()
+}
+
+func TestExitCodeDiscipline(t *testing.T) {
+	dir := writeTinyModule(t)
+	if code, _ := runCapture(t, "-C", dir); code != 1 {
+		t.Errorf("tree with a finding: exit %d, want 1", code)
+	}
+	if code, _ := runCapture(t, "-C", dir, "-enable", "lockorder"); code != 0 {
+		t.Errorf("clean under lockorder alone: exit %d, want 0", code)
+	}
+	if code, _ := runCapture(t, "-C", dir, "-enable", "nonsense"); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+	if code, _ := runCapture(t, "-C", t.TempDir()); code != 2 {
+		t.Errorf("directory outside any module: exit %d, want 2", code)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	dir := writeTinyModule(t)
+	out := filepath.Join(dir, "lint.sarif")
+	code, _ := runCapture(t, "-C", dir, "-sarif", out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (SARIF does not change exit discipline)", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "softsoa-lint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "atomiccheck" {
+		t.Errorf("ruleId %q, want atomiccheck", res.RuleID)
+	}
+	uri := res.Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if uri != "x/x.go" {
+		t.Errorf("artifact URI %q, want module-relative x/x.go", uri)
+	}
+	if res.Locations[0].PhysicalLocation.Region.StartLine != 9 {
+		t.Errorf("startLine %d, want 9", res.Locations[0].PhysicalLocation.Region.StartLine)
+	}
+	ids := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"atomiccheck", "lockorder", "leakcheck", "hotpath", "determinism"} {
+		if !ids[want] {
+			t.Errorf("rules missing %q", want)
+		}
+	}
+}
+
+func TestBaselineAbsorbsOldFindingsOnly(t *testing.T) {
+	dir := writeTinyModule(t)
+	bl := filepath.Join(dir, "lint-baseline.json")
+	if code, _ := runCapture(t, "-C", dir, "-baseline", bl, "-write-baseline"); code != 0 {
+		t.Fatal("write-baseline must exit 0")
+	}
+	if code, _ := runCapture(t, "-C", dir, "-baseline", bl); code != 0 {
+		t.Error("baselined tree must pass")
+	}
+	// A second, new violation must still fail.
+	writeFile(t, filepath.Join(dir, "x", "y.go"), `package x
+
+func write(c *C) { c.n = 0 }
+`)
+	code, out := runCapture(t, "-C", dir, "-baseline", bl, "-json")
+	if code != 1 {
+		t.Fatalf("new finding beyond baseline: exit %d, want 1", code)
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "atomiccheck" || !strings.Contains(findings[0].Message, "written plainly") {
+		t.Errorf("want only the new write finding, got %v", findings)
+	}
+}
+
+func TestDebtReport(t *testing.T) {
+	dir := writeTinyModule(t)
+	writeFile(t, filepath.Join(dir, "x", "sup.go"), `package x
+
+func snap(c *C) int64 { return c.n } //lint:ignore atomiccheck single-writer snapshot for tests
+
+var cold = 0 //lint:ignore lockorder directive kept after the code it excused was deleted
+`)
+	code, out := runCapture(t, "-C", dir, "-debt")
+	if code != 0 {
+		t.Fatalf("debt report is informational: exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "2 suppression(s), 1 stale") {
+		t.Errorf("summary line missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "! ") || !strings.Contains(out, "directive kept after") {
+		t.Errorf("stale directive not marked:\n%s", out)
+	}
+
+	code, out = runCapture(t, "-C", dir, "-debt", "-json")
+	if code != 0 {
+		t.Fatal("json debt report must exit 0")
+	}
+	var entries []struct {
+		Analyzer string `json:"analyzer"`
+		Used     bool   `json:"used"`
+		AgeDays  int    `json:"age_days"`
+	}
+	if err := json.Unmarshal([]byte(out), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.AgeDays < 0 {
+			t.Errorf("age not resolved for %+v", e)
+		}
+	}
+}

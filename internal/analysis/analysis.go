@@ -11,8 +11,11 @@ import (
 )
 
 // Analyzer is one named invariant checker. Analyzers are pure: they
-// read a type-checked package and report findings, never mutating
-// shared state, so a driver may run them in any order.
+// read type-checked packages and report findings, never mutating
+// shared state, so a driver may run them in any order. An analyzer is
+// either intraprocedural (Run, invoked once per package) or
+// interprocedural (RunModule, invoked once with every loaded package
+// and the module-wide call graph); exactly one of the two is set.
 type Analyzer struct {
 	// Name labels findings and is the key used by enable/disable
 	// flags and //lint:ignore directives.
@@ -25,6 +28,11 @@ type Analyzer struct {
 	Packages []string
 	// Run inspects one package and reports findings via the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole loaded module at once. Module
+	// analyzers see every package regardless of Packages and restrict
+	// themselves; they are handed the shared call graph so invariants
+	// can be resolved through function calls.
+	RunModule func(*ModulePass)
 }
 
 func (a *Analyzer) applies(pkgPath string) bool {
@@ -93,6 +101,25 @@ func (p *Pass) IsFunc(id *ast.Ident, pkgPath, name string) bool {
 	return ok && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
 }
 
+// ModulePass carries one interprocedural analyzer's view of the whole
+// loaded module: every package plus the shared call graph.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *CallGraph
+	report   func(Finding)
+}
+
+// Reportf records a finding at pos, which must belong to pkg's file
+// set (all loaded packages share one).
+func (m *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	m.report(Finding{
+		Analyzer: m.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // All returns the registered analyzer suite in a stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -102,6 +129,10 @@ func All() []*Analyzer {
 		ErrCheck,
 		GoHygiene,
 		WriteCheck,
+		AtomicCheck,
+		LockOrder,
+		LeakCheck,
+		HotPath,
 	}
 }
 
@@ -113,14 +144,18 @@ var ignoreRe = regexp.MustCompile(`^//lint:ignore(?:\s+(\S+))?(?:\s+(.+?))?\s*$`
 type directive struct {
 	analyzer string
 	reason   string
-	pos      token.Pos
+	pos      token.Position
+	used     bool // a finding was suppressed by this directive
 }
 
-// directives collects //lint:ignore comments per file, keyed by the
-// line they apply to: the comment's own line (trailing comments) and
-// the following line (standalone comments above the flagged code).
-func directivesFor(pkg *Package) (map[string]map[int][]directive, []Finding) {
-	byFile := make(map[string]map[int][]directive)
+// directivesFor collects //lint:ignore comments: a flat list in
+// source order plus a per-file index keyed by the line each directive
+// applies to — the comment's own line (trailing comments) and the
+// following line (standalone comments above the flagged code). The
+// index shares *directive values with the list so suppression usage
+// is observable afterwards.
+func directivesFor(pkg *Package, byFile map[string]map[int][]*directive) ([]*directive, []Finding) {
+	var all []*directive
 	var malformed []Finding
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -138,10 +173,11 @@ func directivesFor(pkg *Package) (map[string]map[int][]directive, []Finding) {
 					})
 					continue
 				}
-				d := directive{analyzer: m[1], reason: m[2], pos: c.Pos()}
+				d := &directive{analyzer: m[1], reason: m[2], pos: pos}
+				all = append(all, d)
 				lines := byFile[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]directive)
+					lines = make(map[int][]*directive)
 					byFile[pos.Filename] = lines
 				}
 				lines[pos.Line] = append(lines[pos.Line], d)
@@ -149,39 +185,92 @@ func directivesFor(pkg *Package) (map[string]map[int][]directive, []Finding) {
 			}
 		}
 	}
-	return byFile, malformed
+	return all, malformed
 }
 
-func suppressed(dirs map[string]map[int][]directive, f Finding) bool {
+// suppressor returns the directive silencing f, if any.
+func suppressor(dirs map[string]map[int][]*directive, f Finding) *directive {
 	for _, d := range dirs[f.Pos.Filename][f.Pos.Line] {
 		if d.analyzer == f.Analyzer || d.analyzer == "all" {
-			return true
+			return d
 		}
 	}
-	return false
+	return nil
 }
 
-// Run applies each applicable analyzer to each package, filters
-// suppressed findings, and returns the rest sorted by position.
+// Run applies each applicable analyzer to each package — and each
+// module-level analyzer to the whole set at once — filters suppressed
+// findings, and returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := run(pkgs, analyzers)
+	return findings
+}
+
+// Suppression is one //lint:ignore directive observed during a run,
+// and whether it earned its keep: Used is false when no finding of its
+// analyzer landed on its line, which makes the directive stale — dead
+// weight that silently licenses a future regression. Staleness is
+// relative to the analyzers actually run.
+type Suppression struct {
+	Analyzer string         `json:"analyzer"`
+	Reason   string         `json:"reason"`
+	Pos      token.Position `json:"pos"`
+	Used     bool           `json:"used"`
+}
+
+// RunWithSuppressions is Run plus the directive inventory, sorted by
+// position — the raw material of the suppression-debt report.
+func RunWithSuppressions(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Suppression) {
+	findings, dirs := run(pkgs, analyzers)
+	sups := make([]Suppression, len(dirs))
+	for i, d := range dirs {
+		sups[i] = Suppression{Analyzer: d.analyzer, Reason: d.reason, Pos: d.pos, Used: d.used}
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return findings, sups
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []*directive) {
+	// Directives are merged across packages so module-level findings
+	// (attributed by position, not package) filter identically.
+	dirs := make(map[string]map[int][]*directive)
+	var all []*directive
 	var out []Finding
 	for _, pkg := range pkgs {
-		dirs, malformed := directivesFor(pkg)
+		ds, malformed := directivesFor(pkg, dirs)
+		all = append(all, ds...)
 		out = append(out, malformed...)
-		for _, a := range analyzers {
+	}
+	report := func(f Finding) {
+		if d := suppressor(dirs, f); d != nil {
+			d.used = true
+			return
+		}
+		out = append(out, f)
+	}
+	var module []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			module = append(module, a)
+			continue
+		}
+		for _, pkg := range pkgs {
 			if !a.applies(pkg.Path) {
 				continue
 			}
-			pass := &Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				report: func(f Finding) {
-					if !suppressed(dirs, f) {
-						out = append(out, f)
-					}
-				},
-			}
-			a.Run(pass)
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+		}
+	}
+	if len(module) > 0 {
+		graph := BuildCallGraph(pkgs)
+		for _, a := range module {
+			a.RunModule(&ModulePass{Analyzer: a, Pkgs: pkgs, Graph: graph, report: report})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -197,5 +286,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return out, all
 }

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+func TestAtomicCheck(t *testing.T) {
+	runCases(t, AtomicCheck, []analyzerCase{
+		{
+			name: "mixed plain read of atomically-written field",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "sync/atomic"
+type counter struct{ n int64 }
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+func (c *counter) read() int64 { return c.n }
+`,
+			want: []string{"[atomiccheck] n is accessed via sync/atomic at fixture.go:4"},
+		},
+		{
+			name: "mixed plain write of atomically-read package var",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "sync/atomic"
+var ops int64
+func snapshot() int64 { return atomic.LoadInt64(&ops) }
+func reset() { ops = 0 }
+`,
+			want: []string{"written plainly here (mixed atomic/plain access)"},
+		},
+		{
+			name: "typed atomic copied out of its field",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "sync/atomic"
+type box struct{ v atomic.Int64 }
+func (b *box) get() int64 { return b.v.Load() }
+func (b *box) bad() int64 { x := b.v; return x.Load() }
+`,
+			want: []string{"v has atomic type and must only be used through its methods"},
+		},
+		{
+			name: "fully atomic discipline is clean",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "sync/atomic"
+type counter struct{ n int64 }
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+func (c *counter) read() int64 { return atomic.LoadInt64(&c.n) }
+var cur atomic.Pointer[counter]
+func publish(c *counter) { cur.Store(c) }
+func peek() *counter { return cur.Load() }
+`,
+			want: nil,
+		},
+		{
+			name: "constructor may seed plainly before escape",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "sync/atomic"
+type counter struct{ n int64 }
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+func newCounter(seed int64) *counter {
+	c := &counter{}
+	c.n = seed
+	return c
+}
+`,
+			want: nil,
+		},
+		{
+			name: "passing a typed atomic by pointer is fine",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "sync/atomic"
+type gauge struct{ v atomic.Int64 }
+func bump(v *atomic.Int64) { v.Add(1) }
+func (g *gauge) tick() { bump(&g.v) }
+`,
+			want: nil,
+		},
+	})
+}
+
+// TestAtomicCheckTornCounterAcrossPackages is planted bug 1 of the
+// detection matrix: the counter is written atomically in one package
+// and incremented plainly in another — invisible to any per-package
+// pass, caught by the module pass.
+func TestAtomicCheckTornCounterAcrossPackages(t *testing.T) {
+	imp := fixtureImporter{pkgs: make(map[string]*types.Package)}
+	a := loadFixtureFile(t, imp, "softsoa/internal/solver", "torn_a.go", `package solver
+
+import "sync/atomic"
+
+// Stats counts incumbent publications.
+type Stats struct{ Hits int64 }
+
+// Record bumps the counter atomically.
+func (s *Stats) Record() { atomic.AddInt64(&s.Hits, 1) }
+`)
+	imp.pkgs[a.Path] = a.Types
+	b := loadFixtureFile(t, imp, "softsoa/internal/broker", "torn_b.go", `package broker
+
+import "softsoa/internal/solver"
+
+// Torn increments the counter plainly — the planted bug.
+func Torn(s *solver.Stats) {
+	s.Hits++
+}
+`)
+	findings := Run([]*Package{a, b}, []*Analyzer{AtomicCheck})
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the torn access, got %v", findings)
+	}
+	mustFind(t, findings, "atomiccheck", "torn_b.go", 7, "mixed atomic/plain access")
+}

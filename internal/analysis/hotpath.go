@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotpathDirective marks a function as an allocation-free zone.
+const hotpathDirective = "//softsoa:hotpath"
+
+// HotPath turns the solver's AllocsPerRun == 0 runtime assertion into
+// a static proof that names the offending line. A function annotated
+// //softsoa:hotpath — and every same-package function statically
+// reachable from it — must not allocate: make, new and composite
+// literals are flagged (unless sitting inside a cap/len grow-guard,
+// the amortised free-list idiom), append must feed back into its own
+// operand, function literals (closure allocation), any use of fmt or
+// reflect, and interface boxing of concrete arguments are all
+// findings. Cross-package callees are out of scope: the annotation is
+// a package-local contract, and the packages a hot loop leans on
+// (core semiring ops) carry their own annotations.
+var HotPath = &Analyzer{
+	Name:      "hotpath",
+	Doc:       "//softsoa:hotpath functions and same-package callees must not allocate",
+	RunModule: runHotPath,
+}
+
+// hasHotpathDirective reports whether the declaration's doc comment
+// carries the //softsoa:hotpath pragma.
+func hasHotpathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPath(m *ModulePass) {
+	keys := make([]string, 0, len(m.Graph.Funcs))
+	for k := range m.Graph.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Scope: each annotated root plus its same-package callees,
+	// transitively. scope maps the function to the root whose contract
+	// pulled it in (first in key order wins — diagnostics only).
+	scope := make(map[string]string)
+	for _, k := range keys {
+		fi := m.Graph.Funcs[k]
+		if !hasHotpathDirective(fi.Decl) {
+			continue
+		}
+		root := shortFuncKey(k)
+		queue := []string{k}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if _, seen := scope[cur]; seen {
+				continue
+			}
+			scope[cur] = root
+			for _, callee := range m.Graph.Funcs[cur].Calls {
+				cf := m.Graph.Funcs[callee]
+				if cf != nil && cf.Pkg.Path == fi.Pkg.Path {
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+
+	for _, k := range keys {
+		if root, ok := scope[k]; ok {
+			checkHotFunc(m, m.Graph.Funcs[k], root)
+		}
+	}
+}
+
+func checkHotFunc(m *ModulePass, fi *FuncInfo, root string) {
+	pkg := fi.Pkg
+	flag := func(n ast.Node, what string) {
+		m.Reportf(pkg, n.Pos(), "%s in hot path (reached from %s %s)", what, hotpathDirective, root)
+	}
+	inspectWithStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			flag(n, "function literal allocates its closure")
+			return false
+		case *ast.CompositeLit:
+			if !growGuarded(pkg, stack) && !elementOfSelfAppend(pkg, stack) {
+				flag(n, "composite literal allocates")
+			}
+			return false
+		case *ast.CallExpr:
+			checkHotCall(m, pkg, n, stack, flag)
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok {
+				if pn, ok := pkg.ObjectOf(id).(*types.PkgName); ok {
+					switch pn.Imported().Path() {
+					case "fmt", "reflect":
+						flag(n, "use of "+pn.Imported().Path())
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(m *ModulePass, pkg *Package, call *ast.CallExpr, stack []ast.Node, flag func(ast.Node, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pkg.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				if !growGuarded(pkg, stack) {
+					flag(call, id.Name+" allocates")
+				}
+			case "append":
+				if !selfAppend(call, stack) {
+					flag(call, "append grows a slice it does not own (result not reassigned to its operand)")
+				}
+			}
+			return
+		}
+	}
+	// Interface boxing: a concrete argument passed where the callee
+	// takes an interface forces a heap-allocated box.
+	sig, ok := pkg.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1 && !call.Ellipsis.IsValid():
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		// Type parameters satisfy IsInterface (their underlying is the
+		// constraint) but generic calls compile to shape instantiations,
+		// not boxing — and whether a type-param argument boxes depends
+		// on the instantiation, which a static pass cannot see.
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue
+		}
+		at := pkg.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if _, isTP := at.(*types.TypeParam); isTP {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		flag(arg, "interface boxing of concrete value")
+	}
+}
+
+// elementOfSelfAppend reports whether the node is an argument of an
+// exempt self-append — `x = append(x, T{...})` copies the literal into
+// backing memory the function already owns, so it inherits the
+// append's amortised-free status.
+func elementOfSelfAppend(pkg *Package, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pkg.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return selfAppend(call, stack[:len(stack)-1])
+}
+
+// growGuarded reports whether the allocation sits inside an if block
+// whose condition consults cap() or len() — the amortised grow-guard
+// idiom (`if cap(s) < n { s = make(...) }`), which is allocation-free
+// in steady state and therefore exempt.
+func growGuarded(pkg *Package, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				if _, isBuiltin := pkg.ObjectOf(id).(*types.Builtin); isBuiltin {
+					guarded = true
+					return false
+				}
+			}
+			return true
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// selfAppend reports whether the append call feeds its result back
+// into (a reslice of) its own first operand — `x = append(x, ...)` or
+// `x = append(x[:0], ...)` — which only grows memory the function
+// already owns and is amortised allocation-free.
+func selfAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 || len(stack) == 0 {
+		return false
+	}
+	asg, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(asg.Rhs) != 1 || ast.Unparen(asg.Rhs[0]) != call {
+		return false
+	}
+	src := rootIdentName(call.Args[0])
+	if src == "" {
+		return false
+	}
+	for _, lhs := range asg.Lhs {
+		if rootIdentName(lhs) == src {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdentName descends through reslices and selectors to the
+// left-most identifier path of an expression: `s.buf[:0]` → "s.buf".
+func rootIdentName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SliceExpr:
+		return rootIdentName(e.X)
+	case *ast.IndexExpr:
+		return rootIdentName(e.X)
+	case *ast.SelectorExpr:
+		if base := rootIdentName(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}

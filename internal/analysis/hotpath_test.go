@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotPath(t *testing.T) {
+	runCases(t, HotPath, []analyzerCase{
+		{
+			name: "closure allocation",
+			path: "softsoa/internal/solver",
+			src: `package solver
+//softsoa:hotpath
+func run(xs []int) {
+	f := func() {}
+	f()
+	_ = xs
+}
+`,
+			want: []string{"[hotpath] function literal allocates its closure"},
+		},
+		{
+			name: "composite literal",
+			path: "softsoa/internal/solver",
+			src: `package solver
+//softsoa:hotpath
+func mk() []int {
+	return []int{1, 2}
+}
+`,
+			want: []string{"composite literal allocates"},
+		},
+		{
+			name: "append into a slice the function does not own",
+			path: "softsoa/internal/solver",
+			src: `package solver
+//softsoa:hotpath
+func collect(sink []int, v int) []int {
+	out := append(sink, v)
+	return out
+}
+`,
+			want: []string{"append grows a slice it does not own"},
+		},
+		{
+			name: "grow guard and self-append are amortised-free",
+			path: "softsoa/internal/solver",
+			src: `package solver
+//softsoa:hotpath
+func fill(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, 0, n)
+	}
+	buf = append(buf[:0], 0)
+	for i := 1; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+`,
+			want: nil,
+		},
+		{
+			name: "fmt use and the boxing it causes",
+			path: "softsoa/internal/solver",
+			src: `package solver
+import "fmt"
+//softsoa:hotpath
+func trace(v int) string {
+	return fmt.Sprint(v)
+}
+`,
+			want: []string{"use of fmt", "interface boxing of concrete value"},
+		},
+		{
+			name: "interface boxing at a call boundary",
+			path: "softsoa/internal/solver",
+			src: `package solver
+//softsoa:hotpath
+func box(v int) any { return toAny(v) }
+func toAny(x any) any { return x }
+`,
+			want: []string{"interface boxing of concrete value"},
+		},
+		{
+			name: "unannotated functions may allocate freely",
+			path: "softsoa/internal/solver",
+			src: `package solver
+func colder(n int) []int {
+	out := make([]int, n)
+	return append(out, n)
+}
+`,
+			want: nil,
+		},
+	})
+}
+
+// TestHotPathAllocInCallee is planted bug 4 of the detection matrix:
+// the annotated function is itself clean, but a same-package callee
+// allocates — the contract propagates through the call graph and the
+// finding names both the offending line and the root that imposed it.
+func TestHotPathAllocInCallee(t *testing.T) {
+	pkg := loadFixtureFile(t, fixImp, "softsoa/internal/solver", "hotcallee.go", `package solver
+
+//softsoa:hotpath
+func inner(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += helper(x)
+	}
+	return s
+}
+
+func helper(x int) int {
+	buf := make([]int, 1)
+	buf[0] = x
+	return buf[0]
+}
+`)
+	findings := Run([]*Package{pkg}, []*Analyzer{HotPath})
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the callee allocation, got %v", findings)
+	}
+	mustFind(t, findings, "hotpath", "hotcallee.go", 13, "make allocates")
+	if !strings.Contains(findings[0].Message, "inner") {
+		t.Errorf("message %q should name the root that imposed the contract", findings[0].Message)
+	}
+}

@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LeakCheck demands a provable quit path for every goroutine launched
+// outside func main: a WaitGroup join (Done in the body, Wait on the
+// same WaitGroup somewhere in the module), a select/receive on
+// ctx.Done(), a return or break that exits the loop, or — for
+// range-over-channel workers — evidence that the module closes the
+// channel being ranged. Goroutine bodies are resolved through one
+// level of call indirection, so `go s.worker()` is checked against
+// worker's declaration via the call graph. A straight-line body with
+// no loop terminates by construction and passes. The classic leak this
+// exists for: `for range ticker.C` — time.Ticker channels are never
+// closed, so that loop can only be exited explicitly, and a goroutine
+// without such an exit outlives its spawner forever.
+var LeakCheck = &Analyzer{
+	Name:      "leakcheck",
+	Doc:       "goroutines outside main must have a provable quit path",
+	RunModule: runLeakCheck,
+}
+
+func runLeakCheck(m *ModulePass) {
+	waited := collectWaitGroupWaits(m)
+	closed := collectClosedChans(m)
+	for _, fi := range sortedFuncs(m.Graph) {
+		if fi.Decl.Name.Name == "main" && fi.Pkg.Types.Name() == "main" {
+			continue
+		}
+		pkg := fi.Pkg
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goroutineBody(m, pkg, gs)
+			if body.block == nil {
+				return true // unresolvable callee: may-miss by design
+			}
+			checkGoroutine(m, pkg, gs, body, waited, closed)
+			return true
+		})
+	}
+}
+
+// sortedFuncs returns the call graph's functions in deterministic key
+// order.
+func sortedFuncs(g *CallGraph) []*FuncInfo {
+	keys := make([]string, 0, len(g.Funcs))
+	for k := range g.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*FuncInfo, len(keys))
+	for i, k := range keys {
+		out[i] = g.Funcs[k]
+	}
+	return out
+}
+
+// goBody pairs a goroutine body with the package whose type info
+// resolves it (the callee's own package under one level of
+// indirection).
+type goBody struct {
+	block *ast.BlockStmt
+	pkg   *Package
+	what  string
+}
+
+func goroutineBody(m *ModulePass, pkg *Package, gs *ast.GoStmt) goBody {
+	if fl, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return goBody{block: fl.Body, pkg: pkg, what: "goroutine"}
+	}
+	if key, ok := pkg.CalleeKey(gs.Call); ok {
+		if fi := m.Graph.Funcs[key]; fi != nil {
+			return goBody{block: fi.Decl.Body, pkg: fi.Pkg, what: shortFuncKey(key)}
+		}
+	}
+	return goBody{}
+}
+
+// collectWaitGroupWaits gathers the module-wide set of WaitGroup
+// objects (by declaration position) on which Wait is called.
+func collectWaitGroupWaits(m *ModulePass) map[string]bool {
+	out := make(map[string]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if obj := waitGroupMethodTarget(pkg, n, "Wait"); obj != "" {
+					out[obj] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// waitGroupMethodTarget returns the posKey of the WaitGroup a call
+// like wg.Wait()/wg.Done() operates on, or "".
+func waitGroupMethodTarget(pkg *Package, n ast.Node, method string) string {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return ""
+	}
+	if path, name := namedTypePath(pkg.TypeOf(sel.X)); path != "sync" || name != "WaitGroup" {
+		return ""
+	}
+	var id *ast.Ident
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	obj := pkg.ObjectOf(id)
+	if obj == nil {
+		return ""
+	}
+	return posKey(pkg.Fset, obj)
+}
+
+// collectClosedChans gathers the module-wide set of channel-bearing
+// objects passed to the close builtin.
+func collectClosedChans(m *ModulePass) map[string]bool {
+	out := make(map[string]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "close" || len(call.Args) != 1 {
+					return true
+				}
+				if obj := chanTarget(pkg, call.Args[0]); obj != "" {
+					out[obj] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// chanTarget resolves a channel expression to the posKey of the
+// variable or field naming it, or "".
+func chanTarget(pkg *Package, e ast.Expr) string {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	obj := pkg.ObjectOf(id)
+	if obj == nil {
+		return ""
+	}
+	return posKey(pkg.Fset, obj)
+}
+
+func checkGoroutine(m *ModulePass, spawnPkg *Package, gs *ast.GoStmt, body goBody, waited, closed map[string]bool) {
+	// Rule 1: WaitGroup join. Done in the body plus Wait on the same
+	// WaitGroup anywhere in the module proves the spawner (or its
+	// owner) blocks until this goroutine exits; accepted wholesale —
+	// if the body then failed to terminate, Wait itself would hang
+	// loudly rather than leak silently.
+	joined := false
+	ast.Inspect(body.block, func(n ast.Node) bool {
+		if obj := waitGroupMethodTarget(body.pkg, n, "Done"); obj != "" && waited[obj] {
+			joined = true
+		}
+		return !joined
+	})
+	if joined {
+		return
+	}
+
+	// Rule 2: loop-free bodies terminate by construction.
+	loops := topLevelLoops(body.block)
+	if len(loops) == 0 {
+		return
+	}
+
+	for _, loop := range loops {
+		switch l := loop.(type) {
+		case *ast.ForStmt:
+			if l.Cond != nil {
+				continue // bounded by its condition
+			}
+			if hasQuitEvidence(body.pkg, l.Body) {
+				continue
+			}
+			m.Reportf(spawnPkg, gs.Pos(),
+				"%s runs an unconditional for loop with no quit path (no return, break, or ctx.Done() receive)", body.what)
+		case *ast.RangeStmt:
+			if !isChanType(body.pkg.TypeOf(l.X)) {
+				continue // collection ranges are bounded
+			}
+			if obj := chanTarget(body.pkg, l.X); obj != "" && closed[obj] {
+				continue
+			}
+			if hasQuitEvidence(body.pkg, l.Body) {
+				continue
+			}
+			m.Reportf(spawnPkg, gs.Pos(),
+				"%s ranges over a channel the module never closes and has no other quit path", body.what)
+		}
+	}
+}
+
+// topLevelLoops returns the loops of the body reachable without
+// entering nested function literals.
+func topLevelLoops(b *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(b, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			out = append(out, n.(ast.Stmt))
+			return false // nested loops judged with their parent's evidence
+		}
+		return true
+	})
+	return out
+}
+
+// hasQuitEvidence reports whether the loop body can provably exit: a
+// return, a break, or a receive from ctx.Done().
+func hasQuitEvidence(pkg *Package, b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCtxDoneCall(pkg, n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCtxDoneCall reports whether e is a call to the Done method of a
+// context.Context (or anything context-shaped exposing Done()).
+func isCtxDoneCall(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	path, name := namedTypePath(pkg.TypeOf(sel.X))
+	return path == "context" && name == "Context"
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import "testing"
+
+func TestLeakCheck(t *testing.T) {
+	runCases(t, LeakCheck, []analyzerCase{
+		{
+			name: "unconditional loop with no quit path",
+			path: "softsoa/internal/broker",
+			src: `package broker
+func step() {}
+func spin() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+`,
+			want: []string{"[leakcheck] goroutine runs an unconditional for loop with no quit path"},
+		},
+		{
+			name: "ctx.Done select is a quit path",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "context"
+func poll(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "waitgroup join accepts the worker",
+			path: "softsoa/internal/broker",
+			src: `package broker
+import "sync"
+func fan(jobs chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				_ = job
+			}
+		}()
+	}
+	wg.Wait()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "range over a channel the module closes",
+			path: "softsoa/internal/broker",
+			src: `package broker
+type queue struct{ ch chan int }
+func (q *queue) consume() {
+	go func() {
+		for v := range q.ch {
+			_ = v
+		}
+	}()
+}
+func (q *queue) shutdown() {
+	close(q.ch)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "straight-line goroutine terminates by construction",
+			path: "softsoa/internal/broker",
+			src: `package broker
+func notify(ch chan int, v int) {
+	go func() {
+		ch <- v
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "named worker checked through the call graph",
+			path: "softsoa/internal/broker",
+			src: `package broker
+type srv struct{}
+func (s *srv) worker() {
+	for {
+	}
+}
+func (s *srv) start() {
+	go s.worker()
+}
+`,
+			want: []string{"(*broker.srv).worker runs an unconditional for loop"},
+		},
+		{
+			name: "func main may spawn fire-and-forget goroutines",
+			path: "softsoa/cmd/brokerd",
+			src: `package main
+func main() {
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "bounded loops need no quit path",
+			path: "softsoa/internal/broker",
+			src: `package broker
+func sum(xs []int, out chan int) {
+	go func() {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		for s > 0 {
+			s--
+		}
+		out <- s
+	}()
+}
+`,
+			want: nil,
+		},
+	})
+}
+
+// TestLeakCheckLeakedTicker is planted bug 3 of the detection matrix:
+// a goroutine ranging over a time.Ticker channel. Ticker channels are
+// never closed, so without another exit the goroutine outlives its
+// spawner forever.
+func TestLeakCheckLeakedTicker(t *testing.T) {
+	pkg := loadFixtureFile(t, fixImp, "softsoa/internal/broker", "ticker.go", `package broker
+
+import "time"
+
+func watch(interval time.Duration) {
+	t := time.NewTicker(interval)
+	go func() {
+		for range t.C {
+			_ = interval
+		}
+	}()
+}
+`)
+	findings := Run([]*Package{pkg}, []*Analyzer{LeakCheck})
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the leaked ticker, got %v", findings)
+	}
+	mustFind(t, findings, "leakcheck", "ticker.go", 7, "ranges over a channel the module never closes")
+}

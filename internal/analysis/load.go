@@ -10,8 +10,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed, type-checked package of the module under
@@ -39,6 +41,111 @@ func newInfo() *types.Info {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
+}
+
+// ObjectOf resolves an identifier to the object it uses or defines.
+func (p *Package) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Package) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// FuncKey is the module-wide identity of a function or method: the
+// declared (generic-origin) *types.Func rendered by FullName, e.g.
+// "softsoa/internal/solver.newPlan" or
+// "(*softsoa/internal/broker.Server).Flush". Keys are strings rather
+// than objects because each loaded package type-checks its imports
+// through the source importer independently, so the same function is
+// represented by distinct objects in different packages; its FullName
+// is identical everywhere.
+func FuncKey(obj *types.Func) string {
+	if o := obj.Origin(); o != nil {
+		obj = o
+	}
+	return obj.FullName()
+}
+
+// CalleeKey resolves a call expression to the FuncKey of its static
+// callee — a package-level function, a method on a concrete receiver,
+// or an interface method (useful for naming, though interface methods
+// never appear as call-graph nodes). It reports false for calls it
+// cannot resolve statically: function values, builtins, conversions.
+func (p *Package) CalleeKey(call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	obj, ok := p.ObjectOf(id).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	return FuncKey(obj), true
+}
+
+// FuncInfo is one declared function of the module in the call graph.
+type FuncInfo struct {
+	// Key is the function's FuncKey.
+	Key string
+	// Decl is the declaration, body included.
+	Decl *ast.FuncDecl
+	// Pkg is the package declaring the function.
+	Pkg *Package
+	// Calls holds the FuncKeys of every statically resolved call in
+	// the body, in source order, duplicates kept. Keys of functions
+	// outside the loaded module (stdlib, interface methods) appear
+	// here but have no FuncInfo of their own.
+	Calls []string
+}
+
+// CallGraph is the module-wide static call graph: every declared
+// function and method of the loaded packages, with edges for calls
+// whose callee resolves statically. Interface dispatch and function
+// values are not resolved — analyzers built on the graph are
+// deliberately may-miss rather than may-misreport.
+type CallGraph struct {
+	// Funcs maps FuncKey to the declared function.
+	Funcs map[string]*FuncInfo
+}
+
+// BuildCallGraph constructs the call graph over the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Funcs: make(map[string]*FuncInfo)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Key: FuncKey(obj), Decl: fd, Pkg: pkg}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if key, ok := pkg.CalleeKey(call); ok {
+							fi.Calls = append(fi.Calls, key)
+						}
+					}
+					return true
+				})
+				g.Funcs[fi.Key] = fi
+			}
+		}
+	}
+	return g
 }
 
 // ModuleRoot walks upward from dir to the nearest directory holding a
@@ -100,25 +207,31 @@ func Load(root string, patterns []string) ([]*Package, error) {
 	// the tool free of golang.org/x/tools.
 	imp := importer.ForCompiler(fset, "source", nil)
 
+	// Discovery and parsing fan out across the packages (token.FileSet
+	// is safe for concurrent AddFile); type-checking stays serial in
+	// sorted directory order because the shared source importer caches
+	// dependency packages without locking.
+	parsed := make([]parsedDir, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, dir := range dirs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			parsed[i] = parseDir(fset, dir)
+		}()
+	}
+	wg.Wait()
+
 	var pkgs []*Package
-	for _, dir := range dirs {
-		bp, err := build.ImportDir(dir, 0)
-		if err != nil {
-			if _, ok := err.(*build.NoGoError); ok {
-				continue
-			}
-			return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	for i, dir := range dirs {
+		p := parsed[i]
+		if p.err != nil {
+			return nil, p.err
 		}
-		if len(bp.GoFiles) == 0 {
+		if len(p.files) == 0 {
 			continue
-		}
-		var files []*ast.File
-		for _, name := range bp.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, err
-			}
-			files = append(files, f)
 		}
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
@@ -130,7 +243,7 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		}
 		conf := types.Config{Importer: imp}
 		info := newInfo()
-		tpkg, err := conf.Check(path, fset, files, info)
+		tpkg, err := conf.Check(path, fset, p.files, info)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 		}
@@ -138,13 +251,40 @@ func Load(root string, patterns []string) ([]*Package, error) {
 			Path:  path,
 			Dir:   dir,
 			Fset:  fset,
-			Files: files,
+			Files: p.files,
 			Types: tpkg,
 			Info:  info,
 		})
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// parsedDir is one candidate directory's parse result.
+type parsedDir struct {
+	files []*ast.File
+	err   error
+}
+
+// parseDir discovers and parses the non-test sources of one directory;
+// a directory without Go files yields no files and no error.
+func parseDir(fset *token.FileSet, dir string) parsedDir {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return parsedDir{}
+		}
+		return parsedDir{err: fmt.Errorf("analysis: %s: %w", dir, err)}
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return parsedDir{err: err}
+		}
+		files = append(files, f)
+	}
+	return parsedDir{files: files}
 }
 
 // matchDirs expands the patterns into the sorted set of candidate

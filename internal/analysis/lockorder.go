@@ -1,0 +1,611 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a whole-module lock-acquisition graph and flags
+// cycles as potential deadlocks. A mutex is identified by the struct
+// field or package variable holding it (by declaration position, so
+// identity survives package boundaries); an edge a→b is recorded when
+// b is acquired while a is held — directly, or inside any function
+// reachable through the static call graph from a call made with a
+// held. The broker's documented order (persistMu → s.mu → e.mu) thus
+// becomes machine-checked: an AB/BA inversion split across two
+// functions, invisible to the flow-insensitive lockcheck, closes a
+// cycle here. The walk is branch-aware: held sets fork into if/switch
+// arms and merge by intersection, defer Unlock pins a lock to the end
+// of the function, and go statements start with nothing held.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "whole-module lock-acquisition graph must be acyclic (deadlock freedom)",
+	RunModule: runLockOrder,
+}
+
+// loEdge is one observed acquisition ordering: to was locked while
+// from was held.
+type loEdge struct {
+	from, to string
+	pos      token.Position
+	why      string // "directly" or "via call to F"
+}
+
+// loCall is a statically resolved call made with locks held.
+type loCall struct {
+	callee string
+	held   []string
+	pos    token.Position
+}
+
+// loFunc summarises one function's locking behaviour.
+type loFunc struct {
+	acquired map[string]bool
+	calls    []loCall
+	edges    []loEdge
+}
+
+func runLockOrder(m *ModulePass) {
+	labels := make(map[string]string)
+	fns := make(map[string]*loFunc, len(m.Graph.Funcs))
+	keys := make([]string, 0, len(m.Graph.Funcs))
+	for key := range m.Graph.Funcs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fi := m.Graph.Funcs[key]
+		w := &loWalker{
+			pkg:    fi.Pkg,
+			fn:     &loFunc{acquired: make(map[string]bool)},
+			labels: labels,
+		}
+		w.walkBody(fi.Decl.Body, make(map[string]bool))
+		fns[key] = w.fn
+	}
+
+	// Fixpoint: lockSet(f) = locks acquired in f or anywhere reachable
+	// from it through the module call graph.
+	lockSet := make(map[string]map[string]bool, len(fns))
+	for k, f := range fns {
+		s := make(map[string]bool, len(f.acquired))
+		for mk := range f.acquired {
+			s[mk] = true
+		}
+		lockSet[k] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			for _, c := range fns[k].calls {
+				for mk := range lockSet[c.callee] {
+					if !lockSet[k][mk] {
+						lockSet[k][mk] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// The mutex graph: direct edges plus edges induced by calls made
+	// with locks held. Self-edges through calls are dropped — the
+	// callee usually locks on paths the caller never takes while
+	// holding, and lockcheck owns the double-lock story — but a direct
+	// re-acquisition in one function body stays.
+	first := make(map[[2]string]loEdge)
+	addEdge := func(e loEdge) {
+		k := [2]string{e.from, e.to}
+		if _, ok := first[k]; !ok {
+			first[k] = e
+		}
+	}
+	for _, k := range keys {
+		f := fns[k]
+		for _, e := range f.edges {
+			addEdge(e)
+		}
+		for _, c := range f.calls {
+			targets := make([]string, 0, len(lockSet[c.callee]))
+			for mk := range lockSet[c.callee] {
+				targets = append(targets, mk)
+			}
+			sort.Strings(targets)
+			for _, h := range c.held {
+				for _, t := range targets {
+					if t == h {
+						continue
+					}
+					addEdge(loEdge{from: h, to: t, pos: c.pos,
+						why: "via call to " + shortFuncKey(c.callee)})
+				}
+			}
+		}
+	}
+
+	reportLockCycles(m, first, labels)
+}
+
+// shortFuncKey trims the module-path noise off a FuncKey for messages:
+// "(*softsoa/internal/broker.Server).Flush" → "(*broker.Server).Flush".
+func shortFuncKey(key string) string {
+	start := 0
+	for start < len(key) && (key[start] == '(' || key[start] == '*') {
+		start++
+	}
+	if i := strings.LastIndex(key, "/"); i > start {
+		return key[:start] + key[i+1:]
+	}
+	return key
+}
+
+func reportLockCycles(m *ModulePass, edges map[[2]string]loEdge, labels map[string]string) {
+	succ := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for k, e := range edges {
+		nodes[k[0]], nodes[k[1]] = true, true
+		if e.from != e.to {
+			succ[e.from] = append(succ[e.from], e.to)
+		}
+	}
+	for n := range succ {
+		sort.Strings(succ[n])
+	}
+
+	// Direct self-edges: a lock re-acquired while already held.
+	var selfKeys []string
+	for k, e := range edges {
+		if k[0] == k[1] {
+			selfKeys = append(selfKeys, e.from)
+		}
+	}
+	sort.Strings(selfKeys)
+	for _, mk := range selfKeys {
+		e := edges[[2]string{mk, mk}]
+		m.report(Finding{
+			Analyzer: m.Analyzer.Name,
+			Pos:      e.pos,
+			Message:  fmt.Sprintf("%s acquired while already held (non-reentrant mutex self-deadlock)", labels[mk]),
+		})
+	}
+
+	// Tarjan SCC over the self-edge-free graph; any component with two
+	// or more mutexes is an ordering cycle.
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	for _, scc := range tarjanSCC(order, succ) {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		var parts []string
+		var at token.Position
+		for _, from := range scc {
+			for _, to := range succ[from] {
+				if !inSCC[to] {
+					continue
+				}
+				e := edges[[2]string{from, to}]
+				if !at.IsValid() {
+					at = e.pos
+				}
+				parts = append(parts, fmt.Sprintf("%s → %s (%s at %s)", labels[from], labels[to], e.why, e.pos))
+			}
+		}
+		m.report(Finding{
+			Analyzer: m.Analyzer.Name,
+			Pos:      at,
+			Message:  "lock order cycle: " + strings.Join(parts, "; "),
+		})
+	}
+}
+
+// tarjanSCC returns the strongly connected components of the graph in
+// a deterministic order given deterministic inputs.
+func tarjanSCC(nodes []string, succ map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// loWalker performs the branch-aware held-set walk over one function
+// body.
+type loWalker struct {
+	pkg    *Package
+	fn     *loFunc
+	labels map[string]string
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func sortedKeys(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intersectInto replaces held with the intersection of the outcome
+// states.
+func intersectInto(held map[string]bool, outs []map[string]bool) {
+	for k := range held {
+		delete(held, k)
+	}
+	if len(outs) == 0 {
+		return
+	}
+	for k := range outs[0] {
+		all := true
+		for _, o := range outs[1:] {
+			if !o[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			held[k] = true
+		}
+	}
+}
+
+// lockOp classifies call as a Lock/RLock ("lock") or Unlock/RUnlock
+// ("unlock") on a mutex stored in a struct field or package variable,
+// returning the mutex's module-wide key.
+func (w *loWalker) lockOp(e ast.Expr) (mk, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", "", false
+	}
+	if path, name := namedTypePath(w.pkg.TypeOf(sel.X)); path != "sync" || (name != "Mutex" && name != "RWMutex") {
+		return "", "", false
+	}
+	var id *ast.Ident
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", "", false
+	}
+	obj := w.pkg.ObjectOf(id)
+	if obj == nil || (!isField(obj) && !isPkgVar(obj)) {
+		return "", "", false
+	}
+	mk = posKey(w.pkg.Fset, obj)
+	if _, have := w.labels[mk]; !have {
+		w.labels[mk] = w.mutexLabel(obj)
+	}
+	return mk, op, true
+}
+
+// mutexLabel renders a readable module-wide name for the mutex object.
+func (w *loWalker) mutexLabel(obj types.Object) string {
+	if isPkgVar(obj) {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	for o, label := range ownerNames(w.pkg) {
+		if posKey(w.pkg.Fset, o) == posKey(w.pkg.Fset, obj) {
+			return label
+		}
+	}
+	return obj.Name()
+}
+
+func (w *loWalker) acquire(mk string, held map[string]bool, pos token.Pos) {
+	for _, h := range sortedKeys(held) {
+		w.fn.edges = append(w.fn.edges, loEdge{
+			from: h, to: mk,
+			pos: w.pkg.Fset.Position(pos),
+			why: "directly",
+		})
+	}
+	held[mk] = true
+	w.fn.acquired[mk] = true
+}
+
+// scanExpr records statically resolved calls (with the current held
+// snapshot) and walks function literals with an empty held set — their
+// execution time is unknown, so assuming no locks held avoids
+// fabricating orderings.
+func (w *loWalker) scanExpr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkBody(n.Body, make(map[string]bool))
+			return false
+		case *ast.CallExpr:
+			if key, ok := w.pkg.CalleeKey(n); ok {
+				w.fn.calls = append(w.fn.calls, loCall{
+					callee: key,
+					held:   sortedKeys(held),
+					pos:    w.pkg.Fset.Position(n.Pos()),
+				})
+			}
+		}
+		return true
+	})
+}
+
+// walkBody walks a statement list; the returned bool reports whether
+// flow terminates (every path returns, panics or branches away).
+func (w *loWalker) walkBody(b *ast.BlockStmt, held map[string]bool) bool {
+	if b == nil {
+		return false
+	}
+	for _, s := range b.List {
+		if w.walkStmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *loWalker) walkStmt(s ast.Stmt, held map[string]bool) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.walkBody(s, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.ExprStmt:
+		if mk, op, ok := w.lockOp(s.X); ok {
+			if op == "lock" {
+				w.acquire(mk, held, s.X.Pos())
+			} else {
+				delete(held, mk)
+			}
+			return false
+		}
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && w.pkg.ObjectOf(id) == nil {
+				w.scanExpr(s.X, held)
+				return true
+			}
+		}
+		w.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		if mk, op, ok := w.lockOp(s.Call); ok {
+			// defer mu.Unlock(): held to the end of the function — the
+			// lock simply stays in the set. defer mu.Lock() is nonsense
+			// and ignored.
+			_ = mk
+			_ = op
+			return false
+		}
+		// Deferred calls run last with whatever is then held — model
+		// them with the current snapshot, which is conservative for the
+		// common defer-right-after-acquire idiom.
+		w.scanExpr(s.Call, held)
+	case *ast.GoStmt:
+		fresh := make(map[string]bool)
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.walkBody(fl.Body, fresh)
+			for _, arg := range s.Call.Args {
+				w.scanExpr(arg, fresh)
+			}
+		} else {
+			w.scanExpr(s.Call, fresh)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; treating them as
+		// terminating keeps the merge conservative.
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		thenHeld := copySet(held)
+		thenTerm := w.walkBody(s.Body, thenHeld)
+		var outs []map[string]bool
+		if !thenTerm {
+			outs = append(outs, thenHeld)
+		}
+		if s.Else != nil {
+			elseHeld := copySet(held)
+			if !w.walkStmt(s.Else, elseHeld) {
+				outs = append(outs, elseHeld)
+			}
+		} else {
+			outs = append(outs, copySet(held))
+		}
+		if len(outs) == 0 {
+			return true
+		}
+		intersectInto(held, outs)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		body := copySet(held)
+		w.walkBody(s.Body, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+		// Loop bodies contribute events but, conservatively, no net
+		// held-set change.
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		body := copySet(held)
+		w.walkBody(s.Body, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Tag, held)
+		w.walkCases(s.Body, held, hasDefaultCase(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.walkStmt(s.Assign, held)
+		w.walkCases(s.Body, held, hasDefaultCase(s.Body))
+	case *ast.SelectStmt:
+		w.walkCases(s.Body, held, true)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.scanExpr(r, held)
+		}
+		for _, l := range s.Lhs {
+			w.scanExpr(l, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+	}
+	return false
+}
+
+func hasDefaultCase(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if cc, ok := s.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkCases walks each case/comm clause with its own copy of the held
+// set and merges by intersection; when the switch has no default, the
+// fallthrough-past state is one of the outcomes.
+func (w *loWalker) walkCases(b *ast.BlockStmt, held map[string]bool, exhaustive bool) {
+	var outs []map[string]bool
+	for _, s := range b.List {
+		var body []ast.Stmt
+		switch c := s.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, held)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			caseHeld := copySet(held)
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, caseHeld)
+			}
+			term := false
+			for _, bs := range c.Body {
+				if w.walkStmt(bs, caseHeld) {
+					term = true
+					break
+				}
+			}
+			if !term {
+				outs = append(outs, caseHeld)
+			}
+			continue
+		default:
+			continue
+		}
+		caseHeld := copySet(held)
+		term := false
+		for _, bs := range body {
+			if w.walkStmt(bs, caseHeld) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			outs = append(outs, caseHeld)
+		}
+	}
+	if !exhaustive {
+		outs = append(outs, copySet(held))
+	}
+	if len(outs) > 0 {
+		intersectInto(held, outs)
+	}
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// fixtureImporter serves previously-checked fixture packages by import
+// path and defers to the shared source importer for everything else,
+// letting one fixture package import another without touching disk.
+type fixtureImporter struct{ pkgs map[string]*types.Package }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if p := fi.pkgs[path]; p != nil {
+		return p, nil
+	}
+	return fixImp.Import(path)
+}
+
+// loadFixtureFile is loadFixture with a caller-chosen filename and
+// importer, for multi-package module fixtures. Distinct filenames keep
+// declaration-position identities (and directive indexes) from
+// colliding across the packages of one Run.
+func loadFixtureFile(t *testing.T, imp types.Importer, path, filename, src string) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fixFset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture %s: %v", filename, err)
+	}
+	conf := types.Config{Importer: imp}
+	info := newInfo()
+	tpkg, err := conf.Check(path, fixFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", filename, err)
+	}
+	return &Package{Path: path, Dir: ".", Fset: fixFset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// mustFind asserts one finding with the given analyzer, position and
+// message substring — the shape the planted-bug matrix (EXPERIMENTS
+// E22) is built from.
+func mustFind(t *testing.T, findings []Finding, analyzer, file string, line int, sub string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Analyzer == analyzer && f.Pos.Line == line && f.Pos.Filename == file &&
+			strings.Contains(f.Message, sub) {
+			return
+		}
+	}
+	t.Fatalf("no %s finding at %s:%d containing %q; got %v", analyzer, file, line, sub, findings)
+}
+
+// TestNewAnalyzersAcceptLiveTree loads the real solver, core and
+// broker packages and runs the four interprocedural analyzers,
+// asserting zero findings: the live tree is the negative fixture.
+func TestNewAnalyzersAcceptLiveTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("source-importing the live tree is slow")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./internal/core", "./internal/solver", "./internal/broker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 3 {
+		t.Fatalf("loaded %d packages, want at least 3", len(pkgs))
+	}
+	suite := []*Analyzer{AtomicCheck, LockOrder, LeakCheck, HotPath}
+	if findings := Run(pkgs, suite); len(findings) != 0 {
+		var b strings.Builder
+		for _, f := range findings {
+			b.WriteString("\n  " + f.String())
+		}
+		t.Fatalf("interprocedural analyzers must accept the live tree unchanged; got:%s", b.String())
+	}
+}

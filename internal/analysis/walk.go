@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// inspectWithStack walks the tree in depth-first order calling fn with
+// each node and the stack of its ancestors (outermost first, node not
+// included). fn returning false prunes the subtree.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// posKey renders an object's declaration position as a module-wide
+// identity string. Object identity itself does not hold across loaded
+// packages (each package type-checks its imports through the source
+// importer independently), but all packages share one FileSet, so the
+// declaration's file:line:column does.
+func posKey(fset *token.FileSet, obj types.Object) string {
+	return fset.Position(obj.Pos()).String()
+}
+
+// isField reports whether obj is a struct field.
+func isField(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}
+
+// isPkgVar reports whether obj is a package-level variable.
+func isPkgVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// namedTypePath returns the package path and name of e's named type,
+// looking through one level of pointer, or ("", "") when the type is
+// not named.
+func namedTypePath(t types.Type) (pkgPath, name string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// enclosingFuncName returns the name of the function declaration the
+// stack is inside, or "".
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// ownerNames maps every struct field object of the package to a
+// readable "Pkg.Type.field" label, for diagnostics that talk about
+// fields away from their declaration.
+func ownerNames(pkg *Package) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						out[obj] = pkg.Types.Name() + "." + ts.Name.Name + "." + name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

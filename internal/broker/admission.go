@@ -31,11 +31,15 @@ func (c AdmissionConfig) withDefaults() AdmissionConfig {
 }
 
 // admission is the gate: a semaphore of in-flight slots plus a
-// bounded wait queue, both plain buffered channels.
+// bounded wait queue, both plain buffered channels. The struct needs
+// no mutex — every field is set once in newAdmission and never
+// reassigned; the channels themselves are the synchronization, and
+// the companion draining flag on Server is an atomic.Bool (atomiccheck
+// holds it to atomic access everywhere).
 type admission struct {
-	sem        chan struct{}
-	queue      chan struct{}
-	retryAfter string // Retry-After header value, in whole seconds
+	sem        chan struct{} // immutable after construction; capacity = MaxInFlight
+	queue      chan struct{} // immutable after construction; capacity = MaxQueue
+	retryAfter string        // immutable after construction; Retry-After header value, in whole seconds
 	bm         *brokerMetrics
 }
 

@@ -478,11 +478,18 @@ func (s *Server) replayRecord(ctx context.Context, r store.Record) error {
 			j = s.newJournal(ctx, "recovery")
 		}
 		jctx := journal.ContextWith(ctx, j)
+		// Replay is single-threaded, but session, mon and history are
+		// guarded by e.mu everywhere else; holding it here keeps the
+		// invariant uniform. Released before storeJournal so the
+		// documented s.mu → e.mu order is never reversed.
+		e.mu.Lock()
 		sla, err := e.session.Renegotiate(jctx, rr.Requirement, rr.Lower, rr.Upper)
 		if err != nil {
+			e.mu.Unlock()
 			return err
 		}
 		if sla == nil {
+			e.mu.Unlock()
 			return fmt.Errorf("renegotiation of %q accepted live but rejected on replay", rr.ID)
 		}
 		e.mon.Rebase(sla.AgreedLevel)
@@ -490,6 +497,7 @@ func (s *Server) replayRecord(ctx context.Context, r store.Record) error {
 		e.history = append(e.history, histOp{
 			Kind: "renegotiate", Requirement: &req, Lower: rr.Lower, Upper: rr.Upper,
 		})
+		e.mu.Unlock()
 		s.storeJournal(rr.ID, j)
 		return nil
 	case recObserve:
@@ -501,7 +509,9 @@ func (s *Server) replayRecord(ctx context.Context, r store.Record) error {
 		if !ok {
 			return fmt.Errorf("observation of unknown SLA %q", or.ID)
 		}
+		e.mu.Lock()
 		violated := e.mon.Observe(or.Level)
+		e.mu.Unlock()
 		if violated != or.Violated {
 			return fmt.Errorf("observation of %q was violated=%t live but %t on replay", or.ID, or.Violated, violated)
 		}
@@ -510,6 +520,8 @@ func (s *Server) replayRecord(ctx context.Context, r store.Record) error {
 			if or.Offer == nil {
 				return fmt.Errorf("failover record for %q without offer", or.ID)
 			}
+			// Rebuilt outside e.mu — replaySession takes s.mu and the
+			// lock order is s.mu → e.mu, never the reverse.
 			sess, err := s.replaySession(ctx, e.req, or.Provider, *or.Offer)
 			if err != nil {
 				return err
@@ -518,11 +530,13 @@ func (s *Server) replayRecord(ctx context.Context, r store.Record) error {
 			if err != nil {
 				return err
 			}
+			e.mu.Lock()
 			e.versionBase += e.session.Version()
 			e.session, e.mon = sess, mon
 			e.history = append(e.history, histOp{
 				Kind: "failover", Provider: or.Provider, Offer: or.Offer,
 			})
+			e.mu.Unlock()
 		}
 		return nil
 	case recCompose:

@@ -23,6 +23,9 @@ func NewCombiner[T any](s *Space[T]) *Combiner[T] {
 	return &Combiner[T]{space: s}
 }
 
+// scratchDigits hands out the reusable digit vector, grown amortised.
+//
+//softsoa:hotpath
 func (cb *Combiner[T]) scratchDigits(n int) []int {
 	if cap(cb.digits) < n {
 		cb.digits = make([]int, n)
@@ -34,6 +37,9 @@ func (cb *Combiner[T]) scratchDigits(n int) []int {
 	return d
 }
 
+// row hands out the i-th reusable stride row, grown amortised.
+//
+//softsoa:hotpath
 func (cb *Combiner[T]) row(i, n int) []int {
 	for len(cb.rows) <= i {
 		cb.rows = append(cb.rows, nil)
@@ -45,6 +51,9 @@ func (cb *Combiner[T]) row(i, n int) []int {
 	return cb.rows[i]
 }
 
+// marks hands out the reusable per-variable mark vector.
+//
+//softsoa:hotpath
 func (cb *Combiner[T]) marks() []bool {
 	if n := len(cb.space.names); len(cb.mark) < n {
 		cb.mark = make([]bool, n)
@@ -54,6 +63,8 @@ func (cb *Combiner[T]) marks() []bool {
 
 // unionScopes computes the sorted union of the inputs' scopes into the
 // reusable union scratch slice.
+//
+//softsoa:hotpath
 func (cb *Combiner[T]) unionScopes(cs []*Constraint[T]) []int {
 	mark := cb.marks()
 	cb.union = cb.union[:0]

@@ -146,6 +146,8 @@ func (c *Constraint[T]) computeStride() {
 // partial assignment as long as the scope is covered. This is the
 // allocation-free fast path used by search solvers; At remains the
 // label-checked Assignment path.
+//
+//softsoa:hotpath
 func (c *Constraint[T]) AtIndex(digits []int) T {
 	idx := 0
 	for j, vi := range c.scope {

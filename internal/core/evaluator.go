@@ -54,6 +54,8 @@ func (e *Evaluator[T]) MaxScopeVar(k int) int {
 
 // Eval returns the value of constraint k under the digit vector,
 // which must cover at least the constraint's scope variables.
+//
+//softsoa:hotpath
 func (e *Evaluator[T]) Eval(k int, digits []int) T {
 	idx := 0
 	for j, vi := range e.scopeVars[k] {
@@ -64,6 +66,8 @@ func (e *Evaluator[T]) Eval(k int, digits []int) T {
 
 // EvalAll returns the semiring product of all constraint values under
 // the complete digit vector.
+//
+//softsoa:hotpath
 func (e *Evaluator[T]) EvalAll(digits []int) T {
 	acc := e.space.sr.One()
 	for k := range e.constraints {

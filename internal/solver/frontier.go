@@ -72,6 +72,7 @@ func (f *digitFrontier[T]) offer(digits []int, v T) bool {
 		buf = f.free[n-1][:len(digits)]
 		f.free = f.free[:n-1]
 	} else {
+		//lint:ignore hotpath free-list miss: steady state recycles displaced snapshot buffers
 		buf = make([]int, len(digits))
 	}
 	copy(buf, digits)

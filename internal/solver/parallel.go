@@ -170,6 +170,7 @@ func (b *sharedBound[T]) offer(v T) {
 	for {
 		old := b.cur.Load()
 		vals := *old
+		//lint:ignore hotpath CAS copy runs only on incumbent improvement, bounded by antichain growth
 		merged := make([]T, 0, len(vals)+1)
 		for _, w := range vals {
 			if semiring.Gt(b.sr, w, v) || b.sr.Eq(w, v) {

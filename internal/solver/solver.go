@@ -372,10 +372,13 @@ func newSearch[T any](pl *plan[T], fr *digitFrontier[T], shared *sharedBound[T])
 // upper bound. The steady-state path allocates nothing: the digit
 // vector is in place, constraint values come from stride-indexed
 // tables, and the frontier recycles displaced snapshot buffers.
+//
+//softsoa:hotpath
 func (s *bbSearch[T]) run(depth int, bound T) {
 	pl := s.pl
 	s.nodes++
 	if pl.tel != nil && s.nodes%pl.telStride == 0 {
+		//lint:ignore hotpath nil-guarded telemetry record, sampled every telStride nodes
 		pl.tel.RecordSearch(journal.SearchRecord{
 			Kind: "expand", Node: s.nodes, Depth: depth, Value: pl.sr.Format(bound),
 		})
@@ -392,6 +395,7 @@ func (s *bbSearch[T]) run(depth int, bound T) {
 				if pl.lookahead {
 					reason = "lookahead-bound"
 				}
+				//lint:ignore hotpath nil-guarded telemetry record, sampled every telStride prunes
 				pl.tel.RecordSearch(journal.SearchRecord{
 					Kind: "prune", Node: s.nodes, Depth: depth,
 					Value: pl.sr.Format(ub), Reason: reason,
@@ -404,6 +408,7 @@ func (s *bbSearch[T]) run(depth int, bound T) {
 		s.blevel = pl.sr.Plus(s.blevel, bound)
 		if s.fr.offer(s.digits, bound) {
 			if pl.tel != nil {
+				//lint:ignore hotpath nil-guarded telemetry on the rare incumbent-improvement path
 				pl.tel.RecordSearch(journal.SearchRecord{
 					Kind: "incumbent", Node: s.nodes, Depth: depth, Value: pl.sr.Format(bound),
 				})
