@@ -1,4 +1,4 @@
-.PHONY: all build test race vet lint lint-sarif lint-debt fuzz cover bench bench-go obs-smoke replay-check crash-recovery clean
+.PHONY: all build test race vet lint lint-sarif lint-debt fuzz cover bench bench-go bench-cache obs-smoke replay-check crash-recovery clean
 
 all: build vet lint test
 
@@ -52,6 +52,14 @@ bench:
 # One-shot smoke pass over the go-test E-series benchmarks.
 bench-go:
 	go test -bench . -benchtime 1x -run '^$$' .
+
+# Solve-cache report: the CI-sized grid plus the cache group — cold vs
+# memo-hit fixpoints and solves, warm-started perturbed re-solves, and
+# negotiation/renegotiation plan replay. Every hot row asserts result
+# equality with its cold partner before timing and records the
+# speedup; ratios are machine-dependent snapshots.
+bench-cache:
+	go run ./cmd/softsoa-bench -short -cache -out BENCH_pr8.json
 
 # End-to-end observability smoke: boot brokerd with the ops listener
 # and a journal directory, scrape /v1/metrics, fetch the negotiation's

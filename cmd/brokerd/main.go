@@ -50,6 +50,7 @@ import (
 
 	"softsoa/internal/broker"
 	"softsoa/internal/broker/store"
+	"softsoa/internal/cache"
 	"softsoa/internal/obs"
 	"softsoa/internal/obs/journal"
 	"softsoa/internal/policy"
@@ -81,6 +82,8 @@ func main() {
 		"minimum observations on an agreement before failover can trigger")
 	solverParallel := flag.Int("solver-parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for composition branch-and-bound (1 = sequential)")
+	solveCache := flag.Int("solve-cache", 4096,
+		"entries in the content-addressed solve cache serving repeat negotiations, renegotiations and compositions (0 disables)")
 	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	journalDir := flag.String("journal-dir", "",
@@ -122,6 +125,7 @@ func main() {
 			OpenTimeout:      *breakerOpen,
 		}),
 		broker.WithSolverParallelism(*solverParallel),
+		broker.WithSolveCache(cache.New(*solveCache)),
 		broker.WithLogger(logger),
 		broker.WithJournalRetention(*journalRetention),
 	}

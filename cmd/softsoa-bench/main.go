@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	softsoa-bench [-out BENCH_pr3.json] [-short] [-parallel N]
+//	softsoa-bench [-out BENCH_pr3.json] [-short] [-parallel N] [-cache]
 //
 // The report deliberately carries no timestamps or hostnames — only
 // toolchain and shape metadata — so reruns on the same machine diff
@@ -43,8 +43,13 @@ type Entry struct {
 	Tasks int64 `json:"tasks,omitempty"`
 	// Speedup is the ratio of the matching baseline entry's ns/op to
 	// this entry's: the sequential solve for parallel rows, the
-	// assignment-path evaluation for the indexed ablation row.
+	// assignment-path evaluation for the indexed ablation row, the
+	// cold partner for the solve-cache rows.
 	Speedup float64 `json:"speedup,omitempty"`
+	// HitRate is the fraction of cache lookups the timed loop served
+	// from the cache (solve-cache hot rows only; the warm-start row
+	// reports the fraction of solves that applied their seeds).
+	HitRate float64 `json:"hit_rate,omitempty"`
 }
 
 // Report is the full JSON document.
@@ -63,6 +68,8 @@ func main() {
 	short := flag.Bool("short", false, "run only the CI-sized workload grid")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"workers for the parallel rows (minimum 2: the sequential rows are the 1-worker reference)")
+	withCache := flag.Bool("cache", false,
+		"add the solve-cache group: cold vs memo-hit solves, warm-started perturbed re-solves, and negotiation/renegotiation plan replay")
 	flag.Parse()
 
 	workers := *parallel
@@ -151,6 +158,10 @@ func main() {
 		})
 		stamp(last(), parRes)
 		last().Speedup = round3(seq.NsPerOp / last().NsPerOp)
+	}
+
+	if *withCache {
+		cacheBenches(&rep, bench)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -50,10 +50,12 @@
 //
 //   - NewServer:     ServerOption     (WithServerVocabulary, WithBreaker,
 //     WithFailover, WithRequestTimeout, WithSolverParallelism,
-//     WithMetricsRegistry, WithTraceCapacity)
-//   - NewNegotiator: NegotiatorOption (WithVocabulary, WithProviderFilter)
+//     WithMetricsRegistry, WithTraceCapacity, WithSolveCache)
+//   - NewNegotiator: NegotiatorOption (WithVocabulary, WithProviderFilter,
+//     WithNegotiatorSolveCache)
 //   - NewComposer:   ComposerOption   (WithComposerVocabulary,
-//     WithComposerProviderFilter, WithSolverOptions)
+//     WithComposerProviderFilter, WithSolverOptions,
+//     WithComposerSolveCache)
 //   - NewClient:     ClientOption     (WithRetry, WithClientTimeout)
 //
 // Options are applied in order, later options overriding earlier
@@ -61,4 +63,19 @@
 // a whole option set to a subordinate component are named
 // With<Component>Options (WithSolverOptions); WithComposerSolver is
 // the deprecated spelling of that one.
+//
+// # Solve cache
+//
+// NewServer attaches a bounded content-addressed solve cache
+// (internal/cache) by default and threads it to its negotiator and
+// composer; WithSolveCache overrides the default (nil disables).
+// With the cache on, repeat negotiations with identical content
+// replay memoised plans — emitting byte-identical flight-recorder
+// journals without re-running the transition machine — sessions
+// share renegotiation plans under history-derived keys, the
+// c∅ precheck and composition solves read propagation fixpoints and
+// exact search memos through the cache, and composition re-solves
+// warm-start from the previous frontier. Cached outcomes are bitwise
+// those of the cold runs; error outcomes are never cached. Hit rates
+// are exported as the cache_* metric families on /v1/metrics.
 package broker

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"softsoa/internal/cache"
 	"softsoa/internal/obs"
 )
 
@@ -195,4 +196,35 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	//lint:ignore errcheck a failed debug-dump write means the client is gone; nothing to do
 	_ = s.traces.WriteJSON(w)
+}
+
+// registerCacheMetrics exports the solve cache's counters on the
+// registry as live families: cache_{hits,misses,evictions}_total are
+// labelled by tier (tables / fixpoint / search), cache_warm_starts_total
+// by result (applied / fallback), and cache_entries gauges the current
+// population. The readings come straight from the cache's atomics, so
+// every scrape sees the instantaneous truth without per-operation
+// instrument plumbing on the hot paths.
+func registerCacheMetrics(reg *obs.Registry, c *cache.Cache) {
+	tiers := []cache.Tier{cache.TierTables, cache.TierFixpoint, cache.TierSearch}
+	hits := map[string]func() float64{}
+	misses := map[string]func() float64{}
+	evictions := map[string]func() float64{}
+	for _, t := range tiers {
+		t := t
+		hits[t.String()] = func() float64 { return float64(c.TierStats(t).Hits) }
+		misses[t.String()] = func() float64 { return float64(c.TierStats(t).Misses) }
+		evictions[t.String()] = func() float64 { return float64(c.TierStats(t).Evictions) }
+	}
+	reg.CounterFuncs("cache_hits_total", "Solve cache hits by tier.", "tier", hits)
+	reg.CounterFuncs("cache_misses_total", "Solve cache misses by tier.", "tier", misses)
+	reg.CounterFuncs("cache_evictions_total", "Solve cache LRU evictions by tier.", "tier", evictions)
+	reg.CounterFuncs("cache_warm_starts_total",
+		"Warm-started solves by result: applied (seeded the search) or fallback (slot unusable, ran cold).",
+		"result", map[string]func() float64{
+			"applied":  func() float64 { applied, _ := c.WarmStats(); return float64(applied) },
+			"fallback": func() float64 { _, fb := c.WarmStats(); return float64(fb) },
+		})
+	reg.GaugeFunc("cache_entries", "Entries currently resident in the solve cache.",
+		func() float64 { return float64(c.Len()) })
 }

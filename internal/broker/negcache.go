@@ -1,0 +1,237 @@
+package broker
+
+import (
+	"softsoa/internal/cache"
+	"softsoa/internal/core"
+	"softsoa/internal/obs/journal"
+	"softsoa/internal/sccp"
+	"softsoa/internal/semiring"
+	"softsoa/internal/soa"
+)
+
+// This file is the broker side of the content-addressed solve cache:
+// negotiation instances (tier 1: the compiled space and constraint
+// tables a provider/requirement pair always produces), negotiation and
+// renegotiation plans (tier 3: the full machine outcome — status,
+// transition stream, final store — of a deterministic run), and the
+// key builders that address them. The machine is deterministic given
+// (semiring, offer, requirement, bounds): seed 1, fixed fuel, fixed
+// agent trees. A plan hit therefore replays the exact journal segment
+// the cold run recorded — byte for byte, including the transition
+// records — and mints a live Session from the cached store snapshot
+// without burning fuel.
+//
+// Plan keys deliberately exclude the provider *name*: two providers
+// registering identical QoS attributes produce identical machine runs,
+// so they share one plan; the replay stamps the current provider into
+// the outcome and the journal label. Error outcomes (fuel exhaustion,
+// machine faults) are never cached.
+
+// teeRecorder captures the machine's transition stream for a plan
+// while forwarding it unchanged to the live journal (when there is
+// one), so a cold run under a recorder journals exactly as before.
+type teeRecorder struct {
+	live   journal.Recorder
+	events []journal.TransitionRecord
+}
+
+func (t *teeRecorder) RecordTransition(r journal.TransitionRecord) {
+	t.events = append(t.events, r)
+	if t.live != nil {
+		t.live.RecordTransition(r)
+	}
+}
+
+// hashAttr folds every field of a QoS attribute that reaches the
+// compiled constraint (and the synthesised journal program).
+func hashAttr(h *cache.Hasher, a soa.Attribute) {
+	h.Str(a.Name)
+	h.Str(string(a.Metric))
+	h.Float(a.Base)
+	h.Float(a.PerUnit)
+	h.Str(a.Resource)
+	h.Int(a.MaxUnits)
+}
+
+// negInstanceKey addresses tier 1: the space and constraint tables of
+// a negotiation, a function of (semiring, offer, requirement) only —
+// the acceptance bounds live in the checked transition, not the
+// tables.
+func negInstanceKey(srName string, offer, req soa.Attribute) cache.Key {
+	h := cache.NewHasher("neg-instance")
+	h.Str(srName)
+	hashAttr(h, offer)
+	hashAttr(h, req)
+	return h.Sum()
+}
+
+// negPlanKey addresses tier 3: the complete outcome of a negotiation
+// run, additionally keyed by the client's acceptance interval.
+func negPlanKey(srName string, offer, req soa.Attribute, lower, upper *float64) cache.Key {
+	h := cache.NewHasher("neg-plan")
+	h.Str(srName)
+	hashAttr(h, offer)
+	hashAttr(h, req)
+	h.FloatPtr(lower)
+	h.FloatPtr(upper)
+	return h.Sum()
+}
+
+// renegKey addresses a renegotiation plan by the session's history
+// key — the negotiation plan key folded with every successful
+// renegotiation since (see Session.histKey) — plus the new requirement
+// and bounds. The history key determines σ bit for bit (failures roll
+// the store back, successes advance the key), so two sessions with the
+// same history run the identical machine and share one plan.
+func renegKey(hist cache.Key, newReq soa.Attribute, lower, upper *float64) cache.Key {
+	h := cache.NewHasher("reneg-plan")
+	h.Str(string(hist[:]))
+	hashAttr(h, newReq)
+	h.FloatPtr(lower)
+	h.FloatPtr(upper)
+	return h.Sum()
+}
+
+// composeSlotKey names the warm-start slot for a pipeline shape:
+// compositions over the same stages and metric perturb each other
+// (providers drift, breakers open and close), so each solve seeds the
+// next one's branch-and-bound bound.
+func composeSlotKey(req PipelineRequest) cache.Key {
+	h := cache.NewHasher("compose-slot")
+	h.Str(string(req.Metric))
+	h.Int(len(req.Stages))
+	for _, s := range req.Stages {
+		h.Str(s)
+	}
+	return h.Sum()
+}
+
+// negInstance is tier 1's cached value: everything negotiateOne
+// compiles before fuel starts burning. All fields are immutable after
+// construction — constraints and spaces are read-only by design, and
+// names/maxUnits/resourceVars are never written post-build — so one
+// instance is safely shared by concurrent negotiations and by every
+// session minted from it; each run gets its own fresh store.
+type negInstance struct {
+	space        *core.Space[float64]
+	names        []string
+	maxUnits     map[string]int
+	resourceVars map[string]core.Variable
+	offerCon     *core.Constraint[float64]
+	reqCon       *core.Constraint[float64]
+	spPCon       *core.Constraint[float64]
+	spCCon       *core.Constraint[float64]
+}
+
+// negPlan is tier 3's cached value for a whole negotiation run.
+type negPlan struct {
+	inst  *negInstance
+	offer soa.Attribute // content-equal to every hit's offer
+
+	// Doomed precheck: the machine never ran.
+	prechecked  bool
+	doomedValue string // sr.Format(c∅), for the journal's search record
+	doomedNote  string // the segment note of the skipped run
+
+	// Full run.
+	program     string // synthesised replayable program ("" if withheld)
+	czeroNote   string // viable precheck's formatted c∅ ("" without bounds)
+	status      sccp.Status
+	transitions []journal.TransitionRecord
+	endStore    string
+	endBlevel   string
+
+	// Success extras.
+	agreed    float64
+	resources map[string]int
+	storeSnap *core.Store[float64] // final σ; Snapshot() per minted session
+}
+
+// renegPlan is tier 3's cached value for a renegotiation run on one
+// session version.
+type renegPlan struct {
+	prog        string
+	setup       int
+	note        string
+	status      sccp.Status
+	transitions []journal.TransitionRecord
+	endStore    string
+	endBlevel   string
+	postSnap    *core.Store[float64] // post-success σ; nil unless succeeded
+}
+
+// copyResources defends cached allocation maps against caller
+// mutation.
+func copyResources(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// replayNegotiation serves a negotiation from a cached plan: it
+// re-emits the journal segment the cold run recorded (same label
+// scheme, same program, same transition records, same final store
+// strings — the replay checker cannot tell them apart) and, on
+// success, mints a fresh Session over an independent snapshot of the
+// cached final store.
+func (n *Negotiator) replayNegotiation(
+	j *journal.Journal,
+	sr semiring.Semiring[float64],
+	req Request,
+	provider string,
+	planKey cache.Key,
+	pl *negPlan,
+) (ProviderOutcome, *Session) {
+	if pl.prechecked {
+		if j != nil {
+			j.BeginSegment(journal.Segment{
+				Label: "negotiate:" + provider,
+				Note:  pl.doomedNote,
+			})
+			j.RecordSearch(journal.SearchRecord{Kind: "propagate", Value: pl.doomedValue, Reason: "doomed"})
+			j.EndSegment(sccp.Stuck.String(), "", "")
+		}
+		return ProviderOutcome{Provider: provider, Status: sccp.Stuck, Prechecked: true}, nil
+	}
+	if j != nil {
+		j.BeginSegment(journal.Segment{
+			Label:   "negotiate:" + provider,
+			Program: pl.program,
+			Seed:    1,
+			Fuel:    negotiationFuel,
+		})
+		if pl.czeroNote != "" {
+			j.RecordSearch(journal.SearchRecord{Kind: "propagate", Value: pl.czeroNote, Reason: "viable"})
+		}
+		for _, tr := range pl.transitions {
+			j.RecordTransition(tr)
+		}
+		j.EndSegment(pl.status.String(), pl.endStore, pl.endBlevel)
+	}
+	po := ProviderOutcome{Provider: provider, Status: pl.status}
+	if pl.status != sccp.Succeeded {
+		return po, nil
+	}
+	po.AgreedLevel = pl.agreed
+	po.Resources = copyResources(pl.resources)
+	sess := &Session{
+		histKey:      planKey,
+		cache:        n.cache,
+		provider:     provider,
+		service:      req.Service,
+		client:       req.Client,
+		metric:       req.Metric,
+		sr:           sr,
+		space:        pl.inst.space,
+		store:        pl.storeSnap.Snapshot(),
+		reqCon:       pl.inst.reqCon,
+		offerAttr:    pl.offer,
+		reqAttr:      req.Requirement,
+		maxUnits:     pl.inst.maxUnits,
+		resourceVars: pl.inst.resourceVars,
+		version:      1,
+	}
+	return po, sess
+}

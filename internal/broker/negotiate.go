@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"softsoa/internal/cache"
 	"softsoa/internal/core"
 	"softsoa/internal/obs"
 	"softsoa/internal/obs/journal"
@@ -100,11 +101,21 @@ type Outcome struct {
 // HealthBoard so sick providers are skipped.
 type ProviderFilter func(provider string) (ok bool, reason string)
 
+// negotiationFuel and renegotiationFuel bound the machine runs; they
+// are part of every cached plan's meaning (a plan replays a run of
+// exactly this fuel), so they are package-level constants rather than
+// per-call choices.
+const (
+	negotiationFuel   = 200
+	renegotiationFuel = 50
+)
+
 // Negotiator is the broker's negotiation engine over a registry.
 type Negotiator struct {
 	reg    *soa.Registry
 	vocab  *policy.Vocabulary
 	filter ProviderFilter
+	cache  *cache.Cache
 }
 
 // NegotiatorOption configures a Negotiator.
@@ -121,6 +132,21 @@ func WithVocabulary(v *policy.Vocabulary) NegotiatorOption {
 // reason. A nil filter admits everyone.
 func WithProviderFilter(f ProviderFilter) NegotiatorOption {
 	return func(n *Negotiator) { n.filter = f }
+}
+
+// WithNegotiatorSolveCache attaches a content-addressed solve cache.
+// Tier 1 memoises the compiled negotiation instance (space and
+// constraint tables) per (semiring, offer, requirement); tier 2 serves
+// the propagation precheck's fixpoint through solver.PropagateCached,
+// so a request never computes the same c∅ twice; tier 3 memoises whole
+// negotiation plans — status, transition stream, final store — keyed
+// additionally by the acceptance interval, and renegotiation plans
+// keyed by (session, version, new requirement, bounds). Cached and
+// cold negotiations are bit-identical: same outcome, same SLA, and
+// byte-for-byte the same journal segments. A nil cache disables
+// caching.
+func WithNegotiatorSolveCache(c *cache.Cache) NegotiatorOption {
+	return func(n *Negotiator) { n.cache = c }
 }
 
 // NewNegotiator returns a negotiator over the registry.
@@ -256,13 +282,192 @@ func (n *Negotiator) negotiateOne(
 	provider string,
 	offer soa.Attribute,
 ) (ProviderOutcome, *Session, error) {
-	space := core.NewSpace[float64](sr)
+	j := journal.FromContext(ctx)
+	wantPlan := n.cache != nil
+	var planKey cache.Key
+	if wantPlan {
+		planKey = negPlanKey(sr.Name(), offer, req.Requirement, req.Lower, req.Upper)
+		if v, ok := n.cache.Get(cache.TierSearch, planKey); ok {
+			if pl, ok := v.(*negPlan); ok {
+				po, sess := n.replayNegotiation(j, sr, req, provider, planKey, pl)
+				return po, sess, nil
+			}
+		}
+	}
 
-	// Resource variables: one per distinct resource name, sized to
-	// cover both parties' declared ranges.
+	inst, err := n.negInstanceFor(sr, req.Requirement, offer)
+	if err != nil {
+		return ProviderOutcome{}, nil, err
+	}
+	space, resourceVars := inst.space, inst.resourceVars
+	offerCon, reqCon := inst.offerCon, inst.reqCon
+	spPCon, spCCon := inst.spPCon, inst.spCCon
+
+	// Propagation precheck: node consistency over the two constraints
+	// about to be told yields c∅, and for a store of unaries c∅ equals
+	// the eventual blevel exactly — the same floating-point Times
+	// applications in the same order, and the sync flags contribute the
+	// exact identity One at the success labels. So when the client
+	// states a lower bound a1 and already c∅ < a1, the checked ask can
+	// never fire: skip the machine run and report the Stuck outcome it
+	// would have reached. The fixpoint reads through the cache's tier 2
+	// (solver.PropagateCached), so one request never runs the same
+	// propagation twice and repeat requests share the c∅ of the first.
+	var czeroNote string
+	if req.Lower != nil {
+		sp := obs.StartSpan(ctx, "precheck:"+provider)
+		pre := core.NewProblem(space)
+		pre.Add(offerCon, reqCon)
+		_, czero, _ := solver.PropagateCached(n.cache, pre, 1)
+		sp.End()
+		if semiring.Lt(sr, czero, *req.Lower) {
+			note := fmt.Sprintf("prechecked: c∅ = %s below lower threshold %s, machine run skipped",
+				sr.Format(czero), sr.Format(*req.Lower))
+			if j != nil {
+				// No program: the live run was skipped, so there is
+				// nothing to replay — the segment is evidence only.
+				j.BeginSegment(journal.Segment{
+					Label: "negotiate:" + provider,
+					Note:  note,
+				})
+				j.RecordSearch(journal.SearchRecord{Kind: "propagate", Value: sr.Format(czero), Reason: "doomed"})
+				j.EndSegment(sccp.Stuck.String(), "", "")
+			}
+			if wantPlan {
+				n.cache.Put(cache.TierSearch, planKey, &negPlan{
+					inst: inst, offer: offer,
+					prechecked:  true,
+					doomedValue: sr.Format(czero),
+					doomedNote:  note,
+				})
+			}
+			return ProviderOutcome{Provider: provider, Status: sccp.Stuck, Prechecked: true}, nil, nil
+		}
+		czeroNote = sr.Format(czero)
+	}
+
+	check := sccp.Check[float64]{LowerValue: req.Lower, UpperValue: req.Upper}
+	pAgent := sccp.Tell[float64]{C: offerCon, Next: sccp.Tell[float64]{C: spPCon, Next: sccp.Ask[float64]{
+		C: spCCon, Next: sccp.Success[float64]{},
+	}}}
+	cAgent := sccp.Tell[float64]{C: reqCon, Next: sccp.Tell[float64]{C: spCCon, Next: sccp.Ask[float64]{
+		C: spPCon, Check: check, Next: sccp.Success[float64]{},
+	}}}
+
+	var prog string
+	if j != nil || wantPlan {
+		prog = negotiationJournalProgram(
+			sr.Name(), offer, req.Requirement, inst.names, inst.maxUnits, req.Lower, req.Upper)
+	}
+	var machineOpts []sccp.MachineOption[float64]
+	if j != nil {
+		j.BeginSegment(journal.Segment{
+			Label:   "negotiate:" + provider,
+			Program: prog,
+			Seed:    1,
+			Fuel:    negotiationFuel,
+		})
+		if czeroNote != "" {
+			j.RecordSearch(journal.SearchRecord{Kind: "propagate", Value: czeroNote, Reason: "viable"})
+		}
+	}
+	var tee *teeRecorder
+	if wantPlan {
+		var live journal.Recorder
+		if j != nil {
+			live = j
+		}
+		tee = &teeRecorder{live: live}
+		machineOpts = append(machineOpts, sccp.WithRecorder[float64](tee))
+	} else if j != nil {
+		machineOpts = append(machineOpts, sccp.WithRecorder[float64](j))
+	}
+
+	m := sccp.NewMachine(space, sccp.Par[float64](pAgent, cAgent), machineOpts...)
+	sp := obs.StartSpan(ctx, "nmsccp:"+provider)
+	status, err := m.Run(negotiationFuel)
+	sp.End()
+	if err != nil {
+		if j != nil {
+			j.EndSegment("error", "", "")
+		}
+		return ProviderOutcome{}, nil, fmt.Errorf("broker: negotiation with %q: %w", provider, err)
+	}
+	var endStore, endBlevel string
+	if j != nil || wantPlan {
+		endStore = m.Store().Constraint().String()
+		endBlevel = sr.Format(m.Store().Blevel())
+	}
+	if j != nil {
+		j.EndSegment(status.String(), endStore, endBlevel)
+	}
+	po := ProviderOutcome{Provider: provider, Status: status}
+	if status != sccp.Succeeded {
+		if wantPlan {
+			n.cache.Put(cache.TierSearch, planKey, &negPlan{
+				inst: inst, offer: offer,
+				program: prog, czeroNote: czeroNote, status: status,
+				transitions: tee.events, endStore: endStore, endBlevel: endBlevel,
+			})
+		}
+		return po, nil, nil
+	}
+	po.AgreedLevel = m.Store().Blevel()
+	po.Resources = bestResources(sr, m.Store().Constraint(), resourceVars)
+	sess := &Session{
+		histKey:      planKey,
+		cache:        n.cache,
+		provider:     provider,
+		service:      req.Service,
+		client:       req.Client,
+		metric:       req.Metric,
+		sr:           sr,
+		space:        space,
+		store:        m.Store(),
+		reqCon:       reqCon,
+		offerAttr:    offer,
+		reqAttr:      req.Requirement,
+		maxUnits:     inst.maxUnits,
+		resourceVars: resourceVars,
+		version:      1,
+	}
+	if wantPlan {
+		n.cache.Put(cache.TierSearch, planKey, &negPlan{
+			inst: inst, offer: offer,
+			program: prog, czeroNote: czeroNote, status: status,
+			transitions: tee.events, endStore: endStore, endBlevel: endBlevel,
+			agreed:    po.AgreedLevel,
+			resources: copyResources(po.Resources),
+			storeSnap: m.Store().Snapshot(),
+		})
+	}
+	return po, sess, nil
+}
+
+// negInstanceFor compiles (or fetches from tier 1) the negotiation
+// instance for an (offer, requirement) pair: the space with one
+// variable per distinct resource name sized to cover both parties'
+// declared ranges plus the two sync flags, and the four constraint
+// tables the agents tell. The instance is immutable and shared; every
+// machine run gets its own store.
+func (n *Negotiator) negInstanceFor(
+	sr semiring.Semiring[float64],
+	reqAttr soa.Attribute,
+	offer soa.Attribute,
+) (*negInstance, error) {
+	var key cache.Key
+	if n.cache != nil {
+		key = negInstanceKey(sr.Name(), offer, reqAttr)
+		if v, ok := n.cache.Get(cache.TierTables, key); ok {
+			if inst, ok := v.(*negInstance); ok {
+				return inst, nil
+			}
+		}
+	}
+	space := core.NewSpace[float64](sr)
 	maxUnits := map[string]int{offer.Resource: offer.MaxUnits}
-	if cur, ok := maxUnits[req.Requirement.Resource]; !ok || req.Requirement.MaxUnits > cur {
-		maxUnits[req.Requirement.Resource] = req.Requirement.MaxUnits
+	if cur, ok := maxUnits[reqAttr.Resource]; !ok || reqAttr.MaxUnits > cur {
+		maxUnits[reqAttr.Resource] = reqAttr.MaxUnits
 	}
 	resourceVars := map[string]core.Variable{}
 	names := make([]string, 0, len(maxUnits))
@@ -278,11 +483,11 @@ func (n *Negotiator) negotiateOne(
 
 	offerCon, err := offer.ToConstraint(space, resourceVars[offer.Resource])
 	if err != nil {
-		return ProviderOutcome{}, nil, err
+		return nil, err
 	}
-	reqCon, err := req.Requirement.ToConstraint(space, resourceVars[req.Requirement.Resource])
+	reqCon, err := reqAttr.ToConstraint(space, resourceVars[reqAttr.Resource])
 	if err != nil {
-		return ProviderOutcome{}, nil, err
+		return nil, err
 	}
 	flag := func(v core.Variable) *core.Constraint[float64] {
 		return core.NewConstraint(space, []core.Variable{v}, func(a core.Assignment) float64 {
@@ -292,100 +497,20 @@ func (n *Negotiator) negotiateOne(
 			return sr.Zero()
 		})
 	}
-	spPCon, spCCon := flag(spP), flag(spC)
-
-	// Propagation precheck: node consistency over the two constraints
-	// about to be told yields c∅, and for a store of unaries c∅ equals
-	// the eventual blevel exactly — the same floating-point Times
-	// applications in the same order, and the sync flags contribute the
-	// exact identity One at the success labels. So when the client
-	// states a lower bound a1 and already c∅ < a1, the checked ask can
-	// never fire: skip the machine run and report the Stuck outcome it
-	// would have reached.
-	j := journal.FromContext(ctx)
-	var czeroNote string
-	if req.Lower != nil {
-		sp := obs.StartSpan(ctx, "precheck:"+provider)
-		pre := core.NewProblem(space)
-		pre.Add(offerCon, reqCon)
-		_, czero, _ := solver.Propagate(pre, 1)
-		sp.End()
-		if semiring.Lt(sr, czero, *req.Lower) {
-			if j != nil {
-				// No program: the live run was skipped, so there is
-				// nothing to replay — the segment is evidence only.
-				j.BeginSegment(journal.Segment{
-					Label: "negotiate:" + provider,
-					Note: fmt.Sprintf("prechecked: c∅ = %s below lower threshold %s, machine run skipped",
-						sr.Format(czero), sr.Format(*req.Lower)),
-				})
-				j.RecordSearch(journal.SearchRecord{Kind: "propagate", Value: sr.Format(czero), Reason: "doomed"})
-				j.EndSegment(sccp.Stuck.String(), "", "")
-			}
-			return ProviderOutcome{Provider: provider, Status: sccp.Stuck, Prechecked: true}, nil, nil
-		}
-		czeroNote = sr.Format(czero)
-	}
-
-	check := sccp.Check[float64]{LowerValue: req.Lower, UpperValue: req.Upper}
-	pAgent := sccp.Tell[float64]{C: offerCon, Next: sccp.Tell[float64]{C: spPCon, Next: sccp.Ask[float64]{
-		C: spCCon, Next: sccp.Success[float64]{},
-	}}}
-	cAgent := sccp.Tell[float64]{C: reqCon, Next: sccp.Tell[float64]{C: spCCon, Next: sccp.Ask[float64]{
-		C: spPCon, Check: check, Next: sccp.Success[float64]{},
-	}}}
-
-	const negotiationFuel = 200
-	var machineOpts []sccp.MachineOption[float64]
-	if j != nil {
-		j.BeginSegment(journal.Segment{
-			Label: "negotiate:" + provider,
-			Program: negotiationJournalProgram(
-				sr.Name(), offer, req.Requirement, names, maxUnits, req.Lower, req.Upper),
-			Seed: 1,
-			Fuel: negotiationFuel,
-		})
-		if czeroNote != "" {
-			j.RecordSearch(journal.SearchRecord{Kind: "propagate", Value: czeroNote, Reason: "viable"})
-		}
-		machineOpts = append(machineOpts, sccp.WithRecorder[float64](j))
-	}
-
-	m := sccp.NewMachine(space, sccp.Par[float64](pAgent, cAgent), machineOpts...)
-	sp := obs.StartSpan(ctx, "nmsccp:"+provider)
-	status, err := m.Run(negotiationFuel)
-	sp.End()
-	if err != nil {
-		if j != nil {
-			j.EndSegment("error", "", "")
-		}
-		return ProviderOutcome{}, nil, fmt.Errorf("broker: negotiation with %q: %w", provider, err)
-	}
-	if j != nil {
-		j.EndSegment(status.String(), m.Store().Constraint().String(), sr.Format(m.Store().Blevel()))
-	}
-	po := ProviderOutcome{Provider: provider, Status: status}
-	if status != sccp.Succeeded {
-		return po, nil, nil
-	}
-	po.AgreedLevel = m.Store().Blevel()
-	po.Resources = bestResources(sr, m.Store().Constraint(), resourceVars)
-	sess := &Session{
-		provider:     provider,
-		service:      req.Service,
-		client:       req.Client,
-		metric:       req.Metric,
-		sr:           sr,
+	inst := &negInstance{
 		space:        space,
-		store:        m.Store(),
-		reqCon:       reqCon,
-		offerAttr:    offer,
-		reqAttr:      req.Requirement,
+		names:        names,
 		maxUnits:     maxUnits,
 		resourceVars: resourceVars,
-		version:      1,
+		offerCon:     offerCon,
+		reqCon:       reqCon,
+		spPCon:       flag(spP),
+		spCCon:       flag(spC),
 	}
-	return po, sess, nil
+	if n.cache != nil {
+		n.cache.Put(cache.TierTables, key, inst)
+	}
+	return inst, nil
 }
 
 // bestResources extracts the resource allocation attaining the

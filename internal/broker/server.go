@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"softsoa/internal/broker/store"
+	"softsoa/internal/cache"
 	"softsoa/internal/obs"
 	"softsoa/internal/obs/journal"
 	"softsoa/internal/policy"
@@ -205,7 +206,13 @@ type serverConfig struct {
 	st               store.Store
 	snapshotEvery    int
 	admission        AdmissionConfig
+	solveCache       *cache.Cache
+	solveCacheSet    bool
 }
+
+// defaultSolveCacheSize is the entry capacity of the solve cache a
+// server creates when WithSolveCache is not used.
+const defaultSolveCacheSize = 4096
 
 // WithServerVocabulary equips the broker daemon with a capability
 // vocabulary, enabling MUST/MAY capability policies on the wire.
@@ -295,6 +302,24 @@ func WithStateStore(st store.Store) ServerOption {
 	return func(c *serverConfig) { c.st = st }
 }
 
+// WithSolveCache installs the content-addressed solve cache shared by
+// the negotiator (negotiation instances, propagation fixpoints,
+// negotiation and renegotiation plans) and the composer (exact solve
+// memos and per-pipeline-shape warm starts). By default the server
+// creates its own cache of defaultSolveCacheSize entries; pass an
+// explicit cache to share one across embedded brokers or to size it,
+// or nil to disable caching entirely. Cached and cold requests are
+// bit-identical — same SLAs, same journals — the cache only changes
+// how fast the answer is computed. Hit/miss/eviction and warm-start
+// counters are exported on the metrics registry (cache_hits_total and
+// friends, labelled by tier).
+func WithSolveCache(c *cache.Cache) ServerOption {
+	return func(cfg *serverConfig) {
+		cfg.solveCache = c
+		cfg.solveCacheSet = true
+	}
+}
+
 // WithSnapshotEvery compacts the WAL into a snapshot every n appended
 // records (default 256; <= 0 disables periodic snapshots — only
 // Flush writes one).
@@ -378,10 +403,19 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 		}
 		return false, "circuit breaker open"
 	}
-	s.negotiator = NewNegotiator(reg, WithVocabulary(cfg.vocab), WithProviderFilter(filter))
+	if !cfg.solveCacheSet {
+		cfg.solveCache = cache.New(defaultSolveCacheSize)
+	}
+	negOpts := []NegotiatorOption{WithVocabulary(cfg.vocab), WithProviderFilter(filter)}
 	composerOpts := []ComposerOption{
 		WithComposerVocabulary(cfg.vocab), WithComposerProviderFilter(filter),
 	}
+	if cfg.solveCache != nil {
+		negOpts = append(negOpts, WithNegotiatorSolveCache(cfg.solveCache))
+		composerOpts = append(composerOpts, WithComposerSolveCache(cfg.solveCache))
+		registerCacheMetrics(cfg.metrics, cfg.solveCache)
+	}
+	s.negotiator = NewNegotiator(reg, negOpts...)
 	if cfg.solverWorkers > 1 {
 		composerOpts = append(composerOpts, WithSolverOptions(solver.WithParallel(cfg.solverWorkers)))
 	}

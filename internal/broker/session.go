@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"softsoa/internal/cache"
 	"softsoa/internal/core"
 	"softsoa/internal/obs/journal"
 	"softsoa/internal/sccp"
@@ -20,6 +21,16 @@ import (
 // A Session is not safe for concurrent use; the broker server
 // serialises access per SLA.
 type Session struct {
+	// histKey is the session's content-derived history: the negotiation
+	// plan key it was minted under, folded with every successful
+	// renegotiation's key since. It determines the current σ bit for
+	// bit, so it keys cached renegotiation plans — and two sessions
+	// with equal histories (repeat negotiations of the same template)
+	// share them. cache is the negotiator's solve cache (nil when
+	// caching is off).
+	histKey cache.Key
+	cache   *cache.Cache
+
 	provider     string
 	service      string
 	client       string
@@ -101,6 +112,22 @@ func (s *Session) Renegotiate(ctx context.Context, newReq soa.Attribute, lower, 
 		return nil, err
 	}
 
+	j := journal.FromContext(ctx)
+	var memoKey cache.Key
+	if s.cache != nil {
+		memoKey = renegKey(s.histKey, newReq, lower, upper)
+		if v, ok := s.cache.Get(cache.TierSearch, memoKey); ok {
+			// A success plan restores the cached post-run snapshot, so
+			// it is only usable by sessions over the same space object
+			// (plans can outlive their tier-1 instance in the LRU and a
+			// rebuilt instance is a fresh space; σ content is equal but
+			// Restore is rightly strict). Mismatches fall through cold.
+			if pl, ok := v.(*renegPlan); ok && (pl.postSnap == nil || pl.postSnap.Space() == s.space) {
+				return s.replayRenegotiation(j, memoKey, newReq, newCon, pl)
+			}
+		}
+	}
+
 	check := sccp.Check[float64]{LowerValue: lower, UpperValue: upper}
 	agent := sccp.Retract[float64]{
 		C: s.reqCon,
@@ -111,23 +138,37 @@ func (s *Session) Renegotiate(ctx context.Context, newReq soa.Attribute, lower, 
 		},
 	}
 
-	const renegotiationFuel = 50
-	j := journal.FromContext(ctx)
+	wantPlan := s.cache != nil
+	var prog string
+	var setup int
+	var note string
+	if j != nil || wantPlan {
+		prog, setup = renegotiationJournalProgram(s, newReq, lower, upper)
+		note = fmt.Sprintf("session version %d", s.version)
+	}
 	var machineOpts []sccp.MachineOption[float64]
+	machineOpts = append(machineOpts, sccp.WithStore[float64](s.store))
 	if j != nil {
 		j.SetSemiring(s.sr.Name())
-		prog, setup := renegotiationJournalProgram(s, newReq, lower, upper)
 		j.BeginSegment(journal.Segment{
 			Label:   "renegotiate:" + s.provider,
 			Program: prog,
 			Seed:    1,
 			Fuel:    renegotiationFuel + setup,
 			Setup:   setup,
-			Note:    fmt.Sprintf("session version %d", s.version),
+			Note:    note,
 		})
-		machineOpts = append(machineOpts, sccp.WithStore[float64](s.store), sccp.WithRecorder[float64](j))
-	} else {
-		machineOpts = append(machineOpts, sccp.WithStore[float64](s.store))
+	}
+	var tee *teeRecorder
+	if wantPlan {
+		var live journal.Recorder
+		if j != nil {
+			live = j
+		}
+		tee = &teeRecorder{live: live}
+		machineOpts = append(machineOpts, sccp.WithRecorder[float64](tee))
+	} else if j != nil {
+		machineOpts = append(machineOpts, sccp.WithRecorder[float64](j))
 	}
 
 	snapshot := s.store.Snapshot()
@@ -142,13 +183,67 @@ func (s *Session) Renegotiate(ctx context.Context, newReq soa.Attribute, lower, 
 	}
 	// Record the machine's view of the store before any rollback: the
 	// replay re-executes the run itself, not the rollback.
+	var endStore, endBlevel string
+	if j != nil || wantPlan {
+		endStore = s.store.Constraint().String()
+		endBlevel = s.sr.Format(s.store.Blevel())
+	}
 	if j != nil {
-		j.EndSegment(status.String(), s.store.Constraint().String(), s.sr.Format(s.store.Blevel()))
+		j.EndSegment(status.String(), endStore, endBlevel)
+	}
+	if wantPlan {
+		pl := &renegPlan{
+			prog: prog, setup: setup, note: note, status: status,
+			transitions: tee.events, endStore: endStore, endBlevel: endBlevel,
+		}
+		if status == sccp.Succeeded {
+			pl.postSnap = s.store.Snapshot()
+		}
+		s.cache.Put(cache.TierSearch, memoKey, pl)
 	}
 	if status != sccp.Succeeded {
 		s.store.Restore(snapshot)
 		return nil, nil
 	}
+	s.histKey = memoKey
+	s.reqCon = newCon
+	s.reqAttr = newReq
+	s.version++
+	return s.SLA(), nil
+}
+
+// replayRenegotiation serves a renegotiation from a cached plan: the
+// journal segment is re-emitted byte for byte (same program, setup,
+// transitions and final store strings), and on success the session
+// store is restored to the cached post-run snapshot — the same σ the
+// cold run left behind — before the version advances.
+func (s *Session) replayRenegotiation(
+	j *journal.Journal,
+	memoKey cache.Key,
+	newReq soa.Attribute,
+	newCon *core.Constraint[float64],
+	pl *renegPlan,
+) (*soa.SLA, error) {
+	if j != nil {
+		j.SetSemiring(s.sr.Name())
+		j.BeginSegment(journal.Segment{
+			Label:   "renegotiate:" + s.provider,
+			Program: pl.prog,
+			Seed:    1,
+			Fuel:    renegotiationFuel + pl.setup,
+			Setup:   pl.setup,
+			Note:    pl.note,
+		})
+		for _, tr := range pl.transitions {
+			j.RecordTransition(tr)
+		}
+		j.EndSegment(pl.status.String(), pl.endStore, pl.endBlevel)
+	}
+	if pl.status != sccp.Succeeded {
+		return nil, nil
+	}
+	s.store.Restore(pl.postSnap)
+	s.histKey = memoKey
 	s.reqCon = newCon
 	s.reqAttr = newReq
 	s.version++

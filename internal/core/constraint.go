@@ -258,6 +258,15 @@ func (c *Constraint[T]) ForEach(fn func(Assignment, T)) {
 	}
 }
 
+// Values appends the table's values to dst in mixed-radix order and
+// returns the extended slice. It is the bulk form of ForEach for
+// content hashing and serialisation: no per-tuple assignments are
+// materialised, and the order is the same canonical one String
+// renders.
+func (c *Constraint[T]) Values(dst []T) []T {
+	return append(dst, c.table...)
+}
+
 // String renders the constraint as a readable table, tuples in
 // mixed-radix order.
 func (c *Constraint[T]) String() string {

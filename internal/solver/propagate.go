@@ -4,6 +4,12 @@ import (
 	"softsoa/internal/core"
 )
 
+// defaultPropRounds caps propagation sweeps when the caller passes
+// maxRounds <= 0. The fixpoint cache key normalises rounds through
+// the same constant, so Propagate(p, 0) and Propagate(p, 16) share
+// one entry.
+const defaultPropRounds = 16
+
 // PropagationStats records the work of a Propagate run.
 type PropagationStats struct {
 	// Rounds is the number of sweeps until fixpoint (or the cap).
@@ -97,7 +103,7 @@ func Propagate[T any](p *core.Problem[T], maxRounds int) (*core.Problem[T], T, P
 	}
 
 	if maxRounds <= 0 {
-		maxRounds = 16
+		maxRounds = defaultPropRounds
 	}
 	for round := 0; round < maxRounds; round++ {
 		changed := false

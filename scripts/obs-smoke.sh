@@ -1,10 +1,12 @@
 #!/bin/sh
 # obs-smoke boots brokerd with both listeners and a journal directory,
 # drives one publish + negotiate through the v1 API, scrapes
-# /v1/metrics, asserts three metric families are present, then fetches
+# /v1/metrics, asserts the metric families are present, then fetches
 # the negotiation's flight-recorder journal and verifies it with
-# softsoa-replay — both the HTTP copy and the -journal-dir dump.
-# Exits non-zero on any miss.
+# softsoa-replay — both the HTTP copy and the -journal-dir dump. A
+# second identical negotiation must then replay from the solve cache
+# (cache_hits_total > 0) and still emit a journal that replays
+# exactly. Exits non-zero on any miss.
 set -eu
 
 ADDR=127.0.0.1:18700
@@ -72,6 +74,31 @@ if [ ! -f "$JOURNALS/$SLA_ID.jsonl" ]; then
     exit 1
 fi
 "$REPLAY" -q "$JOURNALS/$SLA_ID.jsonl"
+
+# A second identical negotiation replays the memoised plan. Its
+# journal must still replay exactly, and the cache families must
+# show up on the next scrape with at least one hit.
+SLA2=$(curl -fsS -X POST "http://$ADDR/v1/negotiations" -d \
+    '<negotiate service="failmgmt" client="shop" metric="cost"><requirement metric="cost" base="0" perUnit="2" resource="failures" maxUnits="10"></requirement><lower>4</lower><upper>1</upper></negotiate>')
+SLA2_ID=$(printf '%s' "$SLA2" | sed -n 's/.*sla id="\([^"]*\)".*/\1/p')
+if [ -z "$SLA2_ID" ] || [ "$SLA2_ID" = "$SLA_ID" ]; then
+    echo "obs-smoke: repeat negotiation returned no fresh SLA id" >&2
+    exit 1
+fi
+curl -fsS "http://$ADDR/v1/negotiations/$SLA2_ID/journal?format=jsonl" | "$REPLAY" -
+
+curl -fsS "http://$ADDR/v1/metrics" >"$METRICS"
+for family in cache_hits_total cache_misses_total cache_entries cache_warm_starts_total; do
+    if ! grep -q "^$family" "$METRICS"; then
+        echo "obs-smoke: family $family missing from /v1/metrics" >&2
+        exit 1
+    fi
+done
+HITS=$(awk '/^cache_hits_total\{/ { sum += $NF } END { print sum + 0 }' "$METRICS")
+if [ "$HITS" -lt 1 ]; then
+    echo "obs-smoke: repeat negotiation produced no cache hits (cache_hits_total = $HITS)" >&2
+    exit 1
+fi
 
 # With OBS_SMOKE_ARTIFACTS set, keep the dumped journals (CI uploads
 # them as build artifacts).
