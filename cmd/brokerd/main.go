@@ -16,7 +16,7 @@
 // Usage:
 //
 //	brokerd [-addr :8700] [-ops-addr :8701] [-link-cost 5] [-link-factor 0.96] \
-//	        [-capabilities http-auth,gzip,tls13] [-solver-parallel N] \
+//	        [-capabilities http-auth,gzip,tls13] [-solver-workers N] \
 //	        [-log-json] [-log-level info] [-journal-dir journals/] \
 //	        [-state-dir state/] [-snapshot-every 256] \
 //	        [-max-inflight 64] [-admission-queue 128] [-drain-deadline 10s]
@@ -80,8 +80,10 @@ func main() {
 		"violation rate (violations/observations) that triggers failover")
 	failoverMinObs := flag.Int64("failover-min-obs", 3,
 		"minimum observations on an agreement before failover can trigger")
+	solverWorkers := flag.Int("solver-workers", 0,
+		"work-stealing workers for composition branch-and-bound (0 = all CPUs, 1 = sequential)")
 	solverParallel := flag.Int("solver-parallel", runtime.GOMAXPROCS(0),
-		"worker goroutines for composition branch-and-bound (1 = sequential)")
+		"deprecated alias for -solver-workers")
 	solveCache := flag.Int("solve-cache", 4096,
 		"entries in the content-addressed solve cache serving repeat negotiations, renegotiations and compositions (0 disables)")
 	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
@@ -101,6 +103,14 @@ func main() {
 	drainDeadline := flag.Duration("drain-deadline", 10*time.Second,
 		"how long a SIGTERM/SIGINT drain waits for in-flight requests before exiting")
 	flag.Parse()
+
+	workers := *solverWorkers
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "solver-parallel" {
+			fmt.Fprintln(os.Stderr, "brokerd: -solver-parallel is deprecated, use -solver-workers")
+			workers = *solverParallel
+		}
+	})
 
 	level, err := parseLevel(*logLevel)
 	if err != nil {
@@ -124,7 +134,7 @@ func main() {
 			FailureThreshold: *breakerThreshold,
 			OpenTimeout:      *breakerOpen,
 		}),
-		broker.WithSolverParallelism(*solverParallel),
+		broker.WithSolverWorkers(workers),
 		broker.WithSolveCache(cache.New(*solveCache)),
 		broker.WithLogger(logger),
 		broker.WithJournalRetention(*journalRetention),

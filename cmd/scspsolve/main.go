@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	scspsolve [-solver bb|exhaustive|ve|ls] [-seed N] [-parallel N] problem.scsp
+//	scspsolve [-solver bb|exhaustive|ve|ls] [-seed N] [-workers N] problem.scsp
 package main
 
 import (
@@ -27,13 +27,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for local search")
 	propagate := flag.Bool("propagate", false,
 		"preprocess with soft arc/node-consistency propagation (equivalence-preserving)")
+	workers := flag.Int("workers", 1,
+		"work-stealing workers for branch and bound (0 = all CPUs, 1 = sequential reference)")
 	parallel := flag.Int("parallel", 1,
-		"worker goroutines for branch and bound (1 = sequential reference)")
+		"deprecated alias for -workers")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: scspsolve [-solver bb|exhaustive|ve|ls] [-seed N] problem.scsp")
+		fmt.Fprintln(os.Stderr, "usage: scspsolve [-solver bb|exhaustive|ve|ls] [-seed N] [-workers N] problem.scsp")
 		os.Exit(2)
 	}
+	nWorkers := *workers
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			fmt.Fprintln(os.Stderr, "scspsolve: -parallel is deprecated, use -workers")
+			nWorkers = *parallel
+		}
+	})
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		log.Fatalf("scspsolve: %v", err)
@@ -54,7 +63,7 @@ func main() {
 	var res solver.Result[float64]
 	switch *solverName {
 	case "bb":
-		res = solver.BranchAndBound(target, solver.WithParallel(*parallel))
+		res = solver.BranchAndBound(target, solver.WithWorkers(nWorkers))
 	case "exhaustive":
 		res = solver.Exhaustive(target)
 	case "ve":

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	softsoa-bench [-out BENCH_pr3.json] [-short] [-parallel N] [-cache]
+//	softsoa-bench -scaling 1,2,4,8 [-out BENCH_pr9.json] [-short]
+//
+// With -scaling the suite is replaced by the work-stealing scaling
+// table: every workload-grid instance is solved once per worker count
+// with the full result (blevel, frontier values and assignments)
+// asserted identical to the 1-worker reference before anything is
+// timed, then timed per count with speedup, steal and split counters
+// on each row.
 //
 // The report deliberately carries no timestamps or hostnames — only
 // toolchain and shape metadata — so reruns on the same machine diff
@@ -20,6 +28,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"softsoa/internal/core"
@@ -38,9 +48,15 @@ type Entry struct {
 	// the instance (identical every run: the search is deterministic).
 	Nodes  int64 `json:"nodes,omitempty"`
 	Prunes int64 `json:"prunes,omitempty"`
-	// Tasks is the parallel fan-out width (0 for sequential rows);
-	// deterministic like Nodes/Prunes.
-	Tasks int64 `json:"tasks,omitempty"`
+	// Tasks, Steals and Splits are the work-stealing scheduler
+	// counters of a single solve (0 for sequential rows). Unlike the
+	// returned result they depend on scheduling timing, so they vary
+	// run to run; the stamped values are one representative solve.
+	Tasks  int64 `json:"tasks,omitempty"`
+	Steals int64 `json:"steals,omitempty"`
+	Splits int64 `json:"splits,omitempty"`
+	// Workers is the worker count of a scaling-table row.
+	Workers int `json:"workers,omitempty"`
 	// Speedup is the ratio of the matching baseline entry's ns/op to
 	// this entry's: the sequential solve for parallel rows, the
 	// assignment-path evaluation for the indexed ablation row, the
@@ -60,6 +76,7 @@ type Report struct {
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Short      bool    `json:"short"`
 	Workers    int     `json:"workers"`
+	Scaling    []int   `json:"scaling,omitempty"`
 	Entries    []Entry `json:"entries"`
 }
 
@@ -70,6 +87,8 @@ func main() {
 		"workers for the parallel rows (minimum 2: the sequential rows are the 1-worker reference)")
 	withCache := flag.Bool("cache", false,
 		"add the solve-cache group: cold vs memo-hit solves, warm-started perturbed re-solves, and negotiation/renegotiation plan replay")
+	scaling := flag.String("scaling", "",
+		"comma-separated worker counts (e.g. 1,2,4,8): emit only the work-stealing scaling table over the workload grid")
 	flag.Parse()
 
 	workers := *parallel
@@ -101,6 +120,17 @@ func main() {
 		return e
 	}
 	last := func() *Entry { return &rep.Entries[len(rep.Entries)-1] }
+
+	if *scaling != "" {
+		counts, err := parseCounts(*scaling)
+		if err != nil {
+			log.Fatalf("softsoa-bench: -scaling: %v", err)
+		}
+		rep.Scaling = counts
+		scalingTable(&rep, bench, last, *short, counts)
+		writeReport(&rep, *out)
+		return
+	}
 
 	// E-series anchors.
 	fig1 := fig1Problem()
@@ -164,21 +194,108 @@ func main() {
 		cacheBenches(&rep, bench)
 	}
 
+	writeReport(&rep, *out)
+}
+
+func writeReport(rep *Report, out string) {
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatalf("softsoa-bench: %v", err)
 	}
 	buf = append(buf, '\n')
-	if *out == "-" {
+	if out == "-" {
 		if _, err := os.Stdout.Write(buf); err != nil {
 			log.Fatalf("softsoa-bench: %v", err)
 		}
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		log.Fatalf("softsoa-bench: %v", err)
 	}
-	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
+	fmt.Printf("wrote %s (%d entries)\n", out, len(rep.Entries))
+}
+
+// parseCounts parses the -scaling worker list.
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// scalingTable times every workload-grid instance once per worker
+// count. Before any timing, each parallel solve's full result —
+// blevel, frontier values and assignments — is asserted identical to
+// the 1-worker reference; a divergence aborts the run. Speedup on
+// each row is relative to the instance's first count in the list
+// (conventionally 1, the sequential reference).
+func scalingTable(rep *Report, bench func(string, func(*testing.B)) Entry, last func() *Entry, short bool, counts []int) {
+	for _, params := range workload.BenchParams(short) {
+		p, err := workload.RandomWeightedSCSP(params)
+		if err != nil {
+			log.Fatalf("softsoa-bench: %v", err)
+		}
+		tag := fmt.Sprintf("scaling/v%d-d%d-s%d", params.Vars, params.DomainSize, params.Seed)
+		ref := solver.BranchAndBound(p, solver.WithWorkers(1))
+		var base float64
+		for i, w := range counts {
+			w := w
+			res := solver.BranchAndBound(p, solver.WithWorkers(w))
+			assertSameSolve(p, tag, w, ref, res)
+			bench(fmt.Sprintf("%s/w%d", tag, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					solver.BranchAndBound(p, solver.WithWorkers(w))
+				}
+			})
+			e := last()
+			stamp(e, res)
+			e.Steals = res.Stats.Steals
+			e.Splits = res.Stats.Splits
+			e.Workers = w
+			if i == 0 {
+				base = e.NsPerOp
+			} else {
+				e.Speedup = round3(base / e.NsPerOp)
+			}
+		}
+	}
+}
+
+// assertSameSolve verifies a parallel result is bitwise identical to
+// the sequential reference: blevel, frontier order, every frontier
+// value and every assignment label.
+func assertSameSolve(p *core.Problem[float64], tag string, workers int, want, got solver.Result[float64]) {
+	sr := p.Space().Semiring()
+	if !sr.Eq(want.Blevel, got.Blevel) {
+		log.Fatalf("softsoa-bench: %s/w%d: blevel %s, want %s",
+			tag, workers, sr.Format(got.Blevel), sr.Format(want.Blevel))
+	}
+	if len(want.Best) != len(got.Best) {
+		log.Fatalf("softsoa-bench: %s/w%d: frontier size %d, want %d",
+			tag, workers, len(got.Best), len(want.Best))
+	}
+	for i := range want.Best {
+		if !sr.Eq(want.Best[i].Value, got.Best[i].Value) {
+			log.Fatalf("softsoa-bench: %s/w%d: frontier[%d] value %s, want %s",
+				tag, workers, i, sr.Format(got.Best[i].Value), sr.Format(want.Best[i].Value))
+		}
+		wa, ga := want.Best[i].Assignment, got.Best[i].Assignment
+		if len(wa) != len(ga) {
+			log.Fatalf("softsoa-bench: %s/w%d: frontier[%d] assignment size %d, want %d",
+				tag, workers, i, len(ga), len(wa))
+		}
+		for v, dv := range wa {
+			if ga[v].Label != dv.Label {
+				log.Fatalf("softsoa-bench: %s/w%d: frontier[%d] %s=%s, want %s",
+					tag, workers, i, v, ga[v].Label, dv.Label)
+			}
+		}
+	}
 }
 
 // stamp copies the deterministic search statistics onto an entry.

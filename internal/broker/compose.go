@@ -72,9 +72,13 @@ type Composition struct {
 	// Prunes counts subtrees cut by the branch-and-bound bound
 	// (0 for the greedy and exhaustive baselines).
 	Prunes int64
-	// Tasks counts the subtree tasks the parallel driver enumerated
-	// (0 for sequential solves and the baselines).
+	// Tasks counts the subtree tasks the parallel work-stealing
+	// driver scheduled (0 for sequential solves and the baselines).
 	Tasks int64
+	// Steals counts tasks taken from another worker's deque.
+	Steals int64
+	// Splits counts subtree splits spilled on steal demand.
+	Splits int64
 	// Elapsed is the solve time.
 	Elapsed time.Duration
 }
@@ -121,7 +125,7 @@ func WithComposerProviderFilter(f ProviderFilter) ComposerOption {
 }
 
 // WithSolverOptions threads extra solver options (typically
-// solver.WithParallel) into every branch-and-bound composition. The
+// solver.WithWorkers) into every branch-and-bound composition. The
 // options apply to Compose and ComposeMultiObjective; the greedy and
 // exhaustive baselines ignore them.
 func WithSolverOptions(opts ...solver.Option) ComposerOption {
@@ -322,6 +326,8 @@ func (c *Composer) compose(
 		Nodes:   res.Stats.Nodes,
 		Prunes:  res.Stats.Prunes,
 		Tasks:   res.Stats.Tasks,
+		Steals:  res.Stats.Steals,
+		Splits:  res.Stats.Splits,
 		Elapsed: res.Stats.Elapsed,
 	}
 	if len(res.Best) == 0 {

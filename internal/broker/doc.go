@@ -49,7 +49,7 @@
 // constructed value, named With<Thing> on the type they configure:
 //
 //   - NewServer:     ServerOption     (WithServerVocabulary, WithBreaker,
-//     WithFailover, WithRequestTimeout, WithSolverParallelism,
+//     WithFailover, WithRequestTimeout, WithSolverWorkers,
 //     WithMetricsRegistry, WithTraceCapacity, WithSolveCache)
 //   - NewNegotiator: NegotiatorOption (WithVocabulary, WithProviderFilter,
 //     WithNegotiatorSolveCache)
@@ -61,8 +61,13 @@
 // Options are applied in order, later options overriding earlier
 // ones; the zero configuration is always valid. Options that forward
 // a whole option set to a subordinate component are named
-// With<Component>Options (WithSolverOptions); WithComposerSolver is
-// the deprecated spelling of that one.
+// With<Component>Options (WithSolverOptions).
+//
+// Two deprecated spellings are kept as thin aliases and will not grow
+// new behaviour: WithComposerSolver (use WithSolverOptions) and
+// WithSolverParallelism (use WithSolverWorkers, whose worker count
+// follows the solver convention — 0 means runtime.GOMAXPROCS(0), 1
+// means the sequential path).
 //
 // # Solve cache
 //

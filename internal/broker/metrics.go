@@ -32,6 +32,8 @@ type brokerMetrics struct {
 	solverNodes   *obs.Counter
 	solverPrunes  *obs.Counter
 	solverTasks   *obs.Counter
+	solverSteals  *obs.Counter
+	solverSplits  *obs.Counter
 	solverSeconds *obs.Histogram
 
 	breakerState       *obs.GaugeVec   // by provider
@@ -89,6 +91,10 @@ func newBrokerMetrics(reg *obs.Registry) *brokerMetrics {
 			"Subtrees pruned by the branch-and-bound bound in composition solves."),
 		solverTasks: reg.Counter("broker_solver_tasks_total",
 			"Parallel subtree tasks executed by composition solves."),
+		solverSteals: reg.Counter("broker_solver_steals_total",
+			"Subtree tasks stolen between workers in composition solves."),
+		solverSplits: reg.Counter("broker_solver_splits_total",
+			"Subtree splits spilled on steal demand in composition solves."),
 		solverSeconds: reg.Histogram("broker_solver_seconds",
 			"Wall-clock composition solve time in seconds.", nil),
 		journalDropped: reg.Counter("journal_events_dropped_total",
@@ -133,6 +139,8 @@ func (m *brokerMetrics) observeSolve(mode string, comp *Composition) {
 	m.solverNodes.Add(comp.Nodes)
 	m.solverPrunes.Add(comp.Prunes)
 	m.solverTasks.Add(comp.Tasks)
+	m.solverSteals.Add(comp.Steals)
+	m.solverSplits.Add(comp.Splits)
 	m.solverSeconds.Observe(comp.Elapsed.Seconds())
 }
 

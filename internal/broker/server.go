@@ -196,6 +196,7 @@ type serverConfig struct {
 	failover         FailoverPolicy
 	timeout          time.Duration
 	solverWorkers    int
+	solverWorkersSet bool
 	metrics          *obs.Registry
 	traceCap         int
 	logger           *slog.Logger
@@ -237,12 +238,32 @@ func WithRequestTimeout(d time.Duration) ServerOption {
 	return func(c *serverConfig) { c.timeout = d }
 }
 
-// WithSolverParallelism runs the composer's branch-and-bound searches
-// on n workers (default 1, the sequential reference). Results are
-// unchanged — see solver.WithParallel for the determinism guarantee —
-// only the wall-clock of /compose requests.
+// WithSolverWorkers runs the composer's branch-and-bound searches on
+// n work-stealing workers. 0 resolves to runtime.GOMAXPROCS(0) at
+// solve time; 1 is the sequential path (the default when the option
+// is omitted). Results are unchanged — see solver.WithWorkers for the
+// determinism guarantee — only the wall-clock of /compose requests
+// and the steal/split counters on /v1/metrics.
+func WithSolverWorkers(n int) ServerOption {
+	return func(c *serverConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.solverWorkers = n
+		c.solverWorkersSet = true
+	}
+}
+
+// WithSolverParallelism runs the composer's solves on n workers.
+//
+// Deprecated: use WithSolverWorkers. The only semantic difference is
+// n < 1, which here stays sequential instead of resolving to
+// GOMAXPROCS.
 func WithSolverParallelism(n int) ServerOption {
-	return func(c *serverConfig) { c.solverWorkers = n }
+	if n < 1 {
+		n = 1
+	}
+	return WithSolverWorkers(n)
 }
 
 // WithMetricsRegistry shares an existing metrics registry with the
@@ -416,8 +437,8 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 		registerCacheMetrics(cfg.metrics, cfg.solveCache)
 	}
 	s.negotiator = NewNegotiator(reg, negOpts...)
-	if cfg.solverWorkers > 1 {
-		composerOpts = append(composerOpts, WithSolverOptions(solver.WithParallel(cfg.solverWorkers)))
+	if cfg.solverWorkersSet && cfg.solverWorkers != 1 {
+		composerOpts = append(composerOpts, WithSolverOptions(solver.WithWorkers(cfg.solverWorkers)))
 	}
 	s.composer = NewComposer(reg, penalty, composerOpts...)
 

@@ -52,7 +52,7 @@ type SearchRecord struct {
 	// Kind is "expand", "incumbent", "prune" or "propagate".
 	Kind string `json:"kind"`
 	// Node is the emitting searcher's node counter (per worker under
-	// solver.WithParallel, so numbers restart per task there).
+	// solver.WithWorkers, so numbers are per-worker-local there).
 	Node int64 `json:"node,omitempty"`
 	// Depth is the search depth at the event.
 	Depth int `json:"depth,omitempty"`

@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -317,4 +318,65 @@ func TestCachedSolveRaceStress(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestCachedWorkStealingInterplay pins down how the solve cache and
+// the work-stealing pool compose. A parallel solve's memo entry
+// replays bitwise — including the scheduling-dependent Steals/Splits
+// it happened to record — and, because the worker count is resolved
+// to GOMAXPROCS before the key is built, WithWorkers(0) and the
+// explicit WithWorkers(GOMAXPROCS) spellings share one memo slot
+// while a different explicit count occupies its own.
+func TestCachedWorkStealingInterplay(t *testing.T) {
+	sr := semiring.Weighted{}
+	p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+		Vars: 9, DomainSize: 3, Density: 0.5, Tightness: 0.8, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := BranchAndBound(p)
+
+	c := cache.New(256)
+	miss := BranchAndBound(p, WithSolveCache(c), WithWorkers(2))
+	assertSameResult(t, sr, "ws/miss", seq, miss)
+	hit := BranchAndBound(p, WithSolveCache(c), WithWorkers(2))
+	assertSameSolve(t, sr, "ws/hit", miss, hit)
+	if hit.Stats.Steals != miss.Stats.Steals || hit.Stats.Splits != miss.Stats.Splits ||
+		hit.Stats.Workers != miss.Stats.Workers {
+		t.Fatalf("memo hit re-ran the scheduler: steals %d/%d splits %d/%d workers %d/%d",
+			hit.Stats.Steals, miss.Stats.Steals, hit.Stats.Splits, miss.Stats.Splits,
+			hit.Stats.Workers, miss.Stats.Workers)
+	}
+
+	nprocs := runtime.GOMAXPROCS(0)
+	before := c.TierStats(cache.TierSearch).Hits
+	BranchAndBound(p, WithSolveCache(c), WithWorkers(0))
+	explicit := BranchAndBound(p, WithSolveCache(c), WithWorkers(nprocs))
+	if got := c.TierStats(cache.TierSearch).Hits; got != before+1 {
+		t.Fatalf("WithWorkers(0) and WithWorkers(%d) did not share a memo slot: hits %d, want %d",
+			nprocs, got, before+1)
+	}
+	assertSameResult(t, sr, "ws/gomaxprocs", seq, explicit)
+	// nprocs+2 is a count no earlier solve used (2 and nprocs are
+	// taken), so it must occupy a fresh slot.
+	before = c.TierStats(cache.TierSearch).Misses
+	BranchAndBound(p, WithSolveCache(c), WithWorkers(nprocs+2))
+	if got := c.TierStats(cache.TierSearch).Misses; got != before+1 {
+		t.Fatalf("distinct worker count shared a memo slot: misses %d, want %d", got, before+1)
+	}
+
+	// Warm-started work-stealing re-solve: the seeded parallel search
+	// of a perturbed problem must still equal its cold sequential
+	// solve.
+	slot := cache.NewHasher("test-warm-ws").Sum()
+	base, pert := perturbedPair(t, 7)
+	cold := BranchAndBound(pert)
+	wc := cache.New(256)
+	BranchAndBound(base, WithSolveCache(wc), WithWarmStart(slot))
+	warm := BranchAndBound(pert, WithSolveCache(wc), WithWarmStart(slot), WithWorkers(4))
+	assertSameResult(t, sr, "warm-ws", cold, warm)
+	if applied, _ := wc.WarmStats(); applied < 1 {
+		t.Fatal("warm start not applied to the work-stealing solve")
+	}
 }

@@ -1,0 +1,114 @@
+package solver
+
+import "sync/atomic"
+
+// wsDeque is a lock-free Chase-Lev work-stealing deque of subtree
+// tasks. The owning worker pushes and pops at the bottom (LIFO, so it
+// keeps depth-first locality: the most recently spilled — deepest,
+// smallest — subtree is retaken first); thieves steal from the top
+// (FIFO, so a steal takes the oldest spill, which sits highest in the
+// tree and carries the most work). All coordination is through the
+// top/bottom counters and per-slot atomic pointers — no mutex is ever
+// taken, so a worker deep in its search never blocks a thief and vice
+// versa.
+//
+// The implementation is the classic Chase-Lev algorithm under Go's
+// sequentially consistent atomics: the only contended transition is
+// claiming the top element, decided by a single CompareAndSwap on
+// top, which also serialises the owner taking its last element
+// against concurrent thieves. The ring grows by copying into a
+// doubled buffer installed with an atomic store; a thief holding the
+// old ring either reads an entry the copy preserved or loses the CAS
+// on top, so a stale ring can never yield a stale task.
+type wsDeque[T any] struct {
+	bottom atomic.Int64
+	top    atomic.Int64
+	ring   atomic.Pointer[wsRing[T]]
+}
+
+// wsRing is one power-of-two circular buffer generation of a wsDeque.
+type wsRing[T any] struct {
+	mask  int64
+	slots []atomic.Pointer[T]
+}
+
+func newWSRing[T any](capacity int64) *wsRing[T] {
+	return &wsRing[T]{mask: capacity - 1, slots: make([]atomic.Pointer[T], capacity)}
+}
+
+func (r *wsRing[T]) get(i int64) *T    { return r.slots[i&r.mask].Load() }
+func (r *wsRing[T]) put(i int64, t *T) { r.slots[i&r.mask].Store(t) }
+
+func newWSDeque[T any]() *wsDeque[T] {
+	d := &wsDeque[T]{}
+	d.ring.Store(newWSRing[T](64))
+	return d
+}
+
+// empty reports whether the deque held no tasks at the racy instant
+// of the check; used only as a heuristic by the spill policy.
+func (d *wsDeque[T]) empty() bool {
+	return d.bottom.Load()-d.top.Load() <= 0
+}
+
+// push appends a task at the bottom. Owner-only.
+func (d *wsDeque[T]) push(task *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t > r.mask {
+		// Full: copy live entries into a doubled ring. Thieves racing
+		// this keep reading the old ring, whose entries the copy
+		// preserved verbatim.
+		grown := newWSRing[T]((r.mask + 1) * 2)
+		for i := t; i < b; i++ {
+			grown.put(i, r.get(i))
+		}
+		d.ring.Store(grown)
+		r = grown
+	}
+	r.put(b, task)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the newest task. Owner-only. The only contended case is
+// the last remaining element, which owner and thieves race for with a
+// CAS on top.
+func (d *wsDeque[T]) pop() (*T, bool) {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Already empty; undo the reservation.
+		d.bottom.Store(b + 1)
+		return nil, false
+	}
+	task := r.get(b)
+	if t == b {
+		// Last element: win it against thieves or concede it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			task = nil
+		}
+		d.bottom.Store(b + 1)
+		if task == nil {
+			return nil, false
+		}
+	}
+	return task, true
+}
+
+// steal takes the oldest task. Safe from any goroutine; fails rather
+// than waits when it loses the race for the element.
+func (d *wsDeque[T]) steal() (*T, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	task := d.ring.Load().get(t)
+	if task == nil || !d.top.CompareAndSwap(t, t+1) {
+		return nil, false
+	}
+	return task, true
+}

@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"softsoa/internal/core"
@@ -245,7 +246,7 @@ func TestBranchAndBoundInnerLoopAllocFree(t *testing.T) {
 	}
 	cfg := defaultConfig()
 	pl := newPlan(p, &cfg)
-	s := newSearch(pl, newDigitFrontier[float64](pl.sr, cfg.maxBest), nil)
+	s := newSearch(pl, newDigitFrontier[float64](pl.sr, cfg.maxBest))
 	run := func() {
 		s.blevel = pl.sr.Zero()
 		for i := range s.digits {
@@ -288,5 +289,94 @@ func TestEliminateAllocsBounded(t *testing.T) {
 	const limit = 400
 	if avg > limit {
 		t.Fatalf("Eliminate allocates %v per run, want ≤ %d", avg, limit)
+	}
+}
+
+// TestWithWorkersSequentialPath: a worker count of 1 — through either
+// spelling — must take the plain sequential path: no scheduling
+// machinery, so Nodes and Prunes are exactly the deterministic
+// sequential counts and every scheduler counter stays zero.
+func TestWithWorkersSequentialPath(t *testing.T) {
+	p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+		Vars: 8, DomainSize: 3, Density: 0.5, Tightness: 0.8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := BranchAndBound(p)
+	for _, tc := range []struct {
+		name string
+		opt  Option
+	}{
+		{"WithWorkers(1)", WithWorkers(1)},
+		{"WithParallel(1)", WithParallel(1)},
+		{"WithParallel(0)", WithParallel(0)},
+	} {
+		got := BranchAndBound(p, tc.opt)
+		assertSameResult[float64](t, semiring.Weighted{}, tc.name, plain, got)
+		if got.Stats.Nodes != plain.Stats.Nodes || got.Stats.Prunes != plain.Stats.Prunes {
+			t.Errorf("%s: nodes/prunes %d/%d, want sequential %d/%d",
+				tc.name, got.Stats.Nodes, got.Stats.Prunes, plain.Stats.Nodes, plain.Stats.Prunes)
+		}
+		if got.Stats.Workers != 1 || got.Stats.Tasks != 0 || got.Stats.Steals != 0 || got.Stats.Splits != 0 {
+			t.Errorf("%s: scheduler counters leaked: workers=%d tasks=%d steals=%d splits=%d",
+				tc.name, got.Stats.Workers, got.Stats.Tasks, got.Stats.Steals, got.Stats.Splits)
+		}
+	}
+}
+
+// TestWithWorkersResolvesGOMAXPROCS: the canonical zero value must
+// resolve to runtime.GOMAXPROCS(0) — reported in Stats.Workers — and
+// still return the sequential result. Negative counts clamp to the
+// same resolution.
+func TestWithWorkersResolvesGOMAXPROCS(t *testing.T) {
+	p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+		Vars: 8, DomainSize: 3, Density: 0.5, Tightness: 0.8, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runtime.GOMAXPROCS(0)
+	plain := BranchAndBound(p)
+	for _, n := range []int{0, -3} {
+		got := BranchAndBound(p, WithWorkers(n))
+		assertSameResult[float64](t, semiring.Weighted{}, fmt.Sprintf("WithWorkers(%d)", n), plain, got)
+		if got.Stats.Workers != want {
+			t.Errorf("WithWorkers(%d): Stats.Workers = %d, want GOMAXPROCS %d", n, got.Stats.Workers, want)
+		}
+	}
+}
+
+// TestWorkStealingSkewedTreeStress drives the adaptive splitter hard:
+// the root variable's unary makes all but one of its values
+// prohibitively expensive, so the top-level split is worthless — all
+// real work hides under one child — and hungry workers must keep
+// re-stealing progressively deeper sibling ranges. Every iteration
+// must reproduce the sequential result exactly, and across the
+// iterations the scheduler must actually have split and stolen
+// subtrees (the instance runs long enough that steal demand arises
+// even on a single-CPU runner, via preemption).
+func TestWorkStealingSkewedTreeStress(t *testing.T) {
+	p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+		Vars: 13, DomainSize: 3, Density: 0.5, Tightness: 0.9, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Space()
+	p.Add(core.Unary(s, s.Variables()[0], map[string]float64{"0": 0, "1": 8, "2": 8}))
+	seq := BranchAndBound(p)
+	var steals, splits int64
+	for i := 0; i < 4; i++ {
+		par := BranchAndBound(p, WithWorkers(8))
+		assertSameResult[float64](t, semiring.Weighted{}, fmt.Sprintf("iter=%d", i), seq, par)
+		if par.Stats.Workers != 8 {
+			t.Fatalf("iter=%d: Stats.Workers = %d, want 8", i, par.Stats.Workers)
+		}
+		steals += par.Stats.Steals
+		splits += par.Stats.Splits
+	}
+	if splits == 0 || steals == 0 {
+		t.Errorf("no work was redistributed over 4 runs: steals=%d splits=%d", steals, splits)
 	}
 }

@@ -1,14 +1,7 @@
-// Package solver implements complete and heuristic solvers for Soft
-// Constraint Satisfaction Problems: an exhaustive reference solver, a
-// depth-first branch and bound with semiring upper-bound pruning
-// (sequential or fanned out over a worker pool), a bucket (variable)
-// elimination solver, and a random-restart local search for problems
-// too large for complete methods. The broker of Sec. 4 of the paper
-// hosts such a solver to negotiate QoS; these are the engines behind
-// it.
 package solver
 
 import (
+	"runtime"
 	"sort"
 	"time"
 
@@ -23,17 +16,27 @@ import (
 type Stats struct {
 	// Nodes is the number of search nodes expanded (assignments tried
 	// for exhaustive/local search; partial assignments for B&B). With
-	// WithParallel the count depends on which bounds each worker saw
+	// WithWorkers the count depends on which bounds each worker saw
 	// when, so it is comparable to sequential only modulo scheduling.
 	Nodes int64
 	// Prunes is the number of subtrees cut by the bound (B&B only;
-	// modulo scheduling under WithParallel, like Nodes).
+	// modulo scheduling under WithWorkers, like Nodes).
 	Prunes int64
-	// Tasks is the number of subtree tasks the parallel driver
-	// enumerated at the fan-out frontier (0 for sequential solves).
-	// Unlike Nodes/Prunes it is fully deterministic: it depends only
-	// on the problem shape and the worker count.
+	// Tasks is the number of subtree tasks the work-stealing scheduler
+	// executed (0 for sequential solves). Adaptive splitting creates
+	// tasks on steal demand, so the count depends on scheduling, like
+	// Nodes and Prunes; the solved result does not.
 	Tasks int64
+	// Workers is the resolved worker count the solve ran with (1 for
+	// the sequential path). Deterministic.
+	Workers int
+	// Steals is the number of tasks workers took from another
+	// worker's deque (scheduling-dependent; 0 for sequential solves).
+	Steals int64
+	// Splits is the number of spill events: a busy worker packaging
+	// its unexplored sibling range into a stealable task because some
+	// worker was hungry (scheduling-dependent; 0 for sequential).
+	Splits int64
 	// TablesBuilt is the number of intermediate constraint tables
 	// materialised (variable elimination only).
 	TablesBuilt int64
@@ -112,18 +115,35 @@ func WithLookahead() Option { return func(c *config) { c.lookahead = true } }
 // (default 16). The blevel is exact regardless.
 func WithMaxBest(n int) Option { return func(c *config) { c.maxBest = n } }
 
+// WithWorkers runs branch and bound on n work-stealing workers; 0
+// resolves to runtime.GOMAXPROCS(0) at solve time, and n == 1 is the
+// sequential reference path with zero scheduling machinery (other
+// solvers ignore the option). Each worker owns a lock-free deque of
+// subtree tasks and a localized copy of the constraint tables; busy
+// workers adaptively split — spilling unexplored sibling ranges for
+// thieves — whenever another worker runs dry, and all workers prune
+// against a shared lock-free incumbent antichain re-read periodically
+// (speculative bound sharing). Blevel and Best are identical to the
+// sequential solver — bit-identical for totally ordered semirings,
+// and for partially ordered ones whenever the WithMaxBest cap does
+// not bind (an antichain wider than the cap can resolve ties
+// differently). Nodes, Prunes, Tasks, Steals and Splits depend on
+// scheduling.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.workers = n
+	}
+}
+
 // WithParallel fans branch and bound out across n workers (n ≤ 1 is
-// the sequential reference path; other solvers ignore the option).
-// The first few depths of the variable ordering are enumerated into
-// subtree tasks claimed from an atomic counter; workers prune against
-// a shared lock-free incumbent bound and their per-task frontiers are
-// merged in lexicographic task order, replaying the sequential offer
-// stream. Blevel and Best are therefore identical to the sequential
-// solver — bit-identical for totally ordered semirings, and for
-// partially ordered ones whenever the WithMaxBest cap does not bind
-// (an antichain wider than the cap can resolve ties differently).
-// Nodes and Prunes depend on bound propagation timing and are
-// comparable only modulo scheduling.
+// the sequential reference path).
+//
+// Deprecated: use WithWorkers, the canonical worker-count knob (note
+// the one semantic difference: WithParallel clamps n < 1 to the
+// sequential path, while WithWorkers(0) resolves to GOMAXPROCS).
 func WithParallel(n int) Option {
 	return func(c *config) {
 		if n < 1 {
@@ -170,7 +190,7 @@ func WithClock(c clock.Clock) Option { return func(cf *config) { cf.clock = c } 
 // rec: every stride-th node expansion and prune (stride < 1 is
 // clamped to 1), and every incumbent improvement. With a nil recorder
 // — the default — the inner loop performs only nil checks and keeps
-// its zero-allocation guarantee. Under WithParallel each worker
+// its zero-allocation guarantee. Under WithWorkers each worker
 // carries its own node/prune counters, so sampled node numbers
 // restart per subtree task and event order follows scheduling; the
 // search result itself stays deterministic either way.
@@ -225,6 +245,12 @@ func BranchAndBound[T any](p *core.Problem[T], opts ...Option) Result[T] {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
+	}
+	// Resolve the worker count before the memo key is built, so a
+	// WithWorkers(0) solve hits the same memo slot as an explicit
+	// WithWorkers(GOMAXPROCS) one.
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
 	}
 	start := cfg.clock.Now()
 	// Tier 3, exact memo: a repeat solve of byte-identical content
@@ -395,21 +421,20 @@ func newPlan[T any](p *core.Problem[T], cfg *config) *plan[T] {
 	return pl
 }
 
-// bbSearch is one depth-first searcher: its digit vector, frontier
-// and counters. The sequential solver owns a single capped instance;
-// each parallel worker owns an uncapped one reset between tasks.
+// bbSearch is the sequential depth-first searcher: its digit vector,
+// capped frontier and counters. The work-stealing workers carry their
+// own twin state (see wsWorker in parallel.go).
 type bbSearch[T any] struct {
 	pl     *plan[T]
 	digits []int
 	fr     *digitFrontier[T]
-	shared *sharedBound[T] // nil in the sequential path
 	blevel T
 	nodes  int64
 	prunes int64
 }
 
-func newSearch[T any](pl *plan[T], fr *digitFrontier[T], shared *sharedBound[T]) *bbSearch[T] {
-	return &bbSearch[T]{pl: pl, digits: make([]int, pl.n), fr: fr, shared: shared, blevel: pl.sr.Zero()}
+func newSearch[T any](pl *plan[T], fr *digitFrontier[T]) *bbSearch[T] {
+	return &bbSearch[T]{pl: pl, digits: make([]int, pl.n), fr: fr, blevel: pl.sr.Zero()}
 }
 
 // run explores the subtree rooted at depth under the given sound
@@ -457,9 +482,6 @@ func (s *bbSearch[T]) run(depth int, bound T) {
 					Kind: "incumbent", Node: s.nodes, Depth: depth, Value: pl.sr.Format(bound),
 				})
 			}
-			if s.shared != nil {
-				s.shared.offer(bound)
-			}
 		}
 		return
 	}
@@ -477,23 +499,20 @@ func (s *bbSearch[T]) run(depth int, bound T) {
 // dominated prunes against the warm-start seeds first — attained leaf
 // values of this very problem, so strictly-dominated subtrees are cut
 // before the search has found any incumbent of its own — then against
-// the shared incumbent bound when one exists (parallel), else against
-// the local frontier (sequential). The seed scan allocates nothing,
-// keeping run's hotpath guarantee.
+// the local frontier. The seed scan allocates nothing, keeping run's
+// hotpath guarantee.
 func (s *bbSearch[T]) dominated(v T) bool {
 	for _, w := range s.pl.seeds {
 		if semiring.Gt(s.pl.sr, w, v) {
 			return true
 		}
 	}
-	if s.shared != nil {
-		return s.shared.dominates(v)
-	}
 	return s.fr.dominates(v)
 }
 
 func solveSequential[T any](pl *plan[T]) Result[T] {
 	res := Result[T]{Blevel: pl.sr.Zero()}
+	res.Stats.Workers = 1
 	fr := newDigitFrontier[T](pl.sr, pl.maxBest)
 	if pl.n == 0 {
 		res.Blevel = pl.rootBound
@@ -501,7 +520,7 @@ func solveSequential[T any](pl *plan[T]) Result[T] {
 		res.Best = fr.solutions(pl.ev)
 		return res
 	}
-	s := newSearch(pl, fr, nil)
+	s := newSearch(pl, fr)
 	s.run(0, pl.rootBound)
 	res.Blevel = s.blevel
 	res.Stats.Nodes = s.nodes
