@@ -1,4 +1,4 @@
-.PHONY: all build test race vet lint lint-sarif lint-debt fuzz cover bench bench-go bench-cache bench-par obs-smoke replay-check crash-recovery clean
+.PHONY: all build test race vet lint lint-sarif lint-debt fuzz cover bench bench-go bench-cache bench-par obs-smoke load-smoke replay-check crash-recovery clean
 
 all: build vet lint test
 
@@ -75,6 +75,13 @@ bench-par:
 # flight-recorder journal, and replay it with softsoa-replay.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# Standing-load smoke: boot brokerd with the SLO reconciler on a fast
+# sweep, drive it with softsoa-load for ~5s (open-loop Poisson
+# arrivals), and assert nonzero negotiations, every slo_* metric
+# family, and a live /v1/debug/slo snapshot.
+load-smoke:
+	./scripts/load-smoke.sh
 
 # E21 durability check: SIGKILL a brokerd mid-traffic (plus a torn
 # WAL frame) and a SIGTERM drain, then compare the recovered state

@@ -19,7 +19,16 @@
 //	        [-capabilities http-auth,gzip,tls13] [-solver-workers N] \
 //	        [-log-json] [-log-level info] [-journal-dir journals/] \
 //	        [-state-dir state/] [-snapshot-every 256] \
-//	        [-max-inflight 64] [-admission-queue 128] [-drain-deadline 10s]
+//	        [-max-inflight 64] [-admission-queue 128] [-drain-deadline 10s] \
+//	        [-slo-sweep-every 10s] [-slo-fast-window 1m] [-slo-slow-window 1h] \
+//	        [-slo-burn-threshold 0.5]
+//
+// An always-on SLO reconciler sweeps every live SLA on
+// -slo-sweep-every, publishing per-SLA compliance, blevel-drift and
+// multi-window burn-rate series on /v1/metrics and a read-only JSON
+// snapshot at GET /v1/debug/slo; an SLA whose fast-window violation
+// rate crosses -slo-burn-threshold is flagged at risk and, when
+// -failover is on, rebound to a healthy provider immediately.
 //
 // With -state-dir every state mutation is appended to a checksummed
 // write-ahead log and periodically compacted into an atomic snapshot;
@@ -102,6 +111,14 @@ func main() {
 		"requests allowed to wait for a hot-route slot beyond -max-inflight")
 	drainDeadline := flag.Duration("drain-deadline", 10*time.Second,
 		"how long a SIGTERM/SIGINT drain waits for in-flight requests before exiting")
+	sloSweepEvery := flag.Duration("slo-sweep-every", 10*time.Second,
+		"SLO reconciliation sweep period (0 disables the SLO subsystem)")
+	sloFastWindow := flag.Duration("slo-fast-window", time.Minute,
+		"fast burn-rate window; crossing -slo-burn-threshold here flags an SLA at risk")
+	sloSlowWindow := flag.Duration("slo-slow-window", time.Hour,
+		"slow burn-rate window providing the long-term violation-rate backdrop")
+	sloBurnThreshold := flag.Float64("slo-burn-threshold", 0.5,
+		"fast-window violation rate above which an SLA is at risk (triggers failover when -failover is on)")
 	flag.Parse()
 
 	workers := *solverWorkers
@@ -139,6 +156,13 @@ func main() {
 		broker.WithLogger(logger),
 		broker.WithJournalRetention(*journalRetention),
 	}
+	opts = append(opts, broker.WithSLO(broker.SLOConfig{
+		Disabled:      *sloSweepEvery <= 0,
+		SweepEvery:    *sloSweepEvery,
+		FastWindow:    *sloFastWindow,
+		SlowWindow:    *sloSlowWindow,
+		BurnThreshold: *sloBurnThreshold,
+	}))
 	if *failover {
 		opts = append(opts, broker.WithFailover(broker.FailoverPolicy{
 			Enabled:         true,
@@ -211,6 +235,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The SLO reconciler sweeps every live SLA on its own goroutine,
+	// publishing compliance and burn-rate series and failing at-risk
+	// agreements over; it exits with the signal context at drain time.
+	if rec := srv.SLO(); rec != nil {
+		go rec.Run(ctx)
+		logger.Info("SLO reconciler running",
+			"sweep_every", *sloSweepEvery, "fast_window", *sloFastWindow,
+			"slow_window", *sloSlowWindow, "burn_threshold", *sloBurnThreshold)
+	}
 
 	var opsSrv *http.Server
 	if *opsAddr != "" {

@@ -1,0 +1,425 @@
+// Command softsoa-load is the standing load harness for brokerd: an
+// open-loop generator (constant-RPS or Poisson arrivals) driving the
+// /v1 negotiate/observe/renegotiate mix against a running broker.
+// Open-loop means arrivals are scheduled by the clock, never by
+// completions — a slow broker accumulates in-flight requests instead
+// of silently throttling the offered load, so the measured latencies
+// include queueing and the 429 shed rate is visible.
+//
+// Per-route latencies land in client-side obs histograms and are
+// reported as bucket-interpolated p50/p99/p999, together with an
+// outcome breakdown (ok / no_agreement / shed / error). The report is
+// written as timestamp-free JSON (-out), suitable for committing as
+// BENCH_load.json and for CI trend comparison.
+//
+// Usage:
+//
+//	softsoa-load [-addr http://localhost:8700] [-duration 5s] [-rps 50] \
+//	             [-arrivals const|poisson] [-seed 1] [-providers 3] \
+//	             [-warm-slas 8] [-violate 0.3] \
+//	             [-mix negotiate:1,observe:8,renegotiate:1] \
+//	             [-out BENCH_load.json]
+//
+// The harness publishes its own providers (load-p1..N, service
+// "loadsvc") and negotiates a warm pool of SLAs before the clock
+// starts, so every route has work from the first arrival.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"softsoa/internal/broker"
+	"softsoa/internal/obs"
+	"softsoa/internal/soa"
+)
+
+const service = "loadsvc"
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8700", "broker base URL")
+	duration := flag.Duration("duration", 5*time.Second, "how long to offer load")
+	rps := flag.Float64("rps", 50, "offered arrivals per second")
+	arrivals := flag.String("arrivals", "const",
+		"arrival process: const (evenly spaced) or poisson (exponential inter-arrival)")
+	seed := flag.Int64("seed", 1, "RNG seed for arrivals, mix draws and violation draws")
+	providers := flag.Int("providers", 3, "providers to publish before the run")
+	warmSLAs := flag.Int("warm-slas", 8, "SLAs to negotiate before the clock starts")
+	violate := flag.Float64("violate", 0.3,
+		"fraction of observations reporting a violating level (agreed * 1.5)")
+	mixSpec := flag.String("mix", "negotiate:1,observe:8,renegotiate:1",
+		"weighted request mix over negotiate, observe and renegotiate")
+	out := flag.String("out", "BENCH_load.json", "report path (empty writes stdout only)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fatal("bad -mix: %v", err)
+	}
+	if *rps <= 0 {
+		fatal("-rps must be positive")
+	}
+	if *arrivals != "const" && *arrivals != "poisson" {
+		fatal("-arrivals must be const or poisson")
+	}
+
+	// No WithRetry: exactly one attempt per request, so admission sheds
+	// surface as 429 outcomes instead of hiding behind backoff.
+	client := broker.NewClient(*addr, &http.Client{Timeout: *timeout})
+	ctx := context.Background()
+	if err := client.Ping(ctx); err != nil {
+		fatal("broker not reachable at %s: %v", *addr, err)
+	}
+
+	h := newHarness(client, *seed, *violate)
+	if err := h.setup(ctx, *providers, *warmSLAs); err != nil {
+		fatal("setup: %v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "softsoa-load: offering %.0f rps (%s arrivals) for %s against %s\n",
+		*rps, *arrivals, *duration, *addr)
+	h.run(ctx, *duration, *rps, *arrivals, mix)
+
+	rep := h.report(*duration, *rps, *arrivals, mix)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("encode report: %v", err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "softsoa-load: report written to %s\n", *out)
+	}
+	//lint:ignore errcheck best-effort echo of the report to stdout; the -out file is the artifact
+	os.Stdout.Write(data)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "softsoa-load: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseMix parses "negotiate:1,observe:8,renegotiate:1" into route
+// weights.
+func parseMix(spec string) (map[string]int, error) {
+	mix := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		route, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not route:weight", part)
+		}
+		switch route {
+		case "negotiate", "observe", "renegotiate":
+		default:
+			return nil, fmt.Errorf("unknown route %q", route)
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("weight %q is not a non-negative integer", weight)
+		}
+		mix[route] = w
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return nil, errors.New("all weights are zero")
+	}
+	return mix, nil
+}
+
+// poolSLA is one negotiated agreement the observe/renegotiate routes
+// draw from.
+type poolSLA struct {
+	id     string
+	agreed float64
+}
+
+// harness owns the SLA pool, the RNG and the per-route instruments.
+type harness struct {
+	client  *broker.Client
+	violate float64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // guarded by rngMu; arrival, mix and level draws
+
+	poolMu sync.Mutex
+	pool   []poolSLA // guarded by poolMu
+
+	reg      *obs.Registry
+	latency  *obs.HistogramVec // by route
+	outcomes *obs.CounterVec   // by route, outcome
+	inflight *obs.Gauge
+}
+
+func newHarness(client *broker.Client, seed int64, violate float64) *harness {
+	reg := obs.NewRegistry()
+	return &harness{
+		client:  client,
+		violate: violate,
+		rng:     rand.New(rand.NewSource(seed)),
+		reg:     reg,
+		latency: reg.HistogramVec("load_latency_seconds",
+			"Client-observed request latency by route.", nil, "route"),
+		outcomes: reg.CounterVec("load_requests_total",
+			"Requests by route and outcome.", "route", "outcome"),
+		inflight: reg.Gauge("load_in_flight", "Open-loop requests currently in flight."),
+	}
+}
+
+// setup publishes the harness's providers and negotiates the warm SLA
+// pool. Provider fees climb in 0.1 steps so failovers always have a
+// (slightly pricier) healthy alternative.
+func (h *harness) setup(ctx context.Context, providers, warmSLAs int) error {
+	if providers < 1 {
+		providers = 1
+	}
+	regions := []string{"eu", "us"}
+	for i := 0; i < providers; i++ {
+		doc := &soa.Document{
+			Service:  service,
+			Provider: fmt.Sprintf("load-p%d", i+1),
+			Region:   regions[i%len(regions)],
+			Attributes: []soa.Attribute{{
+				Name: "fee", Metric: soa.MetricCost,
+				Base: 2 + 0.1*float64(i), PerUnit: 0,
+				Resource: "failures", MaxUnits: 10,
+			}},
+		}
+		if err := h.client.Publish(ctx, doc); err != nil {
+			return fmt.Errorf("publish %s: %w", doc.Provider, err)
+		}
+	}
+	for i := 0; i < warmSLAs; i++ {
+		if err := h.negotiate(ctx); err != nil {
+			return fmt.Errorf("warm SLA %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+func (h *harness) negotiateRequest() broker.NegotiateRequest {
+	lower, upper := 4.0, 1.0
+	return broker.NegotiateRequest{
+		Service: service, Client: "load", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2,
+			Resource: "failures", MaxUnits: 10,
+		},
+		Lower: &lower, Upper: &upper,
+	}
+}
+
+func (h *harness) negotiate(ctx context.Context) error {
+	sla, err := h.client.Negotiate(ctx, h.negotiateRequest())
+	if err != nil {
+		return err
+	}
+	h.poolMu.Lock()
+	h.pool = append(h.pool, poolSLA{id: sla.ID, agreed: sla.AgreedLevel})
+	h.poolMu.Unlock()
+	return nil
+}
+
+// pick returns a random pooled SLA (zero value when the pool is
+// empty, which cannot happen after setup).
+func (h *harness) pick() poolSLA {
+	h.poolMu.Lock()
+	defer h.poolMu.Unlock()
+	if len(h.pool) == 0 {
+		return poolSLA{}
+	}
+	h.rngMu.Lock()
+	i := h.rng.Intn(len(h.pool))
+	h.rngMu.Unlock()
+	return h.pool[i]
+}
+
+// draw returns a uniform float in [0,1) from the shared RNG.
+func (h *harness) draw() float64 {
+	h.rngMu.Lock()
+	defer h.rngMu.Unlock()
+	return h.rng.Float64()
+}
+
+// run offers load for the duration: each arrival fires one request on
+// its own goroutine, chosen from the weighted mix. The loop sleeps
+// between arrivals and never waits for completions.
+func (h *harness) run(ctx context.Context, duration time.Duration, rps float64, arrivals string, mix map[string]int) {
+	routes := make([]string, 0, len(mix))
+	for r := range mix {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes) // deterministic draw order for a fixed seed
+	totalWeight := 0
+	for _, r := range routes {
+		totalWeight += mix[r]
+	}
+	mean := float64(time.Second) / rps
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		var wait time.Duration
+		if arrivals == "poisson" {
+			wait = time.Duration(h.expDraw() * mean)
+		} else {
+			wait = time.Duration(mean)
+		}
+		time.Sleep(wait)
+		route := routes[len(routes)-1]
+		n := int(h.draw() * float64(totalWeight))
+		for _, r := range routes {
+			if n < mix[r] {
+				route = r
+				break
+			}
+			n -= mix[r]
+		}
+		wg.Add(1)
+		go func(route string) {
+			defer wg.Done()
+			h.fire(ctx, route)
+		}(route)
+	}
+	wg.Wait()
+}
+
+// expDraw returns an Exp(1) sample for Poisson inter-arrival times.
+func (h *harness) expDraw() float64 {
+	h.rngMu.Lock()
+	defer h.rngMu.Unlock()
+	return h.rng.ExpFloat64()
+}
+
+// fire executes one request and records its latency and outcome.
+func (h *harness) fire(ctx context.Context, route string) {
+	h.inflight.Add(1)
+	defer h.inflight.Add(-1)
+	start := time.Now()
+	var err error
+	switch route {
+	case "negotiate":
+		err = h.negotiate(ctx)
+	case "observe":
+		sla := h.pick()
+		level := sla.agreed
+		if h.draw() < h.violate {
+			level = sla.agreed * 1.5
+		}
+		_, err = h.client.Observe(ctx, sla.id, level)
+	case "renegotiate":
+		sla := h.pick()
+		req := h.negotiateRequest()
+		_, err = h.client.Renegotiate(ctx, broker.RenegotiateRequest{
+			ID: sla.id, Requirement: req.Requirement, Lower: req.Lower, Upper: req.Upper,
+		})
+	}
+	h.latency.With(route).Observe(time.Since(start).Seconds())
+	h.outcomes.With(route, classify(err)).Inc()
+}
+
+// classify maps a client error to an outcome label. 429 sheds get
+// their own bucket — they are the admission gate working as designed,
+// not failures.
+func classify(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var na *broker.ErrNoAgreement
+	if errors.As(err, &na) {
+		return "no_agreement"
+	}
+	var be *broker.BrokerError
+	if errors.As(err, &be) && be.Status == http.StatusTooManyRequests {
+		return "shed"
+	}
+	return "error"
+}
+
+// Report shapes. Deliberately timestamp-free: committing two runs of
+// BENCH_load.json diffs only measured values, never wall-clock noise.
+
+type routeReport struct {
+	Sent     int64            `json:"sent"`
+	Outcomes map[string]int64 `json:"outcomes"`
+	P50Ms    float64          `json:"p50_ms"`
+	P99Ms    float64          `json:"p99_ms"`
+	P999Ms   float64          `json:"p999_ms"`
+	MeanMs   float64          `json:"mean_ms"`
+}
+
+type loadReport struct {
+	Config struct {
+		RPS             float64        `json:"rps"`
+		DurationSeconds float64        `json:"duration_seconds"`
+		Arrivals        string         `json:"arrivals"`
+		Mix             map[string]int `json:"mix"`
+	} `json:"config"`
+	Routes map[string]routeReport `json:"routes"`
+	Totals struct {
+		Sent        int64   `json:"sent"`
+		Shed        int64   `json:"shed"`
+		Errors      int64   `json:"errors"`
+		AchievedRPS float64 `json:"achieved_rps"`
+	} `json:"totals"`
+}
+
+var outcomeLabels = []string{"ok", "no_agreement", "shed", "error"}
+
+func (h *harness) report(duration time.Duration, rps float64, arrivals string, mix map[string]int) loadReport {
+	var rep loadReport
+	rep.Config.RPS = rps
+	rep.Config.DurationSeconds = duration.Seconds()
+	rep.Config.Arrivals = arrivals
+	rep.Config.Mix = mix
+	rep.Routes = make(map[string]routeReport)
+	for route := range mix {
+		hist := h.latency.With(route)
+		rr := routeReport{Outcomes: make(map[string]int64)}
+		for _, o := range outcomeLabels {
+			n := h.outcomes.With(route, o).Value()
+			rr.Sent += n
+			if n > 0 {
+				rr.Outcomes[o] = n
+			}
+		}
+		if hist.Count() > 0 {
+			rr.P50Ms = toMs(hist.Quantile(0.5))
+			rr.P99Ms = toMs(hist.Quantile(0.99))
+			rr.P999Ms = toMs(hist.Quantile(0.999))
+			rr.MeanMs = toMs(hist.Sum() / float64(hist.Count()))
+		}
+		rep.Routes[route] = rr
+		rep.Totals.Sent += rr.Sent
+		rep.Totals.Shed += rr.Outcomes["shed"]
+		rep.Totals.Errors += rr.Outcomes["error"]
+	}
+	rep.Totals.AchievedRPS = round3(float64(rep.Totals.Sent) / duration.Seconds())
+	return rep
+}
+
+// toMs converts seconds to milliseconds rounded to 3 decimals.
+func toMs(s float64) float64 {
+	if math.IsNaN(s) {
+		return 0
+	}
+	return round3(s * 1000)
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

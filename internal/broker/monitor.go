@@ -81,6 +81,23 @@ func (m *Monitor) Observe(level float64) bool {
 	return false
 }
 
+// drift returns how far the worst observed level sits from the agreed
+// one when it is strictly worse in the metric's semiring order, and 0
+// otherwise (including before the first observation). The SLO
+// reconciler feeds this into the blevel-drift histogram.
+func (m *Monitor) drift() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.hasWorst || !semiring.Lt(m.sr, m.worst, m.agreed) {
+		return 0
+	}
+	d := m.worst - m.agreed
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
 // MonitorReport summarises compliance.
 type MonitorReport struct {
 	// Metric is the monitored QoS metric.

@@ -36,6 +36,7 @@ const (
 	recRenegotiate = "renegotiate"
 	recObserve     = "observe"
 	recCompose     = "compose"
+	recSLOFailover = "slofailover"
 )
 
 // feedbackRecord is one breaker effect a request produced.
@@ -85,6 +86,17 @@ type observeRecord struct {
 	ID         string           `json:"id"`
 	Level      float64          `json:"level"`
 	Violated   bool             `json:"violated"`
+	FailedOver bool             `json:"failedOver,omitempty"`
+	Provider   string           `json:"provider,omitempty"`
+	Offer      *soa.Attribute   `json:"offer,omitempty"`
+	Feedback   []feedbackRecord `json:"feedback,omitempty"`
+}
+
+// sloFailoverRecord journals a failover the SLO reconciler initiated
+// (burn-rate at-risk signal, not a per-observation threshold). A stuck
+// attempt still carries the breaker feedback it produced.
+type sloFailoverRecord struct {
+	ID         string           `json:"id"`
 	FailedOver bool             `json:"failedOver,omitempty"`
 	Provider   string           `json:"provider,omitempty"`
 	Offer      *soa.Attribute   `json:"offer,omitempty"`
@@ -538,6 +550,40 @@ func (s *Server) replayRecord(ctx context.Context, r store.Record) error {
 			})
 			e.mu.Unlock()
 		}
+		return nil
+	case recSLOFailover:
+		var fr sloFailoverRecord
+		if err := json.Unmarshal(r.Data, &fr); err != nil {
+			return err
+		}
+		e, ok := s.entry(fr.ID)
+		if !ok {
+			return fmt.Errorf("SLO failover of unknown SLA %q", fr.ID)
+		}
+		s.applyFeedback(fr.Feedback)
+		if !fr.FailedOver {
+			return nil
+		}
+		if fr.Offer == nil {
+			return fmt.Errorf("SLO failover record for %q without offer", fr.ID)
+		}
+		// Rebuilt outside e.mu — replaySession takes s.mu and the lock
+		// order is s.mu → e.mu, never the reverse.
+		sess, err := s.replaySession(ctx, e.req, fr.Provider, *fr.Offer)
+		if err != nil {
+			return err
+		}
+		mon, err := NewMonitor(sess.SLA())
+		if err != nil {
+			return err
+		}
+		e.mu.Lock()
+		e.versionBase += e.session.Version()
+		e.session, e.mon = sess, mon
+		e.history = append(e.history, histOp{
+			Kind: "failover", Provider: fr.Provider, Offer: fr.Offer,
+		})
+		e.mu.Unlock()
 		return nil
 	case recCompose:
 		var cr composeRecord

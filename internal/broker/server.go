@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	brokerslo "softsoa/internal/broker/slo"
 	"softsoa/internal/broker/store"
 	"softsoa/internal/cache"
 	"softsoa/internal/obs"
@@ -159,6 +160,7 @@ type Server struct {
 	bm         *brokerMetrics
 	traces     *obs.TraceLog
 	logger     *slog.Logger
+	slo        *brokerslo.Reconciler // nil when the SLO subsystem is disabled
 
 	// Flight-recorder configuration (immutable after construction).
 	journalCap       int
@@ -209,6 +211,7 @@ type serverConfig struct {
 	admission        AdmissionConfig
 	solveCache       *cache.Cache
 	solveCacheSet    bool
+	slo              SLOConfig
 }
 
 // defaultSolveCacheSize is the entry capacity of the solve cache a
@@ -441,6 +444,7 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 		composerOpts = append(composerOpts, WithSolverOptions(solver.WithWorkers(cfg.solverWorkers)))
 	}
 	s.composer = NewComposer(reg, penalty, composerOpts...)
+	s.slo = s.newSLO(cfg.slo)
 
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
@@ -464,6 +468,7 @@ func NewServer(penalty LinkPenalty, opts ...ServerOption) *Server {
 	route("GET /v1/health", s.handleHealth)
 	route("GET /v1/metrics", s.handleMetrics)
 	route("GET /v1/debug/traces", s.handleTraces)
+	route("GET /v1/debug/slo", s.handleDebugSLO)
 	s.registerLegacyAliases(mux)
 
 	var h http.Handler = mux
@@ -863,7 +868,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		rec.Feedback = append(rec.Feedback, feedbackRecord{Provider: provider, Kind: "success"})
 	}
 	resp := ObserveResponse{ID: or.ID, Violated: violated, Provider: provider}
-	if violated && s.shouldFailOver(e.mon) {
+	if violated && s.shouldFailOver(or.ID, e.mon) {
 		rebound, fb := s.failOverLocked(r.Context(), e)
 		rec.Feedback = append(rec.Feedback, fb...)
 		if rebound {
@@ -886,9 +891,15 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	writeXML(w, http.StatusOK, resp)
 }
 
-func (s *Server) shouldFailOver(mon *Monitor) bool {
+func (s *Server) shouldFailOver(id string, mon *Monitor) bool {
 	if !s.failover.Enabled {
 		return false
+	}
+	// An SLA the SLO reconciler flagged at risk fails over on its next
+	// violation even below the per-monitor threshold: the aggregate
+	// burn-rate signal has already condemned the binding.
+	if s.slo != nil && s.slo.AtRisk(id) {
+		return true
 	}
 	r := mon.Report()
 	return r.Observations >= s.failover.MinObservations &&

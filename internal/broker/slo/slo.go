@@ -1,0 +1,477 @@
+// Package slo is the broker's always-on SLO layer: a periodic
+// reconciliation sweep that walks every live SLA, recomputes
+// compliance from the accumulated observations, and publishes the
+// aggregate dependability signals the paper's monitoring story calls
+// for — per-SLA/per-provider compliance gauges, a blevel-drift
+// histogram (how far the observed level has strayed from the
+// negotiated one), and multi-window burn rates (violation rate over a
+// fast ~1m window and a slow ~1h window). Crossing the fast-window
+// threshold marks the SLA *at risk*: a structured slog event is
+// emitted carrying the SLA id and a trace id, the slo_at_risk gauge
+// flips, and the configured OnAtRisk hook fires — the broker wires it
+// to violation-driven failover, so a degraded provider is rebound
+// before the per-observation failover path would have noticed.
+//
+// The sweep loop is driven by an injectable clock.Clock: production
+// runs it on a ticker (Run), tests call Sweep directly under a fake
+// clock and assert every gauge and burn-rate transition
+// deterministically, with no sleeps.
+package slo
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"softsoa/internal/clock"
+	"softsoa/internal/obs"
+)
+
+// Sample is one live SLA's compliance state at sweep time, produced
+// by the Source (the broker). Observations and Violations are
+// cumulative for the SLA's *current* monitor — a failover installs a
+// fresh monitor, so the counters (and Provider) reset together, which
+// the reconciler detects and treats as a window reset.
+type Sample struct {
+	// ID is the SLA id ("sla-7").
+	ID string
+	// Provider is the currently bound provider.
+	Provider string
+	// Metric names the negotiated QoS metric.
+	Metric string
+	// Negotiated is the agreed blevel currently in force.
+	Negotiated float64
+	// Drift is the semiring distance from the negotiated blevel to
+	// the worst observed level, 0 while the agreement is honoured.
+	// The source computes it in the session's semiring, where "worse"
+	// is direction-dependent (higher cost, lower reliability).
+	Drift float64
+	// Observations and Violations are the monitor's cumulative
+	// counters.
+	Observations int64
+	Violations   int64
+}
+
+// Source supplies the sweep's input: a snapshot of every live SLA.
+// The broker implements it over its entry map; tests implement it
+// with canned samples.
+type Source interface {
+	SLOSamples() []Sample
+}
+
+// Config parameterises a Reconciler. The zero value of each field
+// selects the documented default.
+type Config struct {
+	// Source supplies the per-SLA samples (required).
+	Source Source
+	// Clock is the sweep's time source (default clock.Wall). Every
+	// window computation uses it, so a fake clock makes the whole
+	// reconciler deterministic.
+	Clock clock.Clock
+	// SweepEvery is Run's tick period (default 10s).
+	SweepEvery time.Duration
+	// FastWindow is the short burn-rate window; crossing
+	// BurnThreshold here flags the SLA at risk (default 1m).
+	FastWindow time.Duration
+	// SlowWindow is the long burn-rate window, the backdrop the fast
+	// signal is judged against (default 1h). It also bounds how much
+	// per-sweep history is retained.
+	SlowWindow time.Duration
+	// BurnThreshold is the fast-window violation rate (violations /
+	// observations) above which an SLA is at risk (default 0.5).
+	BurnThreshold float64
+	// MinWindowObservations gates the at-risk signal: fewer
+	// observations than this in the fast window cannot flag it, so a
+	// single unlucky probe on a quiet SLA does not page (default 3).
+	MinWindowObservations int64
+	// Registry receives the slo_* metric families (default: a
+	// private registry, useful only in tests).
+	Registry *obs.Registry
+	// Logger receives the structured at-risk / recovered events
+	// (default: discard).
+	Logger *slog.Logger
+	// OnAtRisk fires once per healthy→at-risk transition, after the
+	// sweep's bookkeeping is done and outside the reconciler's lock
+	// (so the hook may call back into AtRisk or the Source). The
+	// context carries the sweep's trace. The broker hooks failover
+	// here.
+	OnAtRisk func(ctx context.Context, id string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.Wall
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = 10 * time.Second
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = time.Hour
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 0.5
+	}
+	if c.MinWindowObservations <= 0 {
+		c.MinWindowObservations = 3
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	return c
+}
+
+// driftBuckets span the blevel distances the shipped metrics produce:
+// sub-unit drifts for the [0,1] carriers (reliability, preference),
+// larger ones for cost/downtime totals.
+var driftBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}
+
+// window is one sweep's delta of an SLA's counters, timestamped by
+// the sweep's clock reading.
+type window struct {
+	t    time.Time
+	obs  int64
+	viol int64
+}
+
+// slaState is the reconciler's accumulated view of one SLA.
+type slaState struct {
+	provider   string
+	negotiated float64
+	drift      float64
+	// lastObs/lastViol are the cumulative counters at the previous
+	// sweep, the baseline the next delta is computed from.
+	lastObs, lastViol int64
+	// totalObs/totalViol survive monitor resets (failover installs a
+	// fresh monitor), so compliance reflects the SLA's whole life.
+	totalObs, totalViol int64
+	// buckets holds per-sweep deltas young enough to matter for the
+	// slow window, oldest first.
+	buckets  []window
+	fastRate float64
+	slowRate float64
+	fastObs  int64
+	atRisk   bool
+	seen     bool // refreshed each sweep; stale states are dropped
+}
+
+// Reconciler is the sweep engine. Construct with New; run with Run or
+// drive sweeps directly with Sweep.
+type Reconciler struct {
+	cfg Config
+
+	sweeps      *obs.Counter
+	tracked     *obs.Gauge
+	compliance  *obs.GaugeVec   // by sla, provider
+	burnRate    *obs.GaugeVec   // by sla, window (fast/slow)
+	atRiskGauge *obs.GaugeVec   // by sla
+	transitions *obs.CounterVec // by direction (at_risk/recovered)
+	drift       *obs.Histogram
+
+	mu    sync.Mutex
+	slas  map[string]*slaState // guarded by mu
+	order []string             // guarded by mu; ids sorted for deterministic snapshots
+}
+
+// New returns a reconciler over cfg. Every slo_* metric family is
+// registered up front, so a scrape of a fresh broker already
+// documents the catalogue.
+func New(cfg Config) *Reconciler {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	r := &Reconciler{
+		cfg: cfg,
+		sweeps: reg.Counter("slo_sweeps_total",
+			"SLO reconciliation sweeps completed."),
+		tracked: reg.Gauge("slo_slas_tracked",
+			"Live SLAs covered by the latest SLO sweep."),
+		compliance: reg.GaugeVec("slo_compliance",
+			"Lifetime compliance ratio per SLA (1 - violations/observations; 1 with no data).",
+			"sla", "provider"),
+		burnRate: reg.GaugeVec("slo_burn_rate",
+			"Violation rate per SLA over the fast and slow burn windows.",
+			"sla", "window"),
+		atRiskGauge: reg.GaugeVec("slo_at_risk",
+			"1 while the SLA's fast-window burn rate exceeds the threshold; failover consults this.",
+			"sla"),
+		transitions: reg.CounterVec("slo_at_risk_transitions_total",
+			"At-risk state transitions, by direction (at_risk / recovered).",
+			"direction"),
+		drift: reg.Histogram("slo_blevel_drift",
+			"Distance from the negotiated blevel to the worst observed level, per SLA per sweep.",
+			driftBuckets),
+		slas: make(map[string]*slaState),
+	}
+	// Materialise both transition series at zero so the family has
+	// samples (not just headers) before the first transition — scrapes
+	// and smoke checks can rely on its presence.
+	r.transitions.With("at_risk")
+	r.transitions.With("recovered")
+	return r
+}
+
+// Run drives Sweep on a ticker until ctx is cancelled. It is the
+// production loop; tests call Sweep directly under a fake clock.
+func (r *Reconciler) Run(ctx context.Context) {
+	t := time.NewTicker(r.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.Sweep(ctx)
+		}
+	}
+}
+
+// Sweep performs one reconciliation pass: pull samples from the
+// source, fold each into its SLA's windowed state, publish the
+// gauges, and fire the at-risk transitions. The source is consulted
+// and the hooks run outside the reconciler's lock, so a hook (or a
+// concurrent request handler consulting AtRisk) can never deadlock
+// against a sweep.
+func (r *Reconciler) Sweep(ctx context.Context) {
+	now := r.cfg.Clock.Now()
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		tr = obs.NewTrace("")
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	samples := r.cfg.Source.SLOSamples()
+
+	type transition struct {
+		id     string
+		toRisk bool
+		rate   float64
+	}
+	var trans []transition
+
+	r.mu.Lock()
+	for i := range samples {
+		s := &samples[i]
+		st, ok := r.slas[s.ID]
+		if !ok {
+			st = &slaState{}
+			r.slas[s.ID] = st
+		}
+		// A provider change or a counter running backwards means the
+		// monitor was replaced (failover): the burn windows restart
+		// with the new binding, and a standing at-risk flag clears —
+		// the rebind is exactly what the flag demanded.
+		if ok && (st.provider != s.Provider || s.Observations < st.lastObs) {
+			st.buckets = st.buckets[:0]
+			st.lastObs, st.lastViol = 0, 0
+			if st.atRisk {
+				st.atRisk = false
+				trans = append(trans, transition{id: s.ID, toRisk: false})
+			}
+		}
+		st.provider = s.Provider
+		st.negotiated = s.Negotiated
+		st.drift = s.Drift
+		st.seen = true
+		dObs := s.Observations - st.lastObs
+		dViol := s.Violations - st.lastViol
+		st.lastObs, st.lastViol = s.Observations, s.Violations
+		st.totalObs += dObs
+		st.totalViol += dViol
+		if dObs > 0 || dViol > 0 {
+			st.buckets = append(st.buckets, window{t: now, obs: dObs, viol: dViol})
+		}
+		// Trim everything older than the slow window; the fast rate
+		// re-filters the survivors.
+		cutSlow := now.Add(-r.cfg.SlowWindow)
+		for len(st.buckets) > 0 && !st.buckets[0].t.After(cutSlow) {
+			st.buckets = st.buckets[1:]
+		}
+		cutFast := now.Add(-r.cfg.FastWindow)
+		var fastObs, fastViol, slowObs, slowViol int64
+		for _, b := range st.buckets {
+			slowObs += b.obs
+			slowViol += b.viol
+			if b.t.After(cutFast) {
+				fastObs += b.obs
+				fastViol += b.viol
+			}
+		}
+		st.fastRate = rate(fastViol, fastObs)
+		st.slowRate = rate(slowViol, slowObs)
+		st.fastObs = fastObs
+		risky := fastObs >= r.cfg.MinWindowObservations && st.fastRate > r.cfg.BurnThreshold
+		if risky != st.atRisk {
+			st.atRisk = risky
+			trans = append(trans, transition{id: s.ID, toRisk: risky, rate: st.fastRate})
+		}
+	}
+	// Drop SLAs the source no longer reports (expired, evicted).
+	for id, st := range r.slas {
+		if !st.seen {
+			delete(r.slas, id)
+			r.atRiskGauge.With(id).Set(0)
+			continue
+		}
+		st.seen = false
+	}
+	r.order = r.order[:0]
+	for id := range r.slas {
+		r.order = append(r.order, id)
+	}
+	sortByIDNumber(r.order)
+	// Publish under the lock so a scrape races at most one sweep.
+	for _, id := range r.order {
+		st := r.slas[id]
+		r.compliance.With(id, st.provider).Set(1 - rate(st.totalViol, st.totalObs))
+		r.burnRate.With(id, "fast").Set(st.fastRate)
+		r.burnRate.With(id, "slow").Set(st.slowRate)
+		if st.atRisk {
+			r.atRiskGauge.With(id).Set(1)
+		} else {
+			r.atRiskGauge.With(id).Set(0)
+		}
+		r.drift.Observe(st.drift)
+	}
+	r.tracked.Set(float64(len(r.slas)))
+	r.sweeps.Inc()
+	r.mu.Unlock()
+
+	// The sweep's trace rides ctx, so a trace-aware handler
+	// (obs.NewLogger, what brokerd installs) stamps every event
+	// below with the trace id.
+	for _, t := range trans {
+		if t.toRisk {
+			r.transitions.With("at_risk").Inc()
+			r.cfg.Logger.WarnContext(ctx, "SLA at risk",
+				"sla", t.id,
+				"fast_burn_rate", t.rate, "threshold", r.cfg.BurnThreshold)
+			if r.cfg.OnAtRisk != nil {
+				r.cfg.OnAtRisk(ctx, t.id)
+			}
+		} else {
+			r.transitions.With("recovered").Inc()
+			r.cfg.Logger.InfoContext(ctx, "SLA recovered", "sla", t.id)
+		}
+	}
+}
+
+// rate is violations/observations, 0 with no observations.
+func rate(viol, obs int64) float64 {
+	if obs <= 0 {
+		return 0
+	}
+	return float64(viol) / float64(obs)
+}
+
+// AtRisk reports whether the latest sweep left the SLA flagged at
+// risk. Unknown ids are not at risk. Safe to call from request
+// handlers (the broker's failover check consults it).
+func (r *Reconciler) AtRisk(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.slas[id]
+	return ok && st.atRisk
+}
+
+// SLASnapshot is one SLA's row in the debug snapshot.
+type SLASnapshot struct {
+	ID           string  `json:"id"`
+	Provider     string  `json:"provider"`
+	Negotiated   float64 `json:"negotiated"`
+	Compliance   float64 `json:"compliance"`
+	FastBurnRate float64 `json:"fastBurnRate"`
+	SlowBurnRate float64 `json:"slowBurnRate"`
+	Drift        float64 `json:"drift"`
+	Observations int64   `json:"observations"`
+	Violations   int64   `json:"violations"`
+	AtRisk       bool    `json:"atRisk"`
+}
+
+// Snapshot is the read-only state served at /v1/debug/slo.
+type Snapshot struct {
+	Sweeps        int64         `json:"sweeps"`
+	SweepEvery    string        `json:"sweepEvery"`
+	FastWindow    string        `json:"fastWindow"`
+	SlowWindow    string        `json:"slowWindow"`
+	BurnThreshold float64       `json:"burnThreshold"`
+	DriftP50      float64       `json:"driftP50"`
+	DriftP99      float64       `json:"driftP99"`
+	SLAs          []SLASnapshot `json:"slas"`
+}
+
+// Snapshot captures the reconciler's current view, SLAs in id order.
+// Drift quantiles are bucket-interpolated estimates from the
+// slo_blevel_drift histogram (NaN is reported as 0 while empty).
+func (r *Reconciler) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Sweeps:        r.sweeps.Value(),
+		SweepEvery:    r.cfg.SweepEvery.String(),
+		FastWindow:    r.cfg.FastWindow.String(),
+		SlowWindow:    r.cfg.SlowWindow.String(),
+		BurnThreshold: r.cfg.BurnThreshold,
+		SLAs:          make([]SLASnapshot, 0, len(r.slas)),
+	}
+	if r.drift.Count() > 0 {
+		snap.DriftP50 = r.drift.Quantile(0.5)
+		snap.DriftP99 = r.drift.Quantile(0.99)
+	}
+	for _, id := range r.order {
+		st := r.slas[id]
+		snap.SLAs = append(snap.SLAs, SLASnapshot{
+			ID:           id,
+			Provider:     st.provider,
+			Negotiated:   st.negotiated,
+			Compliance:   1 - rate(st.totalViol, st.totalObs),
+			FastBurnRate: st.fastRate,
+			SlowBurnRate: st.slowRate,
+			Drift:        st.drift,
+			Observations: st.totalObs,
+			Violations:   st.totalViol,
+			AtRisk:       st.atRisk,
+		})
+	}
+	return snap
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Reconciler) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// sortByIDNumber orders minted ids by their numeric suffix ("sla-2"
+// before "sla-10"), falling back to lexical order for foreign ids.
+func sortByIDNumber(ids []string) {
+	num := func(id string) (int, bool) {
+		i := strings.LastIndexByte(id, '-')
+		if i < 0 {
+			return 0, false
+		}
+		n, err := strconv.Atoi(id[i+1:])
+		return n, err == nil
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, aok := num(ids[i])
+		b, bok := num(ids[j])
+		if aok && bok && a != b {
+			return a < b
+		}
+		return ids[i] < ids[j]
+	})
+}

@@ -1,0 +1,417 @@
+package slo
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"softsoa/internal/clock"
+	"softsoa/internal/obs"
+)
+
+// fakeClock is a mutable deterministic time source. Every test in
+// this file drives the reconciler exclusively through it — no sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// fakeSource is a programmable sample feed.
+type fakeSource struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+func (f *fakeSource) SLOSamples() []Sample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Sample(nil), f.samples...)
+}
+
+func (f *fakeSource) set(samples ...Sample) {
+	f.mu.Lock()
+	f.samples = samples
+	f.mu.Unlock()
+}
+
+func testReconciler(t *testing.T, src Source, fc *fakeClock, onAtRisk func(ctx context.Context, id string)) *Reconciler {
+	t.Helper()
+	return New(Config{
+		Source:                src,
+		Clock:                 clock.Clock(fc.now),
+		FastWindow:            time.Minute,
+		SlowWindow:            time.Hour,
+		BurnThreshold:         0.5,
+		MinWindowObservations: 3,
+		OnAtRisk:              onAtRisk,
+	})
+}
+
+func TestSweepComplianceAndSnapshot(t *testing.T) {
+	src := &fakeSource{}
+	fc := newFakeClock()
+	r := testReconciler(t, src, fc, nil)
+
+	src.set(
+		Sample{ID: "sla-1", Provider: "p1", Metric: "cost", Negotiated: 20, Drift: 0, Observations: 10, Violations: 0},
+		Sample{ID: "sla-2", Provider: "p2", Metric: "cost", Negotiated: 20, Drift: 3.5, Observations: 8, Violations: 2},
+	)
+	r.Sweep(context.Background())
+
+	snap := r.Snapshot()
+	if snap.Sweeps != 1 {
+		t.Fatalf("Sweeps = %d, want 1", snap.Sweeps)
+	}
+	if len(snap.SLAs) != 2 {
+		t.Fatalf("snapshot has %d SLAs, want 2", len(snap.SLAs))
+	}
+	if snap.SLAs[0].ID != "sla-1" || snap.SLAs[1].ID != "sla-2" {
+		t.Fatalf("snapshot order = %s,%s; want sla-1,sla-2", snap.SLAs[0].ID, snap.SLAs[1].ID)
+	}
+	if got := snap.SLAs[0].Compliance; got != 1 {
+		t.Errorf("sla-1 compliance = %g, want 1", got)
+	}
+	if got := snap.SLAs[1].Compliance; got != 0.75 {
+		t.Errorf("sla-2 compliance = %g, want 0.75", got)
+	}
+	if got := snap.SLAs[1].Drift; got != 3.5 {
+		t.Errorf("sla-2 drift = %g, want 3.5", got)
+	}
+	if got := r.compliance.With("sla-2", "p2").Value(); got != 0.75 {
+		t.Errorf("slo_compliance{sla-2,p2} = %g, want 0.75", got)
+	}
+	if got := r.tracked.Value(); got != 2 {
+		t.Errorf("slo_slas_tracked = %g, want 2", got)
+	}
+	if snap.DriftP50 <= 0 {
+		t.Errorf("DriftP50 = %g, want > 0 after non-zero drift observations", snap.DriftP50)
+	}
+}
+
+func TestBurnRateWindows(t *testing.T) {
+	src := &fakeSource{}
+	fc := newFakeClock()
+	r := testReconciler(t, src, fc, nil)
+
+	// Sweep 1: 10 observations, all violating.
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 10, Violations: 10})
+	r.Sweep(context.Background())
+	if got := r.burnRate.With("sla-1", "fast").Value(); got != 1 {
+		t.Fatalf("fast burn after violating sweep = %g, want 1", got)
+	}
+	if got := r.burnRate.With("sla-1", "slow").Value(); got != 1 {
+		t.Fatalf("slow burn after violating sweep = %g, want 1", got)
+	}
+
+	// Two minutes later the violating bucket ages out of the fast
+	// window; 10 fresh clean observations dominate it.
+	fc.advance(2 * time.Minute)
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 20, Violations: 10})
+	r.Sweep(context.Background())
+	if got := r.burnRate.With("sla-1", "fast").Value(); got != 0 {
+		t.Errorf("fast burn after clean recent window = %g, want 0", got)
+	}
+	if got := r.burnRate.With("sla-1", "slow").Value(); got != 0.5 {
+		t.Errorf("slow burn = %g, want 0.5 (10 of 20 in the hour)", got)
+	}
+
+	// Two hours later everything has aged out of the slow window too.
+	fc.advance(2 * time.Hour)
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 20, Violations: 10})
+	r.Sweep(context.Background())
+	if got := r.burnRate.With("sla-1", "slow").Value(); got != 0 {
+		t.Errorf("slow burn after windows drained = %g, want 0", got)
+	}
+	// Lifetime compliance still remembers everything.
+	if got := r.compliance.With("sla-1", "p1").Value(); got != 0.5 {
+		t.Errorf("lifetime compliance = %g, want 0.5", got)
+	}
+}
+
+func TestAtRiskTransitionsAndHook(t *testing.T) {
+	src := &fakeSource{}
+	fc := newFakeClock()
+	var fired []string
+	r := testReconciler(t, src, fc, func(_ context.Context, id string) {
+		fired = append(fired, id)
+	})
+
+	// Healthy: plenty of observations, no violations.
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 5})
+	r.Sweep(context.Background())
+	if r.AtRisk("sla-1") {
+		t.Fatal("healthy SLA flagged at risk")
+	}
+
+	// Degraded: 6 new observations, all violating → fast rate 6/11,
+	// strictly above the 0.5 threshold (the comparison is strict, so
+	// exactly-at-threshold stays healthy).
+	fc.advance(10 * time.Second)
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 11, Violations: 6})
+	r.Sweep(context.Background())
+	if !r.AtRisk("sla-1") {
+		t.Fatal("degraded SLA not flagged at risk")
+	}
+	if got := r.atRiskGauge.With("sla-1").Value(); got != 1 {
+		t.Errorf("slo_at_risk gauge = %g, want 1", got)
+	}
+	if len(fired) != 1 || fired[0] != "sla-1" {
+		t.Fatalf("OnAtRisk fired %v, want [sla-1]", fired)
+	}
+
+	// Still degraded: the hook must not re-fire while at risk.
+	fc.advance(10 * time.Second)
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 13, Violations: 8})
+	r.Sweep(context.Background())
+	if len(fired) != 1 {
+		t.Fatalf("OnAtRisk re-fired while already at risk: %v", fired)
+	}
+
+	// Recovery: violations stop, the bad buckets age out.
+	fc.advance(2 * time.Minute)
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 20, Violations: 8})
+	r.Sweep(context.Background())
+	if r.AtRisk("sla-1") {
+		t.Fatal("recovered SLA still flagged at risk")
+	}
+	if got := r.atRiskGauge.With("sla-1").Value(); got != 0 {
+		t.Errorf("slo_at_risk gauge after recovery = %g, want 0", got)
+	}
+	if got := r.transitions.With("at_risk").Value(); got != 1 {
+		t.Errorf("at_risk transitions = %d, want 1", got)
+	}
+	if got := r.transitions.With("recovered").Value(); got != 1 {
+		t.Errorf("recovered transitions = %d, want 1", got)
+	}
+}
+
+// TestMinWindowObservationsGate: a single violating probe on a quiet
+// SLA must not flag it.
+func TestMinWindowObservationsGate(t *testing.T) {
+	src := &fakeSource{}
+	fc := newFakeClock()
+	r := testReconciler(t, src, fc, nil)
+
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 1, Violations: 1})
+	r.Sweep(context.Background())
+	if r.AtRisk("sla-1") {
+		t.Fatal("SLA flagged at risk on a single observation (below MinWindowObservations)")
+	}
+	fc.advance(time.Second)
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 3, Violations: 3})
+	r.Sweep(context.Background())
+	if !r.AtRisk("sla-1") {
+		t.Fatal("SLA not flagged once the window reached MinWindowObservations")
+	}
+}
+
+// TestFailoverResetsWindow: a provider change (fresh monitor, counters
+// restart from zero) clears the at-risk flag and restarts the burn
+// windows — the rebind is what the flag asked for.
+func TestFailoverResetsWindow(t *testing.T) {
+	src := &fakeSource{}
+	fc := newFakeClock()
+	var fired int
+	r := testReconciler(t, src, fc, func(context.Context, string) { fired++ })
+
+	src.set(Sample{ID: "sla-1", Provider: "p1", Observations: 6, Violations: 6})
+	r.Sweep(context.Background())
+	if !r.AtRisk("sla-1") || fired != 1 {
+		t.Fatalf("setup: atRisk=%v fired=%d, want true/1", r.AtRisk("sla-1"), fired)
+	}
+
+	// Failed over: new provider, monitor counters restarted.
+	fc.advance(10 * time.Second)
+	src.set(Sample{ID: "sla-1", Provider: "p2", Observations: 2, Violations: 0})
+	r.Sweep(context.Background())
+	if r.AtRisk("sla-1") {
+		t.Fatal("at-risk flag survived the failover")
+	}
+	if got := r.burnRate.With("sla-1", "fast").Value(); got != 0 {
+		t.Errorf("fast burn after failover = %g, want 0 (window restarted)", got)
+	}
+	if fired != 1 {
+		t.Errorf("OnAtRisk fired %d times, want 1", fired)
+	}
+	// Lifetime compliance keeps the pre-failover violations.
+	if got := r.compliance.With("sla-1", "p2").Value(); got != 0.25 {
+		t.Errorf("lifetime compliance = %g, want 0.25 (6 of 8 violated)", got)
+	}
+}
+
+// TestStaleSLADropped: an SLA the source stops reporting disappears
+// from the snapshot and its at-risk gauge resets.
+func TestStaleSLADropped(t *testing.T) {
+	src := &fakeSource{}
+	fc := newFakeClock()
+	r := testReconciler(t, src, fc, nil)
+
+	src.set(
+		Sample{ID: "sla-1", Provider: "p1", Observations: 6, Violations: 6},
+		Sample{ID: "sla-2", Provider: "p1", Observations: 4},
+	)
+	r.Sweep(context.Background())
+	if !r.AtRisk("sla-1") {
+		t.Fatal("setup: sla-1 should be at risk")
+	}
+
+	src.set(Sample{ID: "sla-2", Provider: "p1", Observations: 5})
+	r.Sweep(context.Background())
+	if r.AtRisk("sla-1") {
+		t.Fatal("dropped SLA still at risk")
+	}
+	snap := r.Snapshot()
+	if len(snap.SLAs) != 1 || snap.SLAs[0].ID != "sla-2" {
+		t.Fatalf("snapshot = %+v, want only sla-2", snap.SLAs)
+	}
+	if got := r.atRiskGauge.With("sla-1").Value(); got != 0 {
+		t.Errorf("dropped SLA's at-risk gauge = %g, want 0", got)
+	}
+}
+
+func TestSnapshotIDOrdering(t *testing.T) {
+	src := &fakeSource{}
+	fc := newFakeClock()
+	r := testReconciler(t, src, fc, nil)
+
+	src.set(
+		Sample{ID: "sla-10", Provider: "p1", Observations: 1},
+		Sample{ID: "sla-2", Provider: "p1", Observations: 1},
+		Sample{ID: "sla-1", Provider: "p1", Observations: 1},
+	)
+	r.Sweep(context.Background())
+	snap := r.Snapshot()
+	got := []string{snap.SLAs[0].ID, snap.SLAs[1].ID, snap.SLAs[2].ID}
+	want := []string{"sla-1", "sla-2", "sla-10"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v (numeric suffix order)", got, want)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	src := &fakeSource{}
+	fc := newFakeClock()
+	r := testReconciler(t, src, fc, nil)
+	src.set(Sample{ID: "sla-1", Provider: "p1", Negotiated: 12, Observations: 4, Violations: 1})
+	r.Sweep(context.Background())
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(snap.SLAs) != 1 || snap.SLAs[0].Negotiated != 12 {
+		t.Fatalf("round-tripped snapshot = %+v", snap)
+	}
+}
+
+// TestMetricsRegisteredUpFront: every slo_* family must appear in the
+// exposition before the first sweep, so scrapes of a fresh broker
+// document the catalogue (and CI can grep for the families).
+func TestMetricsRegisteredUpFront(t *testing.T) {
+	reg := obs.NewRegistry()
+	New(Config{Source: &fakeSource{}, Registry: reg})
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"slo_sweeps_total", "slo_slas_tracked", "slo_compliance",
+		"slo_burn_rate", "slo_at_risk", "slo_at_risk_transitions_total",
+		"slo_blevel_drift",
+	} {
+		if !strings.Contains(b.String(), fam) {
+			t.Errorf("exposition missing family %q before first sweep", fam)
+		}
+	}
+}
+
+func TestRunStopsOnCancel(t *testing.T) {
+	src := &fakeSource{}
+	r := New(Config{Source: src, SweepEvery: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		r.Run(ctx)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+}
+
+// TestConcurrentSweepStress races sweeps against source mutation,
+// AtRisk queries, and snapshots. Run under -race this is the
+// reconciler's thread-safety proof.
+func TestConcurrentSweepStress(t *testing.T) {
+	src := &fakeSource{}
+	fc := newFakeClock()
+	var r *Reconciler
+	r = testReconciler(t, src, fc, func(_ context.Context, id string) {
+		// The hook runs outside r.mu: calling back in must not deadlock.
+		r.AtRisk(id)
+	})
+
+	const iters = 300
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			obsN := int64(i + 1)
+			src.set(
+				Sample{ID: "sla-1", Provider: "p1", Observations: obsN, Violations: obsN / 2},
+				Sample{ID: "sla-2", Provider: "p2", Observations: obsN, Violations: obsN},
+			)
+			fc.advance(time.Second)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			r.Sweep(context.Background())
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			r.AtRisk("sla-1")
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	// One final deterministic sweep: state must be coherent.
+	r.Sweep(context.Background())
+	snap := r.Snapshot()
+	if len(snap.SLAs) != 2 {
+		t.Fatalf("snapshot has %d SLAs after stress, want 2", len(snap.SLAs))
+	}
+}

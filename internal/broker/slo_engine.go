@@ -1,0 +1,152 @@
+package broker
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"softsoa/internal/broker/slo"
+	"softsoa/internal/clock"
+)
+
+// SLO layer: the server owns an slo.Reconciler fed from its live SLA
+// entries. The reconciler is always on (WithSLO can tune or disable
+// it); brokerd runs its sweep loop, tests drive Sweep directly under a
+// fake clock. When a sweep flags an SLA at risk the OnAtRisk hook
+// fails the agreement over immediately — the paper's graceful
+// degradation triggered by the aggregate burn-rate signal instead of
+// waiting for the next per-observation threshold crossing — and the
+// observe path additionally consults the at-risk flag, so a flagged
+// SLA fails over on its next violation even below the per-monitor
+// failover threshold.
+
+// SLOConfig tunes the server's SLO reconciler. The zero value selects
+// the documented defaults (see slo.Config); Disabled switches the
+// subsystem off entirely.
+type SLOConfig struct {
+	// Disabled switches the reconciler off: no slo_* metrics, no
+	// sweeps, and /v1/debug/slo answers 404.
+	Disabled bool
+	// SweepEvery is the reconciliation period (default 10s).
+	SweepEvery time.Duration
+	// FastWindow / SlowWindow are the burn-rate windows (default
+	// 1m / 1h).
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// BurnThreshold is the fast-window violation rate above which an
+	// SLA is at risk (default 0.5).
+	BurnThreshold float64
+	// MinWindowObservations gates the at-risk signal (default 3).
+	MinWindowObservations int64
+	// Clock overrides the sweep's time source (tests inject a fake).
+	Clock clock.Clock
+}
+
+// WithSLO tunes (or disables) the SLO reconciliation subsystem.
+func WithSLO(cfg SLOConfig) ServerOption {
+	return func(c *serverConfig) { c.slo = cfg }
+}
+
+// newSLO builds the server's reconciler; nil when disabled.
+func (s *Server) newSLO(cfg SLOConfig) *slo.Reconciler {
+	if cfg.Disabled {
+		return nil
+	}
+	return slo.New(slo.Config{
+		Source:                s,
+		Clock:                 cfg.Clock,
+		SweepEvery:            cfg.SweepEvery,
+		FastWindow:            cfg.FastWindow,
+		SlowWindow:            cfg.SlowWindow,
+		BurnThreshold:         cfg.BurnThreshold,
+		MinWindowObservations: cfg.MinWindowObservations,
+		Registry:              s.metrics,
+		Logger:                s.logger,
+		OnAtRisk:              s.sloFailOver,
+	})
+}
+
+// SLO exposes the server's reconciler so brokerd can run its sweep
+// loop and tests can drive sweeps deterministically. Nil when the
+// subsystem is disabled.
+func (s *Server) SLO() *slo.Reconciler { return s.slo }
+
+// SLOSamples implements slo.Source: a snapshot of every live SLA's
+// compliance state. The entry map is copied under s.mu, then each
+// entry is read under its own lock — the reconciler never holds its
+// lock while calling in, so sampling can never deadlock against a
+// request handler consulting AtRisk.
+func (s *Server) SLOSamples() []slo.Sample {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.entries))
+	entries := make(map[string]*slaEntry, len(s.entries))
+	for id, e := range s.entries {
+		ids = append(ids, id)
+		entries[id] = e
+	}
+	s.mu.Unlock()
+	sortByIDNumber(ids)
+	samples := make([]slo.Sample, 0, len(ids))
+	for _, id := range ids {
+		e := entries[id]
+		e.mu.Lock()
+		rep := e.mon.Report()
+		samples = append(samples, slo.Sample{
+			ID:           id,
+			Provider:     e.session.Provider(),
+			Metric:       string(rep.Metric),
+			Negotiated:   rep.AgreedLevel,
+			Drift:        e.mon.drift(),
+			Observations: rep.Observations,
+			Violations:   rep.Violations,
+		})
+		e.mu.Unlock()
+	}
+	return samples
+}
+
+// sloFailOver is the reconciler's OnAtRisk hook: an SLA whose
+// fast-window burn rate crossed the threshold is failed over to a
+// healthy provider right away. The attempt — rebound or stuck — is
+// journalled as a recSLOFailover WAL record so recovery replays the
+// same binding and breaker effects.
+func (s *Server) sloFailOver(ctx context.Context, id string) {
+	if !s.failover.Enabled {
+		return
+	}
+	e, ok := s.entry(id)
+	if !ok {
+		return
+	}
+	defer s.maybeSnapshot()
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rebound, fb := s.failOverLocked(ctx, e)
+	rec := sloFailoverRecord{ID: id, Feedback: fb}
+	if rebound {
+		s.bm.failovers.With("slo_rebound").Inc()
+		offer := e.session.offerAttr
+		rec.FailedOver = true
+		rec.Provider = e.session.Provider()
+		rec.Offer = &offer
+		e.history = append(e.history, histOp{
+			Kind: "failover", Provider: rec.Provider, Offer: &offer,
+		})
+	} else {
+		s.bm.failovers.With("slo_stuck").Inc()
+	}
+	s.appendRecord(recSLOFailover, rec)
+}
+
+// handleDebugSLO serves the reconciler's read-only snapshot as JSON.
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		writeError(w, http.StatusNotFound, "slo reconciler disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errcheck the response write is best-effort; a failed write means the client is gone
+	_ = s.slo.WriteJSON(w)
+}

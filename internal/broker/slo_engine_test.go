@@ -1,0 +1,398 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"softsoa/internal/broker/slo"
+	"softsoa/internal/broker/store"
+	"softsoa/internal/clock"
+	"softsoa/internal/soa"
+)
+
+// sloClock is a mutable deterministic time source for the SLO tests:
+// every sweep reads it, no test here ever sleeps.
+type sloClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newSLOClock() *sloClock {
+	return &sloClock{t: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *sloClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *sloClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// sloServer builds a broker whose per-observation failover threshold
+// is unreachable (MinObservations 1000), so any failover in these
+// tests is attributable to the SLO layer: either the at-risk hook or
+// the observe path consulting the at-risk flag.
+func sloServer(fc *sloClock, opts ...ServerOption) *Server {
+	base := []ServerOption{
+		WithBreaker(BreakerConfig{FailureThreshold: 1000, OpenTimeout: time.Hour}),
+		WithFailover(FailoverPolicy{Enabled: true, ViolationRate: 0.99, MinObservations: 1000}),
+		WithSLO(SLOConfig{
+			Clock:                 clock.Clock(fc.now),
+			FastWindow:            time.Minute,
+			SlowWindow:            time.Hour,
+			BurnThreshold:         0.5,
+			MinWindowObservations: 3,
+		}),
+	}
+	return NewServer(DefaultLinkPenalty, append(base, opts...)...)
+}
+
+// negotiateFlaky publishes a cheap flaky provider and a pricier
+// backup, then negotiates an agreement that binds to flaky at cost 2.
+// Observing level 6 violates it; level 2 complies.
+func negotiateFlaky(t *testing.T, client *Client) *soa.SLA {
+	t.Helper()
+	ctx := context.Background()
+	if err := client.Publish(ctx, costDoc("flaky", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Publish(ctx, costDoc("backup", "svc", 3, 0, "us")); err != nil {
+		t.Fatal(err)
+	}
+	sla, err := client.Negotiate(ctx, NegotiateRequest{
+		Service: "svc", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4), Upper: fptr(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla.Providers[0] != "flaky" {
+		t.Fatalf("bound %s, want flaky", sla.Providers[0])
+	}
+	return sla
+}
+
+// TestSLOHandoffDeterministic walks one SLA through the full
+// lifecycle the issue demands — healthy → at-risk → failed-over —
+// driven exclusively by the injected clock and direct Sweep calls.
+func TestSLOHandoffDeterministic(t *testing.T) {
+	fc := newSLOClock()
+	srv := sloServer(fc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+	sla := negotiateFlaky(t, client)
+	rec := srv.SLO()
+
+	// Healthy: compliant observations only.
+	for i := 0; i < 2; i++ {
+		if _, err := client.Observe(ctx, sla.ID, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.Sweep(ctx)
+	if rec.AtRisk(sla.ID) {
+		t.Fatal("healthy SLA flagged at risk")
+	}
+	snap := rec.Snapshot()
+	if len(snap.SLAs) != 1 || snap.SLAs[0].Compliance != 1 {
+		t.Fatalf("healthy snapshot = %+v, want one fully compliant SLA", snap.SLAs)
+	}
+
+	// Degraded: five violations inside the fast window. None of them
+	// fails over on the observe path (threshold unreachable, flag not
+	// set yet).
+	fc.advance(10 * time.Second)
+	for i := 0; i < 5; i++ {
+		obs, err := client.Observe(ctx, sla.ID, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !obs.Violated {
+			t.Fatal("level 6 should violate the agreement")
+		}
+		if obs.FailedOver {
+			t.Fatal("observe path failed over before the SLO sweep flagged the SLA")
+		}
+	}
+
+	// The sweep crosses the burn threshold (5 of 7 fast-window
+	// observations violated), flags the SLA and fails it over via the
+	// OnAtRisk hook — all within this one call.
+	rec.Sweep(ctx)
+	if !rec.AtRisk(sla.ID) {
+		t.Fatal("degraded SLA not flagged at risk")
+	}
+	got, err := client.SLA(ctx, sla.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Providers[0] != "backup" {
+		t.Fatalf("after at-risk sweep the SLA is bound to %s, want backup", got.Providers[0])
+	}
+	if got.Version <= sla.Version {
+		t.Fatalf("failover did not bump the version: %d -> %d", sla.Version, got.Version)
+	}
+
+	// The next sweep sees the new binding (fresh monitor, provider
+	// change) and clears the flag: the rebind was the remedy.
+	fc.advance(10 * time.Second)
+	rec.Sweep(ctx)
+	if rec.AtRisk(sla.ID) {
+		t.Fatal("at-risk flag survived the failover")
+	}
+	snap = rec.Snapshot()
+	if snap.SLAs[0].Provider != "backup" {
+		t.Fatalf("snapshot provider = %s, want backup", snap.SLAs[0].Provider)
+	}
+	if snap.SLAs[0].FastBurnRate != 0 {
+		t.Fatalf("fast burn rate after failover = %g, want 0", snap.SLAs[0].FastBurnRate)
+	}
+}
+
+// TestSLOObservePathConsultsAtRisk pins the second handoff route: when
+// the at-risk hook's failover attempt is stuck (no healthy
+// replacement), the flag stays up and the next violating observation
+// retries the failover through the observe path.
+func TestSLOObservePathConsultsAtRisk(t *testing.T) {
+	fc := newSLOClock()
+	srv := sloServer(fc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	// Only one provider: the hook's failover has nowhere to go.
+	if err := client.Publish(ctx, costDoc("flaky", "svc", 2, 0, "eu")); err != nil {
+		t.Fatal(err)
+	}
+	sla, err := client.Negotiate(ctx, NegotiateRequest{
+		Service: "svc", Client: "shop", Metric: soa.MetricCost,
+		Requirement: soa.Attribute{
+			Metric: soa.MetricCost, Base: 0, PerUnit: 2, Resource: "failures", MaxUnits: 10,
+		},
+		Lower: fptr(4), Upper: fptr(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := client.Observe(ctx, sla.ID, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := srv.SLO()
+	rec.Sweep(ctx)
+	if !rec.AtRisk(sla.ID) {
+		t.Fatal("SLA not flagged at risk")
+	}
+	if got := srv.bm.failovers.With("slo_stuck").Value(); got != 1 {
+		t.Fatalf("slo_stuck failovers = %d, want 1 (no replacement available)", got)
+	}
+
+	// A replacement appears. The stuck hook does not re-fire (still at
+	// risk, no new transition), but the observe path consults the flag
+	// on the next violation and completes the failover. flaky's breaker
+	// was tripped by the stuck attempt, so the renegotiation can only
+	// choose backup.
+	if err := client.Publish(ctx, costDoc("backup", "svc", 3, 0, "us")); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := client.Observe(ctx, sla.ID, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.FailedOver || obs.Provider != "backup" {
+		t.Fatalf("observe after at-risk flag: failedOver=%t provider=%s, want true/backup",
+			obs.FailedOver, obs.Provider)
+	}
+}
+
+// TestSLODebugEndpoint exercises GET /v1/debug/slo end to end, and its
+// 404 when the subsystem is disabled.
+func TestSLODebugEndpoint(t *testing.T) {
+	fc := newSLOClock()
+	srv := sloServer(fc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	sla := negotiateFlaky(t, client)
+	if _, err := client.Observe(context.Background(), sla.ID, 6); err != nil {
+		t.Fatal(err)
+	}
+	srv.SLO().Sweep(context.Background())
+
+	resp, err := http.Get(ts.URL + "/v1/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	//lint:ignore errcheck test response body close
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/debug/slo: %d\n%s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var snap slo.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, body)
+	}
+	if snap.Sweeps != 1 || len(snap.SLAs) != 1 || snap.SLAs[0].ID != sla.ID {
+		t.Fatalf("snapshot = %+v, want 1 sweep covering %s", snap, sla.ID)
+	}
+	if snap.SLAs[0].Violations != 1 {
+		t.Fatalf("snapshot violations = %d, want 1", snap.SLAs[0].Violations)
+	}
+
+	off := httptest.NewServer(NewServer(DefaultLinkPenalty,
+		WithSLO(SLOConfig{Disabled: true})).Handler())
+	defer off.Close()
+	resp, err = http.Get(off.URL + "/v1/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore errcheck test response body close
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /v1/debug/slo: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSLOFailoverRecovery proves the recSLOFailover WAL record
+// replays: a broker whose SLA was failed over by the SLO hook is
+// abandoned and recovered, and the recovered wire state is
+// byte-identical.
+func TestSLOFailoverRecovery(t *testing.T) {
+	mem := store.NewMemory()
+	fc := newSLOClock()
+	srv := sloServer(fc, WithStateStore(mem), WithSnapshotEvery(0))
+	ts := httptest.NewServer(srv.Handler())
+	client := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+	sla := negotiateFlaky(t, client)
+	for i := 0; i < 4; i++ {
+		if _, err := client.Observe(ctx, sla.ID, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.SLO().Sweep(ctx) // at-risk hook fails the SLA over to backup
+	got, err := client.SLA(ctx, sla.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Providers[0] != "backup" {
+		t.Fatalf("setup: bound to %s, want backup", got.Providers[0])
+	}
+	// A compliant observation against the fresh binding lands after
+	// the failover record in the WAL.
+	if _, err := client.Observe(ctx, sla.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	before := stateBodies(t, ts.URL, []string{sla.ID})
+	ts.Close() // abandon without drain or flush
+
+	srv2 := sloServer(newSLOClock(), WithStateStore(mem), WithSnapshotEvery(0))
+	stats, err := srv2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SLAs != 1 {
+		t.Fatalf("recovered %d SLAs, want 1", stats.SLAs)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	after := stateBodies(t, ts2.URL, []string{sla.ID})
+	for p, want := range before {
+		if after[p] != want {
+			t.Errorf("recovered %s diverged\n--- before ---\n%s\n--- after ---\n%s", p, want, after[p])
+		}
+	}
+}
+
+// TestSLOConcurrentObserveSweepStress races observations (violating
+// and compliant), sweeps under an advancing fake clock, at-risk
+// queries and debug snapshots. Under -race this is the wiring's
+// thread-safety and deadlock-freedom proof.
+func TestSLOConcurrentObserveSweepStress(t *testing.T) {
+	fc := newSLOClock()
+	srv := sloServer(fc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+	sla := negotiateFlaky(t, client)
+	rec := srv.SLO()
+
+	const iters = 150
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			level := 2.0
+			if i%3 == 0 {
+				level = 6
+			}
+			if _, err := client.Observe(ctx, sla.ID, level); err != nil {
+				t.Errorf("observe: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			rec.Sweep(ctx)
+			fc.advance(time.Second)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			rec.AtRisk(sla.ID)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/10; i++ {
+			resp, err := http.Get(ts.URL + "/v1/debug/slo")
+			if err != nil {
+				t.Errorf("debug/slo: %v", err)
+				return
+			}
+			//lint:ignore errcheck test response body drain
+			_, _ = io.Copy(io.Discard, resp.Body)
+			//lint:ignore errcheck test response body close
+			_ = resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+
+	// Final coherence check: one more sweep, snapshot parses and still
+	// tracks the SLA.
+	rec.Sweep(ctx)
+	snap := rec.Snapshot()
+	if len(snap.SLAs) != 1 || snap.SLAs[0].Observations < iters {
+		t.Fatalf("post-stress snapshot = %+v, want >= %d observations on one SLA", snap.SLAs, iters)
+	}
+}

@@ -110,6 +110,41 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution by linear interpolation inside the bucket that holds
+// the target rank, the same estimator Prometheus's histogram_quantile
+// uses. The first bucket interpolates down to zero; a rank that lands
+// in the implicit +Inf bucket clamps to the largest finite bound (the
+// estimate cannot exceed what the buckets resolve). An empty
+// histogram returns NaN. The counts are read live, so a concurrent
+// Observe can shift the estimate by one rank — acceptable for the
+// reporting paths this serves.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, bound := range h.bounds {
+		n := float64(h.counts[i].Load())
+		if n > 0 && cum+n >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (bound-lower)*((rank-cum)/n)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 

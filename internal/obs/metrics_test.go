@@ -2,6 +2,7 @@ package obs
 
 import (
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -260,4 +261,61 @@ func BenchmarkCounterVecWith(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		v.With("/v1/negotiations", "200").Inc()
 	}
+}
+
+// TestHistogramQuantile drives the bucket-interpolated estimator over
+// the shapes that matter: mass confined to one bucket, mass spread
+// over several, ranks landing in the +Inf tail (clamped to the largest
+// finite bound), the first bucket (interpolated down to zero), and an
+// empty histogram (NaN).
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	tests := []struct {
+		name    string
+		observe []float64
+		q       float64
+		want    float64
+	}{
+		// Four observations, all in the (0,1] bucket: rank q*4
+		// interpolates linearly inside [0,1].
+		{"exact bucket p50", []float64{0.2, 0.4, 0.6, 0.8}, 0.5, 0.5},
+		{"exact bucket p25", []float64{0.2, 0.4, 0.6, 0.8}, 0.25, 0.25},
+		{"exact bucket p100", []float64{0.2, 0.4, 0.6, 0.8}, 1, 1},
+		// One observation per bucket: the median rank (2 of 4) sits at
+		// the top of the second bucket.
+		{"spread p50", []float64{0.5, 1.5, 3, 10}, 0.5, 2},
+		// Rank 3.6 of 4 lands in the +Inf bucket: clamp to the largest
+		// finite bound.
+		{"inf tail p90", []float64{0.5, 1.5, 3, 10}, 0.9, 4},
+		{"all inf tail", []float64{10, 20, 30}, 0.5, 4},
+		// q=0 is the infimum of the first populated bucket.
+		{"q zero", []float64{0.5, 1.5}, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := NewRegistry().Histogram("quantile_test_seconds", "test", bounds)
+			for _, v := range tt.observe {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Quantile(%g) = %g, want %g", tt.q, got, tt.want)
+			}
+		})
+	}
+	t.Run("empty histogram", func(t *testing.T) {
+		h := NewRegistry().Histogram("quantile_empty_seconds", "test", bounds)
+		if got := h.Quantile(0.5); !math.IsNaN(got) {
+			t.Errorf("Quantile on empty histogram = %g, want NaN", got)
+		}
+	})
+	t.Run("q clamped", func(t *testing.T) {
+		h := NewRegistry().Histogram("quantile_clamp_seconds", "test", bounds)
+		h.Observe(0.5)
+		if got := h.Quantile(-1); got != 0 {
+			t.Errorf("Quantile(-1) = %g, want 0", got)
+		}
+		if got := h.Quantile(2); math.Abs(got-1) > 1e-12 {
+			t.Errorf("Quantile(2) = %g, want 1", got)
+		}
+	})
 }

@@ -1,7 +1,6 @@
 package solver
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -50,6 +49,27 @@ type wsSched[T any] struct {
 	// pending counts tasks that exist but have not finished (queued
 	// or executing). When it reaches zero the search is complete.
 	pending atomic.Int64
+	// parkMu guards wakeSeq and backs parkCond: a hungry worker whose
+	// steal sweep came up empty parks on the condition variable
+	// instead of burning its time slice in a Gosched spin — the win is
+	// workers >> cores, where spinners used to crowd the runnable
+	// queue. wakeSeq is bumped (under parkMu, so a parking worker
+	// cannot miss it) on every spill and on the final task's
+	// completion; parked workers re-run their steal sweep on each
+	// wake-up.
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	wakeSeq  uint64 // guarded by parkMu
+}
+
+// wake bumps the wake sequence and releases every parked worker. It
+// runs per spill and per task completion that drains the search —
+// demand-bounded events, never the per-node path.
+func (s *wsSched[T]) wake() {
+	s.parkMu.Lock()
+	s.wakeSeq++
+	s.parkMu.Unlock()
+	s.parkCond.Broadcast()
 }
 
 // wsWorker is one work-stealing searcher: its own deque, digit
@@ -101,6 +121,7 @@ type wsWorker[T any] struct {
 // Tasks, Steals and Splits depend on scheduling.
 func solveParallel[T any](pl *plan[T], workers int) Result[T] {
 	sched := &wsSched[T]{pl: pl, shared: newSharedBound[T](pl.sr)}
+	sched.parkCond = sync.NewCond(&sched.parkMu)
 	sched.workers = make([]*wsWorker[T], workers)
 	for i := range sched.workers {
 		sched.workers[i] = &wsWorker[T]{
@@ -171,18 +192,32 @@ func (w *wsWorker[T]) loop() {
 			}
 		}
 		w.exec(t)
-		w.sched.pending.Add(-1)
+		if w.sched.pending.Add(-1) == 0 {
+			// The search just drained: release every parked worker so
+			// they observe pending == 0 and exit.
+			w.sched.wake()
+		}
 	}
 }
 
 // hunt looks for a task on the other workers' deques, advertising its
-// hunger so busy workers start spilling. It returns false only when
-// every task in the system has finished.
+// hunger so busy workers start spilling. Between sweeps the worker
+// parks on the scheduler's condition variable — woken by the next
+// spill or by the search draining — rather than spinning through
+// Gosched, so a hungry worker costs nothing while no work exists for
+// it (the workers >> cores regime). It returns false only when every
+// task in the system has finished.
 func (w *wsWorker[T]) hunt() (*wsTask[T], bool) {
 	sched := w.sched
 	sched.hungry.Add(1)
 	defer sched.hungry.Add(-1)
 	for {
+		// Read the wake sequence before sweeping: a spill that lands
+		// during the sweep bumps it, and the park re-check below then
+		// refuses to sleep, so the sweep/park pair cannot miss a task.
+		sched.parkMu.Lock()
+		seq := sched.wakeSeq
+		sched.parkMu.Unlock()
 		if sched.pending.Load() == 0 {
 			return nil, false
 		}
@@ -198,7 +233,11 @@ func (w *wsWorker[T]) hunt() (*wsTask[T], bool) {
 		if t, ok := w.deque.pop(); ok {
 			return t, true
 		}
-		runtime.Gosched()
+		sched.parkMu.Lock()
+		for sched.wakeSeq == seq && sched.pending.Load() != 0 {
+			sched.parkCond.Wait()
+		}
+		sched.parkMu.Unlock()
 	}
 }
 
@@ -257,6 +296,9 @@ func (w *wsWorker[T]) spill(depth, from int, bound T) {
 	//lint:ignore hotpath spill allocates one task per steal-demand event, not per node
 	w.deque.push(&wsTask[T]{path: path, from: from, bound: bound})
 	w.splits++
+	// Wake parked thieves: the spill exists because someone is hungry,
+	// and a hungry worker that exhausted its steal sweep is asleep.
+	w.sched.wake()
 }
 
 // run explores the subtree rooted at depth under the given sound

@@ -380,3 +380,27 @@ func TestWorkStealingSkewedTreeStress(t *testing.T) {
 		t.Errorf("no work was redistributed over 4 runs: steals=%d splits=%d", steals, splits)
 	}
 }
+
+// TestHuntParkWakeup pins the scheduler into the workers >> cores
+// regime the parking rework targets: 16 workers on a single
+// GOMAXPROCS slot, where the pre-park hunt loop Gosched-spun through
+// every hungry worker's time slice. Each iteration must terminate
+// (parked workers are woken by every spill and by the final task's
+// completion — a missed wake-up deadlocks the solve and fails the
+// test by timeout) and must still reproduce the sequential result
+// bit for bit.
+func TestHuntParkWakeup(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	p, err := workload.RandomWeightedSCSP(workload.SCSPParams{
+		Vars: 10, DomainSize: 3, Density: 0.5, Tightness: 0.8, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := BranchAndBound(p)
+	for i := 0; i < 8; i++ {
+		par := BranchAndBound(p, WithWorkers(16))
+		assertSameResult[float64](t, semiring.Weighted{}, fmt.Sprintf("iter=%d", i), seq, par)
+	}
+}

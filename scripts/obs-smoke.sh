@@ -6,7 +6,9 @@
 # softsoa-replay — both the HTTP copy and the -journal-dir dump. A
 # second identical negotiation must then replay from the solve cache
 # (cache_hits_total > 0) and still emit a journal that replays
-# exactly. Exits non-zero on any miss.
+# exactly. The SLO reconciler runs on a fast sweep so the slo_*
+# families and the /v1/debug/slo snapshot are asserted too. Exits
+# non-zero on any miss.
 set -eu
 
 ADDR=127.0.0.1:18700
@@ -25,7 +27,7 @@ trap cleanup EXIT INT TERM
 
 go build -o "$BIN" ./cmd/brokerd
 go build -o "$REPLAY" ./cmd/softsoa-replay
-"$BIN" -addr "$ADDR" -ops-addr "$OPS" -journal-dir "$JOURNALS" &
+"$BIN" -addr "$ADDR" -ops-addr "$OPS" -journal-dir "$JOURNALS" -slo-sweep-every 100ms &
 PID=$!
 
 # Wait for the health endpoint (up to ~5s).
@@ -52,6 +54,27 @@ fi
 
 curl -fsS "http://$ADDR/v1/metrics" >"$METRICS"
 for family in broker_http_requests_total broker_negotiations_total broker_slas_active journal_events_dropped_total; do
+    if ! grep -q "^$family" "$METRICS"; then
+        echo "obs-smoke: family $family missing from /v1/metrics" >&2
+        exit 1
+    fi
+done
+
+# The SLO reconciler sweeps every 100ms: within ~3s the debug snapshot
+# must report the negotiated SLA. Only then do the per-SLA slo_*
+# series exist on the metrics surface.
+i=0
+until curl -fsS "http://$ADDR/v1/debug/slo" | grep -q "\"$SLA_ID\""; do
+    i=$((i + 1))
+    if [ "$i" -ge 30 ]; then
+        echo "obs-smoke: /v1/debug/slo never reported $SLA_ID" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/v1/metrics" >"$METRICS"
+for family in slo_sweeps_total slo_slas_tracked slo_compliance slo_burn_rate \
+    slo_at_risk slo_at_risk_transitions_total slo_blevel_drift; do
     if ! grep -q "^$family" "$METRICS"; then
         echo "obs-smoke: family $family missing from /v1/metrics" >&2
         exit 1
